@@ -1,0 +1,44 @@
+//! # hedc-analysis — analysis algorithms and interpreter servers
+//!
+//! The stand-in for IDL + the Solar SoftWare tree (paper §2.1): native
+//! implementations of HEDC's standard analyses — imaging, lightcurve,
+//! spectrum, spectrogram, histogram — behind a single [`Algorithm`]
+//! strategy trait, an [`AlgorithmRegistry`] for user-submitted routines
+//! (§3.3), and [`AnalysisServer`]: a deliberately *rudimentary* single-job
+//! interpreter (one job at a time, no queue, can crash or hang, killed and
+//! restarted from outside) so that all the robustness lives where the paper
+//! puts it — in the Processing Logic tier (`hedc-pl`).
+//!
+//! ```
+//! use hedc_analysis::{AnalysisKind, AnalysisParams, AnalysisServer};
+//! use hedc_filestore::PhotonList;
+//! use std::{sync::Arc, time::Duration};
+//!
+//! let server = AnalysisServer::start(0);
+//! let photons = Arc::new(PhotonList {
+//!     times_ms: (0..1000u64).map(|i| i * 3).collect(),
+//!     energies_kev: vec![12.0; 1000],
+//!     detectors: vec![0; 1000],
+//! });
+//! let product = server.run_sync(
+//!     AnalysisKind::Lightcurve,
+//!     photons,
+//!     AnalysisParams::window(0, 3000),
+//!     Duration::from_secs(10),
+//! ).unwrap();
+//! assert_eq!(product.type_label(), "series");
+//! ```
+
+#![warn(missing_docs)]
+
+mod algorithms;
+mod registry;
+mod server;
+mod types;
+
+pub use algorithms::{builtin, Algorithm, Histogram, Imaging, Lightcurve, Spectrogram, Spectrum, BANDS};
+pub use registry::AlgorithmRegistry;
+pub use server::{AnalysisServer, FaultPlan, Job, ServerState};
+pub use types::{
+    select_photons, AnalysisError, AnalysisKind, AnalysisParams, AnalysisProduct,
+};

@@ -1,0 +1,183 @@
+//! Algorithm registry: user-submitted analysis routines.
+//!
+//! "There is also the possibility for users to submit analysis routines
+//! that can be included into the system and made available to other users"
+//! (§3.3). The registry maps names to [`Algorithm`] trait objects; the
+//! built-in catalog set is pre-registered, and anything else can be added
+//! at run time without touching the framework — the paper's core
+//! extensibility claim.
+
+use crate::algorithms::{builtin, Algorithm};
+use crate::types::{AnalysisError, AnalysisKind, AnalysisParams, AnalysisProduct};
+use hedc_filestore::PhotonList;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A thread-safe registry of analysis algorithms.
+pub struct AlgorithmRegistry {
+    algorithms: RwLock<HashMap<String, Arc<dyn Algorithm>>>,
+}
+
+impl Default for AlgorithmRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl AlgorithmRegistry {
+    /// Empty registry (no algorithms at all).
+    pub fn empty() -> Self {
+        AlgorithmRegistry {
+            algorithms: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Registry pre-loaded with the standard catalog algorithms.
+    pub fn with_builtins() -> Self {
+        let reg = Self::empty();
+        for kind in [
+            AnalysisKind::Imaging,
+            AnalysisKind::Lightcurve,
+            AnalysisKind::Spectrum,
+            AnalysisKind::Spectrogram,
+            AnalysisKind::Histogram,
+        ] {
+            let alg: Arc<dyn Algorithm> = Arc::from(builtin(kind));
+            reg.algorithms
+                .write()
+                .insert(alg.name().to_string(), alg);
+        }
+        reg
+    }
+
+    /// Register (or replace) an algorithm under its own name. Replacement is
+    /// deliberate: "designers optimize existing routines" (§3.1) and the new
+    /// version takes over without a restart.
+    pub fn register(&self, alg: Arc<dyn Algorithm>) {
+        self.algorithms
+            .write()
+            .insert(alg.name().to_string(), alg);
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn Algorithm>, AnalysisError> {
+        self.algorithms
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| AnalysisError::UnknownKind(name.to_string()))
+    }
+
+    /// Registered algorithm names, sorted (for the services table, §4.1).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.algorithms.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Convenience: look up and run.
+    pub fn run(
+        &self,
+        name: &str,
+        photons: &PhotonList,
+        params: &AnalysisParams,
+    ) -> Result<AnalysisProduct, AnalysisError> {
+        self.get(name)?.run(photons, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl Algorithm for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn run(
+            &self,
+            photons: &PhotonList,
+            _params: &AnalysisParams,
+        ) -> Result<AnalysisProduct, AnalysisError> {
+            Ok(AnalysisProduct::Histogram {
+                edges: vec![0.0, 1.0],
+                counts: vec![photons.len() as u64 * 2],
+            })
+        }
+        fn cost_flops(&self, photon_count: u64, _params: &AnalysisParams) -> f64 {
+            photon_count as f64
+        }
+    }
+
+    #[test]
+    fn builtins_present() {
+        let reg = AlgorithmRegistry::with_builtins();
+        assert_eq!(
+            reg.names(),
+            vec!["histogram", "imaging", "lightcurve", "spectrogram", "spectrum"]
+        );
+        assert!(reg.get("imaging").is_ok());
+        assert!(matches!(
+            reg.get("nope"),
+            Err(AnalysisError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn user_algorithm_registers_and_runs() {
+        let reg = AlgorithmRegistry::with_builtins();
+        reg.register(Arc::new(Doubler));
+        let p = PhotonList {
+            times_ms: vec![1, 2, 3],
+            energies_kev: vec![1.0; 3],
+            detectors: vec![0; 3],
+        };
+        let out = reg
+            .run("doubler", &p, &AnalysisParams::window(0, 10))
+            .unwrap();
+        let AnalysisProduct::Histogram { counts, .. } = out else {
+            panic!()
+        };
+        assert_eq!(counts, vec![6]);
+    }
+
+    #[test]
+    fn replacement_takes_over() {
+        struct V2;
+        impl Algorithm for V2 {
+            fn name(&self) -> &str {
+                "doubler"
+            }
+            fn run(
+                &self,
+                _photons: &PhotonList,
+                _params: &AnalysisParams,
+            ) -> Result<AnalysisProduct, AnalysisError> {
+                Ok(AnalysisProduct::Histogram {
+                    edges: vec![0.0],
+                    counts: vec![],
+                })
+            }
+            fn cost_flops(&self, _p: u64, _params: &AnalysisParams) -> f64 {
+                0.0
+            }
+        }
+        let reg = AlgorithmRegistry::empty();
+        reg.register(Arc::new(Doubler));
+        reg.register(Arc::new(V2));
+        assert_eq!(reg.names().len(), 1);
+        let out = reg
+            .run(
+                "doubler",
+                &PhotonList::default(),
+                &AnalysisParams::window(0, 10),
+            )
+            .unwrap();
+        let AnalysisProduct::Histogram { counts, .. } = out else {
+            panic!()
+        };
+        assert!(counts.is_empty());
+    }
+}

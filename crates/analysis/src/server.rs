@@ -1,0 +1,365 @@
+//! Analysis servers: the stand-in for HEDC's external IDL interpreters.
+//!
+//! The paper's PL manages "multiple native IDL interpreters" that "provide
+//! only rudimentary job control, data management, and error recovery
+//! functionality" (§2.3). An [`AnalysisServer`] reproduces exactly that
+//! contract: a worker thread that accepts one job at a time, no queueing,
+//! no retry, can hang (fault injection) and be killed and restarted from
+//! outside. Everything smarter — scheduling, timeouts, restarts — is the
+//! PL's job (`hedc-pl`), which is the point the paper makes.
+
+use crate::algorithms::builtin;
+use crate::types::{AnalysisError, AnalysisKind, AnalysisParams, AnalysisProduct};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use hedc_filestore::PhotonList;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A job handed to a server.
+pub struct Job {
+    /// Which algorithm to run.
+    pub kind: AnalysisKind,
+    /// Input photons (already staged by the DM).
+    pub photons: Arc<PhotonList>,
+    /// Parameters.
+    pub params: AnalysisParams,
+    /// Where to deliver the result.
+    pub reply: Sender<Result<AnalysisProduct, AnalysisError>>,
+}
+
+/// Fault-injection knobs, used by tests and the PL's failure benches.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Crash (worker exits) before running the job when set.
+    pub crash_next: AtomicBool,
+    /// Hang (sleep this many ms, simulating a stuck interpreter) before
+    /// running the job when non-zero.
+    pub hang_next_ms: AtomicU64,
+}
+
+/// Server lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerState {
+    /// Accepting a job.
+    Idle,
+    /// Running a job.
+    Busy,
+    /// Worker thread has exited (crash or kill); must be restarted.
+    Dead,
+}
+
+struct Inner {
+    sender: Option<Sender<Job>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// One analysis interpreter process (modeled as a thread).
+pub struct AnalysisServer {
+    /// Server id, unique within its manager.
+    pub id: u32,
+    inner: Mutex<Inner>,
+    busy: Arc<AtomicBool>,
+    pending: Arc<AtomicBool>,
+    alive: Arc<AtomicBool>,
+    /// Fault-injection controls.
+    pub faults: Arc<FaultPlan>,
+    jobs_completed: Arc<AtomicU64>,
+    generation: AtomicU64,
+}
+
+impl AnalysisServer {
+    /// Start a server (spawns its worker thread).
+    pub fn start(id: u32) -> Self {
+        let server = AnalysisServer {
+            id,
+            inner: Mutex::new(Inner {
+                sender: None,
+                handle: None,
+            }),
+            busy: Arc::new(AtomicBool::new(false)),
+            pending: Arc::new(AtomicBool::new(false)),
+            alive: Arc::new(AtomicBool::new(false)),
+            faults: Arc::new(FaultPlan::default()),
+            jobs_completed: Arc::new(AtomicU64::new(0)),
+            generation: AtomicU64::new(0),
+        };
+        server.restart();
+        server
+    }
+
+    /// (Re)start the worker thread. Any in-flight job on a previous
+    /// incarnation is lost — its reply channel is dropped, which the caller
+    /// observes as a disconnected receive (≙ [`AnalysisError::ServerDied`]).
+    pub fn restart(&self) {
+        let mut inner = self.inner.lock();
+        // Drop the old sender so a previous worker drains and exits.
+        inner.sender = None;
+        if let Some(h) = inner.handle.take() {
+            // The old worker may be hung; don't join it, just detach.
+            drop(h);
+        }
+        // One slot: a submitted job parks here until the worker picks it up.
+        // Single-job semantics are enforced by the `pending` flag, not the
+        // channel, so submission never races worker startup.
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(1);
+        let busy = Arc::clone(&self.busy);
+        let pending = Arc::clone(&self.pending);
+        let alive = Arc::clone(&self.alive);
+        let faults = Arc::clone(&self.faults);
+        let done = Arc::clone(&self.jobs_completed);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        alive.store(true, Ordering::SeqCst);
+        busy.store(false, Ordering::SeqCst);
+        self.pending.store(false, Ordering::SeqCst);
+        let handle = std::thread::Builder::new()
+            .name(format!("analysis-server-{}", self.id))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    busy.store(true, Ordering::SeqCst);
+                    if faults.crash_next.swap(false, Ordering::SeqCst) {
+                        // Simulated interpreter crash: exit without reply.
+                        alive.store(false, Ordering::SeqCst);
+                        busy.store(false, Ordering::SeqCst);
+                        return;
+                    }
+                    let hang = faults.hang_next_ms.swap(0, Ordering::SeqCst);
+                    if hang > 0 {
+                        std::thread::sleep(Duration::from_millis(hang));
+                    }
+                    let result = builtin(job.kind).run(&job.photons, &job.params);
+                    let _ = job.reply.send(result);
+                    done.fetch_add(1, Ordering::Relaxed);
+                    busy.store(false, Ordering::SeqCst);
+                    pending.store(false, Ordering::SeqCst);
+                }
+                alive.store(false, Ordering::SeqCst);
+            })
+            .expect("spawn analysis server");
+        inner.sender = Some(tx);
+        inner.handle = Some(handle);
+    }
+
+    /// Kill the worker (drops the job channel; a hung worker is abandoned).
+    pub fn kill(&self) {
+        let mut inner = self.inner.lock();
+        inner.sender = None;
+        inner.handle = None;
+        self.alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ServerState {
+        if !self.alive.load(Ordering::SeqCst) {
+            ServerState::Dead
+        } else if self.pending.load(Ordering::SeqCst) || self.busy.load(Ordering::SeqCst) {
+            ServerState::Busy
+        } else {
+            ServerState::Idle
+        }
+    }
+
+    /// Jobs completed across all incarnations.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Number of times the worker was (re)started.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Submit a job without blocking. Errors if the server is busy or dead —
+    /// rudimentary job control, exactly like a single-threaded interpreter.
+    pub fn try_submit(
+        &self,
+        kind: AnalysisKind,
+        photons: Arc<PhotonList>,
+        params: AnalysisParams,
+    ) -> Result<Receiver<Result<AnalysisProduct, AnalysisError>>, AnalysisError> {
+        let inner = self.inner.lock();
+        let sender = inner.sender.as_ref().ok_or(AnalysisError::ServerDied)?;
+        if self.pending.swap(true, Ordering::SeqCst) {
+            return Err(AnalysisError::BadParams(
+                "server busy: single-job interpreter".into(),
+            ));
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        let job = Job {
+            kind,
+            photons,
+            params,
+            reply: reply_tx,
+        };
+        match sender.try_send(job) {
+            Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.pending.store(false, Ordering::SeqCst);
+                Err(AnalysisError::ServerDied)
+            }
+        }
+    }
+
+    /// Submit and wait with a deadline. On timeout the job is abandoned (the
+    /// worker may still be grinding — the *caller* decides whether to kill
+    /// and restart, mirroring the PL's role).
+    pub fn run_sync(
+        &self,
+        kind: AnalysisKind,
+        photons: Arc<PhotonList>,
+        params: AnalysisParams,
+        timeout: Duration,
+    ) -> Result<AnalysisProduct, AnalysisError> {
+        let rx = self.try_submit(kind, photons, params)?;
+        match rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(AnalysisError::TimedOut),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(AnalysisError::ServerDied)
+            }
+        }
+    }
+}
+
+impl Drop for AnalysisServer {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn photons(n: usize) -> Arc<PhotonList> {
+        let mut p = PhotonList::default();
+        for i in 0..n {
+            p.times_ms.push(i as u64 * 5);
+            p.energies_kev.push(10.0);
+            p.detectors.push(0);
+        }
+        Arc::new(p)
+    }
+
+    #[test]
+    fn runs_jobs_synchronously() {
+        let s = AnalysisServer::start(1);
+        let out = s
+            .run_sync(
+                AnalysisKind::Histogram,
+                photons(100),
+                AnalysisParams::window(0, 1000),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert!(matches!(out, AnalysisProduct::Histogram { .. }));
+        assert_eq!(s.jobs_completed(), 1);
+        assert_eq!(s.state(), ServerState::Idle);
+    }
+
+    #[test]
+    fn busy_server_rejects_second_job() {
+        let s = AnalysisServer::start(1);
+        s.faults.hang_next_ms.store(300, Ordering::SeqCst);
+        let _rx = s
+            .try_submit(
+                AnalysisKind::Histogram,
+                photons(10),
+                AnalysisParams::window(0, 1000),
+            )
+            .unwrap();
+        // Give the worker a moment to pick the job up.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(s.state(), ServerState::Busy);
+        let err = s.try_submit(
+            AnalysisKind::Histogram,
+            photons(10),
+            AnalysisParams::window(0, 1000),
+        );
+        assert!(err.is_err(), "single-job interpreter must reject");
+    }
+
+    #[test]
+    fn crash_fault_kills_server() {
+        let s = AnalysisServer::start(1);
+        s.faults.crash_next.store(true, Ordering::SeqCst);
+        let err = s
+            .run_sync(
+                AnalysisKind::Histogram,
+                photons(10),
+                AnalysisParams::window(0, 1000),
+                Duration::from_secs(5),
+            )
+            .unwrap_err();
+        assert_eq!(err, AnalysisError::ServerDied);
+        // Wait for the worker to finish dying.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(s.state(), ServerState::Dead);
+        // Restart brings it back.
+        s.restart();
+        assert_eq!(s.state(), ServerState::Idle);
+        let out = s.run_sync(
+            AnalysisKind::Histogram,
+            photons(10),
+            AnalysisParams::window(0, 1000),
+            Duration::from_secs(5),
+        );
+        assert!(out.is_ok());
+        assert_eq!(s.generation(), 2);
+    }
+
+    #[test]
+    fn timeout_on_hung_server() {
+        let s = AnalysisServer::start(1);
+        s.faults.hang_next_ms.store(2_000, Ordering::SeqCst);
+        let err = s
+            .run_sync(
+                AnalysisKind::Histogram,
+                photons(10),
+                AnalysisParams::window(0, 1000),
+                Duration::from_millis(100),
+            )
+            .unwrap_err();
+        assert_eq!(err, AnalysisError::TimedOut);
+        // The caller's recovery: kill + restart.
+        s.kill();
+        assert_eq!(s.state(), ServerState::Dead);
+        s.restart();
+        let out = s.run_sync(
+            AnalysisKind::Histogram,
+            photons(10),
+            AnalysisParams::window(0, 1000),
+            Duration::from_secs(5),
+        );
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn dead_server_rejects_jobs() {
+        let s = AnalysisServer::start(1);
+        s.kill();
+        let err = s.try_submit(
+            AnalysisKind::Spectrum,
+            photons(10),
+            AnalysisParams::window(0, 1000),
+        );
+        assert!(matches!(err, Err(AnalysisError::ServerDied)));
+    }
+
+    #[test]
+    fn algorithm_errors_propagate() {
+        let s = AnalysisServer::start(1);
+        let err = s
+            .run_sync(
+                AnalysisKind::Imaging,
+                photons(10),
+                AnalysisParams::window(100, 100), // empty window
+                Duration::from_secs(5),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::BadParams(_)));
+        // Server survives bad requests.
+        assert_eq!(s.state(), ServerState::Idle);
+    }
+}

@@ -1,0 +1,306 @@
+//! Shared types for analysis algorithms.
+//!
+//! "The analysis algorithms most frequently used in HEDC are imaging,
+//! lightcurves and spectroscopy, all of which generate pictoral content"
+//! (§2.2). Every algorithm consumes a photon window plus parameters and
+//! produces a typed product; the PL treats both sides as opaque data
+//! structures (§5.1: information "is exchanged in dynamic structures").
+
+use hedc_filestore::{ImageData, PhotonList};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The analysis kinds HEDC ships with. User-registered algorithms extend
+/// this via [`crate::Algorithm`] trait objects; the enum covers the standard
+/// catalog set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AnalysisKind {
+    /// Back-projection image over a sky grid.
+    Imaging,
+    /// Counts versus time, per energy band.
+    Lightcurve,
+    /// Counts versus energy (log-binned spectrum).
+    Spectrum,
+    /// Time × energy count grid.
+    Spectrogram,
+    /// Generic distribution histogram (the I/O-bound §8.3 workload).
+    Histogram,
+}
+
+impl AnalysisKind {
+    /// Catalog name, as stored in ANA tuples.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisKind::Imaging => "imaging",
+            AnalysisKind::Lightcurve => "lightcurve",
+            AnalysisKind::Spectrum => "spectrum",
+            AnalysisKind::Spectrogram => "spectrogram",
+            AnalysisKind::Histogram => "histogram",
+        }
+    }
+
+    /// Parse a catalog name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "imaging" => Some(AnalysisKind::Imaging),
+            "lightcurve" => Some(AnalysisKind::Lightcurve),
+            "spectrum" => Some(AnalysisKind::Spectrum),
+            "spectrogram" => Some(AnalysisKind::Spectrogram),
+            "histogram" => Some(AnalysisKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AnalysisKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of one analysis invocation. The key/value map carries
+/// algorithm-specific knobs (the "dynamic structures" of §5.1) without the
+/// framework knowing their meaning; well-known keys have typed accessors.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnalysisParams {
+    /// Window start, mission-epoch ms.
+    pub t_start_ms: u64,
+    /// Window end (exclusive), mission-epoch ms.
+    pub t_end_ms: u64,
+    /// Lower energy cut, keV.
+    pub energy_lo_kev: f64,
+    /// Upper energy cut, keV.
+    pub energy_hi_kev: f64,
+    /// Algorithm-specific knobs.
+    pub extra: BTreeMap<String, f64>,
+}
+
+impl AnalysisParams {
+    /// A window over `[t_start, t_end)` with the full energy range.
+    pub fn window(t_start_ms: u64, t_end_ms: u64) -> Self {
+        AnalysisParams {
+            t_start_ms,
+            t_end_ms,
+            energy_lo_kev: 3.0,
+            energy_hi_kev: 20_000.0,
+            extra: BTreeMap::new(),
+        }
+    }
+
+    /// Restrict the energy band.
+    pub fn energy(mut self, lo: f64, hi: f64) -> Self {
+        self.energy_lo_kev = lo;
+        self.energy_hi_kev = hi;
+        self
+    }
+
+    /// Set an algorithm-specific knob.
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.extra.insert(key.to_string(), value);
+        self
+    }
+
+    /// Read a knob with a default.
+    pub fn get_or(&self, key: &str, default: f64) -> f64 {
+        self.extra.get(key).copied().unwrap_or(default)
+    }
+
+    /// Window duration in ms.
+    pub fn duration_ms(&self) -> u64 {
+        self.t_end_ms.saturating_sub(self.t_start_ms)
+    }
+
+    /// Does a photon pass the time/energy cuts?
+    pub fn selects(&self, t_ms: u64, energy_kev: f32) -> bool {
+        t_ms >= self.t_start_ms
+            && t_ms < self.t_end_ms
+            && f64::from(energy_kev) >= self.energy_lo_kev
+            && f64::from(energy_kev) < self.energy_hi_kev
+    }
+
+    /// A canonical string form of all parameters, used as the redundancy-
+    /// detection key (§3.5: "HEDC can check whether this has already been
+    /// done"). Two requests with equal fingerprints are the same analysis.
+    pub fn fingerprint(&self, kind: AnalysisKind) -> String {
+        self.fingerprint_with(kind.name())
+    }
+
+    /// [`AnalysisParams::fingerprint`] for user-registered algorithm names.
+    pub fn fingerprint_with(&self, kind_name: &str) -> String {
+        let mut s = format!(
+            "{}|t{}..{}|e{:.3}..{:.3}",
+            kind_name,
+            self.t_start_ms,
+            self.t_end_ms,
+            self.energy_lo_kev,
+            self.energy_hi_kev
+        );
+        for (k, v) in &self.extra {
+            s.push_str(&format!("|{k}={v:.6}"));
+        }
+        s
+    }
+}
+
+/// A typed analysis result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisProduct {
+    /// A reconstructed image.
+    Image(ImageData),
+    /// A per-band time series: (band label, counts per bin).
+    Series {
+        /// Bin width in ms.
+        bin_ms: u64,
+        /// One (label, counts) pair per energy band.
+        bands: Vec<(String, Vec<u64>)>,
+    },
+    /// A 1-D histogram: (bin edges, counts). `edges.len() == counts.len()+1`.
+    Histogram {
+        /// Bin edges (monotone).
+        edges: Vec<f64>,
+        /// Counts per bin.
+        counts: Vec<u64>,
+    },
+    /// A 2-D grid (time × energy for spectrograms).
+    Grid(ImageData),
+}
+
+impl AnalysisProduct {
+    /// Approximate product size in bytes (for transfer accounting; the
+    /// paper's Tables 2–3 report output volumes).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            AnalysisProduct::Image(img) | AnalysisProduct::Grid(img) => img.pixels.len() * 4,
+            AnalysisProduct::Series { bands, .. } => {
+                bands.iter().map(|(l, c)| l.len() + c.len() * 8).sum()
+            }
+            AnalysisProduct::Histogram { edges, counts } => edges.len() * 8 + counts.len() * 8,
+        }
+    }
+
+    /// Short type label for catalogs.
+    pub fn type_label(&self) -> &'static str {
+        match self {
+            AnalysisProduct::Image(_) => "image",
+            AnalysisProduct::Series { .. } => "series",
+            AnalysisProduct::Histogram { .. } => "histogram",
+            AnalysisProduct::Grid(_) => "grid",
+        }
+    }
+}
+
+/// Errors from running an analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// Parameters fail validation (empty window, inverted ranges...).
+    BadParams(String),
+    /// The analysis server was killed or crashed mid-run.
+    ServerDied,
+    /// The run exceeded its deadline and was aborted.
+    TimedOut,
+    /// Unknown analysis kind requested.
+    UnknownKind(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::BadParams(m) => write!(f, "bad analysis parameters: {m}"),
+            AnalysisError::ServerDied => write!(f, "analysis server died"),
+            AnalysisError::TimedOut => write!(f, "analysis timed out"),
+            AnalysisError::UnknownKind(k) => write!(f, "unknown analysis kind `{k}`"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Select the photons passing a parameter window. Binary-searches the
+/// time-sorted list, then filters by energy.
+pub fn select_photons(photons: &PhotonList, params: &AnalysisParams) -> PhotonList {
+    let lo = photons.times_ms.partition_point(|&t| t < params.t_start_ms);
+    let hi = photons.times_ms.partition_point(|&t| t < params.t_end_ms);
+    let mut out = PhotonList::default();
+    for i in lo..hi {
+        let e = photons.energies_kev[i];
+        if f64::from(e) >= params.energy_lo_kev && f64::from(e) < params.energy_hi_kev {
+            out.times_ms.push(photons.times_ms[i]);
+            out.energies_kev.push(e);
+            out.detectors.push(photons.detectors[i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_name_roundtrip() {
+        for k in [
+            AnalysisKind::Imaging,
+            AnalysisKind::Lightcurve,
+            AnalysisKind::Spectrum,
+            AnalysisKind::Spectrogram,
+            AnalysisKind::Histogram,
+        ] {
+            assert_eq!(AnalysisKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(AnalysisKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn params_builder_and_selection() {
+        let p = AnalysisParams::window(1000, 2000).energy(10.0, 100.0);
+        assert!(p.selects(1500, 50.0));
+        assert!(!p.selects(999, 50.0));
+        assert!(!p.selects(2000, 50.0));
+        assert!(!p.selects(1500, 5.0));
+        assert!(!p.selects(1500, 100.0));
+        assert_eq!(p.duration_ms(), 1000);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_params() {
+        let a = AnalysisParams::window(0, 100).fingerprint(AnalysisKind::Imaging);
+        let b = AnalysisParams::window(0, 101).fingerprint(AnalysisKind::Imaging);
+        let c = AnalysisParams::window(0, 100).fingerprint(AnalysisKind::Spectrum);
+        let d = AnalysisParams::window(0, 100)
+            .with("grid", 64.0)
+            .fingerprint(AnalysisKind::Imaging);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // Deterministic: extra keys are sorted by the BTreeMap.
+        let e = AnalysisParams::window(0, 100)
+            .with("grid", 64.0)
+            .fingerprint(AnalysisKind::Imaging);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn photon_selection_uses_sorted_times() {
+        let photons = PhotonList {
+            times_ms: vec![10, 20, 30, 40, 50],
+            energies_kev: vec![5.0, 50.0, 500.0, 50.0, 5.0],
+            detectors: vec![0, 1, 2, 3, 4],
+        };
+        let p = AnalysisParams::window(20, 50).energy(10.0, 100.0);
+        let sel = select_photons(&photons, &p);
+        assert_eq!(sel.times_ms, vec![20, 40]);
+        assert_eq!(sel.detectors, vec![1, 3]);
+    }
+
+    #[test]
+    fn product_sizes() {
+        let img = AnalysisProduct::Image(ImageData::zeroed(10, 10));
+        assert_eq!(img.size_bytes(), 400);
+        assert_eq!(img.type_label(), "image");
+        let h = AnalysisProduct::Histogram {
+            edges: vec![0.0, 1.0, 2.0],
+            counts: vec![5, 7],
+        };
+        assert_eq!(h.size_bytes(), 40);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the analysis algorithms: count-conservation
+//! and selection invariants that must hold for any photon stream.
+
+use hedc_analysis::{
+    builtin, select_photons, AnalysisKind, AnalysisParams, AnalysisProduct,
+};
+use hedc_filestore::PhotonList;
+use proptest::prelude::*;
+
+fn arb_photons() -> impl Strategy<Value = PhotonList> {
+    (0usize..400, any::<u64>()).prop_map(|(n, seed)| {
+        let mut p = PhotonList::default();
+        let mut x = seed | 1;
+        let mut t = 0u64;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t += x % 100;
+            p.times_ms.push(t);
+            p.energies_kev.push(3.0 + (x % 20_000) as f32 / 10.0);
+            p.detectors.push((x % 9) as u8);
+        }
+        p
+    })
+}
+
+proptest! {
+    /// select_photons returns exactly the photons the params admit,
+    /// in order.
+    #[test]
+    fn selection_is_exact(p in arb_photons(), a in 0u64..20_000, b in 0u64..20_000,
+                          elo in 0f64..100.0, ehi in 0f64..2000.0) {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let (elo, ehi) = if elo <= ehi { (elo, ehi) } else { (ehi, elo) };
+        let params = AnalysisParams::window(a, b).energy(elo, ehi);
+        let sel = select_photons(&p, &params);
+        // Contains exactly the admissible photons.
+        let expected: Vec<usize> = (0..p.len())
+            .filter(|&i| params.selects(p.times_ms[i], p.energies_kev[i]))
+            .collect();
+        prop_assert_eq!(sel.len(), expected.len());
+        for (k, &i) in expected.iter().enumerate() {
+            prop_assert_eq!(sel.times_ms[k], p.times_ms[i]);
+            prop_assert_eq!(sel.detectors[k], p.detectors[i]);
+        }
+    }
+
+    /// Lightcurves conserve photons: the sum over bands and bins equals the
+    /// selected photon count (every photon lands in exactly one band/bin).
+    #[test]
+    fn lightcurve_conserves_counts(p in arb_photons()) {
+        let params = AnalysisParams::window(0, 50_000).with("bin_ms", 1000.0);
+        let sel = select_photons(&p, &params);
+        let out = builtin(AnalysisKind::Lightcurve).run(&p, &params).unwrap();
+        let AnalysisProduct::Series { bands, .. } = out else { panic!() };
+        let total: u64 = bands.iter().flat_map(|(_, c)| c.iter()).sum();
+        prop_assert_eq!(total, sel.len() as u64);
+    }
+
+    /// Spectra conserve photons within the energy cut.
+    #[test]
+    fn spectrum_conserves_counts(p in arb_photons()) {
+        let params = AnalysisParams::window(0, 50_000).energy(3.0, 2003.0);
+        let sel = select_photons(&p, &params);
+        let out = builtin(AnalysisKind::Spectrum).run(&p, &params).unwrap();
+        let AnalysisProduct::Histogram { counts, .. } = out else { panic!() };
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(total, sel.len() as u64);
+    }
+
+    /// Spectrogram grid total equals the selected count.
+    #[test]
+    fn spectrogram_conserves_counts(p in arb_photons()) {
+        let params = AnalysisParams::window(0, 50_000)
+            .with("time_bins", 16.0)
+            .with("energy_bins", 8.0);
+        let sel = select_photons(&p, &params);
+        let out = builtin(AnalysisKind::Spectrogram).run(&p, &params).unwrap();
+        let AnalysisProduct::Grid(g) = out else { panic!() };
+        prop_assert_eq!(g.total().round() as u64, sel.len() as u64);
+    }
+
+    /// Imaging output is finite and deterministic for any input.
+    #[test]
+    fn imaging_total_is_finite(p in arb_photons()) {
+        let params = AnalysisParams::window(0, 50_000).with("grid", 8.0);
+        let out = builtin(AnalysisKind::Imaging).run(&p, &params).unwrap();
+        let AnalysisProduct::Image(img) = out else { panic!() };
+        prop_assert!(img.pixels.iter().all(|v| v.is_finite()));
+        // Back projection deposits ~1 unit/pixel/photon on average
+        // (1 + cos ≈ mean 1): total ≈ photons × pixels.
+        let sel = select_photons(&p, &params);
+        if sel.len() > 20 {
+            let per_photon = img.total() / sel.len() as f64 / 64.0;
+            prop_assert!((0.5..1.5).contains(&per_photon), "{per_photon}");
+        }
+    }
+
+    /// Fingerprints are injective over the sampled parameter space.
+    #[test]
+    fn fingerprints_unique(a0 in 0u64..1000, a1 in 1001u64..2000,
+                           b0 in 0u64..1000, b1 in 1001u64..2000) {
+        let fa = AnalysisParams::window(a0, a1).fingerprint(AnalysisKind::Imaging);
+        let fb = AnalysisParams::window(b0, b1).fingerprint(AnalysisKind::Imaging);
+        prop_assert_eq!(fa == fb, a0 == b0 && a1 == b1);
+    }
+}

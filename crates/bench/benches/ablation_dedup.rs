@@ -1,0 +1,94 @@
+//! Ablation A5 (§3.5): redundant-work detection. When an identical
+//! analysis already exists, HEDC answers from the catalog — "users do not
+//! need to repeat the analyses themselves, thereby reducing the system load".
+//! This bench runs the same request through the full PL with the check on
+//! (reuse) and off (forced recomputation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hedc_analysis::{AlgorithmRegistry, AnalysisParams};
+use hedc_core::{Hedc, HedcConfig};
+use hedc_events::GenConfig;
+use hedc_pl::RequestSpec;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_dedup(c: &mut Criterion) {
+    let _ = AlgorithmRegistry::with_builtins(); // keep registry types linked
+    let hedc = Hedc::start(HedcConfig::default()).expect("boot");
+    hedc.load_telemetry(
+        &GenConfig {
+            duration_ms: 20 * 60 * 1000,
+            background_rate: 12.0,
+            flares_per_hour: 4.0,
+            seed: 5150,
+            ..GenConfig::default()
+        },
+        usize::MAX,
+    )
+    .expect("ingest");
+    let session = hedc.dm().import_session();
+    // Detection may find nothing in a quiet realization; any event works.
+    let hle = {
+        let r = hedc
+            .dm()
+            .services()
+            .query(&session, hedc_metadb::Query::table("hle").limit(1))
+            .unwrap();
+        match r.rows.first() {
+            Some(row) => row[0].as_int().unwrap(),
+            None => hedc
+                .dm()
+                .services()
+                .create_hle(
+                    &session,
+                    &hedc_dm::HleSpec::window(0, 10 * 60 * 1000, "flare"),
+                )
+                .unwrap(),
+        }
+    };
+    let params = AnalysisParams::window(0, 10 * 60 * 1000).with("bins", 64.0);
+
+    // Seed the catalog with the result once.
+    hedc.pl()
+        .submit_sync(
+            Arc::clone(&session),
+            RequestSpec::new("spectrum", params.clone(), hle),
+        )
+        .expect("seed analysis");
+
+    let mut group = c.benchmark_group("A5_redundancy_detection");
+    group.sample_size(20);
+
+    group.bench_function("reused_from_catalog", |b| {
+        b.iter(|| {
+            let outcome = hedc
+                .pl()
+                .submit_sync(
+                    Arc::clone(&session),
+                    RequestSpec::new("spectrum", params.clone(), hle),
+                )
+                .unwrap();
+            assert!(outcome.was_reused());
+            black_box(outcome.ana_id())
+        })
+    });
+
+    group.bench_function("forced_recomputation", |b| {
+        b.iter(|| {
+            let outcome = hedc
+                .pl()
+                .submit_sync(
+                    Arc::clone(&session),
+                    RequestSpec::new("spectrum", params.clone(), hle).force(),
+                )
+                .unwrap();
+            assert!(!outcome.was_reused());
+            black_box(outcome.ana_id())
+        })
+    });
+    group.finish();
+    hedc.shutdown();
+}
+
+criterion_group!(benches, bench_dedup);
+criterion_main!(benches);

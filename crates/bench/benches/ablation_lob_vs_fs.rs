@@ -1,0 +1,47 @@
+//! Ablation A1 (§4.2): store science products as in-database LOBs versus
+//! files in the archive layer. The paper rejected LOBs because "accessing a
+//! LOB is significantly slower than accessing a file" once chunking and the
+//! engine's locking are paid; this bench makes that decision measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hedc_filestore::{Archive, ArchiveTier, FileStore};
+use hedc_metadb::Database;
+use std::hint::black_box;
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn bench_lob_vs_fs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("A1_lob_vs_fs");
+    for &size in &[64 * 1024usize, 1024 * 1024, 8 * 1024 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        let data = payload(size);
+
+        // LOB path: chunked blob inside the engine, read via connection.
+        let db = Database::in_memory("lob-bench");
+        let mut conn = db.connect();
+        let lob_id = conn.lob_put(&data);
+        group.bench_with_input(BenchmarkId::new("lob_read", size), &size, |b, _| {
+            b.iter(|| black_box(conn.lob_get(lob_id).unwrap()))
+        });
+
+        // File path: same payload through the archive layer.
+        let fs = FileStore::new();
+        fs.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 30));
+        fs.store(1, "product.fits", &data).unwrap();
+        group.bench_with_input(BenchmarkId::new("file_read", size), &size, |b, _| {
+            b.iter(|| black_box(fs.fetch(1, "product.fits").unwrap()))
+        });
+
+        // Partial read (the long-range-spectrogram case the paper cites):
+        // LOBs must walk chunks; files would be a single seek+read.
+        group.bench_with_input(BenchmarkId::new("lob_range_read", size), &size, |b, _| {
+            b.iter(|| black_box(conn.lob_get_range(lob_id, size / 2, 64 * 1024).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lob_vs_fs);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation A4 (§5.3): connection pooling on versus off. "Creating
+//! database connections and user sessions are the two most expensive parts
+//! of request processing" — here connection setup is modeled at 200 µs
+//! (network round trip + authentication on 2002 hardware it was
+//! milliseconds) and the browse query mix runs both ways.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hedc_metadb::{ColumnDef, ConnectionPool, Database, DataType, Expr, Query, Schema, Value};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn seeded_db() -> Arc<Database> {
+    let db = Database::in_memory("pool-bench");
+    let mut conn = db.connect();
+    conn.create_table(
+        Schema::new(
+            "hle",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("t0", DataType::Timestamp).not_null(),
+                ColumnDef::new("label", DataType::Text),
+            ],
+        )
+        .primary_key(&["id"]),
+    )
+    .unwrap();
+    conn.create_index("hle", "hle_t0", &["t0"], false).unwrap();
+    for i in 0..20_000i64 {
+        conn.insert(
+            "hle",
+            vec![Value::Int(i), Value::Int(i * 40), Value::Text(format!("e{i}"))],
+        )
+        .unwrap();
+    }
+    db
+}
+
+const CREATION_COST: Duration = Duration::from_micros(200);
+
+fn browse_query(conn: &hedc_metadb::Connection, i: i64) {
+    let q = Query::table("hle")
+        .filter(Expr::between("t0", i * 40, i * 40 + 4000))
+        .limit(50);
+    black_box(conn.query(&q).unwrap());
+}
+
+fn bench_pooling(c: &mut Criterion) {
+    let db = seeded_db();
+    let mut group = c.benchmark_group("A4_connection_pooling");
+
+    // Pooled: connections reused, creation cost amortized away.
+    let pool = ConnectionPool::new(Arc::clone(&db), 8, CREATION_COST);
+    let mut i = 0i64;
+    group.bench_function("pooled", |b| {
+        b.iter(|| {
+            let conn = pool.acquire();
+            i = (i + 1) % 19_000;
+            browse_query(&conn, i);
+        })
+    });
+
+    // Unpooled: every request pays the creation cost (the pre-§5.3 world).
+    let mut j = 0i64;
+    group.bench_function("fresh_connection", |b| {
+        b.iter(|| {
+            std::thread::sleep(CREATION_COST); // the setup cost a pool avoids
+            let conn = db.connect();
+            j = (j + 1) % 19_000;
+            browse_query(&conn, j);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pooling);
+criterion_main!(benches);

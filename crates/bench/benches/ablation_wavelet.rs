@@ -1,0 +1,71 @@
+//! Ablation A3 (§3.4/§6.3): approximated analysis on wavelet-view prefixes
+//! versus full-resolution processing. The paper claims the approach
+//! "shortens this holistic response time by at least an order of
+//! magnitude"; here the same lightcurve-style reduction runs over (a) the
+//! raw photon stream, (b) the full-precision view, (c) coarse view
+//! prefixes, with the transferred-byte ratio reported alongside.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hedc_events::{bin_counts, generate, GenConfig};
+use hedc_wavelet::PartitionedView;
+use std::hint::black_box;
+
+fn bench_wavelet_ablation(c: &mut Criterion) {
+    // Two hours of telemetry; the view is 1-second count bins.
+    let telemetry = generate(&GenConfig {
+        duration_ms: 2 * 3600 * 1000,
+        background_rate: 25.0,
+        flares_per_hour: 3.0,
+        seed: 424_242,
+        ..GenConfig::default()
+    });
+    let span = telemetry.config.duration_ms;
+    let counts = bin_counts(&telemetry.photons, 0, span, 1000);
+    let signal: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    let view = PartitionedView::build(&signal, 1024, 0.5);
+
+    let full_bytes = view
+        .bytes_for_range(0, signal.len(), usize::MAX)
+        .unwrap();
+    let coarse_bytes = view.bytes_for_range(0, signal.len(), 5).unwrap();
+    println!(
+        "A3 transfer: full view {} B, 5-level prefix {} B ({}x saving); raw photons {} B",
+        full_bytes,
+        coarse_bytes,
+        full_bytes / coarse_bytes.max(1),
+        telemetry.photons.len() * 13,
+    );
+
+    let mut group = c.benchmark_group("A3_wavelet_approximation");
+    group.throughput(Throughput::Elements(signal.len() as u64));
+
+    // (a) Full resolution from raw photons: bin + reduce.
+    group.bench_function("raw_photons_full", |b| {
+        b.iter(|| {
+            let counts = bin_counts(&telemetry.photons, 0, span, 1000);
+            black_box(counts.iter().map(|&c| c as f64).sum::<f64>())
+        })
+    });
+
+    // (b) Full-precision view decode + reduce.
+    group.bench_function("view_full_decode", |b| {
+        b.iter(|| {
+            let s = view.reconstruct_range(0, signal.len(), usize::MAX).unwrap();
+            black_box(s.iter().sum::<f64>())
+        })
+    });
+
+    // (c) Coarse prefixes: the interactive path.
+    for levels in [3usize, 5, 7] {
+        group.bench_function(format!("view_prefix_{levels}_levels"), |b| {
+            b.iter(|| {
+                let s = view.reconstruct_range(0, signal.len(), levels).unwrap();
+                black_box(s.iter().sum::<f64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wavelet_ablation);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Ablation A8: the §7 browse workload on the *real* stack (not the
+//! simulator) — per-page cost of catalog, HLE, and materialized-view
+//! summary pages, single-threaded and under concurrency. This grounds the
+//! simulator's middle-tier service-demand constant in measured reality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hedc_core::{Hedc, HedcConfig};
+use hedc_events::GenConfig;
+use hedc_web::HttpRequest;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn booted() -> Arc<Hedc> {
+    let hedc = Hedc::start(HedcConfig::default()).expect("boot");
+    hedc.load_telemetry(
+        &GenConfig {
+            duration_ms: 30 * 60 * 1000,
+            flares_per_hour: 8.0,
+            background_rate: 15.0,
+            seed: 7777,
+            ..GenConfig::default()
+        },
+        usize::MAX,
+    )
+    .expect("ingest");
+    hedc
+}
+
+fn bench_browse_real(c: &mut Criterion) {
+    let hedc = booted();
+    let hle_id = hedc
+        .dm()
+        .services()
+        .query(
+            &hedc.dm().import_session(),
+            hedc_metadb::Query::table("hle").limit(1),
+        )
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap();
+
+    let mut group = c.benchmark_group("A8_browse_real_stack");
+
+    group.bench_function("catalog_page", |b| {
+        let req = HttpRequest::get(&format!("/hedc/catalog/{}", hedc.dm().extended_catalog), "b");
+        b.iter(|| {
+            let resp = hedc.web().handle(&req);
+            assert_eq!(resp.status, 200);
+            black_box(resp.body.len())
+        })
+    });
+
+    group.bench_function("hle_page", |b| {
+        let req = HttpRequest::get(&format!("/hedc/hle/{hle_id}"), "b");
+        b.iter(|| {
+            let resp = hedc.web().handle(&req);
+            assert_eq!(resp.status, 200);
+            black_box(resp.body.len())
+        })
+    });
+
+    group.bench_function("summary_from_matviews", |b| {
+        let req = HttpRequest::get("/hedc/summary", "b");
+        b.iter(|| {
+            let resp = hedc.web().handle(&req);
+            assert_eq!(resp.status, 200);
+            black_box(resp.body.len())
+        })
+    });
+
+    // Concurrency: 8 browser threads hammering HLE pages; reported as
+    // time per 400-request batch (throughput = 400 / time).
+    group.sample_size(10);
+    group.bench_function("hle_page_8_threads_x50", |b| {
+        b.iter(|| {
+            let mut handles = Vec::new();
+            for t in 0..8 {
+                let hedc = Arc::clone(&hedc);
+                handles.push(std::thread::spawn(move || {
+                    let req =
+                        HttpRequest::get(&format!("/hedc/hle/{hle_id}"), &format!("c{t}"));
+                    for _ in 0..50 {
+                        let resp = hedc.web().handle(&req);
+                        assert_eq!(resp.status, 200);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    });
+    group.finish();
+    hedc.shutdown();
+}
+
+criterion_group!(benches, bench_browse_real);
+criterion_main!(benches);

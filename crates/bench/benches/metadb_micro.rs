@@ -1,0 +1,125 @@
+//! Ablation A6: metadata-engine microbenchmarks. The §7 evaluation leans
+//! on "all database queries are performed on indexed fields" and a known
+//! DB ceiling; these micros characterize the engine the DM runs on:
+//! inserts, indexed point and range queries, count aggregates, and the
+//! full-scan penalty indexed access avoids.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hedc_metadb::{
+    AggFunc, ColumnDef, Database, DataType, Expr, Query, Schema, Value,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ROWS: i64 = 100_000; // §7.1: "more than 100,000 tuples for each queried table"
+
+fn seeded() -> Arc<Database> {
+    let db = Database::in_memory("micro");
+    let mut conn = db.connect();
+    conn.create_table(
+        Schema::new(
+            "hle",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("t0", DataType::Timestamp).not_null(),
+                ColumnDef::new("etype", DataType::Text).not_null(),
+                ColumnDef::new("rate", DataType::Float),
+            ],
+        )
+        .primary_key(&["id"]),
+    )
+    .unwrap();
+    conn.create_index("hle", "hle_t0", &["t0"], false).unwrap();
+    for i in 0..ROWS {
+        conn.insert(
+            "hle",
+            vec![
+                Value::Int(i),
+                Value::Int(i * 37),
+                Value::Text(if i % 7 == 0 { "grb" } else { "flare" }.to_string()),
+                Value::Float((i % 997) as f64),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_metadb(c: &mut Criterion) {
+    let db = seeded();
+    let conn = db.connect();
+    let mut group = c.benchmark_group("A6_metadb_micro");
+
+    let mut i = ROWS;
+    group.bench_function("insert", |b| {
+        let db2 = Database::in_memory("insert-bench");
+        let mut c2 = db2.connect();
+        c2.create_table(
+            Schema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", DataType::Int).not_null(),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+            )
+            .primary_key(&["id"]),
+        )
+        .unwrap();
+        b.iter(|| {
+            i += 1;
+            black_box(c2.insert("t", vec![Value::Int(i), Value::Int(i * 3)]).unwrap())
+        })
+    });
+
+    let mut k = 0i64;
+    group.bench_function("point_query_pk", |b| {
+        b.iter(|| {
+            k = (k + 7919) % ROWS;
+            black_box(
+                conn.query(&Query::table("hle").filter(Expr::eq("id", k)))
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.throughput(Throughput::Elements(100));
+    let mut t = 0i64;
+    group.bench_function("range_query_indexed_100_rows", |b| {
+        b.iter(|| {
+            t = (t + 104_729) % (ROWS * 37 - 3700);
+            black_box(
+                conn.query(&Query::table("hle").filter(Expr::between("t0", t, t + 3699)))
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("count_full_scan", |b| {
+        b.iter(|| {
+            black_box(
+                conn.query(
+                    &Query::table("hle")
+                        .filter(Expr::eq("etype", "grb"))
+                        .aggregate(AggFunc::CountStar),
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("sql_parse_and_execute", |b| {
+        let mut conn2 = db.connect();
+        let mut x = 0i64;
+        b.iter(|| {
+            x = (x + 6151) % (ROWS * 37 - 3700);
+            let sql =
+                format!("SELECT id, etype FROM hle WHERE t0 BETWEEN {x} AND {} LIMIT 20", x + 3699);
+            black_box(conn2.execute_sql(&sql).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metadb);
+criterion_main!(benches);

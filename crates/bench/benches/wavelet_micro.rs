@@ -1,0 +1,54 @@
+//! Ablation A7: wavelet codec throughput — the load-time preprocessing
+//! cost (§3.4 says views are built "when the data is loaded", so encode
+//! speed bounds ingest) and the client-side decode speed that makes the
+//! StreamCorder interactive (§6.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hedc_wavelet::{analyze, decode_prefix, encode_signal, synthesize, PartitionedView};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            (t / 300.0).sin() * 50.0 + (t / 17.0).cos() * 4.0 + if i % 1009 == 0 { 800.0 } else { 0.0 }
+        })
+        .collect()
+}
+
+fn bench_wavelet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("A7_wavelet_micro");
+    for &n in &[4096usize, 65_536, 524_288] {
+        let s = signal(n);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("transform", n), &n, |b, _| {
+            b.iter(|| black_box(analyze(&s)))
+        });
+
+        let dec = analyze(&s);
+        group.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter(|| black_box(synthesize(&dec, usize::MAX)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("encode_q0.5", n), &n, |b, _| {
+            b.iter(|| black_box(encode_signal(&s, 0.5)))
+        });
+
+        let stream = encode_signal(&s, 0.5);
+        group.bench_with_input(BenchmarkId::new("decode_full", n), &n, |b, _| {
+            b.iter(|| black_box(decode_prefix(&stream, usize::MAX).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_5_levels", n), &n, |b, _| {
+            b.iter(|| black_box(decode_prefix(&stream, 5).unwrap()))
+        });
+
+        group.bench_with_input(BenchmarkId::new("view_build_p1024", n), &n, |b, _| {
+            b.iter(|| black_box(PartitionedView::build(&s, 1024, 0.5)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wavelet);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Tables 2 and 3: workload characteristics of the imaging and histogram
+//! test series — measured on the *real* stack (DM + PL + analysis servers),
+//! not the simulator. The paper's tables:
+//!
+//! | | imaging (Table 2) | histogram (Table 3) |
+//! |---|---|---|
+//! | requests | 100 | 150 |
+//! | input | 50 MB, 2–3 files/analysis | 50 MB, ⅓ file/analysis |
+//! | output | 5.5 MB (100 GIFs) | 1.2 MB (150 GIFs) |
+//! | queries | 300 | 450 |
+//! | edits | 200 | 300 |
+//!
+//! Our DM issues more metadata operations per analysis than the paper's 3
+//! queries + 2 edits — the §3.5 redundancy check, the estimation phase, and
+//! dynamic name construction each cost indexed queries — so the *measured*
+//! counts are reported beside the paper's, with the per-analysis breakdown.
+
+use hedc_core::{Hedc, HedcConfig};
+use hedc_events::GenConfig;
+use hedc_pl::{Outcome, RequestSpec};
+use hedc_analysis::AnalysisParams;
+
+struct SeriesResult {
+    requests: usize,
+    input_bytes: u64,
+    output_bytes: u64,
+    queries: u64,
+    edits: u64,
+}
+
+fn run_series(
+    hedc: &Hedc,
+    kind: &str,
+    n_requests: usize,
+    window_ms: u64,
+    span_ms: u64,
+    extra: &[(&str, f64)],
+) -> SeriesResult {
+    let session = hedc.dm().import_session();
+    let hle = {
+        let r = hedc
+            .dm()
+            .services()
+            .query(&session, hedc_metadb::Query::table("hle").limit(1))
+            .expect("an ingested event");
+        r.rows[0][0].as_int().unwrap()
+    };
+    let stats_before: Vec<_> = hedc.dm().io.databases().iter().map(|d| d.stats()).collect();
+    let mut input_bytes = 0u64;
+    let mut output_bytes = 0u64;
+    for i in 0..n_requests {
+        // Distinct windows stepped over the loaded span (each request is a
+        // distinct analysis; no §3.5 reuse inside the series).
+        let t0 = (i as u64 * 977) % (span_ms - window_ms);
+        let mut params = AnalysisParams::window(t0, t0 + window_ms);
+        for (k, v) in extra {
+            params = params.with(k, *v);
+        }
+        let outcome = hedc
+            .pl()
+            .submit_sync(session.clone(), RequestSpec::new(kind, params, hle))
+            .expect("analysis");
+        if let Outcome::Computed { plan, product, .. } = &outcome {
+            input_bytes += plan.input_bytes;
+            output_bytes += product.size_bytes() as u64;
+        }
+    }
+    let mut queries = 0u64;
+    let mut edits = 0u64;
+    for (db, before) in hedc.dm().io.databases().iter().zip(&stats_before) {
+        let d = db.stats().since(before);
+        queries += d.queries;
+        edits += d.edits;
+    }
+    SeriesResult {
+        requests: n_requests,
+        input_bytes,
+        output_bytes,
+        queries,
+        edits,
+    }
+}
+
+fn print_series(name: &str, r: &SeriesResult, paper: &(u64, f64, f64, u64, u64)) -> serde_json::Value {
+    let (p_req, p_in_mb, p_out_mb, p_q, p_e) = *paper;
+    println!("\nTable {} — {name} test characteristics", if name == "imaging" { "2" } else { "3" });
+    println!("{:-<66}", "");
+    println!("{:<22} {:>14} {:>14}", "", "measured", "paper");
+    println!("{:<22} {:>14} {:>14}", "requests", r.requests, p_req);
+    println!(
+        "{:<22} {:>11.1} MB {:>11.1} MB",
+        "input staged",
+        r.input_bytes as f64 / 1048576.0,
+        p_in_mb
+    );
+    println!(
+        "{:<22} {:>11.2} MB {:>11.2} MB",
+        "output products",
+        r.output_bytes as f64 / 1048576.0,
+        p_out_mb
+    );
+    println!(
+        "{:<22} {:>14} {:>14}   ({:.1}/analysis vs {}/analysis)",
+        "DM queries",
+        r.queries,
+        p_q,
+        r.queries as f64 / r.requests as f64,
+        p_q / p_req
+    );
+    println!(
+        "{:<22} {:>14} {:>14}   ({:.1}/analysis vs {}/analysis)",
+        "DM edits",
+        r.edits,
+        p_e,
+        r.edits as f64 / r.requests as f64,
+        p_e / p_req
+    );
+    serde_json::json!({
+        "series": name,
+        "requests": r.requests,
+        "input_mb": r.input_bytes as f64 / 1048576.0,
+        "output_mb": r.output_bytes as f64 / 1048576.0,
+        "queries": r.queries,
+        "edits": r.edits,
+        "paper": {
+            "requests": p_req, "input_mb": p_in_mb, "output_mb": p_out_mb,
+            "queries": p_q, "edits": p_e,
+        },
+    })
+}
+
+fn main() {
+    // 100 minutes of telemetry in 50 two-minute units: the analogue of the
+    // paper's "50 MB of raw data partitioned into 50 files". Generation is
+    // scaled (lower rate) so the series runs in seconds, not hours; the
+    // *characteristics* — operation counts and per-analysis ratios — are
+    // what the tables record.
+    let span_ms: u64 = 100 * 60 * 1000;
+    let hedc = Hedc::start(HedcConfig::default()).expect("boot");
+    // Rate tuned so the total staged volume lands near the paper's 50 MB
+    // scale: ~90 photons/s background, rare small flares.
+    let gen = GenConfig {
+        duration_ms: span_ms,
+        flares_per_hour: 0.5,
+        grbs_per_day: 0.0,
+        background_rate: 10.0,
+        seed: 50,
+        ..GenConfig::default()
+    };
+    let expected_photons = (gen.background_rate * 9.0 * span_ms as f64 / 1000.0) as usize;
+    let report = hedc
+        .load_telemetry(&gen, expected_photons / 50) // ≈50 units, as in §8.1
+        .expect("ingest");
+    println!(
+        "loaded {} units / {} photons ({} detected events)",
+        report.units, report.photons, report.events
+    );
+
+    // Imaging: 100 requests, each over a 4-minute window (2–3 units, as in
+    // Table 2's "2-3 per analysis"); small grid keeps wall time sane.
+    let imaging = run_series(
+        &hedc,
+        "imaging",
+        100,
+        4 * 60 * 1000,
+        span_ms,
+        &[("grid", 96.0)],
+    );
+    let t2 = print_series("imaging", &imaging, &(100, 50.0, 5.5, 300, 200));
+
+    // Histogram: 150 requests over 40-second windows (⅓ of a unit each).
+    let histogram = run_series(&hedc, "histogram", 150, 40_000, span_ms, &[]);
+    let t3 = print_series("histogram", &histogram, &(150, 50.0, 1.2, 450, 300));
+
+    println!("\nnote: our middleware spends extra indexed queries per analysis on the");
+    println!("§3.5 redundancy check, the estimation phase, and §4.3 name construction;");
+    println!("the paper's DM counted only the 3 queries + 2 edits of the commit path.");
+
+    hedc_bench::write_report(
+        "table23_characteristics",
+        &serde_json::json!({ "table2": t2, "table3": t3 }),
+    );
+    hedc.shutdown();
+}

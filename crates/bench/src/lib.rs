@@ -1,0 +1,45 @@
+//! # hedc-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (run with
+//! `cargo run --release -p hedc-bench --bin <name>`):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig4_browse_clients` | Figure 4: browse throughput vs clients, 1 node |
+//! | `fig5_browse_nodes` | Figure 5: browse throughput vs middle-tier nodes |
+//! | `table1_processing` | Table 1: imaging & histogram test series |
+//! | `table23_characteristics` | Tables 2–3: workload characteristics, measured on the real stack |
+//!
+//! Criterion benches (`cargo bench -p hedc-bench`) cover the ablations
+//! A1–A7 from DESIGN.md. Reports are also written as JSON under
+//! `results/` for EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Where harness binaries drop their JSON reports.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("HEDC_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a JSON report.
+pub fn write_report(name: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .expect("write report");
+    println!("\n[report written to {}]", path.display());
+}
+
+/// Format a ratio of measured vs paper as a signed percentage string.
+pub fn vs_paper(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return "-".to_string();
+    }
+    let pct = (measured - paper) / paper * 100.0;
+    format!("{pct:+.0}%")
+}

@@ -1,0 +1,185 @@
+//! Repository configuration.
+//!
+//! One JSON-serializable description of a HEDC deployment: which archives
+//! to mount, how to size the middle tier, how to detect events at ingest.
+//! §3.1 drives the design: everything that changed during HEDC's life —
+//! archives, detection thresholds, analysis servers, partitioning — is a
+//! config value here, not a code change.
+
+use hedc_events::DetectConfig;
+use std::time::Duration;
+
+/// Storage tier of a configured archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TierConfig {
+    /// Backed-up RAID (critical data).
+    OnlineRaid,
+    /// Bulk disk.
+    OnlineDisk,
+    /// NFS-linked remote archive.
+    RemoteNfs,
+    /// Tape vault.
+    TapeVault,
+}
+
+impl TierConfig {
+    /// Map to the file-store tier.
+    pub fn to_tier(self) -> hedc_filestore::ArchiveTier {
+        match self {
+            TierConfig::OnlineRaid => hedc_filestore::ArchiveTier::OnlineRaid,
+            TierConfig::OnlineDisk => hedc_filestore::ArchiveTier::OnlineDisk,
+            TierConfig::RemoteNfs => hedc_filestore::ArchiveTier::RemoteNfs,
+            TierConfig::TapeVault => hedc_filestore::ArchiveTier::TapeVault,
+        }
+    }
+}
+
+/// One archive to mount.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ArchiveConfig {
+    /// Archive id (unique).
+    pub id: u32,
+    /// Human name.
+    pub name: String,
+    /// Tier.
+    pub tier: TierConfig,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Directory to back the archive with (in-memory when None).
+    pub directory: Option<String>,
+}
+
+/// Full deployment configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct HedcConfig {
+    /// Archives to mount. The first `OnlineDisk` archive receives raw data;
+    /// the first `OnlineRaid` archive receives derived data.
+    pub archives: Vec<ArchiveConfig>,
+    /// Metadata database instances.
+    pub databases: usize,
+    /// Analysis servers to manage.
+    pub analysis_servers: usize,
+    /// PL dispatcher threads.
+    pub dispatchers: usize,
+    /// Per-job execution timeout, seconds.
+    pub job_timeout_s: u64,
+    /// Event-detection tuning applied at ingest.
+    pub detect: DetectConfig,
+    /// Wavelet view bin width at ingest, ms.
+    pub view_bin_ms: u64,
+    /// Wavelet view quantization step.
+    pub view_quant: f64,
+    /// Mission clock start, ms.
+    pub start_ms: u64,
+}
+
+impl Default for HedcConfig {
+    fn default() -> Self {
+        HedcConfig {
+            archives: vec![
+                ArchiveConfig {
+                    id: 1,
+                    name: "bulk-disk".to_string(),
+                    tier: TierConfig::OnlineDisk,
+                    capacity: 8 << 30,
+                    directory: None,
+                },
+                ArchiveConfig {
+                    id: 2,
+                    name: "raid-a1000".to_string(),
+                    tier: TierConfig::OnlineRaid,
+                    capacity: 4 << 30,
+                    directory: None,
+                },
+                ArchiveConfig {
+                    id: 3,
+                    name: "tape-vault".to_string(),
+                    tier: TierConfig::TapeVault,
+                    capacity: 64 << 30,
+                    directory: None,
+                },
+            ],
+            databases: 1,
+            analysis_servers: 2,
+            dispatchers: 2,
+            job_timeout_s: 300,
+            detect: DetectConfig::default(),
+            view_bin_ms: 1000,
+            view_quant: 0.5,
+            start_ms: 0,
+        }
+    }
+}
+
+impl HedcConfig {
+    /// The archive that receives raw telemetry.
+    pub fn raw_archive(&self) -> u32 {
+        self.archives
+            .iter()
+            .find(|a| a.tier == TierConfig::OnlineDisk)
+            .map(|a| a.id)
+            .unwrap_or_else(|| self.archives.first().map(|a| a.id).unwrap_or(1))
+    }
+
+    /// The archive that receives derived products.
+    pub fn derived_archive(&self) -> u32 {
+        self.archives
+            .iter()
+            .find(|a| a.tier == TierConfig::OnlineRaid)
+            .map(|a| a.id)
+            .unwrap_or_else(|| self.raw_archive())
+    }
+
+    /// Job timeout as a duration.
+    pub fn job_timeout(&self) -> Duration {
+        Duration::from_secs(self.job_timeout_s)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_routes_archives_by_tier() {
+        let c = HedcConfig::default();
+        assert_eq!(c.raw_archive(), 1);
+        assert_eq!(c.derived_archive(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = HedcConfig::default();
+        let json = c.to_json();
+        let back = HedcConfig::from_json(&json).unwrap();
+        assert_eq!(back.archives, c.archives);
+        assert_eq!(back.databases, c.databases);
+        assert_eq!(back.view_bin_ms, c.view_bin_ms);
+    }
+
+    #[test]
+    fn missing_tiers_fall_back() {
+        let c = HedcConfig {
+            archives: vec![ArchiveConfig {
+                id: 9,
+                name: "only".into(),
+                tier: TierConfig::TapeVault,
+                capacity: 1,
+                directory: None,
+            }],
+            ..HedcConfig::default()
+        };
+        assert_eq!(c.raw_archive(), 9);
+        assert_eq!(c.derived_archive(), 9);
+    }
+}

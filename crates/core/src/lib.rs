@@ -1,0 +1,278 @@
+//! # hedc-core — the assembled RHESSI Experimental Data Center
+//!
+//! A Rust reproduction of HEDC, the scientific data warehouse of
+//! *"Scientific Data Repositories: Designing for a Moving Target"*
+//! (Stolte, von Praun, Alonso, Gross — SIGMOD 2003). This crate wires the
+//! three tiers together:
+//!
+//! * **Resource management** — `hedc-metadb` (the metadata DBMS) and
+//!   `hedc-filestore` (tiered immutable file archives), plus the
+//!   `hedc-analysis` interpreter servers.
+//! * **Application logic** — `hedc-dm` (Data Management: name mapping,
+//!   sessions, access control, ingest/relocation/recalibration workflows)
+//!   and `hedc-pl` (Processing Logic: 4-phase requests, priority
+//!   scheduling, fault-tolerant server management).
+//! * **Presentation** — `hedc-web` (thin web client, StreamCorder fat
+//!   client, synoptic search, density/extent visualization).
+//!
+//! ```
+//! use hedc_core::{Hedc, HedcConfig};
+//! use hedc_events::GenConfig;
+//!
+//! // Boot a repository and load half an hour of synthetic telemetry.
+//! let hedc = Hedc::start(HedcConfig::default()).unwrap();
+//! let loaded = hedc.load_telemetry(&GenConfig {
+//!     duration_ms: 30 * 60 * 1000,
+//!     ..GenConfig::default()
+//! }, 500_000).unwrap();
+//! assert!(loaded.events > 0);
+//!
+//! // Browse it the way a scientist's browser would.
+//! let page = hedc.web().handle(&hedc_web::HttpRequest::get("/hedc/catalogs", "10.0.0.1"));
+//! assert_eq!(page.status, 200);
+//! hedc.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+
+pub use config::{ArchiveConfig, HedcConfig, TierConfig};
+
+use hedc_analysis::AlgorithmRegistry;
+use hedc_dm::{Dm, DmConfig, DmResult, IngestConfig, IoConfig, Partitioning};
+use hedc_events::{generate, package, GenConfig, Telemetry};
+use hedc_filestore::{Archive, DirBackend, FileStore};
+use hedc_pl::{PlConfig, ProcessingLogic};
+use hedc_web::WebServer;
+use std::sync::Arc;
+
+/// Summary of a telemetry load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Telemetry units ingested.
+    pub units: usize,
+    /// Photons loaded.
+    pub photons: usize,
+    /// HLEs created by detection.
+    pub events: usize,
+    /// Bytes stored across archives.
+    pub bytes_stored: u64,
+}
+
+/// A fully assembled HEDC node.
+pub struct Hedc {
+    config: HedcConfig,
+    dm: Arc<Dm>,
+    pl: Arc<ProcessingLogic>,
+    web: WebServer,
+    registry: Arc<AlgorithmRegistry>,
+}
+
+impl Hedc {
+    /// Boot a repository from a configuration: mount archives, bootstrap
+    /// the DM (schemas, system users, catalogs), start the PL and its
+    /// analysis servers, and expose the web frontend.
+    pub fn start(config: HedcConfig) -> DmResult<Arc<Hedc>> {
+        let files = Arc::new(FileStore::new());
+        for a in &config.archives {
+            let archive = match &a.directory {
+                Some(dir) => Archive::new(
+                    a.id,
+                    a.name.clone(),
+                    a.tier.to_tier(),
+                    a.capacity,
+                    Box::new(DirBackend::new(dir).map_err(hedc_dm::DmError::Fs)?),
+                ),
+                None => Archive::in_memory(a.id, a.name.clone(), a.tier.to_tier(), a.capacity),
+            };
+            files.register(archive);
+        }
+        let dm = Dm::bootstrap(
+            files,
+            DmConfig {
+                databases: config.databases,
+                partitioning: Partitioning::single(),
+                io: IoConfig::default(),
+                start_ms: config.start_ms,
+            },
+        )?;
+        let registry = Arc::new(AlgorithmRegistry::with_builtins());
+        let pl = ProcessingLogic::start(
+            Arc::clone(&dm),
+            Arc::clone(&registry),
+            PlConfig {
+                servers: config.analysis_servers,
+                dispatchers: config.dispatchers,
+                job_timeout: config.job_timeout(),
+                max_retries: 2,
+                derived_archive: config.derived_archive(),
+            },
+        );
+        let web = WebServer::new(Arc::clone(&dm), Some(Arc::clone(&pl)));
+        Ok(Arc::new(Hedc {
+            config,
+            dm,
+            pl,
+            web,
+            registry,
+        }))
+    }
+
+    /// The Data Management component.
+    pub fn dm(&self) -> &Arc<Dm> {
+        &self.dm
+    }
+
+    /// The Processing Logic component.
+    pub fn pl(&self) -> &Arc<ProcessingLogic> {
+        &self.pl
+    }
+
+    /// The web frontend.
+    pub fn web(&self) -> &WebServer {
+        &self.web
+    }
+
+    /// The analysis-algorithm registry (register user routines here, §3.3).
+    pub fn registry(&self) -> &Arc<AlgorithmRegistry> {
+        &self.registry
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HedcConfig {
+        &self.config
+    }
+
+    /// Generate synthetic telemetry and run the full ingest pipeline over
+    /// it (§2.2): package into units, store FITS files, detect events,
+    /// build catalogs and load-time wavelet views.
+    pub fn load_telemetry(
+        &self,
+        gen: &GenConfig,
+        photons_per_unit: usize,
+    ) -> DmResult<LoadReport> {
+        let telemetry = generate(gen);
+        self.load_generated(&telemetry, photons_per_unit)
+    }
+
+    /// Ingest already-generated telemetry (lets callers keep the ground
+    /// truth for evaluation).
+    pub fn load_generated(
+        &self,
+        telemetry: &Telemetry,
+        photons_per_unit: usize,
+    ) -> DmResult<LoadReport> {
+        let units = package(telemetry, photons_per_unit, 1);
+        let session = self.dm.import_session();
+        let ingest_cfg = IngestConfig {
+            raw_archive: self.config.raw_archive(),
+            derived_archive: self.config.derived_archive(),
+            extended_catalog: self.dm.extended_catalog,
+            detect: self.config.detect.clone(),
+            view_bin_ms: self.config.view_bin_ms,
+            view_partition: 1024,
+            view_quant: self.config.view_quant,
+        };
+        let mut report = LoadReport {
+            units: 0,
+            photons: 0,
+            events: 0,
+            bytes_stored: 0,
+        };
+        let procs = self.dm.processes();
+        for unit in &units {
+            let r = procs.ingest_unit(&session, unit, &ingest_cfg)?;
+            report.units += 1;
+            report.photons += unit.photons.len();
+            report.events += r.hle_ids.len();
+            report.bytes_stored += r.bytes_stored;
+        }
+        // Load-time refresh pass: materialized views + archive status.
+        self.dm.after_load_maintenance()?;
+        Ok(report)
+    }
+
+    /// Stop the processing logic (analysis servers and dispatchers).
+    pub fn shutdown(&self) {
+        self.pl.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hedc_analysis::AnalysisParams;
+    use hedc_dm::{Rights, SessionKind};
+    use hedc_pl::RequestSpec;
+    use hedc_web::HttpRequest;
+
+    fn small_gen() -> GenConfig {
+        GenConfig {
+            duration_ms: 15 * 60 * 1000,
+            flares_per_hour: 8.0,
+            background_rate: 15.0,
+            seed: 777,
+            ..GenConfig::default()
+        }
+    }
+
+    #[test]
+    fn boot_load_browse_analyze() {
+        let hedc = Hedc::start(HedcConfig::default()).unwrap();
+        let report = hedc.load_telemetry(&small_gen(), 300_000).unwrap();
+        assert!(report.events > 0);
+        assert!(report.photons > 0);
+
+        // Browse.
+        let page = hedc
+            .web()
+            .handle(&HttpRequest::get("/hedc/catalogs", "1.2.3.4"));
+        assert_eq!(page.status, 200);
+
+        // Analyze through the PL.
+        hedc.dm().create_user("u", "pw", "sci", Rights::SCIENTIST).unwrap();
+        let cookie = hedc.dm().login("u", "pw", "ip").unwrap();
+        let session = hedc.dm().session("ip", cookie, SessionKind::Analysis).unwrap();
+        let hle = hedc
+            .dm()
+            .services()
+            .query(&session, hedc_metadb::Query::table("hle").limit(1))
+            .unwrap()
+            .rows[0][0]
+            .as_int()
+            .unwrap();
+        let outcome = hedc
+            .pl()
+            .submit_sync(
+                session,
+                RequestSpec::new("lightcurve", AnalysisParams::window(0, 300_000), hle),
+            )
+            .unwrap();
+        assert!(outcome.ana_id() > 0);
+        hedc.shutdown();
+    }
+
+    #[test]
+    fn directory_backed_archives() {
+        let dir = std::env::temp_dir().join(format!("hedc-core-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = HedcConfig::default();
+        config.archives[0].directory = Some(dir.to_string_lossy().to_string());
+        let hedc = Hedc::start(config).unwrap();
+        hedc.load_telemetry(&small_gen(), usize::MAX).unwrap();
+        // Raw FITS files are real files on disk.
+        let entries: Vec<_> = std::fs::read_dir(dir.join("raw")).unwrap().collect();
+        assert!(!entries.is_empty());
+        hedc.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_snapshot_is_stable() {
+        let hedc = Hedc::start(HedcConfig::default()).unwrap();
+        let json = hedc.config().to_json();
+        assert!(json.contains("bulk-disk"));
+        hedc.shutdown();
+    }
+}

@@ -1,0 +1,73 @@
+//! DM-level errors.
+
+use hedc_filestore::FsError;
+use hedc_metadb::DbError;
+use std::fmt;
+
+/// Errors surfaced by the Data Management component.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant docs describe the fields
+pub enum DmError {
+    /// Underlying metadata database error.
+    Db(DbError),
+    /// Underlying file store error.
+    Fs(FsError),
+    /// Authentication failed (unknown user or bad password).
+    AuthFailed(String),
+    /// The session token is unknown or expired.
+    NoSession,
+    /// The caller lacks the right for the operation.
+    AccessDenied { user: String, needed: &'static str },
+    /// Referential-integrity violation (e.g. deleting an HLE with analyses).
+    Integrity(String),
+    /// No entity with the given id.
+    NotFound { entity: &'static str, id: i64 },
+    /// A query object failed verification (unknown table, missing owner
+    /// scoping, etc.).
+    BadQuery(String),
+    /// The remote DM node did not respond in time (redirection).
+    RemoteUnavailable(String),
+}
+
+impl fmt::Display for DmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmError::Db(e) => write!(f, "database: {e}"),
+            DmError::Fs(e) => write!(f, "file store: {e}"),
+            DmError::AuthFailed(u) => write!(f, "authentication failed for `{u}`"),
+            DmError::NoSession => write!(f, "no such session"),
+            DmError::AccessDenied { user, needed } => {
+                write!(f, "user `{user}` lacks the `{needed}` right")
+            }
+            DmError::Integrity(m) => write!(f, "integrity violation: {m}"),
+            DmError::NotFound { entity, id } => write!(f, "no {entity} with id {id}"),
+            DmError::BadQuery(m) => write!(f, "query rejected: {m}"),
+            DmError::RemoteUnavailable(m) => write!(f, "remote DM unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DmError::Db(e) => Some(e),
+            DmError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for DmError {
+    fn from(e: DbError) -> Self {
+        DmError::Db(e)
+    }
+}
+
+impl From<FsError> for DmError {
+    fn from(e: FsError) -> Self {
+        DmError::Fs(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type DmResult<T> = Result<T, DmError>;

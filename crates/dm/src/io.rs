@@ -1,0 +1,441 @@
+//! The DM I/O layer.
+//!
+//! §5.2: "The I/O layer abstracts from the actual storage type and location.
+//! All data accesses happen through this layer. It manages database access,
+//! file system manipulation, database connections and performs general
+//! resource management." It also implements the load partitioning that
+//! routes "data requests for certain parts of a database schema ... to a
+//! different DBMS".
+//!
+//! The query path is deliberately the long way around (§5.4): structured
+//! [`Query`] objects are *verified*, *scoped*, *compiled to SQL text*, and
+//! the SQL is parsed and executed — so generated SQL stays honest and "may
+//! be adapted and optimized without system downtime".
+
+use crate::error::{DmError, DmResult};
+use hedc_filestore::FileStore;
+use hedc_metadb::{
+    query_to_sql, Database, PoolKind, PoolSet, Query, QueryResult, SqlOutput, Statement, Value,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Logical mission clock: deterministic, strictly monotone milliseconds.
+/// Injected everywhere a timestamp is needed so tests and experiments are
+/// reproducible.
+#[derive(Debug)]
+pub struct Clock {
+    now_ms: AtomicU64,
+}
+
+impl Clock {
+    /// Start the clock at a given mission time.
+    pub fn starting_at(ms: u64) -> Arc<Self> {
+        Arc::new(Clock {
+            now_ms: AtomicU64::new(ms),
+        })
+    }
+
+    /// Current time; each call advances by 1 ms (strict monotonicity).
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Advance the clock (simulated elapsed work).
+    pub fn advance(&self, ms: u64) {
+        self.now_ms.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    /// Read without advancing.
+    pub fn peek_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::Relaxed)
+    }
+}
+
+/// Table → database routing (§5.2 "dynamic partitioning of the load").
+#[derive(Debug, Clone, Default)]
+pub struct Partitioning {
+    routes: HashMap<String, usize>,
+}
+
+impl Partitioning {
+    /// Everything on database 0.
+    pub fn single() -> Self {
+        Partitioning::default()
+    }
+
+    /// Route a table to a database index.
+    pub fn route(mut self, table: &str, db: usize) -> Self {
+        self.routes.insert(table.to_ascii_lowercase(), db);
+        self
+    }
+
+    /// Database index for a table (default 0).
+    pub fn db_for(&self, table: &str) -> usize {
+        self.routes
+            .get(&table.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Connection-pool sizing for one DM node.
+#[derive(Debug, Clone)]
+pub struct IoConfig {
+    /// Query-pool capacity per database.
+    pub query_pool: usize,
+    /// Update-pool capacity per database.
+    pub update_pool: usize,
+    /// Auth-pool capacity per database.
+    pub auth_pool: usize,
+    /// Synthetic connection-creation cost (see `hedc_metadb::ConnectionPool`).
+    pub creation_cost: Duration,
+    /// The `[root]` element of dynamic names (§4.3), from system config.
+    pub name_root: String,
+}
+
+impl Default for IoConfig {
+    fn default() -> Self {
+        IoConfig {
+            query_pool: 16,
+            update_pool: 4,
+            auth_pool: 4,
+            creation_cost: Duration::ZERO,
+            name_root: "hedc".to_string(),
+        }
+    }
+}
+
+/// The I/O layer: databases + pools + file store + id/clock services.
+pub struct DmIo {
+    dbs: Vec<Arc<Database>>,
+    pools: Vec<PoolSet>,
+    partition: Partitioning,
+    /// The archives this node mounts.
+    pub files: Arc<FileStore>,
+    /// The logical clock.
+    pub clock: Arc<Clock>,
+    next_id: AtomicI64,
+    name_root: String,
+}
+
+impl DmIo {
+    /// Build over existing databases (schema must be created by the caller;
+    /// [`crate::Dm::bootstrap`] does both).
+    pub fn new(
+        dbs: Vec<Arc<Database>>,
+        partition: Partitioning,
+        files: Arc<FileStore>,
+        clock: Arc<Clock>,
+        config: &IoConfig,
+    ) -> Self {
+        assert!(!dbs.is_empty(), "at least one database required");
+        let pools = dbs
+            .iter()
+            .map(|db| {
+                PoolSet::new(
+                    db,
+                    config.query_pool,
+                    config.update_pool,
+                    config.auth_pool,
+                    config.creation_cost,
+                )
+            })
+            .collect();
+        DmIo {
+            dbs,
+            pools,
+            partition,
+            files,
+            clock,
+            next_id: AtomicI64::new(1),
+            name_root: config.name_root.clone(),
+        }
+    }
+
+    /// Allocate a fresh tuple/item id.
+    pub fn next_id(&self) -> i64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The `[root]` element for name construction.
+    pub fn name_root(&self) -> &str {
+        &self.name_root
+    }
+
+    /// The database holding a table.
+    pub fn db_for(&self, table: &str) -> &Arc<Database> {
+        &self.dbs[self.partition.db_for(table).min(self.dbs.len() - 1)]
+    }
+
+    /// All databases (for stats aggregation).
+    pub fn databases(&self) -> &[Arc<Database>] {
+        &self.dbs
+    }
+
+    fn pool_for(&self, table: &str) -> &PoolSet {
+        &self.pools[self.partition.db_for(table).min(self.dbs.len() - 1)]
+    }
+
+    /// Verify a query object: known table, sane limits. The semantic layer
+    /// adds ownership scoping before calling this.
+    ///
+    /// Table existence is checked against the live catalog, not a static
+    /// list — new instruments add new domain tables at run time (§3.1:
+    /// "new data sources ... some of which require a new database schema").
+    fn verify(&self, q: &Query) -> DmResult<()> {
+        let known = self
+            .db_for(&q.table)
+            .table_names()
+            .iter()
+            .any(|t| t.eq_ignore_ascii_case(&q.table));
+        if !known {
+            return Err(DmError::BadQuery(format!("unknown table `{}`", q.table)));
+        }
+        if let Some(limit) = q.limit {
+            if limit > 1_000_000 {
+                return Err(DmError::BadQuery(format!("limit {limit} too large")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute a verified query object via the SQL round-trip (§5.4).
+    pub fn query(&self, q: &Query) -> DmResult<QueryResult> {
+        self.verify(q)?;
+        let pool = self.pool_for(&q.table).pool(PoolKind::Query);
+        let mut conn = pool.acquire();
+        let db_schema = conn.database().schema_of(&q.table)?;
+        let sql = query_to_sql(q, &db_schema);
+        match conn.execute_sql(&sql)? {
+            SqlOutput::Rows(r) => Ok(r),
+            other => Err(DmError::BadQuery(format!(
+                "query compiled to non-SELECT: {other:?}"
+            ))),
+        }
+    }
+
+    /// Check out an update-pool connection for the database holding
+    /// `table` — the semantic layer uses this for multi-statement
+    /// transactions ("transactional properties around entities", §4.4).
+    pub fn update_conn(&self, table: &str) -> hedc_metadb::PooledConnection {
+        self.pool_for(table).pool(PoolKind::Update).acquire()
+    }
+
+    /// Insert a row (update pool).
+    pub fn insert(&self, table: &str, values: Vec<Value>) -> DmResult<u64> {
+        let pool = self.pool_for(table).pool(PoolKind::Update);
+        let mut conn = pool.acquire();
+        Ok(conn.insert(table, values)?)
+    }
+
+    /// Execute an arbitrary DML/DDL statement (update pool).
+    pub fn execute(&self, stmt: Statement) -> DmResult<usize> {
+        let table = match &stmt {
+            Statement::Insert { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. } => table.clone(),
+            _ => String::new(),
+        };
+        let pool = self.pool_for(&table).pool(PoolKind::Update);
+        let mut conn = pool.acquire();
+        match conn.execute_statement(stmt)? {
+            SqlOutput::Affected(n) => Ok(n),
+            _ => Ok(0),
+        }
+    }
+
+    /// Execute administrator DDL (CREATE TABLE / CREATE INDEX) — the §3.1
+    /// path by which a new instrument's domain schema arrives at run time.
+    pub fn execute_ddl(&self, sql: &str) -> DmResult<()> {
+        let stmt = hedc_metadb::parse(sql)?;
+        match &stmt {
+            Statement::CreateTable(_) | Statement::CreateIndex { .. } => {
+                let mut conn = self.update_conn("");
+                conn.execute_statement(stmt)?;
+                Ok(())
+            }
+            _ => Err(DmError::BadQuery("execute_ddl accepts only DDL".into())),
+        }
+    }
+
+    /// Run raw SQL submitted by an advanced user (§1). Only SELECTs are
+    /// accepted on this path; everything else must go through services.
+    pub fn user_sql(&self, sql: &str) -> DmResult<QueryResult> {
+        let stmt = hedc_metadb::parse(sql)?;
+        match stmt {
+            Statement::Select(q) => self.query(&q),
+            _ => Err(DmError::BadQuery(
+                "only SELECT is allowed on the user SQL path".into(),
+            )),
+        }
+    }
+
+    /// Append an operational log row (§4.1 operational section).
+    pub fn log(&self, level: &str, component: &str, message: &str) -> DmResult<()> {
+        let id = self.next_id();
+        let ts = self.clock.now_ms();
+        self.insert(
+            "op_log",
+            vec![
+                Value::Int(id),
+                Value::Int(ts as i64),
+                Value::Text(level.to_string()),
+                Value::Text(component.to_string()),
+                Value::Text(message.to_string()),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Record a usage/audit row.
+    pub fn audit(&self, user_id: i64, action: &str, duration_ms: Option<i64>) -> DmResult<()> {
+        let id = self.next_id();
+        let ts = self.clock.now_ms();
+        self.insert(
+            "op_usage",
+            vec![
+                Value::Int(id),
+                Value::Int(ts as i64),
+                Value::Int(user_id),
+                Value::Text(action.to_string()),
+                duration_ms.map(Value::Int).unwrap_or(Value::Null),
+            ],
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema;
+    use hedc_metadb::Expr;
+
+    fn io_single() -> DmIo {
+        let db = Database::in_memory("io-test");
+        let mut conn = db.connect();
+        schema::create_generic(&mut conn).unwrap();
+        schema::create_domain(&mut conn).unwrap();
+        DmIo::new(
+            vec![db],
+            Partitioning::single(),
+            Arc::new(FileStore::new()),
+            Clock::starting_at(1_000_000),
+            &IoConfig::default(),
+        )
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let c = Clock::starting_at(100);
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b > a);
+        c.advance(500);
+        assert!(c.peek_ms() >= 602);
+    }
+
+    #[test]
+    fn query_roundtrips_through_sql() {
+        let io = io_single();
+        let id = io.next_id();
+        let ts = io.clock.now_ms() as i64;
+        io.insert(
+            "catalog",
+            vec![
+                Value::Int(id),
+                Value::Int(0),
+                Value::Text("extended".into()),
+                Value::Null,
+                Value::Text("system".into()),
+                Value::Bool(true),
+                Value::Int(ts),
+            ],
+        )
+        .unwrap();
+        let r = io
+            .query(&Query::table("catalog").filter(Expr::eq("name", "extended")))
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let io = io_single();
+        let err = io.query(&Query::table("secrets")).unwrap_err();
+        assert!(matches!(err, DmError::BadQuery(_)));
+    }
+
+    #[test]
+    fn oversized_limit_rejected() {
+        let io = io_single();
+        let err = io
+            .query(&Query::table("hle").limit(10_000_000))
+            .unwrap_err();
+        assert!(matches!(err, DmError::BadQuery(_)));
+    }
+
+    #[test]
+    fn user_sql_select_only() {
+        let io = io_single();
+        assert!(io.user_sql("SELECT * FROM hle").is_ok());
+        assert!(io.user_sql("DELETE FROM hle").is_err());
+        assert!(io
+            .user_sql("INSERT INTO hle (id) VALUES (1)")
+            .is_err());
+    }
+
+    #[test]
+    fn partitioning_routes_tables() {
+        let browse_db = Database::in_memory("browse");
+        let process_db = Database::in_memory("process");
+        for db in [&browse_db, &process_db] {
+            let mut conn = db.connect();
+            schema::create_generic(&mut conn).unwrap();
+            schema::create_domain(&mut conn).unwrap();
+        }
+        // §5.2: separate processing (raw_unit) from browsing load.
+        let io = DmIo::new(
+            vec![browse_db.clone(), process_db.clone()],
+            Partitioning::single().route("raw_unit", 1),
+            Arc::new(FileStore::new()),
+            Clock::starting_at(0),
+            &IoConfig::default(),
+        );
+        io.insert(
+            "raw_unit",
+            vec![
+                Value::Int(1),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(1000),
+                Value::Int(10),
+                Value::Int(1),
+                Value::Int(99),
+                Value::Int(4096),
+                Value::Bool(false),
+            ],
+        )
+        .unwrap();
+        assert_eq!(process_db.row_count("raw_unit").unwrap(), 1);
+        assert_eq!(browse_db.row_count("raw_unit").unwrap(), 0);
+        // Browsing tables stay on db 0.
+        io.log("info", "test", "hello").unwrap();
+        assert_eq!(browse_db.row_count("op_log").unwrap(), 1);
+        assert_eq!(process_db.row_count("op_log").unwrap(), 0);
+    }
+
+    #[test]
+    fn audit_and_log_rows_written() {
+        let io = io_single();
+        io.log("warn", "dm", "something").unwrap();
+        io.audit(7, "browse", Some(12)).unwrap();
+        let logs = io.query(&Query::table("op_log")).unwrap();
+        assert_eq!(logs.rows.len(), 1);
+        let usage = io.query(&Query::table("op_usage")).unwrap();
+        assert_eq!(usage.rows[0][2], Value::Int(7));
+    }
+}

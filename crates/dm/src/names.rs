@@ -1,0 +1,466 @@
+//! Dynamic name mapping (§4.3).
+//!
+//! "Information is located by constructing a name that refers to the data
+//! ... Each name has the form: `[type] [root] [path] [item id]`, each one of
+//! these elements being determined dynamically for every request." The cost
+//! is "two extra database queries on an indexed field" — `loc_entry` by
+//! `item_id`, then `loc_archive` by `archive_id` — and the payoff is that
+//! administrators "can install or repair disks, reorganize the data, or
+//! move data from disk to tapes by simply changing tuples in the location
+//! table", at run time, without touching domain tuples.
+
+use crate::error::{DmError, DmResult};
+use crate::io::DmIo;
+use hedc_metadb::{Expr, Query, Value};
+
+/// The three name types of §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameType {
+    /// Local storage location (archive + path).
+    File,
+    /// A tuple identifier (DBMS-location independent).
+    Tuple,
+    /// A download URL.
+    Url,
+}
+
+impl NameType {
+    /// Stored representation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NameType::File => "file",
+            NameType::Tuple => "tuple",
+            NameType::Url => "url",
+        }
+    }
+
+    fn parse(s: &str) -> Option<NameType> {
+        match s {
+            "file" => Some(NameType::File),
+            "tuple" => Some(NameType::Tuple),
+            "url" => Some(NameType::Url),
+            _ => None,
+        }
+    }
+}
+
+/// A fully constructed name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedName {
+    /// Location-table entry id.
+    pub entry_id: i64,
+    /// Name type.
+    pub name_type: NameType,
+    /// Archive holding the bytes.
+    pub archive_id: u32,
+    /// Path *within* the archive (what `FileStore::fetch` takes): the
+    /// archive's current prefix joined with `entry_path`.
+    pub archive_path: String,
+    /// The entry-relative path as stored in `loc_entry.path` (what UPDATEs
+    /// of the location tables must use).
+    pub entry_path: String,
+    /// The constructed `[type]:[root]/[prefix]/[path]#[item]` name.
+    pub full_name: String,
+    /// Download URL, when the archive publishes one.
+    pub url: Option<String>,
+    /// Stored size in bytes.
+    pub size: u64,
+    /// Entry role (`data`, `image`, `log`, `params`, ...).
+    pub role: String,
+    /// Access transformations registered for the entry (e.g. `gunzip`).
+    pub transforms: Vec<String>,
+}
+
+/// Name-mapping services over the I/O layer.
+pub struct Names<'a> {
+    io: &'a DmIo,
+}
+
+impl<'a> Names<'a> {
+    /// Wrap the I/O layer.
+    pub fn new(io: &'a DmIo) -> Self {
+        Names { io }
+    }
+
+    /// Register an item (the anchor domain tuples reference).
+    pub fn new_item(&self) -> DmResult<i64> {
+        let item_id = self.io.next_id();
+        let ts = self.io.clock.now_ms();
+        self.io.insert(
+            "loc_item",
+            vec![Value::Int(item_id), Value::Int(ts as i64)],
+        )?;
+        Ok(item_id)
+    }
+
+    /// Ensure an archive row exists in `loc_archive`.
+    pub fn register_archive(
+        &self,
+        archive_id: u32,
+        archive_type: &str,
+        path_prefix: &str,
+        url_base: Option<&str>,
+    ) -> DmResult<()> {
+        self.io.insert(
+            "loc_archive",
+            vec![
+                Value::Int(i64::from(archive_id)),
+                Value::Text(archive_type.to_string()),
+                Value::Text(path_prefix.to_string()),
+                url_base.map(|u| Value::Text(u.to_string())).unwrap_or(Value::Null),
+                Value::Bool(true),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Attach a named resource to an item.
+    #[allow(clippy::too_many_arguments)] // mirrors the loc_entry row
+    pub fn attach(
+        &self,
+        item_id: i64,
+        name_type: NameType,
+        archive_id: u32,
+        path: &str,
+        size: u64,
+        checksum: Option<u32>,
+        role: &str,
+    ) -> DmResult<i64> {
+        let entry_id = self.io.next_id();
+        self.io.insert(
+            "loc_entry",
+            vec![
+                Value::Int(entry_id),
+                Value::Int(item_id),
+                Value::Text(name_type.as_str().to_string()),
+                Value::Int(i64::from(archive_id)),
+                Value::Text(path.to_string()),
+                Value::Int(size as i64),
+                checksum.map(|c| Value::Int(i64::from(c))).unwrap_or(Value::Null),
+                Value::Text(role.to_string()),
+            ],
+        )?;
+        Ok(entry_id)
+    }
+
+    /// Register an access transformation for an entry.
+    pub fn add_transform(&self, entry_id: i64, transform: &str) -> DmResult<()> {
+        let id = self.io.next_id();
+        self.io.insert(
+            "loc_transform",
+            vec![Value::Int(id), Value::Int(entry_id), Value::Text(transform.to_string())],
+        )?;
+        Ok(())
+    }
+
+    /// The archive's current path prefix (for writers: physical stores must
+    /// happen at [`Names::physical_path`] so that later resolution — which
+    /// joins the prefix — finds the bytes).
+    pub fn archive_prefix(&self, archive_id: u32) -> DmResult<String> {
+        let arch = self.io.query(
+            &Query::table("loc_archive").filter(Expr::eq("archive_id", i64::from(archive_id))),
+        )?;
+        let row = arch.rows.first().ok_or(DmError::NotFound {
+            entity: "archive",
+            id: i64::from(archive_id),
+        })?;
+        Ok(row[2].as_text().unwrap_or("").to_string())
+    }
+
+    /// Join an entry-relative path with the archive's current prefix.
+    pub fn physical_path(&self, archive_id: u32, entry_path: &str) -> DmResult<String> {
+        let prefix = self.archive_prefix(archive_id)?;
+        Ok(if prefix.is_empty() {
+            entry_path.to_string()
+        } else {
+            format!("{prefix}/{entry_path}")
+        })
+    }
+
+    /// Construct all names of one type for an item: the two indexed queries
+    /// of §4.3 (plus one per entry for transforms, only when present).
+    pub fn resolve(&self, item_id: i64, want: NameType) -> DmResult<Vec<ResolvedName>> {
+        // Query 1: entries by item id (indexed on item_id).
+        let entries = self
+            .io
+            .query(&Query::table("loc_entry").filter(Expr::eq("item_id", item_id)))?;
+        let mut out = Vec::new();
+        for row in &entries.rows {
+            let entry_id = row[0].as_int().expect("entry id");
+            let name_type = NameType::parse(row[2].as_text().unwrap_or(""))
+                .ok_or_else(|| DmError::Integrity(format!("bad name_type in entry {entry_id}")))?;
+            if name_type != want {
+                continue;
+            }
+            let archive_id = row[3].as_int().expect("archive id") as u32;
+            let path = row[4].as_text().unwrap_or("").to_string();
+            let size = row[5].as_int().unwrap_or(0) as u64;
+            let role = row[7].as_text().unwrap_or("data").to_string();
+
+            // Query 2: archive type + current path prefix (indexed pk).
+            let arch = self.io.query(
+                &Query::table("loc_archive")
+                    .filter(Expr::eq("archive_id", i64::from(archive_id))),
+            )?;
+            let arch_row = arch.rows.first().ok_or(DmError::NotFound {
+                entity: "archive",
+                id: i64::from(archive_id),
+            })?;
+            let prefix = arch_row[2].as_text().unwrap_or("").to_string();
+            let url_base = arch_row[3].as_text().map(str::to_string);
+            let online = arch_row[4].as_bool().unwrap_or(false);
+            if !online {
+                return Err(DmError::Fs(hedc_filestore::FsError::Offline(archive_id)));
+            }
+
+            let archive_path = if prefix.is_empty() {
+                path.clone()
+            } else {
+                format!("{prefix}/{path}")
+            };
+            let full_name = format!(
+                "{}:{}/{}#{}",
+                want.as_str(),
+                self.io.name_root(),
+                archive_path,
+                item_id
+            );
+            let url = url_base.map(|b| format!("{b}/{archive_path}"));
+
+            let transforms = {
+                let t = self.io.query(
+                    &Query::table("loc_transform").filter(Expr::eq("entry_id", entry_id)),
+                )?;
+                t.rows
+                    .iter()
+                    .map(|r| r[2].as_text().unwrap_or("").to_string())
+                    .collect()
+            };
+
+            out.push(ResolvedName {
+                entry_id,
+                name_type,
+                archive_id,
+                entry_path: path,
+                archive_path,
+                full_name,
+                url,
+                size,
+                role,
+                transforms,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Fetch an item's primary data file through the name mapping — the only
+    /// sanctioned way from metadata to bytes (§4.1: data "is only accessible
+    /// through the meta data").
+    pub fn fetch_data(&self, item_id: i64) -> DmResult<Vec<u8>> {
+        let names = self.resolve(item_id, NameType::File)?;
+        let primary = names
+            .iter()
+            .find(|n| n.role == "data")
+            .or_else(|| names.first())
+            .ok_or(DmError::NotFound {
+                entity: "file for item",
+                id: item_id,
+            })?;
+        Ok(self
+            .io
+            .files
+            .fetch(primary.archive_id, &primary.archive_path)?)
+    }
+
+    /// Run-time relocation, variant A (§4.3): change an archive's path
+    /// prefix. One UPDATE on the location tables; no domain tuples touched.
+    pub fn set_archive_prefix(&self, archive_id: u32, new_prefix: &str) -> DmResult<usize> {
+        self.io.execute(hedc_metadb::Statement::Update {
+            table: "loc_archive".into(),
+            sets: vec![(
+                "path_prefix".into(),
+                Expr::Literal(Value::Text(new_prefix.to_string())),
+            )],
+            filter: Some(Expr::eq("archive_id", i64::from(archive_id))),
+        })
+    }
+
+    /// Run-time relocation, variant B: point entries at a different archive
+    /// after their files were migrated (`hedc_filestore::migrate_batch`).
+    pub fn repoint_entries(
+        &self,
+        from_archive: u32,
+        to_archive: u32,
+        paths: &[String],
+    ) -> DmResult<usize> {
+        let mut moved = 0usize;
+        for path in paths {
+            moved += self.io.execute(hedc_metadb::Statement::Update {
+                table: "loc_entry".into(),
+                sets: vec![(
+                    "archive_id".into(),
+                    Expr::Literal(Value::Int(i64::from(to_archive))),
+                )],
+                filter: Some(
+                    Expr::eq("archive_id", i64::from(from_archive))
+                        .and(Expr::eq("path", path.as_str())),
+                ),
+            })?;
+        }
+        Ok(moved)
+    }
+
+    /// Mark an archive offline/online in the location tables.
+    pub fn set_archive_online(&self, archive_id: u32, online: bool) -> DmResult<usize> {
+        self.io.execute(hedc_metadb::Statement::Update {
+            table: "loc_archive".into(),
+            sets: vec![("online".into(), Expr::Literal(Value::Bool(online)))],
+            filter: Some(Expr::eq("archive_id", i64::from(archive_id))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{Clock, IoConfig, Partitioning};
+    use crate::schema;
+    use hedc_filestore::{Archive, ArchiveTier, FileStore};
+    use hedc_metadb::Database;
+    use std::sync::Arc;
+
+    fn io() -> DmIo {
+        let db = Database::in_memory("names-test");
+        let mut conn = db.connect();
+        schema::create_generic(&mut conn).unwrap();
+        schema::create_domain(&mut conn).unwrap();
+        let files = FileStore::new();
+        files.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 20));
+        files.register(Archive::in_memory(2, "tape", ArchiveTier::TapeVault, 1 << 20));
+        DmIo::new(
+            vec![db],
+            Partitioning::single(),
+            Arc::new(files),
+            Clock::starting_at(0),
+            &IoConfig::default(),
+        )
+    }
+
+    #[test]
+    fn attach_and_resolve_file_name() {
+        let io = io();
+        let names = Names::new(&io);
+        names
+            .register_archive(1, "disk", "online", Some("http://hedc.ethz.ch/data"))
+            .unwrap();
+        let item = names.new_item().unwrap();
+        io.files.store(1, "online/raw/u1.fits", b"bytes").unwrap();
+        names
+            .attach(item, NameType::File, 1, "raw/u1.fits", 5, Some(7), "data")
+            .unwrap();
+        let resolved = names.resolve(item, NameType::File).unwrap();
+        assert_eq!(resolved.len(), 1);
+        let n = &resolved[0];
+        assert_eq!(n.archive_path, "online/raw/u1.fits");
+        assert_eq!(n.full_name, format!("file:hedc/online/raw/u1.fits#{item}"));
+        assert_eq!(
+            n.url.as_deref(),
+            Some("http://hedc.ethz.ch/data/online/raw/u1.fits")
+        );
+        // And the bytes are reachable only through this mapping.
+        assert_eq!(names.fetch_data(item).unwrap(), b"bytes");
+    }
+
+    #[test]
+    fn relocation_changes_only_location_tables() {
+        let io = io();
+        let names = Names::new(&io);
+        names.register_archive(1, "disk", "v1", None).unwrap();
+        let item = names.new_item().unwrap();
+        io.files.store(1, "v1/raw/u1.fits", b"x").unwrap();
+        names
+            .attach(item, NameType::File, 1, "raw/u1.fits", 1, None, "data")
+            .unwrap();
+        // Administrator moves the archive root: one location-table update.
+        io.files.store(1, "v2/raw/u1.fits", b"x").unwrap();
+        assert_eq!(names.set_archive_prefix(1, "v2").unwrap(), 1);
+        let resolved = names.resolve(item, NameType::File).unwrap();
+        assert_eq!(resolved[0].archive_path, "v2/raw/u1.fits");
+        assert_eq!(names.fetch_data(item).unwrap(), b"x");
+    }
+
+    #[test]
+    fn repointing_entries_after_migration() {
+        let io = io();
+        let names = Names::new(&io);
+        names.register_archive(1, "disk", "", None).unwrap();
+        names.register_archive(2, "tape", "", None).unwrap();
+        let item = names.new_item().unwrap();
+        io.files.store(1, "raw/u1.fits", b"payload").unwrap();
+        names
+            .attach(item, NameType::File, 1, "raw/u1.fits", 7, None, "data")
+            .unwrap();
+        // Migrate the file, then repoint.
+        hedc_filestore::migrate_file(&io.files, 1, 2, "raw/u1.fits").unwrap();
+        let n = names
+            .repoint_entries(1, 2, &["raw/u1.fits".to_string()])
+            .unwrap();
+        assert_eq!(n, 1);
+        let resolved = names.resolve(item, NameType::File).unwrap();
+        assert_eq!(resolved[0].archive_id, 2);
+        assert_eq!(names.fetch_data(item).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn offline_archive_blocks_resolution() {
+        let io = io();
+        let names = Names::new(&io);
+        names.register_archive(1, "disk", "", None).unwrap();
+        let item = names.new_item().unwrap();
+        names
+            .attach(item, NameType::File, 1, "f", 0, None, "data")
+            .unwrap();
+        names.set_archive_online(1, false).unwrap();
+        assert!(matches!(
+            names.resolve(item, NameType::File),
+            Err(DmError::Fs(hedc_filestore::FsError::Offline(1)))
+        ));
+        names.set_archive_online(1, true).unwrap();
+        assert!(names.resolve(item, NameType::File).is_ok());
+    }
+
+    #[test]
+    fn transforms_and_roles() {
+        let io = io();
+        let names = Names::new(&io);
+        names.register_archive(1, "disk", "", None).unwrap();
+        let item = names.new_item().unwrap();
+        let entry = names
+            .attach(item, NameType::File, 1, "u1.fits.gz", 10, None, "data")
+            .unwrap();
+        names.add_transform(entry, "gunzip").unwrap();
+        names
+            .attach(item, NameType::File, 1, "u1.log", 2, None, "log")
+            .unwrap();
+        let resolved = names.resolve(item, NameType::File).unwrap();
+        assert_eq!(resolved.len(), 2);
+        let data = resolved.iter().find(|n| n.role == "data").unwrap();
+        assert_eq!(data.transforms, vec!["gunzip"]);
+        // Url resolution returns nothing: no url entries attached.
+        assert!(names.resolve(item, NameType::Url).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_archive_row_is_integrity_error() {
+        let io = io();
+        let names = Names::new(&io);
+        let item = names.new_item().unwrap();
+        names
+            .attach(item, NameType::File, 42, "f", 0, None, "data")
+            .unwrap();
+        assert!(matches!(
+            names.resolve(item, NameType::File),
+            Err(DmError::NotFound { .. })
+        ));
+    }
+}

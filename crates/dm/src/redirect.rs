@@ -1,0 +1,248 @@
+//! DM call redirection (§5.4).
+//!
+//! "The system has been designed to run either on a single node, or
+//! distributed across a cluster. ... there is the possibility of redirecting
+//! calls from one DM component to another. We use this feature to increase
+//! capacity in HEDC by adding more nodes to the system." Callers address a
+//! [`DmRouter`]; whether a request executes locally or on another node is a
+//! configuration matter, invisible to the calling code ("the calling
+//! methods do not know where the code is actually executed").
+
+use crate::error::{DmError, DmResult};
+use hedc_metadb::{Query, QueryResult};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The request surface a DM node exposes to other nodes: read-side browsing
+/// calls (the workload that scales out in §7.3). Writes stay on the primary.
+pub trait DmNode: Send + Sync {
+    /// Node identifier for logs and status.
+    fn node_id(&self) -> String;
+    /// Execute a (pre-scoped) query.
+    fn execute_query(&self, q: &Query) -> DmResult<QueryResult>;
+    /// Liveness probe.
+    fn is_available(&self) -> bool {
+        true
+    }
+}
+
+/// A remote DM node: wraps another node behind a simulated network hop with
+/// failure injection. Latency is *accounted*, not slept, and read back by
+/// the evaluation harness.
+pub struct RemoteDm<N: DmNode> {
+    inner: Arc<N>,
+    label: String,
+    hop_us: u64,
+    accumulated_us: AtomicU64,
+    down: AtomicBool,
+    calls: AtomicU64,
+}
+
+impl<N: DmNode> RemoteDm<N> {
+    /// Wrap `inner` behind a hop of `hop_us` simulated microseconds.
+    pub fn new(inner: Arc<N>, label: impl Into<String>, hop_us: u64) -> Self {
+        RemoteDm {
+            inner,
+            label: label.into(),
+            hop_us,
+            accumulated_us: AtomicU64::new(0),
+            down: AtomicBool::new(false),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Simulate the node going down / coming back.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// Calls served.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated network time, microseconds.
+    pub fn network_us(&self) -> u64 {
+        self.accumulated_us.load(Ordering::Relaxed)
+    }
+}
+
+impl<N: DmNode> DmNode for RemoteDm<N> {
+    fn node_id(&self) -> String {
+        self.label.clone()
+    }
+
+    fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(DmError::RemoteUnavailable(self.label.clone()));
+        }
+        // Round trip: request + response.
+        self.accumulated_us
+            .fetch_add(self.hop_us * 2, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.execute_query(q)
+    }
+
+    fn is_available(&self) -> bool {
+        !self.down.load(Ordering::SeqCst) && self.inner.is_available()
+    }
+}
+
+/// Round-robin router over DM nodes with failover: a request landing on an
+/// unavailable node is retried on the next one ("interactions ... are
+/// self-recovering and tolerate failure and restart", §5.1).
+pub struct DmRouter {
+    nodes: Vec<Arc<dyn DmNode>>,
+    next: AtomicUsize,
+}
+
+impl DmRouter {
+    /// Build a router. At least one node is required.
+    pub fn new(nodes: Vec<Arc<dyn DmNode>>) -> Self {
+        assert!(!nodes.is_empty(), "router needs at least one node");
+        DmRouter {
+            nodes,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Execute on the next node in rotation, failing over past down nodes.
+    /// Errors only when every node is unavailable.
+    pub fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let n = self.nodes.len();
+        let mut last_err = None;
+        for k in 0..n {
+            let node = &self.nodes[(start + k) % n];
+            if !node.is_available() {
+                last_err = Some(DmError::RemoteUnavailable(node.node_id()));
+                continue;
+            }
+            match node.execute_query(q) {
+                Ok(r) => return Ok(r),
+                Err(DmError::RemoteUnavailable(id)) => {
+                    last_err = Some(DmError::RemoteUnavailable(id));
+                    continue;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err.unwrap_or(DmError::RemoteUnavailable("no nodes".into())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{Clock, DmIo, IoConfig, Partitioning};
+    use crate::schema;
+    use hedc_filestore::FileStore;
+    use hedc_metadb::{Database, Value};
+
+    /// Minimal local node for routing tests.
+    struct LocalNode {
+        io: DmIo,
+        label: String,
+    }
+
+    impl DmNode for LocalNode {
+        fn node_id(&self) -> String {
+            self.label.clone()
+        }
+        fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+            self.io.query(q)
+        }
+    }
+
+    fn node(label: &str, rows: i64) -> Arc<LocalNode> {
+        let db = Database::in_memory(label);
+        let mut conn = db.connect();
+        schema::create_generic(&mut conn).unwrap();
+        schema::create_domain(&mut conn).unwrap();
+        let io = DmIo::new(
+            vec![db],
+            Partitioning::single(),
+            Arc::new(FileStore::new()),
+            Clock::starting_at(0),
+            &IoConfig::default(),
+        );
+        for i in 0..rows {
+            io.insert(
+                "catalog",
+                vec![
+                    Value::Int(i + 1),
+                    Value::Int(0),
+                    Value::Text(format!("c{i}")),
+                    Value::Null,
+                    Value::Text("system".into()),
+                    Value::Bool(true),
+                    Value::Int(0),
+                ],
+            )
+            .unwrap();
+        }
+        Arc::new(LocalNode {
+            io,
+            label: label.to_string(),
+        })
+    }
+
+    #[test]
+    fn round_robin_spreads_calls() {
+        let a = Arc::new(RemoteDm::new(node("a", 1), "node-a", 100));
+        let b = Arc::new(RemoteDm::new(node("b", 1), "node-b", 100));
+        let router = DmRouter::new(vec![a.clone(), b.clone()]);
+        for _ in 0..10 {
+            router.execute_query(&Query::table("catalog")).unwrap();
+        }
+        assert_eq!(a.calls(), 5);
+        assert_eq!(b.calls(), 5);
+        assert_eq!(a.network_us(), 5 * 200);
+    }
+
+    #[test]
+    fn failover_skips_down_nodes() {
+        let a = Arc::new(RemoteDm::new(node("a", 1), "node-a", 50));
+        let b = Arc::new(RemoteDm::new(node("b", 1), "node-b", 50));
+        let router = DmRouter::new(vec![a.clone(), b.clone()]);
+        a.set_down(true);
+        for _ in 0..6 {
+            router.execute_query(&Query::table("catalog")).unwrap();
+        }
+        assert_eq!(a.calls(), 0);
+        assert_eq!(b.calls(), 6);
+        // Recovery.
+        a.set_down(false);
+        for _ in 0..2 {
+            router.execute_query(&Query::table("catalog")).unwrap();
+        }
+        assert!(a.calls() > 0);
+    }
+
+    #[test]
+    fn all_nodes_down_errors() {
+        let a = Arc::new(RemoteDm::new(node("a", 1), "node-a", 50));
+        let router = DmRouter::new(vec![a.clone() as Arc<dyn DmNode>]);
+        a.set_down(true);
+        assert!(matches!(
+            router.execute_query(&Query::table("catalog")),
+            Err(DmError::RemoteUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn non_availability_errors_pass_through() {
+        // A real query error (unknown table) must not trigger failover.
+        let a = Arc::new(RemoteDm::new(node("a", 1), "node-a", 50));
+        let b = Arc::new(RemoteDm::new(node("b", 1), "node-b", 50));
+        let router = DmRouter::new(vec![a, b.clone()]);
+        let err = router.execute_query(&Query::table("nope")).unwrap_err();
+        assert!(matches!(err, DmError::BadQuery(_)));
+        assert_eq!(b.calls() , 0, "no failover on query errors");
+    }
+}

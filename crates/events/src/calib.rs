@@ -1,0 +1,204 @@
+//! Energy calibration and recalibration.
+//!
+//! "It is to be expected that the raw data will be recalibrated several
+//! times. Accordingly, the raw data and all the derived data based on it
+//! must be versioned" (§3.1). Detector energies are an affine function of
+//! the raw channel value; a calibration version fixes that function per
+//! detector. Recalibration maps stored energies from one version's model to
+//! another's, and every derived product records the version it was computed
+//! under so stale analyses can be found and recomputed.
+
+use crate::model::DETECTORS;
+use hedc_filestore::PhotonList;
+use std::fmt;
+
+/// One detector's affine energy model: `keV = gain × channel + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DetectorCal {
+    /// keV per channel.
+    pub gain: f64,
+    /// keV at channel zero.
+    pub offset: f64,
+}
+
+/// A full calibration version: per-detector models plus an id.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Calibration {
+    /// Monotonically increasing version number (1 = launch calibration).
+    pub version: u32,
+    /// Per-detector models.
+    pub detectors: Vec<DetectorCal>,
+}
+
+/// Errors from calibration operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalError {
+    /// Photon list references a detector the calibration lacks.
+    UnknownDetector(u8),
+    /// A gain of zero cannot be inverted.
+    DegenerateGain(usize),
+}
+
+impl fmt::Display for CalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalError::UnknownDetector(d) => write!(f, "no calibration for detector {d}"),
+            CalError::DegenerateGain(d) => write!(f, "zero gain for detector {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CalError {}
+
+impl Calibration {
+    /// The launch calibration: version 1, nominal 1 keV/channel gain with
+    /// small per-detector offsets (germanium detectors are individually
+    /// characterized).
+    pub fn launch() -> Self {
+        Calibration {
+            version: 1,
+            detectors: (0..DETECTORS)
+                .map(|d| DetectorCal {
+                    gain: 1.0 + d as f64 * 0.002,
+                    offset: 0.1 * d as f64,
+                })
+                .collect(),
+        }
+    }
+
+    /// Produce the next calibration version with adjusted models — the
+    /// "recalibration" the paper plans for. `gain_drift` and `offset_shift`
+    /// are applied uniformly (a refined characterization).
+    pub fn recalibrated(&self, gain_drift: f64, offset_shift: f64) -> Self {
+        Calibration {
+            version: self.version + 1,
+            detectors: self
+                .detectors
+                .iter()
+                .map(|c| DetectorCal {
+                    gain: c.gain * (1.0 + gain_drift),
+                    offset: c.offset + offset_shift,
+                })
+                .collect(),
+        }
+    }
+
+    fn model(&self, detector: u8) -> Result<DetectorCal, CalError> {
+        self.detectors
+            .get(detector as usize)
+            .copied()
+            .ok_or(CalError::UnknownDetector(detector))
+    }
+
+    /// Energy in keV for a raw channel value on a detector.
+    pub fn energy_kev(&self, detector: u8, channel: f64) -> Result<f64, CalError> {
+        let m = self.model(detector)?;
+        Ok(m.gain * channel + m.offset)
+    }
+
+    /// Invert: channel for an energy.
+    pub fn channel(&self, detector: u8, kev: f64) -> Result<f64, CalError> {
+        let m = self.model(detector)?;
+        if m.gain == 0.0 {
+            return Err(CalError::DegenerateGain(detector as usize));
+        }
+        Ok((kev - m.offset) / m.gain)
+    }
+}
+
+/// Map a photon list calibrated under `from` onto calibration `to`:
+/// energy → channel (under `from`) → energy (under `to`). Times and
+/// detectors are untouched. This is what runs over the archive when a new
+/// calibration version lands.
+pub fn recalibrate(
+    photons: &PhotonList,
+    from: &Calibration,
+    to: &Calibration,
+) -> Result<PhotonList, CalError> {
+    let mut out = photons.clone();
+    for (i, e) in out.energies_kev.iter_mut().enumerate() {
+        let det = photons.detectors[i];
+        let channel = from.channel(det, f64::from(*e))?;
+        *e = to.energy_kev(det, channel)? as f32;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhotonList {
+        PhotonList {
+            times_ms: vec![1, 2, 3, 4],
+            energies_kev: vec![10.0, 100.0, 1000.0, 25.0],
+            detectors: vec![0, 3, 8, 5],
+        }
+    }
+
+    #[test]
+    fn launch_calibration_roundtrips_channels() {
+        let cal = Calibration::launch();
+        for d in 0..DETECTORS as u8 {
+            let ch = cal.channel(d, 50.0).unwrap();
+            let kev = cal.energy_kev(d, ch).unwrap();
+            assert!((kev - 50.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recalibration_changes_version_and_energies() {
+        let v1 = Calibration::launch();
+        let v2 = v1.recalibrated(0.05, -0.2);
+        assert_eq!(v2.version, 2);
+        let p = sample();
+        let q = recalibrate(&p, &v1, &v2).unwrap();
+        assert_eq!(q.times_ms, p.times_ms);
+        assert_eq!(q.detectors, p.detectors);
+        // Energies shift by roughly the gain drift.
+        for (a, b) in p.energies_kev.iter().zip(&q.energies_kev) {
+            assert!(b > a || *a < 1.0, "recal should raise energies: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn recalibration_is_invertible() {
+        let v1 = Calibration::launch();
+        let v2 = v1.recalibrated(0.03, 0.5);
+        let p = sample();
+        let q = recalibrate(&p, &v1, &v2).unwrap();
+        let back = recalibrate(&q, &v2, &v1).unwrap();
+        for (a, b) in p.energies_kev.iter().zip(&back.energies_kev) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn identity_recalibration_is_noop() {
+        let v1 = Calibration::launch();
+        let p = sample();
+        let q = recalibrate(&p, &v1, &v1).unwrap();
+        for (a, b) in p.energies_kev.iter().zip(&q.energies_kev) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn unknown_detector_rejected() {
+        let cal = Calibration::launch();
+        assert_eq!(
+            cal.energy_kev(9, 1.0).unwrap_err(),
+            CalError::UnknownDetector(9)
+        );
+        let mut p = sample();
+        p.detectors[0] = 200;
+        assert!(recalibrate(&p, &cal, &cal).is_err());
+    }
+
+    #[test]
+    fn zero_gain_rejected() {
+        let mut cal = Calibration::launch();
+        cal.detectors[2].gain = 0.0;
+        assert_eq!(cal.channel(2, 5.0).unwrap_err(), CalError::DegenerateGain(2));
+    }
+}

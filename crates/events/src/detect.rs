@@ -1,0 +1,389 @@
+//! Event detection over photon streams.
+//!
+//! When raw data reaches HEDC it is "once more searched for interesting
+//! events, using programs that detect a wider range of events such as solar
+//! flares, gamma ray bursts, or quiet periods" (§2.2). This is that search:
+//! bin the stream, estimate the background robustly, find threshold
+//! excursions, and classify each excursion by duration and spectral
+//! hardness. The output seeds the extended catalog's HLE tuples.
+
+use crate::model::{EventKind, FlareClass, TruthEvent};
+use hedc_filestore::PhotonList;
+
+/// Detection tuning.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DetectConfig {
+    /// Bin width for the count series, ms.
+    pub bin_ms: u64,
+    /// Detection threshold in multiples of the background level.
+    pub threshold: f64,
+    /// Events closer together than this are merged, ms.
+    pub merge_gap_ms: u64,
+    /// Minimum event duration to report, ms.
+    pub min_duration_ms: u64,
+    /// Energy boundary between "soft" and "hard" photons, keV.
+    pub hard_kev: f32,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        DetectConfig {
+            bin_ms: 1000,
+            threshold: 2.5,
+            merge_gap_ms: 10_000,
+            min_duration_ms: 2_000,
+            hard_kev: 25.0,
+        }
+    }
+}
+
+/// A detected event, before cataloging.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DetectedEvent {
+    /// Classified kind (magnitude for flares estimated from peak rate).
+    pub kind: EventKind,
+    /// Start, mission-epoch ms (bin-aligned).
+    pub start_ms: u64,
+    /// End, mission-epoch ms (bin-aligned, exclusive).
+    pub end_ms: u64,
+    /// Peak rate during the event, photons/second.
+    pub peak_rate: f64,
+    /// Fraction of photons above the hard-energy boundary.
+    pub hardness: f64,
+    /// Total photons attributed to the event.
+    pub photon_count: u64,
+}
+
+/// Bin a photon stream into counts per `bin_ms` over `[start_ms, end_ms)`.
+pub fn bin_counts(photons: &PhotonList, start_ms: u64, end_ms: u64, bin_ms: u64) -> Vec<u64> {
+    assert!(bin_ms > 0);
+    let nbins = ((end_ms.saturating_sub(start_ms)).div_ceil(bin_ms)) as usize;
+    let mut counts = vec![0u64; nbins];
+    for &t in &photons.times_ms {
+        if t >= start_ms && t < end_ms {
+            counts[((t - start_ms) / bin_ms) as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Robust background estimate: the median of the count series. The median
+/// ignores flare bins as long as flares occupy less than half the window,
+/// which is what makes threshold detection stable across active days.
+pub fn background_level(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) as f64 / 2.0
+    } else {
+        sorted[mid] as f64
+    }
+}
+
+/// Run detection over a photon stream covering `[start_ms, end_ms)`.
+pub fn detect(
+    photons: &PhotonList,
+    start_ms: u64,
+    end_ms: u64,
+    config: &DetectConfig,
+) -> Vec<DetectedEvent> {
+    let counts = bin_counts(photons, start_ms, end_ms, config.bin_ms);
+    if counts.is_empty() {
+        return Vec::new();
+    }
+    let bg = background_level(&counts).max(1.0);
+    let cut = bg * config.threshold;
+
+    // 1. Threshold excursions -> candidate intervals (bin indexes).
+    let mut intervals: Vec<(usize, usize)> = Vec::new(); // [lo, hi)
+    let mut open: Option<usize> = None;
+    for (i, &c) in counts.iter().enumerate() {
+        if c as f64 > cut {
+            if open.is_none() {
+                open = Some(i);
+            }
+        } else if let Some(lo) = open.take() {
+            intervals.push((lo, i));
+        }
+    }
+    if let Some(lo) = open {
+        intervals.push((lo, counts.len()));
+    }
+
+    // 2. Merge close intervals.
+    let gap_bins = (config.merge_gap_ms / config.bin_ms).max(1) as usize;
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    for (lo, hi) in intervals {
+        match merged.last_mut() {
+            Some((_, phi)) if lo <= *phi + gap_bins => *phi = hi.max(*phi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+
+    // 3. Classify each merged interval.
+    let mut out = Vec::with_capacity(merged.len());
+    for (lo, hi) in merged {
+        let ev_start = start_ms + lo as u64 * config.bin_ms;
+        let ev_end = start_ms + hi as u64 * config.bin_ms;
+        if ev_end - ev_start < config.min_duration_ms {
+            continue;
+        }
+        let peak_bin = counts[lo..hi].iter().copied().max().unwrap_or(0);
+        let peak_rate = peak_bin as f64 * 1000.0 / config.bin_ms as f64;
+        let (mut hard, mut total) = (0u64, 0u64);
+        for (i, &t) in photons.times_ms.iter().enumerate() {
+            if t >= ev_start && t < ev_end {
+                total += 1;
+                if photons.energies_kev[i] > config.hard_kev {
+                    hard += 1;
+                }
+            }
+        }
+        let hardness = if total == 0 {
+            0.0
+        } else {
+            hard as f64 / total as f64
+        };
+        // GRBs: short and hard. Flares: longer, soft-dominated.
+        let duration = ev_end - ev_start;
+        let kind = if hardness > 0.35 && duration <= 60_000 {
+            EventKind::GammaRayBurst
+        } else {
+            let excess = (peak_bin as f64 - bg).max(0.0) / bg;
+            let class = if excess > 400.0 {
+                FlareClass::X
+            } else if excess > 80.0 {
+                FlareClass::M
+            } else if excess > 15.0 {
+                FlareClass::C
+            } else if excess > 5.0 {
+                FlareClass::B
+            } else {
+                FlareClass::A
+            };
+            EventKind::Flare(class)
+        };
+        out.push(DetectedEvent {
+            kind,
+            start_ms: ev_start,
+            end_ms: ev_end,
+            peak_rate,
+            hardness,
+            photon_count: total,
+        });
+    }
+    out
+}
+
+/// Find quiet periods: maximal stretches of at least `min_ms` where counts
+/// stay below `threshold × background`. These become the quiet-sun catalog.
+pub fn find_quiet_periods(
+    photons: &PhotonList,
+    start_ms: u64,
+    end_ms: u64,
+    bin_ms: u64,
+    min_ms: u64,
+) -> Vec<(u64, u64)> {
+    let counts = bin_counts(photons, start_ms, end_ms, bin_ms);
+    let bg = background_level(&counts).max(1.0);
+    let cut = bg * 1.8;
+    let mut out = Vec::new();
+    let mut open: Option<usize> = None;
+    for (i, &c) in counts.iter().enumerate() {
+        if (c as f64) <= cut {
+            if open.is_none() {
+                open = Some(i);
+            }
+        } else if let Some(lo) = open.take() {
+            let (a, b) = (start_ms + lo as u64 * bin_ms, start_ms + i as u64 * bin_ms);
+            if b - a >= min_ms {
+                out.push((a, b));
+            }
+        }
+    }
+    if let Some(lo) = open {
+        let (a, b) = (start_ms + lo as u64 * bin_ms, end_ms);
+        if b - a >= min_ms {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+/// Detection-quality score against ground truth: fraction of truth events of
+/// the given kinds matched by a detection with ≥ 50% overlap.
+pub fn recall(truth: &[TruthEvent], detected: &[DetectedEvent], kinds: &[&str]) -> f64 {
+    let relevant: Vec<&TruthEvent> = truth
+        .iter()
+        .filter(|t| kinds.contains(&t.kind.type_name()))
+        .collect();
+    if relevant.is_empty() {
+        return 1.0;
+    }
+    let hit = relevant
+        .iter()
+        .filter(|t| {
+            detected
+                .iter()
+                .any(|d| t.overlap(d.start_ms, d.end_ms) >= 0.5)
+        })
+        .count();
+    hit as f64 / relevant.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    fn active_day() -> crate::gen::Telemetry {
+        generate(&GenConfig {
+            duration_ms: 3600 * 1000,
+            flares_per_hour: 3.0,
+            background_rate: 20.0,
+            seed: 99,
+            ..GenConfig::default()
+        })
+    }
+
+    #[test]
+    fn binning_counts_everything_in_range() {
+        let t = active_day();
+        let cfg = &t.config;
+        let counts = bin_counts(&t.photons, cfg.start_ms, cfg.start_ms + cfg.duration_ms, 1000);
+        let binned: u64 = counts.iter().sum();
+        let in_range = t
+            .photons
+            .times_ms
+            .iter()
+            .filter(|&&p| p < cfg.start_ms + cfg.duration_ms)
+            .count() as u64;
+        assert_eq!(binned, in_range);
+    }
+
+    #[test]
+    fn background_median_robust_to_spikes() {
+        let mut counts = vec![10u64; 100];
+        for c in counts.iter_mut().take(20) {
+            *c = 10_000; // a fifth of the window is flaring
+        }
+        let bg = background_level(&counts);
+        assert_eq!(bg, 10.0);
+        assert_eq!(background_level(&[]), 0.0);
+        assert_eq!(background_level(&[4, 8]), 6.0);
+    }
+
+    #[test]
+    fn detects_injected_flares() {
+        let t = active_day();
+        let cfg = &t.config;
+        let detected = detect(
+            &t.photons,
+            cfg.start_ms,
+            cfg.start_ms + cfg.duration_ms,
+            &DetectConfig::default(),
+        );
+        let r = recall(&t.truth, &detected, &["flare"]);
+        assert!(r >= 0.7, "flare recall {r} with {} detections", detected.len());
+    }
+
+    #[test]
+    fn detects_grbs_as_hard_events() {
+        let t = generate(&GenConfig {
+            duration_ms: 3600 * 1000,
+            grbs_per_day: 150.0,
+            flares_per_hour: 0.0,
+            background_rate: 20.0,
+            seed: 5,
+            ..GenConfig::default()
+        });
+        let cfg = &t.config;
+        let detected = detect(
+            &t.photons,
+            cfg.start_ms,
+            cfg.start_ms + cfg.duration_ms,
+            &DetectConfig::default(),
+        );
+        let grb_detections: Vec<_> = detected
+            .iter()
+            .filter(|d| d.kind == EventKind::GammaRayBurst)
+            .collect();
+        assert!(
+            !grb_detections.is_empty(),
+            "should classify at least one GRB; got {detected:?}"
+        );
+        let r = recall(&t.truth, &detected, &["grb"]);
+        assert!(r >= 0.6, "grb recall {r}");
+    }
+
+    #[test]
+    fn quiet_stream_yields_no_events() {
+        let t = generate(&GenConfig {
+            duration_ms: 1800 * 1000,
+            flares_per_hour: 0.0,
+            grbs_per_day: 0.0,
+            background_rate: 20.0,
+            orbit_ms: 10 * 3600 * 1000, // no night/saa inside the window
+            ..GenConfig::default()
+        });
+        let cfg = &t.config;
+        let detected = detect(
+            &t.photons,
+            cfg.start_ms,
+            cfg.start_ms + cfg.duration_ms,
+            &DetectConfig::default(),
+        );
+        assert!(detected.is_empty(), "{detected:?}");
+        let quiet = find_quiet_periods(
+            &t.photons,
+            cfg.start_ms,
+            cfg.start_ms + cfg.duration_ms,
+            1000,
+            300_000,
+        );
+        assert!(!quiet.is_empty());
+        let total_quiet: u64 = quiet.iter().map(|(a, b)| b - a).sum();
+        assert!(total_quiet as f64 > cfg.duration_ms as f64 * 0.9);
+    }
+
+    #[test]
+    fn empty_photon_list() {
+        let p = PhotonList::default();
+        assert!(detect(&p, 0, 10_000, &DetectConfig::default()).is_empty());
+        assert!(bin_counts(&p, 0, 10_000, 1000).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn merge_gap_joins_nearby_excursions() {
+        // Two bursts 5 s apart with default 10 s merge gap -> one event.
+        let mut p = PhotonList::default();
+        for burst_start in [10_000u64, 17_000] {
+            for i in 0..3000 {
+                p.times_ms.push(burst_start + (i % 2000) as u64);
+                p.energies_kev.push(10.0);
+                p.detectors.push(0);
+            }
+        }
+        // Sprinkle background so the median is small but non-zero.
+        for s in 0..60 {
+            p.times_ms.push(s * 1000);
+            p.energies_kev.push(5.0);
+            p.detectors.push(1);
+        }
+        let mut order: Vec<usize> = (0..p.times_ms.len()).collect();
+        order.sort_by_key(|&i| p.times_ms[i]);
+        let p = PhotonList {
+            times_ms: order.iter().map(|&i| p.times_ms[i]).collect(),
+            energies_kev: order.iter().map(|&i| p.energies_kev[i]).collect(),
+            detectors: order.iter().map(|&i| p.detectors[i]).collect(),
+        };
+        let detected = detect(&p, 0, 60_000, &DetectConfig::default());
+        assert_eq!(detected.len(), 1, "{detected:?}");
+        assert!(detected[0].start_ms <= 10_000);
+        assert!(detected[0].end_ms >= 19_000);
+    }
+}

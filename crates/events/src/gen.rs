@@ -1,0 +1,443 @@
+//! Synthetic telemetry generation.
+//!
+//! The substitution for the real RHESSI downlink (we do not have the
+//! spacecraft): a seeded generator that lays out a ground-truth timeline of
+//! flares, gamma-ray bursts, quiet stretches, SAA transits and spacecraft
+//! night, then draws the photon stream those events imply — Poisson
+//! background plus event-shaped excess, power-law energies, per-detector
+//! assignment. Everything downstream (detection, cataloging, imaging,
+//! spectroscopy, the evaluation workloads) runs on this stream exactly as it
+//! would on the real one.
+
+use crate::model::{EventKind, FlareClass, TruthEvent, DETECTORS, ENERGY_MIN_KEV};
+use hedc_filestore::PhotonList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration. Defaults give a busy observing day scaled so
+/// tests run in milliseconds; the benchmarks scale it up.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GenConfig {
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+    /// Timeline start, mission-epoch ms.
+    pub start_ms: u64,
+    /// Timeline length, ms.
+    pub duration_ms: u64,
+    /// Background photon rate per detector, photons/second.
+    pub background_rate: f64,
+    /// Mean flares per hour.
+    pub flares_per_hour: f64,
+    /// Mean gamma-ray bursts per day.
+    pub grbs_per_day: f64,
+    /// Orbital period (ms) used for night/SAA scheduling.
+    pub orbit_ms: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0x1EDC,
+            start_ms: 0,
+            duration_ms: 2 * 3600 * 1000, // two hours
+            background_rate: 40.0,
+            flares_per_hour: 2.0,
+            grbs_per_day: 3.0,
+            // RHESSI's ~96-minute low-Earth orbit.
+            orbit_ms: 96 * 60 * 1000,
+        }
+    }
+}
+
+/// Generated telemetry: the photon stream plus the ground truth behind it.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Photon impact list, time-ordered.
+    pub photons: PhotonList,
+    /// Ground-truth events, time-ordered, non-overlapping for flares/GRBs.
+    pub truth: Vec<TruthEvent>,
+    /// The config that produced this telemetry.
+    pub config: GenConfig,
+}
+
+/// Draw an energy from a power-law spectrum `E^-gamma` in `[lo, hi]` keV.
+fn power_law_energy(rng: &mut StdRng, gamma: f64, lo: f64, hi: f64) -> f64 {
+    // Inverse-CDF sampling for p(E) ∝ E^-gamma.
+    let u: f64 = rng.gen();
+    if (gamma - 1.0).abs() < 1e-9 {
+        lo * (hi / lo).powf(u)
+    } else {
+        let a = lo.powf(1.0 - gamma);
+        let b = hi.powf(1.0 - gamma);
+        (a + u * (b - a)).powf(1.0 / (1.0 - gamma))
+    }
+}
+
+/// Flare time profile: instant rise at 10% of duration, exponential decay.
+fn flare_profile(t: f64, duration: f64) -> f64 {
+    let rise_end = 0.1 * duration;
+    if t < 0.0 || t >= duration {
+        0.0
+    } else if t < rise_end {
+        t / rise_end
+    } else {
+        (-(t - rise_end) / (0.3 * duration)).exp()
+    }
+}
+
+/// Generate the full telemetry for a config.
+pub fn generate(config: &GenConfig) -> Telemetry {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let end_ms = config.start_ms + config.duration_ms;
+
+    // ---- 1. Ground-truth timeline -----------------------------------------
+    let mut truth: Vec<TruthEvent> = Vec::new();
+
+    // Orbit structure: each orbit is [day 55% | SAA 5% | day 10% | night 30%].
+    let mut t = config.start_ms;
+    while t < end_ms {
+        let orbit_end = (t + config.orbit_ms).min(end_ms);
+        let saa_start = t + (config.orbit_ms as f64 * 0.55) as u64;
+        let saa_end = saa_start + (config.orbit_ms as f64 * 0.05) as u64;
+        let night_start = t + (config.orbit_ms as f64 * 0.70) as u64;
+        if saa_start < orbit_end {
+            truth.push(TruthEvent {
+                kind: EventKind::SaaTransit,
+                start_ms: saa_start,
+                end_ms: saa_end.min(orbit_end),
+                peak_rate: 0.0,
+            });
+        }
+        if night_start < orbit_end {
+            truth.push(TruthEvent {
+                kind: EventKind::NightTime,
+                start_ms: night_start,
+                end_ms: orbit_end,
+                peak_rate: 0.0,
+            });
+        }
+        t = orbit_end;
+    }
+
+    // Flares: Poisson arrivals during daylight.
+    let expected_flares = config.flares_per_hour * config.duration_ms as f64 / 3_600_000.0;
+    let n_flares = sample_poisson(&mut rng, expected_flares);
+    for _ in 0..n_flares {
+        let start = config.start_ms + rng.gen_range(0..config.duration_ms.max(1));
+        let class = match rng.gen_range(0..100) {
+            0..=39 => FlareClass::B,
+            40..=74 => FlareClass::C,
+            75..=94 => FlareClass::M,
+            _ => FlareClass::X,
+        };
+        let duration = rng.gen_range(120_000..900_000).min(end_ms - start); // 2–15 min
+        if duration < 30_000 {
+            continue;
+        }
+        truth.push(TruthEvent {
+            kind: EventKind::Flare(class),
+            start_ms: start,
+            end_ms: start + duration,
+            peak_rate: config.background_rate * class.rate_multiplier(),
+        });
+    }
+
+    // Gamma-ray bursts: rare, short, can happen any time (non-solar).
+    let expected_grbs = config.grbs_per_day * config.duration_ms as f64 / 86_400_000.0;
+    let n_grbs = sample_poisson(&mut rng, expected_grbs);
+    for _ in 0..n_grbs {
+        let start = config.start_ms + rng.gen_range(0..config.duration_ms.max(1));
+        let duration = rng.gen_range(2_000..30_000).min(end_ms - start); // 2–30 s
+        if duration < 1_000 {
+            continue;
+        }
+        truth.push(TruthEvent {
+            kind: EventKind::GammaRayBurst,
+            start_ms: start,
+            end_ms: start + duration,
+            peak_rate: config.background_rate * 80.0,
+        });
+    }
+
+    truth.sort_by_key(|e| e.start_ms);
+
+    // Quiet periods: gaps between excess events during daylight, recorded as
+    // explicit truth so "quiet sun" catalogs can be evaluated too.
+    let mut quiet = Vec::new();
+    let mut cursor = config.start_ms;
+    let excess: Vec<&TruthEvent> = truth
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::Flare(_) | EventKind::GammaRayBurst | EventKind::SaaTransit | EventKind::NightTime
+            )
+        })
+        .collect();
+    for e in &excess {
+        if e.start_ms > cursor && e.start_ms - cursor >= 300_000 {
+            quiet.push(TruthEvent {
+                kind: EventKind::QuietPeriod,
+                start_ms: cursor,
+                end_ms: e.start_ms,
+                peak_rate: 0.0,
+            });
+        }
+        cursor = cursor.max(e.end_ms);
+    }
+    if end_ms > cursor && end_ms - cursor >= 300_000 {
+        quiet.push(TruthEvent {
+            kind: EventKind::QuietPeriod,
+            start_ms: cursor,
+            end_ms,
+            peak_rate: 0.0,
+        });
+    }
+    truth.extend(quiet);
+    truth.sort_by_key(|e| e.start_ms);
+
+    // ---- 2. Photon stream ---------------------------------------------------
+    // Walk the timeline in 1-second steps; per step compute the instantaneous
+    // rate (background modulated by night/SAA, plus event excess), draw a
+    // Poisson count, then scatter photons uniformly within the second.
+    let mut photons = PhotonList::default();
+    let steps = config.duration_ms.div_ceil(1000);
+    for s in 0..steps {
+        let t0 = config.start_ms + s * 1000;
+        let mut rate = config.background_rate * DETECTORS as f64;
+        let mut hard_fraction: f64 = 0.02; // quiet sun: almost all soft
+        for e in &truth {
+            if !e.contains(t0) {
+                continue;
+            }
+            match e.kind {
+                EventKind::NightTime => rate *= 0.15, // only non-solar background
+                EventKind::SaaTransit => rate *= 0.05, // detectors gated off
+                EventKind::Flare(_) => {
+                    let dt = (t0 - e.start_ms) as f64;
+                    let excess =
+                        e.peak_rate * DETECTORS as f64 * flare_profile(dt, e.duration_ms() as f64);
+                    rate += excess;
+                    hard_fraction = 0.10;
+                }
+                EventKind::GammaRayBurst => {
+                    rate += e.peak_rate * DETECTORS as f64;
+                    hard_fraction = 0.65; // GRBs are spectrally hard
+                }
+                EventKind::QuietPeriod => {}
+            }
+        }
+        let count = sample_poisson(&mut rng, rate.max(0.0));
+        for _ in 0..count {
+            let t = t0 + rng.gen_range(0..1000);
+            let hard = rng.gen::<f64>() < hard_fraction;
+            let energy = if hard {
+                power_law_energy(&mut rng, 2.2, 25.0, 8000.0)
+            } else {
+                power_law_energy(&mut rng, 3.5, ENERGY_MIN_KEV, 25.0)
+            };
+            photons.times_ms.push(t);
+            photons.energies_kev.push(energy as f32);
+            photons.detectors.push(rng.gen_range(0..DETECTORS) as u8);
+        }
+    }
+    // The per-second scattering leaves times unsorted within seconds.
+    let mut order: Vec<usize> = (0..photons.len()).collect();
+    order.sort_by_key(|&i| photons.times_ms[i]);
+    let photons = PhotonList {
+        times_ms: order.iter().map(|&i| photons.times_ms[i]).collect(),
+        energies_kev: order.iter().map(|&i| photons.energies_kev[i]).collect(),
+        detectors: order.iter().map(|&i| photons.detectors[i]).collect(),
+    };
+
+    Telemetry {
+        photons,
+        truth,
+        config: config.clone(),
+    }
+}
+
+/// Knuth's Poisson sampler for small means; normal approximation above 64.
+fn sample_poisson(rng: &mut StdRng, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 64.0 {
+        // Normal approximation, clamped at zero.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        return (mean + z * mean.sqrt()).max(0.0).round() as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> GenConfig {
+        GenConfig {
+            duration_ms: 30 * 60 * 1000, // 30 minutes
+            background_rate: 10.0,
+            flares_per_hour: 4.0,
+            ..GenConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small_config();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.photons, b.photons);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small_config();
+        let a = generate(&cfg);
+        cfg.seed += 1;
+        let b = generate(&cfg);
+        assert_ne!(a.photons.times_ms, b.photons.times_ms);
+    }
+
+    #[test]
+    fn photons_sorted_and_in_range() {
+        let cfg = small_config();
+        let t = generate(&cfg);
+        assert!(!t.photons.is_empty());
+        let times = &t.photons.times_ms;
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(*times.first().unwrap() >= cfg.start_ms);
+        assert!(*times.last().unwrap() < cfg.start_ms + cfg.duration_ms + 1000);
+        for &e in &t.photons.energies_kev {
+            assert!(e >= ENERGY_MIN_KEV as f32 && e <= 20_000.0);
+        }
+        for &d in &t.photons.detectors {
+            assert!((d as usize) < DETECTORS);
+        }
+    }
+
+    #[test]
+    fn flares_visibly_raise_rate() {
+        let mut cfg = small_config();
+        cfg.flares_per_hour = 60.0; // force flares into a short window
+        let t = generate(&cfg);
+        let flare = t
+            .truth
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Flare(_)))
+            .expect("at least one flare at this rate");
+        // Count rate inside the flare's first third vs a pre-flare window.
+        let mid = flare.start_ms + flare.duration_ms() / 6;
+        let in_rate = t
+            .photons
+            .times_ms
+            .iter()
+            .filter(|&&p| p >= flare.start_ms && p < mid)
+            .count() as f64
+            / ((mid - flare.start_ms) as f64 / 1000.0);
+        let before = flare.start_ms.saturating_sub(60_000);
+        let pre_rate = t
+            .photons
+            .times_ms
+            .iter()
+            .filter(|&&p| p >= before && p < flare.start_ms)
+            .count() as f64
+            / 60.0;
+        assert!(
+            in_rate > pre_rate * 1.5,
+            "flare rate {in_rate}/s vs pre {pre_rate}/s"
+        );
+    }
+
+    #[test]
+    fn night_time_suppresses_rate() {
+        let cfg = GenConfig {
+            duration_ms: 2 * 96 * 60 * 1000, // two orbits
+            flares_per_hour: 0.0,
+            grbs_per_day: 0.0,
+            ..GenConfig::default()
+        };
+        let t = generate(&cfg);
+        let night = t
+            .truth
+            .iter()
+            .find(|e| e.kind == EventKind::NightTime)
+            .expect("night in every orbit");
+        let night_count = t
+            .photons
+            .times_ms
+            .iter()
+            .filter(|&&p| night.contains(p))
+            .count() as f64
+            / (night.duration_ms() as f64 / 1000.0);
+        let day_rate = cfg.background_rate * DETECTORS as f64;
+        assert!(night_count < day_rate * 0.4, "night {night_count}/s vs day {day_rate}/s");
+    }
+
+    #[test]
+    fn grbs_are_hard_spectrum() {
+        let cfg = GenConfig {
+            duration_ms: 3600 * 1000,
+            grbs_per_day: 200.0, // force some GRBs
+            flares_per_hour: 0.0,
+            ..GenConfig::default()
+        };
+        let t = generate(&cfg);
+        let grb = t
+            .truth
+            .iter()
+            .find(|e| e.kind == EventKind::GammaRayBurst)
+            .expect("a GRB at this rate");
+        let mut hard = 0usize;
+        let mut total = 0usize;
+        for (i, &p) in t.photons.times_ms.iter().enumerate() {
+            if grb.contains(p) {
+                total += 1;
+                if t.photons.energies_kev[i] > 25.0 {
+                    hard += 1;
+                }
+            }
+        }
+        assert!(total > 100, "GRB should be photon-rich");
+        assert!(
+            hard as f64 / total as f64 > 0.4,
+            "GRB hardness {}/{total}",
+            hard
+        );
+    }
+
+    #[test]
+    fn truth_timeline_sorted_with_quiet_gaps() {
+        let t = generate(&small_config());
+        assert!(t.truth.windows(2).all(|w| w[0].start_ms <= w[1].start_ms));
+        // The 30-minute window has at least one classified segment.
+        assert!(!t.truth.is_empty());
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &mean in &[0.5f64, 4.0, 30.0, 200.0] {
+            let n = 3000;
+            let sum: u64 = (0..n).map(|_| sample_poisson(&mut rng, mean)).sum();
+            let est = sum as f64 / n as f64;
+            assert!(
+                (est - mean).abs() < mean * 0.15 + 0.2,
+                "mean {mean}: got {est}"
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # hedc-events — synthetic RHESSI telemetry, detection, calibration
+//!
+//! The substitution for the real spacecraft downlink (see DESIGN.md): a
+//! deterministic generator produces photon-impact streams with embedded
+//! ground truth — solar flares, gamma-ray bursts, quiet sun, SAA transits,
+//! spacecraft night (§2.1/§3.2 of the paper) — and the pipeline pieces that
+//! act on them:
+//!
+//! * [`generate`] — seeded telemetry synthesis with a [`TruthEvent`] record
+//!   of everything injected.
+//! * [`package`] — segmentation of the stream into distribution units
+//!   (the "roughly 40 MB" FITS units of §2.1, size-configurable).
+//! * [`detect()`] — the event search HEDC runs at ingest (§2.2), recovering
+//!   flares/GRBs/quiet periods from counts alone; quality is measurable
+//!   against the ground truth via [`recall`].
+//! * [`Calibration`] / [`recalibrate`] — versioned energy calibration and
+//!   the archive-wide recalibration sweep the paper plans for (§3.1).
+//!
+//! ```
+//! use hedc_events::{generate, detect, recall, GenConfig, DetectConfig};
+//!
+//! let telemetry = generate(&GenConfig { duration_ms: 600_000, ..GenConfig::default() });
+//! let cfg = &telemetry.config;
+//! let events = detect(&telemetry.photons, cfg.start_ms,
+//!                     cfg.start_ms + cfg.duration_ms, &DetectConfig::default());
+//! // `events` seeds the extended catalog; quality is measurable:
+//! let _r = recall(&telemetry.truth, &events, &["flare"]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod detect;
+pub mod gen;
+pub mod model;
+pub mod phoenix;
+pub mod telemetry;
+
+pub use calib::{recalibrate, CalError, Calibration, DetectorCal};
+pub use detect::{
+    background_level, bin_counts, detect, find_quiet_periods, recall, DetectConfig, DetectedEvent,
+};
+pub use gen::{generate, GenConfig, Telemetry};
+pub use model::{EventKind, FlareClass, TruthEvent, DETECTORS, ENERGY_MAX_KEV, ENERGY_MIN_KEV};
+pub use phoenix::{detect_radio_bursts, generate_phoenix, PhoenixConfig, PhoenixScan, RadioBurstType};
+pub use telemetry::{package, TelemetryUnit};

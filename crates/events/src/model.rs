@@ -1,0 +1,168 @@
+//! The physical model: what the synthetic spacecraft observes.
+//!
+//! RHESSI (paper §2.1) images the Sun with 9 rotating modulation collimators,
+//! each backed by a germanium detector covering 3 keV–20 MeV. The data is
+//! "a list of photon impacts on the detectors, with an energy and a time tag
+//! attached to each record" (§3.4). This module defines the ground-truth
+//! event types the generator injects and the detection pipeline must
+//! recover — including the non-solar ones (gamma-ray bursts) whose loss the
+//! paper warns a "solar flare only" system would cause (§3.2).
+
+/// Number of germanium detectors / collimators on the spacecraft.
+pub const DETECTORS: usize = 9;
+
+/// Lowest detectable photon energy (soft X-ray), keV.
+pub const ENERGY_MIN_KEV: f64 = 3.0;
+
+/// Highest detectable photon energy (gamma), keV (20 MeV).
+pub const ENERGY_MAX_KEV: f64 = 20_000.0;
+
+/// GOES-like flare magnitude class, ordered by peak flux.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum FlareClass {
+    /// Smallest detectable events.
+    A,
+    /// Small.
+    B,
+    /// Common.
+    C,
+    /// Medium.
+    M,
+    /// Largest.
+    X,
+}
+
+impl FlareClass {
+    /// Peak photon rate multiplier over background for this class.
+    pub fn rate_multiplier(self) -> f64 {
+        match self {
+            FlareClass::A => 3.0,
+            FlareClass::B => 8.0,
+            FlareClass::C => 25.0,
+            FlareClass::M => 120.0,
+            FlareClass::X => 600.0,
+        }
+    }
+
+    /// Catalog label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlareClass::A => "A",
+            FlareClass::B => "B",
+            FlareClass::C => "C",
+            FlareClass::M => "M",
+            FlareClass::X => "X",
+        }
+    }
+}
+
+/// Kind of ground-truth event injected into the photon stream.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum EventKind {
+    /// Solar flare: minutes-long, soft-dominated spectrum, exponential decay.
+    Flare(FlareClass),
+    /// Gamma-ray burst: seconds-long, hard spectrum — the non-solar science
+    /// the open design must not preclude (§3.2).
+    GammaRayBurst,
+    /// Quiet sun: background only (still data! §3.2 argues against dropping it).
+    QuietPeriod,
+    /// South Atlantic Anomaly transit: detectors effectively blind,
+    /// elevated noise floor, no science signal.
+    SaaTransit,
+    /// Spacecraft night: Earth occults the Sun; only non-solar photons.
+    NightTime,
+}
+
+impl EventKind {
+    /// Catalog type string, as stored in HLE tuples.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            EventKind::Flare(_) => "flare",
+            EventKind::GammaRayBurst => "grb",
+            EventKind::QuietPeriod => "quiet",
+            EventKind::SaaTransit => "saa",
+            EventKind::NightTime => "night",
+        }
+    }
+}
+
+/// One ground-truth event: the generator's record of what it injected,
+/// against which detection quality is measured.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TruthEvent {
+    /// Kind and magnitude.
+    pub kind: EventKind,
+    /// Start, mission-epoch milliseconds.
+    pub start_ms: u64,
+    /// End, mission-epoch milliseconds.
+    pub end_ms: u64,
+    /// Peak excess rate in photons/second above background (0 for quiet).
+    pub peak_rate: f64,
+}
+
+impl TruthEvent {
+    /// Duration in milliseconds.
+    pub fn duration_ms(&self) -> u64 {
+        self.end_ms - self.start_ms
+    }
+
+    /// Whether `t` falls inside the event.
+    pub fn contains(&self, t_ms: u64) -> bool {
+        t_ms >= self.start_ms && t_ms < self.end_ms
+    }
+
+    /// Fractional overlap of `[a,b)` with this event relative to the
+    /// shorter of the two intervals (symmetric match score for detection
+    /// evaluation).
+    pub fn overlap(&self, a_ms: u64, b_ms: u64) -> f64 {
+        let lo = self.start_ms.max(a_ms);
+        let hi = self.end_ms.min(b_ms);
+        if hi <= lo {
+            return 0.0;
+        }
+        let inter = (hi - lo) as f64;
+        let shorter = (self.duration_ms().min(b_ms.saturating_sub(a_ms))) as f64;
+        if shorter == 0.0 {
+            0.0
+        } else {
+            inter / shorter
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ordering_matches_physics() {
+        assert!(FlareClass::X.rate_multiplier() > FlareClass::M.rate_multiplier());
+        assert!(FlareClass::A < FlareClass::X);
+        assert_eq!(FlareClass::M.label(), "M");
+    }
+
+    #[test]
+    fn truth_event_overlap() {
+        let e = TruthEvent {
+            kind: EventKind::Flare(FlareClass::C),
+            start_ms: 1000,
+            end_ms: 2000,
+            peak_rate: 100.0,
+        };
+        assert_eq!(e.duration_ms(), 1000);
+        assert!(e.contains(1500));
+        assert!(!e.contains(2000));
+        assert_eq!(e.overlap(1000, 2000), 1.0);
+        assert_eq!(e.overlap(0, 500), 0.0);
+        assert!((e.overlap(1500, 2500) - 0.5).abs() < 1e-9);
+        // Detection window fully inside the event scores 1.0.
+        assert_eq!(e.overlap(1200, 1400), 1.0);
+    }
+
+    #[test]
+    fn kind_names_are_catalog_types() {
+        assert_eq!(EventKind::Flare(FlareClass::B).type_name(), "flare");
+        assert_eq!(EventKind::GammaRayBurst.type_name(), "grb");
+        assert_eq!(EventKind::SaaTransit.type_name(), "saa");
+    }
+}

@@ -1,0 +1,337 @@
+//! Phoenix-2 ground-based radio spectrometer data.
+//!
+//! HEDC hosts a second instrument besides RHESSI: "around 25 GB of
+//! measurements taken by the Phoenix-2 Broadband Spectrometer in Bleien,
+//! Switzerland ... The Phoenix catalog contains spectrograms for around
+//! 3000 identified solar events" (§2.2). Phoenix is the paper's proof that
+//! the generic/domain schema split absorbs *new data sources* (§3.1):
+//! different physics (radio flux vs photon counts), a different product
+//! (spectrogram grids), a different cadence — same repository.
+
+use hedc_filestore::{CardValue, FitsFile, Header, ImageData};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Solar radio burst types Phoenix-2 classifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RadioBurstType {
+    /// Type II: slow-drifting shock signature.
+    TypeII,
+    /// Type III: fast-drifting electron beams (flare-associated).
+    TypeIII,
+    /// Type IV: broadband continuum.
+    TypeIV,
+}
+
+impl RadioBurstType {
+    /// Catalog label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RadioBurstType::TypeII => "radio-II",
+            RadioBurstType::TypeIII => "radio-III",
+            RadioBurstType::TypeIV => "radio-IV",
+        }
+    }
+}
+
+/// One Phoenix-2 scan: a frequency × time spectrogram with burst truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhoenixScan {
+    /// Scan sequence number.
+    pub seq: u32,
+    /// Scan start, mission ms.
+    pub t_start: u64,
+    /// Scan end, mission ms.
+    pub t_end: u64,
+    /// Lower frequency bound, MHz.
+    pub freq_lo: f64,
+    /// Upper frequency bound, MHz.
+    pub freq_hi: f64,
+    /// The spectrogram (time columns × frequency rows).
+    pub spectrogram: ImageData,
+    /// Bursts injected into the scan: (type, start ms, end ms).
+    pub bursts: Vec<(RadioBurstType, u64, u64)>,
+}
+
+impl PhoenixScan {
+    /// Package as a FITS file with Phoenix metadata.
+    pub fn to_fits(&self) -> FitsFile {
+        let mut h = Header::new();
+        h.set("INSTRUME", CardValue::Text("PHOENIX2".into()));
+        h.set("SCANSEQ", CardValue::Int(i64::from(self.seq)));
+        h.set("TSTART", CardValue::Int(self.t_start as i64));
+        h.set("TEND", CardValue::Int(self.t_end as i64));
+        h.set("FREQLO", CardValue::Float(self.freq_lo));
+        h.set("FREQHI", CardValue::Float(self.freq_hi));
+        self.spectrogram.to_fits(h)
+    }
+
+    /// Parse a packaged scan (bursts are catalog data, not in the file).
+    pub fn from_fits(file: &FitsFile) -> hedc_filestore::FsResult<PhoenixScan> {
+        let instrument = file.header.require_text("INSTRUME")?;
+        if instrument != "PHOENIX2" {
+            return Err(hedc_filestore::FsError::BadFormat(format!(
+                "expected PHOENIX2 data, got {instrument}"
+            )));
+        }
+        Ok(PhoenixScan {
+            seq: file.header.require_int("SCANSEQ")? as u32,
+            t_start: file.header.require_int("TSTART")? as u64,
+            t_end: file.header.require_int("TEND")? as u64,
+            freq_lo: file
+                .header
+                .get("FREQLO")
+                .and_then(CardValue::as_float)
+                .unwrap_or(100.0),
+            freq_hi: file
+                .header
+                .get("FREQHI")
+                .and_then(CardValue::as_float)
+                .unwrap_or(4000.0),
+            spectrogram: ImageData::from_fits(file)?,
+            bursts: Vec::new(),
+        })
+    }
+
+    /// Canonical archive path.
+    pub fn archive_path(&self) -> String {
+        format!("phoenix/scan{:06}_t{}.fits", self.seq, self.t_start)
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct PhoenixConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Timeline start, mission ms.
+    pub start_ms: u64,
+    /// Total observation span, ms.
+    pub duration_ms: u64,
+    /// Scan length, ms (scans tile the span).
+    pub scan_ms: u64,
+    /// Time resolution, ms per spectrogram column.
+    pub time_res_ms: u64,
+    /// Frequency channels.
+    pub channels: u32,
+    /// Mean bursts per hour.
+    pub bursts_per_hour: f64,
+}
+
+impl Default for PhoenixConfig {
+    fn default() -> Self {
+        PhoenixConfig {
+            seed: 0x0F0E,
+            start_ms: 0,
+            duration_ms: 3600 * 1000,
+            scan_ms: 15 * 60 * 1000,
+            time_res_ms: 1000,
+            channels: 64,
+            bursts_per_hour: 4.0,
+        }
+    }
+}
+
+/// Generate Phoenix-2 scans tiling the configured span.
+pub fn generate_phoenix(config: &PhoenixConfig) -> Vec<PhoenixScan> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut scans = Vec::new();
+    let mut seq = 0u32;
+    let mut t = config.start_ms;
+    let end = config.start_ms + config.duration_ms;
+    while t < end {
+        let scan_end = (t + config.scan_ms).min(end);
+        let cols = ((scan_end - t) / config.time_res_ms) as u32;
+        let mut spec = ImageData::zeroed(cols.max(1), config.channels);
+        // Quiet-sun radio background: smooth per-channel level + noise.
+        for y in 0..config.channels {
+            let base = 20.0 + 10.0 * (y as f32 / config.channels as f32);
+            for x in 0..cols {
+                let noise: f32 = rng.gen_range(-2.0..2.0);
+                spec.set(x, y, base + noise);
+            }
+        }
+        // Inject bursts.
+        let expected = config.bursts_per_hour * (scan_end - t) as f64 / 3_600_000.0;
+        let n_bursts = expected.floor() as u64
+            + u64::from(rng.gen::<f64>() < expected.fract());
+        let mut bursts = Vec::new();
+        for _ in 0..n_bursts {
+            let kind = match rng.gen_range(0..10) {
+                0..=1 => RadioBurstType::TypeII,
+                2..=7 => RadioBurstType::TypeIII,
+                _ => RadioBurstType::TypeIV,
+            };
+            let b_start = t + rng.gen_range(0..(scan_end - t).max(1));
+            let (dur_ms, drift) = match kind {
+                // Type III: seconds, fast drift across all channels.
+                RadioBurstType::TypeIII => (rng.gen_range(3_000..15_000), 8.0),
+                // Type II: minutes, slow drift.
+                RadioBurstType::TypeII => (rng.gen_range(120_000..400_000), 0.5),
+                // Type IV: broadband, long.
+                RadioBurstType::TypeIV => (rng.gen_range(300_000..600_000), 0.0),
+            };
+            let b_end = (b_start + dur_ms).min(scan_end);
+            let x0 = ((b_start - t) / config.time_res_ms) as i64;
+            let x1 = ((b_end - t) / config.time_res_ms) as i64;
+            for x in x0..x1.min(cols as i64) {
+                for y in 0..config.channels {
+                    let intensity = if drift > 0.0 {
+                        // Drifting lane: bright where channel tracks time.
+                        let lane = ((x - x0) as f64 * drift) as i64 % i64::from(config.channels);
+                        if (i64::from(y) - lane).abs() <= 3 {
+                            400.0
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        150.0 // broadband continuum
+                    };
+                    if intensity > 0.0 && x >= 0 {
+                        let cur = spec.get(x as u32, y);
+                        spec.set(x as u32, y, cur + intensity as f32);
+                    }
+                }
+            }
+            bursts.push((kind, b_start, b_end));
+        }
+        bursts.sort_by_key(|b| b.1);
+        scans.push(PhoenixScan {
+            seq,
+            t_start: t,
+            t_end: scan_end,
+            freq_lo: 100.0,
+            freq_hi: 4000.0,
+            spectrogram: spec,
+            bursts,
+        });
+        seq += 1;
+        t = scan_end;
+    }
+    scans
+}
+
+/// Detect radio bursts in a spectrogram: columns whose total flux exceeds
+/// the scan's median by `threshold`×, merged into intervals.
+pub fn detect_radio_bursts(scan: &PhoenixScan, threshold: f64, time_res_ms: u64) -> Vec<(u64, u64)> {
+    let cols = scan.spectrogram.width as usize;
+    let mut flux: Vec<f64> = Vec::with_capacity(cols);
+    for x in 0..cols {
+        let mut sum = 0.0f64;
+        for y in 0..scan.spectrogram.height {
+            sum += f64::from(scan.spectrogram.get(x as u32, y));
+        }
+        flux.push(sum);
+    }
+    let mut sorted = flux.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted.get(cols / 2).copied().unwrap_or(0.0).max(1.0);
+    let cut = median * threshold;
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    let mut open: Option<usize> = None;
+    for (x, &f) in flux.iter().enumerate() {
+        if f > cut {
+            if open.is_none() {
+                open = Some(x);
+            }
+        } else if let Some(x0) = open.take() {
+            out.push((
+                scan.t_start + x0 as u64 * time_res_ms,
+                scan.t_start + x as u64 * time_res_ms,
+            ));
+        }
+    }
+    if let Some(x0) = open {
+        out.push((scan.t_start + x0 as u64 * time_res_ms, scan.t_end));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_tile_the_span() {
+        let cfg = PhoenixConfig::default();
+        let scans = generate_phoenix(&cfg);
+        assert_eq!(scans.len(), 4); // 1 h in 15-minute scans
+        assert_eq!(scans[0].t_start, 0);
+        for w in scans.windows(2) {
+            assert_eq!(w[0].t_end, w[1].t_start);
+        }
+        assert_eq!(scans.last().unwrap().t_end, cfg.duration_ms);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PhoenixConfig::default();
+        let a = generate_phoenix(&cfg);
+        let b = generate_phoenix(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fits_roundtrip() {
+        let scans = generate_phoenix(&PhoenixConfig {
+            duration_ms: 15 * 60 * 1000,
+            ..PhoenixConfig::default()
+        });
+        let fits = scans[0].to_fits();
+        let bytes = fits.to_bytes();
+        let parsed = PhoenixScan::from_fits(&FitsFile::from_bytes(&bytes).unwrap()).unwrap();
+        assert_eq!(parsed.seq, scans[0].seq);
+        assert_eq!(parsed.spectrogram, scans[0].spectrogram);
+        assert_eq!(parsed.freq_hi, 4000.0);
+    }
+
+    #[test]
+    fn wrong_instrument_rejected() {
+        let img = ImageData::zeroed(4, 4);
+        let fits = img.to_fits(Header::new());
+        assert!(PhoenixScan::from_fits(&fits).is_err());
+    }
+
+    #[test]
+    fn bursts_are_detectable() {
+        let cfg = PhoenixConfig {
+            bursts_per_hour: 20.0,
+            seed: 9,
+            ..PhoenixConfig::default()
+        };
+        let scans = generate_phoenix(&cfg);
+        let total_truth: usize = scans.iter().map(|s| s.bursts.len()).sum();
+        assert!(total_truth > 0, "need bursts at this rate");
+        let mut hits = 0usize;
+        for scan in &scans {
+            let detected = detect_radio_bursts(scan, 1.5, cfg.time_res_ms);
+            for (_, b_start, b_end) in &scan.bursts {
+                if detected
+                    .iter()
+                    .any(|(d0, d1)| d0 < b_end && b_start < d1)
+                {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits as f64 >= total_truth as f64 * 0.6,
+            "detected {hits}/{total_truth}"
+        );
+    }
+
+    #[test]
+    fn quiet_scan_no_detections() {
+        let cfg = PhoenixConfig {
+            bursts_per_hour: 0.0,
+            duration_ms: 15 * 60 * 1000,
+            ..PhoenixConfig::default()
+        };
+        let scans = generate_phoenix(&cfg);
+        for scan in &scans {
+            assert!(scan.bursts.is_empty());
+            let detected = detect_radio_bursts(scan, 1.5, cfg.time_res_ms);
+            assert!(detected.is_empty(), "{detected:?}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Telemetry packaging: photon streams → distribution units.
+//!
+//! The downlink "is analyzed for possibly relevant events, segmented along
+//! the time axis, packaged into units of roughly 40 MB, formatted as FITS
+//! files and compressed" (§2.1). This module performs the segmentation and
+//! packaging; the FITS formatting and compression come from
+//! `hedc-filestore`.
+
+use crate::gen::Telemetry;
+use hedc_filestore::{CardValue, FitsFile, Header, PhotonList};
+
+/// One distribution unit: a time slice of the photon stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryUnit {
+    /// Sequence number within the batch.
+    pub seq: u32,
+    /// Start of the covered interval, mission-epoch ms.
+    pub start_ms: u64,
+    /// End of the covered interval (exclusive).
+    pub end_ms: u64,
+    /// The photons in the interval.
+    pub photons: PhotonList,
+    /// Calibration version the energies were computed under.
+    pub calib_version: u32,
+}
+
+impl TelemetryUnit {
+    /// Package as a FITS file with the unit metadata the catalog needs.
+    pub fn to_fits(&self) -> FitsFile {
+        let mut h = Header::new();
+        h.set("UNITSEQ", CardValue::Int(i64::from(self.seq)));
+        h.set("TSTART", CardValue::Int(self.start_ms as i64));
+        h.set("TEND", CardValue::Int(self.end_ms as i64));
+        h.set("CALVER", CardValue::Int(i64::from(self.calib_version)));
+        self.photons.to_fits(h)
+    }
+
+    /// Parse a packaged unit back.
+    pub fn from_fits(file: &FitsFile) -> hedc_filestore::FsResult<TelemetryUnit> {
+        let photons = PhotonList::from_fits(file)?;
+        Ok(TelemetryUnit {
+            seq: file.header.require_int("UNITSEQ")? as u32,
+            start_ms: file.header.require_int("TSTART")? as u64,
+            end_ms: file.header.require_int("TEND")? as u64,
+            photons,
+            calib_version: file.header.require_int("CALVER")? as u32,
+        })
+    }
+
+    /// Canonical archive path for this unit.
+    pub fn archive_path(&self) -> String {
+        format!("raw/unit{:06}_t{}.fits", self.seq, self.start_ms)
+    }
+}
+
+/// Segment telemetry into units of at most `photons_per_unit` photons,
+/// cutting on whole-second boundaries (a unit must not split a second,
+/// because downstream binning assumes second-aligned edges).
+pub fn package(telemetry: &Telemetry, photons_per_unit: usize, calib_version: u32) -> Vec<TelemetryUnit> {
+    assert!(photons_per_unit > 0);
+    let p = &telemetry.photons;
+    let t_end = telemetry.config.start_ms + telemetry.config.duration_ms;
+    let mut units = Vec::new();
+    let mut seq = 0u32;
+    let mut i = 0usize;
+    let mut unit_start = telemetry.config.start_ms;
+    while i < p.len() {
+        // Tentative cut after photons_per_unit photons...
+        let mut j = (i + photons_per_unit).min(p.len());
+        if j < p.len() {
+            // ...moved forward to the next whole-second boundary.
+            let cut_sec = p.times_ms[j] / 1000;
+            while j < p.len() && p.times_ms[j] / 1000 == cut_sec {
+                j += 1;
+            }
+        }
+        let end_ms = if j >= p.len() {
+            t_end
+        } else {
+            (p.times_ms[j] / 1000) * 1000
+        };
+        units.push(TelemetryUnit {
+            seq,
+            start_ms: unit_start,
+            end_ms,
+            photons: PhotonList {
+                times_ms: p.times_ms[i..j].to_vec(),
+                energies_kev: p.energies_kev[i..j].to_vec(),
+                detectors: p.detectors[i..j].to_vec(),
+            },
+            calib_version,
+        });
+        seq += 1;
+        unit_start = end_ms;
+        i = j;
+    }
+    if units.is_empty() {
+        // An empty stream still produces one (empty) unit covering the span.
+        units.push(TelemetryUnit {
+            seq: 0,
+            start_ms: telemetry.config.start_ms,
+            end_ms: t_end,
+            photons: PhotonList::default(),
+            calib_version,
+        });
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    fn telemetry() -> Telemetry {
+        generate(&GenConfig {
+            duration_ms: 20 * 60 * 1000,
+            background_rate: 30.0,
+            seed: 11,
+            ..GenConfig::default()
+        })
+    }
+
+    #[test]
+    fn units_partition_the_stream() {
+        let t = telemetry();
+        let units = package(&t, 50_000, 1);
+        assert!(units.len() > 1, "should split: {} photons", t.photons.len());
+        let total: usize = units.iter().map(|u| u.photons.len()).sum();
+        assert_eq!(total, t.photons.len());
+        // Contiguous, ordered, covering the whole span.
+        assert_eq!(units[0].start_ms, t.config.start_ms);
+        for w in units.windows(2) {
+            assert_eq!(w[0].end_ms, w[1].start_ms);
+        }
+        assert_eq!(
+            units.last().unwrap().end_ms,
+            t.config.start_ms + t.config.duration_ms
+        );
+        // Every photon lands in its unit's interval.
+        for u in &units {
+            for &pt in &u.photons.times_ms {
+                assert!(pt >= u.start_ms && pt < u.end_ms.max(u.start_ms + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_on_second_boundaries() {
+        let t = telemetry();
+        let units = package(&t, 10_000, 1);
+        for u in &units[..units.len() - 1] {
+            assert_eq!(u.end_ms % 1000, 0, "unit end {} not second-aligned", u.end_ms);
+        }
+    }
+
+    #[test]
+    fn fits_roundtrip_per_unit() {
+        let t = telemetry();
+        let units = package(&t, 100_000, 3);
+        let u = &units[0];
+        let fits = u.to_fits();
+        let bytes = fits.to_bytes();
+        let parsed = hedc_filestore::FitsFile::from_bytes(&bytes).unwrap();
+        let back = TelemetryUnit::from_fits(&parsed).unwrap();
+        assert_eq!(&back, u);
+        assert_eq!(back.calib_version, 3);
+        assert!(u.archive_path().starts_with("raw/unit000000"));
+    }
+
+    #[test]
+    fn empty_stream_single_empty_unit() {
+        let t = generate(&GenConfig {
+            duration_ms: 60_000,
+            background_rate: 0.0,
+            flares_per_hour: 0.0,
+            grbs_per_day: 0.0,
+            ..GenConfig::default()
+        });
+        let units = package(&t, 1000, 1);
+        assert_eq!(units.len(), 1);
+        assert!(units[0].photons.is_empty());
+        assert_eq!(units[0].end_ms - units[0].start_ms, 60_000);
+    }
+}

@@ -1,0 +1,700 @@
+//! Tiered file archives.
+//!
+//! HEDC's resource tier (paper §2.3) spreads files across very different
+//! devices: the A1000 RAID with tape backup for critical data, no-backup
+//! RAID5 for secondary data, plain disks + CD archival for raw data, NFS
+//! links to remote archives, and a tape robot for cold files. What the
+//! middle tier sees is uniform: an archive id, a path, and bytes.
+//!
+//! This module gives each tier a real backend (in-memory or directory-backed)
+//! plus a *cost model* — per-operation latency and bandwidth charged to an
+//! I/O meter instead of wall-clock sleeps, so tests stay fast while the
+//! relative costs between tiers stay measurable and the simulator can reuse
+//! the same constants.
+
+use crate::error::{FsError, FsResult};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies one archive within a [`FileStore`].
+pub type ArchiveId = u32;
+
+/// Storage tier of an archive, with paper-era cost characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ArchiveTier {
+    /// Backed-up RAID for critical data (fast, expensive).
+    OnlineRaid,
+    /// No-backup RAID5 / plain disks for bulk data.
+    OnlineDisk,
+    /// Remote archive linked by NFS (bandwidth-limited).
+    RemoteNfs,
+    /// Tape robot: huge, slow, requires a mount before access.
+    TapeVault,
+}
+
+/// Simulated device characteristics, charged to the [`IoMeter`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    /// Fixed per-operation latency in milliseconds (seek/rpc).
+    pub seek_ms: f64,
+    /// Read bandwidth, MB/s.
+    pub read_mbps: f64,
+    /// Write bandwidth, MB/s.
+    pub write_mbps: f64,
+    /// Mount cost in milliseconds charged when the device must be brought
+    /// online for an access (tape robot arm; 0 for disks).
+    pub mount_ms: f64,
+}
+
+impl ArchiveTier {
+    /// Default cost model for the tier, scaled to the paper's 2002 hardware
+    /// (e.g. the client/server HTTP link runs at 2 MB/s in §8.1).
+    pub fn default_costs(self) -> CostModel {
+        match self {
+            ArchiveTier::OnlineRaid => CostModel {
+                seek_ms: 8.0,
+                read_mbps: 60.0,
+                write_mbps: 45.0,
+                mount_ms: 0.0,
+            },
+            ArchiveTier::OnlineDisk => CostModel {
+                seek_ms: 12.0,
+                read_mbps: 30.0,
+                write_mbps: 25.0,
+                mount_ms: 0.0,
+            },
+            ArchiveTier::RemoteNfs => CostModel {
+                seek_ms: 25.0,
+                read_mbps: 8.0,
+                write_mbps: 6.0,
+                mount_ms: 0.0,
+            },
+            ArchiveTier::TapeVault => CostModel {
+                seek_ms: 4_000.0,
+                read_mbps: 10.0,
+                write_mbps: 10.0,
+                mount_ms: 45_000.0,
+            },
+        }
+    }
+}
+
+/// Accumulated simulated I/O cost and volume for one archive.
+#[derive(Debug, Default)]
+pub struct IoMeter {
+    /// Simulated microseconds spent in I/O.
+    pub sim_us: AtomicU64,
+    /// Bytes read.
+    pub bytes_read: AtomicU64,
+    /// Bytes written.
+    pub bytes_written: AtomicU64,
+    /// Read operations.
+    pub reads: AtomicU64,
+    /// Write operations.
+    pub writes: AtomicU64,
+    /// Mount events (tape).
+    pub mounts: AtomicU64,
+}
+
+/// Snapshot of an [`IoMeter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IoSnapshot {
+    /// Simulated microseconds of I/O time.
+    pub sim_us: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Read ops.
+    pub reads: u64,
+    /// Write ops.
+    pub writes: u64,
+    /// Mounts.
+    pub mounts: u64,
+}
+
+impl IoMeter {
+    fn charge(&self, costs: &CostModel, bytes: u64, write: bool, mounted: bool) {
+        let mut ms = costs.seek_ms;
+        if !mounted {
+            ms += costs.mount_ms;
+            if costs.mount_ms > 0.0 {
+                self.mounts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mbps = if write { costs.write_mbps } else { costs.read_mbps };
+        if mbps > 0.0 {
+            ms += (bytes as f64) / (mbps * 1_048_576.0) * 1000.0;
+        }
+        self.sim_us
+            .fetch_add((ms * 1000.0) as u64, Ordering::Relaxed);
+        if write {
+            self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            self.reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            sim_us: self.sim_us.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            mounts: self.mounts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------------
+
+/// Physical byte storage behind an archive.
+pub trait ArchiveBackend: Send + Sync + std::fmt::Debug {
+    /// Store a new file (immutable once stored).
+    fn store(&self, path: &str, data: &[u8]) -> FsResult<()>;
+    /// Read a whole file.
+    fn fetch(&self, path: &str) -> FsResult<Vec<u8>>;
+    /// Remove a file (administrative relocation/purge only).
+    fn delete(&self, path: &str) -> FsResult<()>;
+    /// Whether a file exists.
+    fn exists(&self, path: &str) -> bool;
+    /// All stored paths, sorted.
+    fn list(&self) -> Vec<String>;
+    /// Total payload bytes.
+    fn used_bytes(&self) -> u64;
+}
+
+/// In-memory backend (tests, simulations, tape/NFS models).
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    files: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+    used: AtomicU64,
+}
+
+impl ArchiveBackend for MemBackend {
+    fn store(&self, path: &str, data: &[u8]) -> FsResult<()> {
+        let mut files = self.files.write();
+        if files.contains_key(path) {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        self.used.fetch_add(data.len() as u64, Ordering::Relaxed);
+        files.insert(path.to_string(), Arc::new(data.to_vec()));
+        Ok(())
+    }
+
+    fn fetch(&self, path: &str) -> FsResult<Vec<u8>> {
+        self.files
+            .read()
+            .get(path)
+            .map(|d| d.as_ref().clone())
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    fn delete(&self, path: &str) -> FsResult<()> {
+        match self.files.write().remove(path) {
+            Some(d) => {
+                self.used.fetch_sub(d.len() as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            None => Err(FsError::NotFound(path.to_string())),
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+}
+
+/// Directory-backed backend: real files under a root directory. Archive
+/// paths use `/` separators and are sanitized against traversal.
+#[derive(Debug)]
+pub struct DirBackend {
+    root: PathBuf,
+}
+
+impl DirBackend {
+    /// Create (and mkdir) a directory-backed archive.
+    pub fn new(root: impl Into<PathBuf>) -> FsResult<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DirBackend { root })
+    }
+
+    fn resolve(&self, path: &str) -> FsResult<PathBuf> {
+        if path.is_empty()
+            || path.split('/').any(|seg| {
+                seg.is_empty() || seg == "." || seg == ".." || seg.contains('\\')
+            })
+        {
+            return Err(FsError::Io(format!("invalid archive path `{path}`")));
+        }
+        Ok(self.root.join(path))
+    }
+}
+
+impl ArchiveBackend for DirBackend {
+    fn store(&self, path: &str, data: &[u8]) -> FsResult<()> {
+        let full = self.resolve(path)?;
+        if full.exists() {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        if let Some(parent) = full.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename so a crash never leaves a half-written file
+        // visible under its final name.
+        let tmp = full.with_extension("tmp-writing");
+        std::fs::write(&tmp, data)?;
+        std::fs::rename(&tmp, &full)?;
+        Ok(())
+    }
+
+    fn fetch(&self, path: &str) -> FsResult<Vec<u8>> {
+        let full = self.resolve(path)?;
+        std::fs::read(&full).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                FsError::NotFound(path.to_string())
+            } else {
+                FsError::Io(e.to_string())
+            }
+        })
+    }
+
+    fn delete(&self, path: &str) -> FsResult<()> {
+        let full = self.resolve(path)?;
+        std::fs::remove_file(&full).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                FsError::NotFound(path.to_string())
+            } else {
+                FsError::Io(e.to_string())
+            }
+        })
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.resolve(path).map(|p| p.exists()).unwrap_or(false)
+    }
+
+    fn list(&self) -> Vec<String> {
+        fn walk(dir: &std::path::Path, prefix: &str, out: &mut Vec<String>) {
+            let Ok(entries) = std::fs::read_dir(dir) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().to_string();
+                let rel = if prefix.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{prefix}/{name}")
+                };
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(&path, &rel, out);
+                } else {
+                    out.push(rel);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, "", &mut out);
+        out.sort();
+        out
+    }
+
+    fn used_bytes(&self) -> u64 {
+        fn size(dir: &std::path::Path) -> u64 {
+            let Ok(entries) = std::fs::read_dir(dir) else {
+                return 0;
+            };
+            entries
+                .flatten()
+                .map(|e| {
+                    let p = e.path();
+                    if p.is_dir() {
+                        size(&p)
+                    } else {
+                        e.metadata().map(|m| m.len()).unwrap_or(0)
+                    }
+                })
+                .sum()
+        }
+        size(&self.root)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Archive
+// ---------------------------------------------------------------------------
+
+/// Online/offline state; offline archives reject reads and writes (a
+/// dismounted tape, a down NFS host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ArchiveState {
+    /// Serving requests.
+    Online,
+    /// Unreachable; operations return [`FsError::Offline`].
+    Offline,
+}
+
+/// The operational-status row HEDC keeps for every archive (§4.1: "status of
+/// archives (online, capacity left, type)").
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ArchiveStatus {
+    /// Archive id.
+    pub id: ArchiveId,
+    /// Human name (e.g. "raid-a1000").
+    pub name: String,
+    /// Tier.
+    pub tier: ArchiveTier,
+    /// Current state.
+    pub state: ArchiveState,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Bytes used.
+    pub used: u64,
+    /// Number of files.
+    pub files: usize,
+}
+
+/// One archive: a backend plus tier metadata, capacity limit, and I/O meter.
+#[derive(Debug)]
+pub struct Archive {
+    id: ArchiveId,
+    name: String,
+    tier: ArchiveTier,
+    costs: CostModel,
+    capacity: u64,
+    backend: Box<dyn ArchiveBackend>,
+    state: RwLock<ArchiveState>,
+    meter: IoMeter,
+}
+
+impl Archive {
+    /// Create an archive over a backend.
+    pub fn new(
+        id: ArchiveId,
+        name: impl Into<String>,
+        tier: ArchiveTier,
+        capacity: u64,
+        backend: Box<dyn ArchiveBackend>,
+    ) -> Self {
+        Archive {
+            id,
+            name: name.into(),
+            tier,
+            costs: tier.default_costs(),
+            capacity,
+            backend,
+            state: RwLock::new(ArchiveState::Online),
+            meter: IoMeter::default(),
+        }
+    }
+
+    /// In-memory archive (convenience).
+    pub fn in_memory(id: ArchiveId, name: impl Into<String>, tier: ArchiveTier, capacity: u64) -> Self {
+        Self::new(id, name, tier, capacity, Box::new(MemBackend::default()))
+    }
+
+    /// Archive id.
+    pub fn id(&self) -> ArchiveId {
+        self.id
+    }
+
+    /// Tier.
+    pub fn tier(&self) -> ArchiveTier {
+        self.tier
+    }
+
+    /// Override the cost model (calibration hooks).
+    pub fn set_costs(&mut self, costs: CostModel) {
+        self.costs = costs;
+    }
+
+    /// Take the archive offline / bring it back.
+    pub fn set_state(&self, state: ArchiveState) {
+        *self.state.write() = state;
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ArchiveState {
+        *self.state.read()
+    }
+
+    /// I/O meter snapshot.
+    pub fn io(&self) -> IoSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// Status row for the operational tables.
+    pub fn status(&self) -> ArchiveStatus {
+        ArchiveStatus {
+            id: self.id,
+            name: self.name.clone(),
+            tier: self.tier,
+            state: self.state(),
+            capacity: self.capacity,
+            used: self.backend.used_bytes(),
+            files: self.backend.list().len(),
+        }
+    }
+
+    fn check_online(&self) -> FsResult<()> {
+        match self.state() {
+            ArchiveState::Online => Ok(()),
+            ArchiveState::Offline => Err(FsError::Offline(self.id)),
+        }
+    }
+
+    /// Store an immutable file.
+    pub fn store(&self, path: &str, data: &[u8]) -> FsResult<()> {
+        self.check_online()?;
+        let used = self.backend.used_bytes();
+        let needed = data.len() as u64;
+        if used + needed > self.capacity {
+            return Err(FsError::CapacityExceeded {
+                archive: self.id,
+                needed,
+                free: self.capacity.saturating_sub(used),
+            });
+        }
+        self.backend.store(path, data)?;
+        self.meter.charge(&self.costs, needed, true, false);
+        Ok(())
+    }
+
+    /// Fetch a whole file.
+    pub fn fetch(&self, path: &str) -> FsResult<Vec<u8>> {
+        self.check_online()?;
+        let data = self.backend.fetch(path)?;
+        self.meter.charge(&self.costs, data.len() as u64, false, false);
+        Ok(data)
+    }
+
+    /// Delete a file (administrative).
+    pub fn delete(&self, path: &str) -> FsResult<()> {
+        self.check_online()?;
+        self.backend.delete(path)
+    }
+
+    /// Whether a file exists (no state check: existence is metadata).
+    pub fn exists(&self, path: &str) -> bool {
+        self.backend.exists(path)
+    }
+
+    /// List all paths.
+    pub fn list(&self) -> Vec<String> {
+        self.backend.list()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileStore
+// ---------------------------------------------------------------------------
+
+/// The collection of archives a HEDC node mounts.
+#[derive(Debug, Default)]
+pub struct FileStore {
+    archives: RwLock<HashMap<ArchiveId, Arc<Archive>>>,
+}
+
+impl FileStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        FileStore::default()
+    }
+
+    /// Register an archive; replaces nothing (ids must be fresh).
+    pub fn register(&self, archive: Archive) -> Arc<Archive> {
+        let arc = Arc::new(archive);
+        let prev = self.archives.write().insert(arc.id(), Arc::clone(&arc));
+        assert!(prev.is_none(), "archive id {} already registered", arc.id());
+        arc
+    }
+
+    /// Look up an archive.
+    pub fn archive(&self, id: ArchiveId) -> FsResult<Arc<Archive>> {
+        self.archives
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(FsError::NoSuchArchive(id))
+    }
+
+    /// Store into a specific archive.
+    pub fn store(&self, id: ArchiveId, path: &str, data: &[u8]) -> FsResult<()> {
+        self.archive(id)?.store(path, data)
+    }
+
+    /// Fetch from a specific archive.
+    pub fn fetch(&self, id: ArchiveId, path: &str) -> FsResult<Vec<u8>> {
+        self.archive(id)?.fetch(path)
+    }
+
+    /// Delete from a specific archive.
+    pub fn delete(&self, id: ArchiveId, path: &str) -> FsResult<()> {
+        self.archive(id)?.delete(path)
+    }
+
+    /// Whether a path exists in an archive.
+    pub fn exists(&self, id: ArchiveId, path: &str) -> bool {
+        self.archive(id).map(|a| a.exists(path)).unwrap_or(false)
+    }
+
+    /// Status of every archive, ordered by id (the "status of archives"
+    /// operational view).
+    pub fn statuses(&self) -> Vec<ArchiveStatus> {
+        let mut v: Vec<ArchiveStatus> = self
+            .archives
+            .read()
+            .values()
+            .map(|a| a.status())
+            .collect();
+        v.sort_by_key(|s| s.id);
+        v
+    }
+
+    /// Ids of all registered archives.
+    pub fn archive_ids(&self) -> Vec<ArchiveId> {
+        let mut v: Vec<ArchiveId> = self.archives.read().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_archive(id: ArchiveId, tier: ArchiveTier, cap: u64) -> Archive {
+        Archive::in_memory(id, format!("a{id}"), tier, cap)
+    }
+
+    #[test]
+    fn store_fetch_immutability() {
+        let a = mem_archive(1, ArchiveTier::OnlineDisk, 1 << 20);
+        a.store("raw/unit1.fits", b"hello").unwrap();
+        assert_eq!(a.fetch("raw/unit1.fits").unwrap(), b"hello");
+        assert!(matches!(
+            a.store("raw/unit1.fits", b"other"),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let a = mem_archive(1, ArchiveTier::OnlineDisk, 10);
+        a.store("f1", b"12345").unwrap();
+        assert!(matches!(
+            a.store("f2", b"123456"),
+            Err(FsError::CapacityExceeded { .. })
+        ));
+        a.store("f2", b"12345").unwrap();
+    }
+
+    #[test]
+    fn offline_archive_rejects_io() {
+        let a = mem_archive(1, ArchiveTier::TapeVault, 1 << 20);
+        a.store("f", b"x").unwrap();
+        a.set_state(ArchiveState::Offline);
+        assert!(matches!(a.fetch("f"), Err(FsError::Offline(1))));
+        assert!(matches!(a.store("g", b"y"), Err(FsError::Offline(1))));
+        a.set_state(ArchiveState::Online);
+        assert_eq!(a.fetch("f").unwrap(), b"x");
+    }
+
+    #[test]
+    fn io_meter_reflects_tier_costs() {
+        let disk = mem_archive(1, ArchiveTier::OnlineDisk, 1 << 30);
+        let tape = mem_archive(2, ArchiveTier::TapeVault, 1 << 30);
+        let payload = vec![0u8; 1 << 20];
+        disk.store("f", &payload).unwrap();
+        tape.store("f", &payload).unwrap();
+        disk.fetch("f").unwrap();
+        tape.fetch("f").unwrap();
+        let d = disk.io();
+        let t = tape.io();
+        assert!(t.sim_us > d.sim_us * 100, "tape {} vs disk {}", t.sim_us, d.sim_us);
+        assert_eq!(t.mounts, 2);
+        assert_eq!(d.mounts, 0);
+        assert_eq!(d.bytes_read, 1 << 20);
+    }
+
+    #[test]
+    fn dir_backend_roundtrip() {
+        let root = std::env::temp_dir().join(format!("hedc-fs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let b = DirBackend::new(&root).unwrap();
+        b.store("raw/2002/unit1.fits", b"data1").unwrap();
+        b.store("raw/2002/unit2.fits", b"data22").unwrap();
+        assert_eq!(b.fetch("raw/2002/unit1.fits").unwrap(), b"data1");
+        assert!(b.exists("raw/2002/unit2.fits"));
+        assert_eq!(
+            b.list(),
+            vec!["raw/2002/unit1.fits", "raw/2002/unit2.fits"]
+        );
+        assert_eq!(b.used_bytes(), 11);
+        b.delete("raw/2002/unit1.fits").unwrap();
+        assert!(!b.exists("raw/2002/unit1.fits"));
+        assert!(matches!(
+            b.fetch("raw/2002/unit1.fits"),
+            Err(FsError::NotFound(_))
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dir_backend_rejects_traversal() {
+        let root = std::env::temp_dir().join(format!("hedc-fs-trav-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let b = DirBackend::new(&root).unwrap();
+        assert!(b.store("../escape", b"x").is_err());
+        assert!(b.store("a/../../b", b"x").is_err());
+        assert!(b.store("", b"x").is_err());
+        assert!(b.store("a//b", b"x").is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn file_store_routing_and_status() {
+        let fs = FileStore::new();
+        fs.register(mem_archive(1, ArchiveTier::OnlineRaid, 1000));
+        fs.register(mem_archive(7, ArchiveTier::TapeVault, 1 << 40));
+        fs.store(1, "critical/log", b"redo").unwrap();
+        fs.store(7, "cold/old.fits", b"archived").unwrap();
+        assert_eq!(fs.fetch(7, "cold/old.fits").unwrap(), b"archived");
+        assert!(matches!(fs.fetch(3, "x"), Err(FsError::NoSuchArchive(3))));
+        let statuses = fs.statuses();
+        assert_eq!(statuses.len(), 2);
+        assert_eq!(statuses[0].id, 1);
+        assert_eq!(statuses[0].used, 4);
+        assert_eq!(statuses[1].files, 1);
+        assert_eq!(fs.archive_ids(), vec![1, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_archive_id_panics() {
+        let fs = FileStore::new();
+        fs.register(mem_archive(1, ArchiveTier::OnlineDisk, 10));
+        fs.register(mem_archive(1, ArchiveTier::OnlineDisk, 10));
+    }
+}

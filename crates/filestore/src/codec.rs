@@ -1,0 +1,447 @@
+//! Compression codecs.
+//!
+//! RHESSI telemetry units are "compressed using gnu-zip" before distribution
+//! (paper §2.1). This module provides the equivalent behaviour for the
+//! repository: a self-contained LZSS compressor (the same dictionary-coding
+//! family as gzip's deflate, minus Huffman entropy coding) plus a
+//! varint/delta coder specialized for the monotone photon time-tag streams
+//! that dominate raw science data.
+//!
+//! The container format records the codec and original length, so readers
+//! never guess. Incompressible input falls back to stored mode — compression
+//! never grows data by more than the 6-byte header.
+
+use crate::error::{FsError, FsResult};
+
+/// Codec identifiers stored in the stream header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Raw bytes, no compression.
+    Store,
+    /// LZSS dictionary coding.
+    Lzss,
+}
+
+const MAGIC: u8 = 0xC5;
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 18;
+
+// ---------------------------------------------------------------------------
+// Varint
+// ---------------------------------------------------------------------------
+
+/// Append a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint, advancing `pos`.
+pub fn get_varint(data: &[u8], pos: &mut usize) -> FsResult<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data
+            .get(*pos)
+            .ok_or_else(|| FsError::BadCompression("truncated varint".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(FsError::BadCompression("varint overflow".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta coding for monotone streams
+// ---------------------------------------------------------------------------
+
+/// Delta+varint encode a non-decreasing sequence (photon time tags).
+/// Returns an error-free byte stream; decoding validates monotonicity.
+pub fn delta_encode(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 2 + 8);
+    put_varint(&mut out, values.len() as u64);
+    let mut prev = 0u64;
+    for &v in values {
+        // Negative deltas are encoded zig-zag so the coder tolerates slight
+        // disorder (detector jitter) without failing.
+        let delta = v.wrapping_sub(prev) as i64;
+        let zz = ((delta << 1) ^ (delta >> 63)) as u64;
+        put_varint(&mut out, zz);
+        prev = v;
+    }
+    out
+}
+
+/// Decode a [`delta_encode`] stream.
+pub fn delta_decode(data: &[u8]) -> FsResult<Vec<u64>> {
+    let mut pos = 0usize;
+    let n = get_varint(data, &mut pos)? as usize;
+    // Guard against a hostile length prefix before allocating.
+    if n > data.len().saturating_mul(8) + 16 {
+        return Err(FsError::BadCompression("implausible element count".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let zz = get_varint(data, &mut pos)?;
+        let delta = ((zz >> 1) as i64) ^ -((zz & 1) as i64);
+        prev = prev.wrapping_add(delta as u64);
+        out.push(prev);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// LZSS
+// ---------------------------------------------------------------------------
+
+/// Compress `data`. The output starts with a 2-byte header (magic + codec)
+/// and a varint original length; stored mode is chosen when LZSS does not
+/// shrink the input.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let lz = lzss_encode(data);
+    let mut out = Vec::with_capacity(lz.len().min(data.len()) + 8);
+    out.push(MAGIC);
+    if lz.len() < data.len() {
+        out.push(1); // Codec::Lzss
+        put_varint(&mut out, data.len() as u64);
+        out.extend_from_slice(&lz);
+    } else {
+        out.push(0); // Codec::Store
+        put_varint(&mut out, data.len() as u64);
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Decompress a [`compress`] stream.
+pub fn decompress(data: &[u8]) -> FsResult<Vec<u8>> {
+    if data.len() < 2 || data[0] != MAGIC {
+        return Err(FsError::BadCompression("missing magic".into()));
+    }
+    let codec = match data[1] {
+        0 => Codec::Store,
+        1 => Codec::Lzss,
+        other => {
+            return Err(FsError::BadCompression(format!("unknown codec {other}")))
+        }
+    };
+    let mut pos = 2usize;
+    let orig_len = get_varint(data, &mut pos)? as usize;
+    let body = &data[pos..];
+    match codec {
+        Codec::Store => {
+            if body.len() != orig_len {
+                return Err(FsError::BadCompression("stored length mismatch".into()));
+            }
+            Ok(body.to_vec())
+        }
+        Codec::Lzss => {
+            let out = lzss_decode(body, orig_len)?;
+            if out.len() != orig_len {
+                return Err(FsError::BadCompression("decoded length mismatch".into()));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Which codec a compressed stream used (for stats/reporting).
+pub fn codec_of(data: &[u8]) -> FsResult<Codec> {
+    match data {
+        [MAGIC, 0, ..] => Ok(Codec::Store),
+        [MAGIC, 1, ..] => Ok(Codec::Lzss),
+        _ => Err(FsError::BadCompression("missing magic".into())),
+    }
+}
+
+/// LZSS body: groups of 8 items preceded by a flag byte. Bit set = literal,
+/// clear = match encoded as two bytes: offset (12 bits, 1-based back
+/// distance) and length-MIN_MATCH (4 bits).
+fn lzss_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // Hash chains over 4-byte prefixes for match search.
+    const HASH_SIZE: usize = 1 << 13;
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+    #[inline]
+    fn hash(data: &[u8], i: usize) -> usize {
+        let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+        (v.wrapping_mul(2654435761) >> 19) as usize & ((1 << 13) - 1)
+    }
+
+    let mut i = 0usize;
+    let mut flag = 0u8;
+    let mut nitems = 0u8;
+    let push_flag_slot = |out: &mut Vec<u8>| {
+        let p = out.len();
+        out.push(0);
+        p
+    };
+    let mut flag_pos = push_flag_slot(&mut out);
+
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data, i);
+            let mut cand = head[h];
+            let mut tries = 32;
+            while cand != usize::MAX && cand + WINDOW > i && tries > 0 {
+                if cand < i {
+                    let max = (data.len() - i).min(MAX_MATCH);
+                    let mut l = 0usize;
+                    while l < max && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - cand;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[cand % WINDOW];
+                tries -= 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH && best_off <= WINDOW {
+            // Match item (flag bit stays 0).
+            let token =
+                (((best_off - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16 & 0x0f);
+            out.extend_from_slice(&token.to_le_bytes());
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash(data, i);
+                    prev[i % WINDOW] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            flag |= 1 << nitems;
+            out.push(data[i]);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash(data, i);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+        nitems += 1;
+        if nitems == 8 {
+            out[flag_pos] = flag;
+            flag = 0;
+            nitems = 0;
+            if i < data.len() {
+                flag_pos = push_flag_slot(&mut out);
+            }
+        }
+    }
+    if nitems > 0 {
+        out[flag_pos] = flag;
+    } else if out.last() == Some(&0) && out.len() == flag_pos + 1 {
+        // Trailing empty flag slot (input length divisible by 8): harmless,
+        // decoder stops at orig_len.
+    }
+    out
+}
+
+fn lzss_decode(body: &[u8], orig_len: usize) -> FsResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(orig_len);
+    let mut i = 0usize;
+    while out.len() < orig_len {
+        let flag = *body
+            .get(i)
+            .ok_or_else(|| FsError::BadCompression("truncated flags".into()))?;
+        i += 1;
+        for bit in 0..8 {
+            if out.len() >= orig_len {
+                break;
+            }
+            if flag & (1 << bit) != 0 {
+                let b = *body
+                    .get(i)
+                    .ok_or_else(|| FsError::BadCompression("truncated literal".into()))?;
+                i += 1;
+                out.push(b);
+            } else {
+                let lo = *body
+                    .get(i)
+                    .ok_or_else(|| FsError::BadCompression("truncated match".into()))?;
+                let hi = *body
+                    .get(i + 1)
+                    .ok_or_else(|| FsError::BadCompression("truncated match".into()))?;
+                i += 2;
+                let token = u16::from_le_bytes([lo, hi]);
+                let off = (token >> 4) as usize + 1;
+                let len = (token & 0x0f) as usize + MIN_MATCH;
+                if off > out.len() {
+                    return Err(FsError::BadCompression("match offset before start".into()));
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Compression ratio achieved for a buffer (compressed/original, 1.0 = none).
+pub fn ratio(original: usize, compressed: usize) -> f64 {
+    if original == 0 {
+        1.0
+    } else {
+        compressed as f64 / original as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_errors() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(get_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn delta_roundtrip_monotone() {
+        let values: Vec<u64> = (0..1000u64).map(|i| i * 37 + (i % 5)).collect();
+        let enc = delta_encode(&values);
+        assert!(enc.len() < values.len() * 8 / 2, "deltas should be compact");
+        assert_eq!(delta_decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn delta_roundtrip_with_jitter() {
+        // Slightly out-of-order values exercise the zig-zag path.
+        let values = vec![10u64, 20, 15, 30, 29, 100];
+        assert_eq!(delta_decode(&delta_encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn delta_empty_and_single() {
+        assert_eq!(delta_decode(&delta_encode(&[])).unwrap(), Vec::<u64>::new());
+        assert_eq!(delta_decode(&delta_encode(&[42])).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn delta_rejects_hostile_length() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX); // absurd count
+        assert!(delta_decode(&buf).is_err());
+    }
+
+    #[test]
+    fn compress_roundtrip_repetitive() {
+        let data: Vec<u8> = b"solar flare solar flare solar flare gamma ray burst "
+            .iter()
+            .copied()
+            .cycle()
+            .take(10_000)
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 3, "repetitive text should shrink well");
+        assert_eq!(codec_of(&c).unwrap(), Codec::Lzss);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_roundtrip_incompressible() {
+        // Pseudo-random bytes: must fall back to stored mode and roundtrip.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert_eq!(codec_of(&c).unwrap(), Codec::Store);
+        assert!(c.len() <= data.len() + 8);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_empty_and_tiny() {
+        for data in [&b""[..], &b"a"[..], &b"ab"[..], &b"abc"[..]] {
+            let c = compress(data);
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[0xC5]).is_err());
+        assert!(decompress(&[0x00, 0x01, 0x02]).is_err());
+        assert!(decompress(&[0xC5, 9, 0]).is_err()); // unknown codec
+    }
+
+    #[test]
+    fn decompress_rejects_bad_match_offset() {
+        // Handcraft: magic, lzss, orig_len=4, flag=0 (match), token with
+        // offset pointing before start.
+        let mut buf = vec![0xC5, 1];
+        put_varint(&mut buf, 4);
+        buf.push(0x00); // flags: first item is a match
+        let token: u16 = 100 << 4; // offset 101, len 4, but output empty
+        buf.extend_from_slice(&token.to_le_bytes());
+        assert!(decompress(&buf).is_err());
+    }
+
+    #[test]
+    fn overlapping_match_copies() {
+        // "aaaaaaaa..." forces overlapping matches (off=1, len>1).
+        let data = vec![b'a'; 4096];
+        let c = compress(&data);
+        assert!(c.len() < 600);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn exact_multiple_of_eight_items() {
+        // Length chosen so item count is a multiple of 8.
+        let data: Vec<u8> = (0..64u8).collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+}

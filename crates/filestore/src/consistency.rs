@@ -1,0 +1,173 @@
+//! Database↔file-system consistency checking.
+//!
+//! "An obvious problem when dividing the system into a database and a file
+//! system is how to maintain consistency between the two" (§4.4). HEDC
+//! prevents drift by routing every access through the DM, but a repository
+//! that lives for years still wants an auditor: given the set of file
+//! references the metadata claims, report files the metadata references but
+//! the archives lack (**missing** — data loss) and files the archives hold
+//! but nothing references (**orphans** — leaked space).
+
+use crate::archive::{ArchiveId, FileStore};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One expected file reference from the metadata's location tables.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ExpectedFile {
+    /// Archive the location tables claim holds the file.
+    pub archive: ArchiveId,
+    /// Path within the archive.
+    pub path: String,
+}
+
+/// Result of a consistency sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConsistencyReport {
+    /// Referenced by metadata but absent from the archive.
+    pub missing: Vec<ExpectedFile>,
+    /// Present in an archive but referenced by nothing.
+    pub orphans: Vec<ExpectedFile>,
+    /// References whose archive id is not registered at all.
+    pub unknown_archives: Vec<ExpectedFile>,
+    /// Files checked and found consistent.
+    pub consistent: usize,
+}
+
+impl ConsistencyReport {
+    /// Whether the sweep found no problems.
+    pub fn is_clean(&self) -> bool {
+        self.missing.is_empty() && self.orphans.is_empty() && self.unknown_archives.is_empty()
+    }
+}
+
+/// Sweep all registered archives against the expected reference set.
+/// Offline archives are skipped for orphan detection (their contents cannot
+/// be listed... they *can* here, but a real tape cannot) and their expected
+/// files are assumed present — flagging half the catalog as missing because
+/// a tape is dismounted would be noise, not signal.
+pub fn check(store: &FileStore, expected: &[ExpectedFile]) -> ConsistencyReport {
+    let mut report = ConsistencyReport::default();
+    // Group expectations by archive.
+    let mut by_archive: BTreeMap<ArchiveId, BTreeSet<&str>> = BTreeMap::new();
+    for e in expected {
+        if store.archive(e.archive).is_err() {
+            report.unknown_archives.push(e.clone());
+            continue;
+        }
+        by_archive.entry(e.archive).or_default().insert(&e.path);
+    }
+    for id in store.archive_ids() {
+        let archive = store.archive(id).expect("listed id");
+        if archive.state() == crate::archive::ArchiveState::Offline {
+            report.consistent += by_archive.get(&id).map_or(0, BTreeSet::len);
+            continue;
+        }
+        let actual: BTreeSet<String> = archive.list().into_iter().collect();
+        let empty = BTreeSet::new();
+        let wanted = by_archive.get(&id).unwrap_or(&empty);
+        for &path in wanted {
+            if actual.contains(path) {
+                report.consistent += 1;
+            } else {
+                report.missing.push(ExpectedFile {
+                    archive: id,
+                    path: path.to_string(),
+                });
+            }
+        }
+        for path in &actual {
+            if !wanted.contains(path.as_str()) {
+                report.orphans.push(ExpectedFile {
+                    archive: id,
+                    path: path.clone(),
+                });
+            }
+        }
+    }
+    report.missing.sort();
+    report.orphans.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::{Archive, ArchiveState, ArchiveTier};
+
+    fn exp(archive: ArchiveId, path: &str) -> ExpectedFile {
+        ExpectedFile {
+            archive,
+            path: path.to_string(),
+        }
+    }
+
+    fn store() -> FileStore {
+        let fs = FileStore::new();
+        fs.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 20));
+        fs.register(Archive::in_memory(2, "tape", ArchiveTier::TapeVault, 1 << 20));
+        fs
+    }
+
+    #[test]
+    fn clean_report() {
+        let fs = store();
+        fs.store(1, "a", b"1").unwrap();
+        fs.store(2, "b", b"2").unwrap();
+        let report = check(&fs, &[exp(1, "a"), exp(2, "b")]);
+        assert!(report.is_clean());
+        assert_eq!(report.consistent, 2);
+    }
+
+    #[test]
+    fn missing_detected() {
+        let fs = store();
+        let report = check(&fs, &[exp(1, "ghost")]);
+        assert_eq!(report.missing, vec![exp(1, "ghost")]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn orphans_detected() {
+        let fs = store();
+        fs.store(1, "leaked", b"x").unwrap();
+        let report = check(&fs, &[]);
+        assert_eq!(report.orphans, vec![exp(1, "leaked")]);
+    }
+
+    #[test]
+    fn unknown_archive_reported() {
+        let fs = store();
+        let report = check(&fs, &[exp(42, "somewhere")]);
+        assert_eq!(report.unknown_archives.len(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn offline_archives_assumed_consistent() {
+        let fs = store();
+        fs.store(2, "cold", b"x").unwrap();
+        fs.archive(2).unwrap().set_state(ArchiveState::Offline);
+        let report = check(&fs, &[exp(2, "cold"), exp(2, "also-cold")]);
+        // Both expectations counted consistent, no orphan probing.
+        assert!(report.is_clean());
+        assert_eq!(report.consistent, 2);
+    }
+
+    #[test]
+    fn mixed_report_sorted() {
+        let fs = store();
+        fs.store(1, "z-orphan", b"x").unwrap();
+        fs.store(1, "a-orphan", b"x").unwrap();
+        fs.store(1, "ok", b"x").unwrap();
+        let report = check(&fs, &[exp(1, "ok"), exp(1, "b-missing"), exp(1, "a-missing")]);
+        assert_eq!(report.consistent, 1);
+        assert_eq!(
+            report.missing,
+            vec![exp(1, "a-missing"), exp(1, "b-missing")]
+        );
+        assert_eq!(
+            report.orphans,
+            vec![exp(1, "a-orphan"), exp(1, "z-orphan")]
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for the file archive layer.
+
+use std::fmt;
+
+/// Errors from archive and file-format operations.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant docs describe the fields
+pub enum FsError {
+    /// No archive registered under the given id.
+    NoSuchArchive(u32),
+    /// No file with the given path exists in the archive.
+    NotFound(String),
+    /// A file with the given path already exists (files are immutable).
+    AlreadyExists(String),
+    /// The archive is offline (e.g. unmounted tape) and cannot serve reads.
+    Offline(u32),
+    /// The archive has insufficient capacity for the write.
+    CapacityExceeded { archive: u32, needed: u64, free: u64 },
+    /// A FITS container failed validation.
+    BadFormat(String),
+    /// Stored checksum does not match recomputed content checksum.
+    ChecksumMismatch { path: String },
+    /// Compressed data could not be decoded.
+    BadCompression(String),
+    /// Underlying I/O failure.
+    Io(String),
+    /// A migration step failed and was compensated.
+    MigrationFailed(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NoSuchArchive(id) => write!(f, "no such archive {id}"),
+            FsError::NotFound(p) => write!(f, "file not found: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            FsError::Offline(id) => write!(f, "archive {id} is offline"),
+            FsError::CapacityExceeded {
+                archive,
+                needed,
+                free,
+            } => write!(
+                f,
+                "archive {archive} capacity exceeded: need {needed} bytes, {free} free"
+            ),
+            FsError::BadFormat(msg) => write!(f, "bad container format: {msg}"),
+            FsError::ChecksumMismatch { path } => write!(f, "checksum mismatch: {path}"),
+            FsError::BadCompression(msg) => write!(f, "bad compressed stream: {msg}"),
+            FsError::Io(msg) => write!(f, "I/O error: {msg}"),
+            FsError::MigrationFailed(msg) => write!(f, "migration failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<std::io::Error> for FsError {
+    fn from(e: std::io::Error) -> Self {
+        FsError::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type FsResult<T> = Result<T, FsError>;

@@ -1,0 +1,593 @@
+//! A FITS-like container format.
+//!
+//! RHESSI telemetry is "formatted as Flexible Image Transport System (FITS)
+//! files" (§2.1). This module implements the structural essentials of FITS —
+//! 80-byte header cards, 2880-byte block alignment, an END card, a single
+//! data unit — plus a content checksum, and typed payload encodings for the
+//! two science payloads HEDC handles: photon event lists (raw telemetry) and
+//! 2-D images (derived data products).
+//!
+//! It is intentionally *not* a general FITS reader; it is the subset the
+//! repository writes and reads back, with strict validation, so that format
+//! changes (a recurring event in the paper, §3.1) surface as typed errors at
+//! the adapter layer instead of silent corruption downstream.
+
+use crate::codec;
+use crate::error::{FsError, FsResult};
+
+/// FITS block size: headers and data are padded to multiples of this.
+pub const BLOCK: usize = 2880;
+/// Card size: each header card is exactly this many bytes.
+pub const CARD: usize = 80;
+
+/// A header card value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CardValue {
+    /// Integer value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+    /// Text value (rendered quoted).
+    Text(String),
+    /// Boolean (`T`/`F` in FITS).
+    Bool(bool),
+}
+
+impl CardValue {
+    fn render(&self) -> String {
+        match self {
+            CardValue::Int(i) => i.to_string(),
+            CardValue::Float(f) => format!("{f:?}"),
+            CardValue::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            CardValue::Bool(b) => if *b { "T" } else { "F" }.to_string(),
+        }
+    }
+
+    fn parse(s: &str) -> FsResult<CardValue> {
+        let s = s.trim();
+        if s == "T" {
+            return Ok(CardValue::Bool(true));
+        }
+        if s == "F" {
+            return Ok(CardValue::Bool(false));
+        }
+        if let Some(stripped) = s.strip_prefix('\'') {
+            let inner = stripped
+                .strip_suffix('\'')
+                .ok_or_else(|| FsError::BadFormat(format!("unterminated string card: {s}")))?;
+            return Ok(CardValue::Text(inner.replace("''", "'")));
+        }
+        if let Ok(i) = s.parse::<i64>() {
+            return Ok(CardValue::Int(i));
+        }
+        if let Ok(f) = s.parse::<f64>() {
+            return Ok(CardValue::Float(f));
+        }
+        Err(FsError::BadFormat(format!("unparseable card value: {s}")))
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            CardValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Text accessor.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            CardValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Float accessor (ints widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            CardValue::Float(f) => Some(*f),
+            CardValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered list of header cards.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Header {
+    cards: Vec<(String, CardValue)>,
+}
+
+impl Header {
+    /// Empty header.
+    pub fn new() -> Self {
+        Header::default()
+    }
+
+    /// Append a card. Keys are uppercased and must be ≤ 8 ASCII chars,
+    /// matching the FITS keyword rule.
+    pub fn set(&mut self, key: &str, value: CardValue) -> &mut Self {
+        let key = key.to_ascii_uppercase();
+        assert!(
+            key.len() <= 8 && key.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-'),
+            "invalid FITS keyword `{key}`"
+        );
+        if let Some(slot) = self.cards.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.cards.push((key, value));
+        }
+        self
+    }
+
+    /// Look up a card by key (case-insensitive).
+    pub fn get(&self, key: &str) -> Option<&CardValue> {
+        let key = key.to_ascii_uppercase();
+        self.cards.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Required integer card.
+    pub fn require_int(&self, key: &str) -> FsResult<i64> {
+        self.get(key)
+            .and_then(CardValue::as_int)
+            .ok_or_else(|| FsError::BadFormat(format!("missing integer card {key}")))
+    }
+
+    /// Required text card.
+    pub fn require_text(&self, key: &str) -> FsResult<&str> {
+        self.get(key)
+            .and_then(CardValue::as_text)
+            .ok_or_else(|| FsError::BadFormat(format!("missing text card {key}")))
+    }
+
+    /// All cards in order.
+    pub fn cards(&self) -> &[(String, CardValue)] {
+        &self.cards
+    }
+}
+
+/// A FITS-like file: header plus one data unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitsFile {
+    /// Header cards.
+    pub header: Header,
+    /// Data unit bytes.
+    pub data: Vec<u8>,
+}
+
+/// FNV-1a, used as the content checksum (FITS' own CHECKSUM algorithm is
+/// ASCII-encoded 1's-complement; FNV keeps the same tamper-evidence with
+/// less ceremony).
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for &b in data {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(16777619);
+    }
+    h
+}
+
+impl FitsFile {
+    /// Build a file, computing SIMPLE/DATALEN/CHKSUM cards.
+    pub fn new(mut header: Header, data: Vec<u8>) -> Self {
+        header.set("SIMPLE", CardValue::Bool(true));
+        header.set("DATALEN", CardValue::Int(data.len() as i64));
+        header.set("CHKSUM", CardValue::Int(i64::from(checksum(&data))));
+        FitsFile { header, data }
+    }
+
+    /// Serialize to block-aligned bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(BLOCK + self.data.len() + BLOCK);
+        for (k, v) in self.header.cards() {
+            let mut card = format!("{k:<8}= {}", v.render());
+            // A value too long for one card is a programming error in this
+            // subset (we never write >70-char values).
+            assert!(card.len() <= CARD, "card overflow: {card}");
+            card.push_str(&" ".repeat(CARD - card.len()));
+            out.extend_from_slice(card.as_bytes());
+        }
+        let mut end = "END".to_string();
+        end.push_str(&" ".repeat(CARD - 3));
+        out.extend_from_slice(end.as_bytes());
+        // Pad header to block boundary with spaces.
+        while out.len() % BLOCK != 0 {
+            out.push(b' ');
+        }
+        out.extend_from_slice(&self.data);
+        // Pad data to block boundary with zeros.
+        while out.len() % BLOCK != 0 {
+            out.push(0);
+        }
+        out
+    }
+
+    /// Parse and validate (structure, length, checksum).
+    pub fn from_bytes(bytes: &[u8]) -> FsResult<FitsFile> {
+        if !bytes.len().is_multiple_of(BLOCK) {
+            return Err(FsError::BadFormat(format!(
+                "file length {} not block-aligned",
+                bytes.len()
+            )));
+        }
+        let mut header = Header::new();
+        let mut pos = 0usize;
+        let mut found_end = false;
+        'blocks: while pos < bytes.len() {
+            for _ in 0..(BLOCK / CARD) {
+                let card = &bytes[pos..pos + CARD];
+                pos += CARD;
+                let text = std::str::from_utf8(card)
+                    .map_err(|_| FsError::BadFormat("non-ASCII header card".into()))?;
+                let trimmed = text.trim_end();
+                if trimmed == "END" {
+                    found_end = true;
+                    // Skip the rest of this header block.
+                    pos = pos.div_ceil(BLOCK) * BLOCK;
+                    break 'blocks;
+                }
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let (key, rest) = trimmed.split_at(8.min(trimmed.len()));
+                let rest = rest
+                    .strip_prefix("= ")
+                    .ok_or_else(|| FsError::BadFormat(format!("malformed card: {trimmed}")))?;
+                header.set(key.trim(), CardValue::parse(rest)?);
+            }
+        }
+        if !found_end {
+            return Err(FsError::BadFormat("missing END card".into()));
+        }
+        let datalen = header.require_int("DATALEN")? as usize;
+        if pos + datalen > bytes.len() {
+            return Err(FsError::BadFormat("data unit truncated".into()));
+        }
+        let data = bytes[pos..pos + datalen].to_vec();
+        let stored = header.require_int("CHKSUM")? as u32;
+        if checksum(&data) != stored {
+            return Err(FsError::ChecksumMismatch {
+                path: header
+                    .get("FILENAME")
+                    .and_then(CardValue::as_text)
+                    .unwrap_or("<unnamed>")
+                    .to_string(),
+            });
+        }
+        Ok(FitsFile { header, data })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed payloads
+// ---------------------------------------------------------------------------
+
+/// A photon event list: the raw science payload. Parallel arrays, one entry
+/// per detected photon.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhotonList {
+    /// Arrival time tags, mission-epoch milliseconds (binned to ms here;
+    /// RHESSI's binary microsecond clock is below metadata resolution).
+    pub times_ms: Vec<u64>,
+    /// Photon energies in keV.
+    pub energies_kev: Vec<f32>,
+    /// Detector index 0-8 (RHESSI has 9 germanium detectors).
+    pub detectors: Vec<u8>,
+}
+
+impl PhotonList {
+    /// Number of photons.
+    pub fn len(&self) -> usize {
+        self.times_ms.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times_ms.is_empty()
+    }
+
+    /// Encode as a FITS file. Time tags are delta+varint coded; energies and
+    /// detector ids are raw little-endian; the whole data unit is then LZSS
+    /// compressed (the "gnu-zip" step of §2.1).
+    pub fn to_fits(&self, extra: Header) -> FitsFile {
+        assert_eq!(self.times_ms.len(), self.energies_kev.len());
+        assert_eq!(self.times_ms.len(), self.detectors.len());
+        let mut body = codec::delta_encode(&self.times_ms);
+        for e in &self.energies_kev {
+            body.extend_from_slice(&e.to_le_bytes());
+        }
+        body.extend_from_slice(&self.detectors);
+        let compressed = codec::compress(&body);
+        let mut header = extra;
+        header.set("EXTTYPE", CardValue::Text("PHOTONS".into()));
+        header.set("NPHOTON", CardValue::Int(self.len() as i64));
+        FitsFile::new(header, compressed)
+    }
+
+    /// Decode a [`PhotonList::to_fits`] file.
+    pub fn from_fits(file: &FitsFile) -> FsResult<PhotonList> {
+        let ext = file.header.require_text("EXTTYPE")?;
+        if ext != "PHOTONS" {
+            return Err(FsError::BadFormat(format!(
+                "expected PHOTONS extension, got {ext}"
+            )));
+        }
+        let n = file.header.require_int("NPHOTON")? as usize;
+        let body = codec::decompress(&file.data)?;
+        let mut pos = 0usize;
+        // delta_decode needs its own slice; find its end by decoding count.
+        let times_ms = {
+            // Re-decode from the start of the body.
+            let count = codec::get_varint(&body, &mut pos)? as usize;
+            if count != n {
+                return Err(FsError::BadFormat(format!(
+                    "photon count mismatch: card {n}, stream {count}"
+                )));
+            }
+            let mut out = Vec::with_capacity(n);
+            let mut prevv = 0u64;
+            for _ in 0..n {
+                let zz = codec::get_varint(&body, &mut pos)?;
+                let delta = ((zz >> 1) as i64) ^ -((zz & 1) as i64);
+                prevv = prevv.wrapping_add(delta as u64);
+                out.push(prevv);
+            }
+            out
+        };
+        let need = n * 4 + n;
+        if body.len() < pos + need {
+            return Err(FsError::BadFormat("photon payload truncated".into()));
+        }
+        let mut energies_kev = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&body[pos..pos + 4]);
+            energies_kev.push(f32::from_le_bytes(b));
+            pos += 4;
+        }
+        let detectors = body[pos..pos + n].to_vec();
+        Ok(PhotonList {
+            times_ms,
+            energies_kev,
+            detectors,
+        })
+    }
+}
+
+/// A 2-D image data product (what imaging analyses emit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageData {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major pixel intensities.
+    pub pixels: Vec<f32>,
+}
+
+impl ImageData {
+    /// Allocate a zeroed image.
+    pub fn zeroed(width: u32, height: u32) -> Self {
+        ImageData {
+            width,
+            height,
+            pixels: vec![0.0; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Pixel accessor.
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        self.pixels[(y as usize) * (self.width as usize) + x as usize]
+    }
+
+    /// Pixel mutator.
+    pub fn set(&mut self, x: u32, y: u32, v: f32) {
+        self.pixels[(y as usize) * (self.width as usize) + x as usize] = v;
+    }
+
+    /// Total intensity.
+    pub fn total(&self) -> f64 {
+        self.pixels.iter().map(|&p| f64::from(p)).sum()
+    }
+
+    /// Encode as a compressed FITS file.
+    pub fn to_fits(&self, extra: Header) -> FitsFile {
+        assert_eq!(
+            self.pixels.len(),
+            (self.width as usize) * (self.height as usize)
+        );
+        let mut body = Vec::with_capacity(self.pixels.len() * 4);
+        for p in &self.pixels {
+            body.extend_from_slice(&p.to_le_bytes());
+        }
+        let compressed = codec::compress(&body);
+        let mut header = extra;
+        header.set("EXTTYPE", CardValue::Text("IMAGE".into()));
+        header.set("NAXIS1", CardValue::Int(i64::from(self.width)));
+        header.set("NAXIS2", CardValue::Int(i64::from(self.height)));
+        FitsFile::new(header, compressed)
+    }
+
+    /// Decode an [`ImageData::to_fits`] file.
+    pub fn from_fits(file: &FitsFile) -> FsResult<ImageData> {
+        let ext = file.header.require_text("EXTTYPE")?;
+        if ext != "IMAGE" {
+            return Err(FsError::BadFormat(format!(
+                "expected IMAGE extension, got {ext}"
+            )));
+        }
+        let width = file.header.require_int("NAXIS1")? as u32;
+        let height = file.header.require_int("NAXIS2")? as u32;
+        let body = codec::decompress(&file.data)?;
+        let n = (width as usize) * (height as usize);
+        if body.len() != n * 4 {
+            return Err(FsError::BadFormat(format!(
+                "image payload is {} bytes, expected {}",
+                body.len(),
+                n * 4
+            )));
+        }
+        let pixels = body
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(ImageData {
+            width,
+            height,
+            pixels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_set_get_replace() {
+        let mut h = Header::new();
+        h.set("origin", CardValue::Text("HEDC".into()));
+        h.set("ORIGIN", CardValue::Text("ETHZ".into()));
+        assert_eq!(h.get("Origin").unwrap().as_text(), Some("ETHZ"));
+        assert_eq!(h.cards().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FITS keyword")]
+    fn long_keyword_panics() {
+        Header::new().set("WAYTOOLONGKEY", CardValue::Int(1));
+    }
+
+    #[test]
+    fn fits_roundtrip_with_blocks() {
+        let mut h = Header::new();
+        h.set("ORIGIN", CardValue::Text("HEDC".into()));
+        h.set("OBSTIME", CardValue::Int(123456789));
+        h.set("EXPOSURE", CardValue::Float(12.5));
+        h.set("CALIB", CardValue::Bool(false));
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let f = FitsFile::new(h, data.clone());
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len() % BLOCK, 0);
+        let parsed = FitsFile::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed.data, data);
+        assert_eq!(parsed.header.get("ORIGIN").unwrap().as_text(), Some("HEDC"));
+        assert_eq!(
+            parsed.header.get("EXPOSURE").unwrap().as_float(),
+            Some(12.5)
+        );
+        assert_eq!(parsed.header.get("CALIB"), Some(&CardValue::Bool(false)));
+    }
+
+    #[test]
+    fn fits_detects_corruption() {
+        let f = FitsFile::new(Header::new(), vec![1, 2, 3, 4, 5]);
+        let mut bytes = f.to_bytes();
+        // Flip a data byte (data starts at the first block boundary).
+        let data_start = BLOCK;
+        bytes[data_start + 2] ^= 0xff;
+        assert!(matches!(
+            FitsFile::from_bytes(&bytes),
+            Err(FsError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fits_rejects_unaligned_and_endless() {
+        assert!(FitsFile::from_bytes(&[0u8; 100]).is_err());
+        // A block of spaces has no END card.
+        assert!(matches!(
+            FitsFile::from_bytes(&[b' '; BLOCK]),
+            Err(FsError::BadFormat(_))
+        ));
+    }
+
+    #[test]
+    fn fits_empty_data_unit() {
+        let f = FitsFile::new(Header::new(), Vec::new());
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len(), BLOCK); // header only, no data blocks
+        let parsed = FitsFile::from_bytes(&bytes).unwrap();
+        assert!(parsed.data.is_empty());
+    }
+
+    #[test]
+    fn large_header_spans_blocks() {
+        let mut h = Header::new();
+        for i in 0..40 {
+            h.set(&format!("KEY{i}"), CardValue::Int(i));
+        }
+        let f = FitsFile::new(h, vec![7; 10]);
+        let parsed = FitsFile::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(parsed.header.get("KEY39").unwrap().as_int(), Some(39));
+        assert_eq!(parsed.data, vec![7; 10]);
+    }
+
+    fn sample_photons(n: usize) -> PhotonList {
+        let mut p = PhotonList::default();
+        for i in 0..n {
+            p.times_ms.push(1_000_000 + (i as u64) * 3);
+            p.energies_kev.push(3.0 + (i % 100) as f32 * 0.2);
+            p.detectors.push((i % 9) as u8);
+        }
+        p
+    }
+
+    #[test]
+    fn photon_list_roundtrip() {
+        let p = sample_photons(5000);
+        let f = p.to_fits(Header::new());
+        assert_eq!(f.header.require_int("NPHOTON").unwrap(), 5000);
+        let q = PhotonList::from_fits(&f).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn photon_list_empty_roundtrip() {
+        let p = PhotonList::default();
+        let q = PhotonList::from_fits(&p.to_fits(Header::new())).unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn photon_fits_compresses_time_series() {
+        let p = sample_photons(20_000);
+        let f = p.to_fits(Header::new());
+        let raw_size = 20_000 * (8 + 4 + 1);
+        assert!(
+            f.data.len() < raw_size / 2,
+            "compressed {} vs raw {raw_size}",
+            f.data.len()
+        );
+    }
+
+    #[test]
+    fn wrong_exttype_rejected() {
+        let p = sample_photons(3);
+        let f = p.to_fits(Header::new());
+        assert!(ImageData::from_fits(&f).is_err());
+        let img = ImageData::zeroed(4, 4);
+        let f = img.to_fits(Header::new());
+        assert!(PhotonList::from_fits(&f).is_err());
+    }
+
+    #[test]
+    fn image_roundtrip_and_accessors() {
+        let mut img = ImageData::zeroed(64, 32);
+        img.set(10, 20, 3.5);
+        img.set(63, 31, -1.25);
+        let f = img.to_fits(Header::new());
+        let back = ImageData::from_fits(&f).unwrap();
+        assert_eq!(back.get(10, 20), 3.5);
+        assert_eq!(back.get(63, 31), -1.25);
+        assert_eq!(back.width, 64);
+        assert_eq!(back.height, 32);
+        assert!((back.total() - img.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum(b"ab"), checksum(b"ba"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+}

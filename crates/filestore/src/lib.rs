@@ -1,0 +1,60 @@
+//! # hedc-filestore — tiered file archives for science data
+//!
+//! The data half of HEDC's data/metadata split (paper §4.1–§4.4): raw
+//! telemetry and derived data products live as **immutable files** in
+//! archives of very different physical character — backed-up RAID, bulk
+//! disk, NFS-linked remote archives, and a tape vault. The metadata
+//! database (`hedc-metadb`) holds *references* to these files; nothing
+//! reaches the bytes except through those references.
+//!
+//! Provided here:
+//!
+//! * [`FitsFile`] — a FITS-like container (80-byte cards, 2880-byte blocks,
+//!   checksummed data unit) with typed payloads: [`PhotonList`] for raw
+//!   telemetry and [`ImageData`] for derived images (§2.1).
+//! * [`codec`] — an LZSS compressor (the "gnu-zip" step) and delta/varint
+//!   coding for photon time tags.
+//! * [`Archive`] / [`FileStore`] — tiered archives with capacity limits,
+//!   online/offline state, and a simulated I/O cost meter per tier (§2.3).
+//! * [`migrate_file`] — the copy-verify-delete relocation workflow with
+//!   compensation (§5.2).
+//! * [`consistency::check`] — the DB↔FS auditor (§4.4).
+//!
+//! ```
+//! use hedc_filestore::{Archive, ArchiveTier, FileStore, FitsFile, Header, PhotonList};
+//!
+//! let store = FileStore::new();
+//! store.register(Archive::in_memory(1, "bulk-disk", ArchiveTier::OnlineDisk, 1 << 30));
+//!
+//! // Package a photon list the way the mission pipeline does.
+//! let photons = PhotonList {
+//!     times_ms: vec![1000, 1003, 1009],
+//!     energies_kev: vec![12.0, 45.5, 3.2],
+//!     detectors: vec![0, 4, 8],
+//! };
+//! let fits = photons.to_fits(Header::new());
+//! store.store(1, "raw/2002/unit0001.fits", &fits.to_bytes()).unwrap();
+//!
+//! // Read it back through the archive.
+//! let bytes = store.fetch(1, "raw/2002/unit0001.fits").unwrap();
+//! let decoded = PhotonList::from_fits(&FitsFile::from_bytes(&bytes).unwrap()).unwrap();
+//! assert_eq!(decoded.times_ms, vec![1000, 1003, 1009]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod archive;
+pub mod codec;
+pub mod consistency;
+mod error;
+mod fits;
+mod migrate;
+
+pub use archive::{
+    Archive, ArchiveBackend, ArchiveId, ArchiveState, ArchiveStatus, ArchiveTier, CostModel,
+    DirBackend, FileStore, IoMeter, IoSnapshot, MemBackend,
+};
+pub use consistency::{check as consistency_check, ConsistencyReport, ExpectedFile};
+pub use error::{FsError, FsResult};
+pub use fits::{checksum, CardValue, FitsFile, Header, ImageData, PhotonList, BLOCK, CARD};
+pub use migrate::{migrate_batch, migrate_file, MigrationRecord};

@@ -1,0 +1,188 @@
+//! Physical archive relocation.
+//!
+//! The paper's process layer runs a workflow for "physical archive
+//! relocation: first, tuples referenced or referencing an entity are queried
+//! and altered, then the corresponding files are copied, compensating
+//! actions are taken if failures occur, and finally logs are generated"
+//! (§5.2). The metadata half of that workflow lives in `hedc-dm`; this
+//! module is the file half: copy-verify-delete with compensation, so a
+//! failed migration never leaves the source damaged and never leaves a
+//! half-copied file at the destination.
+
+use crate::archive::{ArchiveId, FileStore};
+use crate::error::{FsError, FsResult};
+use crate::fits::checksum;
+
+/// Outcome of one file's migration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MigrationRecord {
+    /// File path (same in source and destination).
+    pub path: String,
+    /// Source archive.
+    pub from: ArchiveId,
+    /// Destination archive.
+    pub to: ArchiveId,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Content checksum verified after the copy.
+    pub checksum: u32,
+}
+
+/// Migrate one file from `from` to `to`, verifying content and deleting the
+/// source only after the destination copy has been re-read and checked. On
+/// any failure the destination is compensated (partial copy removed) and the
+/// source is untouched.
+pub fn migrate_file(
+    store: &FileStore,
+    from: ArchiveId,
+    to: ArchiveId,
+    path: &str,
+) -> FsResult<MigrationRecord> {
+    let data = store.fetch(from, path)?;
+    let sum = checksum(&data);
+
+    if let Err(e) = store.store(to, path, &data) {
+        return Err(FsError::MigrationFailed(format!(
+            "copy of `{path}` to archive {to} failed: {e}"
+        )));
+    }
+
+    // Verify by reading back from the destination.
+    match store.fetch(to, path) {
+        Ok(copied) if checksum(&copied) == sum => {}
+        Ok(_) => {
+            // Compensate: remove the bad copy.
+            let _ = store.delete(to, path);
+            return Err(FsError::MigrationFailed(format!(
+                "verification of `{path}` on archive {to} failed: checksum mismatch"
+            )));
+        }
+        Err(e) => {
+            let _ = store.delete(to, path);
+            return Err(FsError::MigrationFailed(format!(
+                "read-back of `{path}` from archive {to} failed: {e}"
+            )));
+        }
+    }
+
+    // Source delete is the commit point. If it fails, the file exists in
+    // both places — safe (duplicated, not lost); report the failure so the
+    // operator can retry the delete.
+    store.delete(from, path).map_err(|e| {
+        FsError::MigrationFailed(format!(
+            "source delete of `{path}` on archive {from} failed after copy: {e}"
+        ))
+    })?;
+
+    Ok(MigrationRecord {
+        path: path.to_string(),
+        from,
+        to,
+        bytes: data.len() as u64,
+        checksum: sum,
+    })
+}
+
+/// Migrate a batch of files; stops at the first failure, returning the
+/// records of the files already moved (the workflow's log) alongside the
+/// error. Files already moved stay moved — the relocation workflow is
+/// restartable, not atomic, exactly like moving files between physical
+/// devices.
+pub fn migrate_batch(
+    store: &FileStore,
+    from: ArchiveId,
+    to: ArchiveId,
+    paths: &[String],
+) -> (Vec<MigrationRecord>, Option<FsError>) {
+    let mut records = Vec::with_capacity(paths.len());
+    for p in paths {
+        match migrate_file(store, from, to, p) {
+            Ok(rec) => records.push(rec),
+            Err(e) => return (records, Some(e)),
+        }
+    }
+    (records, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::{Archive, ArchiveState, ArchiveTier};
+
+    fn store_with_two() -> FileStore {
+        let fs = FileStore::new();
+        fs.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 20));
+        fs.register(Archive::in_memory(2, "tape", ArchiveTier::TapeVault, 1 << 20));
+        fs
+    }
+
+    #[test]
+    fn successful_migration_moves_and_verifies() {
+        let fs = store_with_two();
+        fs.store(1, "raw/u1.fits", b"payload-1").unwrap();
+        let rec = migrate_file(&fs, 1, 2, "raw/u1.fits").unwrap();
+        assert_eq!(rec.bytes, 9);
+        assert!(!fs.exists(1, "raw/u1.fits"));
+        assert_eq!(fs.fetch(2, "raw/u1.fits").unwrap(), b"payload-1");
+        assert_eq!(rec.checksum, checksum(b"payload-1"));
+    }
+
+    #[test]
+    fn missing_source_fails_cleanly() {
+        let fs = store_with_two();
+        assert!(matches!(
+            migrate_file(&fs, 1, 2, "nope"),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn destination_full_is_compensated() {
+        let fs = FileStore::new();
+        fs.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 20));
+        fs.register(Archive::in_memory(2, "tiny", ArchiveTier::TapeVault, 4));
+        fs.store(1, "f", b"too-large-for-dest").unwrap();
+        let err = migrate_file(&fs, 1, 2, "f").unwrap_err();
+        assert!(matches!(err, FsError::MigrationFailed(_)));
+        // Source intact, destination clean.
+        assert!(fs.exists(1, "f"));
+        assert!(!fs.exists(2, "f"));
+    }
+
+    #[test]
+    fn offline_destination_leaves_source_intact() {
+        let fs = store_with_two();
+        fs.store(1, "f", b"x").unwrap();
+        fs.archive(2).unwrap().set_state(ArchiveState::Offline);
+        assert!(migrate_file(&fs, 1, 2, "f").is_err());
+        assert!(fs.exists(1, "f"));
+    }
+
+    #[test]
+    fn batch_stops_at_first_failure_keeps_progress() {
+        let fs = store_with_two();
+        fs.store(1, "a", b"1").unwrap();
+        fs.store(1, "b", b"2").unwrap();
+        // "c" is missing -> failure mid-batch.
+        let paths = vec!["a".to_string(), "c".to_string(), "b".to_string()];
+        let (records, err) = migrate_batch(&fs, 1, 2, &paths);
+        assert_eq!(records.len(), 1);
+        assert!(err.is_some());
+        assert!(fs.exists(2, "a"));
+        assert!(fs.exists(1, "b"), "b untouched after failure on c");
+    }
+
+    #[test]
+    fn batch_all_success() {
+        let fs = store_with_two();
+        for i in 0..5 {
+            fs.store(1, &format!("f{i}"), &[i as u8]).unwrap();
+        }
+        let paths: Vec<String> = (0..5).map(|i| format!("f{i}")).collect();
+        let (records, err) = migrate_batch(&fs, 1, 2, &paths);
+        assert!(err.is_none());
+        assert_eq!(records.len(), 5);
+        assert!(fs.archive(1).unwrap().list().is_empty());
+        assert_eq!(fs.archive(2).unwrap().list().len(), 5);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the file layer's codecs and archives.
+
+use hedc_filestore::{
+    codec, Archive, ArchiveTier, FileStore, FitsFile, Header, ImageData, PhotonList,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// LZSS compression is lossless for arbitrary bytes.
+    #[test]
+    fn compress_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = codec::compress(&data);
+        prop_assert_eq!(codec::decompress(&c).unwrap(), data);
+    }
+
+    /// Compression never grows input by more than the header.
+    #[test]
+    fn compress_bounded_overhead(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let c = codec::compress(&data);
+        prop_assert!(c.len() <= data.len() + 12);
+    }
+
+    /// Decompression never panics on arbitrary (often invalid) streams.
+    #[test]
+    fn decompress_total(noise in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = codec::decompress(&noise); // must return, never panic
+    }
+
+    /// Delta coding round-trips arbitrary u64 sequences.
+    #[test]
+    fn delta_roundtrip(values in proptest::collection::vec(any::<u64>(), 0..512)) {
+        let enc = codec::delta_encode(&values);
+        prop_assert_eq!(codec::delta_decode(&enc).unwrap(), values);
+    }
+
+    /// FITS containers round-trip arbitrary payloads and header values.
+    #[test]
+    fn fits_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        ival in any::<i64>(),
+        text in "[ -~]{0,40}", // printable ASCII; FITS cards are ASCII
+    ) {
+        let mut h = Header::new();
+        h.set("OBSID", hedc_filestore::CardValue::Int(ival));
+        h.set("COMMENT", hedc_filestore::CardValue::Text(text.clone()));
+        let f = FitsFile::new(h, data.clone());
+        let parsed = FitsFile::from_bytes(&f.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.data, data);
+        prop_assert_eq!(parsed.header.require_int("OBSID").unwrap(), ival);
+        prop_assert_eq!(parsed.header.require_text("COMMENT").unwrap(), text.as_str());
+    }
+
+    /// Photon lists round-trip through their FITS encoding.
+    #[test]
+    fn photons_roundtrip(
+        n in 0usize..300,
+        t0 in 0u64..1_000_000,
+        seed in any::<u32>(),
+    ) {
+        let mut p = PhotonList::default();
+        let mut x = u64::from(seed) | 1;
+        let mut t = t0;
+        for _ in 0..n {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            t += x % 50;
+            p.times_ms.push(t);
+            p.energies_kev.push(3.0 + (x % 10_000) as f32 / 10.0);
+            p.detectors.push((x % 9) as u8);
+        }
+        let f = p.to_fits(Header::new());
+        let q = PhotonList::from_fits(&f).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Images round-trip exactly (bit-level f32 preservation).
+    #[test]
+    fn image_roundtrip(w in 1u32..40, h in 1u32..40, seed in any::<u64>()) {
+        let mut img = ImageData::zeroed(w, h);
+        let mut x = seed | 1;
+        for px in img.pixels.iter_mut() {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            *px = f32::from_bits((x as u32) & 0x7f7f_ffff); // finite floats
+        }
+        let f = img.to_fits(Header::new());
+        let back = ImageData::from_fits(&f).unwrap();
+        prop_assert_eq!(img, back);
+    }
+
+    /// Archive store/fetch/delete keeps the byte accounting exact, whatever
+    /// interleaving of operations runs.
+    #[test]
+    fn archive_accounting(ops in proptest::collection::vec(
+        (0u8..3, 0usize..16, proptest::collection::vec(any::<u8>(), 0..64)), 1..60)
+    ) {
+        let fs = FileStore::new();
+        fs.register(Archive::in_memory(1, "a", ArchiveTier::OnlineDisk, 1 << 20));
+        let mut shadow: std::collections::HashMap<String, Vec<u8>> =
+            std::collections::HashMap::new();
+        for (op, key, data) in ops {
+            let path = format!("f{key}");
+            match op {
+                0 => {
+                    let res = fs.store(1, &path, &data);
+                    if shadow.contains_key(&path) {
+                        prop_assert!(res.is_err(), "files are immutable");
+                    } else {
+                        prop_assert!(res.is_ok());
+                        shadow.insert(path, data);
+                    }
+                }
+                1 => {
+                    let res = fs.fetch(1, &path);
+                    match shadow.get(&path) {
+                        Some(d) => prop_assert_eq!(&res.unwrap(), d),
+                        None => prop_assert!(res.is_err()),
+                    }
+                }
+                _ => {
+                    let res = fs.delete(1, &path);
+                    prop_assert_eq!(res.is_ok(), shadow.remove(&path).is_some());
+                }
+            }
+        }
+        let expected: u64 = shadow.values().map(|d| d.len() as u64).sum();
+        prop_assert_eq!(fs.archive(1).unwrap().status().used, expected);
+        prop_assert_eq!(fs.archive(1).unwrap().status().files, shadow.len());
+    }
+}

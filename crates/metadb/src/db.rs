@@ -1,0 +1,845 @@
+//! The database kernel: catalog, connections, transactions, recovery.
+//!
+//! Concurrency model: one coarse reader-writer lock over the catalog. Reads
+//! (queries) share the lock; DML takes it exclusively per statement. A
+//! transaction's atomicity is provided by an undo list held in the
+//! connection (rollback reverses the transaction's own effects) and a redo
+//! buffer flushed to the WAL at commit. This is the "read committed on a
+//! single node" regime the paper's DM runs against — HEDC serializes writers
+//! through the DM component rather than relying on exotic DBMS isolation.
+//!
+//! Known limitation (single-writer assumption, as in HEDC's deployment):
+//! redo records are appended at commit time, not under the catalog lock, so
+//! *concurrent writers to the same table* can produce a WAL whose replay
+//! order differs from apply order (slot-id conflicts on recovery), and a
+//! rollback can fail if another connection reused a freed slot in the
+//! interim. The DM routes all writes through its update pool and entity
+//! services, which serialize writers per entity; embedders doing raw
+//! multi-writer DML on one table should wrap it in their own lock.
+
+use crate::error::{DbError, DbResult};
+use crate::expr::Expr;
+use crate::index::RowId;
+use crate::lob::LobStore;
+use crate::query::{self, Query, QueryResult};
+use crate::schema::Schema;
+use crate::sql::{self, Statement};
+use crate::stats::{DbStats, StatsSnapshot};
+use crate::table::Table;
+use crate::value::Value;
+use crate::wal::{self, LogRecord, Wal};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    tables: BTreeMap<String, Table>,
+    lobs: LobStore,
+}
+
+impl Inner {
+    fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+}
+
+/// An embedded metadata database instance.
+#[derive(Debug)]
+pub struct Database {
+    name: String,
+    inner: RwLock<Inner>,
+    stats: DbStats,
+    wal: Mutex<Option<Wal>>,
+}
+
+impl Database {
+    /// Create an in-memory database (no redo log).
+    pub fn in_memory(name: impl Into<String>) -> Arc<Self> {
+        Arc::new(Database {
+            name: name.into(),
+            inner: RwLock::new(Inner::default()),
+            stats: DbStats::default(),
+            wal: Mutex::new(None),
+        })
+    }
+
+    /// Open a database backed by a redo log, replaying any committed history
+    /// found at `path` first.
+    pub fn with_wal(name: impl Into<String>, path: impl AsRef<Path>) -> DbResult<Arc<Self>> {
+        let records = wal::read_committed(&path)?;
+        let mut inner = Inner::default();
+        for rec in records {
+            replay(&mut inner, rec)?;
+        }
+        let wal = Wal::open(path)?;
+        Ok(Arc::new(Database {
+            name: name.into(),
+            inner: RwLock::new(inner),
+            stats: DbStats::default(),
+            wal: Mutex::new(Some(wal)),
+        }))
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Open a connection.
+    pub fn connect(self: &Arc<Self>) -> Connection {
+        Connection {
+            db: Arc::clone(self),
+            txn: None,
+        }
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().tables.keys().cloned().collect()
+    }
+
+    /// A table's schema, cloned.
+    pub fn schema_of(&self, table: &str) -> DbResult<Schema> {
+        Ok(self.inner.read().table(table)?.schema().clone())
+    }
+
+    /// Live row count of a table.
+    pub fn row_count(&self, table: &str) -> DbResult<usize> {
+        Ok(self.inner.read().table(table)?.len())
+    }
+
+    /// Snapshot of the monitoring counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn log(&self, records: &[LogRecord]) -> DbResult<()> {
+        if let Some(wal) = self.wal.lock().as_mut() {
+            wal.append_commit(records)?;
+        }
+        Ok(())
+    }
+}
+
+fn replay(inner: &mut Inner, rec: LogRecord) -> DbResult<()> {
+    match rec {
+        LogRecord::CreateTable { schema } => {
+            let key = schema.table.to_ascii_lowercase();
+            if inner.tables.contains_key(&key) {
+                return Err(DbError::CorruptLog(format!(
+                    "duplicate CREATE TABLE {key} in log"
+                )));
+            }
+            inner.tables.insert(key, Table::new(schema));
+        }
+        LogRecord::CreateIndex {
+            table,
+            name,
+            columns,
+            unique,
+        } => {
+            let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+            inner.table_mut(&table)?.create_index(name, &cols, unique)?;
+        }
+        LogRecord::Insert {
+            table,
+            row_id,
+            values,
+        } => {
+            inner.table_mut(&table)?.insert_at(row_id, values)?;
+        }
+        LogRecord::Update {
+            table,
+            row_id,
+            values,
+        } => {
+            inner.table_mut(&table)?.update(row_id, values)?;
+        }
+        LogRecord::Delete { table, row_id } => {
+            inner.table_mut(&table)?.delete(row_id)?;
+        }
+        LogRecord::Commit => {}
+    }
+    Ok(())
+}
+
+/// Undo record for rollback.
+#[derive(Debug)]
+enum Undo {
+    Insert { table: String, row_id: RowId },
+    Update {
+        table: String,
+        row_id: RowId,
+        old: Vec<Value>,
+    },
+    Delete {
+        table: String,
+        row_id: RowId,
+        old: Vec<Value>,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Txn {
+    undo: Vec<Undo>,
+    redo: Vec<LogRecord>,
+}
+
+/// Result of executing one SQL statement.
+#[derive(Debug)]
+pub enum SqlOutput {
+    /// A SELECT's result set.
+    Rows(QueryResult),
+    /// Number of rows affected by DML.
+    Affected(usize),
+    /// DDL or transaction control: nothing to return.
+    Done,
+}
+
+impl SqlOutput {
+    /// Unwrap a result set; panics on DML/DDL output (test convenience).
+    pub fn rows(self) -> QueryResult {
+        match self {
+            SqlOutput::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    /// Unwrap an affected-row count.
+    pub fn affected(self) -> usize {
+        match self {
+            SqlOutput::Affected(n) => n,
+            other => panic!("expected affected count, got {other:?}"),
+        }
+    }
+}
+
+/// A connection: the unit of transaction scope. Cheap to create, but the
+/// paper found connection creation expensive enough to pool (§5.3) — the
+/// pool in [`crate::ConnectionPool`] models that cost explicitly.
+pub struct Connection {
+    db: Arc<Database>,
+    txn: Option<Txn>,
+}
+
+impl Connection {
+    /// The owning database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Begin a transaction. Nested transactions are rejected.
+    pub fn begin(&mut self) -> DbResult<()> {
+        if self.txn.is_some() {
+            return Err(DbError::Txn("transaction already open".into()));
+        }
+        self.txn = Some(Txn::default());
+        Ok(())
+    }
+
+    /// Commit the open transaction, flushing its redo records to the WAL.
+    pub fn commit(&mut self) -> DbResult<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| DbError::Txn("commit without begin".into()))?;
+        self.db.log(&txn.redo)?;
+        DbStats::bump(&self.db.stats.commits);
+        Ok(())
+    }
+
+    /// Roll back the open transaction, undoing its effects in reverse order.
+    pub fn rollback(&mut self) -> DbResult<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| DbError::Txn("rollback without begin".into()))?;
+        let mut inner = self.db.inner.write();
+        for undo in txn.undo.into_iter().rev() {
+            match undo {
+                Undo::Insert { table, row_id } => {
+                    inner.table_mut(&table)?.delete(row_id)?;
+                }
+                Undo::Update { table, row_id, old } => {
+                    inner.table_mut(&table)?.update(row_id, old)?;
+                }
+                Undo::Delete { table, row_id, old } => {
+                    inner.table_mut(&table)?.insert_at(row_id, old)?;
+                }
+            }
+        }
+        DbStats::bump(&self.db.stats.rollbacks);
+        Ok(())
+    }
+
+    fn record(&mut self, undo: Undo, redo: LogRecord) -> DbResult<()> {
+        match &mut self.txn {
+            Some(t) => {
+                t.undo.push(undo);
+                t.redo.push(redo);
+                Ok(())
+            }
+            // Auto-commit: log immediately.
+            None => self.db.log(std::slice::from_ref(&redo)),
+        }
+    }
+
+    /// Create a table. DDL auto-commits and is not undone by rollback.
+    pub fn create_table(&mut self, schema: Schema) -> DbResult<()> {
+        {
+            let mut inner = self.db.inner.write();
+            let key = schema.table.to_ascii_lowercase();
+            if inner.tables.contains_key(&key) {
+                return Err(DbError::TableExists(schema.table));
+            }
+            inner.tables.insert(key, Table::new(schema.clone()));
+        }
+        self.db.log(&[LogRecord::CreateTable { schema }])
+    }
+
+    /// Create an index. DDL auto-commits.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        name: &str,
+        columns: &[&str],
+        unique: bool,
+    ) -> DbResult<()> {
+        {
+            let mut inner = self.db.inner.write();
+            inner.table_mut(table)?.create_index(name, columns, unique)?;
+        }
+        self.db.log(&[LogRecord::CreateIndex {
+            table: table.to_string(),
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            unique,
+        }])
+    }
+
+    /// Insert a row, returning its id.
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> DbResult<RowId> {
+        let (row_id, stored) = {
+            let mut inner = self.db.inner.write();
+            let t = inner.table_mut(table)?;
+            let id = t.insert(values)?;
+            (id, t.get(id)?.to_vec())
+        };
+        DbStats::bump(&self.db.stats.edits);
+        self.record(
+            Undo::Insert {
+                table: table.to_string(),
+                row_id,
+            },
+            LogRecord::Insert {
+                table: table.to_string(),
+                row_id,
+                values: stored,
+            },
+        )?;
+        Ok(row_id)
+    }
+
+    /// Fetch one row by id.
+    pub fn get_row(&self, table: &str, row_id: RowId) -> DbResult<Vec<Value>> {
+        let inner = self.db.inner.read();
+        Ok(inner.table(table)?.get(row_id)?.to_vec())
+    }
+
+    /// Run a structured query.
+    pub fn query(&self, q: &Query) -> DbResult<QueryResult> {
+        let inner = self.db.inner.read();
+        let t = inner.table(&q.table)?;
+        let result = query::execute(t, q)?;
+        let s = &self.db.stats;
+        DbStats::bump(&s.queries);
+        DbStats::add(&s.rows_scanned, result.stats.rows_scanned as u64);
+        DbStats::add(&s.rows_returned, result.stats.rows_returned as u64);
+        match result.stats.access {
+            query::AccessPath::FullScan => DbStats::bump(&s.full_scans),
+            query::AccessPath::Index { .. } => DbStats::bump(&s.index_hits),
+        }
+        Ok(result)
+    }
+
+    /// Update all rows matching `filter` (or every row when `None`),
+    /// assigning each `(column, expression)` pair. Returns rows affected.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        sets: &[(String, Expr)],
+        filter: Option<Expr>,
+    ) -> DbResult<usize> {
+        let updates: Vec<(RowId, Vec<Value>, Vec<Value>)> = {
+            let mut inner = self.db.inner.write();
+            let t = inner.table_mut(table)?;
+            let schema = t.schema().clone();
+            let set_cols: Vec<(usize, Expr)> = sets
+                .iter()
+                .map(|(c, e)| Ok((schema.require_column(c)?, e.clone().bind(&schema)?)))
+                .collect::<DbResult<_>>()?;
+            let ids = matching_ids(t, filter.as_ref())?;
+            let mut out: Vec<(RowId, Vec<Value>, Vec<Value>)> = Vec::with_capacity(ids.len());
+            let mut failure: Option<DbError> = None;
+            for id in ids {
+                let result = (|| -> DbResult<(Vec<Value>, Vec<Value>)> {
+                    let old = t.get(id)?.to_vec();
+                    let mut new_row = old.clone();
+                    for (col, expr) in &set_cols {
+                        new_row[*col] = expr.eval(&old)?;
+                    }
+                    t.update(id, new_row.clone())?;
+                    Ok((old, new_row))
+                })();
+                match result {
+                    Ok((old, new_row)) => out.push((id, old, new_row)),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                // Statement atomicity: compensate the rows already updated
+                // (reverse order) so a mid-statement unique violation or
+                // type error leaves no partial effects behind.
+                for (id, old, _) in out.into_iter().rev() {
+                    t.update(id, old).expect("compensating update restores prior value");
+                }
+                return Err(e);
+            }
+            out
+        };
+        let n = updates.len();
+        for (row_id, old, new_row) in updates {
+            DbStats::bump(&self.db.stats.edits);
+            self.record(
+                Undo::Update {
+                    table: table.to_string(),
+                    row_id,
+                    old,
+                },
+                LogRecord::Update {
+                    table: table.to_string(),
+                    row_id,
+                    values: new_row,
+                },
+            )?;
+        }
+        Ok(n)
+    }
+
+    /// Delete all rows matching `filter` (or every row when `None`).
+    pub fn delete_where(&mut self, table: &str, filter: Option<Expr>) -> DbResult<usize> {
+        let deleted: Vec<(RowId, Vec<Value>)> = {
+            let mut inner = self.db.inner.write();
+            let t = inner.table_mut(table)?;
+            let ids = matching_ids(t, filter.as_ref())?;
+            let mut out = Vec::with_capacity(ids.len());
+            for id in ids {
+                let old = t.delete(id)?;
+                out.push((id, old));
+            }
+            out
+        };
+        let n = deleted.len();
+        for (row_id, old) in deleted {
+            DbStats::bump(&self.db.stats.edits);
+            self.record(
+                Undo::Delete {
+                    table: table.to_string(),
+                    row_id,
+                    old,
+                },
+                LogRecord::Delete {
+                    table: table.to_string(),
+                    row_id,
+                },
+            )?;
+        }
+        Ok(n)
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute_sql(&mut self, sql_text: &str) -> DbResult<SqlOutput> {
+        let stmt = sql::parse(sql_text)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_statement(&mut self, stmt: Statement) -> DbResult<SqlOutput> {
+        match stmt {
+            Statement::CreateTable(schema) => {
+                self.create_table(schema)?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::CreateIndex {
+                table,
+                name,
+                columns,
+                unique,
+            } => {
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                self.create_index(&table, &name, &cols, unique)?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::Insert { table, columns, values } => {
+                let mut count = 0usize;
+                for row in values {
+                    let full = reorder_insert(&self.db.schema_of(&table)?, &columns, row)?;
+                    self.insert(&table, full)?;
+                    count += 1;
+                }
+                Ok(SqlOutput::Affected(count))
+            }
+            Statement::Select(q) => Ok(SqlOutput::Rows(self.query(&q)?)),
+            Statement::Update { table, sets, filter } => {
+                let n = self.update_where(&table, &sets, filter)?;
+                Ok(SqlOutput::Affected(n))
+            }
+            Statement::Delete { table, filter } => {
+                let n = self.delete_where(&table, filter)?;
+                Ok(SqlOutput::Affected(n))
+            }
+            Statement::Begin => {
+                self.begin()?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::Commit => {
+                self.commit()?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::Rollback => {
+                self.rollback()?;
+                Ok(SqlOutput::Done)
+            }
+        }
+    }
+
+    // ---- LOB access (ablation support, §4.2) ------------------------------
+
+    /// Store a LOB; not transactional and not logged (ablation only).
+    pub fn lob_put(&mut self, data: &[u8]) -> u64 {
+        DbStats::add(&self.db.stats.lob_bytes_written, data.len() as u64);
+        self.db.inner.write().lobs.put(data)
+    }
+
+    /// Read a whole LOB.
+    pub fn lob_get(&self, id: u64) -> DbResult<Vec<u8>> {
+        let data = self.db.inner.read().lobs.get(id)?;
+        DbStats::add(&self.db.stats.lob_bytes_read, data.len() as u64);
+        Ok(data)
+    }
+
+    /// Read a LOB byte range.
+    pub fn lob_get_range(&self, id: u64, offset: usize, len: usize) -> DbResult<Vec<u8>> {
+        let data = self.db.inner.read().lobs.get_range(id, offset, len)?;
+        DbStats::add(&self.db.stats.lob_bytes_read, data.len() as u64);
+        Ok(data)
+    }
+
+    /// Delete a LOB.
+    pub fn lob_delete(&mut self, id: u64) -> DbResult<()> {
+        self.db.inner.write().lobs.delete(id)
+    }
+}
+
+/// Row ids matching a filter, using the planner's access-path choice.
+fn matching_ids(t: &Table, filter: Option<&Expr>) -> DbResult<Vec<RowId>> {
+    match filter {
+        None => Ok(t.scan().map(|(id, _)| id).collect()),
+        Some(f) => {
+            let bound = f.clone().bind(t.schema())?;
+            let (candidates, _) = query::plan_candidates(t, &bound);
+            let mut out = Vec::new();
+            for id in candidates {
+                if let Ok(row) = t.get(id) {
+                    if bound.eval_bool(row)? {
+                        out.push(id);
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Expand an `INSERT (cols) VALUES (...)` row to full schema arity, filling
+/// omitted columns with NULL (defaults are applied by `check_row`).
+fn reorder_insert(
+    schema: &Schema,
+    columns: &Option<Vec<String>>,
+    values: Vec<Value>,
+) -> DbResult<Vec<Value>> {
+    match columns {
+        None => Ok(values),
+        Some(cols) => {
+            if cols.len() != values.len() {
+                return Err(DbError::ArityMismatch {
+                    expected: cols.len(),
+                    got: values.len(),
+                });
+            }
+            let mut full = vec![Value::Null; schema.arity()];
+            for (c, v) in cols.iter().zip(values) {
+                let i = schema.require_column(c)?;
+                full[i] = v;
+            }
+            Ok(full)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "hle",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("time_start", DataType::Timestamp).not_null(),
+                ColumnDef::new("label", DataType::Text),
+            ],
+        )
+        .primary_key(&["id"])
+    }
+
+    fn seeded() -> (Arc<Database>, Connection) {
+        let db = Database::in_memory("test");
+        let mut conn = db.connect();
+        conn.create_table(schema()).unwrap();
+        for i in 0..10i64 {
+            conn.insert(
+                "hle",
+                vec![Value::Int(i), Value::Int(i * 100), Value::Text(format!("e{i}"))],
+            )
+            .unwrap();
+        }
+        (db, conn)
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let (_db, conn) = seeded();
+        let r = conn
+            .query(&Query::table("hle").filter(Expr::eq("id", 3)))
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][2], Value::Text("e3".into()));
+    }
+
+    #[test]
+    fn update_where_applies_expressions() {
+        let (_db, mut conn) = seeded();
+        let n = conn
+            .update_where(
+                "hle",
+                &[(
+                    "label".to_string(),
+                    Expr::Literal(Value::Text("bulk".into())),
+                )],
+                Some(Expr::cmp("id", crate::expr::CmpOp::Lt, 3)),
+            )
+            .unwrap();
+        assert_eq!(n, 3);
+        let r = conn
+            .query(&Query::table("hle").filter(Expr::eq("label", "bulk")))
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn delete_where_and_counts() {
+        let (db, mut conn) = seeded();
+        let n = conn
+            .delete_where("hle", Some(Expr::cmp("id", crate::expr::CmpOp::Ge, 5)))
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(db.row_count("hle").unwrap(), 5);
+    }
+
+    #[test]
+    fn failed_update_statement_leaves_no_partial_effects() {
+        let (db, mut conn) = seeded();
+        // `SET id = 5` collides with the existing pk 5 on the second row
+        // it touches; the first row's update must be compensated.
+        let err = conn
+            .update_where(
+                "hle",
+                &[("id".to_string(), Expr::Literal(Value::Int(5)))],
+                Some(Expr::cmp("id", crate::expr::CmpOp::Lt, 3)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        // All original ids still present exactly once.
+        for i in 0..10i64 {
+            let r = conn
+                .query(&Query::table("hle").filter(Expr::eq("id", i)))
+                .unwrap();
+            assert_eq!(r.rows.len(), 1, "id {i} intact");
+        }
+        let _ = db;
+    }
+
+    #[test]
+    fn rollback_undoes_everything_in_reverse() {
+        let (db, mut conn) = seeded();
+        conn.begin().unwrap();
+        conn.insert("hle", vec![Value::Int(100), Value::Int(1), Value::Null])
+            .unwrap();
+        conn.update_where(
+            "hle",
+            &[("label".to_string(), Expr::Literal(Value::Text("x".into())))],
+            Some(Expr::eq("id", 1)),
+        )
+        .unwrap();
+        conn.delete_where("hle", Some(Expr::eq("id", 2))).unwrap();
+        assert_eq!(db.row_count("hle").unwrap(), 10);
+        conn.rollback().unwrap();
+        assert_eq!(db.row_count("hle").unwrap(), 10);
+        let r = conn
+            .query(&Query::table("hle").filter(Expr::eq("id", 1)))
+            .unwrap();
+        assert_eq!(r.rows[0][2], Value::Text("e1".into()));
+        let r = conn
+            .query(&Query::table("hle").filter(Expr::eq("id", 2)))
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let r = conn
+            .query(&Query::table("hle").filter(Expr::eq("id", 100)))
+            .unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn commit_then_rollback_errors() {
+        let (_db, mut conn) = seeded();
+        conn.begin().unwrap();
+        conn.commit().unwrap();
+        assert!(conn.rollback().is_err());
+        assert!(conn.commit().is_err());
+    }
+
+    #[test]
+    fn nested_begin_rejected() {
+        let (_db, mut conn) = seeded();
+        conn.begin().unwrap();
+        assert!(conn.begin().is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (db, mut conn) = seeded();
+        let before = db.stats();
+        conn.query(&Query::table("hle").filter(Expr::eq("id", 1)))
+            .unwrap();
+        conn.insert("hle", vec![Value::Int(50), Value::Int(1), Value::Null])
+            .unwrap();
+        let d = db.stats().since(&before);
+        assert_eq!(d.queries, 1);
+        assert_eq!(d.edits, 1);
+        assert_eq!(d.index_hits, 1);
+    }
+
+    #[test]
+    fn wal_recovery_restores_state() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("hedc-metadb-recover-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let db = Database::with_wal("d", &path).unwrap();
+            let mut conn = db.connect();
+            conn.create_table(schema()).unwrap();
+            conn.create_index("hle", "hle_time", &["time_start"], false)
+                .unwrap();
+            for i in 0..5i64 {
+                conn.insert("hle", vec![Value::Int(i), Value::Int(i), Value::Null])
+                    .unwrap();
+            }
+            conn.delete_where("hle", Some(Expr::eq("id", 3))).unwrap();
+            conn.update_where(
+                "hle",
+                &[("label".to_string(), Expr::Literal(Value::Text("r".into())))],
+                Some(Expr::eq("id", 4)),
+            )
+            .unwrap();
+            // Rolled-back txn must not survive recovery.
+            conn.begin().unwrap();
+            conn.insert("hle", vec![Value::Int(99), Value::Int(9), Value::Null])
+                .unwrap();
+            conn.rollback().unwrap();
+        }
+        let db = Database::with_wal("d", &path).unwrap();
+        assert_eq!(db.row_count("hle").unwrap(), 4);
+        let conn = db.connect();
+        let r = conn
+            .query(&Query::table("hle").filter(Expr::eq("id", 4)))
+            .unwrap();
+        assert_eq!(r.rows[0][2], Value::Text("r".into()));
+        let r = conn
+            .query(&Query::table("hle").filter(Expr::eq("id", 99)))
+            .unwrap();
+        assert!(r.rows.is_empty());
+        // Recovered index is functional.
+        let r = conn
+            .query(&Query::table("hle").filter(Expr::between("time_start", 0, 2)))
+            .unwrap();
+        assert!(matches!(
+            r.stats.access,
+            query::AccessPath::Index { .. }
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn committed_txn_survives_recovery() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("hedc-metadb-commit-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let db = Database::with_wal("d", &path).unwrap();
+            let mut conn = db.connect();
+            conn.create_table(schema()).unwrap();
+            conn.begin().unwrap();
+            conn.insert("hle", vec![Value::Int(1), Value::Int(1), Value::Null])
+                .unwrap();
+            conn.commit().unwrap();
+        }
+        let db = Database::with_wal("d", &path).unwrap();
+        assert_eq!(db.row_count("hle").unwrap(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lob_roundtrip_with_stats() {
+        let db = Database::in_memory("lobs");
+        let mut conn = db.connect();
+        let id = conn.lob_put(&[1, 2, 3, 4]);
+        assert_eq!(conn.lob_get(id).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(conn.lob_get_range(id, 1, 2).unwrap(), vec![2, 3]);
+        let s = db.stats();
+        assert_eq!(s.lob_bytes_written, 4);
+        assert_eq!(s.lob_bytes_read, 6);
+        conn.lob_delete(id).unwrap();
+        assert!(conn.lob_get(id).is_err());
+    }
+}

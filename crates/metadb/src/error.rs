@@ -1,0 +1,100 @@
+//! Error types for the metadata database.
+
+use std::fmt;
+
+/// The error type returned by every fallible operation in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant docs describe the fields
+pub enum DbError {
+    /// A table with the given name already exists.
+    TableExists(String),
+    /// No table with the given name exists.
+    NoSuchTable(String),
+    /// No column with the given name exists in the table.
+    NoSuchColumn { table: String, column: String },
+    /// An index with the given name already exists.
+    IndexExists(String),
+    /// No index with the given name exists.
+    NoSuchIndex(String),
+    /// A value's type does not match the column's declared type.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// A `NOT NULL` column received a null value.
+    NullViolation(String),
+    /// A unique or primary-key constraint was violated.
+    UniqueViolation { index: String },
+    /// A foreign-key style reference constraint was violated.
+    ReferenceViolation { from: String, to: String },
+    /// The row count of an insert does not match the schema arity.
+    ArityMismatch { expected: usize, got: usize },
+    /// The referenced row id does not exist (stale handle or deleted row).
+    NoSuchRow(u64),
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// The statement is valid SQL but not supported by this engine.
+    Unsupported(String),
+    /// A transaction-state error (e.g. commit without begin).
+    Txn(String),
+    /// The connection pool is exhausted and the caller chose not to wait.
+    PoolExhausted,
+    /// An I/O error while reading or writing the redo log.
+    Io(String),
+    /// The redo log is corrupt and recovery cannot proceed.
+    CorruptLog(String),
+    /// A LOB with the given id does not exist.
+    NoSuchLob(u64),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            DbError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "no column `{column}` in table `{table}`")
+            }
+            DbError::IndexExists(i) => write!(f, "index `{i}` already exists"),
+            DbError::NoSuchIndex(i) => write!(f, "no such index `{i}`"),
+            DbError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for column `{column}`: expected {expected}, got {got}"
+            ),
+            DbError::NullViolation(c) => write!(f, "column `{c}` may not be null"),
+            DbError::UniqueViolation { index } => {
+                write!(f, "unique constraint violated on `{index}`")
+            }
+            DbError::ReferenceViolation { from, to } => {
+                write!(f, "reference constraint violated: `{from}` -> `{to}`")
+            }
+            DbError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            DbError::NoSuchRow(id) => write!(f, "no such row id {id}"),
+            DbError::Parse(msg) => write!(f, "SQL parse error: {msg}"),
+            DbError::Unsupported(msg) => write!(f, "unsupported SQL: {msg}"),
+            DbError::Txn(msg) => write!(f, "transaction error: {msg}"),
+            DbError::PoolExhausted => write!(f, "connection pool exhausted"),
+            DbError::Io(msg) => write!(f, "I/O error: {msg}"),
+            DbError::CorruptLog(msg) => write!(f, "corrupt redo log: {msg}"),
+            DbError::NoSuchLob(id) => write!(f, "no such LOB {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type DbResult<T> = Result<T, DbError>;

@@ -1,0 +1,251 @@
+//! Secondary indexes.
+//!
+//! All of the paper's evaluation queries run "on indexed fields" (§7.1), so
+//! indexes are the workhorse of the metadata engine. An index maps an ordered
+//! composite key (one or more column values) to the set of row ids holding
+//! that key. Backed by a B-tree (`std::collections::BTreeMap`), which gives
+//! the logarithmic point lookups and ordered range scans the planner expects.
+
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Row identifier: a stable handle into a table's heap.
+pub type RowId = u64;
+
+/// A secondary (or primary) index over one or more columns.
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// Index name (unique per database).
+    pub name: String,
+    /// Positions of the indexed columns, in key order.
+    pub columns: Vec<usize>,
+    /// Whether duplicate keys are rejected.
+    pub unique: bool,
+    map: BTreeMap<Vec<Value>, Vec<RowId>>,
+    entries: usize,
+}
+
+impl Index {
+    /// Create an empty index.
+    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool) -> Self {
+        Index {
+            name: name.into(),
+            columns,
+            unique,
+            map: BTreeMap::new(),
+            entries: 0,
+        }
+    }
+
+    /// Extract this index's key from a full row.
+    pub fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.columns.iter().map(|&c| row[c].clone()).collect()
+    }
+
+    /// Number of (key, rowid) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Would inserting `row` violate uniqueness? NULL keys are exempt,
+    /// matching SQL unique-index semantics.
+    pub fn check_unique(&self, row: &[Value]) -> DbResult<()> {
+        if !self.unique {
+            return Ok(());
+        }
+        let key = self.key_of(row);
+        if key.iter().any(Value::is_null) {
+            return Ok(());
+        }
+        if self.map.contains_key(&key) {
+            return Err(DbError::UniqueViolation {
+                index: self.name.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Insert a row's key. The caller must have called [`Index::check_unique`]
+    /// first when enforcing constraints.
+    pub fn insert(&mut self, row: &[Value], id: RowId) {
+        let key = self.key_of(row);
+        self.map.entry(key).or_default().push(id);
+        self.entries += 1;
+    }
+
+    /// Remove a row's key.
+    pub fn remove(&mut self, row: &[Value], id: RowId) {
+        let key = self.key_of(row);
+        if let Some(ids) = self.map.get_mut(&key) {
+            if let Some(pos) = ids.iter().position(|&x| x == id) {
+                ids.swap_remove(pos);
+                self.entries -= 1;
+            }
+            if ids.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Exact-key lookup.
+    pub fn get(&self, key: &[Value]) -> &[RowId] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Range scan over single-column bounds on the *first* key column, with
+    /// an equality prefix for composite indexes.
+    ///
+    /// `eq_prefix` pins the first `eq_prefix.len()` key columns; `low`/`high`
+    /// bound the next column. Returns row ids in key order.
+    pub fn range(
+        &self,
+        eq_prefix: &[Value],
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Vec<RowId> {
+        let mut out = Vec::new();
+        // Lower bound of the B-tree walk: the prefix alone (inclusive) or
+        // prefix + low value.
+        let start: Bound<Vec<Value>> = match low {
+            Bound::Unbounded => {
+                if eq_prefix.is_empty() {
+                    Bound::Unbounded
+                } else {
+                    Bound::Included(eq_prefix.to_vec())
+                }
+            }
+            Bound::Included(v) => {
+                let mut k = eq_prefix.to_vec();
+                k.push(v.clone());
+                Bound::Included(k)
+            }
+            Bound::Excluded(v) => {
+                let mut k = eq_prefix.to_vec();
+                k.push(v.clone());
+                // Excluded on a prefix key would also exclude longer keys
+                // sharing the bound value; walk from Included and filter below.
+                Bound::Included(k)
+            }
+        };
+        let pin = eq_prefix.len();
+        for (key, ids) in self.map.range((start, Bound::<Vec<Value>>::Unbounded)) {
+            // Stop once we leave the equality prefix.
+            if key.len() < pin || key[..pin] != *eq_prefix {
+                break;
+            }
+            if let Some(v) = key.get(pin) {
+                match low {
+                    Bound::Excluded(l) if v <= l => continue,
+                    Bound::Included(l) if v < l => continue,
+                    _ => {}
+                }
+                match high {
+                    Bound::Excluded(h) if v >= h => break,
+                    Bound::Included(h) if v > h => break,
+                    _ => {}
+                }
+            } else if !matches!((low, high), (Bound::Unbounded, Bound::Unbounded)) {
+                // Key is exactly the prefix but a bound constrains the next
+                // column: a missing component can't satisfy a bound.
+                continue;
+            }
+            out.extend_from_slice(ids);
+        }
+        out
+    }
+
+    /// Full in-order traversal of all row ids.
+    pub fn iter_all(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.map.values().flat_map(|ids| ids.iter().copied())
+    }
+
+    /// Number of distinct keys (used by the planner's selectivity guess).
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut ix = Index::new("ix", vec![0], false);
+        ix.insert(&[v(5)], 1);
+        ix.insert(&[v(5)], 2);
+        ix.insert(&[v(9)], 3);
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.get(&[v(5)]), &[1, 2]);
+        ix.remove(&[v(5)], 1);
+        assert_eq!(ix.get(&[v(5)]), &[2]);
+        ix.remove(&[v(5)], 2);
+        assert!(ix.get(&[v(5)]).is_empty());
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn unique_violation_detected() {
+        let mut ix = Index::new("pk", vec![0], true);
+        ix.insert(&[v(1)], 1);
+        assert!(ix.check_unique(&[v(1)]).is_err());
+        assert!(ix.check_unique(&[v(2)]).is_ok());
+        // NULL keys never collide.
+        ix.insert(&[Value::Null], 2);
+        assert!(ix.check_unique(&[Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn range_scan_single_column() {
+        let mut ix = Index::new("ix", vec![0], false);
+        for i in 0..10 {
+            ix.insert(&[v(i)], i as RowId);
+        }
+        let ids = ix.range(&[], Bound::Included(&v(3)), Bound::Excluded(&v(7)));
+        assert_eq!(ids, vec![3, 4, 5, 6]);
+        let ids = ix.range(&[], Bound::Excluded(&v(3)), Bound::Included(&v(5)));
+        assert_eq!(ids, vec![4, 5]);
+        let ids = ix.range(&[], Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn range_scan_composite_prefix() {
+        // Index on (owner, time): equality on owner, range on time.
+        let mut ix = Index::new("ix", vec![0, 1], false);
+        for owner in 0..3 {
+            for t in 0..5 {
+                ix.insert(&[v(owner), v(t)], (owner * 10 + t) as RowId);
+            }
+        }
+        let ids = ix.range(&[v(1)], Bound::Included(&v(2)), Bound::Included(&v(3)));
+        assert_eq!(ids, vec![12, 13]);
+        // Prefix only, unbounded range = all of owner 2.
+        let ids = ix.range(&[v(2)], Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(ids, vec![20, 21, 22, 23, 24]);
+        // Prefix that doesn't exist.
+        let ids = ix.range(&[v(9)], Bound::Unbounded, Bound::Unbounded);
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn distinct_key_counting() {
+        let mut ix = Index::new("ix", vec![0], false);
+        ix.insert(&[v(1)], 1);
+        ix.insert(&[v(1)], 2);
+        ix.insert(&[v(2)], 3);
+        assert_eq!(ix.distinct_keys(), 2);
+        assert_eq!(ix.iter_all().count(), 3);
+    }
+}

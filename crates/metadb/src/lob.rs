@@ -1,0 +1,181 @@
+//! In-database Large OBject storage.
+//!
+//! HEDC decided *against* LOBs (§4.2): "accessing a LOB is significantly
+//! slower than accessing a file", and small-LOB chunking makes long-range
+//! reads worse. This module exists so that decision can be *measured* rather
+//! than asserted — the `ablation_lob_vs_fs` bench stores the same derived
+//! data products both ways. It deliberately mimics the commercial-LOB
+//! behaviour the paper complains about: data is chunked, and every chunk
+//! access goes through the same locked engine path a query would.
+
+use crate::error::{DbError, DbResult};
+
+/// Default chunk size. Commercial LOB implementations of the era kept
+/// chunks near the page size; reads of large objects therefore touched many
+/// pages. 8 KiB reproduces that behaviour.
+pub const DEFAULT_CHUNK: usize = 8 * 1024;
+
+/// A chunked LOB store.
+#[derive(Debug)]
+pub struct LobStore {
+    chunk_size: usize,
+    lobs: Vec<Option<Vec<Vec<u8>>>>,
+    free: Vec<usize>,
+    total_bytes: usize,
+}
+
+impl Default for LobStore {
+    fn default() -> Self {
+        Self::new(DEFAULT_CHUNK)
+    }
+}
+
+impl LobStore {
+    /// Create a store with a given chunk size (must be non-zero).
+    pub fn new(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        LobStore {
+            chunk_size,
+            lobs: Vec::new(),
+            free: Vec::new(),
+            total_bytes: 0,
+        }
+    }
+
+    /// Number of stored LOBs.
+    pub fn len(&self) -> usize {
+        self.lobs.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Store a LOB, returning its id.
+    pub fn put(&mut self, data: &[u8]) -> u64 {
+        let chunks: Vec<Vec<u8>> = data.chunks(self.chunk_size).map(<[u8]>::to_vec).collect();
+        self.total_bytes += data.len();
+        match self.free.pop() {
+            Some(slot) => {
+                self.lobs[slot] = Some(chunks);
+                slot as u64
+            }
+            None => {
+                self.lobs.push(Some(chunks));
+                (self.lobs.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Read a whole LOB, reassembling all chunks.
+    pub fn get(&self, id: u64) -> DbResult<Vec<u8>> {
+        let chunks = self.chunks(id)?;
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for c in chunks {
+            out.extend_from_slice(c);
+        }
+        Ok(out)
+    }
+
+    /// Read a byte range without materializing the whole object.
+    pub fn get_range(&self, id: u64, offset: usize, len: usize) -> DbResult<Vec<u8>> {
+        let chunks = self.chunks(id)?;
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        if offset >= total {
+            return Ok(Vec::new());
+        }
+        let end = (offset + len).min(total);
+        let mut out = Vec::with_capacity(end - offset);
+        let mut pos = 0usize;
+        for c in chunks {
+            let c_end = pos + c.len();
+            if c_end > offset && pos < end {
+                let from = offset.saturating_sub(pos);
+                let to = (end - pos).min(c.len());
+                out.extend_from_slice(&c[from..to]);
+            }
+            pos = c_end;
+            if pos >= end {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Size of a LOB in bytes.
+    pub fn size(&self, id: u64) -> DbResult<usize> {
+        Ok(self.chunks(id)?.iter().map(Vec::len).sum())
+    }
+
+    /// Delete a LOB.
+    pub fn delete(&mut self, id: u64) -> DbResult<()> {
+        let slot = id as usize;
+        let old = self
+            .lobs
+            .get_mut(slot)
+            .and_then(Option::take)
+            .ok_or(DbError::NoSuchLob(id))?;
+        self.total_bytes -= old.iter().map(Vec::len).sum::<usize>();
+        self.free.push(slot);
+        Ok(())
+    }
+
+    fn chunks(&self, id: u64) -> DbResult<&Vec<Vec<u8>>> {
+        self.lobs
+            .get(id as usize)
+            .and_then(Option::as_ref)
+            .ok_or(DbError::NoSuchLob(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = LobStore::new(4);
+        let data: Vec<u8> = (0..23u8).collect();
+        let id = s.put(&data);
+        assert_eq!(s.get(id).unwrap(), data);
+        assert_eq!(s.size(id).unwrap(), 23);
+        assert_eq!(s.total_bytes(), 23);
+    }
+
+    #[test]
+    fn empty_lob() {
+        let mut s = LobStore::default();
+        let id = s.put(&[]);
+        assert_eq!(s.get(id).unwrap(), Vec::<u8>::new());
+        assert_eq!(s.size(id).unwrap(), 0);
+    }
+
+    #[test]
+    fn range_reads_cross_chunk_boundaries() {
+        let mut s = LobStore::new(4);
+        let data: Vec<u8> = (0..20u8).collect();
+        let id = s.put(&data);
+        assert_eq!(s.get_range(id, 2, 6).unwrap(), &data[2..8]);
+        assert_eq!(s.get_range(id, 0, 100).unwrap(), data);
+        assert_eq!(s.get_range(id, 18, 10).unwrap(), &data[18..]);
+        assert!(s.get_range(id, 25, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_and_slot_reuse() {
+        let mut s = LobStore::new(8);
+        let a = s.put(&[1, 2, 3]);
+        s.delete(a).unwrap();
+        assert!(matches!(s.get(a), Err(DbError::NoSuchLob(_))));
+        assert_eq!(s.total_bytes(), 0);
+        let b = s.put(&[4, 5]);
+        assert_eq!(b, a);
+        assert_eq!(s.len(), 1);
+    }
+}

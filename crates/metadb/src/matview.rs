@@ -1,0 +1,244 @@
+//! Materialized views.
+//!
+//! §6.3: "Many queries require summary data and use aggregates. Hence, in
+//! addition to indices, we use materialized views to improve response
+//! time." A materialized view here is a named, stored [`Query`] result:
+//! it is refreshed on demand (HEDC refreshed its views during data
+//! loading), served from its snapshot table, and tracks staleness against
+//! the base table's edit counter so callers can decide when a refresh is
+//! due — the "data refresh rules" of the §4.1 administrative section.
+
+use crate::db::Database;
+use crate::error::{DbError, DbResult};
+use crate::query::{Query, QueryResult};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One materialized view: definition plus current snapshot.
+#[derive(Debug)]
+struct MatView {
+    definition: Query,
+    snapshot: QueryResult,
+    /// Value of the database edit counter at refresh time.
+    refreshed_at_edits: u64,
+}
+
+/// A registry of materialized views over one database.
+pub struct MatViewManager {
+    db: Arc<Database>,
+    views: RwLock<HashMap<String, MatView>>,
+}
+
+impl MatViewManager {
+    /// Create a manager for a database.
+    pub fn new(db: Arc<Database>) -> Self {
+        MatViewManager {
+            db,
+            views: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Define (or redefine) a view and materialize it immediately.
+    pub fn define(&self, name: &str, definition: Query) -> DbResult<()> {
+        let snapshot = self.db.connect().query(&definition)?;
+        let refreshed_at_edits = self.db.stats().edits;
+        self.views.write().insert(
+            name.to_string(),
+            MatView {
+                definition,
+                snapshot,
+                refreshed_at_edits,
+            },
+        );
+        Ok(())
+    }
+
+    /// Drop a view.
+    pub fn drop_view(&self, name: &str) -> bool {
+        self.views.write().remove(name).is_some()
+    }
+
+    /// Registered view names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.views.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Serve a view from its snapshot — no base-table access.
+    pub fn read(&self, name: &str) -> DbResult<QueryResult> {
+        self.views
+            .read()
+            .get(name)
+            .map(|v| v.snapshot.clone())
+            .ok_or_else(|| DbError::NoSuchTable(format!("materialized view `{name}`")))
+    }
+
+    /// Edits applied to the database since the view was refreshed. (An
+    /// over-approximation — edits to *other* tables also count — which is
+    /// the same conservative rule HEDC's load-time refresh used.)
+    pub fn staleness(&self, name: &str) -> DbResult<u64> {
+        let views = self.views.read();
+        let v = views
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchTable(format!("materialized view `{name}`")))?;
+        Ok(self.db.stats().edits.saturating_sub(v.refreshed_at_edits))
+    }
+
+    /// Re-run the definition and swap the snapshot.
+    pub fn refresh(&self, name: &str) -> DbResult<usize> {
+        let definition = {
+            let views = self.views.read();
+            views
+                .get(name)
+                .ok_or_else(|| DbError::NoSuchTable(format!("materialized view `{name}`")))?
+                .definition
+                .clone()
+        };
+        let snapshot = self.db.connect().query(&definition)?;
+        let rows = snapshot.rows.len();
+        let refreshed_at_edits = self.db.stats().edits;
+        if let Some(v) = self.views.write().get_mut(name) {
+            v.snapshot = snapshot;
+            v.refreshed_at_edits = refreshed_at_edits;
+        }
+        Ok(rows)
+    }
+
+    /// Refresh every view whose staleness exceeds `max_edits` (the
+    /// load-time refresh pass). Returns the refreshed names.
+    pub fn refresh_stale(&self, max_edits: u64) -> DbResult<Vec<String>> {
+        let names = self.names();
+        let mut refreshed = Vec::new();
+        for name in names {
+            if self.staleness(&name)? > max_edits {
+                self.refresh(&name)?;
+                refreshed.push(name);
+            }
+        }
+        Ok(refreshed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::query::AggFunc;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::{DataType, Value};
+
+    fn db() -> Arc<Database> {
+        let db = Database::in_memory("mv");
+        let mut conn = db.connect();
+        conn.create_table(
+            Schema::new(
+                "hle",
+                vec![
+                    ColumnDef::new("id", DataType::Int).not_null(),
+                    ColumnDef::new("etype", DataType::Text).not_null(),
+                ],
+            )
+            .primary_key(&["id"]),
+        )
+        .unwrap();
+        for i in 0..30i64 {
+            conn.insert(
+                "hle",
+                vec![
+                    Value::Int(i),
+                    Value::Text(if i % 3 == 0 { "grb" } else { "flare" }.into()),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn summary_query() -> Query {
+        Query::table("hle")
+            .group_by("etype")
+            .aggregate(AggFunc::CountStar)
+    }
+
+    #[test]
+    fn define_read_refresh() {
+        let db = db();
+        let mgr = MatViewManager::new(Arc::clone(&db));
+        mgr.define("events_by_type", summary_query()).unwrap();
+        let snap = mgr.read("events_by_type").unwrap();
+        assert_eq!(snap.rows.len(), 2);
+        // flare count = 20.
+        let flares = snap
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Text("flare".into()))
+            .unwrap();
+        assert_eq!(flares[1], Value::Int(20));
+
+        // Base-table change: the snapshot is stale until refreshed.
+        let mut conn = db.connect();
+        conn.insert("hle", vec![Value::Int(100), Value::Text("flare".into())])
+            .unwrap();
+        assert_eq!(mgr.staleness("events_by_type").unwrap(), 1);
+        let snap = mgr.read("events_by_type").unwrap();
+        let flares = snap
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Text("flare".into()))
+            .unwrap();
+        assert_eq!(flares[1], Value::Int(20), "stale snapshot served");
+        mgr.refresh("events_by_type").unwrap();
+        let snap = mgr.read("events_by_type").unwrap();
+        let flares = snap
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Text("flare".into()))
+            .unwrap();
+        assert_eq!(flares[1], Value::Int(21));
+        assert_eq!(mgr.staleness("events_by_type").unwrap(), 0);
+    }
+
+    #[test]
+    fn reads_do_not_touch_base_tables() {
+        let db = db();
+        let mgr = MatViewManager::new(Arc::clone(&db));
+        mgr.define("mv", summary_query()).unwrap();
+        let before = db.stats();
+        for _ in 0..50 {
+            mgr.read("mv").unwrap();
+        }
+        assert_eq!(db.stats().since(&before).queries, 0);
+    }
+
+    #[test]
+    fn refresh_stale_sweep() {
+        let db = db();
+        let mgr = MatViewManager::new(Arc::clone(&db));
+        mgr.define("a", summary_query()).unwrap();
+        mgr.define("b", Query::table("hle").filter(Expr::eq("etype", "grb")))
+            .unwrap();
+        // No edits: nothing refreshes.
+        assert!(mgr.refresh_stale(0).unwrap().is_empty());
+        db.connect()
+            .insert("hle", vec![Value::Int(200), Value::Text("grb".into())])
+            .unwrap();
+        let refreshed = mgr.refresh_stale(0).unwrap();
+        assert_eq!(refreshed, vec!["a".to_string(), "b".to_string()]);
+        let b = mgr.read("b").unwrap();
+        assert_eq!(b.rows.len(), 11);
+    }
+
+    #[test]
+    fn unknown_view_errors_and_drop() {
+        let db = db();
+        let mgr = MatViewManager::new(db);
+        assert!(mgr.read("ghost").is_err());
+        assert!(mgr.staleness("ghost").is_err());
+        mgr.define("v", summary_query()).unwrap();
+        assert!(mgr.drop_view("v"));
+        assert!(!mgr.drop_view("v"));
+        assert!(mgr.read("v").is_err());
+    }
+}

@@ -1,0 +1,672 @@
+//! Query specification, planning, and execution.
+//!
+//! The paper's DM builds queries as structured objects ("Java collection
+//! objects", §5.4) which are "parsed, analyzed, verified and transformed into
+//! regular SQL queries". [`Query`] is that structured object; the SQL parser
+//! also lowers `SELECT` text into it, so both paths share this executor.
+
+use crate::error::DbResult;
+#[cfg(test)]
+use crate::error::DbError;
+use crate::expr::Expr;
+use crate::index::RowId;
+use crate::table::Table;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderDir {
+    /// Ascending (NULLs first, per the `Value` total order).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggFunc {
+    /// `COUNT(*)`
+    CountStar,
+    /// `COUNT(col)` — non-null values.
+    Count(String),
+    /// `SUM(col)`
+    Sum(String),
+    /// `AVG(col)`
+    Avg(String),
+    /// `MIN(col)`
+    Min(String),
+    /// `MAX(col)`
+    Max(String),
+}
+
+impl AggFunc {
+    fn column(&self) -> Option<&str> {
+        match self {
+            AggFunc::CountStar => None,
+            AggFunc::Count(c)
+            | AggFunc::Sum(c)
+            | AggFunc::Avg(c)
+            | AggFunc::Min(c)
+            | AggFunc::Max(c) => Some(c),
+        }
+    }
+
+    /// Result column label, e.g. `COUNT(*)` or `SUM(flux)`.
+    pub fn label(&self) -> String {
+        match self {
+            AggFunc::CountStar => "COUNT(*)".to_string(),
+            AggFunc::Count(c) => format!("COUNT({c})"),
+            AggFunc::Sum(c) => format!("SUM({c})"),
+            AggFunc::Avg(c) => format!("AVG({c})"),
+            AggFunc::Min(c) => format!("MIN({c})"),
+            AggFunc::Max(c) => format!("MAX({c})"),
+        }
+    }
+}
+
+/// Column projection.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Projection {
+    /// `SELECT *`
+    #[default]
+    All,
+    /// Named columns, in output order.
+    Columns(Vec<String>),
+}
+
+/// A structured query over one table.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Target table.
+    pub table: String,
+    /// Output columns (ignored when `aggregates` is non-empty).
+    pub projection: Projection,
+    /// Optional filter predicate.
+    pub filter: Option<Expr>,
+    /// Sort specification applied before limit/offset.
+    pub order_by: Vec<(String, OrderDir)>,
+    /// Maximum number of result rows.
+    pub limit: Option<usize>,
+    /// Number of result rows to skip.
+    pub offset: Option<usize>,
+    /// Aggregate outputs; non-empty switches to aggregate mode.
+    pub aggregates: Vec<AggFunc>,
+    /// Group-by columns (aggregate mode only).
+    pub group_by: Vec<String>,
+}
+
+impl Query {
+    /// Start a query on a table.
+    pub fn table(name: impl Into<String>) -> Self {
+        Query {
+            table: name.into(),
+            ..Query::default()
+        }
+    }
+
+    /// Project specific columns.
+    pub fn select(mut self, cols: &[&str]) -> Self {
+        self.projection = Projection::Columns(cols.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Add a filter, AND-ing with any existing filter.
+    pub fn filter(mut self, e: Expr) -> Self {
+        self.filter = Some(match self.filter.take() {
+            Some(prev) => prev.and(e),
+            None => e,
+        });
+        self
+    }
+
+    /// Add a sort key.
+    pub fn order_by(mut self, col: impl Into<String>, dir: OrderDir) -> Self {
+        self.order_by.push((col.into(), dir));
+        self
+    }
+
+    /// Cap the result size.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Skip leading rows.
+    pub fn offset(mut self, n: usize) -> Self {
+        self.offset = Some(n);
+        self
+    }
+
+    /// Add an aggregate output.
+    pub fn aggregate(mut self, f: AggFunc) -> Self {
+        self.aggregates.push(f);
+        self
+    }
+
+    /// Group by a column.
+    pub fn group_by(mut self, col: impl Into<String>) -> Self {
+        self.group_by.push(col.into());
+        self
+    }
+}
+
+/// How the executor located candidate rows — reported so the evaluation can
+/// verify "all database queries are performed on indexed fields" (§7.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Whole-heap scan.
+    FullScan,
+    /// Index range or point scan.
+    Index {
+        /// Index name used.
+        name: String,
+        /// Whether the probe was a point (equality) lookup.
+        point: bool,
+    },
+}
+
+/// Execution statistics for one query.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Rows fetched from the heap and tested.
+    pub rows_scanned: usize,
+    /// Rows returned.
+    pub rows_returned: usize,
+    /// Access path chosen by the planner.
+    pub access: AccessPath,
+}
+
+/// A query result: column labels plus rows.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Executor statistics.
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    /// First row, first column, as an integer (handy for COUNT queries).
+    pub fn scalar_int(&self) -> Option<i64> {
+        self.rows.first().and_then(|r| r.first()).and_then(Value::as_int)
+    }
+
+    /// Approximate byte size of the result set (used for transfer modeling).
+    pub fn size_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Execute a query against a table. This is the single scan/filter/sort/
+/// aggregate pipeline used by SQL `SELECT`, DM query objects, and internal
+/// maintenance scans.
+pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
+    let schema = table.schema();
+    let filter = match &q.filter {
+        Some(f) => Some(f.clone().bind(schema)?),
+        None => None,
+    };
+
+    // --- plan: choose an access path --------------------------------------
+    let (candidates, access): (Vec<RowId>, AccessPath) = match &filter {
+        Some(f) => plan_candidates(table, f),
+        None => (table.scan().map(|(id, _)| id).collect(), AccessPath::FullScan),
+    };
+
+    // --- scan + filter ------------------------------------------------------
+    let mut rows_scanned = 0usize;
+    let mut matched: Vec<(RowId, &[Value])> = Vec::new();
+    for id in candidates {
+        let row = match table.get(id) {
+            Ok(r) => r,
+            Err(_) => continue, // deleted concurrently within this txn view
+        };
+        rows_scanned += 1;
+        if let Some(f) = &filter {
+            if !f.eval_bool(row)? {
+                continue;
+            }
+        }
+        matched.push((id, row));
+    }
+
+    // --- aggregate mode -----------------------------------------------------
+    if !q.aggregates.is_empty() {
+        return aggregate(schema, q, matched, rows_scanned, access);
+    }
+
+    // --- sort ----------------------------------------------------------------
+    if !q.order_by.is_empty() {
+        let keys: Vec<(usize, OrderDir)> = q
+            .order_by
+            .iter()
+            .map(|(c, d)| Ok((schema.require_column(c)?, *d)))
+            .collect::<DbResult<_>>()?;
+        matched.sort_by(|(_, a), (_, b)| {
+            for &(col, dir) in &keys {
+                let ord = a[col].cmp(&b[col]);
+                let ord = if dir == OrderDir::Desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    // --- offset / limit -------------------------------------------------------
+    let offset = q.offset.unwrap_or(0);
+    let limit = q.limit.unwrap_or(usize::MAX);
+    let window = matched.into_iter().skip(offset).take(limit);
+
+    // --- project ---------------------------------------------------------------
+    let (labels, cols): (Vec<String>, Option<Vec<usize>>) = match &q.projection {
+        Projection::All => (
+            schema.columns.iter().map(|c| c.name.clone()).collect(),
+            None,
+        ),
+        Projection::Columns(names) => {
+            let idx = names
+                .iter()
+                .map(|n| schema.require_column(n))
+                .collect::<DbResult<Vec<_>>>()?;
+            (names.clone(), Some(idx))
+        }
+    };
+    let rows: Vec<Vec<Value>> = window
+        .map(|(_, row)| match &cols {
+            None => row.to_vec(),
+            Some(idx) => idx.iter().map(|&i| row[i].clone()).collect(),
+        })
+        .collect();
+
+    let rows_returned = rows.len();
+    Ok(QueryResult {
+        columns: labels,
+        rows,
+        stats: ExecStats {
+            rows_scanned,
+            rows_returned,
+            access,
+        },
+    })
+}
+
+/// Choose candidate row ids for a bound filter: the most selective sargable
+/// conjunct that has an index on its column wins; otherwise full scan.
+pub(crate) fn plan_candidates(table: &Table, filter: &Expr) -> (Vec<RowId>, AccessPath) {
+    let mut best: Option<(Vec<RowId>, String, bool)> = None;
+    for conj in filter.conjuncts() {
+        let Some(range) = conj.column_range() else {
+            continue;
+        };
+        let Some(ix) = table.index_on(range.col) else {
+            continue;
+        };
+        let point = matches!(
+            (&range.low, &range.high),
+            (Bound::Included(a), Bound::Included(b)) if a == b
+        );
+        let ids = ix.range(&[], as_ref_bound(&range.low), as_ref_bound(&range.high));
+        let better = match &best {
+            None => true,
+            Some((cur, _, _)) => ids.len() < cur.len(),
+        };
+        if better {
+            best = Some((ids, ix.name.clone(), point));
+        }
+    }
+    match best {
+        Some((ids, name, point)) => (ids, AccessPath::Index { name, point }),
+        None => (
+            table.scan().map(|(id, _)| id).collect(),
+            AccessPath::FullScan,
+        ),
+    }
+}
+
+fn as_ref_bound(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Aggregate accumulator.
+#[derive(Debug, Clone)]
+struct Acc {
+    count: i64,
+    sum: f64,
+    sum_is_int: bool,
+    isum: i64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc {
+            count: 0,
+            sum: 0.0,
+            sum_is_int: true,
+            isum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn push(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(f) = v.as_float() {
+            self.sum += f;
+            match v.as_int() {
+                Some(i) if self.sum_is_int => self.isum = self.isum.wrapping_add(i),
+                _ => self.sum_is_int = false,
+            }
+        }
+        if self.min.as_ref().is_none_or(|m| v < m) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v > m) {
+            self.max = Some(v.clone());
+        }
+    }
+}
+
+fn aggregate(
+    schema: &crate::schema::Schema,
+    q: &Query,
+    matched: Vec<(RowId, &[Value])>,
+    rows_scanned: usize,
+    access: AccessPath,
+) -> DbResult<QueryResult> {
+    // Resolve aggregate input columns.
+    let agg_cols: Vec<Option<usize>> = q
+        .aggregates
+        .iter()
+        .map(|a| match a.column() {
+            Some(c) => schema.require_column(c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<DbResult<_>>()?;
+    let group_cols: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|c| schema.require_column(c))
+        .collect::<DbResult<_>>()?;
+
+    // Group rows (a single implicit group when group_by is empty).
+    let mut groups: HashMap<Vec<Value>, (i64, Vec<Acc>)> = HashMap::new();
+    let mut group_order: Vec<Vec<Value>> = Vec::new();
+    for (_, row) in &matched {
+        let key: Vec<Value> = group_cols.iter().map(|&c| row[c].clone()).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            group_order.push(key);
+            (0, vec![Acc::new(); q.aggregates.len()])
+        });
+        entry.0 += 1;
+        for (acc, col) in entry.1.iter_mut().zip(&agg_cols) {
+            if let Some(c) = col {
+                acc.push(&row[*c]);
+            }
+        }
+    }
+    // COUNT(*) over an empty, ungrouped input is still one row of zeroes.
+    if groups.is_empty() && group_cols.is_empty() {
+        group_order.push(Vec::new());
+        groups.insert(Vec::new(), (0, vec![Acc::new(); q.aggregates.len()]));
+    }
+
+    let mut labels: Vec<String> = q.group_by.clone();
+    labels.extend(q.aggregates.iter().map(AggFunc::label));
+
+    let mut rows = Vec::with_capacity(group_order.len());
+    for key in group_order {
+        let (star_count, accs) = &groups[&key];
+        let mut row = key.clone();
+        for (agg, acc) in q.aggregates.iter().zip(accs) {
+            let v = match agg {
+                AggFunc::CountStar => Value::Int(*star_count),
+                AggFunc::Count(_) => Value::Int(acc.count),
+                AggFunc::Sum(_) => {
+                    if acc.count == 0 {
+                        Value::Null
+                    } else if acc.sum_is_int {
+                        Value::Int(acc.isum)
+                    } else {
+                        Value::Float(acc.sum)
+                    }
+                }
+                AggFunc::Avg(_) => {
+                    if acc.count == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(acc.sum / acc.count as f64)
+                    }
+                }
+                AggFunc::Min(_) => acc.min.clone().unwrap_or(Value::Null),
+                AggFunc::Max(_) => acc.max.clone().unwrap_or(Value::Null),
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+
+    // Deterministic output order for grouped results.
+    if !group_cols.is_empty() {
+        let n = group_cols.len();
+        rows.sort_by(|a, b| a[..n].cmp(&b[..n]));
+    }
+
+    // LIMIT/OFFSET apply to aggregate output too (grouped rows are already
+    // ordered by their group keys).
+    let offset = q.offset.unwrap_or(0);
+    if offset > 0 {
+        rows.drain(..offset.min(rows.len()));
+    }
+    if let Some(limit) = q.limit {
+        rows.truncate(limit);
+    }
+
+    let rows_returned = rows.len();
+    Ok(QueryResult {
+        columns: labels,
+        rows,
+        stats: ExecStats {
+            rows_scanned,
+            rows_returned,
+            access,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            Schema::new(
+                "ana",
+                vec![
+                    ColumnDef::new("id", DataType::Int).not_null(),
+                    ColumnDef::new("hle_id", DataType::Int).not_null(),
+                    ColumnDef::new("kind", DataType::Text).not_null(),
+                    ColumnDef::new("dur", DataType::Float),
+                ],
+            )
+            .primary_key(&["id"]),
+        );
+        t.create_index("ana_hle", &["hle_id"], false).unwrap();
+        let kinds = ["image", "lightcurve", "spectrum"];
+        for i in 0..30i64 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::Int(i / 3),
+                Value::Text(kinds[(i % 3) as usize].into()),
+                Value::Float(i as f64 * 0.5),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn point_lookup_uses_pk_index() {
+        let t = table();
+        let q = Query::table("ana").filter(Expr::eq("id", 7));
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(
+            r.stats.access,
+            AccessPath::Index {
+                name: "ana_pk".into(),
+                point: true
+            }
+        );
+        assert_eq!(r.stats.rows_scanned, 1);
+    }
+
+    #[test]
+    fn range_scan_uses_secondary_index() {
+        let t = table();
+        let q = Query::table("ana").filter(Expr::between("hle_id", 2, 4));
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows.len(), 9);
+        assert!(matches!(r.stats.access, AccessPath::Index { point: false, .. }));
+    }
+
+    #[test]
+    fn unindexed_predicate_full_scans() {
+        let t = table();
+        let q = Query::table("ana").filter(Expr::eq("kind", "image"));
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.stats.access, AccessPath::FullScan);
+        assert_eq!(r.stats.rows_scanned, 30);
+    }
+
+    #[test]
+    fn residual_filter_applied_after_index() {
+        let t = table();
+        let q = Query::table("ana")
+            .filter(Expr::eq("hle_id", 2).and(Expr::eq("kind", "image")));
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert!(matches!(r.stats.access, AccessPath::Index { .. }));
+        assert_eq!(r.stats.rows_scanned, 3); // only hle_id=2 candidates touched
+    }
+
+    #[test]
+    fn projection_order_and_limit() {
+        let t = table();
+        let q = Query::table("ana")
+            .select(&["kind", "id"])
+            .order_by("id", OrderDir::Desc)
+            .limit(3)
+            .offset(1);
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.columns, vec!["kind", "id"]);
+        let ids: Vec<i64> = r.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![28, 27, 26]);
+    }
+
+    #[test]
+    fn count_star_and_filtered_count() {
+        let t = table();
+        let q = Query::table("ana").aggregate(AggFunc::CountStar);
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.scalar_int(), Some(30));
+
+        let q = Query::table("ana")
+            .filter(Expr::cmp("id", CmpOp::Lt, 10))
+            .aggregate(AggFunc::CountStar);
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.scalar_int(), Some(10));
+    }
+
+    #[test]
+    fn aggregates_sum_avg_min_max() {
+        let t = table();
+        let q = Query::table("ana")
+            .aggregate(AggFunc::Sum("id".into()))
+            .aggregate(AggFunc::Avg("dur".into()))
+            .aggregate(AggFunc::Min("dur".into()))
+            .aggregate(AggFunc::Max("dur".into()));
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int((0..30).sum::<i64>()));
+        let avg = r.rows[0][1].as_float().unwrap();
+        assert!((avg - 7.25).abs() < 1e-9);
+        assert_eq!(r.rows[0][2], Value::Float(0.0));
+        assert_eq!(r.rows[0][3], Value::Float(14.5));
+    }
+
+    #[test]
+    fn group_by_kind() {
+        let t = table();
+        let q = Query::table("ana")
+            .group_by("kind")
+            .aggregate(AggFunc::CountStar);
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.columns, vec!["kind", "COUNT(*)"]);
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            assert_eq!(row[1], Value::Int(10));
+        }
+        // Deterministic sorted group order.
+        assert_eq!(r.rows[0][0], Value::Text("image".into()));
+    }
+
+    #[test]
+    fn empty_aggregate_returns_zero_row() {
+        let t = table();
+        let q = Query::table("ana")
+            .filter(Expr::eq("id", 9999))
+            .aggregate(AggFunc::CountStar)
+            .aggregate(AggFunc::Sum("dur".into()));
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert_eq!(r.rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn aggregate_respects_limit_and_offset() {
+        let t = table();
+        let q = Query::table("ana")
+            .group_by("kind")
+            .aggregate(AggFunc::CountStar)
+            .limit(2)
+            .offset(1);
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        // Sorted group order is image < lightcurve < spectrum; offset 1
+        // drops "image".
+        assert_eq!(r.rows[0][0], Value::Text("lightcurve".into()));
+    }
+
+    #[test]
+    fn unknown_projection_column_errors() {
+        let t = table();
+        let q = Query::table("ana").select(&["nope"]);
+        assert!(matches!(
+            execute(&t, &q).unwrap_err(),
+            DbError::NoSuchColumn { .. }
+        ));
+    }
+}

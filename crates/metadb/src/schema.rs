@@ -1,0 +1,287 @@
+//! Table schemas and column definitions.
+//!
+//! The paper (§4.1) splits the database schema into a *generic* part
+//! (administrative, operational, location sections) and a *domain-specific*
+//! part (HLE/ANA/catalog tables). Both are expressed with the same schema
+//! machinery here; the split itself lives in `hedc-dm`.
+
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Value};
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ColumnDef {
+    /// Column name (case-preserving, matched case-insensitively).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// Whether NULL is rejected.
+    pub not_null: bool,
+    /// Default value used when an insert omits the column.
+    pub default: Option<Value>,
+}
+
+impl ColumnDef {
+    /// A nullable column with no default.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            not_null: false,
+            default: None,
+        }
+    }
+
+    /// Mark the column `NOT NULL`.
+    pub fn not_null(mut self) -> Self {
+        self.not_null = true;
+        self
+    }
+
+    /// Give the column a default value.
+    pub fn default(mut self, v: impl Into<Value>) -> Self {
+        self.default = Some(v.into());
+        self
+    }
+}
+
+/// A schema: ordered columns plus a primary key.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    /// Table name.
+    pub table: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Indices (into `columns`) of the primary-key columns, in key order.
+    /// Empty means the table has no declared primary key (rowid only).
+    pub primary_key: Vec<usize>,
+}
+
+impl Schema {
+    /// Build a schema. Panics on duplicate column names: schemas are
+    /// program-defined, so a duplicate is a programming error, not input.
+    pub fn new(table: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        let table = table.into();
+        for (i, c) in columns.iter().enumerate() {
+            for other in &columns[i + 1..] {
+                assert!(
+                    !c.name.eq_ignore_ascii_case(&other.name),
+                    "duplicate column `{}` in table `{}`",
+                    c.name,
+                    table
+                );
+            }
+        }
+        Schema {
+            table,
+            columns,
+            primary_key: Vec::new(),
+        }
+    }
+
+    /// Declare the primary key by column names. Panics if a name is unknown
+    /// (schemas are program-defined).
+    pub fn primary_key(mut self, cols: &[&str]) -> Self {
+        self.primary_key = cols
+            .iter()
+            .map(|c| {
+                self.column_index(c)
+                    .unwrap_or_else(|| panic!("unknown pk column `{c}` in `{}`", self.table))
+            })
+            .collect();
+        self
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Case-insensitive column lookup.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column lookup that returns a typed error.
+    pub fn require_column(&self, name: &str) -> DbResult<usize> {
+        self.column_index(name).ok_or_else(|| DbError::NoSuchColumn {
+            table: self.table.clone(),
+            column: name.to_string(),
+        })
+    }
+
+    /// Validate and canonicalize a full row of values against this schema.
+    ///
+    /// Checks arity, type compatibility, and NOT NULL; applies defaults for
+    /// NULLs in defaulted columns only when `apply_defaults` is set (inserts
+    /// apply defaults, updates do not).
+    pub fn check_row(&self, mut values: Vec<Value>, apply_defaults: bool) -> DbResult<Vec<Value>> {
+        if values.len() != self.columns.len() {
+            return Err(DbError::ArityMismatch {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
+        }
+        for (v, col) in values.iter_mut().zip(&self.columns) {
+            if v.is_null() {
+                if apply_defaults {
+                    if let Some(d) = &col.default {
+                        *v = d.clone();
+                    }
+                }
+                if v.is_null() && col.not_null {
+                    return Err(DbError::NullViolation(col.name.clone()));
+                }
+                continue;
+            }
+            if !v.compatible_with(col.ty) {
+                return Err(DbError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.ty.name(),
+                    got: v.type_name(),
+                });
+            }
+            let taken = std::mem::replace(v, Value::Null);
+            *v = taken.coerce(col.ty);
+        }
+        Ok(values)
+    }
+
+    /// Render as `CREATE TABLE` DDL (used by schema export and the
+    /// StreamCorder mirror, which clones the server schema locally).
+    pub fn to_ddl(&self) -> String {
+        let mut out = format!("CREATE TABLE {} (", self.table);
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&c.name);
+            out.push(' ');
+            out.push_str(c.ty.name());
+            if c.not_null {
+                out.push_str(" NOT NULL");
+            }
+            if let Some(d) = &c.default {
+                out.push_str(" DEFAULT ");
+                out.push_str(&d.to_sql_literal());
+            }
+        }
+        if !self.primary_key.is_empty() {
+            out.push_str(", PRIMARY KEY (");
+            for (i, &k) in self.primary_key.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&self.columns[k].name);
+            }
+            out.push(')');
+        }
+        out.push(')');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(
+            "hle",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("time_start", DataType::Timestamp).not_null(),
+                ColumnDef::new("label", DataType::Text),
+                ColumnDef::new("flux", DataType::Float).default(0.0),
+            ],
+        )
+        .primary_key(&["id"])
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.column_index("ID"), Some(0));
+        assert_eq!(s.column_index("Time_Start"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    fn check_row_validates_arity_and_types() {
+        let s = sample();
+        let err = s.check_row(vec![Value::Int(1)], true).unwrap_err();
+        assert!(matches!(err, DbError::ArityMismatch { .. }));
+
+        let err = s
+            .check_row(
+                vec![
+                    Value::Int(1),
+                    Value::Text("oops".into()),
+                    Value::Null,
+                    Value::Null,
+                ],
+                true,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn check_row_applies_defaults_and_not_null() {
+        let s = sample();
+        let row = s
+            .check_row(
+                vec![Value::Int(1), Value::Int(100), Value::Null, Value::Null],
+                true,
+            )
+            .unwrap();
+        // Int into Timestamp column is canonicalized.
+        assert_eq!(row[1], Value::Timestamp(100));
+        // Default applied to flux.
+        assert_eq!(row[3], Value::Float(0.0));
+
+        let err = s
+            .check_row(
+                vec![Value::Null, Value::Int(1), Value::Null, Value::Null],
+                true,
+            )
+            .unwrap_err();
+        assert_eq!(err, DbError::NullViolation("id".into()));
+    }
+
+    #[test]
+    fn updates_do_not_apply_defaults() {
+        let s = sample();
+        let row = s
+            .check_row(
+                vec![Value::Int(1), Value::Int(100), Value::Null, Value::Null],
+                false,
+            )
+            .unwrap();
+        assert_eq!(row[3], Value::Null);
+    }
+
+    #[test]
+    fn ddl_rendering() {
+        let s = sample();
+        let ddl = s.to_ddl();
+        assert!(ddl.starts_with("CREATE TABLE hle ("));
+        assert!(ddl.contains("id INT NOT NULL"));
+        assert!(ddl.contains("flux FLOAT DEFAULT 0.0"));
+        assert!(ddl.contains("PRIMARY KEY (id)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("A", DataType::Text),
+            ],
+        );
+    }
+}

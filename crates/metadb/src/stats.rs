@@ -1,0 +1,139 @@
+//! Database-wide monitoring counters.
+//!
+//! The paper's operational schema section stores "monitoring information such
+//! as usage statistics" (§4.1), and the evaluation reasons in queries/second
+//! against a known capacity (§7.3). These counters are what those numbers are
+//! read from.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters updated by the engine. All methods are lock-free.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// SELECT statements executed.
+    pub queries: AtomicU64,
+    /// INSERT/UPDATE/DELETE statements executed.
+    pub edits: AtomicU64,
+    /// Rows fetched from heaps and tested against predicates.
+    pub rows_scanned: AtomicU64,
+    /// Rows returned to clients.
+    pub rows_returned: AtomicU64,
+    /// Queries answered via an index access path.
+    pub index_hits: AtomicU64,
+    /// Queries answered via a full scan.
+    pub full_scans: AtomicU64,
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions rolled back.
+    pub rollbacks: AtomicU64,
+    /// Bytes read through LOB accessors (ablation metric).
+    pub lob_bytes_read: AtomicU64,
+    /// Bytes written through LOB accessors (ablation metric).
+    pub lob_bytes_written: AtomicU64,
+}
+
+impl DbStats {
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot all counters at once.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: Self::get(&self.queries),
+            edits: Self::get(&self.edits),
+            rows_scanned: Self::get(&self.rows_scanned),
+            rows_returned: Self::get(&self.rows_returned),
+            index_hits: Self::get(&self.index_hits),
+            full_scans: Self::get(&self.full_scans),
+            commits: Self::get(&self.commits),
+            rollbacks: Self::get(&self.rollbacks),
+            lob_bytes_read: Self::get(&self.lob_bytes_read),
+            lob_bytes_written: Self::get(&self.lob_bytes_written),
+        }
+    }
+}
+
+/// A point-in-time copy of [`DbStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct StatsSnapshot {
+    /// SELECT statements executed.
+    pub queries: u64,
+    /// DML statements executed.
+    pub edits: u64,
+    /// Rows fetched and tested.
+    pub rows_scanned: u64,
+    /// Rows returned.
+    pub rows_returned: u64,
+    /// Index-path queries.
+    pub index_hits: u64,
+    /// Full-scan queries.
+    pub full_scans: u64,
+    /// Commits.
+    pub commits: u64,
+    /// Rollbacks.
+    pub rollbacks: u64,
+    /// LOB bytes read.
+    pub lob_bytes_read: u64,
+    /// LOB bytes written.
+    pub lob_bytes_written: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference since an earlier snapshot (for per-test accounting).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries - earlier.queries,
+            edits: self.edits - earlier.edits,
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            rows_returned: self.rows_returned - earlier.rows_returned,
+            index_hits: self.index_hits - earlier.index_hits,
+            full_scans: self.full_scans - earlier.full_scans,
+            commits: self.commits - earlier.commits,
+            rollbacks: self.rollbacks - earlier.rollbacks,
+            lob_bytes_read: self.lob_bytes_read - earlier.lob_bytes_read,
+            lob_bytes_written: self.lob_bytes_written - earlier.lob_bytes_written,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let s = DbStats::default();
+        DbStats::bump(&s.queries);
+        DbStats::bump(&s.queries);
+        DbStats::add(&s.rows_scanned, 80);
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.rows_scanned, 80);
+        assert_eq!(snap.edits, 0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = DbStats::default();
+        DbStats::bump(&s.queries);
+        let a = s.snapshot();
+        DbStats::bump(&s.queries);
+        DbStats::bump(&s.edits);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.queries, 1);
+        assert_eq!(d.edits, 1);
+    }
+}

@@ -1,0 +1,375 @@
+//! Heap tables: slotted row storage plus attached indexes.
+
+use crate::error::{DbError, DbResult};
+use crate::index::{Index, RowId};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A heap table. Rows live in stable slots; deleted slots are recycled via a
+/// free list. All constraint checking (types, NOT NULL, uniqueness) happens
+/// here so that every caller — SQL, DM query objects, recovery replay — gets
+/// identical semantics.
+#[derive(Debug)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Option<Vec<Value>>>,
+    free: Vec<usize>,
+    live: usize,
+    indexes: Vec<Index>,
+    data_bytes: usize,
+}
+
+impl Table {
+    /// Create an empty table. If the schema declares a primary key, a unique
+    /// index named `<table>_pk` is created automatically.
+    pub fn new(schema: Schema) -> Self {
+        let mut t = Table {
+            indexes: Vec::new(),
+            rows: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            data_bytes: 0,
+            schema,
+        };
+        if !t.schema.primary_key.is_empty() {
+            let cols = t.schema.primary_key.clone();
+            let name = format!("{}_pk", t.schema.table);
+            t.indexes.push(Index::new(name, cols, true));
+        }
+        t
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Approximate bytes of live row data (drives the pool's volume stats).
+    pub fn data_bytes(&self) -> usize {
+        self.data_bytes
+    }
+
+    /// Attached indexes.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Create a secondary index over the named columns, backfilling from
+    /// existing rows. `unique` enforces key uniqueness (including backfill).
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        columns: &[&str],
+        unique: bool,
+    ) -> DbResult<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|ix| ix.name == name) {
+            return Err(DbError::IndexExists(name));
+        }
+        let cols = columns
+            .iter()
+            .map(|c| self.schema.require_column(c))
+            .collect::<DbResult<Vec<_>>>()?;
+        let mut ix = Index::new(name, cols, unique);
+        for (slot, row) in self.rows.iter().enumerate() {
+            if let Some(row) = row {
+                ix.check_unique(row)?;
+                ix.insert(row, slot as RowId);
+            }
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Drop an index by name. The implicit primary-key index cannot be
+    /// dropped.
+    pub fn drop_index(&mut self, name: &str) -> DbResult<()> {
+        let pk_name = format!("{}_pk", self.schema.table);
+        if name == pk_name {
+            return Err(DbError::Unsupported("cannot drop primary key index".into()));
+        }
+        let pos = self
+            .indexes
+            .iter()
+            .position(|ix| ix.name == name)
+            .ok_or_else(|| DbError::NoSuchIndex(name.to_string()))?;
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// Find an index by name.
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|ix| ix.name == name)
+    }
+
+    /// Find the best index whose first key column is `col` (prefers unique).
+    pub fn index_on(&self, col: usize) -> Option<&Index> {
+        let mut best: Option<&Index> = None;
+        for ix in &self.indexes {
+            if ix.columns.first() == Some(&col) {
+                match best {
+                    Some(b) if b.unique && !ix.unique => {}
+                    _ => best = Some(ix),
+                }
+            }
+        }
+        best
+    }
+
+    /// Validate and insert a row; returns its id.
+    pub fn insert(&mut self, values: Vec<Value>) -> DbResult<RowId> {
+        let row = self.schema.check_row(values, true)?;
+        for ix in &self.indexes {
+            ix.check_unique(&row)?;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.rows.push(None);
+                self.rows.len() - 1
+            }
+        };
+        let id = slot as RowId;
+        self.data_bytes += row_bytes(&row);
+        for ix in &mut self.indexes {
+            ix.insert(&row, id);
+        }
+        self.rows[slot] = Some(row);
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Insert a row into a *specific* slot. Used by recovery replay (slot
+    /// assignments must match the original run) and by rollback of deletes.
+    pub(crate) fn insert_at(&mut self, id: RowId, values: Vec<Value>) -> DbResult<()> {
+        let row = self.schema.check_row(values, false)?;
+        for ix in &self.indexes {
+            ix.check_unique(&row)?;
+        }
+        let slot = id as usize;
+        if slot >= self.rows.len() {
+            // Extend the heap; intermediate slots become free.
+            for i in self.rows.len()..slot {
+                self.free.push(i);
+            }
+            self.rows.resize_with(slot + 1, || None);
+        } else {
+            if self.rows[slot].is_some() {
+                return Err(DbError::Txn(format!("slot {id} already occupied")));
+            }
+            if let Some(pos) = self.free.iter().position(|&f| f == slot) {
+                self.free.swap_remove(pos);
+            }
+        }
+        self.data_bytes += row_bytes(&row);
+        for ix in &mut self.indexes {
+            ix.insert(&row, id);
+        }
+        self.rows[slot] = Some(row);
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, id: RowId) -> DbResult<&[Value]> {
+        self.rows
+            .get(id as usize)
+            .and_then(|r| r.as_deref())
+            .ok_or(DbError::NoSuchRow(id))
+    }
+
+    /// Replace a full row; returns the previous values.
+    pub fn update(&mut self, id: RowId, values: Vec<Value>) -> DbResult<Vec<Value>> {
+        let new_row = self.schema.check_row(values, false)?;
+        let slot = id as usize;
+        let old = self
+            .rows
+            .get(slot)
+            .and_then(|r| r.as_ref())
+            .cloned()
+            .ok_or(DbError::NoSuchRow(id))?;
+        // Unique checks must ignore this row's own current key.
+        for ix in &self.indexes {
+            if ix.unique {
+                let old_key = ix.key_of(&old);
+                let new_key = ix.key_of(&new_row);
+                if old_key != new_key {
+                    ix.check_unique(&new_row)?;
+                }
+            }
+        }
+        for ix in &mut self.indexes {
+            ix.remove(&old, id);
+            ix.insert(&new_row, id);
+        }
+        self.data_bytes = self.data_bytes + row_bytes(&new_row) - row_bytes(&old);
+        self.rows[slot] = Some(new_row);
+        Ok(old)
+    }
+
+    /// Delete a row; returns its former values.
+    pub fn delete(&mut self, id: RowId) -> DbResult<Vec<Value>> {
+        let slot = id as usize;
+        let old = self
+            .rows
+            .get_mut(slot)
+            .and_then(Option::take)
+            .ok_or(DbError::NoSuchRow(id))?;
+        for ix in &mut self.indexes {
+            ix.remove(&old, id);
+        }
+        self.data_bytes -= row_bytes(&old);
+        self.free.push(slot);
+        self.live -= 1;
+        Ok(old)
+    }
+
+    /// Iterate live rows in slot order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &[Value])> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_deref().map(|row| (i as RowId, row)))
+    }
+}
+
+fn row_bytes(row: &[Value]) -> usize {
+    row.iter().map(Value::size_bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(
+            Schema::new(
+                "hle",
+                vec![
+                    ColumnDef::new("id", DataType::Int).not_null(),
+                    ColumnDef::new("time_start", DataType::Timestamp).not_null(),
+                    ColumnDef::new("label", DataType::Text),
+                ],
+            )
+            .primary_key(&["id"]),
+        )
+    }
+
+    fn row(id: i64, t: i64, label: &str) -> Vec<Value> {
+        vec![Value::Int(id), Value::Int(t), Value::Text(label.into())]
+    }
+
+    #[test]
+    fn pk_index_created_automatically() {
+        let t = table();
+        assert_eq!(t.indexes().len(), 1);
+        assert_eq!(t.indexes()[0].name, "hle_pk");
+        assert!(t.indexes()[0].unique);
+    }
+
+    #[test]
+    fn insert_get_scan() {
+        let mut t = table();
+        let a = t.insert(row(1, 100, "flare")).unwrap();
+        let b = t.insert(row(2, 200, "grb")).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap()[2], Value::Text("flare".into()));
+        assert_eq!(t.scan().count(), 2);
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut t = table();
+        t.insert(row(1, 100, "a")).unwrap();
+        let err = t.insert(row(1, 200, "b")).unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn delete_recycles_slots() {
+        let mut t = table();
+        let a = t.insert(row(1, 100, "a")).unwrap();
+        t.delete(a).unwrap();
+        assert_eq!(t.len(), 0);
+        assert!(t.get(a).is_err());
+        let b = t.insert(row(2, 200, "b")).unwrap();
+        // Slot reuse is an implementation detail, but the free list should
+        // keep the heap compact for this pattern.
+        assert_eq!(b, a);
+        // Index no longer returns the deleted row's key.
+        assert!(t.indexes()[0].get(&[Value::Int(1)]).is_empty());
+    }
+
+    #[test]
+    fn update_maintains_indexes_and_uniqueness() {
+        let mut t = table();
+        let a = t.insert(row(1, 100, "a")).unwrap();
+        t.insert(row(2, 200, "b")).unwrap();
+        // Updating to a conflicting pk fails.
+        let err = t.update(a, row(2, 100, "a")).unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        // Updating in place with the same pk succeeds.
+        t.update(a, row(1, 150, "a2")).unwrap();
+        assert_eq!(t.get(a).unwrap()[1], Value::Timestamp(150));
+        assert_eq!(t.indexes()[0].get(&[Value::Int(1)]), &[a]);
+    }
+
+    #[test]
+    fn secondary_index_backfill_and_range() {
+        let mut t = table();
+        for i in 0..20 {
+            t.insert(row(i, i * 10, "e")).unwrap();
+        }
+        t.create_index("hle_time", &["time_start"], false).unwrap();
+        let ix = t.index("hle_time").unwrap();
+        let ids = ix.range(
+            &[],
+            std::ops::Bound::Included(&Value::Int(50)),
+            std::ops::Bound::Included(&Value::Int(90)),
+        );
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn unique_secondary_index_backfill_detects_duplicates() {
+        let mut t = table();
+        t.insert(row(1, 100, "x")).unwrap();
+        t.insert(row(2, 100, "y")).unwrap();
+        let err = t.create_index("u_time", &["time_start"], true).unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        // Failed creation leaves no residue.
+        assert!(t.index("u_time").is_none());
+    }
+
+    #[test]
+    fn data_bytes_tracked() {
+        let mut t = table();
+        assert_eq!(t.data_bytes(), 0);
+        let a = t.insert(row(1, 100, "abcd")).unwrap();
+        let sz = t.data_bytes();
+        assert!(sz > 0);
+        t.delete(a).unwrap();
+        assert_eq!(t.data_bytes(), 0);
+    }
+
+    #[test]
+    fn index_on_prefers_unique() {
+        let mut t = table();
+        t.create_index("id_dup", &["id"], false).unwrap();
+        let ix = t.index_on(0).unwrap();
+        assert_eq!(ix.name, "hle_pk");
+    }
+}

@@ -1,0 +1,448 @@
+//! Typed values and column data types.
+//!
+//! The metadata database stores only small, structured values — the actual
+//! science data lives in the file store (see the paper, §4.1/§4.2). `Bytes`
+//! exists so that the LOB-versus-filesystem ablation (§4.2) can be measured
+//! against the very same engine.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Milliseconds since an arbitrary mission epoch. RHESSI metadata is
+    /// dominated by observation-time ranges, so timestamps are first-class.
+    Timestamp,
+    /// Raw bytes (LOB). Only used by the ablation benchmarks.
+    Bytes,
+}
+
+impl DataType {
+    /// Human-readable name used in error messages and `CREATE TABLE` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Timestamp => "TIMESTAMP",
+            DataType::Bytes => "BYTES",
+        }
+    }
+
+    /// Parse a type name as it appears in SQL DDL (case-insensitive).
+    pub fn parse(s: &str) -> Option<DataType> {
+        match s.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" => Some(DataType::Int),
+            "FLOAT" | "REAL" | "DOUBLE" => Some(DataType::Float),
+            "TEXT" | "VARCHAR" | "STRING" => Some(DataType::Text),
+            "BOOL" | "BOOLEAN" => Some(DataType::Bool),
+            "TIMESTAMP" | "DATETIME" => Some(DataType::Timestamp),
+            "BYTES" | "BLOB" | "LOB" => Some(DataType::Bytes),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Float value. Compared with [`f64::total_cmp`] so `Value` has a total order.
+    Float(f64),
+    /// Text value.
+    Text(String),
+    /// Boolean value.
+    Bool(bool),
+    /// Timestamp in milliseconds since the mission epoch.
+    Timestamp(i64),
+    /// LOB bytes.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The runtime type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "NULL",
+            Value::Int(_) => "INT",
+            Value::Float(_) => "FLOAT",
+            Value::Text(_) => "TEXT",
+            Value::Bool(_) => "BOOL",
+            Value::Timestamp(_) => "TIMESTAMP",
+            Value::Bytes(_) => "BYTES",
+        }
+    }
+
+    /// Whether the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this value may be stored in a column of type `ty`.
+    ///
+    /// NULL is compatible with every type; nullability is enforced separately
+    /// by the `NOT NULL` constraint. Ints are accepted by timestamp columns
+    /// (and vice versa) because both are mission-epoch milliseconds on the
+    /// wire.
+    pub fn compatible_with(&self, ty: DataType) -> bool {
+        #[allow(clippy::match_like_matches_macro)] // table form reads clearer
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), DataType::Int | DataType::Timestamp) => true,
+            (Value::Float(_), DataType::Float) => true,
+            (Value::Int(_), DataType::Float) => true,
+            (Value::Text(_), DataType::Text) => true,
+            (Value::Bool(_), DataType::Bool) => true,
+            (Value::Timestamp(_), DataType::Timestamp | DataType::Int) => true,
+            (Value::Bytes(_), DataType::Bytes) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerce into the canonical representation for a column type
+    /// (e.g. `Int` stored into a `Float` column becomes `Float`).
+    pub fn coerce(self, ty: DataType) -> Value {
+        match (self, ty) {
+            (Value::Int(i), DataType::Float) => Value::Float(i as f64),
+            (Value::Int(i), DataType::Timestamp) => Value::Timestamp(i),
+            (Value::Timestamp(t), DataType::Int) => Value::Int(t),
+            (v, _) => v,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) | Value::Timestamp(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float accessor (ints widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) | Value::Timestamp(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Text accessor.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Three-valued-logic accessor: `Some(bool)` for BOOL, `None` for NULL
+    /// (UNKNOWN), error for anything else. Used by the predicate evaluator.
+    pub fn as_bool_tvl(&self) -> Result<Option<bool>, crate::error::DbError> {
+        match self {
+            Value::Bool(b) => Ok(Some(*b)),
+            Value::Null => Ok(None),
+            other => Err(crate::error::DbError::TypeMismatch {
+                column: "<predicate>".into(),
+                expected: "BOOL",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Bytes accessor.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory size in bytes, used by the pool statistics and
+    /// the LOB ablation to report data volumes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) | Value::Timestamp(_) | Value::Float(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Text(s) => s.len() + 8,
+            Value::Bytes(b) => b.len() + 8,
+        }
+    }
+
+    /// Render as a SQL literal (used when generating SQL text and when
+    /// serializing the redo log in its debug form).
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                // Keep a trailing `.0` so the literal parses back as a float.
+                let s = f.to_string();
+                if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            // Timestamps travel as plain integers; Int is storable into
+            // Timestamp columns, so the literal round-trips.
+            Value::Timestamp(t) => t.to_string(),
+            Value::Bytes(b) => {
+                let mut out = String::with_capacity(2 + b.len() * 2);
+                out.push_str("X'");
+                for byte in b {
+                    out.push_str(&format!("{byte:02x}"));
+                }
+                out.push('\'');
+                out
+            }
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Timestamp(_) | Value::Float(_) => 2,
+            Value::Text(_) => 3,
+            Value::Bytes(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order across all values: NULL < BOOL < numeric < TEXT < BYTES.
+    /// Ints, floats, and timestamps compare numerically among each other so
+    /// that `WHERE time_start >= 12000` works regardless of literal type.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (a, b) if a.rank() == 2 && b.rank() == 2 => {
+                // Numeric comparison; use total_cmp on f64 for a total order.
+                match (a, b) {
+                    (Int(x), Int(y)) => x.cmp(y),
+                    (Timestamp(x), Timestamp(y)) => x.cmp(y),
+                    (Int(x), Timestamp(y)) | (Timestamp(x), Int(y)) => x.cmp(y),
+                    _ => {
+                        let x = a.as_float().expect("numeric");
+                        let y = b.as_float().expect("numeric");
+                        x.total_cmp(&y)
+                    }
+                }
+            }
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(i) | Value::Timestamp(i) => (*i as f64).to_bits().hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Text(s) => s.hash(state),
+            Value::Bool(b) => b.hash(state),
+            Value::Bytes(b) => b.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Human-facing rendering: text is unquoted, timestamps are `@millis`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_roundtrip() {
+        for ty in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bool,
+            DataType::Timestamp,
+            DataType::Bytes,
+        ] {
+            assert_eq!(DataType::parse(ty.name()), Some(ty));
+        }
+        assert_eq!(DataType::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn numeric_cross_type_ordering() {
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(Value::Int(7), Value::Timestamp(7));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Null < Value::Text(String::new()));
+    }
+
+    #[test]
+    fn rank_ordering_between_types() {
+        assert!(Value::Bool(true) < Value::Int(0));
+        assert!(Value::Int(i64::MAX) < Value::Text("".into()));
+        assert!(Value::Text("zzz".into()) < Value::Bytes(vec![]));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        // total_cmp puts NaN above +inf; the key property is that it's a
+        // total order that never panics.
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn compatibility_and_coercion() {
+        assert!(Value::Int(5).compatible_with(DataType::Float));
+        assert!(Value::Null.compatible_with(DataType::Bool));
+        assert!(!Value::Text("x".into()).compatible_with(DataType::Int));
+        assert_eq!(Value::Int(5).coerce(DataType::Float), Value::Float(5.0));
+        assert_eq!(
+            Value::Int(99).coerce(DataType::Timestamp),
+            Value::Timestamp(99)
+        );
+    }
+
+    #[test]
+    fn sql_literal_escaping() {
+        assert_eq!(Value::Text("o'brien".into()).to_sql_literal(), "'o''brien'");
+        assert_eq!(Value::Float(2.0).to_sql_literal(), "2.0");
+        assert_eq!(Value::Bytes(vec![0xab, 0x01]).to_sql_literal(), "X'ab01'");
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(Value::Int(0).size_bytes(), 8);
+        assert_eq!(Value::Text("abcd".into()).size_bytes(), 12);
+        assert_eq!(Value::Bytes(vec![0; 100]).size_bytes(), 108);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the metadata engine's core invariants.
+
+use hedc_metadb::{
+    like_match, parse, query_to_sql, ColumnDef, Database, DataType, Expr, OrderDir, Query,
+    Schema, Statement, Value,
+};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Timestamp),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+    ]
+}
+
+proptest! {
+    /// `Value`'s ordering must be a total order: antisymmetric and
+    /// transitive. The B-tree index silently corrupts otherwise.
+    #[test]
+    fn value_order_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Equal values must hash equal (Int(5) == Float(5.0) == Timestamp(5)).
+    #[test]
+    fn value_eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = std::collections::hash_map::DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// LIKE against a reference implementation (naive recursion).
+    #[test]
+    fn like_matches_reference(pattern in "[ab%_]{0,8}", text in "[ab]{0,8}") {
+        fn reference(p: &[char], t: &[char]) -> bool {
+            match (p.first(), t.first()) {
+                (None, None) => true,
+                (Some('%'), _) => {
+                    reference(&p[1..], t) || (!t.is_empty() && reference(p, &t[1..]))
+                }
+                (Some('_'), Some(_)) => reference(&p[1..], &t[1..]),
+                (Some(pc), Some(tc)) if pc == tc => reference(&p[1..], &t[1..]),
+                _ => false,
+            }
+        }
+        let p: Vec<char> = pattern.chars().collect();
+        let t: Vec<char> = text.chars().collect();
+        prop_assert_eq!(like_match(&pattern, &text), reference(&p, &t));
+    }
+
+    /// Inserting then range-querying returns exactly the rows whose key
+    /// falls in the range, regardless of insertion order.
+    #[test]
+    fn range_query_matches_filter(keys in proptest::collection::vec(-100i64..100, 1..60),
+                                  lo in -100i64..100, hi in -100i64..100) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let db = Database::in_memory("prop");
+        let mut conn = db.connect();
+        conn.create_table(Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("k", DataType::Int).not_null(),
+            ],
+        ).primary_key(&["id"])).unwrap();
+        conn.create_index("t", "t_k", &["k"], false).unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            conn.insert("t", vec![Value::Int(i as i64), Value::Int(*k)]).unwrap();
+        }
+        let r = conn.query(&Query::table("t").filter(Expr::between("k", lo, hi))).unwrap();
+        let expected = keys.iter().filter(|&&k| k >= lo && k <= hi).count();
+        prop_assert_eq!(r.rows.len(), expected);
+    }
+
+    /// A query object rendered to SQL and parsed back must execute to the
+    /// same result set (the DM's object->SQL path, §5.4).
+    #[test]
+    fn query_to_sql_roundtrip(n in 1usize..40, lo in 0i64..50, hi in 0i64..50,
+                              limit in 1usize..20, desc in any::<bool>()) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let db = Database::in_memory("prop2");
+        let mut conn = db.connect();
+        let schema = Schema::new(
+            "ana",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("v", DataType::Int),
+            ],
+        ).primary_key(&["id"]);
+        conn.create_table(schema.clone()).unwrap();
+        for i in 0..n as i64 {
+            conn.insert("ana", vec![Value::Int(i), Value::Int(i % 13)]).unwrap();
+        }
+        let q = Query::table("ana")
+            .filter(Expr::between("v", lo, hi))
+            .order_by("id", if desc { OrderDir::Desc } else { OrderDir::Asc })
+            .limit(limit);
+        let sql = query_to_sql(&q, &schema);
+        let reparsed = match parse(&sql).unwrap() {
+            Statement::Select(q2) => q2,
+            other => panic!("expected SELECT, got {other:?}"),
+        };
+        let direct = conn.query(&q).unwrap();
+        let via_sql = conn.query(&reparsed).unwrap();
+        prop_assert_eq!(direct.rows, via_sql.rows);
+    }
+
+    /// Rollback restores the exact prior row multiset.
+    #[test]
+    fn rollback_is_identity(ops in proptest::collection::vec((0i64..20, any::<bool>()), 1..30)) {
+        let db = Database::in_memory("prop3");
+        let mut conn = db.connect();
+        conn.create_table(Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("v", DataType::Int),
+            ],
+        ).primary_key(&["id"])).unwrap();
+        for i in 0..10i64 {
+            conn.insert("t", vec![Value::Int(i), Value::Int(0)]).unwrap();
+        }
+        let before = conn.query(&Query::table("t").order_by("id", OrderDir::Asc)).unwrap();
+        conn.begin().unwrap();
+        for (key, is_delete) in ops {
+            if is_delete {
+                let _ = conn.delete_where("t", Some(Expr::eq("id", key)));
+            } else {
+                // Insert may collide with a surviving pk; ignore errors, the
+                // invariant is about what rollback restores.
+                let _ = conn.insert("t", vec![Value::Int(key + 100), Value::Int(1)]);
+            }
+        }
+        conn.rollback().unwrap();
+        let after = conn.query(&Query::table("t").order_by("id", OrderDir::Asc)).unwrap();
+        prop_assert_eq!(before.rows, after.rows);
+    }
+}

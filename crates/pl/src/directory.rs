@@ -1,0 +1,162 @@
+//! The global service directory (§5.1).
+//!
+//! "Provides a directory of all services related to the processing logic.
+//! There is one instance of this service." Components (frontends, IDL
+//! server managers, web servers) register themselves, heartbeat, and can be
+//! looked up by kind. Entries whose heartbeat is stale are reported down —
+//! the self-recovery hook for the PL's "tolerate failure and restart".
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// One registered service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceEntry {
+    /// Unique service name (e.g. `pl-frontend`, `idl-mgr-node2`).
+    pub name: String,
+    /// Service kind (`frontend`, `server-manager`, `web`, `dm`).
+    pub kind: String,
+    /// Location string (host/port or node label).
+    pub location: String,
+    /// Last heartbeat, mission ms.
+    pub last_heartbeat_ms: u64,
+}
+
+/// The directory. Staleness is judged against a caller-provided "now"
+/// (the DM's logical clock) so the directory itself stays clock-free.
+#[derive(Debug, Default)]
+pub struct GlobalDirectory {
+    services: RwLock<HashMap<String, ServiceEntry>>,
+    stale_after_ms: u64,
+}
+
+impl GlobalDirectory {
+    /// Directory with a staleness threshold.
+    pub fn new(stale_after_ms: u64) -> Self {
+        GlobalDirectory {
+            services: RwLock::new(HashMap::new()),
+            stale_after_ms,
+        }
+    }
+
+    /// Register (or re-register) a service.
+    pub fn register(&self, name: &str, kind: &str, location: &str, now_ms: u64) {
+        self.services.write().insert(
+            name.to_string(),
+            ServiceEntry {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                location: location.to_string(),
+                last_heartbeat_ms: now_ms,
+            },
+        );
+    }
+
+    /// Heartbeat an existing service; false if unknown.
+    pub fn heartbeat(&self, name: &str, now_ms: u64) -> bool {
+        match self.services.write().get_mut(name) {
+            Some(e) => {
+                e.last_heartbeat_ms = now_ms;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a service.
+    pub fn deregister(&self, name: &str) -> bool {
+        self.services.write().remove(name).is_some()
+    }
+
+    /// Live services of a kind (heartbeat within threshold), sorted by name.
+    pub fn live(&self, kind: &str, now_ms: u64) -> Vec<ServiceEntry> {
+        let mut v: Vec<ServiceEntry> = self
+            .services
+            .read()
+            .values()
+            .filter(|e| {
+                e.kind == kind && now_ms.saturating_sub(e.last_heartbeat_ms) <= self.stale_after_ms
+            })
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Services considered down (stale heartbeat), sorted by name.
+    pub fn down(&self, now_ms: u64) -> Vec<ServiceEntry> {
+        let mut v: Vec<ServiceEntry> = self
+            .services
+            .read()
+            .values()
+            .filter(|e| now_ms.saturating_sub(e.last_heartbeat_ms) > self.stale_after_ms)
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Total registered services.
+    pub fn len(&self) -> usize {
+        self.services.read().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_by_kind() {
+        let dir = GlobalDirectory::new(10_000);
+        dir.register("pl-1", "frontend", "node-0", 0);
+        dir.register("idl-1", "server-manager", "node-0", 0);
+        dir.register("idl-2", "server-manager", "node-1", 0);
+        let live = dir.live("server-manager", 5_000);
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].name, "idl-1");
+        assert_eq!(dir.live("frontend", 5_000).len(), 1);
+        assert_eq!(dir.len(), 3);
+    }
+
+    #[test]
+    fn stale_services_reported_down() {
+        let dir = GlobalDirectory::new(1_000);
+        dir.register("idl-1", "server-manager", "n", 0);
+        dir.register("idl-2", "server-manager", "n", 0);
+        dir.heartbeat("idl-2", 5_000);
+        assert_eq!(dir.live("server-manager", 5_500).len(), 1);
+        let down = dir.down(5_500);
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].name, "idl-1");
+        // Recovery: heartbeat brings it back.
+        assert!(dir.heartbeat("idl-1", 6_000));
+        assert!(dir.heartbeat("idl-2", 6_000));
+        assert_eq!(dir.live("server-manager", 6_100).len(), 2);
+    }
+
+    #[test]
+    fn deregister_and_unknown_heartbeat() {
+        let dir = GlobalDirectory::new(1_000);
+        dir.register("x", "web", "n", 0);
+        assert!(dir.deregister("x"));
+        assert!(!dir.deregister("x"));
+        assert!(!dir.heartbeat("x", 10));
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn reregistration_updates_location() {
+        let dir = GlobalDirectory::new(1_000);
+        dir.register("pl", "frontend", "node-0", 0);
+        dir.register("pl", "frontend", "node-7", 100);
+        let live = dir.live("frontend", 200);
+        assert_eq!(live[0].location, "node-7");
+        assert_eq!(dir.len(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! PL-level errors.
+
+use hedc_analysis::AnalysisError;
+use hedc_dm::DmError;
+use std::fmt;
+
+/// Errors surfaced by the Processing Logic component.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant docs describe the fields
+pub enum PlError {
+    /// Analysis-side failure (after retries were exhausted).
+    Analysis(AnalysisError),
+    /// DM-side failure (staging or commit).
+    Dm(DmError),
+    /// The request was cancelled.
+    Cancelled,
+    /// The estimation phase rejected the request (too expensive).
+    TooExpensive { estimated_ms: u64, limit_ms: u64 },
+    /// No processing capacity (all servers dead and unrestartable).
+    NoCapacity,
+    /// The PL is shutting down.
+    ShuttingDown,
+    /// Phase-ordering violation (e.g. commit before execution).
+    BadPhase(&'static str),
+}
+
+impl fmt::Display for PlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlError::Analysis(e) => write!(f, "analysis: {e}"),
+            PlError::Dm(e) => write!(f, "data management: {e}"),
+            PlError::Cancelled => write!(f, "request cancelled"),
+            PlError::TooExpensive {
+                estimated_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "estimated {estimated_ms} ms exceeds the {limit_ms} ms limit"
+            ),
+            PlError::NoCapacity => write!(f, "no processing capacity"),
+            PlError::ShuttingDown => write!(f, "processing logic is shutting down"),
+            PlError::BadPhase(p) => write!(f, "phase ordering violation: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PlError {}
+
+impl From<AnalysisError> for PlError {
+    fn from(e: AnalysisError) -> Self {
+        PlError::Analysis(e)
+    }
+}
+
+impl From<DmError> for PlError {
+    fn from(e: DmError) -> Self {
+        PlError::Dm(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type PlResult<T> = Result<T, PlError>;

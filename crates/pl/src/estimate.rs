@@ -1,0 +1,104 @@
+//! The estimation phase (§5.1).
+//!
+//! "This is an optional phase that determines the feasibility and
+//! availability of resources for a request. We use a simple predictor to
+//! inform the user about the duration of the subsequent execution phase.
+//! The result of this phase is an execution plan. This phase returns
+//! immediately."
+//!
+//! The predictor converts an algorithm's flop estimate into wall time on a
+//! target machine. Machine speeds are calibrated from the paper's §8
+//! measurements: imaging takes ~60 s on the 2×177 MHz SPARC server and
+//! ~20 s on the 400 MHz Linux client for the same input, a 3× ratio.
+
+use hedc_analysis::{Algorithm, AnalysisParams};
+
+/// Where an analysis may execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExecTarget {
+    /// On the HEDC server's IDL servers.
+    Server,
+    /// On the requesting client (StreamCorder local processing).
+    Client,
+}
+
+/// Calibrated effective throughput, Mflops, per target (§8.2: ~26 Mflop/s
+/// effective on the server for back projection, 3× that on the client).
+pub const SERVER_MFLOPS: f64 = 26.0;
+/// Client effective throughput (§8.2 ratio).
+pub const CLIENT_MFLOPS: f64 = 78.0;
+
+/// An execution plan: the estimation phase's product.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExecutionPlan {
+    /// Predicted execution wall time, ms.
+    pub estimated_ms: u64,
+    /// Input photon count the prediction was made for.
+    pub photon_count: u64,
+    /// Prediction target.
+    pub target: ExecTarget,
+    /// Estimated input bytes to stage (13 bytes per photon on the wire:
+    /// 8 time + 4 energy + 1 detector).
+    pub input_bytes: u64,
+}
+
+/// Predict the execution time of `alg` over `photon_count` photons.
+pub fn estimate(
+    alg: &dyn Algorithm,
+    photon_count: u64,
+    params: &AnalysisParams,
+    target: ExecTarget,
+) -> ExecutionPlan {
+    let flops = alg.cost_flops(photon_count, params);
+    let mflops = match target {
+        ExecTarget::Server => SERVER_MFLOPS,
+        ExecTarget::Client => CLIENT_MFLOPS,
+    };
+    let ms = flops / (mflops * 1000.0);
+    ExecutionPlan {
+        estimated_ms: ms.ceil() as u64,
+        photon_count,
+        target,
+        input_bytes: photon_count * 13,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hedc_analysis::{Histogram, Imaging};
+
+    #[test]
+    fn imaging_matches_paper_scale() {
+        // §8.2: an image over ~800 KB of input (~60k photons at 13 B each)
+        // takes ~60 s on the server.
+        let params = AnalysisParams::window(0, 1_000_000).with("grid", 64.0);
+        let plan = estimate(&Imaging, 60_000, &params, ExecTarget::Server);
+        assert!(
+            (30_000..120_000).contains(&plan.estimated_ms),
+            "{} ms",
+            plan.estimated_ms
+        );
+        // And ~20 s on the client (3× faster).
+        let client = estimate(&Imaging, 60_000, &params, ExecTarget::Client);
+        assert_eq!(client.estimated_ms, plan.estimated_ms.div_ceil(3));
+    }
+
+    #[test]
+    fn histogram_is_orders_cheaper() {
+        let params = AnalysisParams::window(0, 1_000_000);
+        let img = estimate(&Imaging, 20_000, &params, ExecTarget::Server);
+        let hist = estimate(&Histogram, 20_000, &params, ExecTarget::Server);
+        assert!(hist.estimated_ms * 100 < img.estimated_ms.max(1) * 10);
+        assert_eq!(hist.input_bytes, 20_000 * 13);
+    }
+
+    #[test]
+    fn estimate_scales_with_grid() {
+        let small = AnalysisParams::window(0, 1000).with("grid", 32.0);
+        let large = AnalysisParams::window(0, 1000).with("grid", 128.0);
+        let a = estimate(&Imaging, 1000, &small, ExecTarget::Server);
+        let b = estimate(&Imaging, 1000, &large, ExecTarget::Server);
+        assert!(b.estimated_ms > a.estimated_ms * 10);
+    }
+}

@@ -1,0 +1,534 @@
+//! The PL frontend (§5.1).
+//!
+//! "Primary controller of sessions and requests, dispatch and scheduling of
+//! requests to processing subsystems. There is one instance of this
+//! service." The frontend accepts requests through any interface, runs the
+//! 4-phase workflow (estimation → execution → delivery → commit), applies
+//! priority scheduling, performs the §3.5 redundancy check before spending
+//! CPU, stages input data through the DM, and writes results back through
+//! the DM's semantic layer.
+
+use crate::error::{PlError, PlResult};
+use crate::estimate::{estimate, ExecTarget, ExecutionPlan};
+use crate::request::{Phase, Priority, RequestSpec, RequestState};
+use crate::server_mgr::ServerManager;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use hedc_analysis::{AlgorithmRegistry, AnalysisKind, AnalysisProduct, select_photons};
+use hedc_dm::{AnaSpec, Dm, FilePayload, NameType, Session};
+use hedc_events::TelemetryUnit;
+use hedc_filestore::{FitsFile, Header, PhotonList};
+use hedc_metadb::{Expr, Query};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// PL configuration.
+#[derive(Debug, Clone)]
+pub struct PlConfig {
+    /// Number of analysis servers to manage.
+    pub servers: usize,
+    /// Number of dispatcher threads draining the queue.
+    pub dispatchers: usize,
+    /// Per-job execution timeout.
+    pub job_timeout: Duration,
+    /// Recovery attempts per job.
+    pub max_retries: u32,
+    /// Archive receiving result files.
+    pub derived_archive: u32,
+}
+
+impl Default for PlConfig {
+    fn default() -> Self {
+        PlConfig {
+            servers: 2,
+            dispatchers: 2,
+            job_timeout: Duration::from_secs(120),
+            max_retries: 2,
+            derived_archive: 2,
+        }
+    }
+}
+
+/// The result of a completed request.
+#[derive(Debug)]
+pub enum Outcome {
+    /// §3.5: an identical analysis already existed; no computation done.
+    Reused {
+        /// The existing ANA tuple.
+        ana_id: i64,
+    },
+    /// Computed, delivered, committed.
+    Computed {
+        /// New ANA tuple id.
+        ana_id: i64,
+        /// Item holding the result files (None when no files were written).
+        item_id: Option<i64>,
+        /// The product itself (delivery phase output).
+        product: AnalysisProduct,
+        /// Wall-clock execution time, ms.
+        duration_ms: u64,
+        /// The estimation-phase plan, for predictor-quality accounting.
+        plan: ExecutionPlan,
+    },
+}
+
+impl Outcome {
+    /// The ANA tuple id in either case.
+    pub fn ana_id(&self) -> i64 {
+        match self {
+            Outcome::Reused { ana_id } | Outcome::Computed { ana_id, .. } => *ana_id,
+        }
+    }
+
+    /// Whether the result was reused rather than computed.
+    pub fn was_reused(&self) -> bool {
+        matches!(self, Outcome::Reused { .. })
+    }
+}
+
+struct Queued {
+    priority: Priority,
+    seq: u64,
+    session: Arc<Session>,
+    spec: RequestSpec,
+    state: Arc<RequestState>,
+    reply: Sender<PlResult<Outcome>>,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then FIFO by sequence.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct QueueState {
+    heap: BinaryHeap<Queued>,
+}
+
+/// The Processing Logic component: one frontend instance.
+pub struct ProcessingLogic {
+    dm: Arc<Dm>,
+    /// The server manager (public for directory/status access).
+    pub manager: Arc<ServerManager>,
+    registry: Arc<AlgorithmRegistry>,
+    config: PlConfig,
+    queue: Arc<(Mutex<QueueState>, Condvar)>,
+    shutdown: Arc<AtomicBool>,
+    seq: AtomicU64,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ProcessingLogic {
+    /// Start the frontend, its dispatchers, and its analysis servers.
+    pub fn start(dm: Arc<Dm>, registry: Arc<AlgorithmRegistry>, config: PlConfig) -> Arc<Self> {
+        let manager = Arc::new(ServerManager::start(
+            config.servers,
+            config.job_timeout,
+            config.max_retries,
+        ));
+        let pl = Arc::new(ProcessingLogic {
+            dm,
+            manager,
+            registry,
+            config: config.clone(),
+            queue: Arc::new((Mutex::new(QueueState::default()), Condvar::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            seq: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        });
+        for i in 0..config.dispatchers.max(1) {
+            let me = Arc::clone(&pl);
+            let handle = std::thread::Builder::new()
+                .name(format!("pl-dispatch-{i}"))
+                .spawn(move || me.dispatch_loop())
+                .expect("spawn dispatcher");
+            pl.workers.lock().push(handle);
+        }
+        pl
+    }
+
+    /// Stop the dispatchers (in-queue requests are failed with
+    /// [`PlError::ShuttingDown`]).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let (lock, cvar) = &*self.queue;
+        let mut state = lock.lock();
+        for q in state.heap.drain() {
+            let _ = q.reply.send(Err(PlError::ShuttingDown));
+        }
+        drop(state);
+        cvar.notify_all();
+        let mut workers = self.workers.lock();
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+        // A submit racing the drain above may have queued after it; fail
+        // those too so no caller blocks on a reply that will never come.
+        let mut state = lock.lock();
+        for q in state.heap.drain() {
+            let _ = q.reply.send(Err(PlError::ShuttingDown));
+        }
+    }
+
+    /// Submit asynchronously. Returns the observable request state and the
+    /// channel delivering the outcome.
+    pub fn submit_async(
+        &self,
+        session: Arc<Session>,
+        spec: RequestSpec,
+    ) -> (Arc<RequestState>, Receiver<PlResult<Outcome>>) {
+        let state = Arc::new(RequestState::default());
+        let (tx, rx) = bounded(1);
+        if self.shutdown.load(Ordering::SeqCst) {
+            let _ = tx.send(Err(PlError::ShuttingDown));
+            return (state, rx);
+        }
+        let q = Queued {
+            priority: spec.priority,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            session,
+            spec,
+            state: Arc::clone(&state),
+            reply: tx,
+        };
+        let (lock, cvar) = &*self.queue;
+        lock.lock().heap.push(q);
+        cvar.notify_one();
+        (state, rx)
+    }
+
+    /// Submit and wait for the outcome.
+    pub fn submit_sync(&self, session: Arc<Session>, spec: RequestSpec) -> PlResult<Outcome> {
+        let (_, rx) = self.submit_async(session, spec);
+        rx.recv().map_err(|_| PlError::ShuttingDown)?
+    }
+
+    /// Estimation only (the "returns immediately" phase): metadata-based
+    /// photon-count estimate, no data staged.
+    pub fn estimate_only(&self, spec: &RequestSpec, target: ExecTarget) -> PlResult<ExecutionPlan> {
+        let alg = self.registry.get(&spec.kind)?;
+        let count = self.estimate_photon_count(spec)?;
+        Ok(estimate(alg.as_ref(), count, &spec.params, target))
+    }
+
+    fn dispatch_loop(&self) {
+        let (lock, cvar) = &*self.queue;
+        loop {
+            let job = {
+                let mut state = lock.lock();
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(job) = state.heap.pop() {
+                        break job;
+                    }
+                    cvar.wait(&mut state);
+                }
+            };
+            let result = self.process(&job);
+            let _ = job.reply.send(result);
+        }
+    }
+
+    /// The 4-phase workflow.
+    fn process(&self, job: &Queued) -> PlResult<Outcome> {
+        let session = &job.session;
+        let spec = &job.spec;
+        let state = &job.state;
+        let check_cancel = || -> PlResult<()> {
+            if state.is_cancelled() {
+                state.advance(Phase::Cancelled);
+                Err(PlError::Cancelled)
+            } else {
+                Ok(())
+            }
+        };
+
+        // ---- Phase 0: rights -----------------------------------------------
+        // §5.5: running analyses on the server requires the analyze right;
+        // reject before any estimation or staging work is spent.
+        session
+            .require(hedc_dm::Rights::ANALYZE, "analyze")
+            .map_err(PlError::Dm)?;
+
+        // ---- Phase 1: estimation -----------------------------------------
+        check_cancel()?;
+        let alg = self.registry.get(&spec.kind)?;
+        let photon_estimate = self.estimate_photon_count(spec)?;
+        let plan = estimate(alg.as_ref(), photon_estimate, &spec.params, ExecTarget::Server);
+        if let Some(limit) = spec.cost_limit_ms {
+            if plan.estimated_ms > limit {
+                state.advance(Phase::Failed);
+                return Err(PlError::TooExpensive {
+                    estimated_ms: plan.estimated_ms,
+                    limit_ms: limit,
+                });
+            }
+        }
+        state.advance(Phase::Estimated);
+
+        // ---- Redundancy check (§3.5), before any expensive work ----------
+        // (Check-then-compute: two *concurrent* identical requests may both
+        // compute and commit; the duplicate wastes CPU but is harmless —
+        // every later request reuses whichever committed first.)
+        let fingerprint = spec.params.fingerprint_with(&spec.kind);
+        if !spec.force {
+            if let Some(ana_id) = self
+                .dm
+                .services()
+                .find_existing_analysis(session, &fingerprint)?
+            {
+                state.advance(Phase::Committed);
+                return Ok(Outcome::Reused { ana_id });
+            }
+        }
+
+        // ---- Phase 2: execution -------------------------------------------
+        check_cancel()?;
+        state.advance(Phase::Executing);
+        let started = Instant::now();
+        let (staged, calib_version) = self.stage_photons(spec)?;
+        let photons = Arc::new(staged);
+        let kind_enum = AnalysisKind::parse(&spec.kind);
+        let product = match kind_enum {
+            // Built-in kinds run on the managed interpreter pool.
+            Some(kind) => self
+                .manager
+                .run(kind, Arc::clone(&photons), spec.params.clone())?,
+            // User-registered algorithms run in-process (they are native
+            // strategy objects, not interpreter scripts).
+            None => alg.run(&photons, &spec.params)?,
+        };
+        let duration_ms = started.elapsed().as_millis() as u64;
+        self.dm.io.clock.advance(plan.estimated_ms.max(1));
+
+        // ---- Phase 3: delivery ---------------------------------------------
+        check_cancel()?;
+        state.advance(Phase::Delivered);
+        let files = self.deliver(&fingerprint, job.seq, spec, &product)?;
+
+        // ---- Phase 4: commit ------------------------------------------------
+        check_cancel()?;
+        let output_bytes: i64 = files.iter().map(|f| f.data.len() as i64).sum();
+        let ana_spec = AnaSpec {
+            hle_id: spec.hle_id,
+            kind: spec.kind.clone(),
+            fingerprint,
+            t_start: spec.params.t_start_ms,
+            t_end: spec.params.t_end_ms,
+            energy_lo: spec.params.energy_lo_kev,
+            energy_hi: spec.params.energy_hi_kev,
+            param_grid: spec.params.extra.get("grid").copied(),
+            param_bins: spec.params.extra.get("bins").copied(),
+            param_bin_ms: spec.params.extra.get("bin_ms").copied(),
+            duration_ms: duration_ms as i64,
+            cpu_ms: plan.estimated_ms as i64,
+            output_bytes,
+            product_type: product.type_label().to_string(),
+            calib_version,
+        };
+        let (ana_id, item_id) = self.dm.services().import_analysis(session, &ana_spec, &files)?;
+        state.advance(Phase::Committed);
+        self.dm
+            .io
+            .audit(session.user_id, &format!("analysis:{}", spec.kind), Some(duration_ms as i64))?;
+        Ok(Outcome::Computed {
+            ana_id,
+            item_id,
+            product,
+            duration_ms,
+            plan,
+        })
+    }
+
+    /// Metadata-only photon-count estimate: sum raw-unit counts scaled by
+    /// window overlap.
+    fn estimate_photon_count(&self, spec: &RequestSpec) -> PlResult<u64> {
+        let q = Query::table("raw_unit").filter(
+            Expr::cmp(
+                "t_start",
+                hedc_metadb::CmpOp::Lt,
+                spec.params.t_end_ms as i64,
+            )
+            .and(Expr::cmp(
+                "t_end",
+                hedc_metadb::CmpOp::Gt,
+                spec.params.t_start_ms as i64,
+            )),
+        );
+        let r = self.dm.io.query(&q)?;
+        let mut total = 0f64;
+        for row in &r.rows {
+            let t0 = row[2].as_int().unwrap_or(0) as u64;
+            let t1 = row[3].as_int().unwrap_or(0) as u64;
+            let n = row[4].as_int().unwrap_or(0) as f64;
+            let lo = t0.max(spec.params.t_start_ms);
+            let hi = t1.min(spec.params.t_end_ms);
+            if hi > lo && t1 > t0 {
+                total += n * ((hi - lo) as f64 / (t1 - t0) as f64);
+            }
+        }
+        Ok(total.round() as u64)
+    }
+
+    /// Stage the input photons: locate overlapping raw units through the
+    /// name mapping, parse, concatenate, and cut to the window. This is the
+    /// "coordinates necessary data transformations" role of §2.3.
+    fn stage_photons(&self, spec: &RequestSpec) -> PlResult<(PhotonList, u32)> {
+        let q = Query::table("raw_unit")
+            .filter(
+                Expr::cmp(
+                    "t_start",
+                    hedc_metadb::CmpOp::Lt,
+                    spec.params.t_end_ms as i64,
+                )
+                .and(Expr::cmp(
+                    "t_end",
+                    hedc_metadb::CmpOp::Gt,
+                    spec.params.t_start_ms as i64,
+                )),
+            )
+            .order_by("t_start", hedc_metadb::OrderDir::Asc);
+        let r = self.dm.io.query(&q)?;
+        let names = self.dm.names();
+        let mut merged = PhotonList::default();
+        // Provenance: the analysis is computed under the calibration of its
+        // inputs (§3.1); staging across mixed versions records the newest.
+        let mut calib_version = 1u32;
+        for row in &r.rows {
+            let item_id = row[6].as_int().ok_or(PlError::BadPhase("raw item"))?;
+            let bytes = names.fetch_data(item_id)?;
+            let unit = TelemetryUnit::from_fits(&FitsFile::from_bytes(&bytes).map_err(hedc_dm::DmError::Fs)?)
+                .map_err(hedc_dm::DmError::Fs)?;
+            calib_version = calib_version.max(unit.calib_version);
+            let cut = select_photons(&unit.photons, &spec.params);
+            merged.times_ms.extend_from_slice(&cut.times_ms);
+            merged.energies_kev.extend_from_slice(&cut.energies_kev);
+            merged.detectors.extend_from_slice(&cut.detectors);
+        }
+        Ok((merged, calib_version))
+    }
+
+    /// Delivery: serialize the product into result files (image/grid as
+    /// FITS, series/histogram as JSON) plus the parameter and log files the
+    /// paper lists (§4.1).
+    fn deliver(
+        &self,
+        fingerprint: &str,
+        seq: u64,
+        spec: &RequestSpec,
+        product: &AnalysisProduct,
+    ) -> PlResult<Vec<FilePayload>> {
+        let dir = format!("ana/req{seq:08}");
+        let mut files = Vec::with_capacity(3);
+        match product {
+            AnalysisProduct::Image(img) | AnalysisProduct::Grid(img) => {
+                let fits = img.to_fits(Header::new());
+                files.push(FilePayload {
+                    archive_id: self.config.derived_archive,
+                    path: format!("{dir}/result.fits"),
+                    role: "image".to_string(),
+                    data: fits.to_bytes(),
+                });
+            }
+            AnalysisProduct::Series { bin_ms, bands } => {
+                let json = serde_json::json!({
+                    "bin_ms": bin_ms,
+                    "bands": bands.iter().map(|(l, c)| serde_json::json!({
+                        "label": l, "counts": c,
+                    })).collect::<Vec<_>>(),
+                });
+                files.push(FilePayload {
+                    archive_id: self.config.derived_archive,
+                    path: format!("{dir}/result.json"),
+                    role: "data".to_string(),
+                    data: serde_json::to_vec(&json).expect("serialize series"),
+                });
+            }
+            AnalysisProduct::Histogram { edges, counts } => {
+                let json = serde_json::json!({ "edges": edges, "counts": counts });
+                files.push(FilePayload {
+                    archive_id: self.config.derived_archive,
+                    path: format!("{dir}/result.json"),
+                    role: "data".to_string(),
+                    data: serde_json::to_vec(&json).expect("serialize histogram"),
+                });
+            }
+        }
+        // Parameter file (exact reproduction recipe).
+        let params_json = serde_json::json!({
+            "kind": spec.kind,
+            "fingerprint": fingerprint,
+            "params": spec.params,
+        });
+        files.push(FilePayload {
+            archive_id: self.config.derived_archive,
+            path: format!("{dir}/params.json"),
+            role: "params".to_string(),
+            data: serde_json::to_vec(&params_json).expect("serialize params"),
+        });
+        // Process log.
+        files.push(FilePayload {
+            archive_id: self.config.derived_archive,
+            path: format!("{dir}/run.log"),
+            role: "log".to_string(),
+            data: format!(
+                "kind={} window=[{},{}) product={}\n",
+                spec.kind,
+                spec.params.t_start_ms,
+                spec.params.t_end_ms,
+                product.type_label()
+            )
+            .into_bytes(),
+        });
+        Ok(files)
+    }
+
+    /// Resolve a committed analysis's files (delivery for later readers).
+    pub fn result_files(&self, session: &Session, ana_id: i64) -> PlResult<Vec<String>> {
+        let r = self.dm.services().query(
+            session,
+            Query::table("ana").filter(Expr::eq("id", ana_id)),
+        )?;
+        let row = r.rows.first().ok_or(hedc_dm::DmError::NotFound {
+            entity: "ana",
+            id: ana_id,
+        })?;
+        let Some(item_id) = row[3].as_int() else {
+            return Ok(Vec::new());
+        };
+        let names = self.dm.names();
+        Ok(names
+            .resolve(item_id, NameType::File)?
+            .into_iter()
+            .map(|n| n.full_name)
+            .collect())
+    }
+}
+
+impl Drop for ProcessingLogic {
+    fn drop(&mut self) {
+        if !self.shutdown.load(Ordering::SeqCst) {
+            self.shutdown.store(true, Ordering::SeqCst);
+            self.queue.1.notify_all();
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The abstract request model (§5.1).
+//!
+//! "Regardless of the interface, an analysis follows an abstract model that
+//! describes the workflow of an individual request along 4 phases:
+//! Estimation, Execution, Delivery, Commit. Phases must be executed in
+//! order, and not all phases are mandatory. Requests can be canceled at any
+//! time and induce the cleanup for the current phase."
+
+use hedc_analysis::AnalysisParams;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// Request priority. Interactive browsing work preempts batch recomputation
+/// ("the execution of requests ... is launched according to a priority
+/// scheduling", §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Background recomputation (e.g. post-recalibration sweeps).
+    Batch = 0,
+    /// Standard user request.
+    Normal = 1,
+    /// Interactive request from a waiting user.
+    Interactive = 2,
+}
+
+/// The request phases, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// Created, not yet estimated/queued.
+    Submitted = 0,
+    /// Estimation produced an execution plan.
+    Estimated = 1,
+    /// Executing on an analysis server.
+    Executing = 2,
+    /// Result produced, available for delivery.
+    Delivered = 3,
+    /// Result written back through the DM.
+    Committed = 4,
+    /// Cancelled (terminal).
+    Cancelled = 5,
+    /// Failed (terminal).
+    Failed = 6,
+}
+
+impl Phase {
+    fn from_u8(v: u8) -> Phase {
+        match v {
+            0 => Phase::Submitted,
+            1 => Phase::Estimated,
+            2 => Phase::Executing,
+            3 => Phase::Delivered,
+            4 => Phase::Committed,
+            5 => Phase::Cancelled,
+            _ => Phase::Failed,
+        }
+    }
+
+    /// Whether the phase is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Phase::Committed | Phase::Cancelled | Phase::Failed)
+    }
+}
+
+/// What a caller asks the PL to do.
+#[derive(Debug, Clone)]
+pub struct RequestSpec {
+    /// Algorithm name (resolved through the registry).
+    pub kind: String,
+    /// Analysis parameters.
+    pub params: AnalysisParams,
+    /// The HLE the result will attach to.
+    pub hle_id: i64,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Skip the §3.5 redundancy check (force recomputation).
+    pub force: bool,
+    /// Reject if the estimate exceeds this many ms (None = no limit).
+    pub cost_limit_ms: Option<u64>,
+}
+
+impl RequestSpec {
+    /// A normal-priority request.
+    pub fn new(kind: &str, params: AnalysisParams, hle_id: i64) -> Self {
+        RequestSpec {
+            kind: kind.to_string(),
+            params,
+            hle_id,
+            priority: Priority::Normal,
+            force: false,
+            cost_limit_ms: None,
+        }
+    }
+
+    /// Set the priority.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Force recomputation even when an identical result exists.
+    pub fn force(mut self) -> Self {
+        self.force = true;
+        self
+    }
+
+    /// Reject when estimated beyond a limit.
+    pub fn cost_limit_ms(mut self, limit: u64) -> Self {
+        self.cost_limit_ms = Some(limit);
+        self
+    }
+}
+
+/// Shared, observable request state: phase + cancellation flag. Handed to
+/// the caller on async submission so progress can be watched and the
+/// request cancelled mid-flight.
+#[derive(Debug, Default)]
+pub struct RequestState {
+    phase: AtomicU8,
+    cancelled: AtomicBool,
+}
+
+impl RequestState {
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        Phase::from_u8(self.phase.load(Ordering::SeqCst))
+    }
+
+    /// Advance to a phase. Enforces forward-only ordering except for the
+    /// terminal Cancelled/Failed transitions.
+    pub fn advance(&self, to: Phase) -> bool {
+        let cur = self.phase();
+        if cur.is_terminal() {
+            return false;
+        }
+        if !to.is_terminal() && (to as u8) <= (cur as u8) {
+            return false;
+        }
+        self.phase.store(to as u8, Ordering::SeqCst);
+        true
+    }
+
+    /// Request cancellation ("requests can be canceled at any time").
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_advance_forward_only() {
+        let s = RequestState::default();
+        assert_eq!(s.phase(), Phase::Submitted);
+        assert!(s.advance(Phase::Estimated));
+        assert!(s.advance(Phase::Executing));
+        assert!(!s.advance(Phase::Estimated), "no going back");
+        assert!(s.advance(Phase::Committed));
+        assert!(!s.advance(Phase::Executing), "terminal is final");
+    }
+
+    #[test]
+    fn cancellation_is_terminal() {
+        let s = RequestState::default();
+        s.advance(Phase::Executing);
+        s.cancel();
+        assert!(s.is_cancelled());
+        assert!(s.advance(Phase::Cancelled));
+        assert!(!s.advance(Phase::Delivered));
+        assert_eq!(s.phase(), Phase::Cancelled);
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::Interactive > Priority::Normal);
+        assert!(Priority::Normal > Priority::Batch);
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = RequestSpec::new("imaging", AnalysisParams::window(0, 100), 7)
+            .priority(Priority::Interactive)
+            .force()
+            .cost_limit_ms(5000);
+        assert_eq!(spec.priority, Priority::Interactive);
+        assert!(spec.force);
+        assert_eq!(spec.cost_limit_ms, Some(5000));
+    }
+}

@@ -1,0 +1,184 @@
+//! The browse experiments: Figures 4 and 5 (§7).
+//!
+//! Closed system: N test clients with zero think time ("the delay between
+//! requests is set to zero", §7.2) spread round-robin over K middle-tier
+//! nodes, each request costing middle-tier CPU (inflated by the §7.3
+//! application-logic contention) plus seven database queries on a shared
+//! DBMS whose ceiling is ≈ 126 queries/s.
+
+use crate::calib;
+use crate::engine::{ClosedLoopPs, PsReport, Resource, StageSpec};
+
+/// Configuration of one browse run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrowseConfig {
+    /// Simultaneous test clients.
+    pub clients: usize,
+    /// Middle-tier nodes.
+    pub nodes: usize,
+    /// Warmup seconds (excluded from stats).
+    pub warmup_s: f64,
+    /// Measurement seconds.
+    pub measure_s: f64,
+}
+
+impl BrowseConfig {
+    /// Standard run lengths.
+    pub fn new(clients: usize, nodes: usize) -> Self {
+        BrowseConfig {
+            clients,
+            nodes,
+            warmup_s: 200.0,
+            measure_s: 2_000.0,
+        }
+    }
+}
+
+/// Result of a browse run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowseResult {
+    /// The configuration.
+    pub config: BrowseConfig,
+    /// Web requests per second (the Figures' y-axis).
+    pub requests_per_second: f64,
+    /// Database queries per second implied.
+    pub db_queries_per_second: f64,
+    /// Mean request response time, seconds.
+    pub avg_response_s: f64,
+    /// Middle-tier utilization per node.
+    pub mt_utilization: Vec<f64>,
+    /// Database utilization.
+    pub db_utilization: f64,
+}
+
+/// Run one browse configuration.
+pub fn run_browse(config: BrowseConfig) -> BrowseResult {
+    assert!(config.clients > 0 && config.nodes > 0);
+    let clients_per_node = config.clients as f64 / config.nodes as f64;
+    let mt_demand = calib::MT_DEMAND_S * calib::mt_contention(clients_per_node);
+
+    // Resources: nodes 0..K are middle-tier, node K is the DB.
+    let mut resources: Vec<Resource> = (0..config.nodes)
+        .map(|i| Resource::new(format!("mt-{i}"), calib::MT_CORES))
+        .collect();
+    let db_index = resources.len();
+    resources.push(Resource::new("db", 1.0));
+
+    let routes: Vec<Vec<StageSpec>> = (0..config.clients)
+        .map(|c| {
+            vec![
+                StageSpec {
+                    resource: c % config.nodes,
+                    demand: mt_demand,
+                },
+                StageSpec {
+                    resource: db_index,
+                    demand: calib::DB_DEMAND_S,
+                },
+            ]
+        })
+        .collect();
+
+    let mut sim = ClosedLoopPs::new(resources, routes);
+    let report: PsReport = sim.run(config.warmup_s, config.measure_s);
+
+    BrowseResult {
+        config,
+        requests_per_second: report.throughput,
+        db_queries_per_second: report.throughput * calib::QUERIES_PER_REQUEST,
+        avg_response_s: report.avg_response_s,
+        mt_utilization: report.utilization[..config.nodes].to_vec(),
+        db_utilization: report.utilization[db_index],
+    }
+}
+
+/// Figure 4: throughput vs client count on a single middle-tier node.
+pub fn figure4(client_counts: &[usize]) -> Vec<BrowseResult> {
+    client_counts
+        .iter()
+        .map(|&c| run_browse(BrowseConfig::new(c, 1)))
+        .collect()
+}
+
+/// Figure 5: throughput vs middle-tier node count at a fixed client count
+/// (96 in the paper).
+pub fn figure5(node_counts: &[usize], clients: usize) -> Vec<BrowseResult> {
+    node_counts
+        .iter()
+        .map(|&n| run_browse(BrowseConfig::new(clients, n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape_peak_then_degrade() {
+        let results = figure4(&[16, 32, 48, 64, 80, 96]);
+        let tput: Vec<f64> = results.iter().map(|r| r.requests_per_second).collect();
+        // Peak near 16 clients at ≈ 16 rps (paper Fig. 4).
+        assert!(
+            (14.0..18.5).contains(&tput[0]),
+            "peak {:.1} rps at 16 clients",
+            tput[0]
+        );
+        // Monotone degradation afterwards.
+        for w in tput.windows(2) {
+            assert!(w[1] <= w[0] + 0.2, "should degrade: {tput:?}");
+        }
+        // ≈ 3 rps at 96 clients (paper: "drops to around 3").
+        let last = *tput.last().unwrap();
+        assert!((2.5..3.6).contains(&last), "{last} rps at 96 clients");
+    }
+
+    #[test]
+    fn fig4_degradation_is_middle_tier_not_db() {
+        // §7.3: "the database is not the reason for the slowdown".
+        let r = run_browse(BrowseConfig::new(96, 1));
+        assert!(r.mt_utilization[0] > 0.95, "{:?}", r.mt_utilization);
+        assert!(r.db_utilization < 0.3, "db {:.2}", r.db_utilization);
+        assert!(r.db_queries_per_second < 30.0);
+    }
+
+    #[test]
+    fn fig5_scales_to_db_ceiling() {
+        let results = figure5(&[1, 2, 3, 5], 96);
+        let tput: Vec<f64> = results.iter().map(|r| r.requests_per_second).collect();
+        // Rises from ≈3 to ≈18 (paper §7.3).
+        assert!((2.5..3.6).contains(&tput[0]), "{tput:?}");
+        let last = *tput.last().unwrap();
+        assert!((16.5..18.5).contains(&last), "{tput:?}");
+        // Strictly rising.
+        for w in tput.windows(2) {
+            assert!(w[1] > w[0], "{tput:?}");
+        }
+        // At 5 nodes the DB is the bottleneck at ≈120 queries/s.
+        let five = results.last().unwrap();
+        assert!(
+            (110.0..130.0).contains(&five.db_queries_per_second),
+            "{:.1} q/s",
+            five.db_queries_per_second
+        );
+        assert!(five.db_utilization > 0.9);
+    }
+
+    #[test]
+    fn sixteen_clients_single_node_db_near_peak() {
+        // §7.3: "at 16 test clients, the database is running close to its
+        // maximum performance ... about 100 database queries per second".
+        let r = run_browse(BrowseConfig::new(16, 1));
+        assert!(
+            (90.0..126.0).contains(&r.db_queries_per_second),
+            "{:.1} q/s",
+            r.db_queries_per_second
+        );
+    }
+
+    #[test]
+    fn response_time_grows_with_clients() {
+        let a = run_browse(BrowseConfig::new(16, 1));
+        let b = run_browse(BrowseConfig::new(96, 1));
+        assert!(b.avg_response_s > a.avg_response_s * 5.0);
+    }
+}

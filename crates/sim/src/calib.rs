@@ -1,0 +1,164 @@
+//! Calibration constants for the testbed simulator.
+//!
+//! Every constant below is traceable to a number in the paper's §7–§8 (or
+//! fitted to one and documented as such). The experiments reproduce the
+//! *shape* of the published results — who saturates, where degradation
+//! starts, which configuration wins by what factor — not the absolute
+//! timings of 2002 hardware.
+
+// ---------------------------------------------------------------------------
+// Browse workload (§7)
+// ---------------------------------------------------------------------------
+
+/// DB queries issued per browse request (§7.2: "a request generates seven
+/// DM queries").
+pub const QUERIES_PER_REQUEST: f64 = 7.0;
+
+/// Peak database throughput, queries/second (§7.3: "these 18 requests
+/// result in around 120 HEDC database queries, the peak performance of the
+/// database setup"; 18 × 7 = 126).
+pub const DB_PEAK_QPS: f64 = 126.0;
+
+/// DB service demand per browse request, seconds (7 queries at peak rate).
+pub const DB_DEMAND_S: f64 = QUERIES_PER_REQUEST / DB_PEAK_QPS;
+
+/// Middle-tier CPU cores per node (§7.1: "dual Pentium III" web servers).
+pub const MT_CORES: f64 = 2.0;
+
+/// Base middle-tier CPU demand per request, cpu-seconds. Fitted so a single
+/// uncontended node saturates at ≈ 17 rps (§7.3: "at 16 test clients ...
+/// roughly one complex Web request per second per client", i.e. ≈ 16 rps
+/// at the observed peak): 2 cores / 0.118 s ≈ 16.9 rps.
+pub const MT_DEMAND_S: f64 = 0.118;
+
+/// Contention model for the middle tier: beyond `MT_COMFORT_CLIENTS`
+/// simultaneous clients per node, the per-request CPU demand inflates by a
+/// saturating factor
+/// `m(c) = 1 + MT_CONTENTION_A·x/(MT_CONTENTION_B + x)`, `x = c − comfort`.
+///
+/// §7.3 observes that the single-node slowdown from 16 rps (16 clients) to
+/// ≈ 3 rps (96 clients) "is caused by the increased processing load of the
+/// application logic", not the database. The two fitted constants pin
+/// m(96 clients) ≈ 5.65 (throughput 3 rps) and keep 3 nodes × 32 clients
+/// below the DB ceiling so Fig. 5 keeps rising through 5 nodes.
+pub const MT_COMFORT_CLIENTS: f64 = 16.0;
+/// Contention amplitude (fitted, see above).
+pub const MT_CONTENTION_A: f64 = 6.11;
+/// Contention half-saturation point in clients (fitted, see above).
+pub const MT_CONTENTION_B: f64 = 25.06;
+
+/// Middle-tier demand multiplier at `clients_per_node` concurrent clients.
+pub fn mt_contention(clients_per_node: f64) -> f64 {
+    let x = (clients_per_node - MT_COMFORT_CLIENTS).max(0.0);
+    1.0 + MT_CONTENTION_A * x / (MT_CONTENTION_B + x)
+}
+
+/// Average HTML response size, bytes (§7.2).
+pub const RESPONSE_HTML_BYTES: u64 = 12 * 1024;
+/// Average embedded dynamic image payload, bytes (§7.2).
+pub const RESPONSE_IMAGE_BYTES: u64 = 35 * 1024;
+/// Tuples parsed per request (§7.2).
+pub const TUPLES_PER_REQUEST: u64 = 80;
+
+// ---------------------------------------------------------------------------
+// Processing workload (§8)
+// ---------------------------------------------------------------------------
+
+/// Server CPU count (§8.1: "2×177 MHz SUN SPARC").
+pub const SERVER_CPUS: f64 = 2.0;
+/// Client CPU count (§8.1: "one 400 MHz Linux PC").
+pub const CLIENT_CPUS: f64 = 1.0;
+/// Client↔server HTTP bandwidth, bytes/second (§8.1: "2 MB/s").
+pub const LINK_BPS: f64 = 2.0 * 1024.0 * 1024.0;
+
+/// Imaging compute time on the server, s/request (§8.2: "about ... 60 s on
+/// the server" per 800 KB input).
+pub const IMG_SERVER_S: f64 = 60.0;
+/// Imaging compute on the client (§8.2 "about 20 s"; 17 s fits the
+/// measured C-configuration makespan of 2059 s once transfer and
+/// coordination are charged separately).
+pub const IMG_CLIENT_S: f64 = 17.0;
+/// Imaging input bytes per request (§8.2: 800 KB).
+pub const IMG_INPUT_BYTES: f64 = 800.0 * 1024.0;
+/// Imaging request count (§8.2 / Table 2).
+pub const IMG_REQUESTS: usize = 100;
+
+/// Histogram compute on the server, s/request (§8.3: "5–7 s", midpoint).
+pub const HIST_SERVER_S: f64 = 6.0;
+/// Histogram compute on the client (§8.3: "2–3 s per 300 KB"; 2.2 s fits
+/// the measured C makespans with coordination charged separately).
+pub const HIST_CLIENT_S: f64 = 2.2;
+/// Histogram input bytes per request (⅓ of a 1 MB file, §8.3 / Table 3).
+pub const HIST_INPUT_BYTES: f64 = 341.0 * 1024.0;
+/// Histogram request count (§8.3 / Table 3).
+pub const HIST_REQUESTS: usize = 150;
+
+/// DM interaction time per analysis, seconds: 3 queries + 2 edits (§8.2),
+/// "the duration of query and edit operations is almost constant and equal
+/// in all scenarios" (§8.4).
+pub const DM_PER_JOB_S: f64 = 0.35;
+
+/// Base per-job dispatch cost on a local (server) executor, seconds.
+pub const DISPATCH_BASE_S: f64 = 0.05;
+
+/// Extra per-cycle scheduling latency when more than one executor slot is
+/// active, seconds. §8.4: "in scenarios with parallel computations of
+/// analyses shorter than 5 s, the central scheduling in combination with
+/// the fault tolerant protocol among the services becomes critical: jobs
+/// are not scheduled timely to available resources". Fitted to the S(2)
+/// histogram makespan (655 s ⇒ ≈ 2.3 s per slot cycle).
+pub const DISPATCH_PARALLEL_S: f64 = 2.3;
+
+/// Per-job coordination overhead for a *remote* (client) executor, seconds:
+/// HTTP polling, staging negotiation, result upload handshake. Fitted to
+/// the measured client histogram makespan (841 s) and consistent with the
+/// client imaging makespan (2059 s).
+pub const REMOTE_COORD_S: f64 = 3.2;
+
+/// Fraction of remote coordination spent on the *server* CPU (the rest is
+/// client-side waiting); drives the small server utilisation the paper
+/// reports during client-only runs.
+pub const REMOTE_COORD_SERVER_SHARE: f64 = 0.45;
+
+/// Maximum requests simultaneously in the system (§8.1: "no more than 20
+/// requests are in the system at any given time").
+pub const MAX_IN_SYSTEM: usize = 20;
+
+/// Total input volume per test series, bytes (§8.1: "50 MB of raw data").
+pub const TOTAL_INPUT_BYTES: f64 = 50.0 * 1024.0 * 1024.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_ceiling_is_18_requests() {
+        assert!((DB_PEAK_QPS / QUERIES_PER_REQUEST - 18.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn contention_shape() {
+        assert_eq!(mt_contention(8.0), 1.0);
+        assert_eq!(mt_contention(16.0), 1.0);
+        // Fitted anchor: 96 clients on one node ⇒ ≈ 5.65.
+        let m96 = mt_contention(96.0);
+        assert!((m96 - 5.65).abs() < 0.1, "{m96}");
+        // Monotone increasing.
+        assert!(mt_contention(32.0) < mt_contention(48.0));
+        assert!(mt_contention(48.0) < mt_contention(96.0));
+        // Saturating: never exceeds 1 + A.
+        assert!(mt_contention(1e9) < 1.0 + MT_CONTENTION_A + 1e-6);
+    }
+
+    #[test]
+    fn single_node_peak_near_17_rps() {
+        let peak = MT_CORES / MT_DEMAND_S;
+        assert!((16.0..18.0).contains(&peak), "{peak}");
+    }
+
+    #[test]
+    fn degraded_single_node_near_3_rps() {
+        let t = MT_CORES / (MT_DEMAND_S * mt_contention(96.0));
+        assert!((2.7..3.3).contains(&t), "{t}");
+    }
+}

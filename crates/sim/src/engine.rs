@@ -1,0 +1,341 @@
+//! A processor-sharing closed-queueing-network simulator.
+//!
+//! The browse evaluation (§7) is a closed system: N clients with zero think
+//! time cycle requests through middle-tier nodes and a database. Each
+//! station is modeled as a processor-sharing multi-server: with `n` active
+//! jobs and capacity `c` (servers), every job progresses at rate
+//! `min(1, c/n)` service-units per second — the standard fluid model of a
+//! CPU under many threads.
+//!
+//! The engine is event-driven over *stage completions*: rates only change
+//! when a job arrives at or leaves a station, so between such events the
+//! next completion time is exact, not time-stepped.
+
+/// One visit to a resource with a fixed service demand (seconds of service).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSpec {
+    /// Index into the resource table.
+    pub resource: usize,
+    /// Service demand, in seconds-of-one-server.
+    pub demand: f64,
+}
+
+/// A service station.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Display name.
+    pub name: String,
+    /// Number of servers (fractional allowed). `f64::INFINITY` makes it a
+    /// pure delay station (think time, fixed-latency network hop).
+    pub capacity: f64,
+}
+
+impl Resource {
+    /// A named multi-server PS station.
+    pub fn new(name: impl Into<String>, capacity: f64) -> Self {
+        Resource {
+            name: name.into(),
+            capacity,
+        }
+    }
+
+    /// An infinite-server delay station.
+    pub fn delay(name: impl Into<String>) -> Self {
+        Self::new(name, f64::INFINITY)
+    }
+}
+
+#[derive(Debug)]
+struct JobState {
+    route: Vec<StageSpec>,
+    stage: usize,
+    remaining: f64,
+    cycle_start: f64,
+}
+
+/// Measurement output of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsReport {
+    /// Completed cycles during the measurement window.
+    pub completions: u64,
+    /// Cycles per second.
+    pub throughput: f64,
+    /// Mean cycle response time, seconds.
+    pub avg_response_s: f64,
+    /// Per-resource utilization in [0, 1] (busy servers / capacity);
+    /// 0 for delay stations.
+    pub utilization: Vec<f64>,
+    /// Measurement window length, seconds.
+    pub window_s: f64,
+}
+
+/// The closed-network simulator.
+pub struct ClosedLoopPs {
+    resources: Vec<Resource>,
+    jobs: Vec<JobState>,
+    now: f64,
+}
+
+impl ClosedLoopPs {
+    /// Build with a resource table and one route per closed-loop job
+    /// (client). Routes must be non-empty and reference valid resources.
+    pub fn new(resources: Vec<Resource>, routes: Vec<Vec<StageSpec>>) -> Self {
+        assert!(!resources.is_empty());
+        for route in &routes {
+            assert!(!route.is_empty(), "empty route");
+            for s in route {
+                assert!(s.resource < resources.len(), "bad resource index");
+                assert!(s.demand > 0.0, "non-positive demand");
+            }
+        }
+        let n = routes.len().max(1);
+        let jobs = routes
+            .into_iter()
+            .enumerate()
+            .map(|(i, route)| {
+                let first = route[0].demand;
+                // Stagger initial progress: with identical deterministic
+                // demands, unstaggered jobs march in lockstep through the
+                // network (all at the same station simultaneously), which
+                // underestimates pipeline throughput. Real clients start at
+                // different times; a deterministic spread reproduces that.
+                let remaining = first * (i as f64 + 1.0) / (n as f64);
+                JobState {
+                    route,
+                    stage: 0,
+                    remaining,
+                    cycle_start: 0.0,
+                }
+            })
+            .collect();
+        ClosedLoopPs {
+            resources,
+            jobs,
+            now: 0.0,
+        }
+    }
+
+    /// Per-job service rate at each resource given current occupancy.
+    fn rates(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.resources.len()];
+        for j in &self.jobs {
+            counts[j.route[j.stage].resource] += 1;
+        }
+        self.resources
+            .iter()
+            .zip(&counts)
+            .map(|(r, &n)| {
+                if n == 0 {
+                    0.0
+                } else if r.capacity.is_infinite() {
+                    1.0
+                } else {
+                    (r.capacity / n as f64).min(1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Run for `warmup_s + measure_s` simulated seconds; statistics cover
+    /// only the measurement window.
+    pub fn run(&mut self, warmup_s: f64, measure_s: f64) -> PsReport {
+        let t_end = self.now + warmup_s + measure_s;
+        let t_measure = self.now + warmup_s;
+        let mut completions = 0u64;
+        let mut response_sum = 0.0f64;
+        let mut busy = vec![0.0f64; self.resources.len()];
+
+        while self.now < t_end {
+            let rates = self.rates();
+            // Time to the next stage completion.
+            let mut dt = t_end - self.now;
+            for j in &self.jobs {
+                let rate = rates[j.route[j.stage].resource];
+                if rate > 0.0 {
+                    dt = dt.min(j.remaining / rate);
+                }
+            }
+            // Advance.
+            let mut counts = vec![0usize; self.resources.len()];
+            for j in &self.jobs {
+                counts[j.route[j.stage].resource] += 1;
+            }
+            if self.now + dt > t_measure {
+                let effective = (self.now + dt).min(t_end) - self.now.max(t_measure);
+                if effective > 0.0 {
+                    for (i, r) in self.resources.iter().enumerate() {
+                        if !r.capacity.is_infinite() && counts[i] > 0 {
+                            busy[i] += (counts[i] as f64).min(r.capacity) * effective;
+                        }
+                    }
+                }
+            }
+            self.now += dt;
+            // Progress every job; collect completions.
+            for j in &mut self.jobs {
+                let rate = rates[j.route[j.stage].resource];
+                j.remaining -= rate * dt;
+                if j.remaining <= 1e-12 && rate > 0.0 {
+                    j.stage += 1;
+                    if j.stage >= j.route.len() {
+                        // Cycle complete.
+                        if self.now > t_measure {
+                            completions += 1;
+                            response_sum += self.now - j.cycle_start;
+                        }
+                        j.stage = 0;
+                        j.cycle_start = self.now;
+                    }
+                    j.remaining = j.route[j.stage].demand;
+                }
+            }
+        }
+
+        let utilization = self
+            .resources
+            .iter()
+            .zip(&busy)
+            .map(|(r, &b)| {
+                if r.capacity.is_infinite() {
+                    0.0
+                } else {
+                    b / (r.capacity * measure_s)
+                }
+            })
+            .collect();
+        PsReport {
+            completions,
+            throughput: completions as f64 / measure_s,
+            avg_response_s: if completions == 0 {
+                0.0
+            } else {
+                response_sum / completions as f64
+            },
+            utilization,
+            window_s: measure_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One client, one single-server resource, demand 0.5 s → 2 cycles/s.
+    #[test]
+    fn single_client_throughput() {
+        let mut sim = ClosedLoopPs::new(
+            vec![Resource::new("cpu", 1.0)],
+            vec![vec![StageSpec {
+                resource: 0,
+                demand: 0.5,
+            }]],
+        );
+        let r = sim.run(10.0, 100.0);
+        assert!((r.throughput - 2.0).abs() < 0.05, "{r:?}");
+        assert!((r.avg_response_s - 0.5).abs() < 0.01);
+        assert!((r.utilization[0] - 1.0).abs() < 0.01);
+    }
+
+    /// Ten clients sharing one server: throughput stays at capacity
+    /// (1/demand), response time stretches 10×.
+    #[test]
+    fn ps_sharing_stretches_response() {
+        let routes = vec![
+            vec![StageSpec {
+                resource: 0,
+                demand: 0.5
+            }];
+            10
+        ];
+        let mut sim = ClosedLoopPs::new(vec![Resource::new("cpu", 1.0)], routes);
+        let r = sim.run(50.0, 200.0);
+        assert!((r.throughput - 2.0).abs() < 0.1, "{r:?}");
+        assert!((r.avg_response_s - 5.0).abs() < 0.3, "{r:?}");
+    }
+
+    /// Multi-server: 4 clients on a 2-server station, demand 1 s →
+    /// each pair shares a server: throughput 2/s.
+    #[test]
+    fn multi_server_capacity() {
+        let routes = vec![
+            vec![StageSpec {
+                resource: 0,
+                demand: 1.0
+            }];
+            4
+        ];
+        let mut sim = ClosedLoopPs::new(vec![Resource::new("cpu", 2.0)], routes);
+        let r = sim.run(20.0, 100.0);
+        assert!((r.throughput - 2.0).abs() < 0.1, "{r:?}");
+        assert!((r.utilization[0] - 1.0).abs() < 0.02);
+    }
+
+    /// A two-stage tandem: the slower station is the bottleneck.
+    #[test]
+    fn tandem_bottleneck() {
+        let route = vec![
+            StageSpec {
+                resource: 0,
+                demand: 0.1,
+            },
+            StageSpec {
+                resource: 1,
+                demand: 0.4,
+            },
+        ];
+        let mut sim = ClosedLoopPs::new(
+            vec![Resource::new("fast", 1.0), Resource::new("slow", 1.0)],
+            vec![route; 8],
+        );
+        let r = sim.run(20.0, 100.0);
+        assert!((r.throughput - 2.5).abs() < 0.1, "{r:?}");
+        assert!(r.utilization[1] > 0.97, "{r:?}");
+        assert!(r.utilization[0] < 0.35, "{r:?}");
+    }
+
+    /// Delay stations don't limit throughput and report zero utilization.
+    #[test]
+    fn delay_station_is_infinite_server() {
+        let route = vec![
+            StageSpec {
+                resource: 0,
+                demand: 1.0,
+            },
+            StageSpec {
+                resource: 1,
+                demand: 0.25,
+            },
+        ];
+        let mut sim = ClosedLoopPs::new(
+            vec![Resource::delay("think"), Resource::new("cpu", 1.0)],
+            vec![route; 20],
+        );
+        let r = sim.run(20.0, 100.0);
+        // CPU-bound: 1/0.25 = 4 cycles/s despite 20 clients thinking 1 s.
+        assert!((r.throughput - 4.0).abs() < 0.2, "{r:?}");
+        assert_eq!(r.utilization[0], 0.0);
+    }
+
+    /// Underloaded system: throughput equals clients / total demand.
+    #[test]
+    fn underloaded_no_queueing() {
+        let route = vec![
+            StageSpec {
+                resource: 0,
+                demand: 0.2,
+            },
+            StageSpec {
+                resource: 1,
+                demand: 0.3,
+            },
+        ];
+        let mut sim = ClosedLoopPs::new(
+            vec![Resource::new("a", 4.0), Resource::new("b", 4.0)],
+            vec![route; 2],
+        );
+        let r = sim.run(10.0, 100.0);
+        assert!((r.throughput - 4.0).abs() < 0.1, "{r:?}"); // 2 clients / 0.5 s
+        assert!((r.avg_response_s - 0.5).abs() < 0.02);
+    }
+}

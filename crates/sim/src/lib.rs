@@ -1,0 +1,35 @@
+//! # hedc-sim — the testbed simulator
+//!
+//! The substitution for the paper's physical evaluation environment (§7.1:
+//! a SUN E3000 database server, five dual-P3 web servers, and up to 96
+//! client workstations on switched 100 Mb/s Ethernet; §8.1: a 2×177 MHz
+//! SPARC server, a 400 MHz Linux client, and a 2 MB/s link). The evaluation
+//! measures *capacity and contention shapes*; a calibrated queueing
+//! simulation reproduces exactly those shapes on one machine.
+//!
+//! * [`engine`] — a processor-sharing closed-queueing-network simulator,
+//!   event-driven over stage completions.
+//! * [`browse`] — Figures 4 and 5: browse throughput vs clients and vs
+//!   middle-tier nodes.
+//! * [`processing`] — Table 1: the imaging and histogram test series over
+//!   the S(1)/S(2)/C/C-cached/S+C configurations, with turnover, sojourn
+//!   and CPU-split metrics.
+//! * [`calib`] — every constant, each traceable to a number in §7–§8.
+//!
+//! ```
+//! use hedc_sim::browse::{run_browse, BrowseConfig};
+//!
+//! let r = run_browse(BrowseConfig::new(96, 5));
+//! assert!(r.requests_per_second > 15.0); // DB-ceiling bound (§7.3)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod browse;
+pub mod calib;
+pub mod engine;
+pub mod processing;
+
+pub use browse::{figure4, figure5, run_browse, BrowseConfig, BrowseResult};
+pub use engine::{ClosedLoopPs, PsReport, Resource, StageSpec};
+pub use processing::{run_processing, table1, ProcConfig, ProcessingResult, Workload};

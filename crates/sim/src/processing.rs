@@ -1,0 +1,415 @@
+//! The processing experiments: Table 1 (§8).
+//!
+//! Requests flow through executor *slots* (concurrent analysis capacity on
+//! the server and/or the processing client). Each job's slot cycle is
+//! assembled from calibrated components: dispatch latency (inflated under
+//! parallelism, §8.4), input transfer over the 2 MB/s link (client slots,
+//! §8.1), the compute time itself (§8.2/§8.3), and the constant DM
+//! interaction (§8.4). Admission keeps a bounded number of requests in the
+//! system; the occupancy levels are taken from the paper's own sojourn
+//! numbers via Little's law (see [`crate::calib`]).
+
+use crate::calib;
+
+/// Which §8 test series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// §8.2: CPU-bound imaging, 100 requests.
+    Imaging,
+    /// §8.3: I/O-bound histograms, 150 requests.
+    Histogram,
+}
+
+impl Workload {
+    /// Request count (Tables 2–3).
+    pub fn requests(self) -> usize {
+        match self {
+            Workload::Imaging => calib::IMG_REQUESTS,
+            Workload::Histogram => calib::HIST_REQUESTS,
+        }
+    }
+
+    /// Compute seconds on a server slot.
+    pub fn server_compute_s(self) -> f64 {
+        match self {
+            Workload::Imaging => calib::IMG_SERVER_S,
+            Workload::Histogram => calib::HIST_SERVER_S,
+        }
+    }
+
+    /// Compute seconds on the client.
+    pub fn client_compute_s(self) -> f64 {
+        match self {
+            Workload::Imaging => calib::IMG_CLIENT_S,
+            Workload::Histogram => calib::HIST_CLIENT_S,
+        }
+    }
+
+    /// Input bytes per request.
+    pub fn input_bytes(self) -> f64 {
+        match self {
+            Workload::Imaging => calib::IMG_INPUT_BYTES,
+            Workload::Histogram => calib::HIST_INPUT_BYTES,
+        }
+    }
+
+    /// Table label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Imaging => "imaging",
+            Workload::Histogram => "histogram",
+        }
+    }
+}
+
+/// Where the analyses execute (the Table 1 column headings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcConfig {
+    /// `S` with n concurrent analyses on the server.
+    Server {
+        /// Concurrent analyses.
+        slots: usize,
+    },
+    /// `C`: one concurrent analysis on the processing client.
+    Client {
+        /// Input data pre-staged on the client's scratch space
+        /// (the `C/Cached` column).
+        cached: bool,
+    },
+    /// `S+C`: 2 concurrent on the server plus 1 on the client.
+    ServerPlusClient,
+}
+
+impl ProcConfig {
+    /// Column label as printed in Table 1.
+    pub fn label(self) -> String {
+        match self {
+            ProcConfig::Server { slots } => format!("S({slots})"),
+            ProcConfig::Client { cached: false } => "C".to_string(),
+            ProcConfig::Client { cached: true } => "C/Cached".to_string(),
+            ProcConfig::ServerPlusClient => "S+C".to_string(),
+        }
+    }
+
+    /// Concurrency description ("2+1" style).
+    pub fn concurrency(self) -> String {
+        match self {
+            ProcConfig::Server { slots } => slots.to_string(),
+            ProcConfig::Client { .. } => "1".to_string(),
+            ProcConfig::ServerPlusClient => "2+1".to_string(),
+        }
+    }
+
+    fn slots(self) -> Vec<SlotKind> {
+        match self {
+            ProcConfig::Server { slots } => vec![SlotKind::Server; slots],
+            ProcConfig::Client { cached } => vec![SlotKind::Client { cached }],
+            ProcConfig::ServerPlusClient => vec![
+                SlotKind::Server,
+                SlotKind::Server,
+                SlotKind::Client { cached: false },
+            ],
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SlotKind {
+    Server,
+    Client { cached: bool },
+}
+
+/// Result row of one Table 1 cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessingResult {
+    /// The workload.
+    pub workload: &'static str,
+    /// Column label.
+    pub config: String,
+    /// Concurrency description.
+    pub concurrent: String,
+    /// Overall test duration, seconds.
+    pub duration_s: f64,
+    /// Data turnover extrapolated to GB/day (Table 1's metric:
+    /// input volume / duration × 86400).
+    pub turnover_gb_day: f64,
+    /// Mean sojourn time, seconds.
+    pub avg_sojourn_s: f64,
+    /// Server CPU, system share, percent of both CPUs.
+    pub server_sys_pct: f64,
+    /// Server CPU, user share, percent.
+    pub server_usr_pct: f64,
+    /// Client CPU, system share, percent (0 when no client participates).
+    pub client_sys_pct: f64,
+    /// Client CPU, user share, percent.
+    pub client_usr_pct: f64,
+    /// DM interactions: queries issued.
+    pub queries: u64,
+    /// DM interactions: edits issued.
+    pub edits: u64,
+    /// Total output bytes (GIF-equivalent products).
+    pub output_bytes: u64,
+}
+
+/// OS overhead charged as system CPU, as a fraction of user CPU (process
+/// accounting on the 2002 testbed showed a small constant sys component).
+const SYS_FRACTION_OF_USR: f64 = 0.03;
+
+/// Output product size per request, bytes (Tables 2–3: 100 GIFs = 5.5 MB
+/// for imaging, 150 GIFs = 1.2 MB for histograms).
+fn output_bytes_per_request(w: Workload) -> u64 {
+    match w {
+        Workload::Imaging => (5.5 * 1024.0 * 1024.0 / 100.0) as u64,
+        Workload::Histogram => (1.2 * 1024.0 * 1024.0 / 150.0) as u64,
+    }
+}
+
+/// Run one cell of Table 1.
+pub fn run_processing(workload: Workload, config: ProcConfig) -> ProcessingResult {
+    let slots = config.slots();
+    let n_jobs = workload.requests();
+    let parallel = slots.len() > 1;
+    // §8.1: "no more than 20 requests are in the system at any given time".
+    let window = calib::MAX_IN_SYSTEM;
+
+    // Per-slot-kind cycle time and CPU attribution.
+    let cycle = |kind: SlotKind| -> (f64, f64, f64, f64, f64) {
+        // (cycle_s, server_usr, server_sys, client_usr, client_sys)
+        let dm = calib::DM_PER_JOB_S;
+        match kind {
+            SlotKind::Server => {
+                let dispatch = calib::DISPATCH_BASE_S
+                    + if parallel { calib::DISPATCH_PARALLEL_S } else { 0.0 };
+                let compute = workload.server_compute_s();
+                (
+                    dispatch + compute + dm,
+                    compute,
+                    dm + dispatch * 0.5,
+                    0.0,
+                    0.0,
+                )
+            }
+            SlotKind::Client { cached } => {
+                let transfer = if cached {
+                    0.0
+                } else {
+                    workload.input_bytes() / calib::LINK_BPS
+                };
+                let dispatch = if parallel { calib::DISPATCH_PARALLEL_S } else { 0.0 };
+                let compute = workload.client_compute_s();
+                let coord = calib::REMOTE_COORD_S;
+                (
+                    dispatch + coord + transfer + compute + dm,
+                    0.0,
+                    dm + coord * calib::REMOTE_COORD_SERVER_SHARE,
+                    compute,
+                    coord * 0.1 + transfer * 0.1,
+                )
+            }
+        }
+    };
+
+    // Greedy FIFO list scheduling with admission control: job j is admitted
+    // once fewer than `window` admitted jobs remain incomplete, i.e. at the
+    // (j − window + 1)-th earliest completion so far.
+    let mut slot_free = vec![0.0f64; slots.len()];
+    let mut completions: Vec<f64> = Vec::with_capacity(n_jobs);
+    let mut sojourn_sum = 0.0f64;
+    let (mut susr, mut ssys, mut cusr, mut csys) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+
+    for j in 0..n_jobs {
+        let admitted = if j >= window {
+            let mut sorted = completions.clone();
+            sorted.sort_by(f64::total_cmp);
+            sorted[j - window]
+        } else {
+            0.0
+        };
+        // Earliest-available slot (the paper's scheduler is equally naive
+        // about heterogeneous executor speeds).
+        let (slot_idx, &free) = slot_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("at least one slot");
+        let (dur, u_s, y_s, u_c, y_c) = cycle(slots[slot_idx]);
+        let start = free.max(admitted);
+        let done = start + dur;
+        slot_free[slot_idx] = done;
+        completions.push(done);
+        sojourn_sum += done - admitted;
+        susr += u_s;
+        ssys += y_s;
+        cusr += u_c;
+        csys += y_c;
+    }
+    let duration_s = completions.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    let has_client = slots.iter().any(|s| matches!(s, SlotKind::Client { .. }));
+    let server_cpu_s = duration_s * calib::SERVER_CPUS;
+    let client_cpu_s = duration_s * calib::CLIENT_CPUS;
+    let server_usr_pct = susr / server_cpu_s * 100.0;
+    let server_sys_pct = (ssys + susr * SYS_FRACTION_OF_USR) / server_cpu_s * 100.0;
+    let (client_usr_pct, client_sys_pct) = if has_client {
+        (
+            cusr / client_cpu_s * 100.0,
+            (csys + cusr * SYS_FRACTION_OF_USR) / client_cpu_s * 100.0,
+        )
+    } else {
+        (0.0, 0.0)
+    };
+
+    ProcessingResult {
+        workload: workload.name(),
+        config: config.label(),
+        concurrent: config.concurrency(),
+        duration_s,
+        turnover_gb_day: calib::TOTAL_INPUT_BYTES / 1e9 * 86_400.0 / duration_s,
+        avg_sojourn_s: sojourn_sum / n_jobs as f64,
+        server_sys_pct,
+        server_usr_pct,
+        client_sys_pct,
+        client_usr_pct,
+        queries: (n_jobs * 3) as u64,
+        edits: (n_jobs * 2) as u64,
+        output_bytes: output_bytes_per_request(workload) * n_jobs as u64,
+    }
+}
+
+/// All Table 1 columns for a workload, in the paper's order.
+pub fn table1(workload: Workload) -> Vec<ProcessingResult> {
+    let mut configs = vec![
+        ProcConfig::Server { slots: 1 },
+        ProcConfig::Server { slots: 2 },
+        ProcConfig::Client { cached: false },
+    ];
+    if workload == Workload::Histogram {
+        configs.push(ProcConfig::Client { cached: true });
+    }
+    configs.push(ProcConfig::ServerPlusClient);
+    configs
+        .into_iter()
+        .map(|c| run_processing(workload, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(value: f64, target: f64, tol_frac: f64) -> bool {
+        (value - target).abs() <= target * tol_frac
+    }
+
+    #[test]
+    fn imaging_durations_match_paper_shape() {
+        // Paper Table 1 (left): 6027, 3117, 2059, 1380 s.
+        let rows = table1(Workload::Imaging);
+        let d: Vec<f64> = rows.iter().map(|r| r.duration_s).collect();
+        assert!(within(d[0], 6027.0, 0.10), "S(1) {:.0}", d[0]);
+        assert!(within(d[1], 3117.0, 0.10), "S(2) {:.0}", d[1]);
+        assert!(within(d[2], 2059.0, 0.10), "C {:.0}", d[2]);
+        assert!(within(d[3], 1380.0, 0.10), "S+C {:.0}", d[3]);
+        // Strict ordering: each configuration beats the previous.
+        assert!(d[0] > d[1] && d[1] > d[2] && d[2] > d[3]);
+    }
+
+    #[test]
+    fn histogram_durations_match_paper_shape() {
+        // Paper Table 1 (right): 960, 655, 841, 821, 438 s.
+        let rows = table1(Workload::Histogram);
+        let d: Vec<f64> = rows.iter().map(|r| r.duration_s).collect();
+        assert!(within(d[0], 960.0, 0.10), "S(1) {:.0}", d[0]);
+        assert!(within(d[1], 655.0, 0.12), "S(2) {:.0}", d[1]);
+        assert!(within(d[2], 841.0, 0.10), "C {:.0}", d[2]);
+        assert!(within(d[3], 821.0, 0.10), "C/Cached {:.0}", d[3]);
+        assert!(within(d[4], 438.0, 0.12), "S+C {:.0}", d[4]);
+        // The paper's ordering: S(1) > C > C/Cached > S(2) > S+C.
+        assert!(d[0] > d[2] && d[2] > d[3] && d[3] > d[1] && d[1] > d[4]);
+    }
+
+    #[test]
+    fn caching_saves_only_data_movement() {
+        // §8.3: "even for the data intensive histogram test, the cost of
+        // data movement are relatively small".
+        let rows = table1(Workload::Histogram);
+        let c = rows[2].duration_s;
+        let cached = rows[3].duration_s;
+        let saving = (c - cached) / c;
+        assert!(saving > 0.0 && saving < 0.06, "saving {saving:.3}");
+    }
+
+    #[test]
+    fn turnover_matches_paper() {
+        // Imaging: 0.8 → 3.5 GB/day; histogram: 4.6 → 10.0 GB/day.
+        let img = table1(Workload::Imaging);
+        assert!(within(img[0].turnover_gb_day, 0.8, 0.15), "{}", img[0].turnover_gb_day);
+        assert!(within(img[3].turnover_gb_day, 3.5, 0.15), "{}", img[3].turnover_gb_day);
+        let hist = table1(Workload::Histogram);
+        assert!(within(hist[0].turnover_gb_day, 4.6, 0.15), "{}", hist[0].turnover_gb_day);
+        assert!(within(hist[4].turnover_gb_day, 10.0, 0.15), "{}", hist[4].turnover_gb_day);
+    }
+
+    #[test]
+    fn cpu_utilizations_match_paper_shape() {
+        let img = table1(Workload::Imaging);
+        // S(1): ~50% usr (one of two CPUs crunching).
+        assert!(within(img[0].server_usr_pct, 50.0, 0.15), "{}", img[0].server_usr_pct);
+        // S(2): ~96% usr (both CPUs crunching).
+        assert!(img[1].server_usr_pct > 85.0, "{}", img[1].server_usr_pct);
+        // C: client busy, server nearly idle.
+        assert!(img[2].client_usr_pct > 75.0, "{}", img[2].client_usr_pct);
+        assert!(img[2].server_usr_pct < 10.0, "{}", img[2].server_usr_pct);
+    }
+
+    #[test]
+    fn client_not_saturated_for_short_analyses() {
+        // §8.4: for sub-5s analyses "the client CPU is not saturated".
+        let hist = table1(Workload::Histogram);
+        let c = &hist[2];
+        assert!(
+            c.client_usr_pct < 60.0,
+            "client usr {:.0}% should be far from saturation",
+            c.client_usr_pct
+        );
+    }
+
+    #[test]
+    fn sojourn_ordering_matches_paper() {
+        // The paper's sojourn metric is not fully specified (its absolute
+        // values are inconsistent with completion-minus-submission under
+        // any fixed occupancy); ours is completion − admission under the
+        // 20-deep admission window. The *ordering* across configurations —
+        // faster configurations drain the window faster — is the
+        // reproducible shape.
+        let img = table1(Workload::Imaging);
+        let si: Vec<f64> = img.iter().map(|r| r.avg_sojourn_s).collect();
+        assert!(si[0] > si[1] && si[1] > si[2] && si[2] > si[3], "{si:?}");
+        let hist = table1(Workload::Histogram);
+        let sh: Vec<f64> = hist.iter().map(|r| r.avg_sojourn_s).collect();
+        assert!(*sh.last().unwrap() < sh[0], "{sh:?}");
+        // Little's law consistency on the steady part: sojourn ≈ window /
+        // throughput (the window never fully fills during ramp-up, so the
+        // average sits a bit below the steady-state value).
+        let x = 100.0 / img[0].duration_s;
+        let expected = calib::MAX_IN_SYSTEM as f64 / x;
+        assert!(
+            si[0] > expected * 0.7 && si[0] < expected * 1.05,
+            "{} vs {}",
+            si[0],
+            expected
+        );
+    }
+
+    #[test]
+    fn workload_characteristics_tables_2_and_3() {
+        let img = run_processing(Workload::Imaging, ProcConfig::Server { slots: 1 });
+        assert_eq!(img.queries, 300);
+        assert_eq!(img.edits, 200);
+        assert!(within(img.output_bytes as f64, 5.5 * 1024.0 * 1024.0, 0.01));
+        let hist = run_processing(Workload::Histogram, ProcConfig::Server { slots: 1 });
+        assert_eq!(hist.queries, 450);
+        assert_eq!(hist.edits, 300);
+        assert!(within(hist.output_bytes as f64, 1.2 * 1024.0 * 1024.0, 0.01));
+    }
+}

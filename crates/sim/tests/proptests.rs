@@ -1,0 +1,100 @@
+//! Property-based tests for the queueing simulator: conservation laws that
+//! must hold for any workload, or the evaluation numbers mean nothing.
+
+use hedc_sim::{BrowseConfig, ClosedLoopPs, Resource, StageSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Utilization law: at every station, utilization = throughput ×
+    /// service demand / capacity (within discretization tolerance), and
+    /// never exceeds 1.
+    #[test]
+    fn utilization_law(
+        clients in 1usize..20,
+        d1 in 1u32..50,
+        d2 in 1u32..50,
+        cap in 1u32..4,
+    ) {
+        let d1 = f64::from(d1) / 100.0;
+        let d2 = f64::from(d2) / 100.0;
+        let route = vec![
+            StageSpec { resource: 0, demand: d1 },
+            StageSpec { resource: 1, demand: d2 },
+        ];
+        let mut sim = ClosedLoopPs::new(
+            vec![
+                Resource::new("a", f64::from(cap)),
+                Resource::new("b", 1.0),
+            ],
+            vec![route; clients],
+        );
+        let r = sim.run(50.0, 300.0);
+        let x = r.throughput;
+        prop_assert!(r.utilization.iter().all(|&u| u <= 1.0 + 1e-6), "{:?}", r.utilization);
+        let ua = x * d1 / f64::from(cap);
+        let ub = x * d2;
+        prop_assert!((r.utilization[0] - ua).abs() < 0.08, "{} vs {}", r.utilization[0], ua);
+        prop_assert!((r.utilization[1] - ub).abs() < 0.08, "{} vs {}", r.utilization[1], ub);
+    }
+
+    /// Throughput bounds: X ≤ min over stations of capacity/demand, and
+    /// X ≤ N / total_demand (no queueing can beat the demand itself).
+    #[test]
+    fn throughput_bounds(
+        clients in 1usize..24,
+        d1 in 1u32..60,
+        d2 in 1u32..60,
+    ) {
+        let d1 = f64::from(d1) / 100.0;
+        let d2 = f64::from(d2) / 100.0;
+        let route = vec![
+            StageSpec { resource: 0, demand: d1 },
+            StageSpec { resource: 1, demand: d2 },
+        ];
+        let mut sim = ClosedLoopPs::new(
+            vec![Resource::new("a", 1.0), Resource::new("b", 2.0)],
+            vec![route; clients],
+        );
+        let r = sim.run(50.0, 400.0);
+        let bound_station = (1.0 / d1).min(2.0 / d2);
+        let bound_clients = clients as f64 / (d1 + d2);
+        prop_assert!(r.throughput <= bound_station * 1.02, "{} > {}", r.throughput, bound_station);
+        prop_assert!(r.throughput <= bound_clients * 1.02, "{} > {}", r.throughput, bound_clients);
+        // And with a comfortable client surplus, the bottleneck saturates.
+        if bound_clients > bound_station * 3.0 {
+            prop_assert!(r.throughput > bound_station * 0.85, "{} < {}", r.throughput, bound_station);
+        }
+    }
+
+    /// Little's law on the closed loop: N = X × R exactly (all clients are
+    /// always in the system).
+    #[test]
+    fn littles_law(clients in 1usize..16, d in 1u32..80) {
+        let d = f64::from(d) / 100.0;
+        let route = vec![StageSpec { resource: 0, demand: d }];
+        let mut sim = ClosedLoopPs::new(
+            vec![Resource::new("cpu", 1.0)],
+            vec![route; clients],
+        );
+        let r = sim.run(100.0, 500.0);
+        let n = r.throughput * r.avg_response_s;
+        prop_assert!((n - clients as f64).abs() < clients as f64 * 0.1 + 0.2,
+            "N={n} clients={clients}");
+    }
+
+    /// Browse model sanity across the whole parameter plane: throughput is
+    /// positive, DB never exceeds its ceiling, utilizations are valid.
+    #[test]
+    fn browse_model_sane(clients in 1usize..120, nodes in 1usize..8) {
+        let r = hedc_sim::run_browse(BrowseConfig::new(clients, nodes));
+        prop_assert!(r.requests_per_second > 0.0);
+        prop_assert!(r.db_queries_per_second <= hedc_sim::calib::DB_PEAK_QPS * 1.02,
+            "{}", r.db_queries_per_second);
+        prop_assert!(r.db_utilization <= 1.0 + 1e-6);
+        for &u in &r.mt_utilization {
+            prop_assert!(u <= 1.0 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # hedc-wavelet — approximated analysis and visualization support
+//!
+//! Implements the paper's "novel solution that shortens this holistic
+//! response time by at least an order of magnitude" (§3.4): preprocess raw
+//! data at load time into **wavelet compressed, range partitioned views**,
+//! let analyses and visualizations run on progressively reconstructed
+//! approximations, and ship only coefficient prefixes to clients (§6.3).
+//!
+//! * [`transform`] — orthonormal Haar analysis/synthesis, 1-D and 2-D, for
+//!   arbitrary lengths, with progressive (level-capped) reconstruction.
+//! * [`encode`] — quantized, sparse, chunk-per-level byte streams whose
+//!   prefixes decode to coarser approximations.
+//! * [`PartitionedView`] — the §3.4 structure: fixed-size range partitions,
+//!   each an independent progressive stream; range queries touch only
+//!   overlapping partitions.
+//! * [`plots`] — density and extent plots over catalog arrays (§6.3).
+//!
+//! ```
+//! use hedc_wavelet::PartitionedView;
+//!
+//! // A day of 1-second count bins.
+//! let counts: Vec<f64> = (0..86_400).map(|i| (i as f64 / 600.0).sin().abs() * 40.0).collect();
+//! let view = PartitionedView::build(&counts, 4096, 0.5);
+//!
+//! // An interactive client asks for a 2-hour window at low detail:
+//! let approx = view.reconstruct_range(3600, 10_800, 4).unwrap();
+//! assert_eq!(approx.len(), 7200);
+//! // ...at a fraction of the bytes of the full-resolution window.
+//! let coarse = view.bytes_for_range(3600, 10_800, 4).unwrap();
+//! let full = view.bytes_for_range(3600, 10_800, usize::MAX).unwrap();
+//! assert!(coarse < full);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod plots;
+pub mod transform;
+mod view;
+
+pub use encode::{decode_prefix, encode as encode_signal, info, prefixes, CodecError, StreamInfo};
+pub use plots::{clusters, Axis, DensityPlot, ExtentPlot};
+pub use transform::{
+    analyze, analyze_2d, rmse, synthesize, synthesize_2d, Decomposition, Decomposition2d,
+};
+pub use view::PartitionedView;

@@ -1,0 +1,246 @@
+//! Density and extent plots for interactive catalog visualization.
+//!
+//! §6.3: catalogs are reorganized "as a number of multi-dimensional arrays"
+//! and presented "in a compact and efficient manner using density (number of
+//! tuples per bin) and extent (location and extent of each tuple or cluster
+//! of tuples) plots". These structures are what the StreamCorder renders;
+//! they are built server-side over a catalog scan, optionally wavelet
+//! compressed (see [`crate::encode`]) before shipping to the client.
+
+/// One plot axis: a named value range divided into equal bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Attribute name (e.g. `time_start`, `energy_kev`).
+    pub name: String,
+    /// Inclusive lower bound of the plotted range.
+    pub min: f64,
+    /// Exclusive upper bound of the plotted range.
+    pub max: f64,
+    /// Number of bins.
+    pub bins: usize,
+}
+
+impl Axis {
+    /// Create an axis. `max` must exceed `min` and `bins` must be non-zero.
+    pub fn new(name: impl Into<String>, min: f64, max: f64, bins: usize) -> Self {
+        assert!(max > min, "axis range must be non-empty");
+        assert!(bins > 0, "axis must have at least one bin");
+        Axis {
+            name: name.into(),
+            min,
+            max,
+            bins,
+        }
+    }
+
+    /// Bin index for a value, or `None` if outside the range.
+    pub fn bin_of(&self, v: f64) -> Option<usize> {
+        if !v.is_finite() || v < self.min || v >= self.max {
+            return None;
+        }
+        let t = (v - self.min) / (self.max - self.min);
+        Some(((t * self.bins as f64) as usize).min(self.bins - 1))
+    }
+
+    /// Center value of a bin.
+    pub fn bin_center(&self, bin: usize) -> f64 {
+        let w = (self.max - self.min) / self.bins as f64;
+        self.min + (bin as f64 + 0.5) * w
+    }
+}
+
+/// A 2-D histogram: tuples per (x, y) bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityPlot {
+    /// X axis.
+    pub x: Axis,
+    /// Y axis.
+    pub y: Axis,
+    /// Row-major counts (`y.bins` rows × `x.bins` columns).
+    pub counts: Vec<u64>,
+    /// Tuples that fell outside the plotted ranges.
+    pub out_of_range: u64,
+}
+
+impl DensityPlot {
+    /// Build from an iterator of (x, y) points.
+    pub fn build(x: Axis, y: Axis, points: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut counts = vec![0u64; x.bins * y.bins];
+        let mut out_of_range = 0u64;
+        for (px, py) in points {
+            match (x.bin_of(px), y.bin_of(py)) {
+                (Some(bx), Some(by)) => counts[by * x.bins + bx] += 1,
+                _ => out_of_range += 1,
+            }
+        }
+        DensityPlot {
+            x,
+            y,
+            counts,
+            out_of_range,
+        }
+    }
+
+    /// Count in one bin.
+    pub fn count(&self, bx: usize, by: usize) -> u64 {
+        self.counts[by * self.x.bins + bx]
+    }
+
+    /// Total in-range tuples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Maximum bin count (for color scaling).
+    pub fn peak(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The density surface as f64s, ready for wavelet encoding and
+    /// progressive shipping to the client.
+    pub fn as_signal(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+}
+
+/// Location and extent of tuples along one axis: per x-bin, the min/max/count
+/// of a second attribute. This is the "extent plot".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtentPlot {
+    /// Binned axis.
+    pub x: Axis,
+    /// Per-bin extent of the measured attribute: `(min, max, count)`;
+    /// empty bins hold `(inf, -inf, 0)`.
+    pub extents: Vec<(f64, f64, u64)>,
+    /// Tuples outside the x range.
+    pub out_of_range: u64,
+}
+
+impl ExtentPlot {
+    /// Build from (x, value) pairs.
+    pub fn build(x: Axis, points: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut extents = vec![(f64::INFINITY, f64::NEG_INFINITY, 0u64); x.bins];
+        let mut out_of_range = 0u64;
+        for (px, v) in points {
+            match x.bin_of(px) {
+                Some(bx) => {
+                    let e = &mut extents[bx];
+                    e.0 = e.0.min(v);
+                    e.1 = e.1.max(v);
+                    e.2 += 1;
+                }
+                None => out_of_range += 1,
+            }
+        }
+        ExtentPlot {
+            x,
+            extents,
+            out_of_range,
+        }
+    }
+
+    /// Bins that contain at least one tuple.
+    pub fn occupied(&self) -> usize {
+        self.extents.iter().filter(|e| e.2 > 0).count()
+    }
+}
+
+/// Clusters of adjacent occupied bins in an extent plot — the "cluster of
+/// tuples" rendering for dense catalogs. Returns `(start_bin, end_bin
+/// inclusive, total count, value min, value max)` per cluster.
+pub fn clusters(plot: &ExtentPlot) -> Vec<(usize, usize, u64, f64, f64)> {
+    let mut out = Vec::new();
+    let mut current: Option<(usize, usize, u64, f64, f64)> = None;
+    for (i, &(lo, hi, n)) in plot.extents.iter().enumerate() {
+        if n == 0 {
+            if let Some(c) = current.take() {
+                out.push(c);
+            }
+            continue;
+        }
+        current = Some(match current {
+            None => (i, i, n, lo, hi),
+            Some((s, _, cn, clo, chi)) => (s, i, cn + n, clo.min(lo), chi.max(hi)),
+        });
+    }
+    if let Some(c) = current {
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_binning_edges() {
+        let a = Axis::new("t", 0.0, 10.0, 10);
+        assert_eq!(a.bin_of(0.0), Some(0));
+        assert_eq!(a.bin_of(9.9999), Some(9));
+        assert_eq!(a.bin_of(10.0), None);
+        assert_eq!(a.bin_of(-0.001), None);
+        assert_eq!(a.bin_of(f64::NAN), None);
+        assert_eq!(a.bin_center(0), 0.5);
+        assert_eq!(a.bin_center(9), 9.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn degenerate_axis_panics() {
+        Axis::new("t", 5.0, 5.0, 10);
+    }
+
+    #[test]
+    fn density_counts_and_out_of_range() {
+        let points = vec![(1.0, 1.0), (1.2, 1.1), (8.0, 9.0), (99.0, 1.0)];
+        let p = DensityPlot::build(
+            Axis::new("x", 0.0, 10.0, 10),
+            Axis::new("y", 0.0, 10.0, 10),
+            points,
+        );
+        assert_eq!(p.count(1, 1), 2);
+        assert_eq!(p.count(8, 9), 1);
+        assert_eq!(p.total(), 3);
+        assert_eq!(p.out_of_range, 1);
+        assert_eq!(p.peak(), 2);
+        assert_eq!(p.as_signal().len(), 100);
+    }
+
+    #[test]
+    fn extent_tracks_min_max() {
+        let points = vec![(0.5, 3.0), (0.6, 12.0), (5.5, -2.0)];
+        let p = ExtentPlot::build(Axis::new("t", 0.0, 10.0, 10), points);
+        assert_eq!(p.extents[0], (3.0, 12.0, 2));
+        assert_eq!(p.extents[5], (-2.0, -2.0, 1));
+        assert_eq!(p.occupied(), 2);
+    }
+
+    #[test]
+    fn clusters_merge_adjacent_bins() {
+        let points = vec![
+            (0.5, 1.0),
+            (1.5, 2.0),
+            (2.5, 3.0), // bins 0,1,2 -> one cluster
+            (7.5, 9.0), // bin 7 -> second cluster
+        ];
+        let p = ExtentPlot::build(Axis::new("t", 0.0, 10.0, 10), points);
+        let cs = clusters(&p);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0], (0, 2, 3, 1.0, 3.0));
+        assert_eq!(cs[1], (7, 7, 1, 9.0, 9.0));
+    }
+
+    #[test]
+    fn empty_plot() {
+        let p = DensityPlot::build(
+            Axis::new("x", 0.0, 1.0, 4),
+            Axis::new("y", 0.0, 1.0, 4),
+            std::iter::empty(),
+        );
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.peak(), 0);
+        let e = ExtentPlot::build(Axis::new("t", 0.0, 1.0, 4), std::iter::empty());
+        assert_eq!(clusters(&e), vec![]);
+    }
+}

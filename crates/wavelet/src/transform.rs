@@ -1,0 +1,393 @@
+//! Orthonormal Haar wavelet transforms, 1-D and 2-D, for arbitrary lengths.
+//!
+//! HEDC preprocesses raw data "to construct wavelet compressed range
+//! partitioned views" (§3.4) and encodes large materialized views "using a
+//! wavelet transformation" decoded at the client (§6.3). The Haar basis is
+//! the natural choice for count/intensity series: averages and differences,
+//! exactly reconstructible, and each dropped detail level halves resolution.
+//!
+//! Arbitrary lengths are handled without padding: each analysis step pairs
+//! elements; an odd trailing element is carried into the approximation band
+//! unchanged. Synthesis mirrors this, so reconstruction is exact for every
+//! length, not just powers of two.
+
+const SQRT2: f64 = std::f64::consts::SQRT_2;
+
+/// One analysis step: split `input` into (approximation, detail).
+/// `approx.len() == input.len().div_ceil(2)`, `detail.len() == input.len()/2`.
+pub fn analyze_step(input: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let pairs = input.len() / 2;
+    let mut approx = Vec::with_capacity(input.len().div_ceil(2));
+    let mut detail = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        let x = input[2 * i];
+        let y = input[2 * i + 1];
+        approx.push((x + y) / SQRT2);
+        detail.push((x - y) / SQRT2);
+    }
+    if input.len() % 2 == 1 {
+        approx.push(input[input.len() - 1]);
+    }
+    (approx, detail)
+}
+
+/// One synthesis step: reassemble a signal of length `out_len` from its
+/// approximation and detail bands. Inverse of [`analyze_step`].
+pub fn synthesize_step(approx: &[f64], detail: &[f64], out_len: usize) -> Vec<f64> {
+    let pairs = out_len / 2;
+    assert_eq!(detail.len(), pairs, "detail band length mismatch");
+    assert_eq!(approx.len(), out_len.div_ceil(2), "approx band length mismatch");
+    let mut out = Vec::with_capacity(out_len);
+    for i in 0..pairs {
+        let a = approx[i];
+        let d = detail[i];
+        out.push((a + d) / SQRT2);
+        out.push((a - d) / SQRT2);
+    }
+    if out_len % 2 == 1 {
+        out.push(approx[pairs]);
+    }
+    out
+}
+
+/// A fully decomposed 1-D signal: the coarsest approximation plus detail
+/// bands ordered **coarsest-first** (so a prefix of `details` refines
+/// progressively).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Original signal length.
+    pub len: usize,
+    /// Coarsest approximation band (length 1 for len ≥ 1).
+    pub approx: Vec<f64>,
+    /// Detail bands, coarsest first. `details[0]` is the smallest band.
+    pub details: Vec<Vec<f64>>,
+}
+
+impl Decomposition {
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Count of all coefficients (== original length).
+    pub fn coeff_count(&self) -> usize {
+        self.approx.len() + self.details.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Full multi-level analysis of a signal.
+pub fn analyze(signal: &[f64]) -> Decomposition {
+    let len = signal.len();
+    let mut details_fine_first: Vec<Vec<f64>> = Vec::new();
+    let mut current = signal.to_vec();
+    while current.len() > 1 {
+        let (a, d) = analyze_step(&current);
+        details_fine_first.push(d);
+        current = a;
+    }
+    details_fine_first.reverse();
+    Decomposition {
+        len,
+        approx: current,
+        details: details_fine_first,
+    }
+}
+
+/// Full synthesis: exact reconstruction when all detail bands are present.
+///
+/// `use_levels` caps how many detail bands (coarsest-first) participate;
+/// omitted bands are treated as zero, yielding a progressively smoothed
+/// approximation — this is what the StreamCorder renders while coefficients
+/// are still downloading. Pass `usize::MAX` for exact reconstruction.
+pub fn synthesize(dec: &Decomposition, use_levels: usize) -> Vec<f64> {
+    // Recompute the chain of band lengths from the original length.
+    let mut lengths = Vec::new(); // lengths of signals at each level, fine->coarse
+    let mut n = dec.len;
+    while n > 1 {
+        lengths.push(n);
+        n = n.div_ceil(2);
+    }
+    // lengths: [len, len/2..., 2]; details correspond coarsest-first, so
+    // details[k] reconstructs the signal of length lengths[levels-1-k].
+    let mut current = dec.approx.clone();
+    let levels = dec.details.len();
+    for (k, detail) in dec.details.iter().enumerate() {
+        let out_len = lengths[levels - 1 - k];
+        if k < use_levels {
+            current = synthesize_step(&current, detail, out_len);
+        } else {
+            let zeros = vec![0.0; out_len / 2];
+            current = synthesize_step(&current, &zeros, out_len);
+        }
+    }
+    current
+}
+
+// ---------------------------------------------------------------------------
+// 2-D (separable) transform for images
+// ---------------------------------------------------------------------------
+
+/// A single-level 2-D decomposition into LL/LH/HL/HH quadrant bands, stored
+/// repeatedly per level (used for progressive image preview).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition2d {
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Number of levels applied.
+    pub levels: usize,
+    /// Coefficient plane, same size as the image, bands packed in place
+    /// (standard mallat layout: LL in the top-left corner after each level).
+    pub plane: Vec<f64>,
+}
+
+fn transform_rows(plane: &mut [f64], width: usize, rows: usize, cols: usize, inverse: bool) {
+    let mut buf = Vec::with_capacity(cols);
+    for r in 0..rows {
+        let row = &plane[r * width..r * width + cols];
+        if inverse {
+            let half = cols.div_ceil(2);
+            let rebuilt = synthesize_step(&row[..half], &row[half..half + cols / 2], cols);
+            buf.clear();
+            buf.extend_from_slice(&rebuilt);
+        } else {
+            let (a, d) = analyze_step(row);
+            buf.clear();
+            buf.extend_from_slice(&a);
+            buf.extend_from_slice(&d);
+        }
+        plane[r * width..r * width + cols].copy_from_slice(&buf);
+    }
+}
+
+fn transform_cols(plane: &mut [f64], width: usize, rows: usize, cols: usize, inverse: bool) {
+    let mut col = Vec::with_capacity(rows);
+    for c in 0..cols {
+        col.clear();
+        for r in 0..rows {
+            col.push(plane[r * width + c]);
+        }
+        let rebuilt = if inverse {
+            let half = rows.div_ceil(2);
+            synthesize_step(&col[..half], &col[half..half + rows / 2], rows)
+        } else {
+            let (a, d) = analyze_step(&col);
+            let mut v = a;
+            v.extend_from_slice(&d);
+            v
+        };
+        for (r, v) in rebuilt.iter().enumerate() {
+            plane[r * width + c] = *v;
+        }
+    }
+}
+
+/// Multi-level 2-D analysis (Mallat layout).
+pub fn analyze_2d(pixels: &[f64], width: usize, height: usize, levels: usize) -> Decomposition2d {
+    assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+    let mut plane = pixels.to_vec();
+    let (mut cols, mut rows) = (width, height);
+    let mut applied = 0usize;
+    for _ in 0..levels {
+        if cols < 2 && rows < 2 {
+            break;
+        }
+        if cols >= 2 {
+            transform_rows(&mut plane, width, rows, cols, false);
+        }
+        if rows >= 2 {
+            transform_cols(&mut plane, width, rows, cols, false);
+        }
+        cols = cols.div_ceil(2);
+        rows = rows.div_ceil(2);
+        applied += 1;
+    }
+    Decomposition2d {
+        width,
+        height,
+        levels: applied,
+        plane,
+    }
+}
+
+/// Full 2-D synthesis, optionally zeroing the finest `drop_levels` detail
+/// bands first (progressive preview: `drop_levels = levels` gives the
+/// coarsest thumbnail, `0` the exact image).
+pub fn synthesize_2d(dec: &Decomposition2d, drop_levels: usize) -> Vec<f64> {
+    let mut plane = dec.plane.clone();
+    // Band sizes per level, computed top-down.
+    let mut sizes = Vec::with_capacity(dec.levels);
+    let (mut cols, mut rows) = (dec.width, dec.height);
+    for _ in 0..dec.levels {
+        sizes.push((cols, rows));
+        cols = cols.div_ceil(2);
+        rows = rows.div_ceil(2);
+    }
+    // Zero out detail regions of the finest `drop_levels` levels.
+    for (lvl, &(c, r)) in sizes.iter().enumerate().take(drop_levels.min(dec.levels)) {
+        let (ac, ar) = (c.div_ceil(2), r.div_ceil(2));
+        // Everything inside the c×r region except the ac×ar LL corner is
+        // detail for this level.
+        for row in 0..r {
+            for col in 0..c {
+                if row >= ar || col >= ac {
+                    plane[row * dec.width + col] = 0.0;
+                }
+            }
+        }
+        let _ = lvl;
+    }
+    // Inverse, coarsest level first.
+    for &(c, r) in sizes.iter().rev() {
+        if r >= 2 {
+            transform_cols(&mut plane, dec.width, r, c, true);
+        }
+        if c >= 2 {
+            transform_rows(&mut plane, dec.width, r, c, true);
+        }
+    }
+    plane
+}
+
+/// Root-mean-square error between two equal-length signals (used by tests
+/// and the approximation-quality reports).
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn single_step_roundtrip_even_odd() {
+        for n in [2usize, 3, 4, 7, 8, 17] {
+            let signal: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 10.0).collect();
+            let (a, d) = analyze_step(&signal);
+            let back = synthesize_step(&a, &d, n);
+            assert!(close(&signal, &back, 1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    fn full_roundtrip_various_lengths() {
+        for n in [1usize, 2, 3, 5, 16, 100, 255, 256, 1000] {
+            let signal: Vec<f64> = (0..n).map(|i| ((i * 37) % 91) as f64 - 45.0).collect();
+            let dec = analyze(&signal);
+            assert_eq!(dec.coeff_count(), n);
+            let back = synthesize(&dec, usize::MAX);
+            assert!(close(&signal, &back, 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn energy_preserved() {
+        // Orthonormal transform preserves the L2 norm.
+        let signal: Vec<f64> = (0..128).map(|i| ((i * 13) % 31) as f64).collect();
+        let dec = analyze(&signal);
+        let e_sig: f64 = signal.iter().map(|x| x * x).sum();
+        let e_coef: f64 = dec.approx.iter().map(|x| x * x).sum::<f64>()
+            + dec
+                .details
+                .iter()
+                .flat_map(|d| d.iter())
+                .map(|x| x * x)
+                .sum::<f64>();
+        assert!((e_sig - e_coef).abs() < 1e-6 * e_sig.max(1.0));
+    }
+
+    #[test]
+    fn progressive_levels_monotonically_improve() {
+        let signal: Vec<f64> = (0..256)
+            .map(|i| (i as f64 / 13.0).sin() * 50.0 + (i as f64 / 3.0).cos() * 5.0)
+            .collect();
+        let dec = analyze(&signal);
+        let mut prev_err = f64::INFINITY;
+        for lvl in 0..=dec.levels() {
+            let approx = synthesize(&dec, lvl);
+            let err = rmse(&signal, &approx);
+            assert!(
+                err <= prev_err + 1e-9,
+                "error should not increase: lvl {lvl}, {err} > {prev_err}"
+            );
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-9, "full reconstruction exact");
+    }
+
+    #[test]
+    fn zero_levels_is_mean_like() {
+        // With no detail at all, a constant signal reconstructs exactly.
+        let signal = vec![7.5; 64];
+        let dec = analyze(&signal);
+        let approx = synthesize(&dec, 0);
+        assert!(close(&signal, &approx, 1e-9));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let dec = analyze(&[]);
+        assert_eq!(synthesize(&dec, usize::MAX), Vec::<f64>::new());
+        let dec = analyze(&[42.0]);
+        assert_eq!(dec.levels(), 0);
+        assert_eq!(synthesize(&dec, usize::MAX), vec![42.0]);
+    }
+
+    #[test]
+    fn roundtrip_2d_various_shapes() {
+        for (w, h) in [(4usize, 4usize), (8, 8), (7, 5), (16, 3), (1, 9), (31, 17)] {
+            let pixels: Vec<f64> = (0..w * h).map(|i| ((i * 7) % 23) as f64).collect();
+            let dec = analyze_2d(&pixels, w, h, 4);
+            let back = synthesize_2d(&dec, 0);
+            assert!(close(&pixels, &back, 1e-8), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn progressive_2d_preview_improves() {
+        let (w, h) = (32usize, 32usize);
+        let pixels: Vec<f64> = (0..w * h)
+            .map(|i| {
+                let (x, y) = ((i % w) as f64, (i / w) as f64);
+                (-((x - 16.0).powi(2) + (y - 16.0).powi(2)) / 40.0).exp() * 100.0
+            })
+            .collect();
+        let dec = analyze_2d(&pixels, w, h, 3);
+        let coarse = synthesize_2d(&dec, 3);
+        let mid = synthesize_2d(&dec, 1);
+        let full = synthesize_2d(&dec, 0);
+        let e_coarse = rmse(&pixels, &coarse);
+        let e_mid = rmse(&pixels, &mid);
+        let e_full = rmse(&pixels, &full);
+        assert!(e_full < 1e-8);
+        assert!(e_mid < e_coarse);
+        // The coarse preview still captures the total flux approximately.
+        let sum_orig: f64 = pixels.iter().sum();
+        let sum_coarse: f64 = coarse.iter().sum();
+        assert!((sum_orig - sum_coarse).abs() < 1e-6 * sum_orig.abs().max(1.0));
+    }
+
+    #[test]
+    fn analyze_2d_respects_level_cap() {
+        let pixels = vec![1.0; 4];
+        let dec = analyze_2d(&pixels, 2, 2, 99);
+        assert_eq!(dec.levels, 1);
+    }
+}

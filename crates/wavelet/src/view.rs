@@ -1,0 +1,276 @@
+//! Wavelet-compressed, range-partitioned views.
+//!
+//! The paper's key latency trick (§3.4): at load time the raw data is
+//! "partitioned" and "wavelet encoded ... to allow the data processing
+//! routines to work on a fraction of the original data". A
+//! [`PartitionedView`] slices a long series (counts per time bin, spectrogram
+//! rows, ...) into fixed-length partitions, each an independently decodable
+//! progressive stream. A range query touches only the overlapping
+//! partitions, and an approximation level caps how many bytes of each it
+//! needs — both dimensions of "fraction of the original data".
+
+use crate::encode::{self, CodecError};
+
+/// A range-partitioned progressive view over a 1-D series.
+#[derive(Debug, Clone)]
+pub struct PartitionedView {
+    partition_len: usize,
+    total_len: usize,
+    quant_step: f64,
+    partitions: Vec<Vec<u8>>,
+}
+
+impl PartitionedView {
+    /// Build a view. `partition_len` is the slice size (the paper's range
+    /// partitions); the last partition may be shorter.
+    pub fn build(signal: &[f64], partition_len: usize, quant_step: f64) -> Self {
+        assert!(partition_len > 0, "partition length must be positive");
+        let partitions = signal
+            .chunks(partition_len)
+            .map(|chunk| encode::encode(chunk, quant_step))
+            .collect();
+        PartitionedView {
+            partition_len,
+            total_len: signal.len(),
+            quant_step,
+            partitions,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Length of the original series.
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// Quantization step used at build time.
+    pub fn quant_step(&self) -> f64 {
+        self.quant_step
+    }
+
+    /// Total encoded bytes across all partitions.
+    pub fn total_bytes(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Raw encoded stream of one partition (what a client would download).
+    pub fn partition_stream(&self, idx: usize) -> Option<&[u8]> {
+        self.partitions.get(idx).map(Vec::as_slice)
+    }
+
+    /// Indexes of the partitions overlapping `[start, end)`.
+    pub fn partitions_for_range(&self, start: usize, end: usize) -> std::ops::Range<usize> {
+        if start >= end || start >= self.total_len {
+            return 0..0;
+        }
+        let end = end.min(self.total_len);
+        (start / self.partition_len)..end.div_ceil(self.partition_len)
+    }
+
+    /// Reconstruct `[start, end)` using at most `max_levels` detail levels
+    /// per partition (`usize::MAX` = exact up to quantization).
+    pub fn reconstruct_range(
+        &self,
+        start: usize,
+        end: usize,
+        max_levels: usize,
+    ) -> Result<Vec<f64>, CodecError> {
+        let end = end.min(self.total_len);
+        if start >= end {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(end - start);
+        for pidx in self.partitions_for_range(start, end) {
+            let base = pidx * self.partition_len;
+            let decoded = encode::decode_prefix(&self.partitions[pidx], max_levels)?;
+            let lo = start.saturating_sub(base);
+            let hi = (end - base).min(decoded.len());
+            out.extend_from_slice(&decoded[lo..hi]);
+        }
+        Ok(out)
+    }
+
+    /// Serialize the whole view (magic + geometry + length-prefixed
+    /// partition streams) for storage as an archive file.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let total: usize = self.partitions.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total + 32 + self.partitions.len() * 4);
+        out.extend_from_slice(b"HPV1");
+        out.extend_from_slice(&(self.total_len as u64).to_le_bytes());
+        out.extend_from_slice(&(self.partition_len as u64).to_le_bytes());
+        out.extend_from_slice(&self.quant_step.to_le_bytes());
+        out.extend_from_slice(&(self.partitions.len() as u32).to_le_bytes());
+        for p in &self.partitions {
+            out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Deserialize a [`PartitionedView::to_bytes`] buffer.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CodecError> {
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], CodecError> {
+            if *pos + n > data.len() {
+                return Err(CodecError::Truncated("view header"));
+            }
+            let s = &data[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let mut pos = 0usize;
+        if take(&mut pos, 4)? != b"HPV1" {
+            return Err(CodecError::BadHeader);
+        }
+        let total_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let partition_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        if partition_len == 0 {
+            return Err(CodecError::BadHeader);
+        }
+        let quant_step = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mut partitions = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            partitions.push(take(&mut pos, len)?.to_vec());
+        }
+        if pos != data.len() {
+            return Err(CodecError::Truncated("trailing bytes after view"));
+        }
+        Ok(PartitionedView {
+            partition_len,
+            total_len,
+            quant_step,
+            partitions,
+        })
+    }
+
+    /// Bytes a client must download to reconstruct `[start, end)` at
+    /// `max_levels` detail levels — the transfer-cost model used by the
+    /// approximation ablation (A3) and the StreamCorder cache.
+    pub fn bytes_for_range(
+        &self,
+        start: usize,
+        end: usize,
+        max_levels: usize,
+    ) -> Result<usize, CodecError> {
+        let mut total = 0usize;
+        for pidx in self.partitions_for_range(start, end) {
+            let offsets = encode::prefixes(&self.partitions[pidx])?;
+            let k = max_levels.min(offsets.len() - 1);
+            total += offsets[k];
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::rmse;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (t / 100.0).sin() * 50.0 + if i % 977 == 0 { 400.0 } else { 0.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_exact_range() {
+        let s = signal(10_000);
+        let v = PartitionedView::build(&s, 1024, 0.25);
+        assert_eq!(v.partition_count(), 10);
+        assert_eq!(v.total_len(), 10_000);
+        let r = v.reconstruct_range(2000, 3000, usize::MAX).unwrap();
+        assert_eq!(r.len(), 1000);
+        assert!(rmse(&s[2000..3000], &r) <= 0.25);
+    }
+
+    #[test]
+    fn range_spanning_partitions() {
+        let s = signal(5000);
+        let v = PartitionedView::build(&s, 512, 0.1);
+        let r = v.reconstruct_range(500, 1600, usize::MAX).unwrap();
+        assert_eq!(r.len(), 1100);
+        assert!(rmse(&s[500..1600], &r) <= 0.1);
+        assert_eq!(v.partitions_for_range(500, 1600), 0..4);
+    }
+
+    #[test]
+    fn range_clamped_to_length() {
+        let s = signal(1000);
+        let v = PartitionedView::build(&s, 300, 0.1);
+        let r = v.reconstruct_range(900, 99999, usize::MAX).unwrap();
+        assert_eq!(r.len(), 100);
+        assert!(v.reconstruct_range(2000, 3000, 1).unwrap().is_empty());
+        assert!(v.reconstruct_range(500, 500, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn approximation_costs_fewer_bytes() {
+        let s = signal(32_768);
+        let v = PartitionedView::build(&s, 4096, 0.25);
+        let full = v.bytes_for_range(0, 32_768, usize::MAX).unwrap();
+        // 6 of 12 levels: resolution of 64-sample blocks, an order of
+        // magnitude below the signal's ~628-sample period.
+        let coarse = v.bytes_for_range(0, 32_768, 6).unwrap();
+        assert!(
+            coarse * 5 < full,
+            "coarse {coarse} bytes should be ≪ full {full}"
+        );
+        // And the coarse reconstruction still tracks the large-scale shape.
+        let approx = v.reconstruct_range(0, 32_768, 6).unwrap();
+        let coarse_err = rmse(&s, &approx);
+        let zero_err = rmse(&s, &vec![0.0; s.len()]);
+        assert!(coarse_err < zero_err * 0.8);
+    }
+
+    #[test]
+    fn range_touches_only_needed_partitions() {
+        let s = signal(100_000);
+        let v = PartitionedView::build(&s, 10_000, 0.25);
+        let one = v.bytes_for_range(15_000, 16_000, usize::MAX).unwrap();
+        let all = v.total_bytes();
+        assert!(one * 5 < all, "single-partition read {one} vs total {all}");
+    }
+
+    #[test]
+    fn uneven_tail_partition() {
+        let s = signal(1050);
+        let v = PartitionedView::build(&s, 500, 0.1);
+        assert_eq!(v.partition_count(), 3);
+        let r = v.reconstruct_range(1000, 1050, usize::MAX).unwrap();
+        assert_eq!(r.len(), 50);
+        assert!(rmse(&s[1000..1050], &r) <= 0.1);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let s = signal(3000);
+        let v = PartitionedView::build(&s, 700, 0.25);
+        let bytes = v.to_bytes();
+        let back = PartitionedView::from_bytes(&bytes).unwrap();
+        assert_eq!(back.total_len(), v.total_len());
+        assert_eq!(back.partition_count(), v.partition_count());
+        assert_eq!(back.quant_step(), v.quant_step());
+        let a = v.reconstruct_range(100, 2500, usize::MAX).unwrap();
+        let b = back.reconstruct_range(100, 2500, usize::MAX).unwrap();
+        assert_eq!(a, b);
+        // Corruption detected.
+        assert!(PartitionedView::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(PartitionedView::from_bytes(b"nope").is_err());
+    }
+
+    #[test]
+    fn empty_signal() {
+        let v = PartitionedView::build(&[], 128, 1.0);
+        assert_eq!(v.partition_count(), 0);
+        assert!(v.reconstruct_range(0, 10, 1).unwrap().is_empty());
+    }
+}

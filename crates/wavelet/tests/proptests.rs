@@ -1,0 +1,100 @@
+//! Property-based tests: the invariants the rest of HEDC relies on.
+
+use hedc_wavelet::{
+    analyze, analyze_2d, decode_prefix, encode_signal, prefixes, rmse, synthesize,
+    synthesize_2d, PartitionedView,
+};
+use proptest::prelude::*;
+
+fn arb_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1000.0f64..1000.0, 0..max_len)
+}
+
+proptest! {
+    /// Analysis followed by full synthesis is the identity (within fp eps).
+    #[test]
+    fn haar_roundtrip_exact(signal in arb_signal(300)) {
+        let dec = analyze(&signal);
+        let back = synthesize(&dec, usize::MAX);
+        prop_assert_eq!(back.len(), signal.len());
+        for (a, b) in signal.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// Coefficient count equals input length (critically sampled).
+    #[test]
+    fn critically_sampled(signal in arb_signal(300)) {
+        let dec = analyze(&signal);
+        prop_assert_eq!(dec.coeff_count(), signal.len());
+    }
+
+    /// Progressive reconstruction error is monotone non-increasing in the
+    /// number of detail levels used.
+    #[test]
+    fn progressive_error_monotone(signal in arb_signal(200)) {
+        let dec = analyze(&signal);
+        let mut prev = f64::INFINITY;
+        for lvl in 0..=dec.levels() {
+            let err = rmse(&signal, &synthesize(&dec, lvl));
+            prop_assert!(err <= prev + 1e-6);
+            prev = err;
+        }
+    }
+
+    /// Encode/decode respects the quantization-step error bound.
+    #[test]
+    fn encode_error_bounded(signal in arb_signal(256), step in 0.01f64..10.0) {
+        let stream = encode_signal(&signal, step);
+        let back = decode_prefix(&stream, usize::MAX).unwrap();
+        prop_assert_eq!(back.len(), signal.len());
+        // Orthonormal transform: per-coefficient error ≤ step/2 bounds the
+        // overall RMSE by step/2 (factor 2 margin for fp noise).
+        prop_assert!(rmse(&signal, &back) <= step);
+    }
+
+    /// Every prefix boundary decodes without error.
+    #[test]
+    fn all_prefixes_decode(signal in arb_signal(200)) {
+        let stream = encode_signal(&signal, 0.5);
+        let offsets = prefixes(&stream).unwrap();
+        for (k, &end) in offsets.iter().enumerate() {
+            let out = decode_prefix(&stream[..end], k).unwrap();
+            prop_assert_eq!(out.len(), signal.len());
+        }
+    }
+
+    /// 2-D roundtrip over arbitrary (small) shapes.
+    #[test]
+    fn haar_2d_roundtrip(w in 1usize..12, h in 1usize..12, seed in any::<u64>()) {
+        let mut x = seed | 1;
+        let pixels: Vec<f64> = (0..w * h).map(|_| {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            (x % 1000) as f64 - 500.0
+        }).collect();
+        let dec = analyze_2d(&pixels, w, h, 5);
+        let back = synthesize_2d(&dec, 0);
+        for (a, b) in pixels.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// A partitioned view reconstructs any range to within quantization.
+    #[test]
+    fn partitioned_range_correct(
+        signal in arb_signal(400),
+        plen in 1usize..80,
+        a in 0usize..400,
+        b in 0usize..400,
+    ) {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let view = PartitionedView::build(&signal, plen, 0.25);
+        let got = view.reconstruct_range(a, b, usize::MAX).unwrap();
+        let end = b.min(signal.len());
+        let start = a.min(end);
+        prop_assert_eq!(got.len(), end - start);
+        if end > start {
+            prop_assert!(rmse(&signal[start..end], &got) <= 0.5);
+        }
+    }
+}

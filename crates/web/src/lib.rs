@@ -1,0 +1,31 @@
+//! # hedc-web — the presentation tier
+//!
+//! Both faces of HEDC (paper §6): the thin Web client whose pages the DM
+//! generates from templates, and the StreamCorder fat client that is "in
+//! fact, a clone of the HEDC server extended with a GUI and extra
+//! services". Plus the two §6 subsystems that make the repository an
+//! exploration tool rather than an FTP site: interactive density/extent
+//! visualization over wavelet-shipped catalog arrays (§6.3) and the
+//! best-effort synoptic fan-out search over remote archives (§6.4).
+//!
+//! * [`WebServer`] — routes `/hedc/...` requests into DM queries and PL
+//!   submissions; the §7 browse workload (7 queries/page) lives here.
+//! * [`templates`] — the header/footer/entity HTML templates (§6.1).
+//! * [`StreamCorder`] — fat client with the two cache strategies of §6.2
+//!   and progressive wavelet-view fetching (§6.3).
+//! * [`SynopticSearch`] — parallel best-effort remote search (§6.4).
+//! * [`viz`] — density/extent plots and wavelet shipping (§6.3).
+
+#![warn(missing_docs)]
+
+pub mod templates;
+mod thin;
+mod streamcorder;
+mod synoptic;
+pub mod viz;
+
+pub use streamcorder::{CacheStrategy, PeerServer, StreamCorder, TransferMeter};
+pub use synoptic::{
+    MockArchive, RemoteArchive, SynopticRecord, SynopticResults, SynopticSearch,
+};
+pub use thin::{HttpRequest, HttpResponse, WebServer};

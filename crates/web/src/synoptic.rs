@@ -1,0 +1,253 @@
+//! Synoptic search (§6.4).
+//!
+//! "The synoptic search subsystem serves to locate synoptic data in remote
+//! repositories. ... First, online requests are issued to several remote
+//! archives in parallel. Then the results are collected, grouped and
+//! displayed to the user. Currently, the only search criterion is the
+//! observation time. ... The service is best effort (if a query to a remote
+//! archive times out, no results are available); query results are not
+//! cached, and there is no data synchronization."
+
+use crossbeam::channel::bounded;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A record found in a remote archive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynopticRecord {
+    /// Which archive it came from.
+    pub archive: String,
+    /// Instrument / data type label.
+    pub instrument: String,
+    /// Observation start, mission ms.
+    pub t_start: u64,
+    /// Observation end, mission ms.
+    pub t_end: u64,
+    /// Download URL.
+    pub url: String,
+}
+
+/// A remote synoptic archive (SOHO, Phoenix-2, GOES, ...).
+pub trait RemoteArchive: Send + Sync {
+    /// Archive name.
+    fn name(&self) -> String;
+    /// Search by observation time. This call may be slow or hang — the
+    /// search subsystem imposes its own timeout.
+    fn search(&self, t_start: u64, t_end: u64) -> Vec<SynopticRecord>;
+}
+
+/// A mock remote archive with configurable response latency and outage
+/// state — the test double for six real archives of 2002.
+pub struct MockArchive {
+    name: String,
+    instrument: String,
+    /// Records spaced every `period_ms` covering the mission timeline.
+    period_ms: u64,
+    latency: Duration,
+    down: AtomicBool,
+    calls: AtomicU64,
+}
+
+impl MockArchive {
+    /// A mock archive producing one record per `period_ms`.
+    pub fn new(name: &str, instrument: &str, period_ms: u64, latency: Duration) -> Arc<Self> {
+        Arc::new(MockArchive {
+            name: name.to_string(),
+            instrument: instrument.to_string(),
+            period_ms,
+            latency,
+            down: AtomicBool::new(false),
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// Simulate an outage (search blocks until timeout).
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// Queries served.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl RemoteArchive for MockArchive {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn search(&self, t_start: u64, t_end: u64) -> Vec<SynopticRecord> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.down.load(Ordering::SeqCst) {
+            // An unreachable host: block far beyond any sane timeout.
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+        std::thread::sleep(self.latency);
+        let mut out = Vec::new();
+        let mut t = t_start - (t_start % self.period_ms);
+        while t < t_end {
+            if t >= t_start {
+                out.push(SynopticRecord {
+                    archive: self.name.clone(),
+                    instrument: self.instrument.clone(),
+                    t_start: t,
+                    t_end: t + self.period_ms,
+                    url: format!("http://{}/data/{t}", self.name),
+                });
+            }
+            t += self.period_ms;
+        }
+        out
+    }
+}
+
+/// Result of a fan-out search.
+#[derive(Debug)]
+pub struct SynopticResults {
+    /// Records grouped by archive name, sorted by name then time.
+    pub by_archive: Vec<(String, Vec<SynopticRecord>)>,
+    /// Archives that did not answer within the timeout (best effort:
+    /// "no results are available").
+    pub timed_out: Vec<String>,
+}
+
+impl SynopticResults {
+    /// Total records found.
+    pub fn total(&self) -> usize {
+        self.by_archive.iter().map(|(_, r)| r.len()).sum()
+    }
+}
+
+/// The search subsystem: a set of registered archives and a timeout.
+pub struct SynopticSearch {
+    archives: Vec<Arc<dyn RemoteArchive>>,
+    timeout: Duration,
+}
+
+impl SynopticSearch {
+    /// Build with a timeout per archive.
+    pub fn new(archives: Vec<Arc<dyn RemoteArchive>>, timeout: Duration) -> Self {
+        SynopticSearch { archives, timeout }
+    }
+
+    /// Number of registered archives.
+    pub fn archive_count(&self) -> usize {
+        self.archives.len()
+    }
+
+    /// Fan out the time query to every archive in parallel; collect what
+    /// answers within the timeout. "This service operates independently
+    /// from other subsystems" — no DM, no caching, no state.
+    pub fn search(&self, t_start: u64, t_end: u64) -> SynopticResults {
+        let (tx, rx) = bounded(self.archives.len());
+        for archive in &self.archives {
+            let archive = Arc::clone(archive);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let name = archive.name();
+                let records = archive.search(t_start, t_end);
+                // The receiver may have given up; that's fine.
+                let _ = tx.send((name, records));
+            });
+        }
+        drop(tx);
+
+        let deadline = std::time::Instant::now() + self.timeout;
+        let mut by_archive: Vec<(String, Vec<SynopticRecord>)> = Vec::new();
+        let mut answered: Vec<String> = Vec::new();
+        while answered.len() < self.archives.len() {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(remaining) {
+                Ok((name, records)) => {
+                    answered.push(name.clone());
+                    by_archive.push((name, records));
+                }
+                Err(_) => break,
+            }
+        }
+        let timed_out: Vec<String> = self
+            .archives
+            .iter()
+            .map(|a| a.name())
+            .filter(|n| !answered.contains(n))
+            .collect();
+        by_archive.sort_by(|a, b| a.0.cmp(&b.0));
+        SynopticResults {
+            by_archive,
+            timed_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn archives() -> Vec<Arc<MockArchive>> {
+        vec![
+            MockArchive::new("soho.nascom.nasa.gov", "EIT", 60_000, Duration::from_millis(5)),
+            MockArchive::new("phoenix.ethz.ch", "Phoenix-2", 30_000, Duration::from_millis(10)),
+            MockArchive::new("goes.noaa.gov", "GOES-8", 120_000, Duration::from_millis(2)),
+        ]
+    }
+
+    fn as_dyn(v: &[Arc<MockArchive>]) -> Vec<Arc<dyn RemoteArchive>> {
+        v.iter()
+            .map(|a| Arc::clone(a) as Arc<dyn RemoteArchive>)
+            .collect()
+    }
+
+    #[test]
+    fn fan_out_collects_all_archives() {
+        let mocks = archives();
+        let search = SynopticSearch::new(as_dyn(&mocks), Duration::from_secs(5));
+        let r = search.search(0, 300_000);
+        assert_eq!(r.by_archive.len(), 3);
+        assert!(r.timed_out.is_empty());
+        // Counts follow each archive's cadence.
+        let counts: Vec<usize> = r.by_archive.iter().map(|(_, v)| v.len()).collect();
+        // Sorted by name: goes (120s → 3), phoenix (30s → 10), soho (60s → 5).
+        assert_eq!(counts, vec![3, 10, 5]);
+        assert_eq!(r.total(), 18);
+        for m in &mocks {
+            assert_eq!(m.calls(), 1);
+        }
+    }
+
+    #[test]
+    fn down_archive_times_out_best_effort() {
+        let mocks = archives();
+        mocks[1].set_down(true);
+        let search = SynopticSearch::new(as_dyn(&mocks), Duration::from_millis(300));
+        let r = search.search(0, 120_000);
+        assert_eq!(r.by_archive.len(), 2, "two archives still answer");
+        assert_eq!(r.timed_out, vec!["phoenix.ethz.ch".to_string()]);
+        assert!(r.total() > 0);
+    }
+
+    #[test]
+    fn empty_window_returns_empty_records() {
+        let mocks = archives();
+        let search = SynopticSearch::new(as_dyn(&mocks), Duration::from_secs(1));
+        let r = search.search(1000, 1000);
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.by_archive.len(), 3);
+    }
+
+    #[test]
+    fn results_grouped_and_time_filtered() {
+        let mocks = archives();
+        let search = SynopticSearch::new(as_dyn(&mocks), Duration::from_secs(5));
+        let r = search.search(60_000, 180_000);
+        for (_, records) in &r.by_archive {
+            for rec in records {
+                assert!(rec.t_start >= 60_000 && rec.t_start < 180_000);
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! A small HTML template engine.
+//!
+//! §6.1: "a response may involve a combination of multiple HTML template
+//! files, which are populated during query processing. Each template
+//! contains dynamic and static images, Java Script, CSS style sheets and
+//! plain text." Placeholders are `{{name}}`; row repetition uses
+//! `{{#each name}} ... {{/each}}` over a list of contexts. Unknown
+//! placeholders render empty (a missing attribute must not break a page).
+
+use std::collections::BTreeMap;
+
+/// A template rendering context: scalar values plus named row lists.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    values: BTreeMap<String, String>,
+    lists: BTreeMap<String, Vec<Context>>,
+}
+
+impl Context {
+    /// Empty context.
+    pub fn new() -> Self {
+        Context::default()
+    }
+
+    /// Set a scalar (HTML-escaped at render time).
+    pub fn set(mut self, key: &str, value: impl ToString) -> Self {
+        self.values.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Set a pre-escaped/raw scalar (for nested rendered fragments).
+    pub fn set_raw(mut self, key: &str, value: impl ToString) -> Self {
+        self.values
+            .insert(format!("raw:{key}"), value.to_string());
+        self
+    }
+
+    /// Set a row list for `{{#each key}}`.
+    pub fn set_list(mut self, key: &str, rows: Vec<Context>) -> Self {
+        self.lists.insert(key.to_string(), rows);
+        self
+    }
+}
+
+/// Escape HTML-special characters.
+pub fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Render a template against a context.
+pub fn render(template: &str, ctx: &Context) -> String {
+    let mut out = String::with_capacity(template.len() * 2);
+    render_into(template, ctx, &mut out);
+    out
+}
+
+fn render_into(template: &str, ctx: &Context, out: &mut String) {
+    let mut rest = template;
+    while let Some(start) = rest.find("{{") {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 2..];
+        let Some(end) = after.find("}}") else {
+            // Unterminated tag: emit literally.
+            out.push_str(&rest[start..]);
+            return;
+        };
+        let tag = after[..end].trim();
+        let after_tag = &after[end + 2..];
+        if let Some(list_name) = tag.strip_prefix("#each ") {
+            let close = "{{/each}}";
+            // Find the matching close, honoring nesting.
+            let body_end = find_matching_close(after_tag);
+            match body_end {
+                Some(pos) => {
+                    let body = &after_tag[..pos];
+                    if let Some(rows) = ctx.lists.get(list_name.trim()) {
+                        for row in rows {
+                            // Rows inherit the parent's scalars.
+                            let merged = merge(ctx, row);
+                            render_into(body, &merged, out);
+                        }
+                    }
+                    rest = &after_tag[pos + close.len()..];
+                }
+                None => {
+                    out.push_str(&rest[start..]);
+                    return;
+                }
+            }
+        } else if tag == "/each" {
+            // Stray close: emit nothing, continue.
+            rest = after_tag;
+        } else {
+            // Scalar: raw variant wins, then escaped scalar, else empty.
+            if let Some(v) = ctx.values.get(&format!("raw:{tag}")) {
+                out.push_str(v);
+            } else if let Some(v) = ctx.values.get(tag) {
+                out.push_str(&escape_html(v));
+            }
+            rest = after_tag;
+        }
+    }
+    out.push_str(rest);
+}
+
+fn find_matching_close(s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    let bytes = s.as_bytes();
+    while i + 1 < bytes.len() {
+        if s[i..].starts_with("{{#each ") {
+            depth += 1;
+            i += 8;
+        } else if s[i..].starts_with("{{/each}}") {
+            if depth == 0 {
+                return Some(i);
+            }
+            depth -= 1;
+            i += 9;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+fn merge(parent: &Context, child: &Context) -> Context {
+    let mut merged = parent.clone();
+    for (k, v) in &child.values {
+        merged.values.insert(k.clone(), v.clone());
+    }
+    for (k, v) in &child.lists {
+        merged.lists.insert(k.clone(), v.clone());
+    }
+    merged
+}
+
+// ---------------------------------------------------------------------------
+// The HEDC page templates (§6.1: header/footer + per-entity templates).
+// ---------------------------------------------------------------------------
+
+/// Page header template.
+pub const HEADER: &str = r#"<!DOCTYPE html>
+<html><head><title>HEDC - {{title}}</title>
+<link rel="stylesheet" href="/static/hedc.css"></head>
+<body><div class="banner"><img src="/static/logo.gif" alt="HEDC">
+<h1>{{title}}</h1><span class="user">{{user}}</span></div>
+<nav><a href="/hedc/catalogs">Catalogs</a> | <a href="/hedc/search">Search</a></nav>
+"#;
+
+/// Page footer template.
+pub const FOOTER: &str = r#"<div class="footer">RHESSI Experimental Data Center</div>
+</body></html>
+"#;
+
+/// Catalog list template.
+pub const CATALOG_LIST: &str = r#"<table class="catalogs">
+<tr><th>Catalog</th><th>Kind</th><th>Description</th></tr>
+{{#each catalogs}}<tr><td><a href="/hedc/catalog/{{id}}">{{name}}</a></td>
+<td>{{kind}}</td><td>{{description}}</td></tr>
+{{/each}}</table>
+"#;
+
+/// Catalog page: its member events.
+pub const CATALOG_PAGE: &str = r#"<h2>Catalog: {{name}}</h2>
+<table class="events"><tr><th>Event</th><th>Type</th><th>Class</th><th>Start</th><th>Duration [s]</th></tr>
+{{#each events}}<tr><td><a href="/hedc/hle/{{id}}">{{title}}</a></td>
+<td>{{event_type}}</td><td>{{flare_class}}</td><td>{{time_start}}</td><td>{{duration_s}}</td></tr>
+{{/each}}</table>
+"#;
+
+/// HLE page: event header plus one block per analysis (§6.1: "loading and
+/// filling in HLE header/footer templates and an analysis template for each
+/// ANA tuple").
+pub const HLE_PAGE: &str = r#"<h2>{{title}}</h2>
+<table class="hle"><tr><td>Type</td><td>{{event_type}}</td></tr>
+<tr><td>Window</td><td>{{time_start}} - {{time_end}}</td></tr>
+<tr><td>Energy</td><td>{{energy_lo}} - {{energy_hi}} keV</td></tr>
+<tr><td>Peak rate</td><td>{{peak_rate}}</td></tr></table>
+<h3>Analyses</h3>
+{{#each analyses}}<div class="ana"><a href="/hedc/ana/{{id}}">{{kind}}</a>
+<img src="{{image_url}}" alt="{{kind}}"><span>{{duration_ms}} ms</span></div>
+{{/each}}
+<form action="/hedc/analyze/{{id}}" method="post">
+<select name="kind"><option>imaging</option><option>lightcurve</option>
+<option>spectrum</option><option>histogram</option></select>
+<input type="submit" value="Run analysis"></form>
+"#;
+
+/// Analysis page.
+pub const ANA_PAGE: &str = r#"<h2>Analysis {{id}}: {{kind}}</h2>
+<table class="ana"><tr><td>Window</td><td>{{t_start}} - {{t_end}}</td></tr>
+<tr><td>Status</td><td>{{status}}</td></tr>
+<tr><td>Duration</td><td>{{duration_ms}} ms</td></tr>
+<tr><td>Product</td><td>{{product_type}}</td></tr></table>
+{{#each files}}<div class="file"><a href="{{url}}">{{name}}</a></div>
+{{/each}}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_substitution_and_escaping() {
+        let ctx = Context::new().set("name", "<flare> & 'burst'");
+        let html = render("Hello {{name}}!", &ctx);
+        assert_eq!(html, "Hello &lt;flare&gt; &amp; &#39;burst&#39;!");
+    }
+
+    #[test]
+    fn missing_scalar_renders_empty() {
+        let html = render("[{{nothing}}]", &Context::new());
+        assert_eq!(html, "[]");
+    }
+
+    #[test]
+    fn raw_values_skip_escaping() {
+        let ctx = Context::new().set_raw("frag", "<b>bold</b>");
+        assert_eq!(render("{{frag}}", &ctx), "<b>bold</b>");
+    }
+
+    #[test]
+    fn each_iterates_rows() {
+        let ctx = Context::new().set_list(
+            "rows",
+            vec![
+                Context::new().set("v", "a"),
+                Context::new().set("v", "b"),
+            ],
+        );
+        assert_eq!(render("{{#each rows}}[{{v}}]{{/each}}", &ctx), "[a][b]");
+    }
+
+    #[test]
+    fn each_inherits_parent_scalars() {
+        let ctx = Context::new()
+            .set("page", "cat")
+            .set_list("rows", vec![Context::new().set("v", "x")]);
+        assert_eq!(
+            render("{{#each rows}}{{page}}:{{v}}{{/each}}", &ctx),
+            "cat:x"
+        );
+    }
+
+    #[test]
+    fn nested_each() {
+        let inner = vec![Context::new().set("n", "1"), Context::new().set("n", "2")];
+        let ctx = Context::new().set_list(
+            "outer",
+            vec![Context::new().set("o", "A").set_list("inner", inner)],
+        );
+        assert_eq!(
+            render(
+                "{{#each outer}}{{o}}({{#each inner}}{{n}}{{/each}}){{/each}}",
+                &ctx
+            ),
+            "A(12)"
+        );
+    }
+
+    #[test]
+    fn empty_list_renders_nothing() {
+        let ctx = Context::new().set_list("rows", vec![]);
+        assert_eq!(render("x{{#each rows}}y{{/each}}z", &ctx), "xz");
+    }
+
+    #[test]
+    fn unterminated_tag_is_literal() {
+        assert_eq!(render("a {{broken", &Context::new()), "a {{broken");
+        assert_eq!(
+            render("{{#each rows}}no close", &Context::new()),
+            "{{#each rows}}no close"
+        );
+    }
+
+    #[test]
+    fn hedc_templates_render() {
+        let ctx = Context::new()
+            .set("title", "Flare @ 12000")
+            .set("user", "etzard")
+            .set("event_type", "flare")
+            .set("time_start", 12000)
+            .set("time_end", 13000)
+            .set("energy_lo", 3.0)
+            .set("energy_hi", 100.0)
+            .set("peak_rate", 250.5)
+            .set("id", 42)
+            .set_list(
+                "analyses",
+                vec![Context::new()
+                    .set("id", 7)
+                    .set("kind", "imaging")
+                    .set("image_url", "/files/7/image.fits")
+                    .set("duration_ms", 60000)],
+            );
+        let page = format!(
+            "{}{}{}",
+            render(HEADER, &ctx),
+            render(HLE_PAGE, &ctx),
+            render(FOOTER, &ctx)
+        );
+        assert!(page.contains("<h1>Flare @ 12000</h1>"));
+        assert!(page.contains("/hedc/ana/7"));
+        assert!(page.contains("60000 ms"));
+        assert!(page.contains("Run analysis"));
+    }
+}

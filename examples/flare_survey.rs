@@ -1,0 +1,131 @@
+//! Flare survey: the §2.2 workflow — ingest an active observing day,
+//! build a flare catalog, and batch-produce quicklook analyses for the
+//! strongest events, with detection quality scored against ground truth.
+//!
+//! Run with: `cargo run --release -p hedc-core --example flare_survey`
+
+use hedc_core::{Hedc, HedcConfig};
+use hedc_dm::SessionKind;
+use hedc_events::{generate, recall, EventKind, GenConfig};
+use hedc_metadb::{Expr, OrderDir, Query};
+use hedc_pl::{Priority, RequestSpec};
+
+fn main() {
+    let hedc = Hedc::start(HedcConfig::default()).expect("boot");
+
+    // A 4-hour active stretch; keep the ground truth for scoring.
+    let gen = GenConfig {
+        duration_ms: 4 * 3600 * 1000,
+        flares_per_hour: 3.0,
+        background_rate: 25.0,
+        seed: 20020205, // launch day
+        ..GenConfig::default()
+    };
+    let telemetry = generate(&gen);
+    let truth_flares = telemetry
+        .truth
+        .iter()
+        .filter(|t| matches!(t.kind, EventKind::Flare(_)))
+        .count();
+    let report = hedc.load_generated(&telemetry, 400_000).expect("ingest");
+    println!(
+        "ingested {} units, detected {} events ({} true flares injected)",
+        report.units, report.events, truth_flares
+    );
+
+    // Detection quality against ground truth.
+    let session = hedc.dm().import_session();
+    let svc = hedc.dm().services();
+    let detected = svc
+        .query(
+            &session,
+            Query::table("hle").filter(Expr::eq("event_type", "flare")),
+        )
+        .expect("query");
+    let as_events: Vec<hedc_events::DetectedEvent> = detected
+        .rows
+        .iter()
+        .map(|r| hedc_events::DetectedEvent {
+            kind: EventKind::Flare(hedc_events::FlareClass::C),
+            start_ms: r[3].as_int().unwrap() as u64,
+            end_ms: r[4].as_int().unwrap() as u64,
+            peak_rate: r[9].as_float().unwrap_or(0.0),
+            hardness: r[10].as_float().unwrap_or(0.0),
+            photon_count: r[11].as_int().unwrap_or(0) as u64,
+        })
+        .collect();
+    println!(
+        "flare recall vs ground truth: {:.0}%",
+        recall(&telemetry.truth, &as_events, &["flare"]) * 100.0
+    );
+
+    // Generate a survey catalog of the strongest flares.
+    let (catalog_id, n) = hedc
+        .dm()
+        .processes()
+        .generate_catalog(
+            &session,
+            "strong-flares",
+            Expr::eq("event_type", "flare").and(Expr::cmp(
+                "peak_rate",
+                hedc_metadb::CmpOp::Ge,
+                500.0,
+            )),
+        )
+        .expect("catalog");
+    println!("catalog `strong-flares` (#{catalog_id}) holds {n} events");
+
+    // Quicklook batch: lightcurve + spectrum per strong flare, batch
+    // priority so interactive users would still preempt us.
+    let strongest = svc
+        .query(
+            &session,
+            Query::table("hle")
+                .filter(Expr::eq("event_type", "flare"))
+                .order_by("peak_rate", OrderDir::Desc)
+                .limit(5),
+        )
+        .expect("query");
+    let analysis_session = hedc
+        .dm()
+        .session("localhost", session.cookie, SessionKind::Analysis)
+        .expect("session");
+    println!("\n  event          window [s]  kind        result      ms");
+    for row in &strongest.rows {
+        let hle = row[0].as_int().unwrap();
+        let t0 = row[3].as_int().unwrap() as u64;
+        let t1 = row[4].as_int().unwrap() as u64;
+        for kind in ["lightcurve", "spectrum"] {
+            let params = hedc_analysis::AnalysisParams::window(t0, t1);
+            let outcome = hedc
+                .pl()
+                .submit_sync(
+                    analysis_session.clone(),
+                    RequestSpec::new(kind, params, hle).priority(Priority::Batch),
+                )
+                .expect("analysis");
+            let (label, ms) = match &outcome {
+                hedc_pl::Outcome::Reused { .. } => ("reused", 0),
+                hedc_pl::Outcome::Computed { duration_ms, .. } => ("computed", *duration_ms),
+            };
+            println!(
+                "  hle #{hle:<6}  {:>5}-{:<6} {kind:<11} {label:<10} {ms}",
+                t0 / 1000,
+                t1 / 1000
+            );
+        }
+    }
+
+    // Survey summary by class, through the user-SQL path (§1).
+    let counts = hedc
+        .dm()
+        .io
+        .user_sql("SELECT flare_class, COUNT(*) FROM hle WHERE event_type = 'flare' GROUP BY flare_class")
+        .expect("sql");
+    println!("\nflare classes:");
+    for row in &counts.rows {
+        println!("  class {:>2}: {}", row[0], row[1]);
+    }
+
+    hedc.shutdown();
+}

@@ -1,0 +1,120 @@
+//! Gamma-ray-burst hunt: the paper's §3.2 argument made concrete. RHESSI
+//! is a *solar* instrument, but an open repository ("no question is ruled
+//! out from the beginning") lets non-solar science happen: find hard,
+//! short transients — including ones during spacecraft night, when the Sun
+//! is occulted — then cross-search remote synoptic archives around them.
+//!
+//! Run with: `cargo run --release -p hedc-core --example grb_search`
+
+use hedc_core::{Hedc, HedcConfig};
+use hedc_events::GenConfig;
+use hedc_metadb::Query;
+use hedc_pl::RequestSpec;
+use hedc_web::{MockArchive, RemoteArchive, SynopticSearch};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let hedc = Hedc::start(HedcConfig::default()).expect("boot");
+
+    // A day of data with a realistic GRB rate.
+    let report = hedc
+        .load_telemetry(
+            &GenConfig {
+                duration_ms: 12 * 3600 * 1000,
+                flares_per_hour: 1.5,
+                grbs_per_day: 6.0,
+                background_rate: 20.0,
+                seed: 19730704, // Vela-era homage
+                ..GenConfig::default()
+            },
+            600_000,
+        )
+        .expect("ingest");
+    println!("ingested {} events total", report.events);
+
+    // A "solar flare only" system could not ask this question. HEDC can:
+    // hard-spectrum short events, straight through the user-SQL path.
+    let grbs = hedc
+        .dm()
+        .io
+        .user_sql(
+            "SELECT id, time_start, time_end, hardness, n_photons FROM hle \
+             WHERE event_type = 'grb' ORDER BY time_start",
+        )
+        .expect("sql");
+    println!("\ncandidate gamma-ray bursts: {}", grbs.rows.len());
+    for row in &grbs.rows {
+        println!(
+            "  hle #{:<5} t={:>8}s dur={:>3}s hardness={:.2} photons={}",
+            row[0],
+            row[1].as_int().unwrap() / 1000,
+            (row[2].as_int().unwrap() - row[1].as_int().unwrap()) / 1000,
+            row[3].as_float().unwrap_or(0.0),
+            row[4]
+        );
+    }
+
+    if let Some(first) = grbs.rows.first() {
+        let hle = first[0].as_int().unwrap();
+        let t0 = first[1].as_int().unwrap() as u64;
+        let t1 = first[2].as_int().unwrap() as u64;
+
+        // High-resolution spectrogram over the burst (hard band).
+        let session = hedc.dm().import_session();
+        let params = hedc_analysis::AnalysisParams::window(
+            t0.saturating_sub(10_000),
+            t1 + 10_000,
+        )
+        .energy(25.0, 8000.0)
+        .with("time_bins", 64.0)
+        .with("energy_bins", 32.0);
+        let outcome = hedc
+            .pl()
+            .submit_sync(session, RequestSpec::new("spectrogram", params, hle))
+            .expect("spectrogram");
+        println!("\nspectrogram for hle #{hle} -> analysis #{}", outcome.ana_id());
+
+        // §6.4: best-effort parallel search of remote synoptic archives
+        // around the burst time (one archive is down — best effort).
+        let archives: Vec<Arc<MockArchive>> = vec![
+            MockArchive::new("soho.nascom.nasa.gov", "EIT-195", 600_000, Duration::from_millis(10)),
+            MockArchive::new("phoenix.ethz.ch", "Phoenix-2", 120_000, Duration::from_millis(15)),
+            MockArchive::new("batse.msfc.nasa.gov", "BATSE", 300_000, Duration::from_millis(5)),
+            MockArchive::new("konus.ioffe.ru", "Konus-Wind", 300_000, Duration::from_millis(8)),
+        ];
+        archives[3].set_down(true); // an unreachable host must not stall us
+        let search = SynopticSearch::new(
+            archives
+                .iter()
+                .map(|a| Arc::clone(a) as Arc<dyn RemoteArchive>)
+                .collect(),
+            Duration::from_millis(250),
+        );
+        let window = (t0.saturating_sub(600_000), t1 + 600_000);
+        let results = search.search(window.0, window.1);
+        println!("\nsynoptic search ±10 min around the burst:");
+        for (archive, records) in &results.by_archive {
+            println!("  {archive}: {} records", records.len());
+        }
+        for name in &results.timed_out {
+            println!("  {name}: TIMED OUT (best effort, no results)");
+        }
+    }
+
+    // How many of those bursts happened during spacecraft night? (The
+    // detector still sees them; a flare-only schema would have dropped
+    // the data outright.)
+    let night = hedc
+        .dm()
+        .io
+        .query(&Query::table("hle"))
+        .expect("query")
+        .rows
+        .iter()
+        .filter(|r| r[7].as_text() == Some("grb"))
+        .count();
+    println!("\n{} GRB candidates preserved in the open event model", night);
+
+    hedc.shutdown();
+}

@@ -1,0 +1,112 @@
+//! Recalibration sweep: the §3.1 "moving target" in action. Load data under
+//! calibration v1, compute analyses, then apply a refined calibration:
+//! every raw unit is re-derived, dependent analyses are invalidated with a
+//! version trail, and the PL recomputes them from the stale queue.
+//!
+//! Run with: `cargo run --release -p hedc-core --example recalibration`
+
+use hedc_core::{Hedc, HedcConfig};
+use hedc_events::{Calibration, GenConfig};
+use hedc_metadb::{Expr, Query};
+use hedc_pl::{Priority, RequestSpec};
+
+fn main() {
+    let hedc = Hedc::start(HedcConfig::default()).expect("boot");
+    hedc.load_telemetry(
+        &GenConfig {
+            duration_ms: 3600 * 1000,
+            flares_per_hour: 4.0,
+            background_rate: 20.0,
+            seed: 3,
+            ..GenConfig::default()
+        },
+        300_000,
+    )
+    .expect("ingest");
+
+    // Compute a spectrum for every detected flare under calibration v1.
+    let session = hedc.dm().import_session();
+    let svc = hedc.dm().services();
+    let flares = svc
+        .query(
+            &session,
+            Query::table("hle")
+                .filter(Expr::eq("event_type", "flare"))
+                .limit(4),
+        )
+        .expect("query");
+    println!("computing {} v1 spectra...", flares.rows.len());
+    for row in &flares.rows {
+        let hle = row[0].as_int().unwrap();
+        let t0 = row[3].as_int().unwrap() as u64;
+        let t1 = row[4].as_int().unwrap() as u64;
+        hedc.pl()
+            .submit_sync(
+                session.clone(),
+                RequestSpec::new(
+                    "spectrum",
+                    hedc_analysis::AnalysisParams::window(t0, t1),
+                    hle,
+                ),
+            )
+            .expect("spectrum");
+    }
+
+    // The detector team delivers a refined calibration: +3% gain, +0.2 keV.
+    let v1 = Calibration::launch();
+    let v2 = v1.recalibrated(0.03, 0.2);
+    println!("\napplying calibration v{} -> v{}...", v1.version, v2.version);
+    let report = hedc
+        .dm()
+        .versioning()
+        .apply_recalibration(&v1, &v2)
+        .expect("recalibration");
+    println!(
+        "  {} raw units re-derived, {} analyses invalidated",
+        report.units_recalibrated, report.analyses_invalidated
+    );
+
+    // Version history of the first raw unit.
+    let raw = hedc.dm().io.query(&Query::table("raw_unit")).expect("raw");
+    let raw_id = raw.rows[0][0].as_int().unwrap();
+    println!("\nversion history of raw unit #{raw_id}:");
+    for (version, reason) in hedc.dm().versioning().history(raw_id).expect("history") {
+        println!("  v{version}: {reason}");
+    }
+
+    // Recompute the stale queue at batch priority (§3.1: "a significant
+    // number of the analyses ... may have to be recomputed").
+    let stale = hedc.dm().versioning().stale_analyses().expect("stale");
+    println!("\nrecomputing {} stale analyses...", stale.len());
+    let mut recomputed = 0;
+    for ana_id in stale {
+        let row = &hedc
+            .dm()
+            .io
+            .query(&Query::table("ana").filter(Expr::eq("id", ana_id)))
+            .expect("ana")
+            .rows[0];
+        let hle = row[1].as_int().unwrap();
+        let t0 = row[6].as_int().unwrap() as u64;
+        let t1 = row[7].as_int().unwrap() as u64;
+        let kind = row[4].as_text().unwrap().to_string();
+        let outcome = hedc
+            .pl()
+            .submit_sync(
+                session.clone(),
+                RequestSpec::new(
+                    &kind,
+                    hedc_analysis::AnalysisParams::window(t0, t1),
+                    hle,
+                )
+                .priority(Priority::Batch)
+                .force(), // the old result is obsolete, never reuse it
+            )
+            .expect("recompute");
+        recomputed += 1;
+        println!("  {kind} for hle #{hle} -> new analysis #{}", outcome.ana_id());
+    }
+    println!("\n{recomputed} analyses now current under calibration v2");
+
+    hedc.shutdown();
+}

@@ -1,0 +1,307 @@
+//! Cross-crate integration tests: the complete HEDC lifecycle over the
+//! public API. These are the "does the assembled system behave like the
+//! paper's system" tests, as opposed to each crate's unit suites.
+
+use hedc_core::{Hedc, HedcConfig};
+use hedc_dm::{Rights, SessionKind};
+use hedc_events::{Calibration, GenConfig};
+use hedc_metadb::{AggFunc, Expr, Query};
+use hedc_pl::{Outcome, RequestSpec};
+use hedc_web::{CacheStrategy, HttpRequest, StreamCorder};
+use std::sync::Arc;
+
+fn gen(seed: u64, minutes: u64) -> GenConfig {
+    GenConfig {
+        duration_ms: minutes * 60 * 1000,
+        flares_per_hour: 6.0,
+        background_rate: 15.0,
+        seed,
+        ..GenConfig::default()
+    }
+}
+
+#[test]
+fn lifecycle_ingest_browse_analyze_share() {
+    let hedc = Hedc::start(HedcConfig::default()).unwrap();
+    let report = hedc.load_telemetry(&gen(1, 20), 300_000).unwrap();
+    assert!(report.events > 0);
+
+    // Two scientists.
+    hedc.dm().create_user("alice", "a", "sci", Rights::SCIENTIST).unwrap();
+    hedc.dm().create_user("bob", "b", "sci", Rights::SCIENTIST).unwrap();
+    let ca = hedc.dm().login("alice", "a", "ip-a").unwrap();
+    let cb = hedc.dm().login("bob", "b", "ip-b").unwrap();
+    let alice = hedc.dm().session("ip-a", ca, SessionKind::Analysis).unwrap();
+    let bob = hedc.dm().session("ip-b", cb, SessionKind::Analysis).unwrap();
+
+    // Alice analyzes a detected event.
+    let hle = hedc
+        .dm()
+        .services()
+        .query(&alice, Query::table("hle").limit(1))
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap();
+    let params = hedc_analysis::AnalysisParams::window(0, 600_000);
+    let outcome = hedc
+        .pl()
+        .submit_sync(Arc::clone(&alice), RequestSpec::new("spectrum", params.clone(), hle))
+        .unwrap();
+    let ana_id = outcome.ana_id();
+
+    // Bob cannot see Alice's private analysis; the PL will not reuse it
+    // for him either — he computes his own.
+    let bob_outcome = hedc
+        .pl()
+        .submit_sync(Arc::clone(&bob), RequestSpec::new("spectrum", params.clone(), hle))
+        .unwrap();
+    assert!(!bob_outcome.was_reused());
+    assert_ne!(bob_outcome.ana_id(), ana_id);
+
+    // Alice publishes; now a third request (by Bob) reuses her result.
+    hedc.dm().services().publish(&alice, "ana", ana_id).unwrap();
+    // Bob's own is also private; delete it so the shared one is the match.
+    hedc.dm()
+        .services()
+        .delete_analysis(&bob, bob_outcome.ana_id())
+        .unwrap();
+    let shared = hedc
+        .pl()
+        .submit_sync(Arc::clone(&bob), RequestSpec::new("spectrum", params, hle))
+        .unwrap();
+    assert!(shared.was_reused());
+    assert_eq!(shared.ana_id(), ana_id);
+
+    hedc.shutdown();
+}
+
+#[test]
+fn web_and_streamcorder_see_the_same_repository() {
+    let hedc = Hedc::start(HedcConfig::default()).unwrap();
+    hedc.load_telemetry(&gen(2, 20), usize::MAX).unwrap();
+    hedc.dm().create_user("web", "pw", "sci", Rights::SCIENTIST).unwrap();
+    let cookie = hedc.dm().login("web", "pw", "shared-ip").unwrap();
+    let session = hedc
+        .dm()
+        .session("shared-ip", cookie, SessionKind::Hle)
+        .unwrap();
+
+    // Thin client: count events on the catalog page.
+    let resp = hedc.web().handle(
+        &HttpRequest::get(
+            &format!("/hedc/catalog/{}", hedc.dm().extended_catalog),
+            "shared-ip",
+        )
+        .with_cookie(cookie),
+    );
+    assert_eq!(resp.status, 200);
+    let web_events = resp.text().matches("/hedc/hle/").count();
+
+    // Fat client: mirror and count locally.
+    let sc = StreamCorder::connect(
+        Arc::clone(hedc.dm()),
+        session,
+        CacheStrategy::V2LocalClone,
+    )
+    .unwrap();
+    let (hles, _) = sc.mirror_metadata().unwrap();
+    assert_eq!(hles, web_events, "both clients see the same events");
+    let local = sc
+        .local_query(&Query::table("hle").aggregate(AggFunc::CountStar))
+        .unwrap();
+    assert_eq!(local.scalar_int().unwrap() as usize, web_events);
+    hedc.shutdown();
+}
+
+#[test]
+fn recalibration_invalidates_then_recomputes() {
+    let hedc = Hedc::start(HedcConfig::default()).unwrap();
+    hedc.load_telemetry(&gen(3, 20), usize::MAX).unwrap();
+    let session = hedc.dm().import_session();
+    // Detection may legitimately find nothing in a quiet random window;
+    // the recalibration path only needs *an* event to hang an analysis on.
+    let hle = {
+        let r = hedc
+            .dm()
+            .services()
+            .query(&session, Query::table("hle").limit(1))
+            .unwrap();
+        match r.rows.first() {
+            Some(row) => row[0].as_int().unwrap(),
+            None => hedc
+                .dm()
+                .services()
+                .create_hle(&session, &hedc_dm::HleSpec::window(0, 300_000, "flare"))
+                .unwrap(),
+        }
+    };
+    let params = hedc_analysis::AnalysisParams::window(0, 300_000);
+    let v1_outcome = hedc
+        .pl()
+        .submit_sync(Arc::clone(&session), RequestSpec::new("histogram", params.clone(), hle))
+        .unwrap();
+
+    // Recalibrate.
+    let v1 = Calibration::launch();
+    let v2 = v1.recalibrated(0.04, 0.1);
+    let report = hedc.dm().versioning().apply_recalibration(&v1, &v2).unwrap();
+    assert_eq!(report.units_recalibrated, 1);
+    assert!(report.analyses_invalidated >= 1);
+
+    // The old analysis is stale; a fresh request must NOT reuse it.
+    let stale = hedc.dm().versioning().stale_analyses().unwrap();
+    assert!(stale.contains(&v1_outcome.ana_id()));
+    let new_outcome = hedc
+        .pl()
+        .submit_sync(Arc::clone(&session), RequestSpec::new("histogram", params, hle))
+        .unwrap();
+    assert!(!new_outcome.was_reused(), "obsolete results must not be reused");
+    assert_ne!(new_outcome.ana_id(), v1_outcome.ana_id());
+    hedc.shutdown();
+}
+
+#[test]
+fn archive_relocation_is_transparent_to_readers() {
+    let hedc = Hedc::start(HedcConfig::default()).unwrap();
+    hedc.load_telemetry(&gen(4, 15), usize::MAX).unwrap();
+    let raw = hedc.dm().io.query(&Query::table("raw_unit")).unwrap();
+    let item = raw.rows[0][6].as_int().unwrap();
+    let before = hedc.dm().names().fetch_data(item).unwrap();
+
+    // Find the file's current path and move it to tape (archive 3).
+    let resolved = hedc
+        .dm()
+        .names()
+        .resolve(item, hedc_dm::NameType::File)
+        .unwrap();
+    let path = resolved[0].archive_path.clone();
+    let from = resolved[0].archive_id;
+    hedc.dm()
+        .processes()
+        .relocate(from, 3, std::slice::from_ref(&path))
+        .unwrap();
+
+    // Same item id, same bytes, different physical home.
+    let after = hedc.dm().names().fetch_data(item).unwrap();
+    assert_eq!(before, after);
+    let resolved = hedc
+        .dm()
+        .names()
+        .resolve(item, hedc_dm::NameType::File)
+        .unwrap();
+    assert_eq!(resolved[0].archive_id, 3);
+
+    // And analyses can still stage data from tape.
+    let session = hedc.dm().import_session();
+    let hle = hedc
+        .dm()
+        .services()
+        .query(&session, Query::table("hle").limit(1))
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap();
+    let outcome = hedc
+        .pl()
+        .submit_sync(
+            session,
+            RequestSpec::new(
+                "lightcurve",
+                hedc_analysis::AnalysisParams::window(0, 120_000),
+                hle,
+            ),
+        )
+        .unwrap();
+    assert!(matches!(outcome, Outcome::Computed { .. }));
+    hedc.shutdown();
+}
+
+#[test]
+fn consistency_check_is_clean_after_ingest() {
+    let hedc = Hedc::start(HedcConfig::default()).unwrap();
+    hedc.load_telemetry(&gen(5, 15), usize::MAX).unwrap();
+    // Collect every file reference from the location tables.
+    let entries = hedc.dm().io.query(&Query::table("loc_entry")).unwrap();
+    let mut expected = Vec::new();
+    for row in &entries.rows {
+        let archive = row[3].as_int().unwrap() as u32;
+        let path = row[4].as_text().unwrap().to_string();
+        expected.push(hedc_filestore::ExpectedFile { archive, path });
+    }
+    assert!(!expected.is_empty());
+    let report = hedc_filestore::consistency_check(&hedc.dm().io.files, &expected);
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.consistent, expected.len());
+
+    // Sabotage: delete a file behind the DM's back; the auditor sees it.
+    let victim = &expected[0];
+    hedc.dm()
+        .io
+        .files
+        .delete(victim.archive, &victim.path)
+        .unwrap();
+    let report = hedc_filestore::consistency_check(&hedc.dm().io.files, &expected);
+    assert_eq!(report.missing.len(), 1);
+    hedc.shutdown();
+}
+
+#[test]
+fn analysis_server_failures_are_invisible_to_users() {
+    let hedc = Hedc::start(HedcConfig::default()).unwrap();
+    hedc.load_telemetry(&gen(6, 15), usize::MAX).unwrap();
+    let session = hedc.dm().import_session();
+    let hle = hedc
+        .dm()
+        .services()
+        .query(&session, Query::table("hle").limit(1))
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap();
+    // Arm a crash on the first analysis server; the PL recovers silently.
+    hedc.pl()
+        .manager
+        .fault_plan(0)
+        .unwrap()
+        .crash_next
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    let outcome = hedc
+        .pl()
+        .submit_sync(
+            session,
+            RequestSpec::new(
+                "histogram",
+                hedc_analysis::AnalysisParams::window(0, 120_000),
+                hle,
+            ),
+        )
+        .unwrap();
+    assert!(matches!(outcome, Outcome::Computed { .. }));
+    let stats = hedc.pl().manager.stats();
+    assert!(stats.crashes_recovered >= 1 || stats.timeouts >= 1);
+    hedc.shutdown();
+}
+
+#[test]
+fn open_event_model_supports_user_defined_types() {
+    // §3.3: "HEDC does not provide predefined types ... there are only
+    // events." A user invents a type the designers never anticipated.
+    let hedc = Hedc::start(HedcConfig::default()).unwrap();
+    hedc.load_telemetry(&gen(7, 15), usize::MAX).unwrap();
+    hedc.dm().create_user("maverick", "pw", "sci", Rights::SCIENTIST).unwrap();
+    let c = hedc.dm().login("maverick", "pw", "ip").unwrap();
+    let session = hedc.dm().session("ip", c, SessionKind::Hle).unwrap();
+    let mut spec = hedc_dm::HleSpec::window(60_000, 240_000, "terrestrial-gamma-flash");
+    spec.title = Some("TGF candidate over the Pacific".to_string());
+    let id = hedc.dm().services().create_hle(&session, &spec).unwrap();
+    hedc.dm().services().publish(&session, "hle", id).unwrap();
+    // It is queryable like any first-class type.
+    let r = hedc
+        .dm()
+        .io
+        .user_sql("SELECT id FROM hle WHERE event_type = 'terrestrial-gamma-flash'")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    hedc.shutdown();
+}

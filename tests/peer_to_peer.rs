@@ -1,0 +1,92 @@
+//! §10's closing vision: "a scientific data warehouse, even if hosting a
+//! huge data collection, can be organized as a set of collaborating
+//! systems. As every StreamCorder is in reality a fully functional server,
+//! requests may also be sent to peer clients to allow peer to peer
+//! interaction." Two fat clients mirror the repository, then browse load
+//! is answered by the peers without touching the server's database.
+
+use hedc_core::{Hedc, HedcConfig};
+use hedc_dm::{DmNode, DmRouter, Rights, SessionKind};
+use hedc_events::GenConfig;
+use hedc_metadb::{AggFunc, Query};
+use hedc_web::{CacheStrategy, StreamCorder};
+use std::sync::Arc;
+
+#[test]
+fn peers_serve_browse_load_without_the_server() {
+    let hedc = Hedc::start(HedcConfig::default()).unwrap();
+    hedc.load_telemetry(
+        &GenConfig {
+            duration_ms: 20 * 60 * 1000,
+            flares_per_hour: 6.0,
+            background_rate: 15.0,
+            seed: 1010,
+            ..GenConfig::default()
+        },
+        usize::MAX,
+    )
+    .unwrap();
+
+    // Two scientists connect fat clients and mirror the catalog.
+    let mut peers = Vec::new();
+    let mut corders = Vec::new();
+    for (name, ip) in [("peer-a", "ip-a"), ("peer-b", "ip-b")] {
+        hedc.dm().create_user(name, "pw", "sci", Rights::SCIENTIST).unwrap();
+        let cookie = hedc.dm().login(name, "pw", ip).unwrap();
+        let session = hedc.dm().session(ip, cookie, SessionKind::Hle).unwrap();
+        let sc = StreamCorder::connect(
+            Arc::clone(hedc.dm()),
+            session,
+            CacheStrategy::V2LocalClone,
+        )
+        .unwrap();
+        let (hles, _) = sc.mirror_metadata().unwrap();
+        assert!(hles > 0);
+        peers.push(sc.share_as_peer(name).unwrap());
+        corders.push(sc);
+    }
+
+    // A router over the two peers answers browse queries.
+    let router = DmRouter::new(
+        peers
+            .iter()
+            .map(|p| Arc::clone(p) as Arc<dyn DmNode>)
+            .collect(),
+    );
+    let server_db_before = hedc.dm().io.databases()[0].stats();
+    let mut total = None;
+    for _ in 0..20 {
+        let r = router
+            .execute_query(&Query::table("hle").aggregate(AggFunc::CountStar))
+            .unwrap();
+        let count = r.scalar_int().unwrap();
+        assert!(count > 0);
+        match total {
+            None => total = Some(count),
+            Some(t) => assert_eq!(t, count, "peers agree"),
+        }
+    }
+    // The server's database saw none of it.
+    let delta = hedc.dm().io.databases()[0].stats().since(&server_db_before);
+    assert_eq!(delta.queries, 0, "peer network offloaded the server");
+    assert_eq!(peers[0].served() + peers[1].served(), 20);
+    assert!(peers[0].served() >= 9 && peers[1].served() >= 9, "round robin");
+
+    hedc.shutdown();
+}
+
+#[test]
+fn v1_clients_cannot_peer_serve() {
+    let hedc = Hedc::start(HedcConfig::default()).unwrap();
+    hedc.dm().create_user("thin", "pw", "sci", Rights::SCIENTIST).unwrap();
+    let cookie = hedc.dm().login("thin", "pw", "ip").unwrap();
+    let session = hedc.dm().session("ip", cookie, SessionKind::Hle).unwrap();
+    let sc = StreamCorder::connect(
+        Arc::clone(hedc.dm()),
+        session,
+        CacheStrategy::V1StaticPath,
+    )
+    .unwrap();
+    assert!(sc.share_as_peer("nope").is_err());
+    hedc.shutdown();
+}
