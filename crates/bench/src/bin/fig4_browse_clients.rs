@@ -32,7 +32,9 @@ fn main() {
     let results = figure4(&clients);
     let mut rows = Vec::new();
     for (r, (_, paper_v)) in results.iter().zip(paper.iter()) {
-        let paper_s = paper_v.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into());
+        let paper_s = paper_v
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "-".into());
         let delta = paper_v
             .map(|v| hedc_bench::vs_paper(r.requests_per_second, v))
             .unwrap_or_else(|| "-".into());
@@ -51,6 +53,9 @@ fn main() {
             "paper_requests_per_second": paper_v,
             "db_queries_per_second": r.db_queries_per_second,
             "avg_response_s": r.avg_response_s,
+            "p50_response_s": r.p50_response_s,
+            "p95_response_s": r.p95_response_s,
+            "p99_response_s": r.p99_response_s,
             "mt_utilization": r.mt_utilization,
             "db_utilization": r.db_utilization,
         }));
@@ -66,4 +71,26 @@ fn main() {
     );
 
     hedc_bench::write_report("fig4_browse_clients", &serde_json::json!({ "rows": rows }));
+
+    // Machine-readable latency/throughput summary from the per-run obs
+    // histograms (one row per client count).
+    let bench_rows: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "clients": r.config.clients,
+                "throughput_rps": r.requests_per_second,
+                "latency_s": {
+                    "avg": r.avg_response_s,
+                    "p50": r.p50_response_s,
+                    "p95": r.p95_response_s,
+                    "p99": r.p99_response_s,
+                },
+            })
+        })
+        .collect();
+    hedc_bench::write_report(
+        "BENCH_fig4_browse_clients",
+        &serde_json::json!({ "bench": "fig4_browse_clients", "rows": bench_rows }),
+    );
 }

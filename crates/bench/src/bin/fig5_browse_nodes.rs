@@ -20,7 +20,9 @@ fn main() {
     let results = figure5(&nodes, 96);
     let mut rows = Vec::new();
     for (r, paper_v) in results.iter().zip(paper.iter()) {
-        let paper_s = paper_v.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into());
+        let paper_s = paper_v
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "-".into());
         let delta = paper_v
             .map(|v| hedc_bench::vs_paper(r.requests_per_second, v))
             .unwrap_or_else(|| "-".into());
@@ -39,6 +41,10 @@ fn main() {
             "paper_requests_per_second": paper_v,
             "db_queries_per_second": r.db_queries_per_second,
             "db_utilization": r.db_utilization,
+            "avg_response_s": r.avg_response_s,
+            "p50_response_s": r.p50_response_s,
+            "p95_response_s": r.p95_response_s,
+            "p99_response_s": r.p99_response_s,
         }));
     }
     println!("{:-<74}", "");
@@ -49,4 +55,27 @@ fn main() {
     );
 
     hedc_bench::write_report("fig5_browse_nodes", &serde_json::json!({ "rows": rows }));
+
+    // Machine-readable latency/throughput summary from the per-run obs
+    // histograms (one row per node count).
+    let bench_rows: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "nodes": r.config.nodes,
+                "clients": r.config.clients,
+                "throughput_rps": r.requests_per_second,
+                "latency_s": {
+                    "avg": r.avg_response_s,
+                    "p50": r.p50_response_s,
+                    "p95": r.p95_response_s,
+                    "p99": r.p99_response_s,
+                },
+            })
+        })
+        .collect();
+    hedc_bench::write_report(
+        "BENCH_fig5_browse_nodes",
+        &serde_json::json!({ "bench": "fig5_browse_nodes", "rows": bench_rows }),
+    );
 }

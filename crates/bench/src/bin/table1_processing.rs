@@ -21,7 +21,10 @@ const PAPER_HISTOGRAM: [(&str, f64, f64); 5] = [
     ("S+C", 438.0, 10.0),
 ];
 
-fn run(workload: Workload, paper: &[(&str, f64, f64)]) -> Vec<serde_json::Value> {
+fn run(
+    workload: Workload,
+    paper: &[(&str, f64, f64)],
+) -> (Vec<serde_json::Value>, Vec<serde_json::Value>) {
     println!(
         "\nTable 1 — {} test ({} requests)",
         workload.name(),
@@ -44,6 +47,7 @@ fn run(workload: Workload, paper: &[(&str, f64, f64)]) -> Vec<serde_json::Value>
     );
     let rows = table1(workload);
     let mut out = Vec::new();
+    let mut bench = Vec::new();
     for (r, (label, p_dur, p_turn)) in rows.iter().zip(paper.iter()) {
         assert_eq!(&r.config, label, "config order must match the paper");
         println!(
@@ -69,29 +73,42 @@ fn run(workload: Workload, paper: &[(&str, f64, f64)]) -> Vec<serde_json::Value>
             "turnover_gb_day": r.turnover_gb_day,
             "paper_turnover_gb_day": p_turn,
             "avg_sojourn_s": r.avg_sojourn_s,
+            "p50_sojourn_s": r.p50_sojourn_s,
+            "p95_sojourn_s": r.p95_sojourn_s,
+            "p99_sojourn_s": r.p99_sojourn_s,
             "server_sys_pct": r.server_sys_pct,
             "server_usr_pct": r.server_usr_pct,
             "client_sys_pct": r.client_sys_pct,
             "client_usr_pct": r.client_usr_pct,
         }));
+        bench.push(serde_json::json!({
+            "workload": r.workload,
+            "config": r.config,
+            "throughput_rps": workload.requests() as f64 / r.duration_s,
+            "latency_s": {
+                "avg": r.avg_sojourn_s,
+                "p50": r.p50_sojourn_s,
+                "p95": r.p95_sojourn_s,
+                "p99": r.p99_sojourn_s,
+            },
+        }));
     }
-    out
+    (out, bench)
 }
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let mut report = serde_json::Map::new();
+    let mut bench_rows = Vec::new();
     if arg == "imaging" || arg == "all" {
-        report.insert(
-            "imaging".to_string(),
-            serde_json::Value::Array(run(Workload::Imaging, &PAPER_IMAGING)),
-        );
+        let (out, bench) = run(Workload::Imaging, &PAPER_IMAGING);
+        report.insert("imaging".to_string(), serde_json::Value::Array(out));
+        bench_rows.extend(bench);
     }
     if arg == "histogram" || arg == "all" {
-        report.insert(
-            "histogram".to_string(),
-            serde_json::Value::Array(run(Workload::Histogram, &PAPER_HISTOGRAM)),
-        );
+        let (out, bench) = run(Workload::Histogram, &PAPER_HISTOGRAM);
+        report.insert("histogram".to_string(), serde_json::Value::Array(out));
+        bench_rows.extend(bench);
     }
     if report.is_empty() {
         eprintln!("usage: table1_processing [imaging|histogram|all]");
@@ -101,4 +118,8 @@ fn main() {
     println!("imaging test gains most from the faster client; short histogram analyses");
     println!("expose the central scheduler (S(2) < 2x speedup, client unsaturated).");
     hedc_bench::write_report("table1_processing", &serde_json::Value::Object(report));
+    hedc_bench::write_report(
+        "BENCH_table1_processing",
+        &serde_json::json!({ "bench": "table1_processing", "rows": bench_rows }),
+    );
 }

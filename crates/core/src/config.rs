@@ -71,6 +71,15 @@ pub struct HedcConfig {
     pub view_quant: f64,
     /// Mission clock start, ms.
     pub start_ms: u64,
+    /// Metadata queries slower than this are captured in the observability
+    /// event log with their SQL and trace ID. Defaults so configs written
+    /// before this field existed still parse.
+    #[serde(default = "default_slow_query_ms")]
+    pub slow_query_ms: u64,
+}
+
+fn default_slow_query_ms() -> u64 {
+    100
 }
 
 impl Default for HedcConfig {
@@ -107,6 +116,7 @@ impl Default for HedcConfig {
             view_bin_ms: 1000,
             view_quant: 0.5,
             start_ms: 0,
+            slow_query_ms: default_slow_query_ms(),
         }
     }
 }
@@ -133,6 +143,11 @@ impl HedcConfig {
     /// Job timeout as a duration.
     pub fn job_timeout(&self) -> Duration {
         Duration::from_secs(self.job_timeout_s)
+    }
+
+    /// Slow-query threshold as a duration.
+    pub fn slow_query(&self) -> Duration {
+        Duration::from_millis(self.slow_query_ms)
     }
 
     /// Serialize to pretty JSON.
@@ -165,6 +180,17 @@ mod tests {
         assert_eq!(back.archives, c.archives);
         assert_eq!(back.databases, c.databases);
         assert_eq!(back.view_bin_ms, c.view_bin_ms);
+    }
+
+    #[test]
+    fn slow_query_defaults_when_absent() {
+        // Configs serialized before the field existed must still parse.
+        let mut json: serde_json::Value =
+            serde_json::from_str(&HedcConfig::default().to_json()).unwrap();
+        json.as_object_mut().unwrap().remove("slow_query_ms");
+        let c = HedcConfig::from_json(&json.to_string()).unwrap();
+        assert_eq!(c.slow_query_ms, 100);
+        assert_eq!(c.slow_query(), Duration::from_millis(100));
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl Hedc {
             DmConfig {
                 databases: config.databases,
                 partitioning: Partitioning::single(),
-                io: IoConfig::default(),
+                io: IoConfig {
+                    slow_query: config.slow_query(),
+                    ..IoConfig::default()
+                },
                 start_ms: config.start_ms,
             },
         )?;
@@ -147,11 +150,7 @@ impl Hedc {
     /// Generate synthetic telemetry and run the full ingest pipeline over
     /// it (§2.2): package into units, store FITS files, detect events,
     /// build catalogs and load-time wavelet views.
-    pub fn load_telemetry(
-        &self,
-        gen: &GenConfig,
-        photons_per_unit: usize,
-    ) -> DmResult<LoadReport> {
+    pub fn load_telemetry(&self, gen: &GenConfig, photons_per_unit: usize) -> DmResult<LoadReport> {
         let telemetry = generate(gen);
         self.load_generated(&telemetry, photons_per_unit)
     }
@@ -231,9 +230,14 @@ mod tests {
         assert_eq!(page.status, 200);
 
         // Analyze through the PL.
-        hedc.dm().create_user("u", "pw", "sci", Rights::SCIENTIST).unwrap();
+        hedc.dm()
+            .create_user("u", "pw", "sci", Rights::SCIENTIST)
+            .unwrap();
         let cookie = hedc.dm().login("u", "pw", "ip").unwrap();
-        let session = hedc.dm().session("ip", cookie, SessionKind::Analysis).unwrap();
+        let session = hedc
+            .dm()
+            .session("ip", cookie, SessionKind::Analysis)
+            .unwrap();
         let hle = hedc
             .dm()
             .services()

@@ -94,6 +94,9 @@ pub struct IoConfig {
     pub creation_cost: Duration,
     /// The `[root]` element of dynamic names (§4.3), from system config.
     pub name_root: String,
+    /// Queries slower than this are captured in the observability event log
+    /// with their SQL and trace ID.
+    pub slow_query: Duration,
 }
 
 impl Default for IoConfig {
@@ -104,6 +107,7 @@ impl Default for IoConfig {
             auth_pool: 4,
             creation_cost: Duration::ZERO,
             name_root: "hedc".to_string(),
+            slow_query: Duration::from_millis(100),
         }
     }
 }
@@ -119,6 +123,7 @@ pub struct DmIo {
     pub clock: Arc<Clock>,
     next_id: AtomicI64,
     name_root: String,
+    slow_query: Duration,
 }
 
 impl DmIo {
@@ -152,6 +157,7 @@ impl DmIo {
             clock,
             next_id: AtomicI64::new(1),
             name_root: config.name_root.clone(),
+            slow_query: config.slow_query,
         }
     }
 
@@ -203,13 +209,31 @@ impl DmIo {
     }
 
     /// Execute a verified query object via the SQL round-trip (§5.4).
+    /// End-to-end latency feeds the `dm.query` histogram; anything over the
+    /// configured slow-query threshold is captured in the event log with its
+    /// generated SQL, under the ambient trace.
     pub fn query(&self, q: &Query) -> DmResult<QueryResult> {
+        let _span = hedc_obs::Span::child("dm.io.query");
+        let started = std::time::Instant::now();
         self.verify(q)?;
         let pool = self.pool_for(&q.table).pool(PoolKind::Query);
         let mut conn = pool.acquire();
         let db_schema = conn.database().schema_of(&q.table)?;
         let sql = query_to_sql(q, &db_schema);
-        match conn.execute_sql(&sql)? {
+        let out = conn.execute_sql(&sql);
+        let elapsed = started.elapsed();
+        hedc_obs::global().histogram("dm.query").record(elapsed);
+        if elapsed >= self.slow_query {
+            hedc_obs::emit(
+                hedc_obs::events::kind::SLOW_QUERY,
+                format!(
+                    "db={} elapsed_us={} sql={sql}",
+                    conn.database().name(),
+                    elapsed.as_micros()
+                ),
+            );
+        }
+        match out? {
             SqlOutput::Rows(r) => Ok(r),
             other => Err(DmError::BadQuery(format!(
                 "query compiled to non-SELECT: {other:?}"
@@ -383,9 +407,7 @@ mod tests {
         let io = io_single();
         assert!(io.user_sql("SELECT * FROM hle").is_ok());
         assert!(io.user_sql("DELETE FROM hle").is_err());
-        assert!(io
-            .user_sql("INSERT INTO hle (id) VALUES (1)")
-            .is_err());
+        assert!(io.user_sql("INSERT INTO hle (id) VALUES (1)").is_err());
     }
 
     #[test]

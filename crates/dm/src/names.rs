@@ -86,10 +86,8 @@ impl<'a> Names<'a> {
     pub fn new_item(&self) -> DmResult<i64> {
         let item_id = self.io.next_id();
         let ts = self.io.clock.now_ms();
-        self.io.insert(
-            "loc_item",
-            vec![Value::Int(item_id), Value::Int(ts as i64)],
-        )?;
+        self.io
+            .insert("loc_item", vec![Value::Int(item_id), Value::Int(ts as i64)])?;
         Ok(item_id)
     }
 
@@ -107,7 +105,9 @@ impl<'a> Names<'a> {
                 Value::Int(i64::from(archive_id)),
                 Value::Text(archive_type.to_string()),
                 Value::Text(path_prefix.to_string()),
-                url_base.map(|u| Value::Text(u.to_string())).unwrap_or(Value::Null),
+                url_base
+                    .map(|u| Value::Text(u.to_string()))
+                    .unwrap_or(Value::Null),
                 Value::Bool(true),
             ],
         )?;
@@ -136,7 +136,9 @@ impl<'a> Names<'a> {
                 Value::Int(i64::from(archive_id)),
                 Value::Text(path.to_string()),
                 Value::Int(size as i64),
-                checksum.map(|c| Value::Int(i64::from(c))).unwrap_or(Value::Null),
+                checksum
+                    .map(|c| Value::Int(i64::from(c)))
+                    .unwrap_or(Value::Null),
                 Value::Text(role.to_string()),
             ],
         )?;
@@ -148,7 +150,11 @@ impl<'a> Names<'a> {
         let id = self.io.next_id();
         self.io.insert(
             "loc_transform",
-            vec![Value::Int(id), Value::Int(entry_id), Value::Text(transform.to_string())],
+            vec![
+                Value::Int(id),
+                Value::Int(entry_id),
+                Value::Text(transform.to_string()),
+            ],
         )?;
         Ok(())
     }
@@ -178,8 +184,20 @@ impl<'a> Names<'a> {
     }
 
     /// Construct all names of one type for an item: the two indexed queries
-    /// of §4.3 (plus one per entry for transforms, only when present).
+    /// of §4.3 (plus one per entry for transforms, only when present). The
+    /// end-to-end cost of the mapping — the price §4.3 pays for run-time
+    /// relocatability — feeds the `dm.name_map` histogram.
     pub fn resolve(&self, item_id: i64, want: NameType) -> DmResult<Vec<ResolvedName>> {
+        let _span = hedc_obs::Span::child("dm.name_map");
+        let started = std::time::Instant::now();
+        let out = self.resolve_inner(item_id, want);
+        hedc_obs::global()
+            .histogram("dm.name_map")
+            .record(started.elapsed());
+        out
+    }
+
+    fn resolve_inner(&self, item_id: i64, want: NameType) -> DmResult<Vec<ResolvedName>> {
         // Query 1: entries by item id (indexed on item_id).
         let entries = self
             .io
@@ -199,8 +217,7 @@ impl<'a> Names<'a> {
 
             // Query 2: archive type + current path prefix (indexed pk).
             let arch = self.io.query(
-                &Query::table("loc_archive")
-                    .filter(Expr::eq("archive_id", i64::from(archive_id))),
+                &Query::table("loc_archive").filter(Expr::eq("archive_id", i64::from(archive_id))),
             )?;
             let arch_row = arch.rows.first().ok_or(DmError::NotFound {
                 entity: "archive",
@@ -228,9 +245,9 @@ impl<'a> Names<'a> {
             let url = url_base.map(|b| format!("{b}/{archive_path}"));
 
             let transforms = {
-                let t = self.io.query(
-                    &Query::table("loc_transform").filter(Expr::eq("entry_id", entry_id)),
-                )?;
+                let t = self
+                    .io
+                    .query(&Query::table("loc_transform").filter(Expr::eq("entry_id", entry_id)))?;
                 t.rows
                     .iter()
                     .map(|r| r[2].as_text().unwrap_or("").to_string())
@@ -335,8 +352,18 @@ mod tests {
         schema::create_generic(&mut conn).unwrap();
         schema::create_domain(&mut conn).unwrap();
         let files = FileStore::new();
-        files.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 20));
-        files.register(Archive::in_memory(2, "tape", ArchiveTier::TapeVault, 1 << 20));
+        files.register(Archive::in_memory(
+            1,
+            "disk",
+            ArchiveTier::OnlineDisk,
+            1 << 20,
+        ));
+        files.register(Archive::in_memory(
+            2,
+            "tape",
+            ArchiveTier::TapeVault,
+            1 << 20,
+        ));
         DmIo::new(
             vec![db],
             Partitioning::single(),

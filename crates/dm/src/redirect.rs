@@ -120,12 +120,20 @@ impl DmRouter {
         for k in 0..n {
             let node = &self.nodes[(start + k) % n];
             if !node.is_available() {
+                hedc_obs::emit(
+                    hedc_obs::events::kind::DM_REDIRECT,
+                    format!("skipped unavailable node {}", node.node_id()),
+                );
                 last_err = Some(DmError::RemoteUnavailable(node.node_id()));
                 continue;
             }
             match node.execute_query(q) {
                 Ok(r) => return Ok(r),
                 Err(DmError::RemoteUnavailable(id)) => {
+                    hedc_obs::emit(
+                        hedc_obs::events::kind::DM_REDIRECT,
+                        format!("redirected past failed node {id}"),
+                    );
                     last_err = Some(DmError::RemoteUnavailable(id));
                     continue;
                 }
@@ -243,6 +251,6 @@ mod tests {
         let router = DmRouter::new(vec![a, b.clone()]);
         let err = router.execute_query(&Query::table("nope")).unwrap_err();
         assert!(matches!(err, DmError::BadQuery(_)));
-        assert_eq!(b.calls() , 0, "no failover on query errors");
+        assert_eq!(b.calls(), 0, "no failover on query errors");
     }
 }

@@ -136,6 +136,7 @@ impl<'a> Services<'a> {
 
     /// Run a query with the session's ownership scoping applied.
     pub fn query(&self, session: &Session, q: Query) -> DmResult<QueryResult> {
+        let _span = hedc_obs::Span::child("dm.session.query");
         session.require(Rights::BROWSE, "browse")?;
         self.io.query(&scope_query(session, q))
     }
@@ -342,7 +343,10 @@ impl<'a> Services<'a> {
         let r = self
             .io
             .query(&Query::table(table).filter(Expr::eq("id", id)))?;
-        let row = r.rows.first().ok_or(DmError::NotFound { entity: "tuple", id })?;
+        let row = r.rows.first().ok_or(DmError::NotFound {
+            entity: "tuple",
+            id,
+        })?;
         let owner_col = r
             .columns
             .iter()
@@ -457,7 +461,9 @@ impl<'a> Services<'a> {
                 Value::Int(id),
                 Value::Int(session.user_id),
                 Value::Text(name.to_string()),
-                description.map(|d| Value::Text(d.to_string())).unwrap_or(Value::Null),
+                description
+                    .map(|d| Value::Text(d.to_string()))
+                    .unwrap_or(Value::Null),
                 Value::Text(kind.to_string()),
                 Value::Bool(false),
                 Value::Int(now),
@@ -542,7 +548,12 @@ mod tests {
         schema::create_generic(&mut conn).unwrap();
         schema::create_domain(&mut conn).unwrap();
         let files = FileStore::new();
-        files.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 24));
+        files.register(Archive::in_memory(
+            1,
+            "disk",
+            ArchiveTier::OnlineDisk,
+            1 << 24,
+        ));
         let io = DmIo::new(
             vec![db],
             Partitioning::single(),
@@ -557,7 +568,12 @@ mod tests {
         let cb = mgr.authenticate(&io, "bob", "b", "ip-b").unwrap();
         let alice = mgr.lookup("ip-a", ca, SessionKind::Hle).unwrap();
         let bob = mgr.lookup("ip-b", cb, SessionKind::Hle).unwrap();
-        Fixture { io, mgr, alice, bob }
+        Fixture {
+            io,
+            mgr,
+            alice,
+            bob,
+        }
     }
 
     fn ana_spec(hle_id: i64, fp: &str) -> AnaSpec {
@@ -667,7 +683,9 @@ mod tests {
         let f = fixture();
         let svc = Services::new(&f.io);
         let names = Names::new(&f.io);
-        names.register_archive(1, "disk", "online/v1", None).unwrap();
+        names
+            .register_archive(1, "disk", "online/v1", None)
+            .unwrap();
         let hle = svc
             .create_hle(&f.alice, &HleSpec::window(0, 1000, "flare"))
             .unwrap();
@@ -713,7 +731,10 @@ mod tests {
             .unwrap_err();
         // Unknown archive now fails at prefix resolution (NotFound) before
         // the file store would reject it (Fs); either way staging aborts.
-        assert!(matches!(err, DmError::Fs(_) | DmError::NotFound { .. }), "{err:?}");
+        assert!(
+            matches!(err, DmError::Fs(_) | DmError::NotFound { .. }),
+            "{err:?}"
+        );
         // The first store was compensated.
         assert!(!f.io.files.exists(1, "a"));
         // No ANA tuple leaked.
@@ -786,10 +807,20 @@ mod tests {
         svc.delete_analysis(&f.alice, ana_id).unwrap();
         // Location entries went with it, and so did the file itself —
         // deleting only the metadata would orphan bytes (§4.4).
-        assert!(names.resolve(item.unwrap(), NameType::File).unwrap().is_empty());
-        assert!(!f.io.files.exists(1, "x"), "result file removed with the analysis");
+        assert!(names
+            .resolve(item.unwrap(), NameType::File)
+            .unwrap()
+            .is_empty());
+        assert!(
+            !f.io.files.exists(1, "x"),
+            "result file removed with the analysis"
+        );
         svc.delete_hle(&f.alice, hle).unwrap();
-        assert!(svc.query(&f.alice, Query::table("hle")).unwrap().rows.is_empty());
+        assert!(svc
+            .query(&f.alice, Query::table("hle"))
+            .unwrap()
+            .rows
+            .is_empty());
     }
 
     #[test]

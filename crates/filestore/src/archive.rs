@@ -125,7 +125,11 @@ impl IoMeter {
                 self.mounts.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let mbps = if write { costs.write_mbps } else { costs.read_mbps };
+        let mbps = if write {
+            costs.write_mbps
+        } else {
+            costs.read_mbps
+        };
         if mbps > 0.0 {
             ms += (bytes as f64) / (mbps * 1_048_576.0) * 1000.0;
         }
@@ -241,9 +245,9 @@ impl DirBackend {
 
     fn resolve(&self, path: &str) -> FsResult<PathBuf> {
         if path.is_empty()
-            || path.split('/').any(|seg| {
-                seg.is_empty() || seg == "." || seg == ".." || seg.contains('\\')
-            })
+            || path
+                .split('/')
+                .any(|seg| seg.is_empty() || seg == "." || seg == ".." || seg.contains('\\'))
         {
             return Err(FsError::Io(format!("invalid archive path `{path}`")));
         }
@@ -410,7 +414,12 @@ impl Archive {
     }
 
     /// In-memory archive (convenience).
-    pub fn in_memory(id: ArchiveId, name: impl Into<String>, tier: ArchiveTier, capacity: u64) -> Self {
+    pub fn in_memory(
+        id: ArchiveId,
+        name: impl Into<String>,
+        tier: ArchiveTier,
+        capacity: u64,
+    ) -> Self {
         Self::new(id, name, tier, capacity, Box::new(MemBackend::default()))
     }
 
@@ -485,7 +494,8 @@ impl Archive {
     pub fn fetch(&self, path: &str) -> FsResult<Vec<u8>> {
         self.check_online()?;
         let data = self.backend.fetch(path)?;
-        self.meter.charge(&self.costs, data.len() as u64, false, false);
+        self.meter
+            .charge(&self.costs, data.len() as u64, false, false);
         Ok(data)
     }
 
@@ -544,9 +554,19 @@ impl FileStore {
         self.archive(id)?.store(path, data)
     }
 
-    /// Fetch from a specific archive.
+    /// Fetch from a specific archive. Read latency feeds the `fs.read`
+    /// histogram and bytes the `fs.read_bytes` counter, under the ambient
+    /// trace.
     pub fn fetch(&self, id: ArchiveId, path: &str) -> FsResult<Vec<u8>> {
-        self.archive(id)?.fetch(path)
+        let _span = hedc_obs::Span::child("fs.read");
+        let started = std::time::Instant::now();
+        let out = self.archive(id)?.fetch(path);
+        let obs = hedc_obs::global();
+        obs.histogram("fs.read").record(started.elapsed());
+        if let Ok(data) = &out {
+            obs.counter("fs.read_bytes").add(data.len() as u64);
+        }
+        out
     }
 
     /// Delete from a specific archive.
@@ -562,12 +582,7 @@ impl FileStore {
     /// Status of every archive, ordered by id (the "status of archives"
     /// operational view).
     pub fn statuses(&self) -> Vec<ArchiveStatus> {
-        let mut v: Vec<ArchiveStatus> = self
-            .archives
-            .read()
-            .values()
-            .map(|a| a.status())
-            .collect();
+        let mut v: Vec<ArchiveStatus> = self.archives.read().values().map(|a| a.status()).collect();
         v.sort_by_key(|s| s.id);
         v
     }
@@ -632,7 +647,12 @@ mod tests {
         tape.fetch("f").unwrap();
         let d = disk.io();
         let t = tape.io();
-        assert!(t.sim_us > d.sim_us * 100, "tape {} vs disk {}", t.sim_us, d.sim_us);
+        assert!(
+            t.sim_us > d.sim_us * 100,
+            "tape {} vs disk {}",
+            t.sim_us,
+            d.sim_us
+        );
         assert_eq!(t.mounts, 2);
         assert_eq!(d.mounts, 0);
         assert_eq!(d.bytes_read, 1 << 20);
@@ -647,10 +667,7 @@ mod tests {
         b.store("raw/2002/unit2.fits", b"data22").unwrap();
         assert_eq!(b.fetch("raw/2002/unit1.fits").unwrap(), b"data1");
         assert!(b.exists("raw/2002/unit2.fits"));
-        assert_eq!(
-            b.list(),
-            vec!["raw/2002/unit1.fits", "raw/2002/unit2.fits"]
-        );
+        assert_eq!(b.list(), vec!["raw/2002/unit1.fits", "raw/2002/unit2.fits"]);
         assert_eq!(b.used_bytes(), 11);
         b.delete("raw/2002/unit1.fits").unwrap();
         assert!(!b.exists("raw/2002/unit1.fits"));

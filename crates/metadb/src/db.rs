@@ -176,7 +176,10 @@ fn replay(inner: &mut Inner, rec: LogRecord) -> DbResult<()> {
 /// Undo record for rollback.
 #[derive(Debug)]
 enum Undo {
-    Insert { table: String, row_id: RowId },
+    Insert {
+        table: String,
+        row_id: RowId,
+    },
     Update {
         table: String,
         row_id: RowId,
@@ -322,7 +325,9 @@ impl Connection {
     ) -> DbResult<()> {
         {
             let mut inner = self.db.inner.write();
-            inner.table_mut(table)?.create_index(name, columns, unique)?;
+            inner
+                .table_mut(table)?
+                .create_index(name, columns, unique)?;
         }
         self.db.log(&[LogRecord::CreateIndex {
             table: table.to_string(),
@@ -363,9 +368,15 @@ impl Connection {
 
     /// Run a structured query.
     pub fn query(&self, q: &Query) -> DbResult<QueryResult> {
+        let span = hedc_obs::Span::child("metadb.query");
+        let started = std::time::Instant::now();
         let inner = self.db.inner.read();
         let t = inner.table(&q.table)?;
         let result = query::execute(t, q)?;
+        hedc_obs::global()
+            .histogram("metadb.query")
+            .record(started.elapsed());
+        drop(span);
         let s = &self.db.stats;
         DbStats::bump(&s.queries);
         DbStats::add(&s.rows_scanned, result.stats.rows_scanned as u64);
@@ -419,7 +430,8 @@ impl Connection {
                 // (reverse order) so a mid-statement unique violation or
                 // type error leaves no partial effects behind.
                 for (id, old, _) in out.into_iter().rev() {
-                    t.update(id, old).expect("compensating update restores prior value");
+                    t.update(id, old)
+                        .expect("compensating update restores prior value");
                 }
                 return Err(e);
             }
@@ -475,10 +487,20 @@ impl Connection {
         Ok(n)
     }
 
-    /// Parse and execute one SQL statement.
+    /// Parse and execute one SQL statement. Compile (parse) and execute time
+    /// are tracked separately — the split the paper's §5.4 query pipeline
+    /// reasons about.
     pub fn execute_sql(&mut self, sql_text: &str) -> DbResult<SqlOutput> {
+        let obs = hedc_obs::global();
+        let compile_started = std::time::Instant::now();
         let stmt = sql::parse(sql_text)?;
-        self.execute_statement(stmt)
+        obs.histogram("metadb.compile")
+            .record(compile_started.elapsed());
+        let exec_started = std::time::Instant::now();
+        let out = self.execute_statement(stmt);
+        obs.histogram("metadb.execute")
+            .record(exec_started.elapsed());
+        out
     }
 
     /// Execute an already-parsed statement.
@@ -498,7 +520,11 @@ impl Connection {
                 self.create_index(&table, &name, &cols, unique)?;
                 Ok(SqlOutput::Done)
             }
-            Statement::Insert { table, columns, values } => {
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
                 let mut count = 0usize;
                 for row in values {
                     let full = reorder_insert(&self.db.schema_of(&table)?, &columns, row)?;
@@ -508,7 +534,11 @@ impl Connection {
                 Ok(SqlOutput::Affected(count))
             }
             Statement::Select(q) => Ok(SqlOutput::Rows(self.query(&q)?)),
-            Statement::Update { table, sets, filter } => {
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => {
                 let n = self.update_where(&table, &sets, filter)?;
                 Ok(SqlOutput::Affected(n))
             }
@@ -630,7 +660,11 @@ mod tests {
         for i in 0..10i64 {
             conn.insert(
                 "hle",
-                vec![Value::Int(i), Value::Int(i * 100), Value::Text(format!("e{i}"))],
+                vec![
+                    Value::Int(i),
+                    Value::Int(i * 100),
+                    Value::Text(format!("e{i}")),
+                ],
             )
             .unwrap();
         }
@@ -803,10 +837,7 @@ mod tests {
         let r = conn
             .query(&Query::table("hle").filter(Expr::between("time_start", 0, 2)))
             .unwrap();
-        assert!(matches!(
-            r.stats.access,
-            query::AccessPath::Index { .. }
-        ));
+        assert!(matches!(r.stats.access, query::AccessPath::Index { .. }));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -102,8 +102,12 @@ impl ConnectionPool {
         self.state.lock().outstanding
     }
 
-    /// Acquire a connection, blocking until one is free.
+    /// Acquire a connection, blocking until one is free. Wait time feeds the
+    /// `db.pool.acquire` latency histogram; acquisitions that had to block
+    /// are additionally logged as `pool_stall` events with the wait and the
+    /// pool's database, under the ambient trace.
     pub fn acquire(self: &Arc<Self>) -> PooledConnection {
+        let started = std::time::Instant::now();
         let mut state = self.state.lock();
         let mut waited = false;
         while state.idle.is_empty() && state.outstanding >= self.capacity {
@@ -112,6 +116,14 @@ impl ConnectionPool {
         }
         if waited {
             self.waited.fetch_add(1, Ordering::Relaxed);
+        }
+        let wait = started.elapsed();
+        hedc_obs::global().histogram("db.pool.acquire").record(wait);
+        if waited {
+            hedc_obs::emit(
+                hedc_obs::events::kind::POOL_STALL,
+                format!("db={} waited_us={}", self.db.name(), wait.as_micros()),
+            );
         }
         self.take_locked(state)
     }
@@ -239,11 +251,8 @@ mod tests {
     fn db() -> Arc<Database> {
         let db = Database::in_memory("pool-test");
         let mut conn = db.connect();
-        conn.create_table(Schema::new(
-            "t",
-            vec![ColumnDef::new("a", DataType::Int)],
-        ))
-        .unwrap();
+        conn.create_table(Schema::new("t", vec![ColumnDef::new("a", DataType::Int)]))
+            .unwrap();
         db
     }
 
@@ -296,9 +305,7 @@ mod tests {
             // dropped without commit
         }
         let c = pool.acquire();
-        let r = c
-            .query(&crate::query::Query::table("t"))
-            .unwrap();
+        let r = c.query(&crate::query::Query::table("t")).unwrap();
         assert!(r.rows.is_empty(), "uncommitted insert must not leak");
         assert!(!c.in_txn());
     }

@@ -4,32 +4,70 @@
 //! as usage statistics" (§4.1), and the evaluation reasons in queries/second
 //! against a known capacity (§7.3). These counters are what those numbers are
 //! read from.
+//!
+//! Counters live in an [`hedc_obs::MetricsRegistry`] (one per database, so
+//! per-instance test accounting stays exact), and [`DbStats::snapshot`] reads
+//! back through that registry — there is a single snapshot path shared with
+//! the rest of the observability layer. The public fields stay addressable as
+//! raw atomics because [`hedc_obs::Counter`] derefs to its `AtomicU64`.
 
+use hedc_obs::{Counter, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Monotonic counters updated by the engine. All methods are lock-free.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DbStats {
+    registry: MetricsRegistry,
     /// SELECT statements executed.
-    pub queries: AtomicU64,
+    pub queries: Arc<Counter>,
     /// INSERT/UPDATE/DELETE statements executed.
-    pub edits: AtomicU64,
+    pub edits: Arc<Counter>,
     /// Rows fetched from heaps and tested against predicates.
-    pub rows_scanned: AtomicU64,
+    pub rows_scanned: Arc<Counter>,
     /// Rows returned to clients.
-    pub rows_returned: AtomicU64,
+    pub rows_returned: Arc<Counter>,
     /// Queries answered via an index access path.
-    pub index_hits: AtomicU64,
+    pub index_hits: Arc<Counter>,
     /// Queries answered via a full scan.
-    pub full_scans: AtomicU64,
+    pub full_scans: Arc<Counter>,
     /// Transactions committed.
-    pub commits: AtomicU64,
+    pub commits: Arc<Counter>,
     /// Transactions rolled back.
-    pub rollbacks: AtomicU64,
+    pub rollbacks: Arc<Counter>,
     /// Bytes read through LOB accessors (ablation metric).
-    pub lob_bytes_read: AtomicU64,
+    pub lob_bytes_read: Arc<Counter>,
     /// Bytes written through LOB accessors (ablation metric).
-    pub lob_bytes_written: AtomicU64,
+    pub lob_bytes_written: Arc<Counter>,
+}
+
+impl Default for DbStats {
+    fn default() -> Self {
+        let registry = MetricsRegistry::new();
+        let queries = registry.counter("db.queries");
+        let edits = registry.counter("db.edits");
+        let rows_scanned = registry.counter("db.rows_scanned");
+        let rows_returned = registry.counter("db.rows_returned");
+        let index_hits = registry.counter("db.index_hits");
+        let full_scans = registry.counter("db.full_scans");
+        let commits = registry.counter("db.commits");
+        let rollbacks = registry.counter("db.rollbacks");
+        let lob_bytes_read = registry.counter("db.lob_bytes_read");
+        let lob_bytes_written = registry.counter("db.lob_bytes_written");
+        DbStats {
+            registry,
+            queries,
+            edits,
+            rows_scanned,
+            rows_returned,
+            index_hits,
+            full_scans,
+            commits,
+            rollbacks,
+            lob_bytes_read,
+            lob_bytes_written,
+        }
+    }
 }
 
 impl DbStats {
@@ -48,19 +86,26 @@ impl DbStats {
         counter.load(Ordering::Relaxed)
     }
 
-    /// Snapshot all counters at once.
+    /// The registry these counters live in (for export alongside the global
+    /// observability snapshot).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Snapshot all counters at once, reading through the registry.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let r = &self.registry;
         StatsSnapshot {
-            queries: Self::get(&self.queries),
-            edits: Self::get(&self.edits),
-            rows_scanned: Self::get(&self.rows_scanned),
-            rows_returned: Self::get(&self.rows_returned),
-            index_hits: Self::get(&self.index_hits),
-            full_scans: Self::get(&self.full_scans),
-            commits: Self::get(&self.commits),
-            rollbacks: Self::get(&self.rollbacks),
-            lob_bytes_read: Self::get(&self.lob_bytes_read),
-            lob_bytes_written: Self::get(&self.lob_bytes_written),
+            queries: r.counter_value("db.queries"),
+            edits: r.counter_value("db.edits"),
+            rows_scanned: r.counter_value("db.rows_scanned"),
+            rows_returned: r.counter_value("db.rows_returned"),
+            index_hits: r.counter_value("db.index_hits"),
+            full_scans: r.counter_value("db.full_scans"),
+            commits: r.counter_value("db.commits"),
+            rollbacks: r.counter_value("db.rollbacks"),
+            lob_bytes_read: r.counter_value("db.lob_bytes_read"),
+            lob_bytes_written: r.counter_value("db.lob_bytes_written"),
         }
     }
 }
@@ -135,5 +180,12 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.queries, 1);
         assert_eq!(d.edits, 1);
+    }
+
+    #[test]
+    fn fields_and_registry_share_storage() {
+        let s = DbStats::default();
+        s.queries.inc();
+        assert_eq!(s.registry().counter_value("db.queries"), 1);
     }
 }

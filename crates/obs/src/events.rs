@@ -1,0 +1,144 @@
+//! Bounded structured event log.
+//!
+//! For conditions worth keeping verbatim rather than as a bucket increment:
+//! slow queries (with their SQL), pool-acquire stalls, analysis-server
+//! timeouts and restarts, cross-node redirects. Events carry the ambient
+//! trace ID so they join up with the span tree of the request that caused
+//! them. The log is a fixed-capacity ring buffer: old events fall off, the
+//! system never grows without bound.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Well-known event kinds (callers may also use ad-hoc strings).
+pub mod kind {
+    pub const SLOW_QUERY: &str = "slow_query";
+    pub const POOL_STALL: &str = "pool_stall";
+    pub const ANALYSIS_TIMEOUT: &str = "analysis_timeout";
+    pub const ANALYSIS_RESTART: &str = "analysis_restart";
+    pub const DM_REDIRECT: &str = "dm_redirect";
+}
+
+/// One logged occurrence. `trace_id == 0` means "outside any request";
+/// `at_us` is microseconds since the process epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pub seq: u64,
+    pub at_us: u64,
+    pub trace_id: u64,
+    pub kind: String,
+    pub detail: String,
+}
+
+/// Fixed-capacity ring buffer of [`Event`]s.
+pub struct EventLog {
+    inner: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    seq: AtomicU64,
+}
+
+impl EventLog {
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event under an explicit trace ID.
+    pub fn record_in_trace(&self, trace_id: u64, kind: &str, detail: impl Into<String>) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at_us: crate::now_us(),
+            trace_id,
+            kind: kind.to_string(),
+            detail: detail.into(),
+        };
+        let mut buf = self.inner.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event);
+    }
+
+    /// Append an event under the ambient trace, if any.
+    pub fn record(&self, kind: &str, detail: impl Into<String>) {
+        let trace_id = crate::trace::current().map(|c| c.trace_id).unwrap_or(0);
+        self.record_in_trace(trace_id, kind, detail);
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Retained events of one kind, oldest first.
+    pub fn events_of_kind(&self, kind: &str) -> Vec<Event> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide event log (capacity 1024).
+pub fn event_log() -> &'static EventLog {
+    static LOG: OnceLock<EventLog> = OnceLock::new();
+    LOG.get_or_init(|| EventLog::with_capacity(1024))
+}
+
+/// Record into the global log under the ambient trace.
+pub fn emit(kind: &str, detail: impl Into<String>) {
+    event_log().record(kind, detail);
+}
+
+/// Record into the global log under an explicit trace ID (for events raised
+/// off the request thread, e.g. by the analysis server manager).
+pub fn emit_in_trace(trace_id: u64, kind: &str, detail: impl Into<String>) {
+    event_log().record_in_trace(trace_id, kind, detail);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_is_bounded_and_ordered() {
+        let log = EventLog::with_capacity(3);
+        for i in 0..5 {
+            log.record_in_trace(9, kind::SLOW_QUERY, format!("q{i}"));
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].detail, "q2");
+        assert_eq!(events[2].detail, "q4");
+        assert!(events[0].seq < events[1].seq);
+    }
+
+    #[test]
+    fn events_pick_up_ambient_trace() {
+        let log = EventLog::with_capacity(8);
+        let span = crate::trace::Span::root("e.root");
+        let trace_id = span.context().trace_id;
+        log.record(kind::POOL_STALL, "waited");
+        drop(span);
+        log.record(kind::POOL_STALL, "no trace");
+        let events = log.events_of_kind(kind::POOL_STALL);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].trace_id, trace_id);
+        assert_eq!(events[1].trace_id, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Snapshot assembly and export, as human-readable text and as JSON.
+//!
+//! JSON is emitted by hand (this crate is dependency-free); the encoder
+//! covers exactly what the snapshot needs: objects, arrays, strings with
+//! escaping, and integers.
+
+use crate::events::Event;
+use crate::metrics::{HistogramSnapshot, RegistrySnapshot};
+
+/// Escape a string for inclusion in a JSON document (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum_us\":{},\"min_us\":{},\"max_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+        h.count, h.sum_us, h.min_us, h.max_us, h.p50_us, h.p95_us, h.p99_us
+    )
+}
+
+/// Everything the process knows about itself at one instant: the global
+/// metrics registry plus the tail of the event log.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub metrics: RegistrySnapshot,
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    /// Render as aligned plain text, for the synoptic stats page and logs.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== counters ==\n");
+        for (name, v) in &self.metrics.counters {
+            out.push_str(&format!("{name:<32} {v}\n"));
+        }
+        if !self.metrics.gauges.is_empty() {
+            out.push_str("== gauges ==\n");
+            for (name, v) in &self.metrics.gauges {
+                out.push_str(&format!("{name:<32} {v}\n"));
+            }
+        }
+        out.push_str("== histograms (us) ==\n");
+        out.push_str(&format!(
+            "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "name", "count", "p50", "p95", "p99", "max"
+        ));
+        for (name, h) in &self.metrics.histograms {
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                name, h.count, h.p50_us, h.p95_us, h.p99_us, h.max_us
+            ));
+        }
+        out.push_str(&format!("== events ({}) ==\n", self.events.len()));
+        for e in &self.events {
+            out.push_str(&format!(
+                "[{:>10}us] trace={} {} {}\n",
+                e.at_us, e.trace_id, e.kind, e.detail
+            ));
+        }
+        out
+    }
+
+    /// Render as a JSON document.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .metrics
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_string(k), v))
+            .collect();
+        let gauges: Vec<String> = self
+            .metrics
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_string(k), v))
+            .collect();
+        let histograms: Vec<String> = self
+            .metrics
+            .histograms
+            .iter()
+            .map(|(k, h)| format!("{}:{}", json_string(k), histogram_json(h)))
+            .collect();
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"seq\":{},\"at_us\":{},\"trace_id\":{},\"kind\":{},\"detail\":{}}}",
+                    e.seq,
+                    e.at_us,
+                    e.trace_id,
+                    json_string(&e.kind),
+                    json_string(&e.detail)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"events\":[{}]}}",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(","),
+            events.join(",")
+        )
+    }
+}
+
+/// Snapshot the global registry and event log.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        metrics: crate::metrics::global().snapshot(),
+        events: crate::events::event_log().events(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b\nc"), "\"a\\\\b\\nc\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn snapshot_renders_text_and_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("metadb.queries").add(7);
+        reg.histogram("metadb.query").record_us(120);
+        let snap = Snapshot {
+            metrics: reg.snapshot(),
+            events: vec![Event {
+                seq: 0,
+                at_us: 5,
+                trace_id: 3,
+                kind: "slow_query".into(),
+                detail: "SELECT \"x\"".into(),
+            }],
+        };
+        let text = snap.to_text();
+        assert!(text.contains("metadb.queries"));
+        assert!(text.contains("slow_query"));
+        let json = snap.to_json();
+        assert!(json.contains("\"metadb.queries\":7"));
+        assert!(json.contains("\"p50_us\":120"));
+        assert!(json.contains("\\\"x\\\""));
+        // Must be parseable by any JSON parser: balanced braces, no stray
+        // trailing commas. Cheap structural check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+    }
+}

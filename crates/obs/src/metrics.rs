@@ -1,0 +1,419 @@
+//! Counters, gauges, and fixed-bucket latency histograms.
+//!
+//! Updates are plain relaxed atomics — the same discipline `DbStats` already
+//! uses — so the hot path never takes a lock. The registry itself guards its
+//! name → metric maps with a mutex, but that is only hit on first lookup;
+//! call sites hold the returned `Arc` and update through it.
+
+use std::collections::BTreeMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotone event counter. `Deref`s to its `AtomicU64` so code written
+/// against raw atomics (e.g. `DbStats::bump(&stats.queries)`) keeps working
+/// unchanged after migrating the field type.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Deref for Counter {
+    type Target = AtomicU64;
+    fn deref(&self) -> &AtomicU64 {
+        &self.0
+    }
+}
+
+/// A point-in-time signed level (queue depth, pool occupancy).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket upper bounds in microseconds, roughly logarithmic from 1µs to 60s.
+/// A final implicit overflow bucket catches everything above the last bound.
+pub const BUCKET_BOUNDS_US: [u64; 24] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+];
+
+const NBUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+
+/// Fixed-bucket latency histogram. Recording is wait-free (one bucket
+/// increment plus count/sum/min/max updates); percentile extraction walks the
+/// bucket array at snapshot time. Estimates are the bucket's upper bound,
+/// clamped into the observed `[min, max]` range so a single-sample histogram
+/// reports that sample exactly.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NBUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    min_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            min_us: AtomicU64::new(u64::MAX),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_for(us: u64) -> usize {
+        BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(NBUCKETS - 1)
+    }
+
+    /// Record one observation, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.min_us.fetch_min(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record a wall-clock duration, floored at 1µs so any real operation is
+    /// distinguishable from "never ran" in the percentiles.
+    pub fn record(&self, d: Duration) {
+        self.record_us((d.as_micros() as u64).max(1));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Percentile estimate in microseconds. `q` in [0, 1]; 0 on empty.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        let snap_buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = snap_buckets.iter().sum();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        let mut estimate = *BUCKET_BOUNDS_US.last().unwrap();
+        for (i, n) in snap_buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                estimate = if i < BUCKET_BOUNDS_US.len() {
+                    BUCKET_BOUNDS_US[i]
+                } else {
+                    self.max_us.load(Ordering::Relaxed)
+                };
+                break;
+            }
+        }
+        let min = self.min_us.load(Ordering::Relaxed);
+        let max = self.max_us.load(Ordering::Relaxed);
+        estimate.clamp(min.min(max), max)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            min_us: if count == 0 {
+                0
+            } else {
+                self.min_us.load(Ordering::Relaxed)
+            },
+            max_us: self.max_us.load(Ordering::Relaxed),
+            p50_us: self.percentile_us(0.50),
+            p95_us: self.percentile_us(0.95),
+            p99_us: self.percentile_us(0.99),
+        }
+    }
+}
+
+/// Point-in-time view of a histogram, all fields in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Named metrics, get-or-create by name. One global instance (`global()`)
+/// serves the whole process; subsystems that need isolated accounting (the
+/// per-`Database` `DbStats`, the simulator) create their own.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Counter value by name; 0 if never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of a whole registry, name-sorted.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// The process-wide default registry. Cross-tier instrumentation (pool
+/// acquire, PL queue wait, metadb query latency, filestore reads, web
+/// requests) all lands here.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.p95_us, 0);
+        assert_eq!(s.p99_us, 0);
+        assert_eq!(s.min_us, 0);
+        assert_eq!(s.max_us, 0);
+        assert_eq!(s.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_percentile() {
+        let h = Histogram::new();
+        h.record_us(137);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        // 137 lands in the (100, 250] bucket, but min/max clamping recovers
+        // the exact value.
+        assert_eq!(s.p50_us, 137);
+        assert_eq!(s.p95_us, 137);
+        assert_eq!(s.p99_us, 137);
+        assert_eq!(s.min_us, 137);
+        assert_eq!(s.max_us, 137);
+    }
+
+    #[test]
+    fn bucket_assignment_is_inclusive_upper_bound() {
+        assert_eq!(Histogram::bucket_for(0), 0);
+        assert_eq!(Histogram::bucket_for(1), 0);
+        assert_eq!(Histogram::bucket_for(2), 1);
+        assert_eq!(Histogram::bucket_for(100), 6);
+        assert_eq!(Histogram::bucket_for(101), 7);
+        assert_eq!(Histogram::bucket_for(60_000_000), NBUCKETS - 2);
+        assert_eq!(Histogram::bucket_for(60_000_001), NBUCKETS - 1);
+        assert_eq!(Histogram::bucket_for(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us);
+        assert!(s.p50_us >= 500 && s.p50_us <= 1000, "p50={}", s.p50_us);
+        assert!(s.p99_us <= s.max_us);
+        assert_eq!(s.min_us, 1);
+        assert_eq!(s.max_us, 1000);
+    }
+
+    #[test]
+    fn overflow_bucket_uses_observed_max() {
+        let h = Histogram::new();
+        h.record_us(90_000_000);
+        h.record_us(120_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.p99_us, 120_000_000);
+    }
+
+    #[test]
+    fn duration_recording_floors_at_one_microsecond() {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(10));
+        assert_eq!(h.snapshot().min_us, 1);
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_same_metric() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.counter_value("x"), 1);
+        assert_eq!(r.counter_value("never"), 0);
+    }
+
+    #[test]
+    fn counter_derefs_to_atomic() {
+        let c = Counter::new();
+        // The DbStats migration relies on this coercion.
+        fn bump(a: &AtomicU64) {
+            a.fetch_add(1, Ordering::Relaxed);
+        }
+        bump(&c);
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn registry_snapshot_collects_everything() {
+        let r = MetricsRegistry::new();
+        r.counter("c1").add(5);
+        r.gauge("g1").set(-3);
+        r.histogram("h1").record_us(42);
+        let s = r.snapshot();
+        assert_eq!(s.counters, vec![("c1".to_string(), 5)]);
+        assert_eq!(s.gauges, vec![("g1".to_string(), -3)]);
+        assert_eq!(s.histogram("h1").unwrap().count, 1);
+        assert_eq!(s.histogram("h1").unwrap().p50_us, 42);
+    }
+}

@@ -1,0 +1,272 @@
+//! Request-scoped span tracing.
+//!
+//! A trace is minted at the system edge (the web thin client or the PL
+//! frontend) and flows down through the DM session into metadb query
+//! execution and filestore reads. Propagation is ambient: each thread keeps
+//! a current [`SpanContext`] in a thread-local, child spans pick it up
+//! automatically, and cross-thread handoff (the PL dispatcher pattern) is an
+//! explicit capture-then-[`adopt`]. Finished spans land in a bounded global
+//! ring buffer ([`SpanStore`]) from which a request can be reconstructed as
+//! a tree keyed by its trace ID.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The (trace, span) coordinates a piece of work runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<SpanContext>> = const { Cell::new(None) };
+}
+
+fn next_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The ambient context on this thread, if any.
+pub fn current() -> Option<SpanContext> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Install `ctx` as this thread's ambient context until the guard drops.
+/// Used to carry a trace across a thread boundary: capture [`current`] on
+/// the submitting thread, ship it with the job, `adopt` it in the worker.
+pub fn adopt(ctx: Option<SpanContext>) -> ContextGuard {
+    let prev = CURRENT.with(|c| c.replace(ctx));
+    ContextGuard { prev }
+}
+
+/// Restores the previous ambient context on drop.
+pub struct ContextGuard {
+    prev: Option<SpanContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// An in-flight timed operation. Created at scope entry, finished (recorded
+/// into the global [`SpanStore`]) on drop. While alive it is the ambient
+/// context on its thread, so nested spans become its children.
+pub struct Span {
+    ctx: SpanContext,
+    parent_id: u64,
+    prev: Option<SpanContext>,
+    name: String,
+    start: Instant,
+    start_us: u64,
+}
+
+impl Span {
+    fn begin(name: &str, trace_id: u64, parent_id: u64) -> Span {
+        let ctx = SpanContext {
+            trace_id,
+            span_id: next_id(),
+        };
+        let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+        Span {
+            ctx,
+            parent_id,
+            prev,
+            name: name.to_string(),
+            start: Instant::now(),
+            start_us: crate::now_us(),
+        }
+    }
+
+    /// Start a new trace. Called at the system edge, once per request.
+    pub fn root(name: &str) -> Span {
+        Span::begin(name, next_id(), 0)
+    }
+
+    /// Start a child of the ambient context, or a fresh root if there is
+    /// none (so instrumented code also works when called outside a request).
+    pub fn child(name: &str) -> Span {
+        match current() {
+            Some(parent) => Span::begin(name, parent.trace_id, parent.span_id),
+            None => Span::root(name),
+        }
+    }
+
+    /// This span's coordinates, for handing to another thread.
+    pub fn context(&self) -> SpanContext {
+        self.ctx
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+        span_store().record(FinishedSpan {
+            trace_id: self.ctx.trace_id,
+            span_id: self.ctx.span_id,
+            parent_id: self.parent_id,
+            name: std::mem::take(&mut self.name),
+            start_us: self.start_us,
+            duration_us: (self.start.elapsed().as_micros() as u64).max(1),
+        });
+    }
+}
+
+/// A completed span. `parent_id == 0` marks a trace root; `start_us` is
+/// microseconds since the process epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedSpan {
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_id: u64,
+    pub name: String,
+    pub start_us: u64,
+    pub duration_us: u64,
+}
+
+/// Bounded ring buffer of finished spans; oldest entries fall off.
+pub struct SpanStore {
+    inner: Mutex<VecDeque<FinishedSpan>>,
+    capacity: usize,
+}
+
+impl SpanStore {
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanStore {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    pub fn record(&self, span: FinishedSpan) {
+        let mut buf = self.inner.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(span);
+    }
+
+    /// All retained spans of one trace, in completion order.
+    pub fn spans_for(&self, trace_id: u64) -> Vec<FinishedSpan> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// The most recently completed `n` spans, newest last.
+    pub fn recent(&self, n: usize) -> Vec<FinishedSpan> {
+        let buf = self.inner.lock().unwrap();
+        buf.iter()
+            .skip(buf.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+
+    /// Trace ID of the most recently completed root span, if any.
+    pub fn last_root_trace(&self) -> Option<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .rev()
+            .find(|s| s.parent_id == 0)
+            .map(|s| s.trace_id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide span ring buffer (capacity 4096).
+pub fn span_store() -> &'static SpanStore {
+    static STORE: OnceLock<SpanStore> = OnceLock::new();
+    STORE.get_or_init(|| SpanStore::with_capacity(4096))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_share_trace_and_link_parents() {
+        let root = Span::root("t.root");
+        let rctx = root.context();
+        {
+            let child = Span::child("t.child");
+            assert_eq!(child.context().trace_id, rctx.trace_id);
+            {
+                let grand = Span::child("t.grand");
+                assert_eq!(grand.context().trace_id, rctx.trace_id);
+            }
+        }
+        drop(root);
+        let spans = span_store().spans_for(rctx.trace_id);
+        assert_eq!(spans.len(), 3);
+        let child = spans.iter().find(|s| s.name == "t.child").unwrap();
+        let grand = spans.iter().find(|s| s.name == "t.grand").unwrap();
+        assert_eq!(child.parent_id, rctx.span_id);
+        assert_eq!(grand.parent_id, child.span_id);
+        let roots: Vec<_> = spans.iter().filter(|s| s.parent_id == 0).collect();
+        assert_eq!(roots.len(), 1);
+    }
+
+    #[test]
+    fn child_without_ambient_context_starts_a_root() {
+        let _g = adopt(None); // shield from any ambient context
+        let orphan = Span::child("t.orphan");
+        let ctx = orphan.context();
+        drop(orphan);
+        let spans = span_store().spans_for(ctx.trace_id);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent_id, 0);
+    }
+
+    #[test]
+    fn context_restored_after_drop() {
+        let _g = adopt(None);
+        assert_eq!(current(), None);
+        let a = Span::root("t.a");
+        let actx = a.context();
+        {
+            let b = Span::child("t.b");
+            assert_eq!(current(), Some(b.context()));
+        }
+        assert_eq!(current(), Some(actx));
+        drop(a);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let store = SpanStore::with_capacity(4);
+        for i in 0..10 {
+            store.record(FinishedSpan {
+                trace_id: 1,
+                span_id: i,
+                parent_id: 0,
+                name: "x".into(),
+                start_us: i,
+                duration_us: 1,
+            });
+        }
+        assert_eq!(store.len(), 4);
+        let spans = store.spans_for(1);
+        assert_eq!(spans[0].span_id, 6);
+        assert_eq!(store.last_root_trace(), Some(1));
+    }
+}

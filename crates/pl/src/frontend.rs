@@ -13,7 +13,7 @@ use crate::estimate::{estimate, ExecTarget, ExecutionPlan};
 use crate::request::{Phase, Priority, RequestSpec, RequestState};
 use crate::server_mgr::ServerManager;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use hedc_analysis::{AlgorithmRegistry, AnalysisKind, AnalysisProduct, select_photons};
+use hedc_analysis::{select_photons, AlgorithmRegistry, AnalysisKind, AnalysisProduct};
 use hedc_dm::{AnaSpec, Dm, FilePayload, NameType, Session};
 use hedc_events::TelemetryUnit;
 use hedc_filestore::{FitsFile, Header, PhotonList};
@@ -95,6 +95,11 @@ struct Queued {
     spec: RequestSpec,
     state: Arc<RequestState>,
     reply: Sender<PlResult<Outcome>>,
+    /// Trace context captured at submit time, re-adopted by the dispatcher
+    /// thread so the request keeps one trace ID across the thread hop.
+    trace: Option<hedc_obs::SpanContext>,
+    /// Submit instant, for the `pl.queue_wait` histogram.
+    enqueued: Instant,
 }
 
 impl PartialEq for Queued {
@@ -207,6 +212,8 @@ impl ProcessingLogic {
             spec,
             state: Arc::clone(&state),
             reply: tx,
+            trace: hedc_obs::current(),
+            enqueued: Instant::now(),
         };
         let (lock, cvar) = &*self.queue;
         lock.lock().heap.push(q);
@@ -243,7 +250,16 @@ impl ProcessingLogic {
                     cvar.wait(&mut state);
                 }
             };
-            let result = self.process(&job);
+            hedc_obs::global()
+                .histogram("pl.queue_wait")
+                .record(job.enqueued.elapsed());
+            let result = {
+                // Continue the submitter's trace on this dispatcher thread;
+                // a request submitted outside any trace starts its own here.
+                let _trace = hedc_obs::adopt(job.trace);
+                let _span = hedc_obs::Span::child("pl.process");
+                self.process(&job)
+            };
             let _ = job.reply.send(result);
         }
     }
@@ -273,7 +289,12 @@ impl ProcessingLogic {
         check_cancel()?;
         let alg = self.registry.get(&spec.kind)?;
         let photon_estimate = self.estimate_photon_count(spec)?;
-        let plan = estimate(alg.as_ref(), photon_estimate, &spec.params, ExecTarget::Server);
+        let plan = estimate(
+            alg.as_ref(),
+            photon_estimate,
+            &spec.params,
+            ExecTarget::Server,
+        );
         if let Some(limit) = spec.cost_limit_ms {
             if plan.estimated_ms > limit {
                 state.advance(Phase::Failed);
@@ -318,6 +339,9 @@ impl ProcessingLogic {
             None => alg.run(&photons, &spec.params)?,
         };
         let duration_ms = started.elapsed().as_millis() as u64;
+        hedc_obs::global()
+            .histogram("pl.analysis")
+            .record(started.elapsed());
         self.dm.io.clock.advance(plan.estimated_ms.max(1));
 
         // ---- Phase 3: delivery ---------------------------------------------
@@ -345,11 +369,16 @@ impl ProcessingLogic {
             product_type: product.type_label().to_string(),
             calib_version,
         };
-        let (ana_id, item_id) = self.dm.services().import_analysis(session, &ana_spec, &files)?;
+        let (ana_id, item_id) = self
+            .dm
+            .services()
+            .import_analysis(session, &ana_spec, &files)?;
         state.advance(Phase::Committed);
-        self.dm
-            .io
-            .audit(session.user_id, &format!("analysis:{}", spec.kind), Some(duration_ms as i64))?;
+        self.dm.io.audit(
+            session.user_id,
+            &format!("analysis:{}", spec.kind),
+            Some(duration_ms as i64),
+        )?;
         Ok(Outcome::Computed {
             ana_id,
             item_id,
@@ -416,8 +445,10 @@ impl ProcessingLogic {
         for row in &r.rows {
             let item_id = row[6].as_int().ok_or(PlError::BadPhase("raw item"))?;
             let bytes = names.fetch_data(item_id)?;
-            let unit = TelemetryUnit::from_fits(&FitsFile::from_bytes(&bytes).map_err(hedc_dm::DmError::Fs)?)
-                .map_err(hedc_dm::DmError::Fs)?;
+            let unit = TelemetryUnit::from_fits(
+                &FitsFile::from_bytes(&bytes).map_err(hedc_dm::DmError::Fs)?,
+            )
+            .map_err(hedc_dm::DmError::Fs)?;
             calib_version = calib_version.max(unit.calib_version);
             let cut = select_photons(&unit.photons, &spec.params);
             merged.times_ms.extend_from_slice(&cut.times_ms);
@@ -504,10 +535,10 @@ impl ProcessingLogic {
 
     /// Resolve a committed analysis's files (delivery for later readers).
     pub fn result_files(&self, session: &Session, ana_id: i64) -> PlResult<Vec<String>> {
-        let r = self.dm.services().query(
-            session,
-            Query::table("ana").filter(Expr::eq("id", ana_id)),
-        )?;
+        let r = self
+            .dm
+            .services()
+            .query(session, Query::table("ana").filter(Expr::eq("id", ana_id)))?;
         let row = r.rows.first().ok_or(hedc_dm::DmError::NotFound {
             entity: "ana",
             id: ana_id,

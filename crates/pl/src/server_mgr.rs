@@ -66,7 +66,9 @@ impl ServerManager {
     /// halting the system"). Returns its id.
     pub fn add_server(&self) -> u32 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.servers.write().push(Arc::new(AnalysisServer::start(id)));
+        self.servers
+            .write()
+            .push(Arc::new(AnalysisServer::start(id)));
         id
     }
 
@@ -131,12 +133,24 @@ impl ServerManager {
                 }
                 Err(AnalysisError::TimedOut) => {
                     self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    hedc_obs::emit(
+                        hedc_obs::events::kind::ANALYSIS_TIMEOUT,
+                        format!("server {} timed out after {:?}", server.id, self.timeout),
+                    );
                     server.kill();
                     server.restart();
+                    hedc_obs::emit(
+                        hedc_obs::events::kind::ANALYSIS_RESTART,
+                        format!("server {} restarted after timeout", server.id),
+                    );
                 }
                 Err(AnalysisError::ServerDied) => {
                     self.crashes.fetch_add(1, Ordering::Relaxed);
                     server.restart();
+                    hedc_obs::emit(
+                        hedc_obs::events::kind::ANALYSIS_RESTART,
+                        format!("server {} restarted after crash", server.id),
+                    );
                 }
                 Err(AnalysisError::BadParams(msg)) if msg.starts_with("server busy") => {
                     // Lost a race for the server; try again without

@@ -45,6 +45,12 @@ pub struct BrowseResult {
     pub db_queries_per_second: f64,
     /// Mean request response time, seconds.
     pub avg_response_s: f64,
+    /// Median request response time, seconds.
+    pub p50_response_s: f64,
+    /// 95th-percentile request response time, seconds.
+    pub p95_response_s: f64,
+    /// 99th-percentile request response time, seconds.
+    pub p99_response_s: f64,
     /// Middle-tier utilization per node.
     pub mt_utilization: Vec<f64>,
     /// Database utilization.
@@ -87,6 +93,9 @@ pub fn run_browse(config: BrowseConfig) -> BrowseResult {
         requests_per_second: report.throughput,
         db_queries_per_second: report.throughput * calib::QUERIES_PER_REQUEST,
         avg_response_s: report.avg_response_s,
+        p50_response_s: report.p50_response_s,
+        p95_response_s: report.p95_response_s,
+        p99_response_s: report.p99_response_s,
         mt_utilization: report.utilization[..config.nodes].to_vec(),
         db_utilization: report.utilization[db_index],
     }

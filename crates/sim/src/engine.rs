@@ -62,6 +62,13 @@ pub struct PsReport {
     pub throughput: f64,
     /// Mean cycle response time, seconds.
     pub avg_response_s: f64,
+    /// Median cycle response time, seconds (from a latency histogram over
+    /// simulated time; 0 when no cycles completed).
+    pub p50_response_s: f64,
+    /// 95th-percentile cycle response time, seconds.
+    pub p95_response_s: f64,
+    /// 99th-percentile cycle response time, seconds.
+    pub p99_response_s: f64,
     /// Per-resource utilization in [0, 1] (busy servers / capacity);
     /// 0 for delay stations.
     pub utilization: Vec<f64>,
@@ -143,6 +150,9 @@ impl ClosedLoopPs {
         let t_measure = self.now + warmup_s;
         let mut completions = 0u64;
         let mut response_sum = 0.0f64;
+        // Simulated-time response distribution: seconds recorded as µs so
+        // the same fixed-bucket histogram serves wall-clock and sim time.
+        let response_hist = hedc_obs::Histogram::new();
         let mut busy = vec![0.0f64; self.resources.len()];
 
         while self.now < t_end {
@@ -181,7 +191,9 @@ impl ClosedLoopPs {
                         // Cycle complete.
                         if self.now > t_measure {
                             completions += 1;
-                            response_sum += self.now - j.cycle_start;
+                            let response = self.now - j.cycle_start;
+                            response_sum += response;
+                            response_hist.record_us((response * 1e6) as u64);
                         }
                         j.stage = 0;
                         j.cycle_start = self.now;
@@ -203,6 +215,7 @@ impl ClosedLoopPs {
                 }
             })
             .collect();
+        let rsnap = response_hist.snapshot();
         PsReport {
             completions,
             throughput: completions as f64 / measure_s,
@@ -211,6 +224,9 @@ impl ClosedLoopPs {
             } else {
                 response_sum / completions as f64
             },
+            p50_response_s: rsnap.p50_us as f64 / 1e6,
+            p95_response_s: rsnap.p95_us as f64 / 1e6,
+            p99_response_s: rsnap.p99_us as f64 / 1e6,
             utilization,
             window_s: measure_s,
         }
@@ -252,6 +268,28 @@ mod tests {
         let r = sim.run(50.0, 200.0);
         assert!((r.throughput - 2.0).abs() < 0.1, "{r:?}");
         assert!((r.avg_response_s - 5.0).abs() < 0.3, "{r:?}");
+    }
+
+    /// Percentiles come from the per-run response histogram and must be
+    /// ordered and in the neighborhood of the mean.
+    #[test]
+    fn report_percentiles_are_ordered_and_plausible() {
+        let routes = vec![
+            vec![StageSpec {
+                resource: 0,
+                demand: 0.5
+            }];
+            10
+        ];
+        let mut sim = ClosedLoopPs::new(vec![Resource::new("cpu", 1.0)], routes);
+        let r = sim.run(50.0, 200.0);
+        assert!(r.p50_response_s > 0.0);
+        assert!(r.p50_response_s <= r.p95_response_s);
+        assert!(r.p95_response_s <= r.p99_response_s);
+        assert!(
+            (r.p50_response_s - r.avg_response_s).abs() / r.avg_response_s < 0.5,
+            "{r:?}"
+        );
     }
 
     /// Multi-server: 4 clients on a 2-server station, demand 1 s →

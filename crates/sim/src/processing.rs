@@ -135,6 +135,12 @@ pub struct ProcessingResult {
     pub turnover_gb_day: f64,
     /// Mean sojourn time, seconds.
     pub avg_sojourn_s: f64,
+    /// Median sojourn time, seconds.
+    pub p50_sojourn_s: f64,
+    /// 95th-percentile sojourn time, seconds.
+    pub p95_sojourn_s: f64,
+    /// 99th-percentile sojourn time, seconds.
+    pub p99_sojourn_s: f64,
     /// Server CPU, system share, percent of both CPUs.
     pub server_sys_pct: f64,
     /// Server CPU, user share, percent.
@@ -179,7 +185,11 @@ pub fn run_processing(workload: Workload, config: ProcConfig) -> ProcessingResul
         match kind {
             SlotKind::Server => {
                 let dispatch = calib::DISPATCH_BASE_S
-                    + if parallel { calib::DISPATCH_PARALLEL_S } else { 0.0 };
+                    + if parallel {
+                        calib::DISPATCH_PARALLEL_S
+                    } else {
+                        0.0
+                    };
                 let compute = workload.server_compute_s();
                 (
                     dispatch + compute + dm,
@@ -195,7 +205,11 @@ pub fn run_processing(workload: Workload, config: ProcConfig) -> ProcessingResul
                 } else {
                     workload.input_bytes() / calib::LINK_BPS
                 };
-                let dispatch = if parallel { calib::DISPATCH_PARALLEL_S } else { 0.0 };
+                let dispatch = if parallel {
+                    calib::DISPATCH_PARALLEL_S
+                } else {
+                    0.0
+                };
                 let compute = workload.client_compute_s();
                 let coord = calib::REMOTE_COORD_S;
                 (
@@ -215,6 +229,9 @@ pub fn run_processing(workload: Workload, config: ProcConfig) -> ProcessingResul
     let mut slot_free = vec![0.0f64; slots.len()];
     let mut completions: Vec<f64> = Vec::with_capacity(n_jobs);
     let mut sojourn_sum = 0.0f64;
+    // Simulated sojourn distribution, seconds recorded as µs (same
+    // convention as the browse simulator's response histogram).
+    let sojourn_hist = hedc_obs::Histogram::new();
     let (mut susr, mut ssys, mut cusr, mut csys) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
 
     for j in 0..n_jobs {
@@ -238,6 +255,7 @@ pub fn run_processing(workload: Workload, config: ProcConfig) -> ProcessingResul
         slot_free[slot_idx] = done;
         completions.push(done);
         sojourn_sum += done - admitted;
+        sojourn_hist.record_us(((done - admitted) * 1e6) as u64);
         susr += u_s;
         ssys += y_s;
         cusr += u_c;
@@ -259,6 +277,7 @@ pub fn run_processing(workload: Workload, config: ProcConfig) -> ProcessingResul
         (0.0, 0.0)
     };
 
+    let ssnap = sojourn_hist.snapshot();
     ProcessingResult {
         workload: workload.name(),
         config: config.label(),
@@ -266,6 +285,9 @@ pub fn run_processing(workload: Workload, config: ProcConfig) -> ProcessingResul
         duration_s,
         turnover_gb_day: calib::TOTAL_INPUT_BYTES / 1e9 * 86_400.0 / duration_s,
         avg_sojourn_s: sojourn_sum / n_jobs as f64,
+        p50_sojourn_s: ssnap.p50_us as f64 / 1e6,
+        p95_sojourn_s: ssnap.p95_us as f64 / 1e6,
+        p99_sojourn_s: ssnap.p99_us as f64 / 1e6,
         server_sys_pct,
         server_usr_pct,
         client_sys_pct,
@@ -343,18 +365,38 @@ mod tests {
     fn turnover_matches_paper() {
         // Imaging: 0.8 → 3.5 GB/day; histogram: 4.6 → 10.0 GB/day.
         let img = table1(Workload::Imaging);
-        assert!(within(img[0].turnover_gb_day, 0.8, 0.15), "{}", img[0].turnover_gb_day);
-        assert!(within(img[3].turnover_gb_day, 3.5, 0.15), "{}", img[3].turnover_gb_day);
+        assert!(
+            within(img[0].turnover_gb_day, 0.8, 0.15),
+            "{}",
+            img[0].turnover_gb_day
+        );
+        assert!(
+            within(img[3].turnover_gb_day, 3.5, 0.15),
+            "{}",
+            img[3].turnover_gb_day
+        );
         let hist = table1(Workload::Histogram);
-        assert!(within(hist[0].turnover_gb_day, 4.6, 0.15), "{}", hist[0].turnover_gb_day);
-        assert!(within(hist[4].turnover_gb_day, 10.0, 0.15), "{}", hist[4].turnover_gb_day);
+        assert!(
+            within(hist[0].turnover_gb_day, 4.6, 0.15),
+            "{}",
+            hist[0].turnover_gb_day
+        );
+        assert!(
+            within(hist[4].turnover_gb_day, 10.0, 0.15),
+            "{}",
+            hist[4].turnover_gb_day
+        );
     }
 
     #[test]
     fn cpu_utilizations_match_paper_shape() {
         let img = table1(Workload::Imaging);
         // S(1): ~50% usr (one of two CPUs crunching).
-        assert!(within(img[0].server_usr_pct, 50.0, 0.15), "{}", img[0].server_usr_pct);
+        assert!(
+            within(img[0].server_usr_pct, 50.0, 0.15),
+            "{}",
+            img[0].server_usr_pct
+        );
         // S(2): ~96% usr (both CPUs crunching).
         assert!(img[1].server_usr_pct > 85.0, "{}", img[1].server_usr_pct);
         // C: client busy, server nearly idle.
@@ -402,6 +444,14 @@ mod tests {
     }
 
     #[test]
+    fn sojourn_percentiles_are_ordered() {
+        let r = run_processing(Workload::Imaging, ProcConfig::Server { slots: 2 });
+        assert!(r.p50_sojourn_s > 0.0, "{r:?}");
+        assert!(r.p50_sojourn_s <= r.p95_sojourn_s, "{r:?}");
+        assert!(r.p95_sojourn_s <= r.p99_sojourn_s, "{r:?}");
+    }
+
+    #[test]
     fn workload_characteristics_tables_2_and_3() {
         let img = run_processing(Workload::Imaging, ProcConfig::Server { slots: 1 });
         assert_eq!(img.queries, 300);
@@ -410,6 +460,10 @@ mod tests {
         let hist = run_processing(Workload::Histogram, ProcConfig::Server { slots: 1 });
         assert_eq!(hist.queries, 450);
         assert_eq!(hist.edits, 300);
-        assert!(within(hist.output_bytes as f64, 1.2 * 1024.0 * 1024.0, 0.01));
+        assert!(within(
+            hist.output_bytes as f64,
+            1.2 * 1024.0 * 1024.0,
+            0.01
+        ));
     }
 }

@@ -27,12 +27,22 @@ fn lifecycle_ingest_browse_analyze_share() {
     assert!(report.events > 0);
 
     // Two scientists.
-    hedc.dm().create_user("alice", "a", "sci", Rights::SCIENTIST).unwrap();
-    hedc.dm().create_user("bob", "b", "sci", Rights::SCIENTIST).unwrap();
+    hedc.dm()
+        .create_user("alice", "a", "sci", Rights::SCIENTIST)
+        .unwrap();
+    hedc.dm()
+        .create_user("bob", "b", "sci", Rights::SCIENTIST)
+        .unwrap();
     let ca = hedc.dm().login("alice", "a", "ip-a").unwrap();
     let cb = hedc.dm().login("bob", "b", "ip-b").unwrap();
-    let alice = hedc.dm().session("ip-a", ca, SessionKind::Analysis).unwrap();
-    let bob = hedc.dm().session("ip-b", cb, SessionKind::Analysis).unwrap();
+    let alice = hedc
+        .dm()
+        .session("ip-a", ca, SessionKind::Analysis)
+        .unwrap();
+    let bob = hedc
+        .dm()
+        .session("ip-b", cb, SessionKind::Analysis)
+        .unwrap();
 
     // Alice analyzes a detected event.
     let hle = hedc
@@ -46,7 +56,10 @@ fn lifecycle_ingest_browse_analyze_share() {
     let params = hedc_analysis::AnalysisParams::window(0, 600_000);
     let outcome = hedc
         .pl()
-        .submit_sync(Arc::clone(&alice), RequestSpec::new("spectrum", params.clone(), hle))
+        .submit_sync(
+            Arc::clone(&alice),
+            RequestSpec::new("spectrum", params.clone(), hle),
+        )
         .unwrap();
     let ana_id = outcome.ana_id();
 
@@ -54,7 +67,10 @@ fn lifecycle_ingest_browse_analyze_share() {
     // for him either — he computes his own.
     let bob_outcome = hedc
         .pl()
-        .submit_sync(Arc::clone(&bob), RequestSpec::new("spectrum", params.clone(), hle))
+        .submit_sync(
+            Arc::clone(&bob),
+            RequestSpec::new("spectrum", params.clone(), hle),
+        )
         .unwrap();
     assert!(!bob_outcome.was_reused());
     assert_ne!(bob_outcome.ana_id(), ana_id);
@@ -80,7 +96,9 @@ fn lifecycle_ingest_browse_analyze_share() {
 fn web_and_streamcorder_see_the_same_repository() {
     let hedc = Hedc::start(HedcConfig::default()).unwrap();
     hedc.load_telemetry(&gen(2, 20), usize::MAX).unwrap();
-    hedc.dm().create_user("web", "pw", "sci", Rights::SCIENTIST).unwrap();
+    hedc.dm()
+        .create_user("web", "pw", "sci", Rights::SCIENTIST)
+        .unwrap();
     let cookie = hedc.dm().login("web", "pw", "shared-ip").unwrap();
     let session = hedc
         .dm()
@@ -99,12 +117,8 @@ fn web_and_streamcorder_see_the_same_repository() {
     let web_events = resp.text().matches("/hedc/hle/").count();
 
     // Fat client: mirror and count locally.
-    let sc = StreamCorder::connect(
-        Arc::clone(hedc.dm()),
-        session,
-        CacheStrategy::V2LocalClone,
-    )
-    .unwrap();
+    let sc =
+        StreamCorder::connect(Arc::clone(hedc.dm()), session, CacheStrategy::V2LocalClone).unwrap();
     let (hles, _) = sc.mirror_metadata().unwrap();
     assert_eq!(hles, web_events, "both clients see the same events");
     let local = sc
@@ -139,13 +153,20 @@ fn recalibration_invalidates_then_recomputes() {
     let params = hedc_analysis::AnalysisParams::window(0, 300_000);
     let v1_outcome = hedc
         .pl()
-        .submit_sync(Arc::clone(&session), RequestSpec::new("histogram", params.clone(), hle))
+        .submit_sync(
+            Arc::clone(&session),
+            RequestSpec::new("histogram", params.clone(), hle),
+        )
         .unwrap();
 
     // Recalibrate.
     let v1 = Calibration::launch();
     let v2 = v1.recalibrated(0.04, 0.1);
-    let report = hedc.dm().versioning().apply_recalibration(&v1, &v2).unwrap();
+    let report = hedc
+        .dm()
+        .versioning()
+        .apply_recalibration(&v1, &v2)
+        .unwrap();
     assert_eq!(report.units_recalibrated, 1);
     assert!(report.analyses_invalidated >= 1);
 
@@ -154,9 +175,15 @@ fn recalibration_invalidates_then_recomputes() {
     assert!(stale.contains(&v1_outcome.ana_id()));
     let new_outcome = hedc
         .pl()
-        .submit_sync(Arc::clone(&session), RequestSpec::new("histogram", params, hle))
+        .submit_sync(
+            Arc::clone(&session),
+            RequestSpec::new("histogram", params, hle),
+        )
         .unwrap();
-    assert!(!new_outcome.was_reused(), "obsolete results must not be reused");
+    assert!(
+        !new_outcome.was_reused(),
+        "obsolete results must not be reused"
+    );
     assert_ne!(new_outcome.ana_id(), v1_outcome.ana_id());
     hedc.shutdown();
 }
@@ -284,12 +311,136 @@ fn analysis_server_failures_are_invisible_to_users() {
 }
 
 #[test]
+fn observability_traces_a_browse_request_end_to_end() {
+    let hedc = Hedc::start(HedcConfig::default()).unwrap();
+    hedc.load_telemetry(&gen(8, 15), usize::MAX).unwrap();
+    hedc.dm()
+        .create_user("tracer", "pw", "sci", Rights::SCIENTIST)
+        .unwrap();
+    let cookie = hedc.dm().login("tracer", "pw", "obs-ip").unwrap();
+    let session = hedc
+        .dm()
+        .session("obs-ip", cookie, SessionKind::Analysis)
+        .unwrap();
+
+    // One PL submission so the queue-wait histogram has samples.
+    let hle = hedc
+        .dm()
+        .services()
+        .query(&session, Query::table("hle").limit(1))
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap();
+    hedc.pl()
+        .submit_sync(
+            session,
+            RequestSpec::new(
+                "lightcurve",
+                hedc_analysis::AnalysisParams::window(0, 120_000),
+                hle,
+            ),
+        )
+        .unwrap();
+
+    // Pick a stored file to browse: the single request under test is a
+    // /files/ download, which walks metadata (metadb queries), the name
+    // mapping, and the filestore — all under one web.request root span.
+    let raw = hedc
+        .dm()
+        .io
+        .query(&Query::table("raw_unit").limit(1))
+        .unwrap();
+    let item = raw.rows[0][6].as_int().unwrap();
+    let resolved = hedc
+        .dm()
+        .names()
+        .resolve(item, hedc_dm::NameType::File)
+        .unwrap();
+    let path = resolved[0].archive_path.clone();
+    let resp = hedc
+        .web()
+        .handle(&HttpRequest::get(&format!("/files/{path}"), "obs-ip").with_cookie(cookie));
+    assert_eq!(resp.status, 200);
+
+    // Find our trace: a web.request root whose trace touched the filestore.
+    // (Other tests in this process issue web requests too, but none
+    // downloads a file through the web tier.)
+    let store = hedc_obs::span_store();
+    let trace = store
+        .recent(4096)
+        .into_iter()
+        .filter(|s| s.parent_id == 0 && s.name == "web.request")
+        .map(|root| store.spans_for(root.trace_id))
+        .find(|spans| spans.iter().any(|s| s.name == "fs.read"))
+        .expect("a web.request trace that reached the filestore");
+
+    // One root; every other span links to a parent within the same trace —
+    // a connected tree under a single trace ID.
+    let roots: Vec<_> = trace.iter().filter(|s| s.parent_id == 0).collect();
+    assert_eq!(roots.len(), 1, "{trace:?}");
+    assert_eq!(roots[0].name, "web.request");
+    let ids: std::collections::BTreeSet<u64> = trace.iter().map(|s| s.span_id).collect();
+    for s in &trace {
+        assert_eq!(s.trace_id, roots[0].trace_id);
+        assert!(
+            s.parent_id == 0 || ids.contains(&s.parent_id),
+            "span {} has dangling parent {}",
+            s.name,
+            s.parent_id
+        );
+        assert!(s.duration_us > 0);
+    }
+    // The tiers the request crossed, by span name.
+    for expected in ["dm.io.query", "metadb.query", "dm.name_map", "fs.read"] {
+        assert!(
+            trace.iter().any(|s| s.name == expected),
+            "missing span {expected} in {trace:?}"
+        );
+    }
+
+    // The latency histograms behind the stats page are populated.
+    let snap = hedc_obs::global().snapshot();
+    for name in [
+        "metadb.query",
+        "dm.query",
+        "dm.name_map",
+        "db.pool.acquire",
+        "pl.queue_wait",
+    ] {
+        let h = snap
+            .histogram(name)
+            .unwrap_or_else(|| panic!("histogram {name} missing"));
+        assert!(h.count > 0, "{name} never recorded");
+        assert!(
+            h.p50_us > 0 && h.p50_us <= h.p95_us && h.p95_us <= h.p99_us,
+            "{name}: {h:?}"
+        );
+    }
+
+    // And the web tier serves them.
+    let stats = hedc
+        .web()
+        .handle(&HttpRequest::get("/hedc/stats", "obs-ip"));
+    assert_eq!(stats.status, 200);
+    assert!(stats.text().contains("metadb.query"));
+    let json = hedc
+        .web()
+        .handle(&HttpRequest::get("/hedc/stats.json", "obs-ip"));
+    assert_eq!(json.status, 200);
+    assert!(json.text().contains("\"histograms\""));
+    hedc.shutdown();
+}
+
+#[test]
 fn open_event_model_supports_user_defined_types() {
     // §3.3: "HEDC does not provide predefined types ... there are only
     // events." A user invents a type the designers never anticipated.
     let hedc = Hedc::start(HedcConfig::default()).unwrap();
     hedc.load_telemetry(&gen(7, 15), usize::MAX).unwrap();
-    hedc.dm().create_user("maverick", "pw", "sci", Rights::SCIENTIST).unwrap();
+    hedc.dm()
+        .create_user("maverick", "pw", "sci", Rights::SCIENTIST)
+        .unwrap();
     let c = hedc.dm().login("maverick", "pw", "ip").unwrap();
     let session = hedc.dm().session("ip", c, SessionKind::Hle).unwrap();
     let mut spec = hedc_dm::HleSpec::window(60_000, 240_000, "terrestrial-gamma-flash");
