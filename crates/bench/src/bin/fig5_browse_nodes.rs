@@ -4,8 +4,21 @@
 //! Paper shape: "the throughput rises from 3 requests for one node to 18
 //! requests for five nodes. These 18 requests result in around 120 HEDC
 //! database queries, the peak performance of the database setup."
+//!
+//! Pass `--net` (or set `HEDC_NET=1`) to additionally run the real-network
+//! mode: N loopback `DmServer`s behind a `DmRouter` of `NetDm` clients, the
+//! same closed-loop browse workload measured over actual sockets. Both the
+//! simulated and the measured rows land in `results/BENCH_fig5_browse_nodes`
+//! tagged with `"mode"`. `HEDC_NET_SECS` tunes the per-point window.
 
+use hedc_bench::cluster::{run_cluster, ClusterConfig};
 use hedc_sim::browse::figure5;
+use std::time::Duration;
+
+fn net_mode_enabled() -> bool {
+    std::env::args().any(|a| a == "--net")
+        || std::env::var("HEDC_NET").is_ok_and(|v| v != "0" && !v.is_empty())
+}
 
 fn main() {
     let nodes = [1usize, 2, 3, 5];
@@ -58,10 +71,11 @@ fn main() {
 
     // Machine-readable latency/throughput summary from the per-run obs
     // histograms (one row per node count).
-    let bench_rows: Vec<serde_json::Value> = results
+    let mut bench_rows: Vec<serde_json::Value> = results
         .iter()
         .map(|r| {
             serde_json::json!({
+                "mode": "sim",
                 "nodes": r.config.nodes,
                 "clients": r.config.clients,
                 "throughput_rps": r.requests_per_second,
@@ -74,6 +88,53 @@ fn main() {
             })
         })
         .collect();
+
+    if net_mode_enabled() {
+        let secs: f64 = std::env::var("HEDC_NET_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2.0);
+        println!("\nreal-network mode — loopback DmServer cluster over hedc-net");
+        println!("{:-<74}", "");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12}",
+            "nodes", "req/s", "p50 ms", "p95 ms", "p99 ms"
+        );
+        for n in nodes {
+            let r = run_cluster(&ClusterConfig::fig5(n, Duration::from_secs_f64(secs)));
+            println!(
+                "{:>6} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+                r.nodes,
+                r.requests_per_second,
+                r.p50_response_s * 1e3,
+                r.p95_response_s * 1e3,
+                r.p99_response_s * 1e3
+            );
+            bench_rows.push(serde_json::json!({
+                "mode": "net",
+                "nodes": r.nodes,
+                "clients": r.clients,
+                "requests": r.requests,
+                "throughput_rps": r.requests_per_second,
+                "bytes_out": r.bytes_out,
+                "bytes_in": r.bytes_in,
+                "latency_s": {
+                    "avg": r.avg_response_s,
+                    "p50": r.p50_response_s,
+                    "p95": r.p95_response_s,
+                    "p99": r.p99_response_s,
+                },
+            }));
+        }
+        println!("{:-<74}", "");
+        println!(
+            "the net rows measure the same router/redirection path as the sim \
+             rows, but every query crosses the hedc-net wire protocol"
+        );
+    } else {
+        println!("(run with --net or HEDC_NET=1 to add real-network rows)");
+    }
+
     hedc_bench::write_report(
         "BENCH_fig5_browse_nodes",
         &serde_json::json!({ "bench": "fig5_browse_nodes", "rows": bench_rows }),

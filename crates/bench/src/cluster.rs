@@ -1,0 +1,226 @@
+//! Real-network cluster harness: boot N loopback DM servers and drive
+//! browse traffic through `DmRouter` over `NetDm`.
+//!
+//! This is the measured counterpart of the §7.3 simulation: the same
+//! router/redirection architecture, but every query crosses a real socket
+//! through the `hedc-net` wire protocol. `fig5_browse_nodes --net` runs it
+//! alongside the simulated Figure 5 so `results/BENCH_*.json` carries both
+//! a modeled and a measured throughput row per node count.
+
+use hedc_dm::{Dm, DmConfig, DmNode, DmRouter};
+use hedc_filestore::{Archive, ArchiveTier, FileStore};
+use hedc_metadb::{AggFunc, Expr, Query};
+use hedc_net::{DmServer, NetConfig, NetDm, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One real-network cluster run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Middle-tier DM server count.
+    pub nodes: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Measurement window.
+    pub measure: Duration,
+    /// Database queries per browse request (the paper's request costs
+    /// seven, §7.2).
+    pub queries_per_request: usize,
+}
+
+impl ClusterConfig {
+    /// The Figure-5 shape: 96 clients, 7 queries per request.
+    pub fn fig5(nodes: usize, measure: Duration) -> Self {
+        ClusterConfig {
+            nodes,
+            clients: 96,
+            measure,
+            queries_per_request: 7,
+        }
+    }
+}
+
+/// Measured outcome of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRunResult {
+    /// Node count.
+    pub nodes: usize,
+    /// Client thread count.
+    pub clients: usize,
+    /// Completed browse requests.
+    pub requests: u64,
+    /// Browse requests per second.
+    pub requests_per_second: f64,
+    /// Mean request latency, seconds.
+    pub avg_response_s: f64,
+    /// Median request latency, seconds.
+    pub p50_response_s: f64,
+    /// 95th-percentile request latency, seconds.
+    pub p95_response_s: f64,
+    /// 99th-percentile request latency, seconds.
+    pub p99_response_s: f64,
+    /// Client-side bytes sent during the run.
+    pub bytes_out: u64,
+    /// Client-side bytes received during the run.
+    pub bytes_in: u64,
+}
+
+fn dm_node(i: usize) -> Arc<Dm> {
+    let fs = FileStore::new();
+    fs.register(Archive::in_memory(
+        1,
+        "raw",
+        ArchiveTier::OnlineDisk,
+        1 << 30,
+    ));
+    fs.register(Archive::in_memory(
+        2,
+        "derived",
+        ArchiveTier::OnlineRaid,
+        1 << 30,
+    ));
+    let dm = Dm::bootstrap(Arc::new(fs), DmConfig::default())
+        .unwrap_or_else(|e| panic!("bootstrap cluster node {i}: {e}"));
+    // A few public HLEs so the browse aggregate has rows to chew on.
+    let session = dm.import_session();
+    let svc = dm.services();
+    for k in 0..16u64 {
+        let id = svc
+            .create_hle(
+                &session,
+                &hedc_dm::HleSpec::window(k * 100, k * 100 + 50, "flare"),
+            )
+            .expect("seed hle");
+        svc.publish(&session, "hle", id).expect("publish hle");
+    }
+    dm
+}
+
+/// The browse query mix: one request = `queries_per_request` DB queries,
+/// alternating a catalog scan with an indexed HLE count — read-only, like
+/// the §7.2 browse session.
+fn browse_queries(n: usize) -> Vec<Query> {
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                Query::table("catalog").filter(Expr::eq("public", true))
+            } else {
+                Query::table("hle")
+                    .filter(Expr::eq("public", true))
+                    .aggregate(AggFunc::CountStar)
+            }
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Boot the cluster, run the closed-loop workload, tear everything down.
+pub fn run_cluster(config: &ClusterConfig) -> ClusterRunResult {
+    assert!(config.nodes > 0 && config.clients > 0);
+    let servers: Vec<DmServer> = (0..config.nodes)
+        .map(|i| {
+            DmServer::bind("127.0.0.1:0", dm_node(i), ServerConfig::default())
+                .expect("bind loopback DM server")
+        })
+        .collect();
+    let remotes: Vec<Arc<dyn DmNode>> = servers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Arc::new(NetDm::connect(
+                s.local_addr(),
+                format!("net-dm-{i}"),
+                NetConfig::default(),
+            )) as Arc<dyn DmNode>
+        })
+        .collect();
+    let router = Arc::new(DmRouter::new(remotes));
+
+    let obs = hedc_obs::global();
+    let bytes_out_before = obs.counter("net.client.bytes_out").get();
+    let bytes_in_before = obs.counter("net.client.bytes_in").get();
+
+    let queries = Arc::new(browse_queries(config.queries_per_request));
+    let deadline = Instant::now() + config.measure;
+    let started = Instant::now();
+    let workers: Vec<_> = (0..config.clients)
+        .map(|_| {
+            let router = Arc::clone(&router);
+            let queries = Arc::clone(&queries);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                while Instant::now() < deadline {
+                    let t0 = Instant::now();
+                    let mut ok = true;
+                    for q in queries.iter() {
+                        if router.execute_query(q).is_err() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        latencies.push(t0.elapsed().as_secs_f64());
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread"))
+        .collect();
+    let elapsed = started.elapsed().as_secs_f64();
+    drop(router);
+    for mut s in servers {
+        s.shutdown();
+    }
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let requests = latencies.len() as u64;
+    let avg = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    ClusterRunResult {
+        nodes: config.nodes,
+        clients: config.clients,
+        requests,
+        requests_per_second: requests as f64 / elapsed.max(f64::EPSILON),
+        avg_response_s: avg,
+        p50_response_s: percentile(&latencies, 0.50),
+        p95_response_s: percentile(&latencies, 0.95),
+        p99_response_s: percentile(&latencies, 0.99),
+        bytes_out: obs.counter("net.client.bytes_out").get() - bytes_out_before,
+        bytes_in: obs.counter("net.client.bytes_in").get() - bytes_in_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke: a 2-node loopback cluster serves real traffic.
+    #[test]
+    fn two_node_cluster_serves_browse_traffic() {
+        let result = run_cluster(&ClusterConfig {
+            nodes: 2,
+            clients: 4,
+            measure: Duration::from_millis(300),
+            queries_per_request: 7,
+        });
+        assert!(result.requests > 0, "{result:?}");
+        assert!(result.requests_per_second > 0.0);
+        assert!(result.bytes_out > 0 && result.bytes_in > 0);
+        assert!(result.p50_response_s <= result.p99_response_s);
+    }
+}

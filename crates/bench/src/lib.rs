@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
+
 use std::path::PathBuf;
 
 /// Where harness binaries drop their JSON reports.

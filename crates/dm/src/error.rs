@@ -27,6 +27,10 @@ pub enum DmError {
     BadQuery(String),
     /// The remote DM node did not respond in time (redirection).
     RemoteUnavailable(String),
+    /// The remote DM node answered, but reported a failure that is neither a
+    /// query rejection nor unavailability (wire protocol mismatch, remote
+    /// internal error). Not retried and not failed over: the node is up.
+    RemoteFailed(String),
 }
 
 impl fmt::Display for DmError {
@@ -43,6 +47,7 @@ impl fmt::Display for DmError {
             DmError::NotFound { entity, id } => write!(f, "no {entity} with id {id}"),
             DmError::BadQuery(m) => write!(f, "query rejected: {m}"),
             DmError::RemoteUnavailable(m) => write!(f, "remote DM unavailable: {m}"),
+            DmError::RemoteFailed(m) => write!(f, "remote DM failed: {m}"),
         }
     }
 }

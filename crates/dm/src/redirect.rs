@@ -94,15 +94,20 @@ impl<N: DmNode> DmNode for RemoteDm<N> {
 pub struct DmRouter {
     nodes: Vec<Arc<dyn DmNode>>,
     next: AtomicUsize,
+    /// Per-node "last seen down" flags, so recovery (a formerly skipped or
+    /// failed node serving again) is observable, not just the outage.
+    seen_down: Vec<AtomicBool>,
 }
 
 impl DmRouter {
     /// Build a router. At least one node is required.
     pub fn new(nodes: Vec<Arc<dyn DmNode>>) -> Self {
         assert!(!nodes.is_empty(), "router needs at least one node");
+        let seen_down = nodes.iter().map(|_| AtomicBool::new(false)).collect();
         DmRouter {
             nodes,
             next: AtomicUsize::new(0),
+            seen_down,
         }
     }
 
@@ -111,29 +116,42 @@ impl DmRouter {
         self.nodes.len()
     }
 
+    /// Mark node `i` down once, emitting the skip/failure event only on the
+    /// up→down edge so a flapping node does not flood the event log.
+    fn note_down(&self, i: usize, detail: String) {
+        if !self.seen_down[i].swap(true, Ordering::Relaxed) {
+            hedc_obs::emit(hedc_obs::events::kind::DM_REDIRECT, detail);
+        }
+    }
+
     /// Execute on the next node in rotation, failing over past down nodes.
     /// Errors only when every node is unavailable.
     pub fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+        // The counter is a free-running rotation cursor: it is *expected* to
+        // overflow on a long-lived router, so wrap explicitly everywhere.
         let start = self.next.fetch_add(1, Ordering::Relaxed);
         let n = self.nodes.len();
         let mut last_err = None;
         for k in 0..n {
-            let node = &self.nodes[(start + k) % n];
+            let i = start.wrapping_add(k) % n;
+            let node = &self.nodes[i];
             if !node.is_available() {
-                hedc_obs::emit(
-                    hedc_obs::events::kind::DM_REDIRECT,
-                    format!("skipped unavailable node {}", node.node_id()),
-                );
+                self.note_down(i, format!("skipped unavailable node {}", node.node_id()));
                 last_err = Some(DmError::RemoteUnavailable(node.node_id()));
                 continue;
             }
             match node.execute_query(q) {
-                Ok(r) => return Ok(r),
+                Ok(r) => {
+                    if self.seen_down[i].swap(false, Ordering::Relaxed) {
+                        hedc_obs::emit(
+                            hedc_obs::events::kind::DM_REDIRECT,
+                            format!("node {} recovered, back in rotation", node.node_id()),
+                        );
+                    }
+                    return Ok(r);
+                }
                 Err(DmError::RemoteUnavailable(id)) => {
-                    hedc_obs::emit(
-                        hedc_obs::events::kind::DM_REDIRECT,
-                        format!("redirected past failed node {id}"),
-                    );
+                    self.note_down(i, format!("redirected past failed node {id}"));
                     last_err = Some(DmError::RemoteUnavailable(id));
                     continue;
                 }
@@ -230,6 +248,33 @@ mod tests {
             router.execute_query(&Query::table("catalog")).unwrap();
         }
         assert!(a.calls() > 0);
+    }
+
+    #[test]
+    fn recovery_emits_redirect_event() {
+        let a = Arc::new(RemoteDm::new(node("a", 1), "node-recov-a", 50));
+        let b = Arc::new(RemoteDm::new(node("b", 1), "node-recov-b", 50));
+        let router = DmRouter::new(vec![a.clone(), b]);
+        a.set_down(true);
+        for _ in 0..4 {
+            router.execute_query(&Query::table("catalog")).unwrap();
+        }
+        a.set_down(false);
+        for _ in 0..4 {
+            router.execute_query(&Query::table("catalog")).unwrap();
+        }
+        let events = hedc_obs::event_log().events_of_kind(hedc_obs::events::kind::DM_REDIRECT);
+        let skips = events
+            .iter()
+            .filter(|e| e.detail.contains("node-recov-a") && e.detail.contains("skipped"))
+            .count();
+        let recoveries = events
+            .iter()
+            .filter(|e| e.detail.contains("node-recov-a") && e.detail.contains("recovered"))
+            .count();
+        // Down edge logged once (not once per skipped request), up edge once.
+        assert_eq!(skips, 1, "{events:?}");
+        assert_eq!(recoveries, 1, "{events:?}");
     }
 
     #[test]

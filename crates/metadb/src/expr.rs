@@ -10,7 +10,7 @@ use crate::value::Value;
 use std::ops::Bound;
 
 /// Comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -41,7 +41,7 @@ impl CmpOp {
 }
 
 /// Arithmetic operators (numeric only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ArithOp {
     /// `+`
     Add,
@@ -54,7 +54,7 @@ pub enum ArithOp {
 }
 
 /// An expression tree over one row.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 #[allow(missing_docs)] // variant docs describe the fields
 pub enum Expr {
     /// A literal value.

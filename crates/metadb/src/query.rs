@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::ops::Bound;
 
 /// Sort direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum OrderDir {
     /// Ascending (NULLs first, per the `Value` total order).
     Asc,
@@ -26,7 +26,7 @@ pub enum OrderDir {
 }
 
 /// Aggregate functions.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum AggFunc {
     /// `COUNT(*)`
     CountStar,
@@ -68,7 +68,7 @@ impl AggFunc {
 }
 
 /// Column projection.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub enum Projection {
     /// `SELECT *`
     #[default]
@@ -78,7 +78,11 @@ pub enum Projection {
 }
 
 /// A structured query over one table.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializes with serde so it can travel between DM nodes over the
+/// `hedc-net` wire protocol (§5.4 call redirection) and be dumped into
+/// `/hedc/stats.json`-style diagnostics.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct Query {
     /// Target table.
     pub table: String,
@@ -155,7 +159,7 @@ impl Query {
 
 /// How the executor located candidate rows — reported so the evaluation can
 /// verify "all database queries are performed on indexed fields" (§7.1).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum AccessPath {
     /// Whole-heap scan.
     FullScan,
@@ -169,7 +173,7 @@ pub enum AccessPath {
 }
 
 /// Execution statistics for one query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ExecStats {
     /// Rows fetched from the heap and tested.
     pub rows_scanned: usize,
@@ -180,7 +184,7 @@ pub struct ExecStats {
 }
 
 /// A query result: column labels plus rows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct QueryResult {
     /// Output column labels.
     pub columns: Vec<String>,

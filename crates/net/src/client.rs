@@ -1,0 +1,276 @@
+//! `NetDm`: a [`DmNode`] whose execution happens on a remote server.
+//!
+//! This is the client half of §5.4 call redirection made real: a
+//! [`hedc_dm::DmRouter`] holds a mix of local nodes and `NetDm` handles and
+//! the calling code cannot tell which is which. The client keeps a small
+//! pool of warm connections, retries transient transport failures with
+//! exponential backoff plus jitter, and caches a health verdict (refreshed
+//! by a wire-level ping) that feeds the router's failover decision.
+
+use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+use crate::proto::{decode, encode, Request, Response};
+use hedc_dm::{DmError, DmNode, DmResult};
+use hedc_metadb::{Query, QueryResult};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Client-side timeouts and retry policy.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-request round-trip deadline (write + read).
+    pub request_timeout: Duration,
+    /// Transport-failure retries after the first attempt (total attempts =
+    /// `retries + 1`). Wire-level errors are never retried — the node
+    /// answered.
+    pub retries: u32,
+    /// First backoff step; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// How long a health verdict (from a ping or a completed request) stays
+    /// fresh before [`NetDm::is_available`] probes again.
+    pub health_ttl: Duration,
+    /// Maximum idle connections kept warm.
+    pub pool_size: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            connect_timeout: Duration::from_millis(500),
+            request_timeout: Duration::from_secs(2),
+            retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            health_ttl: Duration::from_millis(250),
+            pool_size: 8,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Health {
+    available: bool,
+    checked: Option<Instant>,
+}
+
+/// A remote DM node reached over the `hedc-net` wire protocol.
+pub struct NetDm {
+    addr: SocketAddr,
+    label: String,
+    config: NetConfig,
+    pool: Mutex<Vec<TcpStream>>,
+    health: Mutex<Health>,
+}
+
+impl NetDm {
+    /// Create a client for the server at `addr`. No connection is made
+    /// until the first request or probe.
+    pub fn connect(addr: SocketAddr, label: impl Into<String>, config: NetConfig) -> NetDm {
+        NetDm {
+            addr,
+            label: label.into(),
+            config,
+            pool: Mutex::new(Vec::new()),
+            health: Mutex::new(Health {
+                available: true,
+                checked: None,
+            }),
+        }
+    }
+
+    /// The peer address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn checkout(&self) -> io::Result<TcpStream> {
+        if let Some(stream) = self.pool.lock().unwrap().pop() {
+            return Ok(stream);
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < self.config.pool_size {
+            pool.push(stream);
+        }
+        // else: drop, closing the socket
+    }
+
+    fn set_health(&self, available: bool) {
+        let mut h = self.health.lock().unwrap();
+        h.available = available;
+        h.checked = Some(Instant::now());
+    }
+
+    /// One request/response exchange on one connection. Any error here is a
+    /// transport failure (the response, if one was decoded, is returned
+    /// even when it carries a wire-level error).
+    fn roundtrip(&self, request_payload: &[u8]) -> io::Result<(Response, usize, usize)> {
+        let mut stream = self.checkout()?;
+        stream.set_read_timeout(Some(self.config.request_timeout))?;
+        stream.set_write_timeout(Some(self.config.request_timeout))?;
+
+        let ctx = hedc_obs::current();
+        let frame = Frame {
+            kind: FrameKind::Request,
+            trace_id: ctx.map(|c| c.trace_id).unwrap_or(0),
+            span_id: ctx.map(|c| c.span_id).unwrap_or(0),
+            payload: request_payload.to_vec(),
+        };
+        let sent = write_frame(&mut stream, &frame)?;
+        let reply = read_frame(&mut stream)?;
+        if reply.kind != FrameKind::Response {
+            let _ = stream.shutdown(Shutdown::Both);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "peer sent a request frame in response position",
+            ));
+        }
+        let received = reply.wire_len();
+        let response: Response = decode(&reply.payload)?;
+        self.checkin(stream);
+        Ok((response, sent, received))
+    }
+
+    /// Issue `request`, retrying transport failures per the config. Returns
+    /// the decoded response or `None` after exhausting retries.
+    fn exchange(&self, request: &Request) -> Option<Response> {
+        let payload = encode(request).ok()?;
+        let obs = hedc_obs::global();
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                obs.counter("net.client.retries").inc();
+                std::thread::sleep(backoff(&self.config, attempt));
+            }
+            match self.roundtrip(&payload) {
+                Ok((response, sent, received)) => {
+                    obs.counter("net.client.bytes_out").add(sent as u64);
+                    obs.counter("net.client.bytes_in").add(received as u64);
+                    return Some(response);
+                }
+                Err(e) => {
+                    let timed_out = matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    );
+                    let kind = if timed_out {
+                        hedc_obs::events::kind::NET_TIMEOUT
+                    } else {
+                        hedc_obs::events::kind::NET_RECONNECT
+                    };
+                    hedc_obs::emit(
+                        kind,
+                        format!(
+                            "{} attempt {}/{}: {e}",
+                            self.label,
+                            attempt + 1,
+                            self.config.retries + 1
+                        ),
+                    );
+                    // A dead connection may have come from the pool; purge
+                    // siblings so the next attempt dials fresh.
+                    self.pool.lock().unwrap().clear();
+                }
+            }
+        }
+        None
+    }
+
+    /// Wire-level liveness probe: a ping round trip (single attempt, no
+    /// retries — the router will simply skip the node and try again later).
+    pub fn probe(&self) -> bool {
+        let up = match encode(&Request::Ping) {
+            Ok(payload) => matches!(self.roundtrip(&payload), Ok((Response::Pong { .. }, _, _))),
+            Err(_) => false,
+        };
+        self.set_health(up);
+        up
+    }
+}
+
+/// Exponential backoff with jitter: `base * 2^(attempt-1)` capped at
+/// `backoff_max`, plus up to 50% pseudo-random jitter to decorrelate
+/// concurrent retriers.
+fn backoff(config: &NetConfig, attempt: u32) -> Duration {
+    let step = config
+        .backoff_base
+        .saturating_mul(1u32 << (attempt - 1).min(16))
+        .min(config.backoff_max);
+    let jitter_cap = (step.as_micros() as u64 / 2).max(1);
+    step + Duration::from_micros(pseudo_random() % jitter_cap)
+}
+
+/// Dependency-free pseudo-randomness for jitter: hash a counter through
+/// `RandomState` (seeded per-process by the OS).
+fn pseudo_random() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    static STATE: OnceLock<std::collections::hash_map::RandomState> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut h = STATE
+        .get_or_init(std::collections::hash_map::RandomState::new)
+        .build_hasher();
+    h.write_u64(SEQ.fetch_add(1, Ordering::Relaxed));
+    h.finish()
+}
+
+impl DmNode for NetDm {
+    fn node_id(&self) -> String {
+        self.label.clone()
+    }
+
+    fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+        let span = hedc_obs::Span::child("net.rpc.client");
+        let start = Instant::now();
+        let outcome = self.exchange(&Request::Query(q.clone()));
+        hedc_obs::global()
+            .histogram("net.rpc.client")
+            .record_us(start.elapsed().as_micros() as u64);
+        drop(span);
+        match outcome {
+            Some(Response::Result(r)) => {
+                self.set_health(true);
+                Ok(r)
+            }
+            Some(Response::Error(e)) => {
+                // The node answered: it is up, even if this request failed.
+                self.set_health(!matches!(e.kind, crate::proto::WireErrorKind::Unavailable));
+                Err(e.into_dm(&self.label))
+            }
+            Some(Response::Pong { .. }) => Err(DmError::RemoteFailed(format!(
+                "{}: pong in answer to a query",
+                self.label
+            ))),
+            None => {
+                self.set_health(false);
+                hedc_obs::global().counter("net.client.unavailable").inc();
+                Err(DmError::RemoteUnavailable(format!(
+                    "{} ({})",
+                    self.label, self.addr
+                )))
+            }
+        }
+    }
+
+    fn is_available(&self) -> bool {
+        {
+            let h = self.health.lock().unwrap();
+            if let Some(checked) = h.checked {
+                if checked.elapsed() < self.config.health_ttl {
+                    return h.available;
+                }
+            }
+        }
+        self.probe()
+    }
+}

@@ -1,0 +1,233 @@
+//! Length-prefixed, versioned wire frames.
+//!
+//! Every message on a DM cluster connection is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  ------------------------------------------
+//!      0     4  magic  b"HEDC"
+//!      4     1  protocol version (currently 1)
+//!      5     1  frame kind (1 = request, 2 = response)
+//!      6     8  trace id,  big-endian u64 (0 = untraced)
+//!     14     8  span id,   big-endian u64 (0 = untraced)
+//!     22     4  payload length, big-endian u32
+//!     26     n  payload: serde_json-encoded proto message
+//! ```
+//!
+//! The trace/span ids ride in the *header*, outside the serialized payload,
+//! so `hedc-obs` propagation does not depend on the payload schema: a
+//! server can adopt the caller's span context before it even parses the
+//! request, and protocol-error replies still join the right trace.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"HEDC";
+/// Current protocol version. Bumped on any incompatible payload change;
+/// peers reject mismatches rather than guessing.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 26;
+/// Upper bound on payload size; guards against allocating from a corrupt
+/// or hostile length prefix.
+pub const MAX_PAYLOAD_BYTES: usize = 32 << 20;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server.
+    Request,
+    /// Server → client.
+    Response,
+}
+
+impl FrameKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> io::Result<FrameKind> {
+        match b {
+            1 => Ok(FrameKind::Request),
+            2 => Ok(FrameKind::Response),
+            other => Err(bad(format!("unknown frame kind {other}"))),
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Request or response.
+    pub kind: FrameKind,
+    /// Originating trace id (0 when the caller had no ambient trace).
+    pub trace_id: u64,
+    /// Parent span id on the sending side (0 when untraced).
+    pub span_id: u64,
+    /// Serialized proto message.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Total encoded size in bytes (header + payload).
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Encode and write one frame. Returns the number of bytes written.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<usize> {
+    if frame.payload.len() > MAX_PAYLOAD_BYTES {
+        return Err(bad(format!(
+            "payload {} bytes exceeds cap {MAX_PAYLOAD_BYTES}",
+            frame.payload.len()
+        )));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4] = VERSION;
+    header[5] = frame.kind.to_wire();
+    header[6..14].copy_from_slice(&frame.trace_id.to_be_bytes());
+    header[14..22].copy_from_slice(&frame.span_id.to_be_bytes());
+    header[22..26].copy_from_slice(&(frame.payload.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(&frame.payload)?;
+    w.flush()?;
+    Ok(frame.wire_len())
+}
+
+/// Read one complete frame, blocking until it arrives or the stream's read
+/// deadline fires.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    decode_after_header(r, header)
+}
+
+/// Read one frame, tolerating an *idle* timeout: returns `Ok(None)` when the
+/// read deadline fires before any byte arrives (the connection is simply
+/// quiet), and an error when it fires mid-frame (the peer stalled and the
+/// connection is no longer in sync). Servers poll with this so a blocking
+/// read never outlives a shutdown request.
+pub fn read_frame_or_idle(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first[0];
+    r.read_exact(&mut header[1..])?;
+    decode_after_header(r, header).map(Some)
+}
+
+fn decode_after_header(r: &mut impl Read, header: [u8; HEADER_LEN]) -> io::Result<Frame> {
+    if header[0..4] != MAGIC {
+        return Err(bad("bad frame magic".into()));
+    }
+    if header[4] != VERSION {
+        return Err(bad(format!(
+            "protocol version mismatch: peer speaks v{}, we speak v{VERSION}",
+            header[4]
+        )));
+    }
+    let kind = FrameKind::from_wire(header[5])?;
+    let trace_id = u64::from_be_bytes(header[6..14].try_into().unwrap());
+    let span_id = u64::from_be_bytes(header[14..22].try_into().unwrap());
+    let len = u32::from_be_bytes(header[22..26].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(bad(format!(
+            "payload {len} bytes exceeds cap {MAX_PAYLOAD_BYTES}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Frame {
+        kind,
+        trace_id,
+        span_id,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Frame {
+        Frame {
+            kind: FrameKind::Request,
+            trace_id: 0xDEAD_BEEF,
+            span_id: 42,
+            payload: br#"{"Ping":null}"#.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, &sample()).unwrap();
+        assert_eq!(n, buf.len());
+        let got = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(got, sample());
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut buf = Vec::new();
+        let mut b = sample();
+        b.kind = FrameKind::Response;
+        write_frame(&mut buf, &sample()).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cur).unwrap().kind, FrameKind::Request);
+        assert_eq!(read_frame(&mut cur).unwrap().kind, FrameKind::Response);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample()).unwrap();
+        let mut corrupt = buf.clone();
+        corrupt[0] = b'X';
+        assert!(read_frame(&mut Cursor::new(&corrupt)).is_err());
+        let mut wrong_ver = buf.clone();
+        wrong_ver[4] = 9;
+        let err = read_frame(&mut Cursor::new(&wrong_ver)).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_oversized_length_prefix() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample()).unwrap();
+        buf[22..26].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(read_frame(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,47 @@
+//! # hedc-net — the DM cluster wire protocol
+//!
+//! The paper scales browse throughput from 3 to 18 req/s by adding
+//! middle-tier nodes behind §5.4 call redirection: "the calling methods do
+//! not know where the code is actually executed". This crate is that
+//! redirection on real sockets — a dependency-light TCP RPC subsystem that
+//! puts [`hedc_dm::DmNode`]s on the network:
+//!
+//! * [`frame`] — length-prefixed, versioned frames with trace-ID
+//!   propagation in the header, so `hedc-obs` span trees stay connected
+//!   across the wire.
+//! * [`proto`] — serde-encoded `Query`/`QueryResult`/error payloads
+//!   mirroring the `DmNode` trait, plus a liveness ping.
+//! * [`DmServer`] — a threaded acceptor exposing any `DmNode` on a
+//!   listener, with per-connection deadlines and graceful shutdown.
+//! * [`NetDm`] — a pooled, retrying client that *is* a `DmNode`, so a
+//!   [`hedc_dm::DmRouter`] mixes local and remote nodes transparently and
+//!   its failover works off the client's cached health probe.
+//!
+//! ```no_run
+//! use hedc_dm::{DmNode, DmRouter};
+//! use hedc_net::{DmServer, NetConfig, NetDm, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! # fn node() -> Arc<dyn DmNode> { unimplemented!() }
+//! // Server side: put a DM node on a loopback socket.
+//! let server = DmServer::bind("127.0.0.1:0", node(), ServerConfig::default()).unwrap();
+//!
+//! // Client side: the remote node joins a router like any local one.
+//! let remote = Arc::new(NetDm::connect(server.local_addr(), "dm-1", NetConfig::default()));
+//! let router = DmRouter::new(vec![remote]);
+//! ```
+//!
+//! Everything here is std + serde: no async runtime, no networking crates.
+//! Blocking I/O with deadlines matches the thread-per-session middle tier
+//! the paper describes (§5.1), and keeps the subsystem auditable.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod proto;
+
+mod client;
+mod server;
+
+pub use client::{NetConfig, NetDm};
+pub use server::{DmServer, ServerConfig};

@@ -1,0 +1,156 @@
+//! RPC message bodies and error mapping.
+//!
+//! The payload of every [`crate::frame::Frame`] is one of these serde
+//! messages. The surface mirrors the [`hedc_dm::DmNode`] trait — the whole
+//! point of §5.4 call redirection is that the remote surface *is* the local
+//! surface — plus a liveness ping for health probing.
+
+use hedc_dm::DmError;
+use hedc_metadb::{Query, QueryResult};
+use serde::{Deserialize, Serialize};
+
+/// Client → server message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness/identity probe; answered with [`Response::Pong`].
+    Ping,
+    /// Execute a (pre-scoped) read query.
+    Query(Query),
+}
+
+/// Server → client message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The serving node's id, for logs and router status.
+        node_id: String,
+    },
+    /// Successful query execution.
+    Result(QueryResult),
+    /// The request failed on the server.
+    Error(WireError),
+}
+
+/// Coarse classification of a remote failure: enough to drive client-side
+/// policy (failover vs surface-to-caller) without shipping the full local
+/// error enum across versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireErrorKind {
+    /// The node (or a node behind it) is unavailable; the caller should
+    /// fail over.
+    Unavailable,
+    /// The query itself was rejected (unknown table, failed verification);
+    /// retrying elsewhere would fail identically.
+    Rejected,
+    /// Any other server-side failure; the node is up, the request is not
+    /// retried.
+    Failed,
+}
+
+/// A serializable server-side error.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Failure class.
+    pub kind: WireErrorKind,
+    /// Human-readable description (the remote error's `Display` text).
+    pub message: String,
+}
+
+impl WireError {
+    /// Classify a server-side [`DmError`] for the wire.
+    pub fn from_dm(e: &DmError) -> WireError {
+        let kind = match e {
+            DmError::RemoteUnavailable(_) => WireErrorKind::Unavailable,
+            DmError::BadQuery(_) | DmError::Db(_) => WireErrorKind::Rejected,
+            _ => WireErrorKind::Failed,
+        };
+        WireError {
+            kind,
+            message: e.to_string(),
+        }
+    }
+
+    /// Reconstruct a client-side [`DmError`]. `node` labels the peer for
+    /// unavailability errors.
+    pub fn into_dm(self, node: &str) -> DmError {
+        match self.kind {
+            WireErrorKind::Unavailable => {
+                DmError::RemoteUnavailable(format!("{node}: {}", self.message))
+            }
+            WireErrorKind::Rejected => DmError::BadQuery(self.message),
+            WireErrorKind::Failed => DmError::RemoteFailed(self.message),
+        }
+    }
+}
+
+/// Serialize a proto message to a frame payload.
+pub fn encode<T: Serialize>(msg: &T) -> std::io::Result<Vec<u8>> {
+    serde_json::to_vec(msg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Deserialize a frame payload.
+pub fn decode<'a, T: Deserialize<'a>>(payload: &'a [u8]) -> std::io::Result<T> {
+    serde_json::from_slice(payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hedc_metadb::{AggFunc, Expr, OrderDir};
+
+    #[test]
+    fn query_roundtrips_through_payload() {
+        let q = Query::table("hle")
+            .select(&["id", "event_type"])
+            .filter(Expr::between("t0", 500, 1500).and(Expr::eq("public", true)))
+            .order_by("t0", OrderDir::Desc)
+            .limit(20)
+            .offset(5);
+        let bytes = encode(&Request::Query(q.clone())).unwrap();
+        let back: Request = decode(&bytes).unwrap();
+        match back {
+            Request::Query(got) => {
+                assert_eq!(got.table, q.table);
+                assert_eq!(got.projection, q.projection);
+                assert_eq!(got.filter, q.filter);
+                assert_eq!(got.order_by, q.order_by);
+                assert_eq!(got.limit, q.limit);
+                assert_eq!(got.offset, q.offset);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_query_roundtrips() {
+        let q = Query::table("ana")
+            .group_by("kind")
+            .aggregate(AggFunc::CountStar)
+            .aggregate(AggFunc::Avg("duration_ms".into()));
+        let bytes = encode(&q).unwrap();
+        let back: Query = decode(&bytes).unwrap();
+        assert_eq!(back.aggregates, q.aggregates);
+        assert_eq!(back.group_by, q.group_by);
+    }
+
+    #[test]
+    fn error_mapping_preserves_failover_semantics() {
+        let down = WireError::from_dm(&DmError::RemoteUnavailable("n2".into()));
+        assert_eq!(down.kind, WireErrorKind::Unavailable);
+        assert!(matches!(
+            down.into_dm("peer"),
+            DmError::RemoteUnavailable(_)
+        ));
+
+        let rejected = WireError::from_dm(&DmError::BadQuery("unknown table `nope`".into()));
+        assert_eq!(rejected.kind, WireErrorKind::Rejected);
+        assert!(matches!(rejected.into_dm("peer"), DmError::BadQuery(_)));
+
+        let other = WireError::from_dm(&DmError::NoSession);
+        assert_eq!(other.kind, WireErrorKind::Failed);
+        assert!(matches!(other.into_dm("peer"), DmError::RemoteFailed(_)));
+    }
+}

@@ -1,0 +1,210 @@
+//! `DmServer`: expose a [`DmNode`] on a TCP listener.
+//!
+//! One acceptor thread plus one thread per connection — the same
+//! thread-per-session shape the paper's middle tier runs (§5.1). Connections
+//! are long-lived and carry many request/response frame pairs. Reads poll on
+//! a short deadline so every thread notices shutdown promptly; writes carry
+//! a hard deadline so one stuck client cannot wedge a handler forever.
+
+use crate::frame::{read_frame_or_idle, write_frame, Frame, FrameKind};
+use crate::proto::{decode, encode, Request, Response, WireError};
+use hedc_dm::DmNode;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server-side deadlines.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Poll interval for idle connection reads; bounds how long shutdown
+    /// waits on a quiet handler.
+    pub idle_poll: Duration,
+    /// Hard deadline for writing a response frame.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            idle_poll: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A running DM network server. Dropping it (or calling
+/// [`DmServer::shutdown`]) stops the acceptor, severs open connections, and
+/// joins every thread.
+pub struct DmServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl DmServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral loopback port) and
+    /// start serving `node`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        node: Arc<dyn DmNode>,
+        config: ServerConfig,
+    ) -> io::Result<DmServer> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept + sleep keeps the acceptor responsive to
+        // shutdown without platform-specific accept timeouts.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name(format!("dm-net-accept-{}", addr.port()))
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if let Ok(clone) = stream.try_clone() {
+                                    conns.lock().unwrap().push(clone);
+                                }
+                                let node = Arc::clone(&node);
+                                let stop = Arc::clone(&stop);
+                                let handle = std::thread::Builder::new()
+                                    .name(format!("dm-net-conn-{}", addr.port()))
+                                    .spawn(move || serve_connection(stream, node, stop, config))
+                                    .expect("spawn connection handler");
+                                handlers.lock().unwrap().push(handle);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    // Listener drops here: further connects are refused.
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(DmServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            conns,
+            handlers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, sever open connections, and join every thread.
+    /// Idempotent; also run on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for conn in self.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handlers: Vec<_> = self.handlers.lock().unwrap().drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DmServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-connection request loop.
+fn serve_connection(
+    mut stream: TcpStream,
+    node: Arc<dyn DmNode>,
+    stop: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    if stream.set_read_timeout(Some(config.idle_poll)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let obs = hedc_obs::global();
+    let rpc_hist = obs.histogram("net.rpc.server");
+    let requests = obs.counter("net.server.requests");
+    let bytes_in = obs.counter("net.server.bytes_in");
+    let bytes_out = obs.counter("net.server.bytes_out");
+
+    while !stop.load(Ordering::SeqCst) {
+        let frame = match read_frame_or_idle(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => continue, // idle poll tick; re-check shutdown
+            Err(_) => break,      // EOF, mid-frame stall, or severed socket
+        };
+        if frame.kind != FrameKind::Request {
+            break; // protocol violation; drop the connection
+        }
+        bytes_in.add(frame.wire_len() as u64);
+        requests.inc();
+
+        // Join the caller's trace: adopt its (trace, span) as ambient, so
+        // the server-side span becomes a child of the client-side RPC span.
+        let caller = (frame.trace_id != 0).then_some(hedc_obs::SpanContext {
+            trace_id: frame.trace_id,
+            span_id: frame.span_id,
+        });
+        let _g = hedc_obs::adopt(caller);
+        let span = hedc_obs::Span::child("net.rpc.server");
+        let start = Instant::now();
+
+        let request: Result<Request, _> = decode(&frame.payload);
+        let response = match request {
+            Ok(Request::Ping) => Response::Pong {
+                node_id: node.node_id(),
+            },
+            Ok(Request::Query(q)) => match node.execute_query(&q) {
+                Ok(r) => Response::Result(r),
+                Err(e) => Response::Error(WireError::from_dm(&e)),
+            },
+            Err(e) => Response::Error(WireError {
+                kind: crate::proto::WireErrorKind::Failed,
+                message: format!("malformed request: {e}"),
+            }),
+        };
+
+        let payload = match encode(&response) {
+            Ok(p) => p,
+            Err(_) => break,
+        };
+        let reply = Frame {
+            kind: FrameKind::Response,
+            trace_id: frame.trace_id,
+            span_id: span.context().span_id,
+            payload,
+        };
+        rpc_hist.record_us(start.elapsed().as_micros() as u64);
+        drop(span);
+        match write_frame(&mut stream, &reply) {
+            Ok(n) => bytes_out.add(n as u64),
+            Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}

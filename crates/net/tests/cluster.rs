@@ -1,0 +1,200 @@
+//! Cluster integration: real sockets under the DM router.
+//!
+//! Boots multiple `DmServer`s on loopback, routes browse queries through a
+//! `DmRouter` over `NetDm` clients, kills a server mid-run, and checks that
+//! every request completes via failover — with the observability span tree
+//! staying connected across the wire.
+
+use hedc_dm::{Dm, DmConfig, DmError, DmNode, DmRouter};
+use hedc_filestore::{Archive, ArchiveTier, FileStore};
+use hedc_metadb::{Expr, Query};
+use hedc_net::{DmServer, NetConfig, NetDm, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn dm_node() -> Arc<Dm> {
+    let fs = FileStore::new();
+    fs.register(Archive::in_memory(
+        1,
+        "raw",
+        ArchiveTier::OnlineDisk,
+        1 << 30,
+    ));
+    fs.register(Archive::in_memory(
+        2,
+        "derived",
+        ArchiveTier::OnlineRaid,
+        1 << 30,
+    ));
+    Dm::bootstrap(Arc::new(fs), DmConfig::default()).unwrap()
+}
+
+fn boot(label: &str) -> (DmServer, Arc<NetDm>) {
+    let server =
+        DmServer::bind("127.0.0.1:0", dm_node(), ServerConfig::default()).expect("bind loopback");
+    let client = Arc::new(NetDm::connect(server.local_addr(), label, fast_config()));
+    (server, client)
+}
+
+/// Test-friendly deadlines: fail fast, retry fast.
+fn fast_config() -> NetConfig {
+    NetConfig {
+        connect_timeout: Duration::from_millis(200),
+        request_timeout: Duration::from_secs(2),
+        retries: 2,
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(20),
+        health_ttl: Duration::from_millis(50),
+        ..NetConfig::default()
+    }
+}
+
+fn browse_query() -> Query {
+    Query::table("catalog").filter(Expr::eq("public", true))
+}
+
+#[test]
+fn query_roundtrip_over_loopback() {
+    let (_server, client) = boot("rt-node");
+    let r = client.execute_query(&browse_query()).unwrap();
+    // Dm::bootstrap creates the standard + extended catalogs.
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.stats.rows_returned, 2);
+    assert!(client.is_available());
+}
+
+#[test]
+fn remote_query_errors_do_not_look_like_outages() {
+    let (_server, client) = boot("err-node");
+    let err = client.execute_query(&Query::table("nope")).unwrap_err();
+    assert!(matches!(err, DmError::BadQuery(_)), "{err:?}");
+    // The node answered; it must still count as available.
+    assert!(client.is_available());
+}
+
+#[test]
+fn dead_server_is_unavailable_and_probe_recovers() {
+    let (mut server, client) = boot("probe-node");
+    assert!(client.is_available());
+    server.shutdown();
+    // Health verdict is cached for health_ttl; wait it out, then probe.
+    std::thread::sleep(Duration::from_millis(60));
+    assert!(!client.is_available());
+    let err = client.execute_query(&browse_query()).unwrap_err();
+    assert!(matches!(err, DmError::RemoteUnavailable(_)), "{err:?}");
+}
+
+#[test]
+fn client_and_server_spans_share_one_trace() {
+    let (_server, client) = boot("trace-node");
+    let root = hedc_obs::Span::root("test.browse");
+    let trace_id = root.context().trace_id;
+    let root_span_id = root.context().span_id;
+    client.execute_query(&browse_query()).unwrap();
+    drop(root);
+
+    let spans = hedc_obs::span_store().spans_for(trace_id);
+    let client_span = spans
+        .iter()
+        .find(|s| s.name == "net.rpc.client")
+        .expect("client-side rpc span in trace");
+    let server_span = spans
+        .iter()
+        .find(|s| s.name == "net.rpc.server")
+        .expect("server-side rpc span in trace");
+    // Connected tree: root -> net.rpc.client -> net.rpc.server, one trace.
+    assert_eq!(client_span.trace_id, server_span.trace_id);
+    assert_eq!(client_span.parent_id, root_span_id);
+    assert_eq!(server_span.parent_id, client_span.span_id);
+    // Query execution inside the server joins the same trace too.
+    assert!(
+        spans.iter().any(|s| s.name.starts_with("metadb.")),
+        "expected a metadb span under the server span: {spans:?}"
+    );
+}
+
+/// The acceptance scenario: ≥2 nodes, concurrent browse traffic through the
+/// router, one server killed mid-run — every request must still complete.
+#[test]
+fn failover_completes_every_request_when_a_node_dies_mid_run() {
+    let (mut server_a, client_a) = boot("net-a");
+    let (_server_b, client_b) = boot("net-b");
+    let router = Arc::new(DmRouter::new(vec![
+        client_a.clone() as Arc<dyn DmNode>,
+        client_b.clone() as Arc<dyn DmNode>,
+    ]));
+
+    const THREADS: usize = 4;
+    const REQUESTS_PER_THREAD: usize = 40;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || {
+                let mut completed = 0usize;
+                for _ in 0..REQUESTS_PER_THREAD {
+                    let root = hedc_obs::Span::root("test.failover");
+                    let r = router.execute_query(&browse_query());
+                    drop(root);
+                    let r = r.expect("request must complete via failover");
+                    assert_eq!(r.rows.len(), 2);
+                    completed += 1;
+                }
+                completed
+            })
+        })
+        .collect();
+
+    // Kill node A once traffic is in flight.
+    std::thread::sleep(Duration::from_millis(30));
+    server_a.shutdown();
+
+    let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(total, THREADS * REQUESTS_PER_THREAD, "no request lost");
+
+    // After the kill the surviving node carried the load.
+    assert!(client_b.is_available());
+    std::thread::sleep(Duration::from_millis(60)); // let the health TTL lapse
+    assert!(!client_a.is_available());
+
+    // The outage is visible in the event log: reconnect attempts and the
+    // router's redirect past the dead node.
+    let events = hedc_obs::event_log().events();
+    assert!(
+        events.iter().any(|e| {
+            e.kind == hedc_obs::events::kind::NET_RECONNECT && e.detail.contains("net-a")
+        }),
+        "expected a net_reconnect event for net-a"
+    );
+}
+
+#[test]
+fn rpc_metrics_are_recorded() {
+    let (_server, client) = boot("metrics-node");
+    for _ in 0..5 {
+        client.execute_query(&browse_query()).unwrap();
+    }
+    let snap = hedc_obs::global().snapshot();
+    let client_rpc = snap
+        .histogram("net.rpc.client")
+        .expect("client rpc histogram");
+    assert!(client_rpc.count >= 5);
+    let server_rpc = snap
+        .histogram("net.rpc.server")
+        .expect("server rpc histogram");
+    assert!(server_rpc.count >= 5);
+    for counter in [
+        "net.client.bytes_out",
+        "net.client.bytes_in",
+        "net.server.bytes_in",
+        "net.server.bytes_out",
+        "net.server.requests",
+    ] {
+        let value = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == counter)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(value > 0, "counter {counter} should be non-zero");
+    }
+}

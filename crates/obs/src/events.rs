@@ -18,6 +18,8 @@ pub mod kind {
     pub const ANALYSIS_TIMEOUT: &str = "analysis_timeout";
     pub const ANALYSIS_RESTART: &str = "analysis_restart";
     pub const DM_REDIRECT: &str = "dm_redirect";
+    pub const NET_TIMEOUT: &str = "net_timeout";
+    pub const NET_RECONNECT: &str = "net_reconnect";
 }
 
 /// One logged occurrence. `trace_id == 0` means "outside any request";

@@ -18,8 +18,9 @@
 //!
 //! Dotted lowercase paths, coarse-to-fine: `metadb.query`, `metadb.compile`,
 //! `metadb.execute`, `dm.name_map`, `db.pool.acquire`, `pl.queue_wait`,
-//! `pl.analysis`, `fs.read`, `fs.read_bytes`, `web.request`. Histogram
-//! values are microseconds unless the name says otherwise.
+//! `pl.analysis`, `fs.read`, `fs.read_bytes`, `web.request`,
+//! `net.rpc.client`, `net.rpc.server`. Histogram values are microseconds
+//! unless the name says otherwise.
 
 pub mod events;
 pub mod export;

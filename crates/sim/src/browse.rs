@@ -5,6 +5,10 @@
 //! nodes, each request costing middle-tier CPU (inflated by the §7.3
 //! application-logic contention) plus seven database queries on a shared
 //! DBMS whose ceiling is ≈ 126 queries/s.
+//!
+//! This is the *modeled* Figure 5; `hedc_bench::cluster` measures the same
+//! workload over real sockets (loopback `hedc-net` servers behind a
+//! `DmRouter`) — `fig5_browse_nodes --net` reports both, tagged by mode.
 
 use crate::calib;
 use crate::engine::{ClosedLoopPs, PsReport, Resource, StageSpec};

@@ -1,13 +1,33 @@
 #!/usr/bin/env bash
-# Repository health gate: formatting, lints, tests. Run before pushing.
+# Repository health gate: formatting, lints, build, tests. Run before pushing.
+#
+#   scripts/check.sh          full gate (fmt, clippy, release build, tests)
+#   scripts/check.sh --fast   skip clippy (the slowest step) for quick loops
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy --workspace -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+if [[ "$fast" -eq 0 ]]; then
+  echo "==> cargo clippy --workspace -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "==> (skipping clippy: --fast)"
+fi
+
+# The tier-1 gate builds release before testing; mirror it so local runs
+# catch release-only breakage (e.g. debug_assertions-gated code).
+echo "==> cargo build --release"
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q --workspace
