@@ -10,7 +10,13 @@
 //! same closed-loop browse workload measured over actual sockets. Both the
 //! simulated and the measured rows land in `results/BENCH_fig5_browse_nodes`
 //! tagged with `"mode"`. `HEDC_NET_SECS` tunes the per-point window.
+//!
+//! Pass `--cache` (or set `HEDC_CACHE=1`) to additionally measure the DM
+//! result cache: a cold pass of distinct browse queries against an empty
+//! cache versus warm repeats served from it, recorded as `"mode": "cache"`
+//! rows (one `"phase": "cold"`, one `"phase": "warm"`) with the speedup.
 
+use hedc_bench::cache_bench::{run_cache_bench, CacheBenchConfig};
 use hedc_bench::cluster::{run_cluster, ClusterConfig};
 use hedc_sim::browse::figure5;
 use std::time::Duration;
@@ -18,6 +24,11 @@ use std::time::Duration;
 fn net_mode_enabled() -> bool {
     std::env::args().any(|a| a == "--net")
         || std::env::var("HEDC_NET").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn cache_mode_enabled() -> bool {
+    std::env::args().any(|a| a == "--cache")
+        || std::env::var("HEDC_CACHE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 fn main() {
@@ -133,6 +144,45 @@ fn main() {
         );
     } else {
         println!("(run with --net or HEDC_NET=1 to add real-network rows)");
+    }
+
+    if cache_mode_enabled() {
+        println!("\ncache mode — warm vs cold browse latency, sharded DM result cache");
+        println!("{:-<74}", "");
+        let config = CacheBenchConfig::default();
+        let r = run_cache_bench(&config);
+        println!(
+            "{:>8} {:>14} {:>14} {:>10}",
+            "phase", "avg us/query", "cache hits", "misses"
+        );
+        println!(
+            "{:>8} {:>14.1} {:>14} {:>10}",
+            "cold", r.cold_avg_us, 0, r.misses
+        );
+        println!(
+            "{:>8} {:>14.1} {:>14} {:>10}",
+            "warm", r.warm_avg_us, r.hits, 0
+        );
+        println!("{:-<74}", "");
+        println!(
+            "speedup {:.1}x — a warm node answers browse queries without touching \
+             the metadata database (and keeps answering when it is unreachable)",
+            r.speedup
+        );
+        for (phase, avg_us) in [("cold", r.cold_avg_us), ("warm", r.warm_avg_us)] {
+            bench_rows.push(serde_json::json!({
+                "mode": "cache",
+                "phase": phase,
+                "queries": config.queries,
+                "warm_passes": config.warm_passes,
+                "avg_us_per_query": avg_us,
+                "speedup": r.speedup,
+                "hits": r.hits,
+                "misses": r.misses,
+            }));
+        }
+    } else {
+        println!("(run with --cache or HEDC_CACHE=1 to add warm-vs-cold cache rows)");
     }
 
     hedc_bench::write_report(

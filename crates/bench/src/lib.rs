@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache_bench;
 pub mod cluster;
 
 use std::path::PathBuf;
@@ -32,8 +33,11 @@ pub fn results_dir() -> PathBuf {
 /// Write a JSON report.
 pub fn write_report(name: &str, value: &serde_json::Value) {
     let path = results_dir().join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write report");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write report");
     println!("\n[report written to {}]", path.display());
 }
 

@@ -1,0 +1,266 @@
+//! A slab-backed, byte-budgeted LRU core.
+//!
+//! One [`LruCore`] is one lock stripe of the sharded cache. Entries live in
+//! a slab (`Vec<Option<Node>>` plus a free list) threaded into an intrusive
+//! doubly-linked recency list, so promotion on hit and eviction at the tail
+//! are O(1) with zero per-operation allocation. The core is deliberately
+//! policy-free: callers attach whatever validity metadata they need to the
+//! stored value and pass an explicit byte weight per insert.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Node<V> {
+    key: String,
+    value: V,
+    weight: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU stripe: string keys, explicit byte weights, a fixed byte budget.
+pub struct LruCore<V> {
+    index: HashMap<String, usize>,
+    slab: Vec<Option<Node<V>>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    weight: usize,
+    budget: usize,
+}
+
+impl<V> LruCore<V> {
+    /// An empty core that evicts past `budget` bytes.
+    pub fn new(budget: usize) -> Self {
+        LruCore {
+            index: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            weight: 0,
+            budget,
+        }
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Current total weight in bytes.
+    pub fn weight(&self) -> usize {
+        self.weight
+    }
+
+    /// Look up without promoting (validity checks peek first so that a
+    /// dead entry is not promoted before being removed).
+    pub fn peek(&self, key: &str) -> Option<&V> {
+        let &slot = self.index.get(key)?;
+        Some(&self.slab[slot].as_ref().expect("indexed slot").value)
+    }
+
+    /// Look up and promote to most-recently-used.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        let &slot = self.index.get(key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(&self.slab[slot].as_ref().expect("indexed slot").value)
+    }
+
+    /// Remove an entry, returning its value and recorded weight.
+    pub fn remove(&mut self, key: &str) -> Option<(V, usize)> {
+        let slot = self.index.remove(key)?;
+        self.unlink(slot);
+        let node = self.slab[slot].take().expect("indexed slot");
+        self.free.push(slot);
+        self.weight -= node.weight;
+        Some((node.value, node.weight))
+    }
+
+    /// Insert (or replace) an entry, then evict from the tail until the
+    /// budget holds. Returns the evicted `(value, weight)` pairs,
+    /// replacement excluded. An entry heavier than the whole budget is
+    /// refused outright — caching it would just flush everything else
+    /// for a single-use value.
+    pub fn insert(&mut self, key: &str, value: V, weight: usize) -> Vec<(V, usize)> {
+        if let Some(&slot) = self.index.get(key) {
+            self.unlink(slot);
+            let node = self.slab[slot].take().expect("indexed slot");
+            self.free.push(slot);
+            self.weight -= node.weight;
+            self.index.remove(key);
+        }
+        if weight > self.budget {
+            return Vec::new();
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slab.push(None);
+                self.slab.len() - 1
+            }
+        };
+        self.slab[slot] = Some(Node {
+            key: key.to_string(),
+            value,
+            weight,
+            prev: NIL,
+            next: NIL,
+        });
+        self.index.insert(key.to_string(), slot);
+        self.push_front(slot);
+        self.weight += weight;
+
+        let mut evicted = Vec::new();
+        while self.weight > self.budget && self.tail != slot && self.tail != NIL {
+            let victim = self.tail;
+            self.unlink(victim);
+            let node = self.slab[victim].take().expect("tail slot");
+            self.free.push(victim);
+            self.weight -= node.weight;
+            self.index.remove(&node.key);
+            evicted.push((node.value, node.weight));
+        }
+        evicted
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.weight = 0;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let n = self.slab[slot].as_ref().expect("linked slot");
+            (n.prev, n.next)
+        };
+        match prev {
+            NIL => {
+                if self.head == slot {
+                    self.head = next;
+                }
+            }
+            p => self.slab[p].as_mut().expect("prev slot").next = next,
+        }
+        match next {
+            NIL => {
+                if self.tail == slot {
+                    self.tail = prev;
+                }
+            }
+            x => self.slab[x].as_mut().expect("next slot").prev = prev,
+        }
+        let n = self.slab[slot].as_mut().expect("linked slot");
+        n.prev = NIL;
+        n.next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let n = self.slab[slot].as_mut().expect("new head");
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head].as_mut().expect("old head").prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut lru = LruCore::new(1000);
+        assert!(lru.insert("a", 1u32, 10).is_empty());
+        assert!(lru.insert("b", 2, 10).is_empty());
+        assert_eq!(lru.get("a"), Some(&1));
+        assert_eq!(lru.peek("b"), Some(&2));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.weight(), 20);
+        assert_eq!(lru.remove("a"), Some((1, 10)));
+        assert_eq!(lru.get("a"), None);
+        assert_eq!(lru.weight(), 10);
+    }
+
+    #[test]
+    fn eviction_is_lru_order_and_respects_promotion() {
+        let mut lru = LruCore::new(30);
+        lru.insert("a", 'a', 10);
+        lru.insert("b", 'b', 10);
+        lru.insert("c", 'c', 10);
+        // Touch "a" so "b" is now least recently used.
+        lru.get("a");
+        let evicted = lru.insert("d", 'd', 10);
+        assert_eq!(evicted, vec![('b', 10)]);
+        assert_eq!(lru.len(), 3);
+        assert!(lru.peek("a").is_some() && lru.peek("c").is_some());
+    }
+
+    #[test]
+    fn oversized_entry_is_refused() {
+        let mut lru = LruCore::new(30);
+        lru.insert("a", 'a', 10);
+        let evicted = lru.insert("huge", 'h', 31);
+        assert!(evicted.is_empty());
+        assert_eq!(lru.peek("huge"), None);
+        assert_eq!(lru.peek("a"), Some(&'a'));
+    }
+
+    #[test]
+    fn replacement_updates_weight() {
+        let mut lru = LruCore::new(100);
+        lru.insert("a", 1u32, 10);
+        lru.insert("a", 2, 40);
+        assert_eq!(lru.weight(), 40);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.peek("a"), Some(&2));
+    }
+
+    #[test]
+    fn multi_eviction_frees_enough_room() {
+        let mut lru = LruCore::new(40);
+        lru.insert("a", 'a', 10);
+        lru.insert("b", 'b', 10);
+        lru.insert("c", 'c', 10);
+        lru.insert("d", 'd', 10);
+        let evicted = lru.insert("big", 'x', 35);
+        // a, b, c, d all have to go to make room for 35 of 40.
+        assert_eq!(evicted, vec![('a', 10), ('b', 10), ('c', 10), ('d', 10)]);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.weight(), 35);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut lru = LruCore::new(1_000_000);
+        for round in 0..10 {
+            for i in 0..100 {
+                lru.insert(&format!("k{i}"), round * 100 + i, 1);
+            }
+        }
+        // 100 live keys, repeatedly replaced in place: the slab must not
+        // grow past the live set.
+        assert_eq!(lru.len(), 100);
+        assert!(lru.slab.len() <= 100, "slab grew to {}", lru.slab.len());
+    }
+}

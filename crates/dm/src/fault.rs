@@ -1,0 +1,353 @@
+//! Deterministic fault injection for DM-tier and network-tier tests.
+//!
+//! Concurrency tests that kill nodes mid-run are the tests most likely to
+//! flake — and a flake that cannot be replayed is a flake that never gets
+//! fixed. [`FaultyDmNode`] wraps any [`DmNode`] and injects failures from a
+//! seeded [SplitMix64] stream, so a failing run reproduces exactly from the
+//! seed it printed. Setting `HEDC_TEST_SEED` overrides every plan's seed,
+//! which is how `scripts/check.sh --seed N` replays a reported failure.
+//!
+//! Three fault classes are injected, mirroring what the real network tier
+//! can produce (see `hedc-net`):
+//!
+//! * **unavailable** — the node refuses the call
+//!   ([`DmError::RemoteUnavailable`]); routers fail over past it.
+//! * **failed** — the node answers with an internal error
+//!   ([`DmError::RemoteFailed`]); routers surface it, they do *not* fail
+//!   over (the node is up — §5.4's redirection only reroutes outages).
+//! * **slow** — the call sleeps before executing, exercising timeout and
+//!   tail-latency handling without wall-clock-dependent assertions.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+use crate::error::{DmError, DmResult};
+use crate::redirect::DmNode;
+use hedc_metadb::{Query, QueryResult};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Advance a SplitMix64 state and return the next draw. Passes BigCrush,
+/// needs one u64 of state, and — unlike hashing a counter — is identical
+/// across platforms and std versions, which is what replayability needs.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic fault schedule: per-mille rates for each fault class,
+/// drawn from a seeded stream.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Base seed. [`FaultPlan::effective_seed`] applies the
+    /// `HEDC_TEST_SEED` override.
+    pub seed: u64,
+    /// Calls per 1000 that return [`DmError::RemoteUnavailable`].
+    pub unavailable_per_mille: u32,
+    /// Calls per 1000 that return [`DmError::RemoteFailed`].
+    pub failed_per_mille: u32,
+    /// Calls per 1000 delayed by [`FaultPlan::slow_for`] before executing.
+    pub slow_per_mille: u32,
+    /// Injected delay for slow calls.
+    pub slow_for: Duration,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; dial rates in with the
+    /// builder methods.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            unavailable_per_mille: 0,
+            failed_per_mille: 0,
+            slow_per_mille: 0,
+            slow_for: Duration::from_millis(1),
+        }
+    }
+
+    /// Set the unavailability rate (calls per 1000).
+    pub fn unavailable(mut self, per_mille: u32) -> Self {
+        self.unavailable_per_mille = per_mille;
+        self
+    }
+
+    /// Set the internal-failure rate (calls per 1000).
+    pub fn failed(mut self, per_mille: u32) -> Self {
+        self.failed_per_mille = per_mille;
+        self
+    }
+
+    /// Set the slow-call rate (calls per 1000) and the injected delay.
+    pub fn slow(mut self, per_mille: u32, delay: Duration) -> Self {
+        self.slow_per_mille = per_mille;
+        self.slow_for = delay;
+        self
+    }
+
+    /// The seed this plan will actually run with: `HEDC_TEST_SEED` when the
+    /// environment sets it (the `scripts/check.sh --seed` replay path),
+    /// otherwise the plan's own seed. Tests should print this value so any
+    /// failure is reproducible.
+    pub fn effective_seed(&self) -> u64 {
+        std::env::var("HEDC_TEST_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(self.seed)
+    }
+}
+
+/// Counts of injected faults, for assertions and debugging output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Injected [`DmError::RemoteUnavailable`] responses.
+    pub unavailable: u64,
+    /// Injected [`DmError::RemoteFailed`] responses.
+    pub failed: u64,
+    /// Calls delayed before executing.
+    pub slow: u64,
+    /// Calls that reached the wrapped node (including delayed ones).
+    pub passed: u64,
+}
+
+/// A [`DmNode`] wrapper that injects faults deterministically.
+///
+/// The draw sequence depends only on the seed and on the *order* in which
+/// calls acquire the internal RNG lock. Single-threaded tests are exactly
+/// reproducible; multi-threaded tests reproduce the same multiset of
+/// injected faults for a given seed and call count, which pins down the
+/// distribution a scheduler-dependent interleaving runs against.
+pub struct FaultyDmNode<N: DmNode> {
+    inner: Arc<N>,
+    label: String,
+    plan: FaultPlan,
+    seed: u64,
+    rng: Mutex<u64>,
+    down: AtomicBool,
+    unavailable: AtomicU64,
+    failed: AtomicU64,
+    slow: AtomicU64,
+    passed: AtomicU64,
+}
+
+impl<N: DmNode> FaultyDmNode<N> {
+    /// Wrap `inner`, drawing faults from `plan` (seed subject to the
+    /// `HEDC_TEST_SEED` override).
+    pub fn new(inner: Arc<N>, label: impl Into<String>, plan: FaultPlan) -> Self {
+        let seed = plan.effective_seed();
+        FaultyDmNode {
+            inner,
+            label: label.into(),
+            plan,
+            seed,
+            rng: Mutex::new(seed),
+            down: AtomicBool::new(false),
+            unavailable: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
+            passed: AtomicU64::new(0),
+        }
+    }
+
+    /// The seed the fault stream runs with. Print it in every test that
+    /// uses this wrapper, so a flake reproduces via `HEDC_TEST_SEED`.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Hard-down toggle (like [`crate::RemoteDm::set_down`]): while set,
+    /// every call is refused regardless of the plan.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// Injected-fault counters so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            unavailable: self.unavailable.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            slow: self.slow.load(Ordering::Relaxed),
+            passed: self.passed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn inject(&self, class: &str, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        hedc_obs::global().counter("fault.injected").inc();
+        hedc_obs::emit(
+            hedc_obs::events::kind::FAULT_INJECT,
+            format!("{} injected {class} (seed {})", self.label, self.seed),
+        );
+    }
+}
+
+impl<N: DmNode> DmNode for FaultyDmNode<N> {
+    fn node_id(&self) -> String {
+        self.label.clone()
+    }
+
+    fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(DmError::RemoteUnavailable(self.label.clone()));
+        }
+        let draw = {
+            let mut rng = self.rng.lock().expect("fault rng poisoned");
+            splitmix64(&mut rng) % 1000
+        } as u32;
+        let p = &self.plan;
+        if draw < p.unavailable_per_mille {
+            self.inject("unavailable", &self.unavailable);
+            return Err(DmError::RemoteUnavailable(self.label.clone()));
+        }
+        if draw < p.unavailable_per_mille + p.failed_per_mille {
+            self.inject("failed", &self.failed);
+            return Err(DmError::RemoteFailed(format!(
+                "{}: injected internal error",
+                self.label
+            )));
+        }
+        if draw < p.unavailable_per_mille + p.failed_per_mille + p.slow_per_mille {
+            self.inject("slow", &self.slow);
+            std::thread::sleep(p.slow_for);
+        }
+        self.passed.fetch_add(1, Ordering::Relaxed);
+        self.inner.execute_query(q)
+    }
+
+    fn is_available(&self) -> bool {
+        !self.down.load(Ordering::SeqCst) && self.inner.is_available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{Clock, DmIo, IoConfig, Partitioning};
+    use crate::schema;
+    use hedc_filestore::FileStore;
+    use hedc_metadb::{Database, Value};
+
+    struct LocalNode {
+        io: DmIo,
+    }
+
+    impl DmNode for LocalNode {
+        fn node_id(&self) -> String {
+            "local".into()
+        }
+        fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+            self.io.query(q)
+        }
+    }
+
+    fn node() -> Arc<LocalNode> {
+        let db = Database::in_memory("fault-test");
+        let mut conn = db.connect();
+        schema::create_generic(&mut conn).unwrap();
+        schema::create_domain(&mut conn).unwrap();
+        let io = DmIo::new(
+            vec![db],
+            Partitioning::single(),
+            Arc::new(FileStore::new()),
+            Clock::starting_at(0),
+            &IoConfig::default(),
+        );
+        io.insert(
+            "catalog",
+            vec![
+                Value::Int(1),
+                Value::Int(0),
+                Value::Text("c".into()),
+                Value::Null,
+                Value::Text("system".into()),
+                Value::Bool(true),
+                Value::Int(0),
+            ],
+        )
+        .unwrap();
+        Arc::new(LocalNode { io })
+    }
+
+    fn outcome_tag(r: &DmResult<QueryResult>) -> &'static str {
+        match r {
+            Ok(_) => "ok",
+            Err(DmError::RemoteUnavailable(_)) => "unavail",
+            Err(DmError::RemoteFailed(_)) => "failed",
+            Err(_) => "other",
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_fault_sequence() {
+        let run = |seed: u64| -> Vec<&'static str> {
+            let n = FaultyDmNode::new(
+                node(),
+                "det",
+                FaultPlan::seeded(seed).unavailable(200).failed(100),
+            );
+            (0..200)
+                .map(|_| outcome_tag(&n.execute_query(&Query::table("catalog"))))
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        assert_ne!(
+            run(42),
+            run(43),
+            "distinct seeds should draw distinct fault schedules"
+        );
+    }
+
+    #[test]
+    fn rates_are_roughly_honored_and_counted() {
+        let n = FaultyDmNode::new(
+            node(),
+            "rates",
+            FaultPlan::seeded(7).unavailable(300).failed(100),
+        );
+        let mut ok = 0u64;
+        for _ in 0..1000 {
+            if n.execute_query(&Query::table("catalog")).is_ok() {
+                ok += 1;
+            }
+        }
+        let c = n.counts();
+        assert_eq!(c.unavailable + c.failed + c.passed, 1000);
+        assert_eq!(c.passed, ok);
+        // 30%/10% nominal; a seeded stream lands near it.
+        assert!((200..400).contains(&c.unavailable), "{c:?}");
+        assert!((50..150).contains(&c.failed), "{c:?}");
+    }
+
+    #[test]
+    fn hard_down_overrides_the_plan() {
+        let n = FaultyDmNode::new(node(), "downed", FaultPlan::seeded(1));
+        assert!(n.execute_query(&Query::table("catalog")).is_ok());
+        n.set_down(true);
+        assert!(!n.is_available());
+        assert!(matches!(
+            n.execute_query(&Query::table("catalog")),
+            Err(DmError::RemoteUnavailable(_))
+        ));
+        n.set_down(false);
+        assert!(n.execute_query(&Query::table("catalog")).is_ok());
+    }
+
+    #[test]
+    fn injections_are_observable() {
+        let n = FaultyDmNode::new(
+            node(),
+            "observed-node",
+            FaultPlan::seeded(3).unavailable(1000),
+        );
+        let _ = n.execute_query(&Query::table("catalog"));
+        let events = hedc_obs::event_log().events_of_kind(hedc_obs::events::kind::FAULT_INJECT);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.detail.contains("observed-node") && e.detail.contains("unavailable")),
+            "{events:?}"
+        );
+    }
+}

@@ -13,6 +13,8 @@
 //! be adapted and optimized without system downtime".
 
 use crate::error::{DmError, DmResult};
+use crate::names::ResolvedName;
+use hedc_cache::{CacheConfig, GenerationMap, QueryCache, ShardedCache};
 use hedc_filestore::FileStore;
 use hedc_metadb::{
     query_to_sql, Database, PoolKind, PoolSet, Query, QueryResult, SqlOutput, Statement, Value,
@@ -21,6 +23,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Access-scope tag for internal (non-session) queries. Internal callers
+/// see raw rows, so their cache entries must never be shared with a
+/// session scope — the tag keeps them structurally apart.
+const INTERNAL_SCOPE: &str = "-";
 
 /// Logical mission clock: deterministic, strictly monotone milliseconds.
 /// Injected everywhere a timestamp is needed so tests and experiments are
@@ -97,6 +104,11 @@ pub struct IoConfig {
     /// Queries slower than this are captured in the observability event log
     /// with their SQL and trace ID.
     pub slow_query: Duration,
+    /// Result-cache policy. `None` (the default) disables caching: every
+    /// query takes the verify/compile/execute path. When set, query
+    /// results and name resolutions are cached with write-through
+    /// generation invalidation (see `hedc-cache`).
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for IoConfig {
@@ -108,7 +120,36 @@ impl Default for IoConfig {
             creation_cost: Duration::ZERO,
             name_root: "hedc".to_string(),
             slow_query: Duration::from_millis(100),
+            cache: None,
         }
+    }
+}
+
+/// The I/O layer's cache bundle: one shared [`GenerationMap`] feeding a
+/// query-result cache and a name-resolution cache. Every write through
+/// [`DmIo::insert`] / [`DmIo::execute`] bumps the written table's
+/// generation; multi-statement transactions that bypass those entry
+/// points (semantic-layer `update_conn` blocks) must bump explicitly via
+/// [`DmIo::bump_generation`] after commit.
+pub struct DmCaches {
+    /// Per-table write generations — the invalidation spine.
+    pub gens: Arc<GenerationMap>,
+    /// Cached query results, keyed by access scope + canonical
+    /// fingerprint.
+    pub queries: QueryCache,
+    /// Cached dynamic-name resolutions, keyed `names:{type}:{item_id}`,
+    /// depending on the three location tables.
+    pub names: ShardedCache<Vec<ResolvedName>>,
+}
+
+impl DmCaches {
+    fn new(config: &CacheConfig) -> Arc<Self> {
+        let gens = Arc::new(GenerationMap::new());
+        Arc::new(DmCaches {
+            queries: QueryCache::new(config, Arc::clone(&gens)),
+            names: ShardedCache::new(config),
+            gens,
+        })
     }
 }
 
@@ -124,6 +165,7 @@ pub struct DmIo {
     next_id: AtomicI64,
     name_root: String,
     slow_query: Duration,
+    caches: Option<Arc<DmCaches>>,
 }
 
 impl DmIo {
@@ -158,6 +200,7 @@ impl DmIo {
             next_id: AtomicI64::new(1),
             name_root: config.name_root.clone(),
             slow_query: config.slow_query,
+            caches: config.cache.as_ref().map(DmCaches::new),
         }
     }
 
@@ -208,11 +251,38 @@ impl DmIo {
         Ok(())
     }
 
-    /// Execute a verified query object via the SQL round-trip (§5.4).
+    /// Execute an internal (non-session) query. Cached under the internal
+    /// access scope when caching is enabled; see [`DmIo::query_scoped`].
+    pub fn query(&self, q: &Query) -> DmResult<QueryResult> {
+        self.query_scoped(INTERNAL_SCOPE, q)
+    }
+
+    /// Execute a query under an access-scope tag. When the result cache
+    /// is enabled, a fresh entry under `(scope, fingerprint)` is served
+    /// without touching the database; a miss snapshots the table's
+    /// generation *before* executing (so a racing write leaves the new
+    /// entry born-stale, never wrongly fresh) and fills on success. The
+    /// semantic layer passes the session's scope tag; two scopes never
+    /// share an entry, preserving §5.5 ownership isolation.
+    pub fn query_scoped(&self, scope: &str, q: &Query) -> DmResult<QueryResult> {
+        let caches = match &self.caches {
+            Some(c) => c,
+            None => return self.query_uncached(q),
+        };
+        if let Some(hit) = caches.queries.get(scope, q) {
+            return Ok(hit);
+        }
+        let deps = caches.queries.snapshot(q);
+        let r = self.query_uncached(q)?;
+        caches.queries.fill(scope, q, &r, deps);
+        Ok(r)
+    }
+
+    /// Execute a query object via the SQL round-trip (§5.4).
     /// End-to-end latency feeds the `dm.query` histogram; anything over the
     /// configured slow-query threshold is captured in the event log with its
     /// generated SQL, under the ambient trace.
-    pub fn query(&self, q: &Query) -> DmResult<QueryResult> {
+    fn query_uncached(&self, q: &Query) -> DmResult<QueryResult> {
         let _span = hedc_obs::Span::child("dm.io.query");
         let started = std::time::Instant::now();
         self.verify(q)?;
@@ -248,14 +318,20 @@ impl DmIo {
         self.pool_for(table).pool(PoolKind::Update).acquire()
     }
 
-    /// Insert a row (update pool).
+    /// Insert a row (update pool). Write-through: the table's cache
+    /// generation is bumped around the write (see [`DmIo::bump_generation`]
+    /// for why both sides are needed).
     pub fn insert(&self, table: &str, values: Vec<Value>) -> DmResult<u64> {
         let pool = self.pool_for(table).pool(PoolKind::Update);
         let mut conn = pool.acquire();
-        Ok(conn.insert(table, values)?)
+        self.bump_generation(table);
+        let id = conn.insert(table, values)?;
+        self.bump_generation(table);
+        Ok(id)
     }
 
-    /// Execute an arbitrary DML/DDL statement (update pool).
+    /// Execute an arbitrary DML/DDL statement (update pool). Write-through:
+    /// the written table's cache generation is bumped around the write.
     pub fn execute(&self, stmt: Statement) -> DmResult<usize> {
         let table = match &stmt {
             Statement::Insert { table, .. }
@@ -265,10 +341,38 @@ impl DmIo {
         };
         let pool = self.pool_for(&table).pool(PoolKind::Update);
         let mut conn = pool.acquire();
-        match conn.execute_statement(stmt)? {
+        self.bump_generation(&table);
+        let out = conn.execute_statement(stmt)?;
+        self.bump_generation(&table);
+        match out {
             SqlOutput::Affected(n) => Ok(n),
             _ => Ok(0),
         }
+    }
+
+    /// Record a write to `table` in the cache generation map (no-op when
+    /// caching is off, or for the empty table name).
+    ///
+    /// Writers must bump **before and after** the write (the built-in
+    /// [`DmIo::insert`] / [`DmIo::execute`] paths do; semantic-layer
+    /// transactions built on [`DmIo::update_conn`] must do the same per
+    /// written table). A single post-write bump has an ABA hole: a read
+    /// that executes between the commit and the bump observes the new data
+    /// under the *old* generation, so a slower read that executed before
+    /// the commit could later overwrite it with pre-write rows that still
+    /// verify as fresh. Bumping on both sides makes any fill whose
+    /// snapshot-to-fill window overlaps a write born-stale.
+    pub fn bump_generation(&self, table: &str) {
+        if let Some(caches) = &self.caches {
+            if !table.is_empty() {
+                caches.gens.bump(table);
+            }
+        }
+    }
+
+    /// The cache bundle, when [`IoConfig::cache`] enabled one.
+    pub fn caches(&self) -> Option<&Arc<DmCaches>> {
+        self.caches.as_ref()
     }
 
     /// Execute administrator DDL (CREATE TABLE / CREATE INDEX) — the §3.1
@@ -448,6 +552,50 @@ mod tests {
         io.log("info", "test", "hello").unwrap();
         assert_eq!(browse_db.row_count("op_log").unwrap(), 1);
         assert_eq!(process_db.row_count("op_log").unwrap(), 0);
+    }
+
+    fn catalog_row(id: i64, name: &str) -> Vec<Value> {
+        vec![
+            Value::Int(id),
+            Value::Int(0),
+            Value::Text(name.into()),
+            Value::Null,
+            Value::Text("system".into()),
+            Value::Bool(true),
+            Value::Int(0),
+        ]
+    }
+
+    #[test]
+    fn cached_query_skips_database_and_write_invalidates() {
+        let db = Database::in_memory("io-cache");
+        let mut conn = db.connect();
+        schema::create_generic(&mut conn).unwrap();
+        schema::create_domain(&mut conn).unwrap();
+        let io = DmIo::new(
+            vec![db],
+            Partitioning::single(),
+            Arc::new(FileStore::new()),
+            Clock::starting_at(0),
+            &IoConfig {
+                cache: Some(hedc_cache::CacheConfig::default()),
+                ..IoConfig::default()
+            },
+        );
+        io.insert("catalog", catalog_row(1, "standard")).unwrap();
+
+        let q = Query::table("catalog").filter(Expr::eq("public", true));
+        let before = io.db_for("catalog").stats();
+        let r1 = io.query(&q).unwrap();
+        let r2 = io.query(&q).unwrap();
+        assert_eq!(r1.rows, r2.rows);
+        let delta = io.db_for("catalog").stats().since(&before);
+        assert_eq!(delta.queries, 1, "second read must be served by the cache");
+
+        // A write through the io layer invalidates; the next read sees it.
+        io.insert("catalog", catalog_row(2, "extended")).unwrap();
+        let r3 = io.query(&q).unwrap();
+        assert_eq!(r3.rows.len(), 2, "cached row set must not survive a write");
     }
 
     #[test]

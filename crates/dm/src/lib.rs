@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod io;
 mod names;
 mod process;
@@ -50,7 +51,8 @@ mod session;
 mod version;
 
 pub use error::{DmError, DmResult};
-pub use io::{Clock, DmIo, IoConfig, Partitioning};
+pub use fault::{FaultCounts, FaultPlan, FaultyDmNode};
+pub use io::{Clock, DmCaches, DmIo, IoConfig, Partitioning};
 pub use names::{NameType, Names, ResolvedName};
 pub use process::{IngestConfig, IngestReport, Processes};
 pub use redirect::{DmNode, DmRouter, RemoteDm};
@@ -122,12 +124,7 @@ impl Dm {
         // Archives into the location + operational tables.
         let names = Names::new(&io);
         for status in io.files.statuses() {
-            names.register_archive(
-                status.id,
-                &format!("{:?}", status.tier),
-                "",
-                None,
-            )?;
+            names.register_archive(status.id, &format!("{:?}", status.tier), "", None)?;
             io.insert(
                 "op_archives",
                 vec![
@@ -156,13 +153,19 @@ impl Dm {
         // System catalogs (§2.2: standard catalog from the mission pipeline,
         // extended catalog built at HEDC).
         let svc = Services::new(&io);
-        let standard_catalog = svc.create_catalog(&import_session, "standard", "system", Some(
-            "Mission-pipeline event catalog",
-        ))?;
+        let standard_catalog = svc.create_catalog(
+            &import_session,
+            "standard",
+            "system",
+            Some("Mission-pipeline event catalog"),
+        )?;
         svc.publish(&import_session, "catalog", standard_catalog)?;
-        let extended_catalog = svc.create_catalog(&import_session, "extended", "system", Some(
-            "HEDC extended catalog: flares, GRBs, quiet periods",
-        ))?;
+        let extended_catalog = svc.create_catalog(
+            &import_session,
+            "extended",
+            "system",
+            Some("HEDC extended catalog: flares, GRBs, quiet periods"),
+        )?;
         svc.publish(&import_session, "catalog", extended_catalog)?;
 
         // Standard summary views (§6.3): refreshed during data loading.
@@ -265,8 +268,18 @@ mod tests {
 
     fn files() -> Arc<FileStore> {
         let fs = FileStore::new();
-        fs.register(Archive::in_memory(1, "raw", ArchiveTier::OnlineDisk, 1 << 30));
-        fs.register(Archive::in_memory(2, "derived", ArchiveTier::OnlineRaid, 1 << 30));
+        fs.register(Archive::in_memory(
+            1,
+            "raw",
+            ArchiveTier::OnlineDisk,
+            1 << 30,
+        ));
+        fs.register(Archive::in_memory(
+            2,
+            "derived",
+            ArchiveTier::OnlineRaid,
+            1 << 30,
+        ));
         Arc::new(fs)
     }
 
@@ -290,11 +303,16 @@ mod tests {
     #[test]
     fn login_and_rights_flow() {
         let dm = Dm::bootstrap(files(), DmConfig::default()).unwrap();
-        dm.create_user("sci", "pw", "science", Rights::SCIENTIST).unwrap();
+        dm.create_user("sci", "pw", "science", Rights::SCIENTIST)
+            .unwrap();
         let cookie = dm.login("sci", "pw", "10.1.1.1").unwrap();
-        let s = dm.session("10.1.1.1", cookie, SessionKind::Analysis).unwrap();
+        let s = dm
+            .session("10.1.1.1", cookie, SessionKind::Analysis)
+            .unwrap();
         assert!(s.rights.allows(Rights::ANALYZE));
-        assert!(dm.session("10.1.1.1", cookie + 1, SessionKind::Analysis).is_err());
+        assert!(dm
+            .session("10.1.1.1", cookie + 1, SessionKind::Analysis)
+            .is_err());
     }
 
     #[test]

@@ -71,6 +71,27 @@ pub struct ResolvedName {
     pub transforms: Vec<String>,
 }
 
+impl hedc_cache::CacheValue for Vec<ResolvedName> {
+    fn weight_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .iter()
+                .map(|n| {
+                    std::mem::size_of::<ResolvedName>()
+                        + n.archive_path.capacity()
+                        + n.entry_path.capacity()
+                        + n.full_name.capacity()
+                        + n.url.as_ref().map_or(0, String::capacity)
+                        + n.role.capacity()
+                        + n.transforms
+                            .iter()
+                            .map(|t| std::mem::size_of::<String>() + t.capacity())
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
 /// Name-mapping services over the I/O layer.
 pub struct Names<'a> {
     io: &'a DmIo,
@@ -187,13 +208,38 @@ impl<'a> Names<'a> {
     /// of §4.3 (plus one per entry for transforms, only when present). The
     /// end-to-end cost of the mapping — the price §4.3 pays for run-time
     /// relocatability — feeds the `dm.name_map` histogram.
+    ///
+    /// When the result cache is enabled, successful resolutions are cached
+    /// against the generation counters of the three location tables, so a
+    /// relocation (one location-table UPDATE) invalidates every affected
+    /// name on its next lookup.
     pub fn resolve(&self, item_id: i64, want: NameType) -> DmResult<Vec<ResolvedName>> {
         let _span = hedc_obs::Span::child("dm.name_map");
         let started = std::time::Instant::now();
-        let out = self.resolve_inner(item_id, want);
+        let out = self.resolve_cached(item_id, want);
         hedc_obs::global()
             .histogram("dm.name_map")
             .record(started.elapsed());
+        out
+    }
+
+    fn resolve_cached(&self, item_id: i64, want: NameType) -> DmResult<Vec<ResolvedName>> {
+        let Some(caches) = self.io.caches() else {
+            return self.resolve_inner(item_id, want);
+        };
+        let key = format!("names:{}:{item_id}", want.as_str());
+        if let Some(hit) = caches.names.get(&key) {
+            return Ok(hit);
+        }
+        // Snapshot before the read so a racing relocation leaves the
+        // entry born-stale rather than silently live.
+        let deps = caches
+            .gens
+            .snapshot(&["loc_entry", "loc_archive", "loc_transform"]);
+        let out = self.resolve_inner(item_id, want);
+        if let Ok(names) = &out {
+            caches.names.put(&key, names.clone(), deps);
+        }
         out
     }
 
@@ -475,6 +521,53 @@ mod tests {
         assert_eq!(data.transforms, vec!["gunzip"]);
         // Url resolution returns nothing: no url entries attached.
         assert!(names.resolve(item, NameType::Url).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cached_resolution_skips_database_until_relocation() {
+        let db = Database::in_memory("names-cache-test");
+        let mut conn = db.connect();
+        schema::create_generic(&mut conn).unwrap();
+        schema::create_domain(&mut conn).unwrap();
+        let files = FileStore::new();
+        files.register(Archive::in_memory(
+            1,
+            "disk",
+            ArchiveTier::OnlineDisk,
+            1 << 20,
+        ));
+        let io = DmIo::new(
+            vec![db],
+            Partitioning::single(),
+            Arc::new(files),
+            Clock::starting_at(0),
+            &IoConfig {
+                cache: Some(hedc_cache::CacheConfig::default()),
+                ..IoConfig::default()
+            },
+        );
+        let names = Names::new(&io);
+        names.register_archive(1, "disk", "v1", None).unwrap();
+        let item = names.new_item().unwrap();
+        names
+            .attach(item, NameType::File, 1, "raw/u1.fits", 1, None, "data")
+            .unwrap();
+
+        let first = names.resolve(item, NameType::File).unwrap();
+        let before = io.db_for("loc_entry").stats();
+        let second = names.resolve(item, NameType::File).unwrap();
+        let delta = io.db_for("loc_entry").stats().since(&before);
+        assert_eq!(first, second);
+        assert_eq!(
+            delta.queries, 0,
+            "warm name resolution must not touch the database"
+        );
+
+        // A run-time relocation is one location-table UPDATE; the very next
+        // resolve must observe it (no stale name served).
+        names.set_archive_prefix(1, "v2").unwrap();
+        let moved = names.resolve(item, NameType::File).unwrap();
+        assert_eq!(moved[0].archive_path, "v2/raw/u1.fits");
     }
 
     #[test]

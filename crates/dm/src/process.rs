@@ -94,7 +94,9 @@ impl<'a> Processes<'a> {
         let fits_bytes = unit.to_fits().to_bytes();
         let raw_path = unit.archive_path();
         let raw_physical = names.physical_path(cfg.raw_archive, &raw_path)?;
-        self.io.files.store(cfg.raw_archive, &raw_physical, &fits_bytes)?;
+        self.io
+            .files
+            .store(cfg.raw_archive, &raw_physical, &fits_bytes)?;
         bytes_stored += fits_bytes.len() as u64;
         let raw_item = names.new_item()?;
         names.attach(
@@ -141,11 +143,7 @@ impl<'a> Processes<'a> {
                 peak_rate: Some(ev.peak_rate),
                 hardness: Some(ev.hardness),
                 n_photons: Some(ev.photon_count as i64),
-                title: Some(format!(
-                    "{} @ {}",
-                    ev.kind.type_name(),
-                    ev.start_ms
-                )),
+                title: Some(format!("{} @ {}", ev.kind.type_name(), ev.start_ms)),
                 source: "detection".to_string(),
                 calib_version: unit.calib_version,
             };
@@ -153,17 +151,19 @@ impl<'a> Processes<'a> {
             svc.publish(import_session, "hle", hle_id)?;
             svc.add_to_catalog(import_session, cfg.extended_catalog, hle_id)?;
             // Lineage: HLE derived from this raw unit by detection.
-            self.lineage("hle", hle_id, Some(("raw_unit", raw_id)), "detect", unit.calib_version)?;
+            self.lineage(
+                "hle",
+                hle_id,
+                Some(("raw_unit", raw_id)),
+                "detect",
+                unit.calib_version,
+            )?;
             hle_ids.push(hle_id);
         }
 
         // --- 4. Load-time approximated view (§3.4) ---------------------------
-        let counts = hedc_events::bin_counts(
-            &unit.photons,
-            unit.start_ms,
-            unit.end_ms,
-            cfg.view_bin_ms,
-        );
+        let counts =
+            hedc_events::bin_counts(&unit.photons, unit.start_ms, unit.end_ms, cfg.view_bin_ms);
         let signal: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
         let view = PartitionedView::build(&signal, cfg.view_partition, cfg.view_quant);
         let view_bytes = view.to_bytes();
@@ -197,7 +197,13 @@ impl<'a> Processes<'a> {
                 Value::Int(i64::from(unit.calib_version)),
             ],
         )?;
-        self.lineage("view", view_id, Some(("raw_unit", raw_id)), "wavelet", unit.calib_version)?;
+        self.lineage(
+            "view",
+            view_id,
+            Some(("raw_unit", raw_id)),
+            "wavelet",
+            unit.calib_version,
+        )?;
 
         self.io.log(
             "info",
@@ -257,7 +263,9 @@ impl<'a> Processes<'a> {
                 Value::Int(id),
                 Value::Text(entity_kind.to_string()),
                 Value::Int(entity_id),
-                source.map(|(k, _)| Value::Text(k.to_string())).unwrap_or(Value::Null),
+                source
+                    .map(|(k, _)| Value::Text(k.to_string()))
+                    .unwrap_or(Value::Null),
                 source.map(|(_, i)| Value::Int(i)).unwrap_or(Value::Null),
                 Value::Text(operation.to_string()),
                 Value::Int(i64::from(calib_version)),
@@ -269,9 +277,9 @@ impl<'a> Processes<'a> {
 
     /// Lineage rows for an entity (provenance queries).
     pub fn lineage_of(&self, entity_id: i64) -> DmResult<Vec<(String, String)>> {
-        let r = self.io.query(
-            &Query::table("op_lineage").filter(Expr::eq("entity_id", entity_id)),
-        )?;
+        let r = self
+            .io
+            .query(&Query::table("op_lineage").filter(Expr::eq("entity_id", entity_id)))?;
         Ok(r.rows
             .iter()
             .map(|row| {
@@ -346,9 +354,9 @@ impl<'a> Processes<'a> {
     /// "data refresh and purging rules" of §4.1.
     pub fn purge_obsolete_raw(&self) -> DmResult<usize> {
         let names = Names::new(self.io);
-        let rows = self.io.query(
-            &Query::table("raw_unit").filter(Expr::eq("obsolete", true)),
-        )?;
+        let rows = self
+            .io
+            .query(&Query::table("raw_unit").filter(Expr::eq("obsolete", true)))?;
         let mut purged = 0usize;
         for row in &rows.rows {
             let raw_id = row[0].as_int().expect("id");
@@ -394,9 +402,24 @@ mod tests {
         schema::create_generic(&mut conn).unwrap();
         schema::create_domain(&mut conn).unwrap();
         let files = FileStore::new();
-        files.register(Archive::in_memory(1, "raw", ArchiveTier::OnlineDisk, 1 << 30));
-        files.register(Archive::in_memory(2, "derived", ArchiveTier::OnlineRaid, 1 << 30));
-        files.register(Archive::in_memory(3, "tape", ArchiveTier::TapeVault, 1 << 30));
+        files.register(Archive::in_memory(
+            1,
+            "raw",
+            ArchiveTier::OnlineDisk,
+            1 << 30,
+        ));
+        files.register(Archive::in_memory(
+            2,
+            "derived",
+            ArchiveTier::OnlineRaid,
+            1 << 30,
+        ));
+        files.register(Archive::in_memory(
+            3,
+            "tape",
+            ArchiveTier::TapeVault,
+            1 << 30,
+        ));
         let io = DmIo::new(
             vec![db],
             Partitioning::single(),
@@ -408,8 +431,14 @@ mod tests {
         for (id, ty) in [(1u32, "disk"), (2, "raid"), (3, "tape")] {
             names.register_archive(id, ty, "", None).unwrap();
         }
-        create_user(&io, "import", "pw", "system", Rights::SCIENTIST.with(Rights::ADMIN))
-            .unwrap();
+        create_user(
+            &io,
+            "import",
+            "pw",
+            "system",
+            Rights::SCIENTIST.with(Rights::ADMIN),
+        )
+        .unwrap();
         let mgr = SessionManager::new();
         let c = mgr.authenticate(&io, "import", "pw", "local").unwrap();
         let import = mgr.lookup("local", c, SessionKind::Hle).unwrap();
@@ -418,7 +447,11 @@ mod tests {
             .create_catalog(&import, "extended", "system", None)
             .unwrap();
         svc.publish(&import, "catalog", extended).unwrap();
-        Fx { io, import, extended }
+        Fx {
+            io,
+            import,
+            extended,
+        }
     }
 
     fn busy_unit() -> TelemetryUnit {
@@ -440,7 +473,10 @@ mod tests {
         let cfg = IngestConfig::new(1, 2, f.extended);
         let report = procs.ingest_unit(&f.import, &unit, &cfg).unwrap();
         assert!(report.bytes_stored > 0);
-        assert!(!report.hle_ids.is_empty(), "an active half hour detects events");
+        assert!(
+            !report.hle_ids.is_empty(),
+            "an active half hour detects events"
+        );
         // Raw file exists and is referenced.
         assert!(f.io.files.exists(1, &unit.archive_path()));
         // HLEs are in the extended catalog and public.
@@ -448,9 +484,7 @@ mod tests {
         let members = svc.catalog_members(&f.import, f.extended).unwrap();
         assert_eq!(members, report.hle_ids);
         let guest = Session::anonymous("x");
-        let visible = svc
-            .query(&guest, Query::table("hle"))
-            .unwrap();
+        let visible = svc.query(&guest, Query::table("hle")).unwrap();
         assert_eq!(visible.rows.len(), report.hle_ids.len());
         // The view file parses back and reconstructs.
         let names = Names::new(&f.io);
@@ -459,7 +493,10 @@ mod tests {
         let view_item = vm.rows[0][6].as_int().unwrap();
         let bytes = names.fetch_data(view_item).unwrap();
         let view = PartitionedView::from_bytes(&bytes).unwrap();
-        assert_eq!(view.total_len() as u64, (unit.end_ms - unit.start_ms) / 1000);
+        assert_eq!(
+            view.total_len() as u64,
+            (unit.end_ms - unit.start_ms) / 1000
+        );
         // Lineage recorded for every HLE.
         for &h in &report.hle_ids {
             let lin = procs.lineage_of(h).unwrap();
@@ -505,7 +542,10 @@ mod tests {
         let item = raw.rows[0][6].as_int().unwrap();
         let resolved = names.resolve(item, NameType::File).unwrap();
         assert_eq!(resolved[0].archive_id, 3);
-        assert_eq!(names.fetch_data(item).unwrap().len() as u64, resolved[0].size);
+        assert_eq!(
+            names.fetch_data(item).unwrap().len() as u64,
+            resolved[0].size
+        );
     }
 
     #[test]
@@ -540,6 +580,11 @@ mod tests {
         .unwrap();
         assert_eq!(procs.purge_obsolete_raw().unwrap(), 1);
         assert!(!f.io.files.exists(1, &unit.archive_path()));
-        assert!(f.io.query(&Query::table("raw_unit")).unwrap().rows.is_empty());
+        assert!(f
+            .io
+            .query(&Query::table("raw_unit"))
+            .unwrap()
+            .rows
+            .is_empty());
     }
 }

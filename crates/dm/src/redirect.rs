@@ -9,9 +9,16 @@
 //! methods do not know where the code is actually executed").
 
 use crate::error::{DmError, DmResult};
+use hedc_cache::{CacheConfig, DepSnapshot, QueryCache};
 use hedc_metadb::{Query, QueryResult};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Cache scope tag for router-side entries. Queries reaching the router are
+/// already scoped (ownership filters are part of the query text, hence part
+/// of the fingerprint), so one shared tag is sufficient — and it can never
+/// collide with the per-user tags of the semantic layer.
+const ROUTER_SCOPE: &str = "net";
 
 /// The request surface a DM node exposes to other nodes: read-side browsing
 /// calls (the workload that scales out in §7.3). Writes stay on the primary.
@@ -97,6 +104,11 @@ pub struct DmRouter {
     /// Per-node "last seen down" flags, so recovery (a formerly skipped or
     /// failed node serving again) is observable, not just the outage.
     seen_down: Vec<AtomicBool>,
+    /// Router-side result cache. The router cannot observe writes behind
+    /// the nodes, so freshness is TTL-only — and when *every* node is
+    /// unavailable, expired entries are still served (degraded read-only
+    /// mode) rather than failing the browse request.
+    cache: Option<QueryCache>,
 }
 
 impl DmRouter {
@@ -108,7 +120,24 @@ impl DmRouter {
             nodes,
             next: AtomicUsize::new(0),
             seen_down,
+            cache: None,
         }
+    }
+
+    /// Build a router with a result cache in front of the wire. Because no
+    /// generation counters ever bump on this side, set
+    /// [`CacheConfig::ttl`]; with `ttl: None` entries only leave by
+    /// eviction (acceptable for immutable archives, wrong for live ones).
+    pub fn with_cache(nodes: Vec<Arc<dyn DmNode>>, config: &CacheConfig) -> Self {
+        let gens = Arc::new(hedc_cache::GenerationMap::new());
+        let mut router = DmRouter::new(nodes);
+        router.cache = Some(QueryCache::new(config, gens));
+        router
+    }
+
+    /// The router-side cache, when enabled.
+    pub fn cache(&self) -> Option<&QueryCache> {
+        self.cache.as_ref()
     }
 
     /// Number of nodes.
@@ -125,8 +154,42 @@ impl DmRouter {
     }
 
     /// Execute on the next node in rotation, failing over past down nodes.
-    /// Errors only when every node is unavailable.
+    /// With a cache, fresh entries are served without touching any node,
+    /// and when every node is unavailable the request is answered from
+    /// stale cache (degraded read-only mode) before erroring.
     pub fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(ROUTER_SCOPE, q) {
+                return Ok(hit);
+            }
+        }
+        // Snapshot before the remote read so a TTL clock started now covers
+        // the whole round trip.
+        let deps: Option<DepSnapshot> = self.cache.as_ref().map(|c| c.snapshot(q));
+        match self.execute_uncached(q) {
+            Ok(r) => {
+                if let (Some(cache), Some(deps)) = (&self.cache, deps) {
+                    cache.fill(ROUTER_SCOPE, q, &r, deps);
+                }
+                Ok(r)
+            }
+            Err(e @ DmError::RemoteUnavailable(_)) => {
+                if let Some(cache) = &self.cache {
+                    if let Some(stale) = cache.get_stale(ROUTER_SCOPE, q) {
+                        hedc_obs::emit(
+                            hedc_obs::events::kind::CACHE_DEGRADED,
+                            format!("all nodes unavailable, serving stale result ({e})"),
+                        );
+                        return Ok(stale);
+                    }
+                }
+                Err(e)
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    fn execute_uncached(&self, q: &Query) -> DmResult<QueryResult> {
         // The counter is a free-running rotation cursor: it is *expected* to
         // overflow on a long-lived router, so wrap explicitly everywhere.
         let start = self.next.fetch_add(1, Ordering::Relaxed);
@@ -286,6 +349,56 @@ mod tests {
             router.execute_query(&Query::table("catalog")),
             Err(DmError::RemoteUnavailable(_))
         ));
+    }
+
+    #[test]
+    fn warm_router_cache_survives_total_outage() {
+        let a = Arc::new(RemoteDm::new(node("a", 3), "node-cache-a", 50));
+        let config = hedc_cache::CacheConfig {
+            ttl: Some(std::time::Duration::from_secs(3600)),
+            ..hedc_cache::CacheConfig::default()
+        };
+        let router = DmRouter::with_cache(vec![a.clone() as Arc<dyn DmNode>], &config);
+        let q = Query::table("catalog");
+        let cold = router.execute_query(&q).unwrap();
+        assert_eq!(a.calls(), 1);
+        // Warm: served from cache, the node sees no second call.
+        let warm = router.execute_query(&q).unwrap();
+        assert_eq!(a.calls(), 1, "warm request must not reach the node");
+        assert_eq!(cold.rows, warm.rows);
+        // Total outage: the warm entry still answers (degraded read-only).
+        a.set_down(true);
+        let degraded = router.execute_query(&q).unwrap();
+        assert_eq!(degraded.rows, cold.rows);
+        // An uncached query during the outage still fails.
+        assert!(matches!(
+            router.execute_query(&Query::table("hle")),
+            Err(DmError::RemoteUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn expired_entries_are_stale_served_only_during_outage() {
+        let a = Arc::new(RemoteDm::new(node("a", 2), "node-ttl-a", 50));
+        let config = hedc_cache::CacheConfig {
+            ttl: Some(std::time::Duration::ZERO), // everything expires at once
+            ..hedc_cache::CacheConfig::default()
+        };
+        let router = DmRouter::with_cache(vec![a.clone() as Arc<dyn DmNode>], &config);
+        let q = Query::table("catalog");
+        router.execute_query(&q).unwrap();
+        router.execute_query(&q).unwrap();
+        // TTL zero: both requests hit the node.
+        assert_eq!(a.calls(), 2);
+        // But an outage falls back to the expired entry, with an event.
+        a.set_down(true);
+        assert!(router.execute_query(&q).is_ok());
+        let events = hedc_obs::event_log().events_of_kind(hedc_obs::events::kind::CACHE_DEGRADED);
+        assert!(
+            events.iter().any(|e| e.detail.contains("stale")),
+            "{events:?}"
+        );
+        assert_eq!(router.cache().unwrap().stats().stale_serves, 1);
     }
 
     #[test]

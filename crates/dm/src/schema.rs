@@ -37,7 +37,9 @@ pub fn admin_services() -> Schema {
             ColumnDef::new("kind", DataType::Text).not_null(),
             ColumnDef::new("location", DataType::Text).not_null(),
             ColumnDef::new("prerequisites", DataType::Text),
-            ColumnDef::new("status", DataType::Text).not_null().default("up"),
+            ColumnDef::new("status", DataType::Text)
+                .not_null()
+                .default("up"),
         ],
     )
     .primary_key(&["id"])
@@ -52,9 +54,15 @@ pub fn admin_users() -> Schema {
             ColumnDef::new("id", DataType::Int).not_null(),
             ColumnDef::new("name", DataType::Text).not_null(),
             ColumnDef::new("pw_hash", DataType::Int).not_null(),
-            ColumnDef::new("grp", DataType::Text).not_null().default("guest"),
-            ColumnDef::new("rights", DataType::Int).not_null().default(0),
-            ColumnDef::new("status", DataType::Text).not_null().default("active"),
+            ColumnDef::new("grp", DataType::Text)
+                .not_null()
+                .default("guest"),
+            ColumnDef::new("rights", DataType::Int)
+                .not_null()
+                .default(0),
+            ColumnDef::new("status", DataType::Text)
+                .not_null()
+                .default("active"),
             ColumnDef::new("last_login_ms", DataType::Timestamp),
         ],
     )
@@ -162,7 +170,9 @@ pub fn loc_entry() -> Schema {
             ColumnDef::new("path", DataType::Text).not_null(),
             ColumnDef::new("size", DataType::Int).not_null().default(0),
             ColumnDef::new("checksum", DataType::Int),
-            ColumnDef::new("role", DataType::Text).not_null().default("data"),
+            ColumnDef::new("role", DataType::Text)
+                .not_null()
+                .default("data"),
         ],
     )
     .primary_key(&["id"])
@@ -177,9 +187,13 @@ pub fn loc_archive() -> Schema {
         vec![
             ColumnDef::new("archive_id", DataType::Int).not_null(),
             ColumnDef::new("archive_type", DataType::Text).not_null(),
-            ColumnDef::new("path_prefix", DataType::Text).not_null().default(""),
+            ColumnDef::new("path_prefix", DataType::Text)
+                .not_null()
+                .default(""),
             ColumnDef::new("url_base", DataType::Text),
-            ColumnDef::new("online", DataType::Bool).not_null().default(true),
+            ColumnDef::new("online", DataType::Bool)
+                .not_null()
+                .default(true),
         ],
     )
     .primary_key(&["archive_id"])
@@ -215,26 +229,42 @@ pub fn hle() -> Schema {
             ColumnDef::new("item_id", DataType::Int),
             ColumnDef::new("time_start", DataType::Timestamp).not_null(),
             ColumnDef::new("time_end", DataType::Timestamp).not_null(),
-            ColumnDef::new("energy_lo", DataType::Float).not_null().default(3.0),
-            ColumnDef::new("energy_hi", DataType::Float).not_null().default(20000.0),
+            ColumnDef::new("energy_lo", DataType::Float)
+                .not_null()
+                .default(3.0),
+            ColumnDef::new("energy_hi", DataType::Float)
+                .not_null()
+                .default(20000.0),
             ColumnDef::new("event_type", DataType::Text).not_null(),
             ColumnDef::new("flare_class", DataType::Text),
             ColumnDef::new("peak_rate", DataType::Float),
             ColumnDef::new("hardness", DataType::Float),
             ColumnDef::new("n_photons", DataType::Int),
-            ColumnDef::new("calib_version", DataType::Int).not_null().default(1),
-            ColumnDef::new("version", DataType::Int).not_null().default(1),
-            ColumnDef::new("public", DataType::Bool).not_null().default(false),
+            ColumnDef::new("calib_version", DataType::Int)
+                .not_null()
+                .default(1),
+            ColumnDef::new("version", DataType::Int)
+                .not_null()
+                .default(1),
+            ColumnDef::new("public", DataType::Bool)
+                .not_null()
+                .default(false),
             ColumnDef::new("title", DataType::Text),
             ColumnDef::new("notes", DataType::Text),
             ColumnDef::new("created_ms", DataType::Timestamp).not_null(),
-            ColumnDef::new("source", DataType::Text).not_null().default("user"),
+            ColumnDef::new("source", DataType::Text)
+                .not_null()
+                .default("user"),
             ColumnDef::new("position_x", DataType::Float),
             ColumnDef::new("position_y", DataType::Float),
             ColumnDef::new("goes_flux", DataType::Float),
             ColumnDef::new("active_region", DataType::Int),
-            ColumnDef::new("quality", DataType::Int).not_null().default(0),
-            ColumnDef::new("obsolete", DataType::Bool).not_null().default(false),
+            ColumnDef::new("quality", DataType::Int)
+                .not_null()
+                .default(0),
+            ColumnDef::new("obsolete", DataType::Bool)
+                .not_null()
+                .default(false),
         ],
     )
     .primary_key(&["id"])
@@ -261,17 +291,27 @@ pub fn ana() -> Schema {
             ColumnDef::new("param_grid", DataType::Float),
             ColumnDef::new("param_bins", DataType::Float),
             ColumnDef::new("param_bin_ms", DataType::Float),
-            ColumnDef::new("status", DataType::Text).not_null().default("done"),
+            ColumnDef::new("status", DataType::Text)
+                .not_null()
+                .default("done"),
             ColumnDef::new("duration_ms", DataType::Int),
             ColumnDef::new("cpu_ms", DataType::Int),
             ColumnDef::new("output_bytes", DataType::Int),
             ColumnDef::new("product_type", DataType::Text),
-            ColumnDef::new("calib_version", DataType::Int).not_null().default(1),
-            ColumnDef::new("version", DataType::Int).not_null().default(1),
-            ColumnDef::new("public", DataType::Bool).not_null().default(false),
+            ColumnDef::new("calib_version", DataType::Int)
+                .not_null()
+                .default(1),
+            ColumnDef::new("version", DataType::Int)
+                .not_null()
+                .default(1),
+            ColumnDef::new("public", DataType::Bool)
+                .not_null()
+                .default(false),
             ColumnDef::new("created_ms", DataType::Timestamp).not_null(),
             ColumnDef::new("error", DataType::Text),
-            ColumnDef::new("obsolete", DataType::Bool).not_null().default(false),
+            ColumnDef::new("obsolete", DataType::Bool)
+                .not_null()
+                .default(false),
         ],
     )
     .primary_key(&["id"])
@@ -287,8 +327,12 @@ pub fn catalog() -> Schema {
             ColumnDef::new("owner", DataType::Int).not_null(),
             ColumnDef::new("name", DataType::Text).not_null(),
             ColumnDef::new("description", DataType::Text),
-            ColumnDef::new("kind", DataType::Text).not_null().default("private"),
-            ColumnDef::new("public", DataType::Bool).not_null().default(false),
+            ColumnDef::new("kind", DataType::Text)
+                .not_null()
+                .default("private"),
+            ColumnDef::new("public", DataType::Bool)
+                .not_null()
+                .default(false),
             ColumnDef::new("created_ms", DataType::Timestamp).not_null(),
         ],
     )
@@ -322,7 +366,9 @@ pub fn raw_unit() -> Schema {
             ColumnDef::new("calib_version", DataType::Int).not_null(),
             ColumnDef::new("item_id", DataType::Int).not_null(),
             ColumnDef::new("size_bytes", DataType::Int).not_null(),
-            ColumnDef::new("obsolete", DataType::Bool).not_null().default(false),
+            ColumnDef::new("obsolete", DataType::Bool)
+                .not_null()
+                .default(false),
         ],
     )
     .primary_key(&["id"])
@@ -474,10 +520,8 @@ mod tests {
         let db = Database::in_memory("users");
         let mut conn = db.connect();
         create_generic(&mut conn).unwrap();
-        conn.execute_sql(
-            "INSERT INTO admin_users (id, name, pw_hash) VALUES (1, 'etzard', 42)",
-        )
-        .unwrap();
+        conn.execute_sql("INSERT INTO admin_users (id, name, pw_hash) VALUES (1, 'etzard', 42)")
+            .unwrap();
         let err = conn
             .execute_sql("INSERT INTO admin_users (id, name, pw_hash) VALUES (2, 'etzard', 43)")
             .unwrap_err();

@@ -134,11 +134,14 @@ impl<'a> Services<'a> {
         Services { io }
     }
 
-    /// Run a query with the session's ownership scoping applied.
+    /// Run a query with the session's ownership scoping applied. Results
+    /// are cached (when enabled) under the session's scope tag, so one
+    /// user's cached rows are never served to another.
     pub fn query(&self, session: &Session, q: Query) -> DmResult<QueryResult> {
         let _span = hedc_obs::Span::child("dm.session.query");
         session.require(Rights::BROWSE, "browse")?;
-        self.io.query(&scope_query(session, q))
+        self.io
+            .query_scoped(&session.scope_tag(), &scope_query(session, q))
     }
 
     /// Run user-submitted SQL (§1's "their own SQL queries"): SELECT only,
@@ -148,7 +151,9 @@ impl<'a> Services<'a> {
         session.require(Rights::BROWSE, "browse")?;
         let stmt = hedc_metadb::parse(sql)?;
         match stmt {
-            hedc_metadb::Statement::Select(q) => self.io.query(&scope_query(session, q)),
+            hedc_metadb::Statement::Select(q) => self
+                .io
+                .query_scoped(&session.scope_tag(), &scope_query(session, q)),
             _ => Err(DmError::BadQuery(
                 "only SELECT is allowed on the user SQL path".into(),
             )),
@@ -243,7 +248,13 @@ impl<'a> Services<'a> {
             return Err(e);
         }
 
-        // Metadata transaction: item + entries + ana tuple.
+        // Metadata transaction: item + entries + ana tuple. Bump the cache
+        // generations on both sides of the write window (see
+        // `DmIo::bump_generation`): the transaction goes through a raw
+        // update connection, which the io layer's auto-bumps never see.
+        for table in ["ana", "loc_entry", "loc_item"] {
+            self.io.bump_generation(table);
+        }
         let ana_id = self.io.next_id();
         let now = self.io.clock.now_ms() as i64;
         let txn_result: DmResult<Option<i64>> = (|| {
@@ -307,7 +318,13 @@ impl<'a> Services<'a> {
         })();
 
         match txn_result {
-            Ok(item_id) => Ok((ana_id, item_id)),
+            Ok(item_id) => {
+                // Closing bump, now that the commit is durable.
+                for table in ["ana", "loc_entry", "loc_item"] {
+                    self.io.bump_generation(table);
+                }
+                Ok((ana_id, item_id))
+            }
             Err(e) => {
                 // Compensate the file stores.
                 for (a, p) in &stored {
@@ -433,6 +450,12 @@ impl<'a> Services<'a> {
                 let _ = self.io.files.delete(file.archive_id, &file.archive_path);
             }
         }
+        // Raw-connection transaction: invalidate the written tables
+        // explicitly, on both sides of the write window (the io-layer
+        // auto-bumps never see these writes; see `DmIo::bump_generation`).
+        for table in ["ana", "loc_entry", "loc_item"] {
+            self.io.bump_generation(table);
+        }
         let mut conn = self.io.update_conn("ana");
         conn.begin()?;
         conn.delete_where("ana", Some(Expr::eq("id", ana_id)))?;
@@ -441,6 +464,9 @@ impl<'a> Services<'a> {
             conn.delete_where("loc_item", Some(Expr::eq("item_id", item)))?;
         }
         conn.commit()?;
+        for table in ["ana", "loc_entry", "loc_item"] {
+            self.io.bump_generation(table);
+        }
         Ok(())
     }
 

@@ -108,6 +108,18 @@ impl Session {
     pub fn is_admin(&self) -> bool {
         self.rights.allows(Rights::ADMIN)
     }
+
+    /// The access-scope tag for result caching. Scoping (§5.5) rewrites a
+    /// non-admin query per-user, so cache entries are keyed per user;
+    /// admins all see unscoped rows and share one tag. Two tags never
+    /// share a cache entry.
+    pub fn scope_tag(&self) -> String {
+        if self.is_admin() {
+            "admin".to_string()
+        } else {
+            format!("u{}", self.user_id)
+        }
+    }
 }
 
 /// Iterated FNV-1a with salt. Deliberately simple — the evaluation depends
@@ -116,7 +128,11 @@ impl Session {
 pub fn password_hash(name: &str, password: &str) -> i64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for _ in 0..1000 {
-        for b in name.bytes().chain(b"::".iter().copied()).chain(password.bytes()) {
+        for b in name
+            .bytes()
+            .chain(b"::".iter().copied())
+            .chain(password.bytes())
+        {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100000001b3);
         }
@@ -149,13 +165,7 @@ impl SessionManager {
     /// Authenticate against `admin_users`: one SELECT on the unique name
     /// index plus one UPDATE of `last_login_ms` (the §7.2 cost), then create
     /// the user's three cached sessions. Returns the cookie.
-    pub fn authenticate(
-        &self,
-        io: &DmIo,
-        name: &str,
-        password: &str,
-        ip: &str,
-    ) -> DmResult<u64> {
+    pub fn authenticate(&self, io: &DmIo, name: &str, password: &str, ip: &str) -> DmResult<u64> {
         let r = io.query(&Query::table("admin_users").filter(Expr::eq("name", name)))?;
         let row = r
             .rows
@@ -198,7 +208,11 @@ impl SessionManager {
         let mut cache = self.cache.lock();
         // Evict this user's previous sessions (the 3-per-user cap).
         cache.retain(|_, s| s.user_id != user_id);
-        for kind in [SessionKind::Analysis, SessionKind::Hle, SessionKind::Catalog] {
+        for kind in [
+            SessionKind::Analysis,
+            SessionKind::Hle,
+            SessionKind::Catalog,
+        ] {
             cache.insert(
                 (ip.to_string(), cookie, kind),
                 Arc::new(Session {
@@ -303,19 +317,27 @@ mod tests {
         create_user(&io, "pascal", "secret", "science", Rights::SCIENTIST).unwrap();
         let mgr = SessionManager::new();
         let before = io.db_for("admin_users").stats();
-        let cookie = mgr.authenticate(&io, "pascal", "secret", "10.0.0.1").unwrap();
+        let cookie = mgr
+            .authenticate(&io, "pascal", "secret", "10.0.0.1")
+            .unwrap();
         let delta = io.db_for("admin_users").stats().since(&before);
         assert_eq!(delta.queries, 1, "one SELECT");
         assert_eq!(delta.edits, 1, "one UPDATE");
         assert_eq!(mgr.live_sessions(), 3);
-        for kind in [SessionKind::Analysis, SessionKind::Hle, SessionKind::Catalog] {
+        for kind in [
+            SessionKind::Analysis,
+            SessionKind::Hle,
+            SessionKind::Catalog,
+        ] {
             let s = mgr.lookup("10.0.0.1", cookie, kind).unwrap();
             assert_eq!(s.user_name, "pascal");
             assert!(s.rights.allows(Rights::UPLOAD));
         }
         // Wrong ip or cookie misses the cache.
         assert!(mgr.lookup("10.0.0.2", cookie, SessionKind::Hle).is_err());
-        assert!(mgr.lookup("10.0.0.1", cookie + 1, SessionKind::Hle).is_err());
+        assert!(mgr
+            .lookup("10.0.0.1", cookie + 1, SessionKind::Hle)
+            .is_err());
     }
 
     #[test]

@@ -101,12 +101,9 @@ impl<'a> Versioning<'a> {
         let names = Names::new(self.io);
         let procs = Processes::new(self.io);
 
-        let units = self.io.query(
-            &Query::table("raw_unit").filter(
-                Expr::eq("calib_version", i64::from(old.version))
-                    .and(Expr::eq("obsolete", false)),
-            ),
-        )?;
+        let units = self.io.query(&Query::table("raw_unit").filter(
+            Expr::eq("calib_version", i64::from(old.version)).and(Expr::eq("obsolete", false)),
+        ))?;
         let mut recal_count = 0usize;
         for row in &units.rows {
             let raw_id = row[0].as_int().expect("id");
@@ -121,7 +118,10 @@ impl<'a> Versioning<'a> {
                     entity: "raw file",
                     id: item_id,
                 })?;
-            let bytes = self.io.files.fetch(primary.archive_id, &primary.archive_path)?;
+            let bytes = self
+                .io
+                .files
+                .fetch(primary.archive_id, &primary.archive_path)?;
             let unit = TelemetryUnit::from_fits(&FitsFile::from_bytes(&bytes)?)?;
             let photons = recalibrate(&unit.photons, old, new)
                 .map_err(|e| DmError::Integrity(format!("recalibration: {e}")))?;
@@ -174,15 +174,25 @@ impl<'a> Versioning<'a> {
                 Some(new.version),
                 "recalibration",
             )?;
-            procs.lineage("raw_unit", raw_id, Some(("raw_unit", raw_id)), "recalibrate", new.version)?;
+            procs.lineage(
+                "raw_unit",
+                raw_id,
+                Some(("raw_unit", raw_id)),
+                "recalibrate",
+                new.version,
+            )?;
             recal_count += 1;
         }
 
         // Invalidate analyses computed under older calibrations.
         let stale = self.io.query(
             &Query::table("ana").filter(
-                hedc_metadb::Expr::cmp("calib_version", hedc_metadb::CmpOp::Lt, i64::from(new.version))
-                    .and(Expr::eq("obsolete", false)),
+                hedc_metadb::Expr::cmp(
+                    "calib_version",
+                    hedc_metadb::CmpOp::Lt,
+                    i64::from(new.version),
+                )
+                .and(Expr::eq("obsolete", false)),
             ),
         )?;
         let mut invalidated = 0usize;
@@ -253,8 +263,18 @@ mod tests {
         schema::create_generic(&mut conn).unwrap();
         schema::create_domain(&mut conn).unwrap();
         let files = FileStore::new();
-        files.register(Archive::in_memory(1, "raw", ArchiveTier::OnlineDisk, 1 << 30));
-        files.register(Archive::in_memory(2, "derived", ArchiveTier::OnlineRaid, 1 << 30));
+        files.register(Archive::in_memory(
+            1,
+            "raw",
+            ArchiveTier::OnlineDisk,
+            1 << 30,
+        ));
+        files.register(Archive::in_memory(
+            2,
+            "derived",
+            ArchiveTier::OnlineRaid,
+            1 << 30,
+        ));
         let io = DmIo::new(
             vec![db],
             Partitioning::single(),
@@ -265,14 +285,26 @@ mod tests {
         let names = Names::new(&io);
         names.register_archive(1, "disk", "", None).unwrap();
         names.register_archive(2, "raid", "", None).unwrap();
-        create_user(&io, "import", "pw", "system", Rights::SCIENTIST.with(Rights::ADMIN))
-            .unwrap();
+        create_user(
+            &io,
+            "import",
+            "pw",
+            "system",
+            Rights::SCIENTIST.with(Rights::ADMIN),
+        )
+        .unwrap();
         let mgr = SessionManager::new();
         let c = mgr.authenticate(&io, "import", "pw", "local").unwrap();
         let import = mgr.lookup("local", c, SessionKind::Hle).unwrap();
         let svc = Services::new(&io);
-        let extended = svc.create_catalog(&import, "extended", "system", None).unwrap();
-        Fx { io, import, extended }
+        let extended = svc
+            .create_catalog(&import, "extended", "system", None)
+            .unwrap();
+        Fx {
+            io,
+            import,
+            extended,
+        }
     }
 
     fn ingest_one(f: &Fx) -> (i64, Vec<i64>) {
@@ -329,10 +361,9 @@ mod tests {
         assert_eq!(report.new_version, 2);
 
         // Raw tuple now at v2, and the referenced file parses at v2.
-        let raw = f
-            .io
-            .query(&Query::table("raw_unit").filter(Expr::eq("id", raw_id)))
-            .unwrap();
+        let raw =
+            f.io.query(&Query::table("raw_unit").filter(Expr::eq("id", raw_id)))
+                .unwrap();
         assert_eq!(raw.rows[0][5].as_int(), Some(2));
         let names = Names::new(&f.io);
         let item = raw.rows[0][6].as_int().unwrap();
@@ -346,7 +377,9 @@ mod tests {
         assert!(hist.iter().any(|(_, r)| r.contains("recalibration")));
 
         // Idempotence: running the same sweep again finds nothing at v1.
-        let report2 = vsn.apply_recalibration(&v1, &v2.recalibrated(0.0, 0.0)).unwrap();
+        let report2 = vsn
+            .apply_recalibration(&v1, &v2.recalibrated(0.0, 0.0))
+            .unwrap();
         assert_eq!(report2.units_recalibrated, 0);
     }
 
@@ -366,13 +399,11 @@ mod tests {
         let f = fixture();
         let vsn = Versioning::new(&f.io);
         vsn.log_version("hle", 42, 1, None, "created").unwrap();
-        vsn.log_version("hle", 42, 2, Some(2), "recalibrated").unwrap();
+        vsn.log_version("hle", 42, 2, Some(2), "recalibrated")
+            .unwrap();
         vsn.log_version("hle", 42, 3, Some(2), "corrected").unwrap();
         let h = vsn.history(42).unwrap();
-        assert_eq!(
-            h.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
-            vec![1, 2, 3]
-        );
+        assert_eq!(h.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![1, 2, 3]);
         let _ = (&f.import, f.extended);
     }
 
@@ -383,7 +414,9 @@ mod tests {
         let before: Vec<String> = f.io.files.archive(1).unwrap().list();
         let v1 = Calibration::launch();
         let v2 = v1.recalibrated(0.02, 0.1);
-        Versioning::new(&f.io).apply_recalibration(&v1, &v2).unwrap();
+        Versioning::new(&f.io)
+            .apply_recalibration(&v1, &v2)
+            .unwrap();
         let after: Vec<String> = f.io.files.archive(1).unwrap().list();
         assert_eq!(after.len(), before.len() + 1, "old file kept, new added");
         for old in &before {

@@ -4,8 +4,16 @@
 //! N threads hammer a 3-node router while one node flaps down and up.
 //! Invariants: no request is ever lost (every call returns Ok), and once
 //! the flapping node recovers, load rebalances onto it.
+//!
+//! The seeded test below drives the same router through [`FaultyDmNode`]
+//! injectors instead of wall-clock flapping: the whole fault sequence is a
+//! pure function of the printed seed, replayable with
+//! `scripts/check.sh --seed <seed>`.
 
-use hedc_dm::{schema, Clock, DmIo, DmNode, DmResult, DmRouter, IoConfig, Partitioning, RemoteDm};
+use hedc_dm::{
+    schema, Clock, DmIo, DmNode, DmResult, DmRouter, FaultCounts, FaultPlan, FaultyDmNode,
+    IoConfig, Partitioning, RemoteDm,
+};
 use hedc_filestore::FileStore;
 use hedc_metadb::{Database, Query, QueryResult, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -130,4 +138,71 @@ fn concurrent_load_survives_node_flapping_and_rebalances() {
     // Round-robin over 3 healthy nodes gives A ~10 of 30; allow slack but
     // require genuine participation.
     assert!(gained >= 5, "recovered node got {gained}/30 calls");
+}
+
+/// One full failover scenario under seeded injection. Returns the per-node
+/// fault tallies, which are a pure function of the seed: the router is
+/// driven serially, each request draws exactly one random number per node
+/// it touches, and only unavailability/slowness are injected (the router
+/// does not fail over `RemoteFailed`, so every request must complete).
+fn run_seeded_scenario(seed: u64) -> Vec<FaultCounts> {
+    const REQUESTS: usize = 300;
+    let nodes: Vec<Arc<FaultyDmNode<LocalNode>>> = vec![
+        // ~20% unavailable, ~10% slow: the noisy node.
+        Arc::new(FaultyDmNode::new(
+            node("det-a"),
+            "det-a",
+            FaultPlan::seeded(seed)
+                .unavailable(200)
+                .slow(100, Duration::from_micros(200)),
+        )),
+        // ~15% unavailable.
+        Arc::new(FaultyDmNode::new(
+            node("det-b"),
+            "det-b",
+            FaultPlan::seeded(seed ^ 0x9E37_79B9_7F4A_7C15).unavailable(150),
+        )),
+        // Never unavailable — guarantees the router always has an out.
+        Arc::new(FaultyDmNode::new(
+            node("det-c"),
+            "det-c",
+            FaultPlan::seeded(seed.rotate_left(17)).slow(50, Duration::from_micros(100)),
+        )),
+    ];
+    println!(
+        "fault seed {} (replay: scripts/check.sh --seed {})",
+        nodes[0].seed(),
+        nodes[0].seed()
+    );
+    let router = DmRouter::new(
+        nodes
+            .iter()
+            .map(|n| Arc::clone(n) as Arc<dyn DmNode>)
+            .collect(),
+    );
+    for _ in 0..REQUESTS {
+        let r = router
+            .execute_query(&Query::table("catalog"))
+            .expect("injected unavailability must be failed over");
+        assert_eq!(r.rows.len(), 1);
+    }
+    let counts: Vec<FaultCounts> = nodes.iter().map(|n| n.counts()).collect();
+    // Every injected unavailability was absorbed, never surfaced.
+    assert!(
+        counts.iter().any(|c| c.unavailable > 0),
+        "the plan should have injected at least one outage: {counts:?}"
+    );
+    counts
+}
+
+#[test]
+fn seeded_fault_injection_is_reproducible() {
+    // Two runs from one seed must inject the exact same fault sequence —
+    // this is what makes a flake printed as "fault seed N" replayable.
+    // (Distinct seeds diverging is covered by the hedc-dm unit tests; it
+    // is not asserted here because `HEDC_TEST_SEED` pins every plan to one
+    // seed during `scripts/check.sh --seed` replays.)
+    let first = run_seeded_scenario(7);
+    let second = run_seeded_scenario(7);
+    assert_eq!(first, second, "same seed, same faults");
 }

@@ -127,11 +127,9 @@ impl Expr {
             Expr::Name(n) => Expr::Col(schema.require_column(&n)?),
             Expr::Literal(v) => Expr::Literal(v),
             Expr::Col(i) => Expr::Col(i),
-            Expr::Cmp(op, a, b) => Expr::Cmp(
-                op,
-                Box::new(a.bind(schema)?),
-                Box::new(b.bind(schema)?),
-            ),
+            Expr::Cmp(op, a, b) => {
+                Expr::Cmp(op, Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
             Expr::And(a, b) => Expr::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
             Expr::Or(a, b) => Expr::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
             Expr::Not(a) => Expr::Not(Box::new(a.bind(schema)?)),
@@ -155,11 +153,9 @@ impl Expr {
                 expr: Box::new(expr.bind(schema)?),
                 pattern,
             },
-            Expr::Arith(op, a, b) => Expr::Arith(
-                op,
-                Box::new(a.bind(schema)?),
-                Box::new(b.bind(schema)?),
-            ),
+            Expr::Arith(op, a, b) => {
+                Expr::Arith(op, Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
         })
     }
 
@@ -167,13 +163,8 @@ impl Expr {
     pub fn eval(&self, row: &[Value]) -> DbResult<Value> {
         Ok(match self {
             Expr::Literal(v) => v.clone(),
-            Expr::Name(n) => {
-                return Err(DbError::Txn(format!("unbound column reference `{n}`")))
-            }
-            Expr::Col(i) => row
-                .get(*i)
-                .cloned()
-                .ok_or(DbError::NoSuchRow(*i as u64))?,
+            Expr::Name(n) => return Err(DbError::Txn(format!("unbound column reference `{n}`"))),
+            Expr::Col(i) => row.get(*i).cloned().ok_or(DbError::NoSuchRow(*i as u64))?,
             Expr::Cmp(op, a, b) => {
                 let (x, y) = (a.eval(row)?, b.eval(row)?);
                 // SQL three-valued logic: a comparison with NULL is UNKNOWN
@@ -195,20 +186,16 @@ impl Expr {
             }
             // Kleene logic: FALSE dominates AND, TRUE dominates OR,
             // UNKNOWN propagates otherwise.
-            Expr::And(a, b) => {
-                match (a.eval(row)?.as_bool_tvl()?, b.eval(row)?.as_bool_tvl()?) {
-                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
-                    (Some(true), Some(true)) => Value::Bool(true),
-                    _ => Value::Null,
-                }
-            }
-            Expr::Or(a, b) => {
-                match (a.eval(row)?.as_bool_tvl()?, b.eval(row)?.as_bool_tvl()?) {
-                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
-                    (Some(false), Some(false)) => Value::Bool(false),
-                    _ => Value::Null,
-                }
-            }
+            Expr::And(a, b) => match (a.eval(row)?.as_bool_tvl()?, b.eval(row)?.as_bool_tvl()?) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            },
+            Expr::Or(a, b) => match (a.eval(row)?.as_bool_tvl()?, b.eval(row)?.as_bool_tvl()?) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            },
             Expr::Not(a) => match a.eval(row)?.as_bool_tvl()? {
                 Some(b) => Value::Bool(!b),
                 None => Value::Null,
@@ -502,7 +489,11 @@ mod tests {
     }
 
     fn row() -> Vec<Value> {
-        vec![Value::Int(7), Value::Text("flare".into()), Value::Float(2.5)]
+        vec![
+            Value::Int(7),
+            Value::Text("flare".into()),
+            Value::Float(2.5),
+        ]
     }
 
     #[test]
@@ -546,9 +537,15 @@ mod tests {
             .unwrap();
         assert!(!e.eval_bool(&row_null).unwrap());
         // Kleene: FALSE AND UNKNOWN = FALSE; TRUE OR UNKNOWN = TRUE.
-        let e = Expr::eq("id", 99).and(Expr::eq("name", "x")).bind(&s).unwrap();
+        let e = Expr::eq("id", 99)
+            .and(Expr::eq("name", "x"))
+            .bind(&s)
+            .unwrap();
         assert_eq!(e.eval(&row_null).unwrap(), Value::Bool(false));
-        let e = Expr::eq("id", 1).or(Expr::eq("name", "x")).bind(&s).unwrap();
+        let e = Expr::eq("id", 1)
+            .or(Expr::eq("name", "x"))
+            .bind(&s)
+            .unwrap();
         assert_eq!(e.eval(&row_null).unwrap(), Value::Bool(true));
         // x IN (1, NULL) with no match is UNKNOWN, not FALSE.
         let e = Expr::InList {

@@ -1,0 +1,226 @@
+//! Canonical query fingerprints for result caching.
+//!
+//! Two queries that must return the same rows should produce the same
+//! fingerprint even when they were *built* differently: `a AND b` vs
+//! `b AND a`, `x > 3` vs `3 < x`, `IN (2, 1)` vs `IN (1, 2)`, or a
+//! projection listed in a different order. Kleene three-valued AND/OR are
+//! commutative and associative, and comparison operands flip cleanly, so
+//! the canonical form flattens And/Or chains and sorts their operand
+//! encodings, normalizes `Gt`/`Ge` to flipped `Lt`/`Le`, sorts the
+//! operands of the symmetric `Eq`/`Ne`, and sorts `IN`-list items.
+//!
+//! Anything that changes the result *set* — limit, offset, order-by,
+//! aggregates, group-by, the table itself — is encoded order-sensitively.
+//! The projection is sorted only for plain (non-aggregate) queries: column
+//! order there affects output layout, not content, and the cache layer
+//! re-projects a hit into the requested order. Aggregate labels stay in
+//! declaration order because they *are* the output.
+//!
+//! Literals are rendered through [`Value::to_sql_literal`], which handles
+//! every value — including non-finite floats that a JSON encoding would
+//! reject.
+
+use crate::expr::{CmpOp, Expr};
+use crate::query::{OrderDir, Projection, Query};
+
+impl Query {
+    /// A canonical textual fingerprint of this query, suitable as a cache
+    /// key: semantically equal queries (commuted filters, permuted select
+    /// lists) fingerprint identically; queries that can return different
+    /// data fingerprint differently.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("t=");
+        out.push_str(&self.table.to_ascii_lowercase());
+        out.push_str(";p=");
+        match &self.projection {
+            Projection::All => out.push('*'),
+            Projection::Columns(cols) => {
+                let mut cs: Vec<String> = cols.iter().map(|c| c.to_ascii_lowercase()).collect();
+                // Sorting is sound only when the projection drives output
+                // layout, not content; aggregate mode ignores it anyway,
+                // but keep declaration order there for clarity.
+                if self.aggregates.is_empty() {
+                    cs.sort();
+                }
+                out.push_str(&cs.join(","));
+            }
+        }
+        out.push_str(";f=");
+        if let Some(f) = &self.filter {
+            out.push_str(&canon(f));
+        }
+        out.push_str(";o=");
+        for (col, dir) in &self.order_by {
+            out.push_str(&col.to_ascii_lowercase());
+            out.push(match dir {
+                OrderDir::Asc => '+',
+                OrderDir::Desc => '-',
+            });
+            out.push(',');
+        }
+        out.push_str(";l=");
+        if let Some(l) = self.limit {
+            out.push_str(&l.to_string());
+        }
+        out.push_str(";k=");
+        if let Some(k) = self.offset {
+            out.push_str(&k.to_string());
+        }
+        out.push_str(";a=");
+        for a in &self.aggregates {
+            out.push_str(&a.label());
+            out.push(',');
+        }
+        out.push_str(";g=");
+        for g in &self.group_by {
+            out.push_str(&g.to_ascii_lowercase());
+            out.push(',');
+        }
+        out
+    }
+}
+
+/// Canonical encoding of one expression.
+fn canon(e: &Expr) -> String {
+    match e {
+        Expr::Literal(v) => format!("lit:{}", v.to_sql_literal()),
+        Expr::Name(n) => format!("col:{}", n.to_ascii_lowercase()),
+        Expr::Col(i) => format!("col#{i}"),
+        Expr::Cmp(op, a, b) => {
+            // Normalize Gt/Ge to the flipped Lt/Le so `x > 3` and `3 < x`
+            // meet in the middle.
+            let (op, a, b) = match op {
+                CmpOp::Gt => (CmpOp::Lt, canon(b), canon(a)),
+                CmpOp::Ge => (CmpOp::Le, canon(b), canon(a)),
+                other => (*other, canon(a), canon(b)),
+            };
+            match op {
+                // Eq/Ne are symmetric: sort the operand encodings.
+                CmpOp::Eq | CmpOp::Ne => {
+                    let (x, y) = if a <= b { (a, b) } else { (b, a) };
+                    format!("cmp[{}]({x},{y})", op.sql())
+                }
+                _ => format!("cmp[{}]({a},{b})", op.sql()),
+            }
+        }
+        Expr::And(_, _) => {
+            let mut parts = Vec::new();
+            flatten(e, true, &mut parts);
+            parts.sort();
+            format!("and({})", parts.join(","))
+        }
+        Expr::Or(_, _) => {
+            let mut parts = Vec::new();
+            flatten(e, false, &mut parts);
+            parts.sort();
+            format!("or({})", parts.join(","))
+        }
+        Expr::Not(inner) => format!("not({})", canon(inner)),
+        Expr::IsNull { expr, negated } => {
+            format!("isnull[{negated}]({})", canon(expr))
+        }
+        Expr::Between { expr, lo, hi } => {
+            format!("between({},{},{})", canon(expr), canon(lo), canon(hi))
+        }
+        Expr::InList { expr, list } => {
+            let mut items: Vec<String> = list.iter().map(canon).collect();
+            items.sort();
+            format!("in({};{})", canon(expr), items.join(","))
+        }
+        Expr::Like { expr, pattern } => {
+            format!("like({};'{}')", canon(expr), pattern.replace('\'', "''"))
+        }
+        Expr::Arith(op, a, b) => {
+            format!("arith[{op:?}]({},{})", canon(a), canon(b))
+        }
+    }
+}
+
+/// Flatten a chain of the same connective (`And` when `conj`, else `Or`)
+/// into canonical operand encodings.
+fn flatten(e: &Expr, conj: bool, out: &mut Vec<String>) {
+    match (e, conj) {
+        (Expr::And(a, b), true) => {
+            flatten(a, true, out);
+            flatten(b, true, out);
+        }
+        (Expr::Or(a, b), false) => {
+            flatten(a, false, out);
+            flatten(b, false, out);
+        }
+        _ => out.push(canon(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AggFunc, Expr, Query};
+
+    #[test]
+    fn commuted_conjuncts_fingerprint_identically() {
+        let a = Query::table("hle")
+            .filter(Expr::eq("public", true))
+            .filter(Expr::eq("owner", 7));
+        let b = Query::table("hle")
+            .filter(Expr::eq("owner", 7))
+            .filter(Expr::eq("public", true));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn flipped_comparison_fingerprints_identically() {
+        let a = Query::table("hle").filter(Expr::Cmp(
+            crate::CmpOp::Gt,
+            Box::new(Expr::Name("t".into())),
+            Box::new(Expr::Literal(3.into())),
+        ));
+        let b = Query::table("hle").filter(Expr::Cmp(
+            crate::CmpOp::Lt,
+            Box::new(Expr::Literal(3.into())),
+            Box::new(Expr::Name("t".into())),
+        ));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn select_order_is_canonicalized_but_aggregates_are_not() {
+        let a = Query::table("ana").select(&["kind", "id"]);
+        let b = Query::table("ana").select(&["id", "kind"]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let s = Query::table("ana")
+            .aggregate(AggFunc::CountStar)
+            .aggregate(AggFunc::Max("id".into()));
+        let t = Query::table("ana")
+            .aggregate(AggFunc::Max("id".into()))
+            .aggregate(AggFunc::CountStar);
+        assert_ne!(s.fingerprint(), t.fingerprint());
+    }
+
+    #[test]
+    fn limit_offset_and_table_discriminate() {
+        let base = Query::table("hle").filter(Expr::eq("public", true));
+        assert_ne!(base.fingerprint(), base.clone().limit(5).fingerprint());
+        assert_ne!(base.fingerprint(), base.clone().offset(5).fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            Query::table("ana")
+                .filter(Expr::eq("public", true))
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn in_list_order_is_canonicalized() {
+        let a = Query::table("hle").filter(Expr::InList {
+            expr: Box::new(Expr::Name("id".into())),
+            list: vec![Expr::Literal(2.into()), Expr::Literal(1.into())],
+        });
+        let b = Query::table("hle").filter(Expr::InList {
+            expr: Box::new(Expr::Name("id".into())),
+            list: vec![Expr::Literal(1.into()), Expr::Literal(2.into())],
+        });
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -39,6 +39,7 @@
 mod db;
 mod error;
 mod expr;
+mod fingerprint;
 mod index;
 mod lob;
 mod matview;

@@ -5,9 +5,9 @@
 //! regular SQL queries". [`Query`] is that structured object; the SQL parser
 //! also lowers `SELECT` text into it, so both paths share this executor.
 
-use crate::error::DbResult;
 #[cfg(test)]
 use crate::error::DbError;
+use crate::error::DbResult;
 use crate::expr::Expr;
 use crate::index::RowId;
 use crate::table::Table;
@@ -197,15 +197,39 @@ pub struct QueryResult {
 impl QueryResult {
     /// First row, first column, as an integer (handy for COUNT queries).
     pub fn scalar_int(&self) -> Option<i64> {
-        self.rows.first().and_then(|r| r.first()).and_then(Value::as_int)
+        self.rows
+            .first()
+            .and_then(|r| r.first())
+            .and_then(Value::as_int)
     }
 
-    /// Approximate byte size of the result set (used for transfer modeling).
+    /// Allocated byte size of the result set: the struct itself, column
+    /// labels (header + heap capacity), and every row's `Vec` header,
+    /// spare capacity, and value footprints. This is the accounting unit
+    /// for the result cache, so it must charge for *capacity*, not just
+    /// initialized length — the old `Value::size_bytes` sum under-counted
+    /// string capacity and ignored per-row overhead entirely.
     pub fn size_bytes(&self) -> usize {
-        self.rows
+        let header = std::mem::size_of::<QueryResult>();
+        let columns: usize = self
+            .columns
             .iter()
-            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
-            .sum()
+            .map(|c| std::mem::size_of::<String>() + c.capacity())
+            .sum();
+        let rows: usize = self
+            .rows
+            .iter()
+            .map(|r| {
+                std::mem::size_of::<Vec<Value>>() + r.capacity() * std::mem::size_of::<Value>()
+                    - r.len() * std::mem::size_of::<Value>()
+                    + r.iter().map(Value::alloc_bytes).sum::<usize>()
+            })
+            .sum();
+        let access = match &self.stats.access {
+            AccessPath::Index { name, .. } => name.capacity(),
+            AccessPath::FullScan => 0,
+        };
+        header + columns + rows + access
     }
 }
 
@@ -222,7 +246,10 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
     // --- plan: choose an access path --------------------------------------
     let (candidates, access): (Vec<RowId>, AccessPath) = match &filter {
         Some(f) => plan_candidates(table, f),
-        None => (table.scan().map(|(id, _)| id).collect(), AccessPath::FullScan),
+        None => (
+            table.scan().map(|(id, _)| id).collect(),
+            AccessPath::FullScan,
+        ),
     };
 
     // --- scan + filter ------------------------------------------------------
@@ -257,7 +284,11 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
         matched.sort_by(|(_, a), (_, b)| {
             for &(col, dir) in &keys {
                 let ord = a[col].cmp(&b[col]);
-                let ord = if dir == OrderDir::Desc { ord.reverse() } else { ord };
+                let ord = if dir == OrderDir::Desc {
+                    ord.reverse()
+                } else {
+                    ord
+                };
                 if ord != Ordering::Equal {
                     return ord;
                 }
@@ -552,7 +583,10 @@ mod tests {
         let q = Query::table("ana").filter(Expr::between("hle_id", 2, 4));
         let r = execute(&t, &q).unwrap();
         assert_eq!(r.rows.len(), 9);
-        assert!(matches!(r.stats.access, AccessPath::Index { point: false, .. }));
+        assert!(matches!(
+            r.stats.access,
+            AccessPath::Index { point: false, .. }
+        ));
     }
 
     #[test]
@@ -568,8 +602,7 @@ mod tests {
     #[test]
     fn residual_filter_applied_after_index() {
         let t = table();
-        let q = Query::table("ana")
-            .filter(Expr::eq("hle_id", 2).and(Expr::eq("kind", "image")));
+        let q = Query::table("ana").filter(Expr::eq("hle_id", 2).and(Expr::eq("kind", "image")));
         let r = execute(&t, &q).unwrap();
         assert_eq!(r.rows.len(), 1);
         assert!(matches!(r.stats.access, AccessPath::Index { .. }));
@@ -672,5 +705,55 @@ mod tests {
             execute(&t, &q).unwrap_err(),
             DbError::NoSuchColumn { .. }
         ));
+    }
+
+    /// Pin the cache-accounting arithmetic: `size_bytes` charges the
+    /// struct header, column label capacity, per-row `Vec` overhead
+    /// (including spare capacity), and value *capacity* rather than
+    /// initialized length.
+    #[test]
+    fn size_bytes_charges_capacity_and_row_overhead() {
+        let val = std::mem::size_of::<Value>();
+        let vec_hdr = std::mem::size_of::<Vec<Value>>();
+        let str_hdr = std::mem::size_of::<String>();
+        let base = std::mem::size_of::<QueryResult>();
+
+        let empty = QueryResult {
+            columns: vec![],
+            rows: vec![],
+            stats: ExecStats {
+                rows_scanned: 0,
+                rows_returned: 0,
+                access: AccessPath::FullScan,
+            },
+        };
+        assert_eq!(empty.size_bytes(), base);
+
+        // One column whose backing String has excess capacity; one row
+        // holding an Int and a Text with excess capacity.
+        let mut label = String::with_capacity(16);
+        label.push_str("id");
+        let mut text = String::with_capacity(32);
+        text.push_str("abcd");
+        let mut row = Vec::with_capacity(4);
+        row.push(Value::Int(7));
+        row.push(Value::Text(text));
+        let r = QueryResult {
+            columns: vec![label],
+            rows: vec![row],
+            stats: ExecStats {
+                rows_scanned: 1,
+                rows_returned: 1,
+                access: AccessPath::FullScan,
+            },
+        };
+        let expected = base
+            + (str_hdr + 16)            // column label: header + capacity 16
+            + vec_hdr + 4 * val         // row: Vec header + capacity-4 slots
+            + 32; // Text heap capacity (Int carries no heap)
+        assert_eq!(r.size_bytes(), expected);
+        // The old accounting (len-based value sum, no overhead) would have
+        // said 8 + (4 + 8) = 20; capacity-aware is strictly larger.
+        assert!(r.size_bytes() > 20);
     }
 }

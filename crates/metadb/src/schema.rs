@@ -106,10 +106,11 @@ impl Schema {
 
     /// Column lookup that returns a typed error.
     pub fn require_column(&self, name: &str) -> DbResult<usize> {
-        self.column_index(name).ok_or_else(|| DbError::NoSuchColumn {
-            table: self.table.clone(),
-            column: name.to_string(),
-        })
+        self.column_index(name)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: self.table.clone(),
+                column: name.to_string(),
+            })
     }
 
     /// Validate and canonicalize a full row of values against this schema.

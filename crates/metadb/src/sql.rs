@@ -134,9 +134,7 @@ fn tokenize(input: &str) -> DbResult<Vec<Tok>> {
             }
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
-        {
+        if c.is_ascii_digit() || (c == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) {
             let start = i;
             let mut is_float = false;
             while i < b.len()
@@ -144,8 +142,7 @@ fn tokenize(input: &str) -> DbResult<Vec<Tok>> {
                     || b[i] == '.'
                     || b[i] == 'e'
                     || b[i] == 'E'
-                    || ((b[i] == '+' || b[i] == '-')
-                        && (b[i - 1] == 'e' || b[i - 1] == 'E')))
+                    || ((b[i] == '+' || b[i] == '-') && (b[i - 1] == 'e' || b[i - 1] == 'E')))
             {
                 if b[i] == '.' || b[i] == 'e' || b[i] == 'E' {
                     is_float = true;
@@ -300,7 +297,9 @@ impl Parser {
     fn ident(&mut self) -> DbResult<String> {
         match self.next() {
             Tok::Ident(w) => Ok(w),
-            other => Err(DbError::Parse(format!("expected identifier, got {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -631,12 +630,11 @@ impl Parser {
             });
         }
         // [NOT] BETWEEN / IN / LIKE
-        let negated = self.peek_kw("NOT")
-            && {
-                // lookahead: NOT BETWEEN / NOT IN / NOT LIKE
-                matches!(self.toks.get(self.pos + 1), Some(Tok::Ident(w))
+        let negated = self.peek_kw("NOT") && {
+            // lookahead: NOT BETWEEN / NOT IN / NOT LIKE
+            matches!(self.toks.get(self.pos + 1), Some(Tok::Ident(w))
                     if ["BETWEEN", "IN", "LIKE"].iter().any(|k| w.eq_ignore_ascii_case(k)))
-            };
+        };
         if negated {
             self.next();
         }
@@ -832,12 +830,7 @@ pub fn query_to_sql(q: &Query, schema: &Schema) -> String {
         let parts: Vec<String> = q
             .order_by
             .iter()
-            .map(|(c, d)| {
-                format!(
-                    "{c} {}",
-                    if *d == OrderDir::Desc { "DESC" } else { "ASC" }
-                )
-            })
+            .map(|(c, d)| format!("{c} {}", if *d == OrderDir::Desc { "DESC" } else { "ASC" }))
             .collect();
         out.push_str(&parts.join(", "));
     }
@@ -910,7 +903,10 @@ mod tests {
     #[test]
     fn parse_insert_multi_row_with_columns() {
         let s = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (-2, NULL)").unwrap();
-        let Statement::Insert { columns, values, .. } = s else {
+        let Statement::Insert {
+            columns, values, ..
+        } = s
+        else {
             panic!()
         };
         assert_eq!(columns, Some(vec!["a".to_string(), "b".to_string()]));

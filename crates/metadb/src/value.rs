@@ -196,6 +196,19 @@ impl Value {
         }
     }
 
+    /// Actual allocated footprint: the enum slot plus any heap capacity
+    /// (not just the initialized length). This is the cache-accounting
+    /// unit — a `Text` built through repeated pushes can hold twice its
+    /// `len` in capacity, and [`Value::size_bytes`] would under-charge it.
+    pub fn alloc_bytes(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Text(s) => s.capacity(),
+                Value::Bytes(b) => b.capacity(),
+                _ => 0,
+            }
+    }
+
     /// Render as a SQL literal (used when generating SQL text and when
     /// serializing the redo log in its debug form).
     pub fn to_sql_literal(&self) -> String {

@@ -98,8 +98,8 @@ impl Wal {
     /// replay stops at the last complete `Commit`.
     pub fn append_commit(&mut self, records: &[LogRecord]) -> DbResult<()> {
         for r in records {
-            let line = serde_json::to_string(r)
-                .map_err(|e| DbError::Io(format!("log serialize: {e}")))?;
+            let line =
+                serde_json::to_string(r).map_err(|e| DbError::Io(format!("log serialize: {e}")))?;
             self.writer.write_all(line.as_bytes())?;
             self.writer.write_all(b"\n")?;
             self.records_written += 1;

@@ -1,7 +1,7 @@
 //! Property-based tests for the metadata engine's core invariants.
 
 use hedc_metadb::{
-    like_match, parse, query_to_sql, ColumnDef, Database, DataType, Expr, OrderDir, Query,
+    like_match, parse, query_to_sql, CmpOp, ColumnDef, DataType, Database, Expr, OrderDir, Query,
     Schema, Statement, Value,
 };
 use proptest::prelude::*;
@@ -149,5 +149,147 @@ proptest! {
         conn.rollback().unwrap();
         let after = conn.query(&Query::table("t").order_by("id", OrderDir::Asc)).unwrap();
         prop_assert_eq!(before.rows, after.rows);
+    }
+}
+
+// ---- canonical fingerprints (the result cache's key function) ----------
+
+/// A small pool of column names so random predicates collide and And
+/// chains actually flatten.
+const FP_COLS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// One random predicate over the first `ncols` names of [`FP_COLS`].
+fn arb_predicate(ncols: usize) -> impl Strategy<Value = Expr> {
+    (0..ncols, -8i64..8, 0u8..4).prop_map(|(c, v, kind)| match kind {
+        0 => Expr::eq(FP_COLS[c], v),
+        1 => Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::Name(FP_COLS[c].into())),
+            Box::new(Expr::Literal(v.into())),
+        ),
+        2 => Expr::IsNull {
+            expr: Box::new(Expr::Name(FP_COLS[c].into())),
+            negated: v % 2 == 0,
+        },
+        _ => Expr::InList {
+            expr: Box::new(Expr::Name(FP_COLS[c].into())),
+            list: vec![Expr::Literal(v.into()), Expr::Literal((v + 1).into())],
+        },
+    })
+}
+
+/// A predicate list plus a shuffled copy of itself.
+fn arb_permuted_predicates(ncols: usize) -> impl Strategy<Value = (Vec<Expr>, Vec<Expr>)> {
+    proptest::collection::vec(arb_predicate(ncols), 1..6)
+        .prop_flat_map(|v| (Just(v.clone()), Just(v).prop_shuffle()))
+}
+
+fn filtered(table: &str, preds: &[Expr]) -> Query {
+    let mut q = Query::table(table);
+    for p in preds {
+        q = q.filter(p.clone());
+    }
+    q
+}
+
+proptest! {
+    /// Conjunct order never affects the fingerprint: And is commutative
+    /// and associative under Kleene semantics, and the canonical form
+    /// flattens and sorts the chain.
+    #[test]
+    fn permuted_conjuncts_fingerprint_identically(
+        (preds, shuffled) in arb_permuted_predicates(FP_COLS.len())
+    ) {
+        prop_assert_eq!(
+            filtered("hle", &preds).fingerprint(),
+            filtered("hle", &shuffled).fingerprint()
+        );
+    }
+
+    /// Select-list order never affects a plain query's fingerprint — the
+    /// cache re-projects a hit into the requested column order.
+    #[test]
+    fn permuted_select_fingerprints_identically(
+        (cols, shuffled) in proptest::collection::vec("[a-e]{1,3}", 1..5)
+            .prop_flat_map(|v| (Just(v.clone()), Just(v).prop_shuffle()))
+    ) {
+        let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let shuffled_refs: Vec<&str> = shuffled.iter().map(String::as_str).collect();
+        prop_assert_eq!(
+            Query::table("hle").select(&refs).fingerprint(),
+            Query::table("hle").select(&shuffled_refs).fingerprint()
+        );
+    }
+
+    /// Flipping a comparison around its operands is invisible to the
+    /// cache key: `x > v` and `v < x` are the same predicate.
+    #[test]
+    fn flipped_comparisons_fingerprint_identically(
+        c in 0..FP_COLS.len(), v in any::<i64>(), ge in any::<bool>()
+    ) {
+        let (fwd, rev) = if ge { (CmpOp::Ge, CmpOp::Le) } else { (CmpOp::Gt, CmpOp::Lt) };
+        let a = Query::table("hle").filter(Expr::Cmp(
+            fwd,
+            Box::new(Expr::Name(FP_COLS[c].into())),
+            Box::new(Expr::Literal(v.into())),
+        ));
+        let b = Query::table("hle").filter(Expr::Cmp(
+            rev,
+            Box::new(Expr::Literal(v.into())),
+            Box::new(Expr::Name(FP_COLS[c].into())),
+        ));
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Anything that changes the result set changes the fingerprint:
+    /// limit, offset, the filtered value, and the table name. A cache that
+    /// conflated any of these would serve wrong rows.
+    #[test]
+    fn result_changing_knobs_discriminate(
+        c in 0..FP_COLS.len(), v in -8i64..8, limit in 1usize..50, offset in 1usize..50
+    ) {
+        let base = Query::table("hle").filter(Expr::eq(FP_COLS[c], v));
+        let f = base.fingerprint();
+        prop_assert_ne!(&f, &base.clone().limit(limit).fingerprint());
+        prop_assert_ne!(&f, &base.clone().offset(offset).fingerprint());
+        prop_assert_ne!(
+            &f,
+            &Query::table("hle2").filter(Expr::eq(FP_COLS[c], v)).fingerprint()
+        );
+        prop_assert_ne!(
+            &f,
+            &Query::table("hle").filter(Expr::eq(FP_COLS[c], v + 1)).fingerprint()
+        );
+        prop_assert_ne!(
+            &base.clone().limit(limit).fingerprint(),
+            &base.clone().limit(limit + 1).fingerprint()
+        );
+    }
+
+    /// The property the cache actually depends on: queries whose
+    /// fingerprints coincide return identical rows when executed.
+    #[test]
+    fn equal_fingerprints_mean_equal_rows(
+        rows in proptest::collection::vec((-8i64..8, -8i64..8), 0..30),
+        (preds, shuffled) in arb_permuted_predicates(2)
+    ) {
+        let db = Database::in_memory("prop-fp");
+        let mut conn = db.connect();
+        conn.create_table(Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Int),
+            ],
+        ).primary_key(&["id"])).unwrap();
+        for (i, (a, b)) in rows.iter().enumerate() {
+            conn.insert("t", vec![Value::Int(i as i64), Value::Int(*a), Value::Int(*b)])
+                .unwrap();
+        }
+        let q1 = filtered("t", &preds);
+        let q2 = filtered("t", &shuffled);
+        prop_assert_eq!(q1.fingerprint(), q2.fingerprint());
+        prop_assert_eq!(conn.query(&q1).unwrap().rows, conn.query(&q2).unwrap().rows);
     }
 }

@@ -9,12 +9,18 @@
 
 use crate::frame::{read_frame, write_frame, Frame, FrameKind};
 use crate::proto::{decode, encode, Request, Response};
+use hedc_cache::{CacheConfig, GenerationMap, QueryCache};
 use hedc_dm::{DmError, DmNode, DmResult};
 use hedc_metadb::{Query, QueryResult};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Cache scope tag for client-side entries (queries on the wire are
+/// already ownership-scoped, so the tag only has to be distinct from the
+/// semantic layer's per-user tags).
+const CLIENT_SCOPE: &str = "net";
 
 /// Client-side timeouts and retry policy.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +71,7 @@ pub struct NetDm {
     config: NetConfig,
     pool: Mutex<Vec<TcpStream>>,
     health: Mutex<Health>,
+    cache: Option<QueryCache>,
 }
 
 impl NetDm {
@@ -80,7 +87,24 @@ impl NetDm {
                 available: true,
                 checked: None,
             }),
+            cache: None,
         }
+    }
+
+    /// Add a client-side result cache. Generation counters never bump on
+    /// this side of the wire (the server's writes are invisible here), so
+    /// freshness is purely [`CacheConfig::ttl`] — set one. A warm client
+    /// keeps answering browse queries from stale entries when the server
+    /// becomes unreachable (degraded read-only mode).
+    pub fn with_cache(mut self, cache_config: &CacheConfig) -> NetDm {
+        let gens = Arc::new(GenerationMap::new());
+        self.cache = Some(QueryCache::new(cache_config, gens));
+        self
+    }
+
+    /// The client-side cache, when enabled.
+    pub fn cache(&self) -> Option<&QueryCache> {
+        self.cache.as_ref()
     }
 
     /// The peer address.
@@ -230,6 +254,14 @@ impl DmNode for NetDm {
     }
 
     fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(CLIENT_SCOPE, q) {
+                return Ok(hit);
+            }
+        }
+        // Snapshot before the exchange so the entry's TTL covers the whole
+        // round trip rather than starting after it.
+        let deps = self.cache.as_ref().map(|c| c.snapshot(q));
         let span = hedc_obs::Span::child("net.rpc.client");
         let start = Instant::now();
         let outcome = self.exchange(&Request::Query(q.clone()));
@@ -240,6 +272,9 @@ impl DmNode for NetDm {
         match outcome {
             Some(Response::Result(r)) => {
                 self.set_health(true);
+                if let (Some(cache), Some(deps)) = (&self.cache, deps) {
+                    cache.fill(CLIENT_SCOPE, q, &r, deps);
+                }
                 Ok(r)
             }
             Some(Response::Error(e)) => {
@@ -254,6 +289,15 @@ impl DmNode for NetDm {
             None => {
                 self.set_health(false);
                 hedc_obs::global().counter("net.client.unavailable").inc();
+                if let Some(cache) = &self.cache {
+                    if let Some(stale) = cache.get_stale(CLIENT_SCOPE, q) {
+                        hedc_obs::emit(
+                            hedc_obs::events::kind::CACHE_DEGRADED,
+                            format!("{} unreachable, serving stale cached result", self.label),
+                        );
+                        return Ok(stale);
+                    }
+                }
                 Err(DmError::RemoteUnavailable(format!(
                     "{} ({})",
                     self.label, self.addr

@@ -4,8 +4,14 @@
 //! `DmRouter` over `NetDm` clients, kills a server mid-run, and checks that
 //! every request completes via failover — with the observability span tree
 //! staying connected across the wire.
+//!
+//! The failure-path tests inject faults through [`FaultyDmNode`] with a
+//! seeded plan and print that seed, so any flake replays exactly with
+//! `scripts/check.sh --seed <printed seed>` (which exports
+//! `HEDC_TEST_SEED`).
 
-use hedc_dm::{Dm, DmConfig, DmError, DmNode, DmRouter};
+use hedc_cache::CacheConfig;
+use hedc_dm::{Dm, DmConfig, DmError, DmNode, DmRouter, FaultPlan, FaultyDmNode};
 use hedc_filestore::{Archive, ArchiveTier, FileStore};
 use hedc_metadb::{Expr, Query};
 use hedc_net::{DmServer, NetConfig, NetDm, ServerConfig};
@@ -114,10 +120,42 @@ fn client_and_server_spans_share_one_trace() {
 }
 
 /// The acceptance scenario: ≥2 nodes, concurrent browse traffic through the
-/// router, one server killed mid-run — every request must still complete.
+/// router, one server flaky from the start and killed mid-run — every
+/// request must still complete.
+///
+/// Node A's flakiness is injected by a seeded [`FaultyDmNode`] *behind* the
+/// wire, so the router sees real serialized `RemoteUnavailable` errors and
+/// must redirect. The fault sequence is a pure function of the printed
+/// seed: a failing run replays with `scripts/check.sh --seed <seed>`.
 #[test]
 fn failover_completes_every_request_when_a_node_dies_mid_run() {
-    let (mut server_a, client_a) = boot("net-a");
+    // Node A drops ~15% of requests and drags out another ~5% even before
+    // it is killed. Only unavailability is injected — RemoteFailed means
+    // "the node is up, the query is bad" and is deliberately not failed
+    // over by the router.
+    let faulty_a = Arc::new(FaultyDmNode::new(
+        dm_node(),
+        "srv-a",
+        FaultPlan::seeded(0xC0FFEE)
+            .unavailable(150)
+            .slow(50, Duration::from_millis(2)),
+    ));
+    println!(
+        "fault seed {} (replay: scripts/check.sh --seed {})",
+        faulty_a.seed(),
+        faulty_a.seed()
+    );
+    let mut server_a = DmServer::bind(
+        "127.0.0.1:0",
+        faulty_a.clone() as Arc<dyn DmNode>,
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let client_a = Arc::new(NetDm::connect(
+        server_a.local_addr(),
+        "net-a",
+        fast_config(),
+    ));
     let (_server_b, client_b) = boot("net-b");
     let router = Arc::new(DmRouter::new(vec![
         client_a.clone() as Arc<dyn DmNode>,
@@ -165,6 +203,61 @@ fn failover_completes_every_request_when_a_node_dies_mid_run() {
         }),
         "expected a net_reconnect event for net-a"
     );
+    // The injector really exercised node A before the kill (if this fires,
+    // replay the printed seed to see the exact fault sequence).
+    let counts = faulty_a.counts();
+    assert!(
+        counts.passed + counts.unavailable + counts.slow > 0,
+        "node A never saw traffic: {counts:?}"
+    );
+}
+
+/// Tentpole degraded mode at the network tier: a client whose cache is warm
+/// keeps answering browse queries after its backend dies, and says so in
+/// the event log.
+#[test]
+fn warm_client_cache_survives_backend_outage_read_only() {
+    let (mut server, _) = boot("warm-node");
+    let client =
+        NetDm::connect(server.local_addr(), "warm-node", fast_config()).with_cache(&CacheConfig {
+            ttl: Some(Duration::from_secs(3600)),
+            ..CacheConfig::default()
+        });
+
+    let q = browse_query();
+    let cold = client.execute_query(&q).expect("cold query over the wire");
+    assert_eq!(cold.rows.len(), 2);
+    // Warm repeat: served client-side, no wire round trip.
+    let warm = client.execute_query(&q).expect("warm query from cache");
+    assert_eq!(warm.rows, cold.rows);
+
+    server.shutdown();
+    std::thread::sleep(Duration::from_millis(60)); // let the health TTL lapse
+
+    // A fresh hit still answers without noticing the outage.
+    assert_eq!(client.execute_query(&q).unwrap().rows, cold.rows);
+
+    // Even once the entry is invalidated, the dead wire downgrades the
+    // miss to a stale serve instead of an error: degraded read-only mode.
+    let cache = client.cache().expect("cache enabled");
+    cache.bump("catalog");
+    let degraded = client
+        .execute_query(&q)
+        .expect("stale serve during the outage");
+    assert_eq!(degraded.rows, cold.rows);
+    assert!(cache.stats().stale_serves >= 1, "{:?}", cache.stats());
+    let events = hedc_obs::event_log().events();
+    assert!(
+        events.iter().any(|e| {
+            e.kind == hedc_obs::events::kind::CACHE_DEGRADED && e.detail.contains("warm-node")
+        }),
+        "expected a cache_degraded event for warm-node"
+    );
+
+    // Writes-through-the-wire stay impossible: a query the cache has never
+    // seen is an honest outage.
+    let miss = client.execute_query(&Query::table("hle")).unwrap_err();
+    assert!(matches!(miss, DmError::RemoteUnavailable(_)), "{miss:?}");
 }
 
 #[test]

@@ -20,6 +20,8 @@ pub mod kind {
     pub const DM_REDIRECT: &str = "dm_redirect";
     pub const NET_TIMEOUT: &str = "net_timeout";
     pub const NET_RECONNECT: &str = "net_reconnect";
+    pub const CACHE_DEGRADED: &str = "cache_degraded";
+    pub const FAULT_INJECT: &str = "fault_inject";
 }
 
 /// One logged occurrence. `trace_id == 0` means "outside any request";

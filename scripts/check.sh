@@ -1,18 +1,44 @@
 #!/usr/bin/env bash
 # Repository health gate: formatting, lints, build, tests. Run before pushing.
 #
-#   scripts/check.sh          full gate (fmt, clippy, release build, tests)
-#   scripts/check.sh --fast   skip clippy (the slowest step) for quick loops
+#   scripts/check.sh           full gate (fmt, clippy, release build, tests)
+#   scripts/check.sh --fast    skip clippy (the slowest step) for quick loops
+#   scripts/check.sh --seed N  replay the fault-injection suites with
+#                              HEDC_TEST_SEED=N (the seed a failing run
+#                              prints), then exit — no full gate
+#
+# The full gate also fails if the test run minted new proptest-regressions
+# entries: a fresh regression file is a real counterexample that must be
+# committed alongside its fix, never silently accumulated.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
-for arg in "$@"; do
-  case "$arg" in
-    --fast) fast=1 ;;
-    *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+seed=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) fast=1; shift ;;
+    --seed)
+      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--seed N]" >&2; exit 2; }
+      seed="$2"; shift 2 ;;
+    *) echo "usage: $0 [--fast] [--seed N]" >&2; exit 2 ;;
   esac
 done
+
+if [[ -n "$seed" ]]; then
+  # Deterministic replay: pin every FaultPlan and cache/fault suite to the
+  # printed seed and run just the suites that consume it.
+  echo "==> replaying fault-injection suites with HEDC_TEST_SEED=$seed"
+  export HEDC_TEST_SEED="$seed"
+  cargo test -q -p hedc-dm --test failover --test cache -- --nocapture
+  cargo test -q -p hedc-net --test cluster -- --nocapture
+  echo "OK (seed $seed)"
+  exit 0
+fi
+
+# Snapshot proptest-regressions before the tests so new counterexample
+# files (or new entries in existing ones) fail the gate.
+regressions_before="$(find . -path ./target -prune -o -name '*.txt' -path '*proptest-regressions*' -print 2>/dev/null | sort | xargs -r md5sum 2>/dev/null || true)"
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -31,5 +57,13 @@ cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+regressions_after="$(find . -path ./target -prune -o -name '*.txt' -path '*proptest-regressions*' -print 2>/dev/null | sort | xargs -r md5sum 2>/dev/null || true)"
+if [[ "$regressions_before" != "$regressions_after" ]]; then
+  echo "FAIL: the test run recorded new proptest regressions:" >&2
+  diff <(printf '%s\n' "$regressions_before") <(printf '%s\n' "$regressions_after") >&2 || true
+  echo "fix the property violation and commit the regression file with it" >&2
+  exit 1
+fi
 
 echo "OK"
