@@ -6,7 +6,12 @@
 //! requests/s at 96 clients — caused by the application logic, not the
 //! database.
 
-use hedc_sim::browse::figure4;
+use hedc_sim::browse::{figure4, figure4_batched};
+
+fn batch_mode_enabled() -> bool {
+    std::env::args().any(|a| a == "--batch")
+        || std::env::var("HEDC_BATCH").is_ok_and(|v| v != "0" && !v.is_empty())
+}
 
 fn main() {
     let clients = [8usize, 16, 24, 32, 48, 64, 80, 96];
@@ -70,25 +75,76 @@ fn main() {
         at96.db_utilization * 100.0
     );
 
-    hedc_bench::write_report("fig4_browse_clients", &serde_json::json!({ "rows": rows }));
+    // `--batch`: the same sweep with the §4.3 name-mapping queries batched
+    // (3 DB queries per request instead of 7 — see
+    // `hedc_sim::calib::BATCHED_QUERIES_PER_REQUEST`).
+    let batched = if batch_mode_enabled() {
+        let batched = figure4_batched(&clients);
+        println!();
+        println!("with batched name mapping (3 DB queries/request instead of 7)");
+        println!("{:-<74}", "");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12}",
+            "clients", "req/s", "std req/s", "DB q/s", "DB util"
+        );
+        for (b, s) in batched.iter().zip(results.iter()) {
+            println!(
+                "{:>8} {:>12.2} {:>12.2} {:>12.1} {:>11.0}%",
+                b.config.clients,
+                b.requests_per_second,
+                s.requests_per_second,
+                b.db_queries_per_second,
+                b.db_utilization * 100.0
+            );
+        }
+        Some(batched)
+    } else {
+        None
+    };
+
+    let mut report = serde_json::json!({ "rows": rows });
+    if let Some(batched) = &batched {
+        report["batched_rows"] = serde_json::Value::Array(
+            batched
+                .iter()
+                .map(|r| {
+                    serde_json::json!({
+                        "clients": r.config.clients,
+                        "requests_per_second": r.requests_per_second,
+                        "db_queries_per_second": r.db_queries_per_second,
+                        "db_utilization": r.db_utilization,
+                        "avg_response_s": r.avg_response_s,
+                    })
+                })
+                .collect(),
+        );
+    }
+    hedc_bench::write_report("fig4_browse_clients", &report);
 
     // Machine-readable latency/throughput summary from the per-run obs
-    // histograms (one row per client count).
-    let bench_rows: Vec<serde_json::Value> = results
-        .iter()
-        .map(|r| {
-            serde_json::json!({
-                "clients": r.config.clients,
-                "throughput_rps": r.requests_per_second,
-                "latency_s": {
-                    "avg": r.avg_response_s,
-                    "p50": r.p50_response_s,
-                    "p95": r.p95_response_s,
-                    "p99": r.p99_response_s,
-                },
+    // histograms (one row per client count), mode-tagged when the batched
+    // sweep ran too.
+    let summarize = |rs: &[hedc_sim::browse::BrowseResult], mode: &str| -> Vec<serde_json::Value> {
+        rs.iter()
+            .map(|r| {
+                serde_json::json!({
+                    "mode": mode,
+                    "clients": r.config.clients,
+                    "throughput_rps": r.requests_per_second,
+                    "latency_s": {
+                        "avg": r.avg_response_s,
+                        "p50": r.p50_response_s,
+                        "p95": r.p95_response_s,
+                        "p99": r.p99_response_s,
+                    },
+                })
             })
-        })
-        .collect();
+            .collect()
+    };
+    let mut bench_rows = summarize(&results, "standard");
+    if let Some(batched) = &batched {
+        bench_rows.extend(summarize(batched, "batched"));
+    }
     hedc_bench::write_report(
         "BENCH_fig4_browse_clients",
         &serde_json::json!({ "bench": "fig4_browse_clients", "rows": bench_rows }),

@@ -19,13 +19,24 @@
 pub mod cache_bench;
 pub mod cluster;
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// Where harness binaries drop their JSON reports.
+/// Where harness binaries drop their JSON reports: `HEDC_RESULTS_DIR` if
+/// set, otherwise `results/` at the **workspace root** — anchored via this
+/// crate's compile-time manifest path, not the working directory, so
+/// `cargo run` from any subdirectory lands the report where the repo
+/// commits it (a CWD-relative `results/` silently scattered reports and
+/// left the committed trajectory empty).
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("HEDC_RESULTS_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"));
+        .unwrap_or_else(|_| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("workspace root above crates/bench")
+                .join("results")
+        });
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
@@ -39,6 +50,15 @@ pub fn write_report(name: &str, value: &serde_json::Value) {
     )
     .expect("write report");
     println!("\n[report written to {}]", path.display());
+}
+
+/// Whether the harness runs in smoke mode (`HEDC_BENCH_SMOKE=1`): tiny
+/// configurations that finish in seconds rather than minutes, used by
+/// `scripts/check.sh --bench-smoke` so the harness binaries cannot rot
+/// unnoticed. Smoke runs still exercise the full code path; only sweep
+/// sizes and measurement windows shrink.
+pub fn smoke() -> bool {
+    std::env::var("HEDC_BENCH_SMOKE").map_or(false, |v| !v.is_empty() && v != "0")
 }
 
 /// Format a ratio of measured vs paper as a signed percentage string.

@@ -240,6 +240,24 @@ impl<V: CacheValue> ShardedCache<V> {
         Some(value)
     }
 
+    /// Fresh multi-lookup: one [`Self::get`] per key, results in key
+    /// order. The batched DM paths (multi-item name resolution) use this
+    /// so a warm batch costs zero database queries and a partly warm
+    /// batch only re-reads its misses.
+    pub fn get_many(&self, keys: &[String]) -> Vec<Option<V>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Multi-fill: store every `(key, value)` pair against one shared
+    /// dependency snapshot (taken before the batched backing read ran).
+    /// A single pre-read snapshot is exactly as safe for N fills as for
+    /// one: any write racing the batch leaves *all* its fills born-stale.
+    pub fn put_many(&self, entries: Vec<(String, V)>, deps: &DepSnapshot) {
+        for (key, value) in entries {
+            self.put(&key, value, deps.clone());
+        }
+    }
+
     /// Degraded-mode lookup: returns whatever is stored under `key`,
     /// ignoring generations and TTL. For read-only operation while the
     /// backend is unreachable; callers must label the result stale.
@@ -477,6 +495,7 @@ mod tests {
             stats: ExecStats {
                 rows_scanned: 0,
                 rows_returned: 0,
+                rows_sorted: 0,
                 access: AccessPath::FullScan,
             },
         }
@@ -570,6 +589,32 @@ mod tests {
         // what degraded mode serves during an outage.
         assert!(cache.get_stale("net", &q).is_some());
         assert_eq!(cache.stats().stale_serves, 1);
+    }
+
+    #[test]
+    fn multi_get_and_multi_fill_share_one_snapshot() {
+        let gens = Arc::new(GenerationMap::new());
+        let cache = ShardedCache::<QueryResult>::new(&CacheConfig::default());
+        let keys: Vec<String> = (0..4).map(|i| format!("names:file:{i}")).collect();
+        assert!(cache.get_many(&keys).iter().all(Option::is_none));
+
+        let deps = gens.snapshot(&["loc_entry"]);
+        let entries: Vec<(String, QueryResult)> = keys
+            .iter()
+            .take(3)
+            .enumerate()
+            .map(|(i, k)| (k.clone(), result(vec![vec![Value::Int(i as i64)]], &["id"])))
+            .collect();
+        cache.put_many(entries, &deps);
+
+        let got = cache.get_many(&keys);
+        assert!(got[0].is_some() && got[1].is_some() && got[2].is_some());
+        assert!(got[3].is_none(), "unfilled key stays a miss");
+        assert_eq!(got[1].as_ref().unwrap().rows[0][0], Value::Int(1));
+
+        // One bump invalidates every fill of the batch at once.
+        gens.bump("loc_entry");
+        assert!(cache.get_many(&keys).iter().all(Option::is_none));
     }
 
     #[test]

@@ -76,10 +76,20 @@ pub struct HedcConfig {
     /// before this field existed still parse.
     #[serde(default = "default_slow_query_ms")]
     pub slow_query_ms: u64,
+    /// Candidate-row count above which the metadata executor partitions a
+    /// filtered scan across worker threads (`0` disables parallel scans).
+    /// Applied to [`hedc_metadb::tuning`] at stack startup; defaults so
+    /// configs written before this field existed still parse.
+    #[serde(default = "default_parallel_scan_rows")]
+    pub parallel_scan_rows: usize,
 }
 
 fn default_slow_query_ms() -> u64 {
     100
+}
+
+fn default_parallel_scan_rows() -> usize {
+    hedc_metadb::tuning::DEFAULT_PARALLEL_SCAN_ROWS
 }
 
 impl Default for HedcConfig {
@@ -117,6 +127,7 @@ impl Default for HedcConfig {
             view_quant: 0.5,
             start_ms: 0,
             slow_query_ms: default_slow_query_ms(),
+            parallel_scan_rows: default_parallel_scan_rows(),
         }
     }
 }
@@ -191,6 +202,19 @@ mod tests {
         let c = HedcConfig::from_json(&json.to_string()).unwrap();
         assert_eq!(c.slow_query_ms, 100);
         assert_eq!(c.slow_query(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn parallel_scan_rows_defaults_when_absent() {
+        // Same compatibility rule as `slow_query_ms`: older configs parse.
+        let mut json: serde_json::Value =
+            serde_json::from_str(&HedcConfig::default().to_json()).unwrap();
+        json.as_object_mut().unwrap().remove("parallel_scan_rows");
+        let c = HedcConfig::from_json(&json.to_string()).unwrap();
+        assert_eq!(
+            c.parallel_scan_rows,
+            hedc_metadb::tuning::DEFAULT_PARALLEL_SCAN_ROWS
+        );
     }
 
     #[test]

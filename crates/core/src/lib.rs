@@ -74,6 +74,7 @@ impl Hedc {
     /// the DM (schemas, system users, catalogs), start the PL and its
     /// analysis servers, and expose the web frontend.
     pub fn start(config: HedcConfig) -> DmResult<Arc<Hedc>> {
+        hedc_metadb::tuning::set_parallel_scan_threshold(config.parallel_scan_rows);
         let files = Arc::new(FileStore::new());
         for a in &config.archives {
             let archive = match &a.directory {

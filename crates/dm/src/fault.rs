@@ -181,14 +181,11 @@ impl<N: DmNode> FaultyDmNode<N> {
             format!("{} injected {class} (seed {})", self.label, self.seed),
         );
     }
-}
 
-impl<N: DmNode> DmNode for FaultyDmNode<N> {
-    fn node_id(&self) -> String {
-        self.label.clone()
-    }
-
-    fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+    /// One fault draw: the gate every delegated call (and every *entry* of
+    /// a batched call) passes through. `Err` is the injected fault;
+    /// `Ok(())` means the call proceeds (possibly after a slow-delay).
+    fn fault_gate(&self) -> DmResult<()> {
         if self.down.load(Ordering::SeqCst) {
             return Err(DmError::RemoteUnavailable(self.label.clone()));
         }
@@ -213,8 +210,30 @@ impl<N: DmNode> DmNode for FaultyDmNode<N> {
             std::thread::sleep(p.slow_for);
         }
         self.passed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl<N: DmNode> DmNode for FaultyDmNode<N> {
+    fn node_id(&self) -> String {
+        self.label.clone()
+    }
+
+    fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+        self.fault_gate()?;
         self.inner.execute_query(q)
     }
+
+    fn resolve_names(&self, item_id: i64, want: crate::NameType) -> DmResult<Vec<crate::ResolvedName>> {
+        self.fault_gate()?;
+        self.inner.resolve_names(item_id, want)
+    }
+
+    // `execute_batch` and `resolve_batch` deliberately keep the trait
+    // defaults: each entry of a batch delegates through the single-call
+    // methods above and therefore takes its *own* fault draw — a batch
+    // can partially fail, which is exactly what the wire tier's per-entry
+    // error isolation has to be tested against.
 
     fn is_available(&self) -> bool {
         !self.down.load(Ordering::SeqCst) && self.inner.is_available()

@@ -259,6 +259,18 @@ impl DmNode for Dm {
     fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
         self.io.query(q)
     }
+
+    fn resolve_names(&self, item_id: i64, want: NameType) -> DmResult<Vec<ResolvedName>> {
+        self.names().resolve(item_id, want)
+    }
+
+    fn resolve_batch(
+        &self,
+        item_ids: &[i64],
+        want: NameType,
+    ) -> Vec<DmResult<Vec<ResolvedName>>> {
+        self.names().resolve_batch(item_ids, want)
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! methods do not know where the code is actually executed").
 
 use crate::error::{DmError, DmResult};
+use crate::names::{NameType, ResolvedName};
 use hedc_cache::{CacheConfig, DepSnapshot, QueryCache};
 use hedc_metadb::{Query, QueryResult};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -27,6 +28,33 @@ pub trait DmNode: Send + Sync {
     fn node_id(&self) -> String;
     /// Execute a (pre-scoped) query.
     fn execute_query(&self, q: &Query) -> DmResult<QueryResult>;
+    /// Execute several queries as one logical call, results in input
+    /// order with per-entry error isolation. The default loops
+    /// [`DmNode::execute_query`]; network-backed nodes override it to
+    /// ship the whole batch in a single round trip.
+    fn execute_batch(&self, qs: &[Query]) -> Vec<DmResult<QueryResult>> {
+        qs.iter().map(|q| self.execute_query(q)).collect()
+    }
+    /// Resolve an item's dynamic names (§4.3) on this node. The default
+    /// reports the capability as unsupported; nodes backed by a DM (or a
+    /// wire to one) override it.
+    fn resolve_names(&self, item_id: i64, want: NameType) -> DmResult<Vec<ResolvedName>> {
+        Err(DmError::RemoteFailed(format!(
+            "{}: name resolution not supported (item {item_id}, {})",
+            self.node_id(),
+            want.as_str()
+        )))
+    }
+    /// Resolve many items' names as one logical call, results in input
+    /// order with per-entry error isolation. The default loops
+    /// [`DmNode::resolve_names`]; DM-backed nodes override it with the
+    /// batched `IN`-list path, network-backed nodes with one batch frame.
+    fn resolve_batch(&self, item_ids: &[i64], want: NameType) -> Vec<DmResult<Vec<ResolvedName>>> {
+        item_ids
+            .iter()
+            .map(|&id| self.resolve_names(id, want))
+            .collect()
+    }
     /// Liveness probe.
     fn is_available(&self) -> bool {
         true
@@ -88,6 +116,43 @@ impl<N: DmNode> DmNode for RemoteDm<N> {
             .fetch_add(self.hop_us * 2, Ordering::Relaxed);
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.inner.execute_query(q)
+    }
+
+    fn execute_batch(&self, qs: &[Query]) -> Vec<DmResult<QueryResult>> {
+        if self.down.load(Ordering::SeqCst) {
+            return qs
+                .iter()
+                .map(|_| Err(DmError::RemoteUnavailable(self.label.clone())))
+                .collect();
+        }
+        // The whole batch crosses the wire once — that is the point.
+        self.accumulated_us
+            .fetch_add(self.hop_us * 2, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.execute_batch(qs)
+    }
+
+    fn resolve_names(&self, item_id: i64, want: NameType) -> DmResult<Vec<ResolvedName>> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(DmError::RemoteUnavailable(self.label.clone()));
+        }
+        self.accumulated_us
+            .fetch_add(self.hop_us * 2, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.resolve_names(item_id, want)
+    }
+
+    fn resolve_batch(&self, item_ids: &[i64], want: NameType) -> Vec<DmResult<Vec<ResolvedName>>> {
+        if self.down.load(Ordering::SeqCst) {
+            return item_ids
+                .iter()
+                .map(|_| Err(DmError::RemoteUnavailable(self.label.clone())))
+                .collect();
+        }
+        self.accumulated_us
+            .fetch_add(self.hop_us * 2, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.resolve_batch(item_ids, want)
     }
 
     fn is_available(&self) -> bool {
@@ -187,6 +252,110 @@ impl DmRouter {
             }
             Err(other) => Err(other),
         }
+    }
+
+    /// Resolve a batch of item names across the cluster: the items are
+    /// split into contiguous chunks, one per *healthy* node, the chunks
+    /// fan out in parallel, and the per-item results are stitched back in
+    /// input order. A chunk whose node dies mid-batch fails over
+    /// wholesale to the next node in rotation — no item is lost and none
+    /// is resolved twice in the output (exactly one result per input,
+    /// positionally).
+    pub fn resolve_batch(
+        &self,
+        item_ids: &[i64],
+        want: NameType,
+    ) -> Vec<DmResult<Vec<ResolvedName>>> {
+        if item_ids.is_empty() {
+            return Vec::new();
+        }
+        let n = self.nodes.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let healthy: Vec<usize> = (0..n)
+            .map(|k| start.wrapping_add(k) % n)
+            .filter(|&i| self.nodes[i].is_available())
+            .collect();
+        let fan = healthy.len().min(item_ids.len()).max(1);
+        if fan <= 1 {
+            let at = healthy.first().copied().unwrap_or(start % n);
+            return self.resolve_chunk(at, item_ids, want);
+        }
+        let per_chunk = item_ids.len().div_ceil(fan);
+        let mut out = Vec::with_capacity(item_ids.len());
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = item_ids
+                .chunks(per_chunk)
+                .enumerate()
+                .map(|(ci, ids)| {
+                    let at = healthy[ci % healthy.len()];
+                    scope.spawn(move || self.resolve_chunk(at, ids, want))
+                })
+                .collect();
+            for w in workers {
+                out.extend(w.join().expect("batch resolve worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// Resolve one contiguous chunk, starting at node `at` and failing
+    /// over past unavailable nodes. Entries that come back
+    /// [`DmError::RemoteUnavailable`] are retried on the next node;
+    /// every other outcome (success or a real per-item error) is final.
+    fn resolve_chunk(
+        &self,
+        at: usize,
+        items: &[i64],
+        want: NameType,
+    ) -> Vec<DmResult<Vec<ResolvedName>>> {
+        let n = self.nodes.len();
+        let mut out: Vec<Option<DmResult<Vec<ResolvedName>>>> = vec![None; items.len()];
+        let mut pending: Vec<usize> = (0..items.len()).collect();
+        for k in 0..n {
+            if pending.is_empty() {
+                break;
+            }
+            let i = at.wrapping_add(k) % n;
+            let node = &self.nodes[i];
+            if !node.is_available() {
+                self.note_down(i, format!("skipped unavailable node {}", node.node_id()));
+                continue;
+            }
+            let ids: Vec<i64> = pending.iter().map(|&p| items[p]).collect();
+            let results = node.resolve_batch(&ids, want);
+            let mut still = Vec::new();
+            let mut settled = 0usize;
+            for (&p, r) in pending.iter().zip(results) {
+                match r {
+                    Err(DmError::RemoteUnavailable(_)) => still.push(p),
+                    other => {
+                        settled += 1;
+                        out[p] = Some(other);
+                    }
+                }
+            }
+            if settled > 0 && self.seen_down[i].swap(false, Ordering::Relaxed) {
+                hedc_obs::emit(
+                    hedc_obs::events::kind::DM_REDIRECT,
+                    format!("node {} recovered, back in rotation", node.node_id()),
+                );
+            }
+            if settled == 0 && !still.is_empty() {
+                // Nothing got through: a node-level outage, not per-item
+                // faults. Redirect the remainder of the chunk.
+                self.note_down(i, format!("redirected past failed node {}", node.node_id()));
+            }
+            pending = still;
+        }
+        for p in pending {
+            out[p] = Some(Err(DmError::RemoteUnavailable(format!(
+                "no node could resolve item {}",
+                items[p]
+            ))));
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every chunk slot settled"))
+            .collect()
     }
 
     fn execute_uncached(&self, q: &Query) -> DmResult<QueryResult> {
@@ -399,6 +568,121 @@ mod tests {
             "{events:?}"
         );
         assert_eq!(router.cache().unwrap().stats().stale_serves, 1);
+    }
+
+    /// A node that answers name resolutions synthetically (no database),
+    /// tagging each result with its own label so tests can tell which
+    /// node served which item.
+    struct ResolvingNode {
+        label: String,
+    }
+
+    impl DmNode for ResolvingNode {
+        fn node_id(&self) -> String {
+            self.label.clone()
+        }
+        fn execute_query(&self, _q: &Query) -> DmResult<QueryResult> {
+            Err(DmError::RemoteFailed("queries unsupported".into()))
+        }
+        fn resolve_names(&self, item_id: i64, want: NameType) -> DmResult<Vec<ResolvedName>> {
+            Ok(vec![ResolvedName {
+                entry_id: item_id,
+                name_type: want,
+                archive_id: 1,
+                archive_path: format!("p/{item_id}"),
+                entry_path: format!("{item_id}"),
+                full_name: format!("{}:{}#{item_id}", want.as_str(), self.label),
+                url: None,
+                size: 0,
+                role: "data".into(),
+                transforms: Vec::new(),
+            }])
+        }
+    }
+
+    #[test]
+    fn batch_fans_out_across_healthy_nodes_and_stitches_in_order() {
+        let a = Arc::new(RemoteDm::new(
+            Arc::new(ResolvingNode { label: "fan-a".into() }),
+            "fan-a",
+            50,
+        ));
+        let b = Arc::new(RemoteDm::new(
+            Arc::new(ResolvingNode { label: "fan-b".into() }),
+            "fan-b",
+            50,
+        ));
+        let router = DmRouter::new(vec![
+            a.clone() as Arc<dyn DmNode>,
+            b.clone() as Arc<dyn DmNode>,
+        ]);
+        let items: Vec<i64> = (100..110).collect();
+        let out = router.resolve_batch(&items, NameType::File);
+        assert_eq!(out.len(), items.len());
+        for (i, r) in out.iter().enumerate() {
+            let names = r.as_ref().expect("healthy cluster resolves everything");
+            assert_eq!(names[0].entry_id, items[i], "stitched back in input order");
+        }
+        // One wire call per chunk, one chunk per healthy node — not one
+        // call per item.
+        assert_eq!(a.calls(), 1);
+        assert_eq!(b.calls(), 1);
+        // Both directions of the split actually went out in parallel.
+        let served: std::collections::HashSet<String> = out
+            .iter()
+            .flat_map(|r| r.as_ref().unwrap())
+            .map(|n| n.full_name.split('#').next().unwrap().to_string())
+            .collect();
+        assert_eq!(served.len(), 2, "both nodes served a chunk: {served:?}");
+    }
+
+    #[test]
+    fn batch_chunk_fails_over_to_the_surviving_node() {
+        let a = Arc::new(RemoteDm::new(
+            Arc::new(ResolvingNode { label: "surv-a".into() }),
+            "surv-a",
+            50,
+        ));
+        let b = Arc::new(RemoteDm::new(
+            Arc::new(ResolvingNode { label: "surv-b".into() }),
+            "surv-b",
+            50,
+        ));
+        let router = DmRouter::new(vec![
+            a.clone() as Arc<dyn DmNode>,
+            b.clone() as Arc<dyn DmNode>,
+        ]);
+        a.set_down(true);
+        let items: Vec<i64> = (0..16).collect();
+        let out = router.resolve_batch(&items, NameType::Url);
+        assert_eq!(out.len(), items.len());
+        for (i, r) in out.iter().enumerate() {
+            let names = r.as_ref().expect("survivor must absorb the batch");
+            assert_eq!(names[0].entry_id, items[i]);
+            assert!(names[0].full_name.contains("surv-b"));
+        }
+        assert_eq!(a.calls(), 0, "a down node serves nothing");
+
+        // Total outage: one positional error per input, none dropped.
+        b.set_down(true);
+        let dead = router.resolve_batch(&items, NameType::Url);
+        assert_eq!(dead.len(), items.len());
+        assert!(dead
+            .iter()
+            .all(|r| matches!(r, Err(DmError::RemoteUnavailable(_)))));
+    }
+
+    #[test]
+    fn batch_on_nodes_without_resolution_surfaces_per_entry_errors() {
+        // LocalNode keeps the trait default: resolution unsupported. The
+        // error is final (the node is up), so the router must not spin
+        // through the rotation — every entry reports it positionally.
+        let router = DmRouter::new(vec![node("plain", 1) as Arc<dyn DmNode>]);
+        let out = router.resolve_batch(&[1, 2, 3], NameType::File);
+        assert_eq!(out.len(), 3);
+        assert!(out
+            .iter()
+            .all(|r| matches!(r, Err(DmError::RemoteFailed(_)))));
     }
 
     #[test]

@@ -11,10 +11,10 @@
 //! `scripts/check.sh --seed <seed>`.
 
 use hedc_dm::{
-    schema, Clock, DmIo, DmNode, DmResult, DmRouter, FaultCounts, FaultPlan, FaultyDmNode,
-    IoConfig, Partitioning, RemoteDm,
+    schema, Clock, Dm, DmConfig, DmError, DmIo, DmNode, DmResult, DmRouter, FaultCounts,
+    FaultPlan, FaultyDmNode, IoConfig, NameType, Partitioning, RemoteDm,
 };
-use hedc_filestore::FileStore;
+use hedc_filestore::{Archive, ArchiveTier, FileStore};
 use hedc_metadb::{Database, Query, QueryResult, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -193,6 +193,99 @@ fn run_seeded_scenario(seed: u64) -> Vec<FaultCounts> {
         "the plan should have injected at least one outage: {counts:?}"
     );
     counts
+}
+
+/// Two DM nodes carrying identical location tables (the replicated-browse
+/// deployment of §5.4) plus the shared item-id list. Identical construction
+/// order makes the deterministic id allocators agree, so any node can
+/// resolve any item.
+fn replicated_dms(n_items: usize) -> (Arc<Dm>, Arc<Dm>, Vec<i64>) {
+    let mk = || {
+        let files = FileStore::new();
+        files.register(Archive::in_memory(
+            1,
+            "disk",
+            ArchiveTier::OnlineDisk,
+            1 << 20,
+        ));
+        Dm::bootstrap(Arc::new(files), DmConfig::default()).unwrap()
+    };
+    let (a, b) = (mk(), mk());
+    let mut items = Vec::with_capacity(n_items);
+    for i in 0..n_items {
+        let (na, nb) = (a.names(), b.names());
+        let item = na.new_item().unwrap();
+        assert_eq!(item, nb.new_item().unwrap(), "id allocators must agree");
+        for names in [&na, &nb] {
+            names
+                .attach(
+                    item,
+                    NameType::File,
+                    1,
+                    &format!("raw/u{i}.fits"),
+                    64,
+                    None,
+                    "data",
+                )
+                .unwrap();
+        }
+        items.push(item);
+    }
+    (a, b, items)
+}
+
+#[test]
+fn batched_resolution_survives_mid_batch_node_failures() {
+    let (dm_a, dm_b, items) = replicated_dms(40);
+    let expected: Vec<_> = items
+        .iter()
+        .map(|&id| dm_b.names().resolve(id, NameType::File).unwrap())
+        .collect();
+
+    // Node A injects ~30% per-entry outages *inside* the batch; node B is
+    // healthy. The router must retry exactly the failed entries.
+    let a = Arc::new(FaultyDmNode::new(
+        dm_a,
+        "batch-a",
+        FaultPlan::seeded(11).unavailable(300),
+    ));
+    println!(
+        "fault seed {} (replay: scripts/check.sh --seed {})",
+        a.seed(),
+        a.seed()
+    );
+    let b = Arc::new(RemoteDm::new(dm_b, "batch-b", 10));
+    let router = DmRouter::new(vec![
+        a.clone() as Arc<dyn DmNode>,
+        b.clone() as Arc<dyn DmNode>,
+    ]);
+
+    let batch = router.resolve_batch(&items, NameType::File);
+    assert_eq!(batch.len(), items.len(), "one result per input, always");
+    for ((got, want), item) in batch.iter().zip(&expected).zip(&items) {
+        assert_eq!(
+            got.as_ref().unwrap(),
+            want,
+            "item {item}: entries that failed on A must land on B unchanged"
+        );
+    }
+
+    // Hard kill mid-rotation: A refuses everything, so any chunk assigned
+    // to it fails over wholesale. Still exactly one result per input.
+    a.set_down(true);
+    let after_kill = router.resolve_batch(&items, NameType::File);
+    assert_eq!(after_kill.len(), items.len());
+    for (got, want) in after_kill.iter().zip(&expected) {
+        assert_eq!(got.as_ref().unwrap(), want);
+    }
+
+    // Total outage: positional per-entry errors, nothing silently dropped.
+    b.set_down(true);
+    let dead = router.resolve_batch(&items, NameType::File);
+    assert_eq!(dead.len(), items.len());
+    assert!(dead
+        .iter()
+        .all(|r| matches!(r, Err(DmError::RemoteUnavailable(_)))));
 }
 
 #[test]

@@ -381,9 +381,12 @@ impl Connection {
         DbStats::bump(&s.queries);
         DbStats::add(&s.rows_scanned, result.stats.rows_scanned as u64);
         DbStats::add(&s.rows_returned, result.stats.rows_returned as u64);
+        DbStats::add(&s.rows_sorted, result.stats.rows_sorted as u64);
         match result.stats.access {
             query::AccessPath::FullScan => DbStats::bump(&s.full_scans),
-            query::AccessPath::Index { .. } => DbStats::bump(&s.index_hits),
+            query::AccessPath::Index { .. } | query::AccessPath::IndexMultiPoint { .. } => {
+                DbStats::bump(&s.index_hits)
+            }
         }
         Ok(result)
     }

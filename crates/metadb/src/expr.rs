@@ -111,6 +111,20 @@ impl Expr {
         }
     }
 
+    /// Convenience: `column IN (v1, v2, ...)`.
+    pub fn in_list<V: Into<Value>>(
+        col: impl Into<String>,
+        vals: impl IntoIterator<Item = V>,
+    ) -> Expr {
+        Expr::InList {
+            expr: Box::new(Expr::Name(col.into())),
+            list: vals
+                .into_iter()
+                .map(|v| Expr::Literal(v.into()))
+                .collect(),
+        }
+    }
+
     /// Conjunction that consumes self.
     pub fn and(self, other: Expr) -> Expr {
         Expr::And(Box::new(self), Box::new(other))
@@ -375,6 +389,31 @@ impl Expr {
             },
             _ => None,
         }
+    }
+
+    /// Extract the distinct probe points of a bound `col IN (literals)`
+    /// conjunct, for the planner's multi-point index access path. NULL
+    /// items are skipped: a non-null key never equals NULL, and the
+    /// residual filter re-applies the full predicate (including its
+    /// three-valued NULL semantics) to every candidate row anyway.
+    pub fn column_in_points(&self) -> Option<(usize, Vec<Value>)> {
+        let Expr::InList { expr, list } = self else {
+            return None;
+        };
+        let Expr::Col(col) = &**expr else {
+            return None;
+        };
+        let mut points = Vec::with_capacity(list.len());
+        for item in list {
+            match item {
+                Expr::Literal(v) if v.is_null() => continue,
+                Expr::Literal(v) => points.push(v.clone()),
+                _ => return None,
+            }
+        }
+        points.sort();
+        points.dedup();
+        Some((*col, points))
     }
 
     /// Render to SQL text. Bound columns require the schema to print names.

@@ -124,8 +124,11 @@ fn canon(e: &Expr) -> String {
             format!("between({},{},{})", canon(expr), canon(lo), canon(hi))
         }
         Expr::InList { expr, list } => {
+            // Sort and dedup: `IN (2, 1, 1)` selects the same rows as
+            // `IN (1, 2)`, so they must share a cache key.
             let mut items: Vec<String> = list.iter().map(canon).collect();
             items.sort();
+            items.dedup();
             format!("in({};{})", canon(expr), items.join(","))
         }
         Expr::Like { expr, pattern } => {
@@ -222,5 +225,14 @@ mod tests {
             list: vec![Expr::Literal(1.into()), Expr::Literal(2.into())],
         });
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn in_list_duplicates_collapse_but_extensions_discriminate() {
+        let a = Query::table("hle").filter(Expr::in_list("id", [1i64, 2, 2, 1]));
+        let b = Query::table("hle").filter(Expr::in_list("id", [2i64, 1]));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Query::table("hle").filter(Expr::in_list("id", [1i64, 2, 3]));
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 }

@@ -49,6 +49,7 @@ mod schema;
 mod sql;
 mod stats;
 mod table;
+pub mod tuning;
 mod value;
 mod wal;
 

@@ -170,6 +170,14 @@ pub enum AccessPath {
         /// Whether the probe was a point (equality) lookup.
         point: bool,
     },
+    /// Multi-point index probes for an `IN`-list predicate: one point
+    /// lookup per distinct list item, candidate sets concatenated.
+    IndexMultiPoint {
+        /// Index name used.
+        name: String,
+        /// Number of distinct probe points.
+        probes: usize,
+    },
 }
 
 /// Execution statistics for one query.
@@ -179,6 +187,11 @@ pub struct ExecStats {
     pub rows_scanned: usize,
     /// Rows returned.
     pub rows_returned: usize,
+    /// Rows that passed through the sort stage: the full match count for a
+    /// complete sort, only the bounded-heap working set (`offset + limit`)
+    /// when the top-k path engages. `0` when no sort ran.
+    #[serde(default)]
+    pub rows_sorted: usize,
     /// Access path chosen by the planner.
     pub access: AccessPath,
 }
@@ -226,7 +239,9 @@ impl QueryResult {
             })
             .sum();
         let access = match &self.stats.access {
-            AccessPath::Index { name, .. } => name.capacity(),
+            AccessPath::Index { name, .. } | AccessPath::IndexMultiPoint { name, .. } => {
+                name.capacity()
+            }
             AccessPath::FullScan => 0,
         };
         header + columns + rows + access
@@ -253,21 +268,7 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
     };
 
     // --- scan + filter ------------------------------------------------------
-    let mut rows_scanned = 0usize;
-    let mut matched: Vec<(RowId, &[Value])> = Vec::new();
-    for id in candidates {
-        let row = match table.get(id) {
-            Ok(r) => r,
-            Err(_) => continue, // deleted concurrently within this txn view
-        };
-        rows_scanned += 1;
-        if let Some(f) = &filter {
-            if !f.eval_bool(row)? {
-                continue;
-            }
-        }
-        matched.push((id, row));
-    }
+    let (rows_scanned, mut matched) = scan_filter(table, &filter, candidates)?;
 
     // --- aggregate mode -----------------------------------------------------
     if !q.aggregates.is_empty() {
@@ -275,13 +276,14 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
     }
 
     // --- sort ----------------------------------------------------------------
+    let mut rows_sorted = 0usize;
     if !q.order_by.is_empty() {
         let keys: Vec<(usize, OrderDir)> = q
             .order_by
             .iter()
             .map(|(c, d)| Ok((schema.require_column(c)?, *d)))
             .collect::<DbResult<_>>()?;
-        matched.sort_by(|(_, a), (_, b)| {
+        let by_keys = |a: &[Value], b: &[Value]| {
             for &(col, dir) in &keys {
                 let ord = a[col].cmp(&b[col]);
                 let ord = if dir == OrderDir::Desc {
@@ -294,7 +296,21 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
                 }
             }
             Ordering::Equal
-        });
+        };
+        // Top-k pushdown: when a LIMIT bounds the output, only the first
+        // `offset + limit` rows in sort order can ever be returned, so a
+        // bounded heap of that size replaces sorting every matched row.
+        let keep = q
+            .limit
+            .map(|l| q.offset.unwrap_or(0).saturating_add(l))
+            .unwrap_or(usize::MAX);
+        if keep < matched.len() && crate::tuning::topk_enabled() {
+            matched = top_k_by(matched, keep, &|(_, a), (_, b)| by_keys(a, b));
+            rows_sorted = matched.len();
+        } else {
+            matched.sort_by(|(_, a), (_, b)| by_keys(a, b));
+            rows_sorted = matched.len();
+        }
     }
 
     // --- offset / limit -------------------------------------------------------
@@ -330,37 +346,169 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
         stats: ExecStats {
             rows_scanned,
             rows_returned,
+            rows_sorted,
             access,
         },
     })
 }
 
+/// Fetch candidate rows and apply the filter. Above the
+/// [`crate::tuning::parallel_scan_threshold`] the candidate list is
+/// partitioned into contiguous chunks evaluated by scoped worker threads;
+/// chunk results are re-joined in order, so the output is identical to the
+/// sequential walk.
+fn scan_filter<'t>(
+    table: &'t Table,
+    filter: &Option<Expr>,
+    candidates: Vec<RowId>,
+) -> DbResult<(usize, Vec<(RowId, &'t [Value])>)> {
+    let threshold = crate::tuning::parallel_scan_threshold();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    if filter.is_some() && threshold > 0 && candidates.len() >= threshold && workers > 1 {
+        let chunk = candidates.len().div_ceil(workers);
+        let results: Vec<DbResult<(usize, Vec<(RowId, &[Value])>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|ids| scope.spawn(move || scan_filter_chunk(table, filter, ids)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+        let mut rows_scanned = 0usize;
+        let mut matched = Vec::new();
+        for r in results {
+            let (scanned, part) = r?;
+            rows_scanned += scanned;
+            matched.extend(part);
+        }
+        Ok((rows_scanned, matched))
+    } else {
+        scan_filter_chunk(table, filter, &candidates)
+    }
+}
+
+fn scan_filter_chunk<'t>(
+    table: &'t Table,
+    filter: &Option<Expr>,
+    ids: &[RowId],
+) -> DbResult<(usize, Vec<(RowId, &'t [Value])>)> {
+    let mut rows_scanned = 0usize;
+    let mut matched: Vec<(RowId, &[Value])> = Vec::new();
+    for &id in ids {
+        let row = match table.get(id) {
+            Ok(r) => r,
+            Err(_) => continue, // deleted concurrently within this txn view
+        };
+        rows_scanned += 1;
+        if let Some(f) = filter {
+            if !f.eval_bool(row)? {
+                continue;
+            }
+        }
+        matched.push((id, row));
+    }
+    Ok((rows_scanned, matched))
+}
+
+/// Keep the `k` least elements of `items` under `cmp`, returned in
+/// ascending order: a bounded binary max-heap (worst survivor at the root)
+/// does O(n log k) comparisons in k slots instead of sorting all n.
+fn top_k_by<T>(items: Vec<T>, k: usize, cmp: &dyn Fn(&T, &T) -> Ordering) -> Vec<T> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: Vec<T> = Vec::with_capacity(k);
+    let sift_down = |heap: &mut [T], mut i: usize| {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < heap.len() && cmp(&heap[l], &heap[largest]) == Ordering::Greater {
+                largest = l;
+            }
+            if r < heap.len() && cmp(&heap[r], &heap[largest]) == Ordering::Greater {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            heap.swap(i, largest);
+            i = largest;
+        }
+    };
+    for item in items {
+        if heap.len() < k {
+            heap.push(item);
+            // Sift up the freshly appended element.
+            let mut i = heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if cmp(&heap[i], &heap[parent]) != Ordering::Greater {
+                    break;
+                }
+                heap.swap(i, parent);
+                i = parent;
+            }
+        } else if cmp(&item, &heap[0]) == Ordering::Less {
+            heap[0] = item;
+            sift_down(&mut heap, 0);
+        }
+    }
+    heap.sort_by(|a, b| cmp(a, b));
+    heap
+}
+
 /// Choose candidate row ids for a bound filter: the most selective sargable
-/// conjunct that has an index on its column wins; otherwise full scan.
+/// conjunct (single-column range or `IN`-list of literals) that has an index
+/// on its column wins; otherwise full scan.
 pub(crate) fn plan_candidates(table: &Table, filter: &Expr) -> (Vec<RowId>, AccessPath) {
-    let mut best: Option<(Vec<RowId>, String, bool)> = None;
-    for conj in filter.conjuncts() {
-        let Some(range) = conj.column_range() else {
-            continue;
-        };
-        let Some(ix) = table.index_on(range.col) else {
-            continue;
-        };
-        let point = matches!(
-            (&range.low, &range.high),
-            (Bound::Included(a), Bound::Included(b)) if a == b
-        );
-        let ids = ix.range(&[], as_ref_bound(&range.low), as_ref_bound(&range.high));
-        let better = match &best {
+    let mut best: Option<(Vec<RowId>, AccessPath)> = None;
+    let mut consider = |ids: Vec<RowId>, access: AccessPath, best: &mut Option<(Vec<RowId>, AccessPath)>| {
+        let better = match best {
             None => true,
-            Some((cur, _, _)) => ids.len() < cur.len(),
+            Some((cur, _)) => ids.len() < cur.len(),
         };
         if better {
-            best = Some((ids, ix.name.clone(), point));
+            *best = Some((ids, access));
+        }
+    };
+    for conj in filter.conjuncts() {
+        if let Some(range) = conj.column_range() {
+            let Some(ix) = table.index_on(range.col) else {
+                continue;
+            };
+            let point = matches!(
+                (&range.low, &range.high),
+                (Bound::Included(a), Bound::Included(b)) if a == b
+            );
+            let ids = ix.range(&[], as_ref_bound(&range.low), as_ref_bound(&range.high));
+            let access = AccessPath::Index {
+                name: ix.name.clone(),
+                point,
+            };
+            consider(ids, access, &mut best);
+        } else if let Some((col, points)) = conj.column_in_points() {
+            let Some(ix) = table.index_on(col) else {
+                continue;
+            };
+            // One point probe per distinct list item. Points are distinct
+            // (deduped) so the per-point id sets are disjoint — plain
+            // concatenation, no dedup pass needed.
+            let ids: Vec<RowId> = points
+                .iter()
+                .flat_map(|v| ix.range(&[], Bound::Included(v), Bound::Included(v)))
+                .collect();
+            let access = AccessPath::IndexMultiPoint {
+                name: ix.name.clone(),
+                probes: points.len(),
+            };
+            consider(ids, access, &mut best);
         }
     }
     match best {
-        Some((ids, name, point)) => (ids, AccessPath::Index { name, point }),
+        Some((ids, access)) => (ids, access),
         None => (
             table.scan().map(|(id, _)| id).collect(),
             AccessPath::FullScan,
@@ -499,10 +647,55 @@ fn aggregate(
         rows.push(row);
     }
 
-    // Deterministic output order for grouped results.
-    if !group_cols.is_empty() {
+    // Output order: an explicit ORDER BY over *output* columns (group keys
+    // or aggregate labels like `count(*)`) wins; grouped results default to
+    // group-key order otherwise. Top-k pushdown applies here exactly as in
+    // the plain path — with a LIMIT, only the first `offset + limit` groups
+    // in sort order can survive.
+    let mut rows_sorted = 0usize;
+    if !q.order_by.is_empty() {
+        let keys: Vec<(usize, OrderDir)> = q
+            .order_by
+            .iter()
+            .map(|(c, d)| {
+                labels
+                    .iter()
+                    .position(|l| l == c)
+                    .map(|i| (i, *d))
+                    .ok_or_else(|| crate::error::DbError::NoSuchColumn {
+                        table: q.table.clone(),
+                        column: c.clone(),
+                    })
+            })
+            .collect::<DbResult<_>>()?;
+        let by_keys = |a: &Vec<Value>, b: &Vec<Value>| {
+            for &(col, dir) in &keys {
+                let ord = a[col].cmp(&b[col]);
+                let ord = if dir == OrderDir::Desc {
+                    ord.reverse()
+                } else {
+                    ord
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        };
+        let keep = q
+            .limit
+            .map(|l| q.offset.unwrap_or(0).saturating_add(l))
+            .unwrap_or(usize::MAX);
+        if keep < rows.len() && crate::tuning::topk_enabled() {
+            rows = top_k_by(rows, keep, &by_keys);
+        } else {
+            rows.sort_by(by_keys);
+        }
+        rows_sorted = rows.len();
+    } else if !group_cols.is_empty() {
         let n = group_cols.len();
         rows.sort_by(|a, b| a[..n].cmp(&b[..n]));
+        rows_sorted = rows.len();
     }
 
     // LIMIT/OFFSET apply to aggregate output too (grouped rows are already
@@ -522,6 +715,7 @@ fn aggregate(
         stats: ExecStats {
             rows_scanned,
             rows_returned,
+            rows_sorted,
             access,
         },
     })
@@ -560,6 +754,11 @@ mod tests {
         }
         t
     }
+
+    /// Serializes tests that flip the process-wide tuning knobs so they
+    /// don't race each other (flipped knobs never change *results*, only
+    /// which execution strategy produced them).
+    static TUNING_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn point_lookup_uses_pk_index() {
@@ -698,6 +897,156 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_orders_by_output_columns() {
+        let _g = TUNING_LOCK.lock().unwrap();
+        // Per-kind SUM(dur): image 67.5 < lightcurve 72.5 < spectrum 77.5.
+        let t = table();
+        let q = Query::table("ana")
+            .group_by("kind")
+            .aggregate(AggFunc::Sum("dur".into()))
+            .order_by("SUM(dur)", OrderDir::Desc)
+            .limit(2);
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.columns, vec!["kind".to_string(), "SUM(dur)".to_string()]);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Text("spectrum".into()));
+        assert_eq!(r.rows[1][0], Value::Text("lightcurve".into()));
+        // Top-k pushdown bounds the grouped sort too: 3 groups, keep 2.
+        assert_eq!(r.stats.rows_sorted, 2);
+
+        // Group keys are orderable output columns as well.
+        let by_kind = execute(
+            &t,
+            &Query::table("ana")
+                .group_by("kind")
+                .aggregate(AggFunc::CountStar)
+                .order_by("kind", OrderDir::Desc),
+        )
+        .unwrap();
+        assert_eq!(by_kind.rows[0][0], Value::Text("spectrum".into()));
+        assert_eq!(by_kind.rows[2][0], Value::Text("image".into()));
+    }
+
+    #[test]
+    fn aggregate_order_by_non_output_column_is_an_error() {
+        // `dur` is an *input* column; after grouping it no longer exists.
+        let t = table();
+        let q = Query::table("ana")
+            .group_by("kind")
+            .aggregate(AggFunc::CountStar)
+            .order_by("dur", OrderDir::Asc);
+        assert!(execute(&t, &q).is_err());
+    }
+
+    #[test]
+    fn in_list_uses_multi_point_probes() {
+        let t = table();
+        let q = Query::table("ana").filter(Expr::in_list("id", [3i64, 7, 11, 7]));
+        let r = execute(&t, &q).unwrap();
+        let mut ids: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        ids.sort();
+        assert_eq!(ids, vec![3, 7, 11]);
+        assert_eq!(
+            r.stats.access,
+            AccessPath::IndexMultiPoint {
+                name: "ana_pk".into(),
+                probes: 3, // the duplicate 7 collapses to one probe
+            }
+        );
+        assert_eq!(r.stats.rows_scanned, 3);
+    }
+
+    #[test]
+    fn in_list_with_null_item_skips_the_null_probe() {
+        let t = table();
+        let q = Query::table("ana").filter(Expr::InList {
+            expr: Box::new(Expr::Name("id".into())),
+            list: vec![Expr::Literal(Value::Int(3)), Expr::Literal(Value::Null)],
+        });
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert!(matches!(
+            r.stats.access,
+            AccessPath::IndexMultiPoint { probes: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn in_list_on_unindexed_column_full_scans() {
+        let t = table();
+        let q = Query::table("ana").filter(Expr::in_list("kind", ["image", "spectrum"]));
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows.len(), 20);
+        assert_eq!(r.stats.access, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn in_list_competes_on_selectivity() {
+        // `hle_id IN (2)` selects 3 rows; `id IN (5, 6, 7, 8)` selects 4.
+        // The planner must pick the smaller candidate set.
+        let t = table();
+        let q = Query::table("ana")
+            .filter(Expr::in_list("id", [5i64, 6, 7, 8]))
+            .filter(Expr::in_list("hle_id", [2i64]));
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows.len(), 3); // ids 6,7,8 have hle_id 2
+        assert!(matches!(
+            r.stats.access,
+            AccessPath::IndexMultiPoint { probes: 1, .. }
+        ));
+        assert_eq!(r.stats.rows_scanned, 3);
+    }
+
+    #[test]
+    fn topk_limit_bounds_the_sort_working_set() {
+        let _g = TUNING_LOCK.lock().unwrap();
+        let t = table();
+        let q = Query::table("ana")
+            .order_by("dur", OrderDir::Desc)
+            .limit(3);
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        // Bounded heap: only k rows enter the sort, not all 30 matches.
+        assert_eq!(r.stats.rows_sorted, 3);
+        // Identical output to the full-sort baseline.
+        crate::tuning::set_topk_enabled(false);
+        let full = execute(&t, &q).unwrap();
+        crate::tuning::set_topk_enabled(true);
+        assert_eq!(full.stats.rows_sorted, 30);
+        assert_eq!(r.rows, full.rows);
+    }
+
+    #[test]
+    fn topk_keeps_offset_rows_in_the_heap() {
+        let _g = TUNING_LOCK.lock().unwrap();
+        let t = table();
+        let q = Query::table("ana")
+            .order_by("id", OrderDir::Asc)
+            .offset(5)
+            .limit(4);
+        let r = execute(&t, &q).unwrap();
+        let ids: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![5, 6, 7, 8]);
+        // The heap must retain offset + limit rows or the window is wrong.
+        assert_eq!(r.stats.rows_sorted, 9);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let _g = TUNING_LOCK.lock().unwrap();
+        let t = table();
+        let q = Query::table("ana")
+            .filter(Expr::eq("kind", "image"))
+            .order_by("id", OrderDir::Asc);
+        crate::tuning::set_parallel_scan_threshold(1); // force the parallel path
+        let par = execute(&t, &q).unwrap();
+        crate::tuning::set_parallel_scan_threshold(crate::tuning::DEFAULT_PARALLEL_SCAN_ROWS);
+        let seq = execute(&t, &q).unwrap();
+        assert_eq!(par.rows, seq.rows);
+        assert_eq!(par.stats.rows_scanned, seq.stats.rows_scanned);
+    }
+
+    #[test]
     fn unknown_projection_column_errors() {
         let t = table();
         let q = Query::table("ana").select(&["nope"]);
@@ -724,6 +1073,7 @@ mod tests {
             stats: ExecStats {
                 rows_scanned: 0,
                 rows_returned: 0,
+                rows_sorted: 0,
                 access: AccessPath::FullScan,
             },
         };
@@ -744,6 +1094,7 @@ mod tests {
             stats: ExecStats {
                 rows_scanned: 1,
                 rows_returned: 1,
+                rows_sorted: 0,
                 access: AccessPath::FullScan,
             },
         };

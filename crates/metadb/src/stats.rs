@@ -27,6 +27,9 @@ pub struct DbStats {
     pub rows_scanned: Arc<Counter>,
     /// Rows returned to clients.
     pub rows_returned: Arc<Counter>,
+    /// Rows that entered a sort stage (full matches for a complete sort,
+    /// only the bounded working set on the top-k path).
+    pub rows_sorted: Arc<Counter>,
     /// Queries answered via an index access path.
     pub index_hits: Arc<Counter>,
     /// Queries answered via a full scan.
@@ -48,6 +51,7 @@ impl Default for DbStats {
         let edits = registry.counter("db.edits");
         let rows_scanned = registry.counter("db.rows_scanned");
         let rows_returned = registry.counter("db.rows_returned");
+        let rows_sorted = registry.counter("db.rows_sorted");
         let index_hits = registry.counter("db.index_hits");
         let full_scans = registry.counter("db.full_scans");
         let commits = registry.counter("db.commits");
@@ -60,6 +64,7 @@ impl Default for DbStats {
             edits,
             rows_scanned,
             rows_returned,
+            rows_sorted,
             index_hits,
             full_scans,
             commits,
@@ -100,6 +105,7 @@ impl DbStats {
             edits: r.counter_value("db.edits"),
             rows_scanned: r.counter_value("db.rows_scanned"),
             rows_returned: r.counter_value("db.rows_returned"),
+            rows_sorted: r.counter_value("db.rows_sorted"),
             index_hits: r.counter_value("db.index_hits"),
             full_scans: r.counter_value("db.full_scans"),
             commits: r.counter_value("db.commits"),
@@ -121,6 +127,9 @@ pub struct StatsSnapshot {
     pub rows_scanned: u64,
     /// Rows returned.
     pub rows_returned: u64,
+    /// Rows that entered a sort stage.
+    #[serde(default)]
+    pub rows_sorted: u64,
     /// Index-path queries.
     pub index_hits: u64,
     /// Full-scan queries.
@@ -143,6 +152,7 @@ impl StatsSnapshot {
             edits: self.edits - earlier.edits,
             rows_scanned: self.rows_scanned - earlier.rows_scanned,
             rows_returned: self.rows_returned - earlier.rows_returned,
+            rows_sorted: self.rows_sorted - earlier.rows_sorted,
             index_hits: self.index_hits - earlier.index_hits,
             full_scans: self.full_scans - earlier.full_scans,
             commits: self.commits - earlier.commits,

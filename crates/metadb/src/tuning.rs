@@ -1,0 +1,39 @@
+//! Process-wide executor tuning knobs.
+//!
+//! These gate the batched/parallel execution paths added for the browse hot
+//! path: partitioned parallel scans kick in only above a candidate-row
+//! threshold (small scans lose more to thread startup than they gain), and
+//! the bounded-heap top-k path can be disabled outright for A/B
+//! measurements. Both are plain atomics so `HedcConfig` can apply them at
+//! stack startup and benchmarks can flip them per pass.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Default candidate-row count above which a filtered scan is partitioned
+/// across worker threads.
+pub const DEFAULT_PARALLEL_SCAN_ROWS: usize = 65_536;
+
+static PARALLEL_SCAN_ROWS: AtomicUsize = AtomicUsize::new(DEFAULT_PARALLEL_SCAN_ROWS);
+static TOPK_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Candidate-row count at which filtered scans go parallel. `0` disables
+/// parallel scans entirely.
+pub fn parallel_scan_threshold() -> usize {
+    PARALLEL_SCAN_ROWS.load(Ordering::Relaxed)
+}
+
+/// Set the parallel-scan threshold (`0` disables).
+pub fn set_parallel_scan_threshold(rows: usize) {
+    PARALLEL_SCAN_ROWS.store(rows, Ordering::Relaxed);
+}
+
+/// Whether `order_by` + `limit` may use the bounded-heap top-k path.
+pub fn topk_enabled() -> bool {
+    TOPK_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable or disable the bounded-heap top-k path (disable to force full
+/// sorts, e.g. for benchmark baselines).
+pub fn set_topk_enabled(enabled: bool) {
+    TOPK_ENABLED.store(enabled, Ordering::Relaxed);
+}

@@ -1,8 +1,8 @@
 //! Property-based tests for the metadata engine's core invariants.
 
 use hedc_metadb::{
-    like_match, parse, query_to_sql, CmpOp, ColumnDef, DataType, Database, Expr, OrderDir, Query,
-    Schema, Statement, Value,
+    like_match, parse, query_to_sql, AggFunc, CmpOp, ColumnDef, DataType, Database, Expr, OrderDir,
+    Query, Schema, Statement, Value,
 };
 use proptest::prelude::*;
 
@@ -263,6 +263,83 @@ proptest! {
         prop_assert_ne!(
             &base.clone().limit(limit).fingerprint(),
             &base.clone().limit(limit + 1).fingerprint()
+        );
+    }
+
+    /// ORDER BY + OFFSET/LIMIT on an aggregate query is exactly a window
+    /// over the fully ordered grouped output — whatever the direction mix,
+    /// and regardless of whether the bounded-heap top-k path kicks in for
+    /// the windowed run.
+    #[test]
+    fn aggregate_order_offset_limit_is_a_window(
+        vals in proptest::collection::vec((0i64..6, -10i64..10), 0..60),
+        offset in 0usize..8, limit in 1usize..8,
+        count_desc in any::<bool>(), key_desc in any::<bool>()
+    ) {
+        let db = Database::in_memory("prop-agg");
+        let mut conn = db.connect();
+        conn.create_table(Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("g", DataType::Int).not_null(),
+                ColumnDef::new("v", DataType::Int),
+            ],
+        ).primary_key(&["id"])).unwrap();
+        for (i, (g, v)) in vals.iter().enumerate() {
+            conn.insert("t", vec![Value::Int(i as i64), Value::Int(*g), Value::Int(*v)])
+                .unwrap();
+        }
+        let dir = |d: bool| if d { OrderDir::Desc } else { OrderDir::Asc };
+        // The unique group key as tiebreak makes the order total, so the
+        // window is well-defined even when counts collide.
+        let base = Query::table("t")
+            .group_by("g")
+            .aggregate(AggFunc::CountStar)
+            .aggregate(AggFunc::Sum("v".into()))
+            .order_by("COUNT(*)", dir(count_desc))
+            .order_by("g", dir(key_desc));
+        let full = conn.query(&base.clone()).unwrap();
+        let windowed = conn.query(&base.offset(offset).limit(limit)).unwrap();
+        let expected: Vec<Vec<Value>> =
+            full.rows.iter().skip(offset).take(limit).cloned().collect();
+        prop_assert_eq!(windowed.rows, expected);
+    }
+
+    /// `IN`-list fingerprints canonicalize: permuting or duplicating the
+    /// probe list cannot change the cache key — `x IN (1,2)` and
+    /// `x IN (2,1,1)` are the same predicate.
+    #[test]
+    fn permuted_in_list_fingerprints_identically(
+        (vals, shuffled) in proptest::collection::vec(-50i64..50, 1..10)
+            .prop_flat_map(|v| (Just(v.clone()), Just(v).prop_shuffle())),
+        dup_pick in 0usize..10
+    ) {
+        let base = Query::table("hle").filter(Expr::in_list("a", vals.clone()));
+        let perm = Query::table("hle").filter(Expr::in_list("a", shuffled.clone()));
+        prop_assert_eq!(base.fingerprint(), perm.fingerprint());
+        // Re-listing an existing probe is also invisible.
+        let mut with_dup = shuffled.clone();
+        with_dup.push(vals[dup_pick % vals.len()]);
+        prop_assert_eq!(
+            base.fingerprint(),
+            Query::table("hle").filter(Expr::in_list("a", with_dup)).fingerprint()
+        );
+    }
+
+    /// …while genuinely extending the list must change the key: a strict
+    /// superset matches more rows, so conflating the two would serve wrong
+    /// cached results.
+    #[test]
+    fn extended_in_list_fingerprint_differs(
+        vals in proptest::collection::vec(-50i64..50, 1..10)
+    ) {
+        let base = Query::table("hle").filter(Expr::in_list("a", vals.clone()));
+        let mut extended = vals.clone();
+        extended.push(99); // outside the generated range: genuinely new
+        prop_assert_ne!(
+            base.fingerprint(),
+            Query::table("hle").filter(Expr::in_list("a", extended)).fingerprint()
         );
     }
 

@@ -10,7 +10,7 @@
 use crate::frame::{read_frame, write_frame, Frame, FrameKind};
 use crate::proto::{decode, encode, Request, Response};
 use hedc_cache::{CacheConfig, GenerationMap, QueryCache};
-use hedc_dm::{DmError, DmNode, DmResult};
+use hedc_dm::{DmError, DmNode, DmResult, NameType, ResolvedName};
 use hedc_metadb::{Query, QueryResult};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -221,6 +221,17 @@ impl NetDm {
     }
 }
 
+/// Response variant label for "unexpected answer" diagnostics.
+fn variant_name(r: &Response) -> &'static str {
+    match r {
+        Response::Pong { .. } => "pong",
+        Response::Result(_) => "query result",
+        Response::Names(_) => "name list",
+        Response::Batch(_) => "batch",
+        Response::Error(_) => "error",
+    }
+}
+
 /// Exponential backoff with jitter: `base * 2^(attempt-1)` capped at
 /// `backoff_max`, plus up to 50% pseudo-random jitter to decorrelate
 /// concurrent retriers.
@@ -282,9 +293,10 @@ impl DmNode for NetDm {
                 self.set_health(!matches!(e.kind, crate::proto::WireErrorKind::Unavailable));
                 Err(e.into_dm(&self.label))
             }
-            Some(Response::Pong { .. }) => Err(DmError::RemoteFailed(format!(
-                "{}: pong in answer to a query",
-                self.label
+            Some(other) => Err(DmError::RemoteFailed(format!(
+                "{}: unexpected {} in answer to a query",
+                self.label,
+                variant_name(&other)
             ))),
             None => {
                 self.set_health(false);
@@ -302,6 +314,229 @@ impl DmNode for NetDm {
                     "{} ({})",
                     self.label, self.addr
                 )))
+            }
+        }
+    }
+
+    /// All queries in **one frame**: cached entries are answered locally,
+    /// the misses cross the wire as a single [`Request::Batch`], and the
+    /// answers are stitched back positionally. A transport failure degrades
+    /// per entry — stale cache where available, `RemoteUnavailable`
+    /// otherwise — exactly like the single-query path.
+    fn execute_batch(&self, qs: &[Query]) -> Vec<DmResult<QueryResult>> {
+        if qs.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<Option<DmResult<QueryResult>>> = (0..qs.len()).map(|_| None).collect();
+        let mut miss: Vec<usize> = Vec::new();
+        for (i, q) in qs.iter().enumerate() {
+            if let Some(cache) = &self.cache {
+                if let Some(hit) = cache.get(CLIENT_SCOPE, q) {
+                    out[i] = Some(Ok(hit));
+                    continue;
+                }
+            }
+            miss.push(i);
+        }
+        if miss.is_empty() {
+            return out.into_iter().map(|r| r.unwrap()).collect();
+        }
+        // Snapshot dependencies for every miss before the exchange, per the
+        // pre-read snapshot rule.
+        let mut deps: Vec<_> = miss
+            .iter()
+            .map(|&i| self.cache.as_ref().map(|c| c.snapshot(&qs[i])))
+            .collect();
+        let entries: Vec<Request> = miss.iter().map(|&i| Request::Query(qs[i].clone())).collect();
+        let span = hedc_obs::Span::child("net.rpc.client");
+        let start = Instant::now();
+        let outcome = self.exchange(&Request::Batch(entries));
+        hedc_obs::global()
+            .histogram("net.rpc.client")
+            .record_us(start.elapsed().as_micros() as u64);
+        drop(span);
+        match outcome {
+            Some(Response::Batch(responses)) => {
+                self.set_health(true);
+                let mut responses = responses.into_iter();
+                for (k, &i) in miss.iter().enumerate() {
+                    out[i] = Some(match responses.next() {
+                        Some(Response::Result(r)) => {
+                            if let (Some(cache), Some(Some(dep))) =
+                                (&self.cache, deps.get_mut(k).map(Option::take))
+                            {
+                                cache.fill(CLIENT_SCOPE, &qs[i], &r, dep);
+                            }
+                            Ok(r)
+                        }
+                        Some(Response::Error(e)) => Err(e.into_dm(&self.label)),
+                        Some(other) => Err(DmError::RemoteFailed(format!(
+                            "{}: unexpected {} in batch answer",
+                            self.label,
+                            variant_name(&other)
+                        ))),
+                        None => Err(DmError::RemoteFailed(format!(
+                            "{}: batch response truncated",
+                            self.label
+                        ))),
+                    });
+                }
+            }
+            Some(Response::Error(e)) => {
+                self.set_health(!matches!(e.kind, crate::proto::WireErrorKind::Unavailable));
+                let shared = e.into_dm(&self.label);
+                for &i in &miss {
+                    out[i] = Some(Err(shared.clone()));
+                }
+            }
+            Some(other) => {
+                let err = DmError::RemoteFailed(format!(
+                    "{}: unexpected {} in answer to a batch",
+                    self.label,
+                    variant_name(&other)
+                ));
+                for &i in &miss {
+                    out[i] = Some(Err(err.clone()));
+                }
+            }
+            None => {
+                self.set_health(false);
+                hedc_obs::global().counter("net.client.unavailable").inc();
+                let mut served_stale = false;
+                for &i in &miss {
+                    out[i] = Some(match self.cache.as_ref().and_then(|c| c.get_stale(CLIENT_SCOPE, &qs[i])) {
+                        Some(stale) => {
+                            served_stale = true;
+                            Ok(stale)
+                        }
+                        None => Err(DmError::RemoteUnavailable(format!(
+                            "{} ({})",
+                            self.label, self.addr
+                        ))),
+                    });
+                }
+                if served_stale {
+                    hedc_obs::emit(
+                        hedc_obs::events::kind::CACHE_DEGRADED,
+                        format!(
+                            "{} unreachable, serving stale cached batch entries",
+                            self.label
+                        ),
+                    );
+                }
+            }
+        }
+        out.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    fn resolve_names(&self, item_id: i64, want: NameType) -> DmResult<Vec<ResolvedName>> {
+        let span = hedc_obs::Span::child("net.rpc.client");
+        let start = Instant::now();
+        let outcome = self.exchange(&Request::Resolve {
+            item_id,
+            name_type: want,
+        });
+        hedc_obs::global()
+            .histogram("net.rpc.client")
+            .record_us(start.elapsed().as_micros() as u64);
+        drop(span);
+        match outcome {
+            Some(Response::Names(names)) => {
+                self.set_health(true);
+                Ok(names)
+            }
+            Some(Response::Error(e)) => {
+                self.set_health(!matches!(e.kind, crate::proto::WireErrorKind::Unavailable));
+                Err(e.into_dm(&self.label))
+            }
+            Some(other) => Err(DmError::RemoteFailed(format!(
+                "{}: unexpected {} in answer to a resolve",
+                self.label,
+                variant_name(&other)
+            ))),
+            None => {
+                self.set_health(false);
+                hedc_obs::global().counter("net.client.unavailable").inc();
+                Err(DmError::RemoteUnavailable(format!(
+                    "{} ({})",
+                    self.label, self.addr
+                )))
+            }
+        }
+    }
+
+    /// The whole name-mapping batch in one round trip: N `Resolve` entries
+    /// in one [`Request::Batch`] frame; the server recognises the
+    /// homogeneous shape and runs its batched (two-IN-list-query) resolver.
+    /// A transport failure marks **every** entry `RemoteUnavailable` so the
+    /// router fails the chunk over wholesale.
+    fn resolve_batch(&self, item_ids: &[i64], want: NameType) -> Vec<DmResult<Vec<ResolvedName>>> {
+        if item_ids.is_empty() {
+            return Vec::new();
+        }
+        let entries: Vec<Request> = item_ids
+            .iter()
+            .map(|&item_id| Request::Resolve {
+                item_id,
+                name_type: want,
+            })
+            .collect();
+        let span = hedc_obs::Span::child("net.rpc.client");
+        let start = Instant::now();
+        let outcome = self.exchange(&Request::Batch(entries));
+        hedc_obs::global()
+            .histogram("net.rpc.client")
+            .record_us(start.elapsed().as_micros() as u64);
+        drop(span);
+        match outcome {
+            Some(Response::Batch(responses)) => {
+                self.set_health(true);
+                let mut out: Vec<DmResult<Vec<ResolvedName>>> = responses
+                    .into_iter()
+                    .take(item_ids.len())
+                    .map(|r| match r {
+                        Response::Names(names) => Ok(names),
+                        Response::Error(e) => Err(e.into_dm(&self.label)),
+                        other => Err(DmError::RemoteFailed(format!(
+                            "{}: unexpected {} in batch answer",
+                            self.label,
+                            variant_name(&other)
+                        ))),
+                    })
+                    .collect();
+                while out.len() < item_ids.len() {
+                    out.push(Err(DmError::RemoteFailed(format!(
+                        "{}: batch response truncated",
+                        self.label
+                    ))));
+                }
+                out
+            }
+            Some(Response::Error(e)) => {
+                self.set_health(!matches!(e.kind, crate::proto::WireErrorKind::Unavailable));
+                let shared = e.into_dm(&self.label);
+                item_ids.iter().map(|_| Err(shared.clone())).collect()
+            }
+            Some(other) => {
+                let err = DmError::RemoteFailed(format!(
+                    "{}: unexpected {} in answer to a batch",
+                    self.label,
+                    variant_name(&other)
+                ));
+                item_ids.iter().map(|_| Err(err.clone())).collect()
+            }
+            None => {
+                self.set_health(false);
+                hedc_obs::global().counter("net.client.unavailable").inc();
+                item_ids
+                    .iter()
+                    .map(|_| {
+                        Err(DmError::RemoteUnavailable(format!(
+                            "{} ({})",
+                            self.label, self.addr
+                        )))
+                    })
+                    .collect()
             }
         }
     }

@@ -5,7 +5,7 @@
 //! point of §5.4 call redirection is that the remote surface *is* the local
 //! surface — plus a liveness ping for health probing.
 
-use hedc_dm::DmError;
+use hedc_dm::{DmError, NameType, ResolvedName};
 use hedc_metadb::{Query, QueryResult};
 use serde::{Deserialize, Serialize};
 
@@ -16,6 +16,19 @@ pub enum Request {
     Ping,
     /// Execute a (pre-scoped) read query.
     Query(Query),
+    /// Resolve an item's dynamic names (§4.3) on the serving node;
+    /// answered with [`Response::Names`].
+    Resolve {
+        /// The item whose names to construct.
+        item_id: i64,
+        /// Which of the three §4.3 name types to construct.
+        name_type: NameType,
+    },
+    /// Several requests in one frame — one round trip for the whole
+    /// batch. The server answers with [`Response::Batch`] carrying one
+    /// response per entry **in order**, errors isolated per entry (a bad
+    /// entry never poisons its neighbours). Batches do not nest.
+    Batch(Vec<Request>),
 }
 
 /// Server → client message.
@@ -28,6 +41,11 @@ pub enum Response {
     },
     /// Successful query execution.
     Result(QueryResult),
+    /// Successful name resolution (answer to [`Request::Resolve`]).
+    Names(Vec<ResolvedName>),
+    /// Answers to a [`Request::Batch`], positionally matched to its
+    /// entries.
+    Batch(Vec<Response>),
     /// The request failed on the server.
     Error(WireError),
 }
@@ -134,6 +152,55 @@ mod tests {
         let back: Query = decode(&bytes).unwrap();
         assert_eq!(back.aggregates, q.aggregates);
         assert_eq!(back.group_by, q.group_by);
+    }
+
+    #[test]
+    fn batch_frame_roundtrips_in_order() {
+        let batch = Request::Batch(vec![
+            Request::Query(Query::table("hle").limit(3)),
+            Request::Resolve {
+                item_id: 42,
+                name_type: NameType::File,
+            },
+            Request::Ping,
+        ]);
+        let bytes = encode(&batch).unwrap();
+        let back: Request = decode(&bytes).unwrap();
+        let Request::Batch(entries) = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(entries.len(), 3);
+        assert!(matches!(&entries[0], Request::Query(q) if q.table == "hle"));
+        assert!(matches!(
+            &entries[1],
+            Request::Resolve {
+                item_id: 42,
+                name_type: NameType::File
+            }
+        ));
+        assert!(matches!(&entries[2], Request::Ping));
+    }
+
+    #[test]
+    fn resolved_names_cross_the_wire_intact() {
+        let names = vec![hedc_dm::ResolvedName {
+            entry_id: 7,
+            name_type: NameType::Url,
+            archive_id: 2,
+            archive_path: "v1/raw/u1.fits".into(),
+            entry_path: "raw/u1.fits".into(),
+            full_name: "url:hedc/v1/raw/u1.fits#9".into(),
+            url: Some("http://hedc.ethz.ch/data/v1/raw/u1.fits".into()),
+            size: 4096,
+            role: "data".into(),
+            transforms: vec!["gunzip".into()],
+        }];
+        let bytes = encode(&Response::Names(names.clone())).unwrap();
+        let back: Response = decode(&bytes).unwrap();
+        let Response::Names(got) = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(got, names);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::frame::{read_frame_or_idle, write_frame, Frame, FrameKind};
 use crate::proto::{decode, encode, Request, Response, WireError};
-use hedc_dm::DmNode;
+use hedc_dm::{DmNode, NameType};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -176,13 +176,7 @@ fn serve_connection(
 
         let request: Result<Request, _> = decode(&frame.payload);
         let response = match request {
-            Ok(Request::Ping) => Response::Pong {
-                node_id: node.node_id(),
-            },
-            Ok(Request::Query(q)) => match node.execute_query(&q) {
-                Ok(r) => Response::Result(r),
-                Err(e) => Response::Error(WireError::from_dm(&e)),
-            },
+            Ok(req) => respond(node.as_ref(), req, true),
             Err(e) => Response::Error(WireError {
                 kind: crate::proto::WireErrorKind::Failed,
                 message: format!("malformed request: {e}"),
@@ -207,4 +201,72 @@ fn serve_connection(
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Dispatch one request. `top_level` distinguishes the outer frame from
+/// batch entries: a `Batch` nested inside a `Batch` is rejected per entry
+/// instead of recursing (the protocol forbids nesting, and a flat cap keeps
+/// a hostile frame from driving unbounded recursion).
+fn respond(node: &dyn DmNode, request: Request, top_level: bool) -> Response {
+    match request {
+        Request::Ping => Response::Pong {
+            node_id: node.node_id(),
+        },
+        Request::Query(q) => match node.execute_query(&q) {
+            Ok(r) => Response::Result(r),
+            Err(e) => Response::Error(WireError::from_dm(&e)),
+        },
+        Request::Resolve { item_id, name_type } => match node.resolve_names(item_id, name_type) {
+            Ok(names) => Response::Names(names),
+            Err(e) => Response::Error(WireError::from_dm(&e)),
+        },
+        Request::Batch(entries) if top_level => {
+            // A homogeneous resolve batch runs through the node's batched
+            // name mapping — two IN-list queries for the whole batch
+            // instead of two point queries per entry. Mixed batches fall
+            // back to per-entry dispatch; either way the answers line up
+            // positionally and errors stay isolated per entry.
+            if let Some((ids, want)) = homogeneous_resolve(&entries) {
+                Response::Batch(
+                    node.resolve_batch(&ids, want)
+                        .into_iter()
+                        .map(|r| match r {
+                            Ok(names) => Response::Names(names),
+                            Err(e) => Response::Error(WireError::from_dm(&e)),
+                        })
+                        .collect(),
+                )
+            } else {
+                Response::Batch(
+                    entries
+                        .into_iter()
+                        .map(|e| respond(node, e, false))
+                        .collect(),
+                )
+            }
+        }
+        Request::Batch(_) => Response::Error(WireError {
+            kind: crate::proto::WireErrorKind::Failed,
+            message: "nested batch rejected".into(),
+        }),
+    }
+}
+
+/// If every entry is a [`Request::Resolve`] asking for the same name type,
+/// return the item ids (in entry order) and that type.
+fn homogeneous_resolve(entries: &[Request]) -> Option<(Vec<i64>, NameType)> {
+    let mut want: Option<NameType> = None;
+    let mut ids = Vec::with_capacity(entries.len());
+    for entry in entries {
+        match entry {
+            Request::Resolve { item_id, name_type }
+                if want.is_none() || want == Some(*name_type) =>
+            {
+                want = Some(*name_type);
+                ids.push(*item_id);
+            }
+            _ => return None,
+        }
+    }
+    want.map(|w| (ids, w))
 }

@@ -11,7 +11,7 @@
 //! `HEDC_TEST_SEED`).
 
 use hedc_cache::CacheConfig;
-use hedc_dm::{Dm, DmConfig, DmError, DmNode, DmRouter, FaultPlan, FaultyDmNode};
+use hedc_dm::{Dm, DmConfig, DmError, DmNode, DmRouter, FaultPlan, FaultyDmNode, NameType};
 use hedc_filestore::{Archive, ArchiveTier, FileStore};
 use hedc_metadb::{Expr, Query};
 use hedc_net::{DmServer, NetConfig, NetDm, ServerConfig};
@@ -258,6 +258,120 @@ fn warm_client_cache_survives_backend_outage_read_only() {
     // seen is an honest outage.
     let miss = client.execute_query(&Query::table("hle")).unwrap_err();
     assert!(matches!(miss, DmError::RemoteUnavailable(_)), "{miss:?}");
+}
+
+/// A bootstrapped DM carrying `n` items with attached file names, plus the
+/// item ids.
+fn dm_with_items(n: usize) -> (Arc<Dm>, Vec<i64>) {
+    let dm = dm_node();
+    let names = dm.names();
+    let items: Vec<i64> = (0..n)
+        .map(|i| {
+            let item = names.new_item().unwrap();
+            names
+                .attach(
+                    item,
+                    NameType::File,
+                    1,
+                    &format!("raw/obs{i}.fits"),
+                    128,
+                    None,
+                    "data",
+                )
+                .unwrap();
+            item
+        })
+        .collect();
+    (dm, items)
+}
+
+/// Satellite (d), net tier: per-entry fault injection *inside* one
+/// `Request::Batch` frame fails only the affected entries. The injector
+/// sits behind the wire, so each entry's outcome crosses back as its own
+/// positional response; its draw tally also proves the whole batch crossed
+/// the wire exactly once (no client-side retry amplification).
+#[test]
+fn batch_over_the_wire_isolates_injected_per_entry_faults() {
+    let (dm, items) = dm_with_items(32);
+    let expected: Vec<_> = items
+        .iter()
+        .map(|&id| dm.names().resolve(id, NameType::File).unwrap())
+        .collect();
+
+    let faulty = Arc::new(FaultyDmNode::new(
+        dm,
+        "wire-faults",
+        FaultPlan::seeded(5).unavailable(250),
+    ));
+    println!(
+        "fault seed {} (replay: scripts/check.sh --seed {})",
+        faulty.seed(),
+        faulty.seed()
+    );
+    let server = DmServer::bind(
+        "127.0.0.1:0",
+        faulty.clone() as Arc<dyn DmNode>,
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let client = NetDm::connect(server.local_addr(), "wire-faults", fast_config());
+
+    let got = client.resolve_batch(&items, NameType::File);
+    assert_eq!(got.len(), items.len(), "one response per entry, in order");
+    let (mut ok, mut failed) = (0usize, 0usize);
+    for ((r, want), item) in got.iter().zip(&expected).zip(&items) {
+        match r {
+            Ok(names) => {
+                assert_eq!(names, want, "item {item} answered wrong");
+                ok += 1;
+            }
+            Err(DmError::RemoteUnavailable(_)) => failed += 1,
+            other => panic!("item {item}: unexpected outcome {other:?}"),
+        }
+    }
+    assert!(
+        ok > 0 && failed > 0,
+        "seeded plan should split the batch: ok={ok} failed={failed}"
+    );
+    // Exactly one fault draw per entry: the batch crossed the wire once,
+    // and a failed entry never poisoned (or re-ran) its neighbours.
+    let counts = faulty.counts();
+    assert_eq!(counts.passed as usize, ok);
+    assert_eq!(counts.unavailable as usize, failed);
+}
+
+/// Several queries in one frame: positional answers with per-entry error
+/// isolation — a rejected entry does not poison the rest of the batch.
+#[test]
+fn query_batch_isolates_a_rejected_entry() {
+    let (_server, client) = boot("qbatch-node");
+    let qs = vec![
+        browse_query(),
+        Query::table("nope"),
+        Query::table("catalog"),
+    ];
+    let got = client.execute_batch(&qs);
+    assert_eq!(got.len(), 3);
+    assert_eq!(got[0].as_ref().unwrap().rows.len(), 2);
+    assert!(matches!(&got[1], Err(DmError::BadQuery(_))), "{:?}", got[1]);
+    assert_eq!(got[2].as_ref().unwrap().rows.len(), 2);
+}
+
+#[test]
+fn resolve_roundtrip_matches_local_resolution() {
+    let (dm, items) = dm_with_items(3);
+    let server = DmServer::bind(
+        "127.0.0.1:0",
+        dm.clone() as Arc<dyn DmNode>,
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let client = NetDm::connect(server.local_addr(), "resolve-node", fast_config());
+    for &item in &items {
+        let local = dm.names().resolve(item, NameType::File).unwrap();
+        let remote = client.resolve_names(item, NameType::File).unwrap();
+        assert_eq!(remote, local);
+    }
 }
 
 #[test]

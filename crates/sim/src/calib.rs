@@ -14,6 +14,13 @@
 /// DM queries").
 pub const QUERIES_PER_REQUEST: f64 = 7.0;
 
+/// DB queries per browse request once name mapping is batched. The §7.2
+/// request's seven queries decompose as one content query plus three
+/// browsed items × the "two extra indexed queries" of §4.3 name mapping;
+/// a multi-item `IN`-list resolve collapses the per-item pairs into one
+/// pair per request: 1 + 2 = 3.
+pub const BATCHED_QUERIES_PER_REQUEST: f64 = 3.0;
+
 /// Peak database throughput, queries/second (§7.3: "these 18 requests
 /// result in around 120 HEDC database queries, the peak performance of the
 /// database setup"; 18 × 7 = 126).

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Repository health gate: formatting, lints, build, tests. Run before pushing.
 #
-#   scripts/check.sh           full gate (fmt, clippy, release build, tests)
+#   scripts/check.sh           full gate (fmt, clippy, release build, tests,
+#                              bench smoke)
 #   scripts/check.sh --fast    skip clippy (the slowest step) for quick loops
 #   scripts/check.sh --seed N  replay the fault-injection suites with
 #                              HEDC_TEST_SEED=N (the seed a failing run
 #                              prints), then exit — no full gate
+#   scripts/check.sh --bench-smoke
+#                              run only the bench-binary smoke pass (each
+#                              harness binary on a tiny config, seconds not
+#                              minutes), then exit
 #
 # The full gate also fails if the test run minted new proptest-regressions
 # entries: a fresh regression file is a real counterexample that must be
@@ -15,15 +20,51 @@ cd "$(dirname "$0")/.."
 
 fast=0
 seed=""
+smoke_only=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) fast=1; shift ;;
+    --bench-smoke) smoke_only=1; shift ;;
     --seed)
-      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--seed N]" >&2; exit 2; }
+      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--bench-smoke] [--seed N]" >&2; exit 2; }
       seed="$2"; shift 2 ;;
-    *) echo "usage: $0 [--fast] [--seed N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--fast] [--bench-smoke] [--seed N]" >&2; exit 2 ;;
   esac
 done
+
+# Smoke-run every bench harness binary on a tiny configuration so the
+# harnesses cannot silently rot. HEDC_BENCH_SMOKE shrinks sweeps inside the
+# binaries; HEDC_NET_SECS bounds the real-socket windows; reports go to a
+# throwaway dir so committed results/ JSONs are never clobbered by a smoke
+# pass.
+bench_smoke() {
+  echo "==> bench smoke (tiny configs)"
+  local out
+  out="$(mktemp -d)"
+  run_bin() {
+    echo "    -> $*"
+    HEDC_BENCH_SMOKE=1 HEDC_NET_SECS=1 HEDC_RESULTS_DIR="$out" \
+      cargo run --release -q -p hedc-bench --bin "$1" -- "${@:2}" >/dev/null
+  }
+  run_bin batch_bench --net
+  run_bin fig4_browse_clients --batch
+  run_bin fig5_browse_nodes
+  run_bin table1_processing
+  run_bin table23_characteristics
+  # Every binary must have written its report.
+  for report in BENCH_batch_bench BENCH_fig4_browse_clients; do
+    [[ -s "$out/$report.json" ]] || {
+      echo "FAIL: bench smoke produced no $report.json" >&2; exit 1; }
+  done
+  rm -rf "$out"
+}
+
+if [[ "$smoke_only" -eq 1 ]]; then
+  cargo build --release -q -p hedc-bench
+  bench_smoke
+  echo "OK (bench smoke)"
+  exit 0
+fi
 
 if [[ -n "$seed" ]]; then
   # Deterministic replay: pin every FaultPlan and cache/fault suite to the
@@ -57,6 +98,8 @@ cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+bench_smoke
 
 regressions_after="$(find . -path ./target -prune -o -name '*.txt' -path '*proptest-regressions*' -print 2>/dev/null | sort | xargs -r md5sum 2>/dev/null || true)"
 if [[ "$regressions_before" != "$regressions_after" ]]; then
