@@ -40,7 +40,9 @@ mod config;
 pub use config::{ArchiveConfig, HedcConfig, TierConfig};
 
 use hedc_analysis::AlgorithmRegistry;
-use hedc_dm::{Dm, DmConfig, DmResult, IngestConfig, IoConfig, Partitioning};
+use hedc_dm::{
+    pipeline, Dm, DmConfig, DmResult, IngestConfig, IngestOptions, IoConfig, Partitioning,
+};
 use hedc_events::{generate, package, GenConfig, Telemetry};
 use hedc_filestore::{Archive, DirBackend, FileStore};
 use hedc_pl::{PlConfig, ProcessingLogic};
@@ -50,7 +52,7 @@ use std::sync::Arc;
 /// Summary of a telemetry load.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
-    /// Telemetry units ingested.
+    /// Telemetry units ingested (fresh, resumed, or already complete).
     pub units: usize,
     /// Photons loaded.
     pub photons: usize,
@@ -58,6 +60,11 @@ pub struct LoadReport {
     pub events: usize,
     /// Bytes stored across archives.
     pub bytes_stored: u64,
+    /// Units skipped because a journal trail already marked them done.
+    pub skipped: usize,
+    /// Units that failed; the load no longer aborts on the first failure, so
+    /// partial loads still account for every submitted unit.
+    pub failed: usize,
 }
 
 /// A fully assembled HEDC node.
@@ -174,19 +181,30 @@ impl Hedc {
             view_partition: 1024,
             view_quant: self.config.view_quant,
         };
+        // The journaled pipeline accounts for every submitted unit instead of
+        // aborting on the first failure (losing the accounting of everything
+        // already ingested). Serial keeps load_generated deterministic.
+        let run = pipeline::ingest(
+            &self.dm.io,
+            &session,
+            &units,
+            &ingest_cfg,
+            &IngestOptions::serial(),
+        )?;
         let mut report = LoadReport {
-            units: 0,
+            units: run.ingested + run.resumed + run.skipped,
             photons: 0,
-            events: 0,
-            bytes_stored: 0,
+            events: run.hle_count,
+            bytes_stored: run.bytes_stored,
+            skipped: run.skipped,
+            failed: run.failed,
         };
-        let procs = self.dm.processes();
-        for unit in &units {
-            let r = procs.ingest_unit(&session, unit, &ingest_cfg)?;
-            report.units += 1;
-            report.photons += unit.photons.len();
-            report.events += r.hle_ids.len();
-            report.bytes_stored += r.bytes_stored;
+        for u in &run.units {
+            if !matches!(u.status, hedc_dm::UnitStatus::Failed) {
+                if let Some(unit) = units.iter().find(|t| t.seq == u.seq) {
+                    report.photons += unit.photons.len();
+                }
+            }
         }
         // Load-time refresh pass: materialized views + archive status.
         self.dm.after_load_maintenance()?;
@@ -271,6 +289,46 @@ mod tests {
         assert!(!entries.is_empty());
         hedc.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_failure_still_accounts_for_every_unit() {
+        // Phase 1: a full load on an unconstrained node measures how many
+        // raw-archive bytes the workload needs.
+        let telemetry = generate(&small_gen());
+        let probe = Hedc::start(HedcConfig::default()).unwrap();
+        let full = probe.load_generated(&telemetry, 2000).unwrap();
+        assert!(full.units > 1, "need multiple units to observe partiality");
+        assert_eq!(full.failed, 0);
+        let raw = probe.config().raw_archive();
+        let raw_used = probe
+            .dm()
+            .io
+            .files
+            .statuses()
+            .into_iter()
+            .find(|s| s.id == raw)
+            .unwrap()
+            .used;
+        probe.shutdown();
+
+        // Phase 2: the same load against a raw archive one byte too small.
+        // The trailing unit's FITS store hits the capacity wall; the loader
+        // used to abort with that error and lose the whole tally. Now every
+        // unit is accounted for and the successful prefix is preserved.
+        let mut cfg = HedcConfig::default();
+        cfg.archives
+            .iter_mut()
+            .find(|a| a.id == raw)
+            .unwrap()
+            .capacity = raw_used - 1;
+        let hedc = Hedc::start(cfg).unwrap();
+        let report = hedc.load_generated(&telemetry, 2000).unwrap();
+        assert!(report.failed >= 1);
+        assert!(report.units >= 1);
+        assert_eq!(report.units + report.failed, full.units);
+        assert!(report.photons < full.photons);
+        hedc.shutdown();
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub enum DmError {
     /// query rejection nor unavailability (wire protocol mismatch, remote
     /// internal error). Not retried and not failed over: the node is up.
     RemoteFailed(String),
+    /// A test-injected process crash (ingest crash-point matrix). Carries the
+    /// crash site so a surviving harness can report where it died. Never
+    /// produced outside tests/benches.
+    Crashed(String),
 }
 
 impl fmt::Display for DmError {
@@ -48,6 +52,7 @@ impl fmt::Display for DmError {
             DmError::BadQuery(m) => write!(f, "query rejected: {m}"),
             DmError::RemoteUnavailable(m) => write!(f, "remote DM unavailable: {m}"),
             DmError::RemoteFailed(m) => write!(f, "remote DM failed: {m}"),
+            DmError::Crashed(site) => write!(f, "simulated crash at {site}"),
         }
     }
 }

@@ -224,7 +224,11 @@ impl<N: DmNode> DmNode for FaultyDmNode<N> {
         self.inner.execute_query(q)
     }
 
-    fn resolve_names(&self, item_id: i64, want: crate::NameType) -> DmResult<Vec<crate::ResolvedName>> {
+    fn resolve_names(
+        &self,
+        item_id: i64,
+        want: crate::NameType,
+    ) -> DmResult<Vec<crate::ResolvedName>> {
         self.fault_gate()?;
         self.inner.resolve_names(item_id, want)
     }

@@ -55,6 +55,13 @@ impl Clock {
         self.now_ms.fetch_add(ms, Ordering::Relaxed);
     }
 
+    /// Advance the clock to at least `ms` (never backwards). Used after WAL
+    /// recovery so timestamps minted post-restart stay monotone with the
+    /// replayed history.
+    pub fn advance_to(&self, ms: u64) {
+        self.now_ms.fetch_max(ms, Ordering::Relaxed);
+    }
+
     /// Read without advancing.
     pub fn peek_ms(&self) -> u64 {
         self.now_ms.load(Ordering::Relaxed)
@@ -207,6 +214,34 @@ impl DmIo {
     /// Allocate a fresh tuple/item id.
     pub fn next_id(&self) -> i64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Re-seed the id allocator and clock after a WAL rebuild. A recovered
+    /// database carries every previously-allocated id and timestamp in its
+    /// rows, but the in-process `next_id` counter and `Clock` restart at
+    /// their initial values — without this, a resumed ingest would mint
+    /// duplicate primary keys. Scans every table of every database for the
+    /// largest integer value (ids and millisecond timestamps share one
+    /// ordered space, both strictly below any future allocation) and bumps
+    /// both allocators past it.
+    pub fn reseed_after_recovery(&self) {
+        let mut max_seen: i64 = 0;
+        for db in &self.dbs {
+            for table in db.table_names() {
+                let q = Query::table(&table);
+                if let Ok(res) = db.connect().query(&q) {
+                    for row in &res.rows {
+                        for v in row {
+                            if let Some(i) = v.as_int() {
+                                max_seen = max_seen.max(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.next_id.fetch_max(max_seen + 1, Ordering::Relaxed);
+        self.clock.advance_to((max_seen + 1) as u64);
     }
 
     /// The `[root]` element for name construction.

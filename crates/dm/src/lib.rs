@@ -43,6 +43,7 @@ mod error;
 mod fault;
 mod io;
 mod names;
+pub mod pipeline;
 mod process;
 mod redirect;
 pub mod schema;
@@ -54,6 +55,9 @@ pub use error::{DmError, DmResult};
 pub use fault::{FaultCounts, FaultPlan, FaultyDmNode};
 pub use io::{Clock, DmCaches, DmIo, IoConfig, Partitioning};
 pub use names::{NameType, Names, ResolvedName};
+pub use pipeline::{
+    CrashPlan, CrashSite, IngestOptions, JournalStep, PipelineReport, UnitResult, UnitStatus,
+};
 pub use process::{IngestConfig, IngestReport, Processes};
 pub use redirect::{DmNode, DmRouter, RemoteDm};
 pub use semantic::{scope_query, AnaSpec, FilePayload, HleSpec, Services};
@@ -264,11 +268,7 @@ impl DmNode for Dm {
         self.names().resolve(item_id, want)
     }
 
-    fn resolve_batch(
-        &self,
-        item_ids: &[i64],
-        want: NameType,
-    ) -> Vec<DmResult<Vec<ResolvedName>>> {
+    fn resolve_batch(&self, item_ids: &[i64], want: NameType) -> Vec<DmResult<Vec<ResolvedName>>> {
         self.names().resolve_batch(item_ids, want)
     }
 }

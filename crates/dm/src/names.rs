@@ -378,7 +378,11 @@ impl<'a> Names<'a> {
             let fills: Vec<(String, Vec<ResolvedName>)> = miss_idx
                 .iter()
                 .zip(&resolved)
-                .filter_map(|(&i, r)| r.as_ref().ok().map(|names| (keys[i].clone(), names.clone())))
+                .filter_map(|(&i, r)| {
+                    r.as_ref()
+                        .ok()
+                        .map(|names| (keys[i].clone(), names.clone()))
+                })
                 .collect();
             caches.names.put_many(fills, &deps);
             for (&i, r) in miss_idx.iter().zip(resolved) {
@@ -425,10 +429,9 @@ impl<'a> Names<'a> {
         let archive_rows = if archive_ids.is_empty() {
             Vec::new()
         } else {
-            match self
-                .io
-                .query(&Query::table("loc_archive").filter(Expr::in_list("archive_id", archive_ids)))
-            {
+            match self.io.query(
+                &Query::table("loc_archive").filter(Expr::in_list("archive_id", archive_ids)),
+            ) {
                 Ok(r) => r.rows,
                 Err(e) => return item_ids.iter().map(|_| Err(e.clone())).collect(),
             }
@@ -466,9 +469,10 @@ impl<'a> Names<'a> {
             let mut names = Vec::new();
             for row in rows {
                 let entry_id = row[0].as_int().expect("entry id");
-                let name_type = NameType::parse(row[2].as_text().unwrap_or("")).ok_or_else(
-                    || DmError::Integrity(format!("bad name_type in entry {entry_id}")),
-                )?;
+                let name_type =
+                    NameType::parse(row[2].as_text().unwrap_or("")).ok_or_else(|| {
+                        DmError::Integrity(format!("bad name_type in entry {entry_id}"))
+                    })?;
                 if name_type != want {
                     continue;
                 }

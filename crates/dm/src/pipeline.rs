@@ -1,0 +1,1229 @@
+//! The concurrent, crash-resumable ingest pipeline (§5.2, §6).
+//!
+//! §5.2 describes loading as "a multi-step workflow with logging and
+//! compensation"; §6 requires it to keep pace with the continuous RHESSI
+//! downlink. This module provides both properties on top of the existing
+//! single-unit ingest logic:
+//!
+//! * **Staged parallelism** — [`ingest`] runs units through five bounded-queue
+//!   stages (`package` → `write` → `meta` → `events` → `view`), each with N
+//!   worker threads. Bounded channels give backpressure: a slow stage stalls
+//!   its producers instead of buffering without limit.
+//! * **A persistent workflow journal** — every completed step of every unit
+//!   appends a row to `op_ingest_journal` *after* the step's effects. Journal
+//!   rows are ordinary inserts, so they ride the metadb WAL: after a crash the
+//!   recovered journal tells the resume path exactly which steps completed.
+//!   A unit resumes at its first unrecorded step; partial effects of that
+//!   step (the crash landed mid-step) are compensated first, mirroring the
+//!   paper's compensation logic. A unit whose `done` record survived is
+//!   skipped entirely — re-running an ingest is idempotent.
+//!
+//! The journal steps, in order:
+//!
+//! | step | effects |
+//! |---|---|
+//! | `admitted` | none (marks the unit as entered) |
+//! | `raw_stored` | raw FITS file in the archive, `loc_entry` + `loc_item` |
+//! | `raw_row` | the `raw_unit` tuple |
+//! | `events` | detected HLEs + catalog membership + lineage |
+//! | `view` | approximated view file, its location rows, `view_meta`, lineage |
+//! | `done` | the ingest `op_log` line |
+//!
+//! Within each step, rows that *reference* are written before rows that are
+//! *referenced* (e.g. `loc_entry` before `loc_item`), so a mid-step crash
+//! never strands an unreachable row; the compensation queries rediscover
+//! partial effects purely from the unit's deterministic keys (archive paths,
+//! time window) and remove them before the step re-runs.
+//!
+//! Determinism: with a single worker, a crash at a step *boundary* (the
+//! record was written) followed by a resume performs exactly the same global
+//! sequence of id allocations, clock reads, and inserts as an uninterrupted
+//! run — the resume path itself is read-only — so the final database state is
+//! byte-identical. The crash-point matrix test asserts this per step.
+
+use crate::error::{DmError, DmResult};
+use crate::io::DmIo;
+use crate::names::{NameType, Names};
+use crate::process::{IngestConfig, IngestReport, Processes};
+use crate::semantic::{HleSpec, Services};
+use crate::session::Session;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use hedc_events::{detect, EventKind, TelemetryUnit};
+use hedc_filestore::checksum;
+use hedc_metadb::{Expr, Query, Statement, Value};
+use hedc_wavelet::PartitionedView;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Journal steps
+// ---------------------------------------------------------------------------
+
+/// One step of the ingest workflow, in execution order. The journal records
+/// the *completion* of a step; resumption starts at the successor of the last
+/// recorded step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JournalStep {
+    /// The unit entered the pipeline (no effects; anchors the unit key).
+    Admitted,
+    /// Raw FITS file stored and its location rows written.
+    RawStored,
+    /// The `raw_unit` tuple inserted.
+    RawRow,
+    /// Event detection ran; HLEs, catalog members, lineage written.
+    Events,
+    /// The load-time approximated view stored and registered.
+    View,
+    /// The ingest log line written; the unit is complete.
+    Done,
+}
+
+impl JournalStep {
+    /// Every step, in execution order.
+    pub const ALL: [JournalStep; 6] = [
+        JournalStep::Admitted,
+        JournalStep::RawStored,
+        JournalStep::RawRow,
+        JournalStep::Events,
+        JournalStep::View,
+        JournalStep::Done,
+    ];
+
+    /// Stable string stored in the journal's `step` column.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JournalStep::Admitted => "admitted",
+            JournalStep::RawStored => "raw_stored",
+            JournalStep::RawRow => "raw_row",
+            JournalStep::Events => "events",
+            JournalStep::View => "view",
+            JournalStep::Done => "done",
+        }
+    }
+
+    /// Parse the stored representation back.
+    pub fn parse(s: &str) -> Option<JournalStep> {
+        JournalStep::ALL.into_iter().find(|st| st.as_str() == s)
+    }
+
+    /// Position in [`JournalStep::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection (tests and the bench crash-cycle)
+// ---------------------------------------------------------------------------
+
+/// Where, relative to one journal step of one unit, an injected crash fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// After the step's effects but *before* its journal record: the
+    /// worst-case mid-step crash. Resume must compensate.
+    MidStep(JournalStep),
+    /// After the step's journal record: a clean step boundary. Resume must
+    /// continue without compensation and reproduce a byte-identical state.
+    Boundary(JournalStep),
+}
+
+/// A one-shot injected process crash: ingest dies with [`DmError::Crashed`]
+/// when the named unit reaches the named site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// `TelemetryUnit::seq` of the victim unit.
+    pub unit_seq: u32,
+    /// Crash site within that unit's workflow.
+    pub site: CrashSite,
+}
+
+// ---------------------------------------------------------------------------
+// Options and reports
+// ---------------------------------------------------------------------------
+
+/// Tuning for one ingest run.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Worker threads per stage. `0` or `1` selects the serial executor
+    /// (which is also the deterministic one the crash matrix uses).
+    pub workers: usize,
+    /// Bound of each inter-stage queue (backpressure window).
+    pub queue_depth: usize,
+    /// Write the workflow journal. Disabled for the legacy
+    /// [`Processes::ingest_unit`] single-shot path.
+    pub journal: bool,
+    /// Injected crash, if any (tests, bench crash-cycle).
+    pub crash: Option<CrashPlan>,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            workers: 1,
+            queue_depth: 8,
+            journal: true,
+            crash: None,
+        }
+    }
+}
+
+impl IngestOptions {
+    /// Journaled serial ingest (the deterministic baseline).
+    pub fn serial() -> Self {
+        IngestOptions::default()
+    }
+
+    /// Journaled staged ingest with `n` workers per stage.
+    pub fn with_workers(n: usize) -> Self {
+        IngestOptions {
+            workers: n,
+            ..IngestOptions::default()
+        }
+    }
+}
+
+/// Terminal status of one unit in a pipeline run. Every submitted unit gets
+/// exactly one status — the accounting invariant the report enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitStatus {
+    /// Ingested from scratch in this run.
+    Ingested,
+    /// A prior attempt left a journal trail; this run finished the remainder.
+    Resumed {
+        /// Last step the prior attempt completed.
+        from: JournalStep,
+        /// Number of compensating actions (row deletes, file deletes) taken
+        /// before re-running the interrupted step.
+        compensations: usize,
+    },
+    /// The journal already carried a `done` record: nothing to do.
+    Skipped,
+    /// The unit failed with the attached error; later units still ran.
+    Failed,
+}
+
+/// Outcome of one unit.
+#[derive(Debug, Clone)]
+pub struct UnitResult {
+    /// `TelemetryUnit::seq` of the unit.
+    pub seq: u32,
+    /// Terminal status.
+    pub status: UnitStatus,
+    /// What the unit produced (also reconstructed for skipped units from the
+    /// journal payload). `None` only for failed units.
+    pub report: Option<IngestReport>,
+    /// The failure, when `status` is [`UnitStatus::Failed`].
+    pub error: Option<DmError>,
+}
+
+impl UnitResult {
+    fn skipped(seq: u32, state: &UnitState) -> UnitResult {
+        UnitResult {
+            seq,
+            status: UnitStatus::Skipped,
+            report: Some(state.report()),
+            error: None,
+        }
+    }
+
+    fn failed(seq: u32, error: DmError) -> UnitResult {
+        UnitResult {
+            seq,
+            status: UnitStatus::Failed,
+            report: None,
+            error: Some(error),
+        }
+    }
+}
+
+/// Aggregated outcome of one pipeline run. Unlike the original all-or-nothing
+/// loader, every submitted unit is accounted for exactly once:
+/// `ingested + resumed + skipped + failed == submitted`.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Units handed to the run.
+    pub submitted: usize,
+    /// Units ingested from scratch.
+    pub ingested: usize,
+    /// Units resumed from a journal trail.
+    pub resumed: usize,
+    /// Units already complete (journaled `done`).
+    pub skipped: usize,
+    /// Units that failed (their errors are in `units`).
+    pub failed: usize,
+    /// Total compensating actions across resumed units.
+    pub compensations: usize,
+    /// HLEs created or re-counted by completed units.
+    pub hle_count: usize,
+    /// Bytes stored by units completed in this run (skipped units excluded).
+    pub bytes_stored: u64,
+    /// Per-unit outcomes, sorted by `seq`.
+    pub units: Vec<UnitResult>,
+}
+
+impl PipelineReport {
+    /// Whether every submitted unit landed in exactly one status bucket.
+    pub fn fully_accounted(&self) -> bool {
+        self.ingested + self.resumed + self.skipped + self.failed == self.submitted
+    }
+
+    fn from_units(submitted: usize, mut units: Vec<UnitResult>) -> PipelineReport {
+        units.sort_by_key(|u| u.seq);
+        let mut rep = PipelineReport {
+            submitted,
+            ..PipelineReport::default()
+        };
+        for u in &units {
+            match &u.status {
+                UnitStatus::Ingested => rep.ingested += 1,
+                UnitStatus::Resumed { compensations, .. } => {
+                    rep.resumed += 1;
+                    rep.compensations += *compensations;
+                }
+                UnitStatus::Skipped => rep.skipped += 1,
+                UnitStatus::Failed => rep.failed += 1,
+            }
+            if let Some(r) = &u.report {
+                rep.hle_count += r.hle_ids.len();
+                if !matches!(u.status, UnitStatus::Skipped) {
+                    rep.bytes_stored += r.bytes_stored;
+                }
+            }
+        }
+        let obs = hedc_obs::global();
+        obs.counter("ingest.units_ingested")
+            .add(rep.ingested as u64);
+        obs.counter("ingest.units_resumed").add(rep.resumed as u64);
+        obs.counter("ingest.units_skipped").add(rep.skipped as u64);
+        obs.counter("ingest.units_failed").add(rep.failed as u64);
+        rep.units = units;
+        rep
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal state
+// ---------------------------------------------------------------------------
+
+/// Cumulative per-unit workflow state, serialized into the journal `payload`
+/// column at every step so the *last* record alone suffices to resume.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+struct UnitState {
+    raw_item: Option<i64>,
+    raw_entry: Option<i64>,
+    raw_id: Option<i64>,
+    hle_ids: Vec<i64>,
+    view_item: Option<i64>,
+    view_entry: Option<i64>,
+    view_id: Option<i64>,
+    raw_bytes: u64,
+    view_bytes: u64,
+}
+
+impl UnitState {
+    fn report(&self) -> IngestReport {
+        IngestReport {
+            raw_id: self.raw_id.unwrap_or(-1),
+            hle_ids: self.hle_ids.clone(),
+            view_id: self.view_id.unwrap_or(-1),
+            bytes_stored: self.raw_bytes + self.view_bytes,
+        }
+    }
+}
+
+fn done_message(unit: &TelemetryUnit, state: &UnitState) -> String {
+    format!(
+        "unit {} ingested: {} photons, {} events, {} bytes",
+        unit.seq,
+        unit.photons.len(),
+        state.hle_ids.len(),
+        state.raw_bytes + state.view_bytes
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts: CPU-heavy byte products, computed once in the package stage
+// ---------------------------------------------------------------------------
+
+/// Serialized byte products of a unit. The package stage precomputes them so
+/// DB-bound stages don't repeat the CPU work; the serial path fills them
+/// lazily.
+#[derive(Debug, Default)]
+struct Artifacts {
+    fits: Option<Vec<u8>>,
+    view: Option<Vec<u8>>,
+}
+
+impl Artifacts {
+    fn fits(&mut self, unit: &TelemetryUnit) -> &[u8] {
+        self.fits
+            .get_or_insert_with(|| unit.to_fits().to_bytes())
+            .as_slice()
+    }
+
+    fn view(&mut self, unit: &TelemetryUnit, cfg: &IngestConfig) -> &[u8] {
+        self.view
+            .get_or_insert_with(|| build_view_bytes(unit, cfg))
+            .as_slice()
+    }
+
+    /// Eagerly compute whatever the remaining steps will need.
+    fn precompute(&mut self, unit: &TelemetryUnit, cfg: &IngestConfig, next_idx: usize) {
+        if next_idx <= JournalStep::RawStored.index() {
+            let _ = self.fits(unit);
+        }
+        if next_idx <= JournalStep::View.index() {
+            let _ = self.view(unit, cfg);
+        }
+    }
+}
+
+fn build_view_bytes(unit: &TelemetryUnit, cfg: &IngestConfig) -> Vec<u8> {
+    let counts =
+        hedc_events::bin_counts(&unit.photons, unit.start_ms, unit.end_ms, cfg.view_bin_ms);
+    let signal: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    PartitionedView::build(&signal, cfg.view_partition, cfg.view_quant).to_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// The unit runner: step execution, journaling, compensation
+// ---------------------------------------------------------------------------
+
+/// One unit mid-flight through the stages.
+struct Flight<'u> {
+    unit: &'u TelemetryUnit,
+    art: Artifacts,
+    state: UnitState,
+    next_idx: usize,
+    resumed_from: Option<JournalStep>,
+    compensations: usize,
+}
+
+impl<'u> Flight<'u> {
+    fn fresh(unit: &'u TelemetryUnit) -> Flight<'u> {
+        Flight {
+            unit,
+            art: Artifacts::default(),
+            state: UnitState::default(),
+            next_idx: 0,
+            resumed_from: None,
+            compensations: 0,
+        }
+    }
+
+    fn into_result(self) -> UnitResult {
+        UnitResult {
+            seq: self.unit.seq,
+            status: match self.resumed_from {
+                Some(from) => UnitStatus::Resumed {
+                    from,
+                    compensations: self.compensations,
+                },
+                None => UnitStatus::Ingested,
+            },
+            report: Some(self.state.report()),
+            error: None,
+        }
+    }
+}
+
+enum Admit<'u> {
+    Run(Flight<'u>),
+    Skip(UnitState),
+}
+
+struct UnitRunner<'a> {
+    io: &'a DmIo,
+    session: &'a Session,
+    cfg: &'a IngestConfig,
+    journal: bool,
+    crash: Option<CrashPlan>,
+}
+
+impl UnitRunner<'_> {
+    /// Read the unit's journal trail and decide how to enter the workflow:
+    /// fresh, resumed at the first unrecorded step (after compensating any
+    /// partial effects of that step), or skipped because `done` survived.
+    fn admit<'u>(&self, unit: &'u TelemetryUnit) -> DmResult<Admit<'u>> {
+        match self.journal_last(unit)? {
+            None => Ok(Admit::Run(Flight::fresh(unit))),
+            Some((JournalStep::Done, state)) => Ok(Admit::Skip(state)),
+            Some((last, state)) => {
+                let next = JournalStep::ALL[last.index() + 1];
+                let n = self.compensate(next, unit, &state)?;
+                if n > 0 {
+                    hedc_obs::emit(
+                        hedc_obs::kind::INGEST_COMPENSATE,
+                        format!(
+                            "unit {} step {}: {} compensating actions",
+                            unit.seq,
+                            next.as_str(),
+                            n
+                        ),
+                    );
+                    hedc_obs::global()
+                        .counter("ingest.compensations")
+                        .add(n as u64);
+                }
+                hedc_obs::emit(
+                    hedc_obs::kind::INGEST_RESUME,
+                    format!(
+                        "unit {} resumes at {} (journal ends after {})",
+                        unit.seq,
+                        next.as_str(),
+                        last.as_str()
+                    ),
+                );
+                Ok(Admit::Run(Flight {
+                    unit,
+                    art: Artifacts::default(),
+                    state,
+                    next_idx: last.index() + 1,
+                    resumed_from: Some(last),
+                    compensations: n,
+                }))
+            }
+        }
+    }
+
+    /// Execute steps up to and including `through`, journaling each.
+    fn advance(&self, flight: &mut Flight<'_>, through: JournalStep) -> DmResult<()> {
+        while flight.next_idx <= through.index() {
+            let step = JournalStep::ALL[flight.next_idx];
+            self.exec_step(step, flight.unit, &mut flight.art, &mut flight.state)?;
+            self.crash_check(flight.unit.seq, CrashSite::MidStep(step))?;
+            self.journal_record(flight.unit, step, &flight.state)?;
+            self.crash_check(flight.unit.seq, CrashSite::Boundary(step))?;
+            flight.next_idx += 1;
+        }
+        Ok(())
+    }
+
+    fn crash_check(&self, seq: u32, site: CrashSite) -> DmResult<()> {
+        if let Some(plan) = &self.crash {
+            if plan.unit_seq == seq && plan.site == site {
+                hedc_obs::emit(
+                    hedc_obs::kind::FAULT_INJECT,
+                    format!("ingest crash injected: unit {seq} at {site:?}"),
+                );
+                return Err(DmError::Crashed(format!("unit {seq} at {site:?}")));
+            }
+        }
+        Ok(())
+    }
+
+    // -- journal ------------------------------------------------------------
+
+    fn journal_record(
+        &self,
+        unit: &TelemetryUnit,
+        step: JournalStep,
+        state: &UnitState,
+    ) -> DmResult<()> {
+        if !self.journal {
+            return Ok(());
+        }
+        let payload = serde_json::to_string(state)
+            .map_err(|e| DmError::Integrity(format!("ingest journal payload: {e}")))?;
+        let id = self.io.next_id();
+        let ts = self.io.clock.now_ms();
+        self.io.insert(
+            "op_ingest_journal",
+            vec![
+                Value::Int(id),
+                Value::Text(unit.archive_path()),
+                Value::Int(i64::from(unit.seq)),
+                Value::Text(step.as_str().to_string()),
+                Value::Text(payload),
+                Value::Int(ts as i64),
+            ],
+        )?;
+        Ok(())
+    }
+
+    fn journal_last(&self, unit: &TelemetryUnit) -> DmResult<Option<(JournalStep, UnitState)>> {
+        if !self.journal {
+            return Ok(None);
+        }
+        let key = unit.archive_path();
+        let r = self
+            .io
+            .query(&Query::table("op_ingest_journal").filter(Expr::eq("unit_key", key.as_str())))?;
+        let mut best: Option<(JournalStep, String)> = None;
+        for row in &r.rows {
+            let step = match row[3].as_text().and_then(JournalStep::parse) {
+                Some(s) => s,
+                None => continue,
+            };
+            if best
+                .as_ref()
+                .map_or(true, |(b, _)| step.index() > b.index())
+            {
+                best = Some((step, row[4].as_text().unwrap_or("{}").to_string()));
+            }
+        }
+        match best {
+            None => Ok(None),
+            Some((step, payload)) => {
+                let state = serde_json::from_str(&payload).map_err(|e| {
+                    DmError::Integrity(format!("ingest journal payload for `{key}`: {e}"))
+                })?;
+                Ok(Some((step, state)))
+            }
+        }
+    }
+
+    // -- step execution -----------------------------------------------------
+
+    fn exec_step(
+        &self,
+        step: JournalStep,
+        unit: &TelemetryUnit,
+        art: &mut Artifacts,
+        state: &mut UnitState,
+    ) -> DmResult<()> {
+        match step {
+            JournalStep::Admitted => Ok(()),
+            JournalStep::RawStored => self.step_raw_stored(unit, art, state),
+            JournalStep::RawRow => self.step_raw_row(unit, state),
+            JournalStep::Events => self.step_events(unit, state),
+            JournalStep::View => self.step_view(unit, art, state),
+            JournalStep::Done => self.step_done(unit, state),
+        }
+    }
+
+    fn step_raw_stored(
+        &self,
+        unit: &TelemetryUnit,
+        art: &mut Artifacts,
+        state: &mut UnitState,
+    ) -> DmResult<()> {
+        let names = Names::new(self.io);
+        let raw_path = unit.archive_path();
+        let physical = names.physical_path(self.cfg.raw_archive, &raw_path)?;
+        let (size, sum) = {
+            let fits = art.fits(unit);
+            self.io.files.store(self.cfg.raw_archive, &physical, fits)?;
+            (fits.len() as u64, checksum(fits))
+        };
+        let raw_item = self.io.next_id();
+        let entry_id = self.io.next_id();
+        // loc_entry before loc_item: a mid-step crash may leave an entry
+        // whose item row is missing (cleaned by path-keyed compensation) but
+        // never an item row nothing points to.
+        self.io.insert(
+            "loc_entry",
+            vec![
+                Value::Int(entry_id),
+                Value::Int(raw_item),
+                Value::Text(NameType::File.as_str().to_string()),
+                Value::Int(i64::from(self.cfg.raw_archive)),
+                Value::Text(raw_path),
+                Value::Int(size as i64),
+                Value::Int(i64::from(sum)),
+                Value::Text("data".to_string()),
+            ],
+        )?;
+        let ts = self.io.clock.now_ms();
+        self.io.insert(
+            "loc_item",
+            vec![Value::Int(raw_item), Value::Int(ts as i64)],
+        )?;
+        state.raw_item = Some(raw_item);
+        state.raw_entry = Some(entry_id);
+        state.raw_bytes = size;
+        Ok(())
+    }
+
+    fn step_raw_row(&self, unit: &TelemetryUnit, state: &mut UnitState) -> DmResult<()> {
+        let raw_item = state.raw_item.ok_or_else(|| {
+            DmError::Integrity("ingest journal: raw_row without raw_stored".into())
+        })?;
+        let raw_id = self.io.next_id();
+        self.io.insert(
+            "raw_unit",
+            vec![
+                Value::Int(raw_id),
+                Value::Int(i64::from(unit.seq)),
+                Value::Int(unit.start_ms as i64),
+                Value::Int(unit.end_ms as i64),
+                Value::Int(unit.photons.len() as i64),
+                Value::Int(i64::from(unit.calib_version)),
+                Value::Int(raw_item),
+                Value::Int(state.raw_bytes as i64),
+                Value::Bool(false),
+            ],
+        )?;
+        state.raw_id = Some(raw_id);
+        Ok(())
+    }
+
+    fn step_events(&self, unit: &TelemetryUnit, state: &mut UnitState) -> DmResult<()> {
+        let svc = Services::new(self.io);
+        let procs = Processes::new(self.io);
+        let raw_id = state
+            .raw_id
+            .ok_or_else(|| DmError::Integrity("ingest journal: events without raw_row".into()))?;
+        let detected = detect(&unit.photons, unit.start_ms, unit.end_ms, &self.cfg.detect);
+        for ev in &detected {
+            let spec = HleSpec {
+                time_start: ev.start_ms,
+                time_end: ev.end_ms,
+                energy_lo: 3.0,
+                energy_hi: 20_000.0,
+                event_type: ev.kind.type_name().to_string(),
+                flare_class: match ev.kind {
+                    EventKind::Flare(c) => Some(c.label().to_string()),
+                    _ => None,
+                },
+                peak_rate: Some(ev.peak_rate),
+                hardness: Some(ev.hardness),
+                n_photons: Some(ev.photon_count as i64),
+                title: Some(format!("{} @ {}", ev.kind.type_name(), ev.start_ms)),
+                source: "detection".to_string(),
+                calib_version: unit.calib_version,
+            };
+            let hle_id = svc.create_hle(self.session, &spec)?;
+            svc.publish(self.session, "hle", hle_id)?;
+            svc.add_to_catalog(self.session, self.cfg.extended_catalog, hle_id)?;
+            procs.lineage(
+                "hle",
+                hle_id,
+                Some(("raw_unit", raw_id)),
+                "detect",
+                unit.calib_version,
+            )?;
+            state.hle_ids.push(hle_id);
+        }
+        Ok(())
+    }
+
+    fn step_view(
+        &self,
+        unit: &TelemetryUnit,
+        art: &mut Artifacts,
+        state: &mut UnitState,
+    ) -> DmResult<()> {
+        let names = Names::new(self.io);
+        let raw_id = state
+            .raw_id
+            .ok_or_else(|| DmError::Integrity("ingest journal: view without raw_row".into()))?;
+        let view_path = view_path_of(unit, self.cfg);
+        let physical = names.physical_path(self.cfg.derived_archive, &view_path)?;
+        let (size, sum) = {
+            let bytes = art.view(unit, self.cfg);
+            self.io
+                .files
+                .store(self.cfg.derived_archive, &physical, bytes)?;
+            (bytes.len() as u64, checksum(bytes))
+        };
+        let view_item = self.io.next_id();
+        let entry_id = self.io.next_id();
+        self.io.insert(
+            "loc_entry",
+            vec![
+                Value::Int(entry_id),
+                Value::Int(view_item),
+                Value::Text(NameType::File.as_str().to_string()),
+                Value::Int(i64::from(self.cfg.derived_archive)),
+                Value::Text(view_path),
+                Value::Int(size as i64),
+                Value::Int(i64::from(sum)),
+                Value::Text("data".to_string()),
+            ],
+        )?;
+        let ts = self.io.clock.now_ms();
+        self.io.insert(
+            "loc_item",
+            vec![Value::Int(view_item), Value::Int(ts as i64)],
+        )?;
+        let view_id = self.io.next_id();
+        self.io.insert(
+            "view_meta",
+            vec![
+                Value::Int(view_id),
+                Value::Int(unit.start_ms as i64),
+                Value::Int(unit.end_ms as i64),
+                Value::Int(self.cfg.view_bin_ms as i64),
+                Value::Int(self.cfg.view_partition as i64),
+                Value::Float(self.cfg.view_quant),
+                Value::Int(view_item),
+                Value::Int(i64::from(unit.calib_version)),
+            ],
+        )?;
+        Processes::new(self.io).lineage(
+            "view",
+            view_id,
+            Some(("raw_unit", raw_id)),
+            "wavelet",
+            unit.calib_version,
+        )?;
+        state.view_item = Some(view_item);
+        state.view_entry = Some(entry_id);
+        state.view_id = Some(view_id);
+        state.view_bytes = size;
+        Ok(())
+    }
+
+    fn step_done(&self, unit: &TelemetryUnit, state: &mut UnitState) -> DmResult<()> {
+        self.io.log("info", "ingest", &done_message(unit, state))
+    }
+
+    // -- compensation -------------------------------------------------------
+
+    /// Remove partial effects of `step` (the first unrecorded step of a
+    /// crashed unit) so the step can re-run from a clean slate. Every query
+    /// keys off deterministic unit properties — archive paths, the unit's
+    /// time window — never off allocated ids, which the crash may not have
+    /// persisted anywhere. Returns the number of compensating actions.
+    fn compensate(
+        &self,
+        step: JournalStep,
+        unit: &TelemetryUnit,
+        state: &UnitState,
+    ) -> DmResult<usize> {
+        match step {
+            JournalStep::Admitted => Ok(0),
+            JournalStep::RawStored => {
+                self.compensate_file_location(unit.archive_path(), self.cfg.raw_archive)
+            }
+            JournalStep::RawRow => self.compensate_raw_row(state),
+            JournalStep::Events => self.compensate_events(unit),
+            JournalStep::View => self.compensate_view(unit, state),
+            JournalStep::Done => self.compensate_done(unit, state),
+        }
+    }
+
+    /// Delete the location rows and archive file of one path, if present.
+    fn compensate_file_location(&self, path: String, archive: u32) -> DmResult<usize> {
+        let mut n = 0usize;
+        let entries = self.io.query(&Query::table("loc_entry").filter(
+            Expr::eq("path", path.as_str()).and(Expr::eq("archive_id", i64::from(archive))),
+        ))?;
+        for row in &entries.rows {
+            let entry_id = row[0].as_int().unwrap_or(0);
+            let item_id = row[1].as_int().unwrap_or(0);
+            n += self.io.execute(Statement::Delete {
+                table: "loc_item".into(),
+                filter: Some(Expr::eq("item_id", item_id)),
+            })?;
+            n += self.io.execute(Statement::Delete {
+                table: "loc_entry".into(),
+                filter: Some(Expr::eq("id", entry_id)),
+            })?;
+        }
+        let names = Names::new(self.io);
+        let physical = names.physical_path(archive, &path)?;
+        if self.io.files.exists(archive, &physical) {
+            self.io.files.delete(archive, &physical)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn compensate_raw_row(&self, state: &UnitState) -> DmResult<usize> {
+        match state.raw_item {
+            Some(item) => Ok(self.io.execute(Statement::Delete {
+                table: "raw_unit".into(),
+                filter: Some(Expr::eq("item_id", item)),
+            })?),
+            None => Ok(0),
+        }
+    }
+
+    /// Remove HLEs a crashed events step left behind. Detection HLEs start
+    /// inside the unit's half-open time window, and units partition the
+    /// downlink on disjoint windows, so `source = 'detection'` rows starting
+    /// in `[start_ms, end_ms)` can only be this unit's partial output.
+    fn compensate_events(&self, unit: &TelemetryUnit) -> DmResult<usize> {
+        if unit.end_ms <= unit.start_ms {
+            return Ok(0);
+        }
+        let mut n = 0usize;
+        let hles = self.io.query(&Query::table("hle").filter(
+            Expr::eq("source", "detection").and(Expr::between(
+                "time_start",
+                unit.start_ms as i64,
+                unit.end_ms as i64 - 1,
+            )),
+        ))?;
+        for row in &hles.rows {
+            let hle_id = row[0].as_int().unwrap_or(0);
+            n += self.io.execute(Statement::Delete {
+                table: "catalog_member".into(),
+                filter: Some(Expr::eq("hle_id", hle_id)),
+            })?;
+            n += self.io.execute(Statement::Delete {
+                table: "op_lineage".into(),
+                filter: Some(Expr::eq("entity_id", hle_id)),
+            })?;
+            n += self.io.execute(Statement::Delete {
+                table: "hle".into(),
+                filter: Some(Expr::eq("id", hle_id)),
+            })?;
+        }
+        Ok(n)
+    }
+
+    fn compensate_view(&self, unit: &TelemetryUnit, state: &UnitState) -> DmResult<usize> {
+        let view_path = view_path_of(unit, self.cfg);
+        let mut n = 0usize;
+        let entries = self.io.query(
+            &Query::table("loc_entry").filter(
+                Expr::eq("path", view_path.as_str())
+                    .and(Expr::eq("archive_id", i64::from(self.cfg.derived_archive))),
+            ),
+        )?;
+        for row in &entries.rows {
+            let item_id = row[1].as_int().unwrap_or(0);
+            n += self.io.execute(Statement::Delete {
+                table: "view_meta".into(),
+                filter: Some(Expr::eq("item_id", item_id)),
+            })?;
+        }
+        if let Some(raw_id) = state.raw_id {
+            n += self.io.execute(Statement::Delete {
+                table: "op_lineage".into(),
+                filter: Some(Expr::eq("entity_kind", "view").and(Expr::eq("source_id", raw_id))),
+            })?;
+        }
+        n += self.compensate_file_location(view_path, self.cfg.derived_archive)?;
+        Ok(n)
+    }
+
+    /// The done step's only effect is the ingest log line; its message is
+    /// deterministic, so an exact-match delete removes a pre-crash duplicate.
+    fn compensate_done(&self, unit: &TelemetryUnit, state: &UnitState) -> DmResult<usize> {
+        Ok(self.io.execute(Statement::Delete {
+            table: "op_log".into(),
+            filter: Some(
+                Expr::eq("component", "ingest")
+                    .and(Expr::eq("message", done_message(unit, state).as_str())),
+            ),
+        })?)
+    }
+}
+
+fn view_path_of(unit: &TelemetryUnit, cfg: &IngestConfig) -> String {
+    format!("views/unit{:06}_b{}.hpv", unit.seq, cfg.view_bin_ms)
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Journal-less single-unit ingest: the legacy [`Processes::ingest_unit`]
+/// path, now expressed through the shared step executor.
+pub(crate) fn ingest_one(
+    io: &DmIo,
+    session: &Session,
+    unit: &TelemetryUnit,
+    cfg: &IngestConfig,
+) -> DmResult<IngestReport> {
+    let runner = UnitRunner {
+        io,
+        session,
+        cfg,
+        journal: false,
+        crash: None,
+    };
+    let mut flight = match runner.admit(unit)? {
+        Admit::Run(f) => f,
+        Admit::Skip(state) => return Ok(state.report()),
+    };
+    runner.advance(&mut flight, JournalStep::Done)?;
+    Ok(flight.state.report())
+}
+
+/// Ingest a batch of units: serial when `opts.workers <= 1`, staged-parallel
+/// otherwise. Either way the run ends with the operational catalog refresh
+/// (`op_archives` synced to the live file-store state) and a WAL flush on
+/// every database, so "the run returned" implies "the journal is durable"
+/// even under a large group-commit window.
+///
+/// A [`DmError::Crashed`] (injected crash) aborts the run and propagates —
+/// it simulates process death, so no report exists. Any other per-unit error
+/// marks that unit [`UnitStatus::Failed`] and the run continues: the report
+/// accounts for every submitted unit.
+pub fn ingest(
+    io: &DmIo,
+    session: &Session,
+    units: &[TelemetryUnit],
+    cfg: &IngestConfig,
+    opts: &IngestOptions,
+) -> DmResult<PipelineReport> {
+    let report = if opts.workers <= 1 {
+        ingest_serial(io, session, units, cfg, opts)?
+    } else {
+        ingest_parallel(io, session, units, cfg, opts)?
+    };
+    finish(io)?;
+    Ok(report)
+}
+
+fn finish(io: &DmIo) -> DmResult<()> {
+    Processes::new(io).refresh_archive_status()?;
+    for db in io.databases() {
+        db.wal_flush()?;
+    }
+    Ok(())
+}
+
+fn ingest_serial(
+    io: &DmIo,
+    session: &Session,
+    units: &[TelemetryUnit],
+    cfg: &IngestConfig,
+    opts: &IngestOptions,
+) -> DmResult<PipelineReport> {
+    let runner = UnitRunner {
+        io,
+        session,
+        cfg,
+        journal: opts.journal,
+        crash: opts.crash,
+    };
+    let mut results = Vec::with_capacity(units.len());
+    for unit in units {
+        match runner.admit(unit) {
+            Ok(Admit::Skip(state)) => results.push(UnitResult::skipped(unit.seq, &state)),
+            Ok(Admit::Run(mut flight)) => match runner.advance(&mut flight, JournalStep::Done) {
+                Ok(()) => results.push(flight.into_result()),
+                Err(DmError::Crashed(site)) => return Err(DmError::Crashed(site)),
+                Err(e) => results.push(UnitResult::failed(unit.seq, e)),
+            },
+            Err(DmError::Crashed(site)) => return Err(DmError::Crashed(site)),
+            Err(e) => results.push(UnitResult::failed(unit.seq, e)),
+        }
+    }
+    Ok(PipelineReport::from_units(units.len(), results))
+}
+
+/// Stage-shared control state: the abort latch and the first injected crash.
+struct Ctrl {
+    abort: AtomicBool,
+    crash: parking_lot::Mutex<Option<DmError>>,
+}
+
+impl Ctrl {
+    fn record_crash(&self, e: DmError) {
+        let mut slot = self.crash.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.abort.store(true, Ordering::Relaxed);
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+}
+
+fn ingest_parallel(
+    io: &DmIo,
+    session: &Session,
+    units: &[TelemetryUnit],
+    cfg: &IngestConfig,
+    opts: &IngestOptions,
+) -> DmResult<PipelineReport> {
+    let workers = opts.workers.max(1);
+    let depth = opts.queue_depth.max(1);
+    let runner = UnitRunner {
+        io,
+        session,
+        cfg,
+        journal: opts.journal,
+        crash: opts.crash,
+    };
+    let ctrl = Ctrl {
+        abort: AtomicBool::new(false),
+        crash: parking_lot::Mutex::new(None),
+    };
+
+    let (in_tx, in_rx) = bounded::<&TelemetryUnit>(depth);
+    let (write_tx, write_rx) = bounded::<Flight<'_>>(depth);
+    let (meta_tx, meta_rx) = bounded::<Flight<'_>>(depth);
+    let (events_tx, events_rx) = bounded::<Flight<'_>>(depth);
+    let (view_tx, view_rx) = bounded::<Flight<'_>>(depth);
+    // Unbounded-enough: one result per unit, so cap at the unit count.
+    let (res_tx, res_rx) = bounded::<UnitResult>(units.len().max(1));
+
+    let results = std::thread::scope(|s| {
+        for _ in 0..workers {
+            let (rx, tx, res) = (in_rx.clone(), write_tx.clone(), res_tx.clone());
+            let (runner, ctrl) = (&runner, &ctrl);
+            s.spawn(move || package_worker(runner, rx, tx, res, ctrl));
+        }
+        let stages = [
+            ("write", JournalStep::RawStored, write_rx, Some(meta_tx)),
+            ("meta", JournalStep::RawRow, meta_rx, Some(events_tx)),
+            ("events", JournalStep::Events, events_rx, Some(view_tx)),
+            ("view", JournalStep::Done, view_rx, None),
+        ];
+        for (name, through, rx, tx) in stages {
+            for _ in 0..workers {
+                let (rx, tx, res) = (rx.clone(), tx.clone(), res_tx.clone());
+                let (runner, ctrl) = (&runner, &ctrl);
+                s.spawn(move || stage_worker(runner, name, through, rx, tx, res, ctrl));
+            }
+            // The per-stage clones moved into the workers; dropping the
+            // originals here lets each channel close once its stage drains.
+            drop((rx, tx));
+        }
+        drop((in_rx, write_tx, res_tx));
+        for unit in units {
+            if ctrl.aborted() || in_tx.send(unit).is_err() {
+                break;
+            }
+        }
+        drop(in_tx);
+        res_rx.iter().collect::<Vec<UnitResult>>()
+    });
+
+    if let Some(e) = ctrl.crash.lock().take() {
+        return Err(e);
+    }
+    Ok(PipelineReport::from_units(units.len(), results))
+}
+
+/// First stage: journal lookup (admit/skip/resume) plus the CPU-heavy byte
+/// products, so the DB-bound stages downstream stay short.
+fn package_worker<'u>(
+    runner: &UnitRunner<'_>,
+    rx: Receiver<&'u TelemetryUnit>,
+    tx: Sender<Flight<'u>>,
+    results: Sender<UnitResult>,
+    ctrl: &Ctrl,
+) {
+    let obs = hedc_obs::global();
+    let queue = obs.gauge("ingest.queue.package");
+    let lat = obs.histogram("ingest.stage.package");
+    for unit in rx.iter() {
+        queue.set(rx.len() as i64);
+        if ctrl.aborted() {
+            continue;
+        }
+        let started = Instant::now();
+        match runner.admit(unit) {
+            Ok(Admit::Skip(state)) => {
+                let _ = results.send(UnitResult::skipped(unit.seq, &state));
+            }
+            Ok(Admit::Run(mut flight)) => {
+                flight.art.precompute(unit, runner.cfg, flight.next_idx);
+                lat.record(started.elapsed());
+                if tx.send(flight).is_err() {
+                    ctrl.abort.store(true, Ordering::Relaxed);
+                }
+            }
+            Err(e @ DmError::Crashed(_)) => ctrl.record_crash(e),
+            Err(e) => {
+                let _ = results.send(UnitResult::failed(unit.seq, e));
+            }
+        }
+    }
+}
+
+/// A DB-bound stage: advance each in-flight unit through this stage's steps,
+/// journaling as it goes, then hand it downstream (or finalize it).
+fn stage_worker<'u>(
+    runner: &UnitRunner<'_>,
+    name: &'static str,
+    through: JournalStep,
+    rx: Receiver<Flight<'u>>,
+    tx: Option<Sender<Flight<'u>>>,
+    results: Sender<UnitResult>,
+    ctrl: &Ctrl,
+) {
+    let obs = hedc_obs::global();
+    let queue = obs.gauge(&format!("ingest.queue.{name}"));
+    let lat = obs.histogram(&format!("ingest.stage.{name}"));
+    for mut flight in rx.iter() {
+        queue.set(rx.len() as i64);
+        if ctrl.aborted() {
+            continue;
+        }
+        let started = Instant::now();
+        match runner.advance(&mut flight, through) {
+            Ok(()) => {
+                lat.record(started.elapsed());
+                match &tx {
+                    Some(tx) => {
+                        if tx.send(flight).is_err() {
+                            ctrl.abort.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    None => {
+                        let _ = results.send(flight.into_result());
+                    }
+                }
+            }
+            Err(e @ DmError::Crashed(_)) => ctrl.record_crash(e),
+            Err(e) => {
+                let _ = results.send(UnitResult::failed(flight.unit.seq, e));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_step_roundtrip_and_order() {
+        for (i, step) in JournalStep::ALL.into_iter().enumerate() {
+            assert_eq!(step.index(), i);
+            assert_eq!(JournalStep::parse(step.as_str()), Some(step));
+        }
+        assert_eq!(JournalStep::parse("nonsense"), None);
+        assert!(JournalStep::Admitted < JournalStep::Done);
+    }
+
+    #[test]
+    fn report_accounts_for_every_unit() {
+        let mk = |seq: u32, status: UnitStatus| UnitResult {
+            seq,
+            report: match status {
+                UnitStatus::Failed => None,
+                _ => Some(IngestReport {
+                    raw_id: 1,
+                    hle_ids: vec![7, 8],
+                    view_id: 2,
+                    bytes_stored: 100,
+                }),
+            },
+            error: match status {
+                UnitStatus::Failed => Some(DmError::Integrity("x".into())),
+                _ => None,
+            },
+            status,
+        };
+        let rep = PipelineReport::from_units(
+            4,
+            vec![
+                mk(3, UnitStatus::Failed),
+                mk(0, UnitStatus::Ingested),
+                mk(
+                    1,
+                    UnitStatus::Resumed {
+                        from: JournalStep::RawRow,
+                        compensations: 2,
+                    },
+                ),
+                mk(2, UnitStatus::Skipped),
+            ],
+        );
+        assert!(rep.fully_accounted());
+        assert_eq!(
+            (rep.ingested, rep.resumed, rep.skipped, rep.failed),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(rep.compensations, 2);
+        // Skipped units contribute HLE counts but not "stored this run" bytes.
+        assert_eq!(rep.hle_count, 6);
+        assert_eq!(rep.bytes_stored, 200);
+        // Sorted by seq.
+        let seqs: Vec<u32> = rep.units.iter().map(|u| u.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+}

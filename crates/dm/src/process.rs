@@ -9,12 +9,11 @@
 use crate::error::{DmError, DmResult};
 use crate::io::DmIo;
 use crate::names::{NameType, Names};
-use crate::semantic::{HleSpec, Services};
+use crate::semantic::Services;
 use crate::session::Session;
-use hedc_events::{detect, DetectConfig, EventKind, TelemetryUnit};
-use hedc_filestore::{checksum, migrate_batch};
+use hedc_events::{DetectConfig, TelemetryUnit};
+use hedc_filestore::migrate_batch;
 use hedc_metadb::{Expr, Query, Statement, Value};
-use hedc_wavelet::PartitionedView;
 
 /// Result of ingesting one telemetry unit.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,143 +85,7 @@ impl<'a> Processes<'a> {
         unit: &TelemetryUnit,
         cfg: &IngestConfig,
     ) -> DmResult<IngestReport> {
-        let names = Names::new(self.io);
-        let svc = Services::new(self.io);
-        let mut bytes_stored = 0u64;
-
-        // --- 1. Raw file into the archive + location registration ----------
-        let fits_bytes = unit.to_fits().to_bytes();
-        let raw_path = unit.archive_path();
-        let raw_physical = names.physical_path(cfg.raw_archive, &raw_path)?;
-        self.io
-            .files
-            .store(cfg.raw_archive, &raw_physical, &fits_bytes)?;
-        bytes_stored += fits_bytes.len() as u64;
-        let raw_item = names.new_item()?;
-        names.attach(
-            raw_item,
-            NameType::File,
-            cfg.raw_archive,
-            &raw_path,
-            fits_bytes.len() as u64,
-            Some(checksum(&fits_bytes)),
-            "data",
-        )?;
-
-        // --- 2. raw_unit tuple ----------------------------------------------
-        let raw_id = self.io.next_id();
-        self.io.insert(
-            "raw_unit",
-            vec![
-                Value::Int(raw_id),
-                Value::Int(i64::from(unit.seq)),
-                Value::Int(unit.start_ms as i64),
-                Value::Int(unit.end_ms as i64),
-                Value::Int(unit.photons.len() as i64),
-                Value::Int(i64::from(unit.calib_version)),
-                Value::Int(raw_item),
-                Value::Int(fits_bytes.len() as i64),
-                Value::Bool(false),
-            ],
-        )?;
-
-        // --- 3. Event detection -> public HLEs in the extended catalog ------
-        let detected = detect(&unit.photons, unit.start_ms, unit.end_ms, &cfg.detect);
-        let mut hle_ids = Vec::with_capacity(detected.len());
-        for ev in &detected {
-            let spec = HleSpec {
-                time_start: ev.start_ms,
-                time_end: ev.end_ms,
-                energy_lo: 3.0,
-                energy_hi: 20_000.0,
-                event_type: ev.kind.type_name().to_string(),
-                flare_class: match ev.kind {
-                    EventKind::Flare(c) => Some(c.label().to_string()),
-                    _ => None,
-                },
-                peak_rate: Some(ev.peak_rate),
-                hardness: Some(ev.hardness),
-                n_photons: Some(ev.photon_count as i64),
-                title: Some(format!("{} @ {}", ev.kind.type_name(), ev.start_ms)),
-                source: "detection".to_string(),
-                calib_version: unit.calib_version,
-            };
-            let hle_id = svc.create_hle(import_session, &spec)?;
-            svc.publish(import_session, "hle", hle_id)?;
-            svc.add_to_catalog(import_session, cfg.extended_catalog, hle_id)?;
-            // Lineage: HLE derived from this raw unit by detection.
-            self.lineage(
-                "hle",
-                hle_id,
-                Some(("raw_unit", raw_id)),
-                "detect",
-                unit.calib_version,
-            )?;
-            hle_ids.push(hle_id);
-        }
-
-        // --- 4. Load-time approximated view (§3.4) ---------------------------
-        let counts =
-            hedc_events::bin_counts(&unit.photons, unit.start_ms, unit.end_ms, cfg.view_bin_ms);
-        let signal: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
-        let view = PartitionedView::build(&signal, cfg.view_partition, cfg.view_quant);
-        let view_bytes = view.to_bytes();
-        let view_path = format!("views/unit{:06}_b{}.hpv", unit.seq, cfg.view_bin_ms);
-        let view_physical = names.physical_path(cfg.derived_archive, &view_path)?;
-        self.io
-            .files
-            .store(cfg.derived_archive, &view_physical, &view_bytes)?;
-        bytes_stored += view_bytes.len() as u64;
-        let view_item = names.new_item()?;
-        names.attach(
-            view_item,
-            NameType::File,
-            cfg.derived_archive,
-            &view_path,
-            view_bytes.len() as u64,
-            Some(checksum(&view_bytes)),
-            "data",
-        )?;
-        let view_id = self.io.next_id();
-        self.io.insert(
-            "view_meta",
-            vec![
-                Value::Int(view_id),
-                Value::Int(unit.start_ms as i64),
-                Value::Int(unit.end_ms as i64),
-                Value::Int(cfg.view_bin_ms as i64),
-                Value::Int(cfg.view_partition as i64),
-                Value::Float(cfg.view_quant),
-                Value::Int(view_item),
-                Value::Int(i64::from(unit.calib_version)),
-            ],
-        )?;
-        self.lineage(
-            "view",
-            view_id,
-            Some(("raw_unit", raw_id)),
-            "wavelet",
-            unit.calib_version,
-        )?;
-
-        self.io.log(
-            "info",
-            "ingest",
-            &format!(
-                "unit {} ingested: {} photons, {} events, {} bytes",
-                unit.seq,
-                unit.photons.len(),
-                hle_ids.len(),
-                bytes_stored
-            ),
-        )?;
-
-        Ok(IngestReport {
-            raw_id,
-            hle_ids,
-            view_id,
-            bytes_stored,
-        })
+        crate::pipeline::ingest_one(self.io, import_session, unit, cfg)
     }
 
     /// Synchronize the `op_archives` operational table with the live
@@ -388,6 +251,7 @@ mod tests {
     use hedc_events::{generate, package, GenConfig};
     use hedc_filestore::{Archive, ArchiveTier, FileStore};
     use hedc_metadb::Database;
+    use hedc_wavelet::PartitionedView;
     use std::sync::Arc;
 
     struct Fx {

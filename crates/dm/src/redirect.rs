@@ -603,12 +603,16 @@ mod tests {
     #[test]
     fn batch_fans_out_across_healthy_nodes_and_stitches_in_order() {
         let a = Arc::new(RemoteDm::new(
-            Arc::new(ResolvingNode { label: "fan-a".into() }),
+            Arc::new(ResolvingNode {
+                label: "fan-a".into(),
+            }),
             "fan-a",
             50,
         ));
         let b = Arc::new(RemoteDm::new(
-            Arc::new(ResolvingNode { label: "fan-b".into() }),
+            Arc::new(ResolvingNode {
+                label: "fan-b".into(),
+            }),
             "fan-b",
             50,
         ));
@@ -639,12 +643,16 @@ mod tests {
     #[test]
     fn batch_chunk_fails_over_to_the_surviving_node() {
         let a = Arc::new(RemoteDm::new(
-            Arc::new(ResolvingNode { label: "surv-a".into() }),
+            Arc::new(ResolvingNode {
+                label: "surv-a".into(),
+            }),
             "surv-a",
             50,
         ));
         let b = Arc::new(RemoteDm::new(
-            Arc::new(ResolvingNode { label: "surv-b".into() }),
+            Arc::new(ResolvingNode {
+                label: "surv-b".into(),
+            }),
             "surv-b",
             50,
         ));

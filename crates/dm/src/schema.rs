@@ -123,6 +123,28 @@ pub fn op_archives() -> Schema {
     .primary_key(&["archive_id"])
 }
 
+/// `op_ingest_journal`: the ingest workflow journal (§5.2). One row per
+/// completed workflow step of one telemetry unit, appended *after* the
+/// step's effects so a recovered journal never claims work that did not
+/// happen. `unit_key` is the unit's archive path (stable across retries),
+/// `payload` the cumulative JSON state the resume path needs (allocated
+/// ids, byte counts). Rows ride the metadb WAL like any other insert, which
+/// is what makes the journal crash-persistent.
+pub fn op_ingest_journal() -> Schema {
+    Schema::new(
+        "op_ingest_journal",
+        vec![
+            ColumnDef::new("id", DataType::Int).not_null(),
+            ColumnDef::new("unit_key", DataType::Text).not_null(),
+            ColumnDef::new("unit_seq", DataType::Int).not_null(),
+            ColumnDef::new("step", DataType::Text).not_null(),
+            ColumnDef::new("payload", DataType::Text),
+            ColumnDef::new("ts_ms", DataType::Timestamp).not_null(),
+        ],
+    )
+    .primary_key(&["id"])
+}
+
 /// `op_usage`: usage statistics and audit trail.
 pub fn op_usage() -> Schema {
     Schema::new(
@@ -412,13 +434,14 @@ pub fn version_log() -> Schema {
 }
 
 /// Names of the generic tables (administrative + operational + location).
-pub const GENERIC_TABLES: [&str; 11] = [
+pub const GENERIC_TABLES: [&str; 12] = [
     "admin_config",
     "admin_services",
     "admin_users",
     "op_log",
     "op_lineage",
     "op_archives",
+    "op_ingest_journal",
     "op_usage",
     "loc_item",
     "loc_entry",
@@ -445,6 +468,7 @@ pub fn create_generic(conn: &mut Connection) -> DbResult<()> {
     conn.create_table(op_log())?;
     conn.create_table(op_lineage())?;
     conn.create_table(op_archives())?;
+    conn.create_table(op_ingest_journal())?;
     conn.create_table(op_usage())?;
     conn.create_table(loc_item())?;
     conn.create_table(loc_entry())?;
@@ -454,6 +478,7 @@ pub fn create_generic(conn: &mut Connection) -> DbResult<()> {
     conn.create_index("loc_entry", "entry_item", &["item_id"], false)?;
     conn.create_index("loc_transform", "transform_entry", &["entry_id"], false)?;
     conn.create_index("op_lineage", "lineage_entity", &["entity_id"], false)?;
+    conn.create_index("op_ingest_journal", "ingest_unit_key", &["unit_key"], false)?;
     conn.create_index("op_usage", "usage_user", &["user_id"], false)?;
     Ok(())
 }

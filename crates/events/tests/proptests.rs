@@ -1,0 +1,106 @@
+//! Property-based tests for telemetry packaging: the unit codec the ingest
+//! pipeline trusts. For any generated stream and any unit size, packaging
+//! must conserve photons, keep time order, name every unit uniquely, and
+//! survive the FITS round trip bit-for-bit.
+
+use hedc_events::{generate, package, GenConfig, TelemetryUnit};
+use hedc_filestore::FitsFile;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `package` → `to_fits` → `from_fits` is the identity on every unit,
+    /// and the batch as a whole conserves the stream.
+    #[test]
+    fn package_fits_roundtrip(
+        seed in any::<u64>(),
+        duration_s in 30u64..240,
+        background in 1u32..20,
+        flares in 0u32..30,
+        photons_per_unit in 1usize..4_000,
+    ) {
+        let t = generate(&GenConfig {
+            seed,
+            start_ms: 0,
+            duration_ms: duration_s * 1000,
+            background_rate: f64::from(background),
+            flares_per_hour: f64::from(flares),
+            grbs_per_day: 1.0,
+            ..GenConfig::default()
+        });
+        let units = package(&t, photons_per_unit, 2);
+
+        // Conservation: every photon lands in exactly one unit.
+        let total: usize = units.iter().map(|u| u.photons.len()).sum();
+        prop_assert_eq!(total, t.photons.len());
+
+        // Units tile the span in order, and archive paths never collide.
+        for w in units.windows(2) {
+            prop_assert_eq!(w[0].end_ms, w[1].start_ms);
+        }
+        let paths: HashSet<String> = units.iter().map(|u| u.archive_path()).collect();
+        prop_assert_eq!(paths.len(), units.len());
+
+        for u in &units {
+            // Time order within the unit (what downstream binning assumes).
+            prop_assert!(
+                u.photons.times_ms.windows(2).all(|w| w[0] <= w[1]),
+                "unit {} out of time order", u.seq
+            );
+            // FITS round trip: bit-for-bit identity, counts and order intact.
+            let bytes = u.to_fits().to_bytes();
+            let parsed = TelemetryUnit::from_fits(&FitsFile::from_bytes(&bytes).unwrap()).unwrap();
+            prop_assert_eq!(&parsed, u);
+            prop_assert_eq!(parsed.photons.len(), u.photons.len());
+            prop_assert!(parsed.photons.times_ms.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!(parsed.archive_path(), u.archive_path());
+        }
+    }
+
+    /// Unit sizing: no unit exceeds the requested photon budget by more
+    /// than one second's worth of photons (the second-alignment slack),
+    /// and only the final unit may run under it.
+    #[test]
+    fn package_respects_unit_budget(
+        seed in any::<u64>(),
+        duration_s in 30u64..180,
+        background in 1u32..15,
+        photons_per_unit in 10usize..2_000,
+    ) {
+        let t = generate(&GenConfig {
+            seed,
+            start_ms: 0,
+            duration_ms: duration_s * 1000,
+            background_rate: f64::from(background),
+            flares_per_hour: 0.0,
+            grbs_per_day: 0.0,
+            ..GenConfig::default()
+        });
+        let units = package(&t, photons_per_unit, 1);
+        for (i, u) in units.iter().enumerate() {
+            if i + 1 < units.len() {
+                prop_assert!(
+                    u.photons.len() >= photons_per_unit,
+                    "non-final unit {} under budget: {} < {}",
+                    u.seq, u.photons.len(), photons_per_unit
+                );
+            }
+            // The cut moves forward only to the end of the current second.
+            let last_second = u.photons.times_ms.last().map_or(0, |l| l / 1000);
+            let same_second_slack = u
+                .photons
+                .times_ms
+                .iter()
+                .rev()
+                .take_while(|&&tm| tm / 1000 == last_second)
+                .count();
+            prop_assert!(
+                u.photons.len() <= photons_per_unit + same_second_slack,
+                "unit {} overshot: {} photons for budget {}",
+                u.seq, u.photons.len(), photons_per_unit
+            );
+        }
+    }
+}

@@ -27,7 +27,7 @@ use crate::sql::{self, Statement};
 use crate::stats::{DbStats, StatsSnapshot};
 use crate::table::Table;
 use crate::value::Value;
-use crate::wal::{self, LogRecord, Wal};
+use crate::wal::{self, LogRecord, Wal, WalOptions};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -76,18 +76,41 @@ impl Database {
     /// Open a database backed by a redo log, replaying any committed history
     /// found at `path` first.
     pub fn with_wal(name: impl Into<String>, path: impl AsRef<Path>) -> DbResult<Arc<Self>> {
+        Self::with_wal_opts(name, path, WalOptions::default())
+    }
+
+    /// Like [`Database::with_wal`], but with explicit WAL durability options
+    /// (group commit, fsync). Recovery is identical for every option set:
+    /// replay stops at the last complete commit marker.
+    pub fn with_wal_opts(
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+        options: WalOptions,
+    ) -> DbResult<Arc<Self>> {
         let records = wal::read_committed(&path)?;
         let mut inner = Inner::default();
         for rec in records {
             replay(&mut inner, rec)?;
         }
-        let wal = Wal::open(path)?;
+        let wal = Wal::open_with(path, options)?;
         Ok(Arc::new(Database {
             name: name.into(),
             inner: RwLock::new(inner),
             stats: DbStats::default(),
             wal: Mutex::new(Some(wal)),
         }))
+    }
+
+    /// Flush any group-commit-deferred WAL batches to the OS. A no-op for
+    /// in-memory databases or a WAL with nothing pending. Ingest barriers
+    /// (end of a pipeline run, a journal checkpoint) call this so "pipeline
+    /// finished" implies "journal durable" even with a large group-commit
+    /// window.
+    pub fn wal_flush(&self) -> DbResult<()> {
+        if let Some(wal) = self.wal.lock().as_mut() {
+            wal.flush()?;
+        }
+        Ok(())
     }
 
     /// Database name.

@@ -118,10 +118,7 @@ impl Expr {
     ) -> Expr {
         Expr::InList {
             expr: Box::new(Expr::Name(col.into())),
-            list: vals
-                .into_iter()
-                .map(|v| Expr::Literal(v.into()))
-                .collect(),
+            list: vals.into_iter().map(|v| Expr::Literal(v.into())).collect(),
         }
     }
 

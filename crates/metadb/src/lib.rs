@@ -66,4 +66,4 @@ pub use sql::{parse, query_to_sql, Statement};
 pub use stats::{DbStats, StatsSnapshot};
 pub use table::Table;
 pub use value::{DataType, Value};
-pub use wal::{read_committed, LogRecord, Wal};
+pub use wal::{read_committed, LogRecord, Wal, WalOptions};

@@ -369,14 +369,13 @@ fn scan_filter<'t>(
         .min(8);
     if filter.is_some() && threshold > 0 && candidates.len() >= threshold && workers > 1 {
         let chunk = candidates.len().div_ceil(workers);
-        let results: Vec<DbResult<(usize, Vec<(RowId, &[Value])>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = candidates
-                    .chunks(chunk)
-                    .map(|ids| scope.spawn(move || scan_filter_chunk(table, filter, ids)))
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
+        let results: Vec<DbResult<(usize, Vec<(RowId, &[Value])>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|ids| scope.spawn(move || scan_filter_chunk(table, filter, ids)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
         let mut rows_scanned = 0usize;
         let mut matched = Vec::new();
         for r in results {
@@ -421,22 +420,20 @@ fn top_k_by<T>(items: Vec<T>, k: usize, cmp: &dyn Fn(&T, &T) -> Ordering) -> Vec
         return Vec::new();
     }
     let mut heap: Vec<T> = Vec::with_capacity(k);
-    let sift_down = |heap: &mut [T], mut i: usize| {
-        loop {
-            let (l, r) = (2 * i + 1, 2 * i + 2);
-            let mut largest = i;
-            if l < heap.len() && cmp(&heap[l], &heap[largest]) == Ordering::Greater {
-                largest = l;
-            }
-            if r < heap.len() && cmp(&heap[r], &heap[largest]) == Ordering::Greater {
-                largest = r;
-            }
-            if largest == i {
-                break;
-            }
-            heap.swap(i, largest);
-            i = largest;
+    let sift_down = |heap: &mut [T], mut i: usize| loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut largest = i;
+        if l < heap.len() && cmp(&heap[l], &heap[largest]) == Ordering::Greater {
+            largest = l;
         }
+        if r < heap.len() && cmp(&heap[r], &heap[largest]) == Ordering::Greater {
+            largest = r;
+        }
+        if largest == i {
+            break;
+        }
+        heap.swap(i, largest);
+        i = largest;
     };
     for item in items {
         if heap.len() < k {
@@ -465,15 +462,16 @@ fn top_k_by<T>(items: Vec<T>, k: usize, cmp: &dyn Fn(&T, &T) -> Ordering) -> Vec
 /// on its column wins; otherwise full scan.
 pub(crate) fn plan_candidates(table: &Table, filter: &Expr) -> (Vec<RowId>, AccessPath) {
     let mut best: Option<(Vec<RowId>, AccessPath)> = None;
-    let mut consider = |ids: Vec<RowId>, access: AccessPath, best: &mut Option<(Vec<RowId>, AccessPath)>| {
-        let better = match best {
-            None => true,
-            Some((cur, _)) => ids.len() < cur.len(),
+    let mut consider =
+        |ids: Vec<RowId>, access: AccessPath, best: &mut Option<(Vec<RowId>, AccessPath)>| {
+            let better = match best {
+                None => true,
+                Some((cur, _)) => ids.len() < cur.len(),
+            };
+            if better {
+                *best = Some((ids, access));
+            }
         };
-        if better {
-            *best = Some((ids, access));
-        }
-    };
     for conj in filter.conjuncts() {
         if let Some(range) = conj.column_range() {
             let Some(ix) = table.index_on(range.col) else {
@@ -1001,9 +999,7 @@ mod tests {
     fn topk_limit_bounds_the_sort_working_set() {
         let _g = TUNING_LOCK.lock().unwrap();
         let t = table();
-        let q = Query::table("ana")
-            .order_by("dur", OrderDir::Desc)
-            .limit(3);
+        let q = Query::table("ana").order_by("dur", OrderDir::Desc).limit(3);
         let r = execute(&t, &q).unwrap();
         assert_eq!(r.rows.len(), 3);
         // Bounded heap: only k rows enter the sort, not all 30 matches.

@@ -22,6 +22,8 @@ pub mod kind {
     pub const NET_RECONNECT: &str = "net_reconnect";
     pub const CACHE_DEGRADED: &str = "cache_degraded";
     pub const FAULT_INJECT: &str = "fault_inject";
+    pub const INGEST_RESUME: &str = "ingest_resume";
+    pub const INGEST_COMPENSATE: &str = "ingest_compensate";
 }
 
 /// One logged occurrence. `trace_id == 0` means "outside any request";

@@ -93,8 +93,7 @@ pub fn run_browse(config: BrowseConfig) -> BrowseResult {
     assert!(config.clients > 0 && config.nodes > 0);
     let clients_per_node = config.clients as f64 / config.nodes as f64;
     let mt_demand = calib::MT_DEMAND_S * calib::mt_contention(clients_per_node);
-    let db_demand =
-        config.queries_per_request / calib::DB_PEAK_QPS * (1.0 - config.cache_hit_rate);
+    let db_demand = config.queries_per_request / calib::DB_PEAK_QPS * (1.0 - config.cache_hit_rate);
 
     // Resources: nodes 0..K are middle-tier, node K is the DB.
     let mut resources: Vec<Resource> = (0..config.nodes)

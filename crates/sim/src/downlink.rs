@@ -1,0 +1,130 @@
+//! The "downlink day" ingest workload (§2.2, §6).
+//!
+//! RHESSI telemetry arrives in bursts: the spacecraft's ≈ 96-minute orbit
+//! yields a ground-station contact per orbit, each dumping the orbit's
+//! stored photon stream. §6 requires loading to keep pace with this
+//! continuous downlink. This module generates the *shape* of one such day —
+//! a list of orbit segments with per-orbit activity levels — without
+//! depending on the event-generation crate: the bench harness maps each
+//! segment onto a telemetry generator config and packages it into units.
+//!
+//! Determinism: the per-orbit parameters derive from `seed` via the same
+//! SplitMix64 scramble the fault harness uses, so a downlink day is fully
+//! reproducible from its config.
+
+/// Configuration of a simulated downlink day.
+#[derive(Debug, Clone)]
+pub struct DownlinkConfig {
+    /// Number of orbit contacts to generate.
+    pub orbits: usize,
+    /// Orbital period in milliseconds (§2.2: ≈ 96 minutes).
+    pub orbit_ms: u64,
+    /// Mission time of the first orbit's start, ms.
+    pub start_ms: u64,
+    /// Mean solar flare rate, flares/hour (varied ±50% per orbit).
+    pub flares_per_hour: f64,
+    /// Mean background photon rate, photons/s (varied ±25% per orbit).
+    pub background_rate: f64,
+    /// Master seed; every orbit derives its own sub-seed from it.
+    pub seed: u64,
+}
+
+impl Default for DownlinkConfig {
+    fn default() -> Self {
+        DownlinkConfig {
+            orbits: 15, // one day at ~96 min/orbit
+            orbit_ms: 96 * 60 * 1000,
+            start_ms: 0,
+            flares_per_hour: 2.0,
+            background_rate: 40.0,
+            seed: 0x0D1E_55A1,
+        }
+    }
+}
+
+/// One orbit's telemetry dump: a contiguous time window plus the activity
+/// parameters the generator should use for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrbitSegment {
+    /// Orbit index within the day (0-based).
+    pub index: usize,
+    /// Segment start, mission ms.
+    pub start_ms: u64,
+    /// Segment duration, ms.
+    pub duration_ms: u64,
+    /// Sub-seed for this orbit's photon stream.
+    pub seed: u64,
+    /// Flare rate during this orbit, flares/hour.
+    pub flares_per_hour: f64,
+    /// Background photon rate during this orbit, photons/s.
+    pub background_rate: f64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Unit-interval sample from a SplitMix64 draw.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generate the orbit segments of one downlink day. Deterministic in the
+/// config; segments tile `[start_ms, start_ms + orbits·orbit_ms)` without
+/// gaps so downstream unit packaging produces disjoint time windows.
+pub fn downlink_day(cfg: &DownlinkConfig) -> Vec<OrbitSegment> {
+    let mut state = cfg.seed ^ 0xD0_9E57; // domain-separate from other users
+    (0..cfg.orbits)
+        .map(|index| {
+            let seed = splitmix64(&mut state);
+            // Solar activity varies orbit to orbit: flares ±50%, background ±25%.
+            let flares = cfg.flares_per_hour * (0.5 + unit(&mut state));
+            let background = cfg.background_rate * (0.75 + 0.5 * unit(&mut state));
+            OrbitSegment {
+                index,
+                start_ms: cfg.start_ms + index as u64 * cfg.orbit_ms,
+                duration_ms: cfg.orbit_ms,
+                seed,
+                flares_per_hour: flares,
+                background_rate: background,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_tiling() {
+        let cfg = DownlinkConfig::default();
+        let a = downlink_day(&cfg);
+        let b = downlink_day(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.orbits);
+        for (i, seg) in a.iter().enumerate() {
+            assert_eq!(seg.index, i);
+            assert_eq!(seg.start_ms, cfg.start_ms + i as u64 * cfg.orbit_ms);
+            assert_eq!(seg.duration_ms, cfg.orbit_ms);
+            assert!(seg.flares_per_hour >= cfg.flares_per_hour * 0.5);
+            assert!(seg.flares_per_hour <= cfg.flares_per_hour * 1.5);
+            assert!(seg.background_rate >= cfg.background_rate * 0.75);
+            assert!(seg.background_rate <= cfg.background_rate * 1.25);
+        }
+    }
+
+    #[test]
+    fn seed_changes_activity() {
+        let a = downlink_day(&DownlinkConfig::default());
+        let b = downlink_day(&DownlinkConfig {
+            seed: 99,
+            ..DownlinkConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+}

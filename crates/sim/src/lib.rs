@@ -15,6 +15,8 @@
 //!   the S(1)/S(2)/C/C-cached/S+C configurations, with turnover, sojourn
 //!   and CPU-split metrics.
 //! * [`calib`] — every constant, each traceable to a number in §7–§8.
+//! * [`downlink`] — the "downlink day" ingest workload: one orbit segment
+//!   per ground-station contact, with seeded per-orbit activity (§2.2, §6).
 //!
 //! ```
 //! use hedc_sim::browse::{run_browse, BrowseConfig};
@@ -27,9 +29,11 @@
 
 pub mod browse;
 pub mod calib;
+pub mod downlink;
 pub mod engine;
 pub mod processing;
 
 pub use browse::{figure4, figure5, run_browse, BrowseConfig, BrowseResult};
+pub use downlink::{downlink_day, DownlinkConfig, OrbitSegment};
 pub use engine::{ClosedLoopPs, PsReport, Resource, StageSpec};
 pub use processing::{run_processing, table1, ProcConfig, ProcessingResult, Workload};

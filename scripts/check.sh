@@ -11,6 +11,10 @@
 #                              run only the bench-binary smoke pass (each
 #                              harness binary on a tiny config, seconds not
 #                              minutes), then exit
+#   scripts/check.sh --ingest-smoke
+#                              run only the ingest pipeline smoke: a tiny
+#                              downlink-day load (serial + parallel) plus a
+#                              WAL crash/resume cycle, then exit
 #
 # The full gate also fails if the test run minted new proptest-regressions
 # entries: a fresh regression file is a real counterexample that must be
@@ -21,14 +25,16 @@ cd "$(dirname "$0")/.."
 fast=0
 seed=""
 smoke_only=0
+ingest_smoke_only=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) fast=1; shift ;;
     --bench-smoke) smoke_only=1; shift ;;
+    --ingest-smoke) ingest_smoke_only=1; shift ;;
     --seed)
-      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--bench-smoke] [--seed N]" >&2; exit 2; }
+      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--seed N]" >&2; exit 2; }
       seed="$2"; shift 2 ;;
-    *) echo "usage: $0 [--fast] [--bench-smoke] [--seed N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--seed N]" >&2; exit 2 ;;
   esac
 done
 
@@ -59,10 +65,32 @@ bench_smoke() {
   rm -rf "$out"
 }
 
+# Ingest pipeline smoke: a tiny downlink day through the serial and staged
+# executors plus a WAL-backed crash/resume cycle — the whole §5.2 recovery
+# path, in seconds. The report goes to a throwaway dir so the committed
+# results/BENCH_ingest.json is never clobbered by a smoke pass.
+ingest_smoke() {
+  echo "==> ingest smoke (downlink day + crash/resume cycle)"
+  local out
+  out="$(mktemp -d)"
+  HEDC_BENCH_SMOKE=1 HEDC_RESULTS_DIR="$out" \
+    cargo run --release -q -p hedc-bench --bin ingest_bench >/dev/null
+  [[ -s "$out/BENCH_ingest.json" ]] || {
+    echo "FAIL: ingest smoke produced no BENCH_ingest.json" >&2; exit 1; }
+  rm -rf "$out"
+}
+
 if [[ "$smoke_only" -eq 1 ]]; then
   cargo build --release -q -p hedc-bench
   bench_smoke
   echo "OK (bench smoke)"
+  exit 0
+fi
+
+if [[ "$ingest_smoke_only" -eq 1 ]]; then
+  cargo build --release -q -p hedc-bench
+  ingest_smoke
+  echo "OK (ingest smoke)"
   exit 0
 fi
 
@@ -71,7 +99,8 @@ if [[ -n "$seed" ]]; then
   # printed seed and run just the suites that consume it.
   echo "==> replaying fault-injection suites with HEDC_TEST_SEED=$seed"
   export HEDC_TEST_SEED="$seed"
-  cargo test -q -p hedc-dm --test failover --test cache -- --nocapture
+  cargo test -q -p hedc-dm --test failover --test cache --test ingest_crash \
+    --test ingest_browse -- --nocapture
   cargo test -q -p hedc-net --test cluster -- --nocapture
   echo "OK (seed $seed)"
   exit 0
@@ -100,6 +129,7 @@ echo "==> cargo test -q"
 cargo test -q --workspace
 
 bench_smoke
+ingest_smoke
 
 regressions_after="$(find . -path ./target -prune -o -name '*.txt' -path '*proptest-regressions*' -print 2>/dev/null | sort | xargs -r md5sum 2>/dev/null || true)"
 if [[ "$regressions_before" != "$regressions_after" ]]; then
