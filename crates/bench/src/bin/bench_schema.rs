@@ -1,0 +1,36 @@
+//! Validate `BENCH_*.json` reports against the documented row schema
+//! (`hedc_bench::schema`).
+//!
+//! ```text
+//! bench_schema [dir] [required-bench-name ...]
+//! ```
+//!
+//! With no arguments, validates the repo `results/` directory. Any listed
+//! bench names must be present as `BENCH_<name>.json`, so CI can require
+//! that the committed tier of reports never silently disappears. Exits
+//! non-zero with one line per violation.
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = args
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(hedc_bench::results_dir);
+    let required: Vec<&str> = args.iter().skip(1).map(String::as_str).collect();
+    match hedc_bench::schema::validate_dir(&dir, &required) {
+        Ok(summary) => println!("bench_schema: {}: {summary}", dir.display()),
+        Err(errs) => {
+            for e in &errs {
+                eprintln!("bench_schema: {e}");
+            }
+            eprintln!(
+                "bench_schema: {} violation(s) in {}",
+                errs.len(),
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -6,11 +6,18 @@
 //! requests/s at 96 clients — caused by the application logic, not the
 //! database.
 
+use hedc_bench::attribution::{run_browse_attribution, AttributionConfig};
 use hedc_sim::browse::{figure4, figure4_batched};
+use std::time::Duration;
 
 fn batch_mode_enabled() -> bool {
     std::env::args().any(|a| a == "--batch")
         || std::env::var("HEDC_BATCH").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn attribution_mode_enabled() -> bool {
+    std::env::args().any(|a| a == "--attribution")
+        || std::env::var("HEDC_ATTRIBUTION").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 fn main() {
@@ -145,8 +152,56 @@ fn main() {
     if let Some(batched) = &batched {
         bench_rows.extend(summarize(batched, "batched"));
     }
-    hedc_bench::write_report(
-        "BENCH_fig4_browse_clients",
-        &serde_json::json!({ "bench": "fig4_browse_clients", "rows": bench_rows }),
-    );
+
+    // `--attribution`: the measured tail-latency decomposition. A one-node
+    // loopback stack serves the same browse mix over real sockets; every
+    // request runs under a root span, sampled traces are partitioned into
+    // queue / pool / wire / execute self time, and the slowest trace is
+    // verified retrievable through `/hedc/trace/<id>`.
+    let mut bench_report = serde_json::json!({ "bench": "fig4_browse_clients" });
+    if attribution_mode_enabled() {
+        let smoke = hedc_bench::smoke();
+        let (clients, measure) = if smoke {
+            (8, Duration::from_millis(800))
+        } else {
+            (96, Duration::from_secs(10))
+        };
+        println!();
+        println!("attribution — measured critical-path breakdown at {clients} clients");
+        println!("{:-<74}", "");
+        let run = run_browse_attribution(&AttributionConfig::fig4(clients, measure));
+        println!(
+            "{} requests, {:.2} req/s, avg {:.1} ms, p99 {:.1} ms",
+            run.requests,
+            run.requests_per_second,
+            run.avg_response_s * 1e3,
+            run.p99_response_s * 1e3
+        );
+        let attributed = run.totals.attributed_us.max(1);
+        for (cat, us) in &run.totals.by_category_us {
+            println!(
+                "{:>10}: {:>10} us total across {} sampled traces ({:>5.1}%)",
+                cat,
+                us,
+                run.totals.traces,
+                *us as f64 / attributed as f64 * 100.0
+            );
+        }
+        println!(
+            "coverage {:.3} (attributed / measured root time), {} pinned >= {} us",
+            run.totals.coverage(),
+            run.pinned,
+            run.pin_threshold_us
+        );
+        if let Some(check) = &run.trace_page {
+            println!(
+                "slowest trace {} -> GET /hedc/trace/{} = {}",
+                check.trace_id, check.trace_id, check.status
+            );
+        }
+        bench_rows.push(run.to_row());
+        bench_report["attribution"] = run.to_section();
+    }
+    bench_report["rows"] = serde_json::Value::Array(bench_rows);
+    hedc_bench::write_report("BENCH_fig4_browse_clients", &bench_report);
 }

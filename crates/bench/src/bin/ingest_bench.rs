@@ -192,6 +192,61 @@ struct ScaleRow {
     speedup: f64,
 }
 
+fn attribution_mode_enabled() -> bool {
+    std::env::args().any(|a| a == "--attribution")
+        || std::env::var("HEDC_ATTRIBUTION").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// `--attribution`: one more staged pass on a fresh node with the flight
+/// recorder cleared, then partition every retained `ingest.unit` trace into
+/// queue / pool / wire / execute self time — where a unit's wall clock goes
+/// once the stages run concurrently.
+fn run_attribution(units: &[TelemetryUnit], workers: usize) -> serde_json::Value {
+    let recorder = hedc_obs::recorder();
+    recorder.drain_pinned();
+    recorder.clear();
+    recorder.set_pin_threshold_us(u64::MAX);
+    let (dm, cfg) = memory_node();
+    let session = dm.import_session();
+    let report = pipeline::ingest(
+        &dm.io,
+        &session,
+        units,
+        &cfg,
+        &IngestOptions::with_workers(workers),
+    )
+    .expect("attribution ingest");
+    assert_eq!(report.failed, 0);
+    let totals = hedc_bench::attribution::analyze_retained_roots("ingest.unit");
+    println!(
+        "attribution ({workers} workers/stage): {} of {} unit traces analyzed",
+        totals.traces,
+        units.len()
+    );
+    let attributed = totals.attributed_us.max(1);
+    for (cat, us) in &totals.by_category_us {
+        println!(
+            "{:>10}: {:>12} us self time ({:>5.1}%)",
+            cat,
+            us,
+            *us as f64 / attributed as f64 * 100.0
+        );
+    }
+    println!(
+        "coverage {:.3} (attributed / unit wall clock)",
+        totals.coverage()
+    );
+    serde_json::json!({
+        "workers": workers,
+        "sampled_traces": totals.traces,
+        "measured_root_us": totals.measured_root_us,
+        "attributed_us": totals.attributed_us,
+        "coverage": totals.coverage(),
+        "breakdown_us": totals.breakdown_json(),
+        "tiers": totals.tiers_json(),
+    })
+}
+
 fn main() {
     let smoke = hedc_bench::smoke();
     let units = downlink_units(smoke);
@@ -249,6 +304,12 @@ fn main() {
         );
         rows.push(row);
     }
+
+    // --- attribution: per-tier breakdown of the staged pipeline ------------
+    let attribution = attribution_mode_enabled().then(|| {
+        println!("{:-<62}", "");
+        run_attribution(&units, 4)
+    });
 
     // --- wal: group-commit window 1 vs 16 ----------------------------------
     let base = std::env::temp_dir().join(format!("hedc-ingest-bench-{}", std::process::id()));
@@ -362,26 +423,27 @@ fn main() {
     });
     let _ = std::fs::remove_dir_all(&base);
 
-    hedc_bench::write_report(
-        "BENCH_ingest",
-        &serde_json::json!({
-            "bench": "ingest",
-            "workload": {
-                "units": units.len(),
-                "photons": photons,
-                "smoke": smoke,
-            },
-            "scale": rows
-                .iter()
-                .map(|r| serde_json::json!({
-                    "workers": r.workers,
-                    "secs": r.secs,
-                    "units_per_s": r.units_per_s,
-                    "speedup": r.speedup,
-                }))
-                .collect::<Vec<_>>(),
-            "wal": wal_rows,
-            "crash_cycle": cycle,
-        }),
-    );
+    let mut bench_report = serde_json::json!({
+        "bench": "ingest",
+        "workload": {
+            "units": units.len(),
+            "photons": photons,
+            "smoke": smoke,
+        },
+        "scale": rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "workers": r.workers,
+                "secs": r.secs,
+                "units_per_s": r.units_per_s,
+                "speedup": r.speedup,
+            }))
+            .collect::<Vec<_>>(),
+        "wal": wal_rows,
+        "crash_cycle": cycle,
+    });
+    if let Some(attribution) = attribution {
+        bench_report["attribution"] = attribution;
+    }
+    hedc_bench::write_report("BENCH_ingest", &bench_report);
 }

@@ -65,7 +65,7 @@ pub struct ClusterRunResult {
     pub bytes_in: u64,
 }
 
-fn dm_node(i: usize) -> Arc<Dm> {
+pub(crate) fn dm_node(i: usize) -> Arc<Dm> {
     let fs = FileStore::new();
     fs.register(Archive::in_memory(
         1,
@@ -99,7 +99,7 @@ fn dm_node(i: usize) -> Arc<Dm> {
 /// The browse query mix: one request = `queries_per_request` DB queries,
 /// alternating a catalog scan with an indexed HLE count — read-only, like
 /// the §7.2 browse session.
-fn browse_queries(n: usize) -> Vec<Query> {
+pub(crate) fn browse_queries(n: usize) -> Vec<Query> {
     (0..n)
         .map(|i| {
             if i % 2 == 0 {

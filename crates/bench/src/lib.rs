@@ -16,8 +16,10 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod cache_bench;
 pub mod cluster;
+pub mod schema;
 
 use std::path::{Path, PathBuf};
 

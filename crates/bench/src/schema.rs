@@ -1,0 +1,481 @@
+//! The documented row schema for `results/BENCH_*.json`, plus a validator.
+//!
+//! Every bench that commits machine-readable results writes one
+//! `BENCH_<name>.json` file: a top-level object whose `"bench"` tag equals
+//! `<name>` and whose sections are arrays of flat rows. The schema per
+//! bench:
+//!
+//! * **fig4_browse_clients / fig5_browse_nodes** — `rows`: non-empty; each
+//!   row has `mode` (fig4: `standard`/`batched`/`attribution`; fig5:
+//!   `sim`/`net`/`cache`), and — except fig5 `cache` rows, which carry
+//!   `phase`/`avg_us_per_query` instead — `clients` ≥ 1, a finite
+//!   `throughput_rps` ≥ 0, and a `latency_s` object with finite
+//!   `avg`/`p50`/`p95`/`p99` where p50 ≤ p95 ≤ p99. `attribution` rows
+//!   additionally carry `sampled_traces`, `measured_root_us`,
+//!   `attributed_us`, a `coverage` within 10% of exact (0.9 ..= 1.1), and a
+//!   `breakdown_us` object whose `queue`/`pool`/`wire`/`execute` sum to
+//!   `attributed_us` — the partition property, enforced at the report
+//!   boundary.
+//! * **batch_bench** — `resolve`: non-empty rows with `mode`
+//!   (`local`/`net`), `batch_size` ≥ 1, `reps` ≥ 1, finite
+//!   `sequential_avg_us`/`batched_avg_us`/`speedup`; `topk`: object with
+//!   finite `full_sort_us`/`topk_us`/`speedup`.
+//! * **ingest** — `workload` (`units`/`photons` counts), `scale`: non-empty
+//!   rows with `workers` ≥ 1 and finite `secs`/`units_per_s`/`speedup`;
+//!   `wal`: rows with `group_commit` ≥ 1; `crash_cycle`: object whose
+//!   `skipped + resumed + ingested == units` (every unit accounted).
+//! * **table1_processing** — `rows`: non-empty with `workload`, `config`,
+//!   finite `throughput_rps`, and an ordered `latency_s`.
+//!
+//! Unknown `BENCH_*` names are an error: a bench that invents a report must
+//! register its schema here, which is the point.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Bench names this validator knows how to check.
+pub const KNOWN: [&str; 5] = [
+    "fig4_browse_clients",
+    "fig5_browse_nodes",
+    "batch_bench",
+    "ingest",
+    "table1_processing",
+];
+
+type Errors = Vec<String>;
+
+fn fin(v: &serde_json::Value, key: &str, ctx: &str, errs: &mut Errors) -> Option<f64> {
+    match v.get(key).and_then(|x| x.as_f64()) {
+        Some(n) if n.is_finite() => Some(n),
+        Some(_) => {
+            errs.push(format!("{ctx}: `{key}` is not finite"));
+            None
+        }
+        None => {
+            errs.push(format!("{ctx}: missing numeric `{key}`"));
+            None
+        }
+    }
+}
+
+fn uint(v: &serde_json::Value, key: &str, ctx: &str, errs: &mut Errors) -> Option<u64> {
+    match v.get(key).and_then(|x| x.as_u64()) {
+        Some(n) => Some(n),
+        None => {
+            errs.push(format!("{ctx}: missing unsigned `{key}`"));
+            None
+        }
+    }
+}
+
+fn text<'a>(v: &'a serde_json::Value, key: &str, ctx: &str, errs: &mut Errors) -> Option<&'a str> {
+    match v.get(key).and_then(|x| x.as_str()) {
+        Some(s) => Some(s),
+        None => {
+            errs.push(format!("{ctx}: missing string `{key}`"));
+            None
+        }
+    }
+}
+
+fn section<'a>(
+    v: &'a serde_json::Value,
+    key: &str,
+    ctx: &str,
+    errs: &mut Errors,
+) -> Option<&'a Vec<serde_json::Value>> {
+    match v.get(key).and_then(|x| x.as_array()) {
+        Some(rows) if !rows.is_empty() => Some(rows),
+        Some(_) => {
+            errs.push(format!("{ctx}: `{key}` must be non-empty"));
+            None
+        }
+        None => {
+            errs.push(format!("{ctx}: missing array `{key}`"));
+            None
+        }
+    }
+}
+
+/// `latency_s`: finite avg/p50/p95/p99 with ordered percentiles.
+fn check_latency(row: &serde_json::Value, ctx: &str, errs: &mut Errors) {
+    let Some(lat) = row.get("latency_s").filter(|l| l.is_object()) else {
+        errs.push(format!("{ctx}: missing `latency_s` object"));
+        return;
+    };
+    let ctx = format!("{ctx}.latency_s");
+    fin(lat, "avg", &ctx, errs);
+    let p50 = fin(lat, "p50", &ctx, errs);
+    let p95 = fin(lat, "p95", &ctx, errs);
+    let p99 = fin(lat, "p99", &ctx, errs);
+    if let (Some(p50), Some(p95), Some(p99)) = (p50, p95, p99) {
+        if !(p50 <= p95 && p95 <= p99) {
+            errs.push(format!(
+                "{ctx}: percentiles out of order (p50={p50}, p95={p95}, p99={p99})"
+            ));
+        }
+    }
+}
+
+/// The attribution-row extras: counts, coverage near 1, and a breakdown
+/// that sums back to the attributed total.
+fn check_attribution_row(row: &serde_json::Value, ctx: &str, errs: &mut Errors) {
+    uint(row, "sampled_traces", ctx, errs);
+    uint(row, "measured_root_us", ctx, errs);
+    let attributed = uint(row, "attributed_us", ctx, errs);
+    if let Some(cov) = fin(row, "coverage", ctx, errs) {
+        if !(0.9..=1.1).contains(&cov) {
+            errs.push(format!(
+                "{ctx}: coverage {cov} outside 0.9..=1.1 — breakdown does not \
+                 sum to the measured root latency"
+            ));
+        }
+    }
+    let Some(bd) = row.get("breakdown_us").filter(|b| b.is_object()) else {
+        errs.push(format!("{ctx}: missing `breakdown_us` object"));
+        return;
+    };
+    let bctx = format!("{ctx}.breakdown_us");
+    let mut sum = 0u64;
+    for cat in ["queue", "pool", "wire", "execute"] {
+        sum += uint(bd, cat, &bctx, errs).unwrap_or(0);
+    }
+    if let Some(attributed) = attributed {
+        if sum != attributed {
+            errs.push(format!(
+                "{bctx}: categories sum to {sum}, `attributed_us` says {attributed}"
+            ));
+        }
+    }
+}
+
+fn check_browse_rows(report: &serde_json::Value, name: &str, errs: &mut Errors) {
+    let modes: &[&str] = if name == "fig4_browse_clients" {
+        &["standard", "batched", "attribution"]
+    } else {
+        &["sim", "net", "cache"]
+    };
+    let Some(rows) = section(report, "rows", name, errs) else {
+        return;
+    };
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("{name}.rows[{i}]");
+        let Some(mode) = text(row, "mode", &ctx, errs) else {
+            continue;
+        };
+        if !modes.contains(&mode) {
+            errs.push(format!("{ctx}: unknown mode {mode:?} (expected {modes:?})"));
+            continue;
+        }
+        if mode == "cache" {
+            text(row, "phase", &ctx, errs);
+            fin(row, "avg_us_per_query", &ctx, errs);
+            continue;
+        }
+        if let Some(c) = uint(row, "clients", &ctx, errs) {
+            if c == 0 {
+                errs.push(format!("{ctx}: zero clients"));
+            }
+        }
+        if let Some(t) = fin(row, "throughput_rps", &ctx, errs) {
+            if t < 0.0 {
+                errs.push(format!("{ctx}: negative throughput"));
+            }
+        }
+        check_latency(row, &ctx, errs);
+        if mode == "attribution" {
+            check_attribution_row(row, &ctx, errs);
+        }
+    }
+}
+
+fn check_batch_bench(report: &serde_json::Value, errs: &mut Errors) {
+    if let Some(rows) = section(report, "resolve", "batch_bench", errs) {
+        for (i, row) in rows.iter().enumerate() {
+            let ctx = format!("batch_bench.resolve[{i}]");
+            if let Some(mode) = text(row, "mode", &ctx, errs) {
+                if !["local", "net"].contains(&mode) {
+                    errs.push(format!("{ctx}: unknown mode {mode:?}"));
+                }
+            }
+            for key in ["batch_size", "reps"] {
+                if uint(row, key, &ctx, errs) == Some(0) {
+                    errs.push(format!("{ctx}: zero `{key}`"));
+                }
+            }
+            for key in ["sequential_avg_us", "batched_avg_us", "speedup"] {
+                fin(row, key, &ctx, errs);
+            }
+        }
+    }
+    match report.get("topk").filter(|t| t.is_object()) {
+        Some(topk) => {
+            for key in ["full_sort_us", "topk_us", "speedup"] {
+                fin(topk, key, "batch_bench.topk", errs);
+            }
+        }
+        None => errs.push("batch_bench: missing `topk` object".to_string()),
+    }
+}
+
+fn check_ingest(report: &serde_json::Value, errs: &mut Errors) {
+    match report.get("workload").filter(|w| w.is_object()) {
+        Some(w) => {
+            uint(w, "units", "ingest.workload", errs);
+            uint(w, "photons", "ingest.workload", errs);
+        }
+        None => errs.push("ingest: missing `workload` object".to_string()),
+    }
+    if let Some(rows) = section(report, "scale", "ingest", errs) {
+        for (i, row) in rows.iter().enumerate() {
+            let ctx = format!("ingest.scale[{i}]");
+            if uint(row, "workers", &ctx, errs) == Some(0) {
+                errs.push(format!("{ctx}: zero workers"));
+            }
+            for key in ["secs", "units_per_s", "speedup"] {
+                fin(row, key, &ctx, errs);
+            }
+        }
+    }
+    if let Some(rows) = section(report, "wal", "ingest", errs) {
+        for (i, row) in rows.iter().enumerate() {
+            let ctx = format!("ingest.wal[{i}]");
+            if uint(row, "group_commit", &ctx, errs) == Some(0) {
+                errs.push(format!("{ctx}: zero group_commit"));
+            }
+            fin(row, "units_per_s", &ctx, errs);
+        }
+    }
+    match report.get("crash_cycle").filter(|c| c.is_object()) {
+        Some(cycle) => {
+            let ctx = "ingest.crash_cycle";
+            let units = uint(cycle, "units", ctx, errs);
+            fin(cycle, "recovery_secs", ctx, errs);
+            fin(cycle, "resume_secs", ctx, errs);
+            let parts: Option<u64> = ["skipped", "resumed", "ingested"]
+                .iter()
+                .map(|k| uint(cycle, k, ctx, errs))
+                .sum();
+            if let (Some(units), Some(parts)) = (units, parts) {
+                if parts != units {
+                    errs.push(format!(
+                        "{ctx}: skipped+resumed+ingested = {parts} but units = {units} — \
+                         a unit went unaccounted"
+                    ));
+                }
+            }
+        }
+        None => errs.push("ingest: missing `crash_cycle` object".to_string()),
+    }
+    // Optional attribution section (the `--attribution` run).
+    if let Some(attr) = report.get("attribution").filter(|a| a.is_object()) {
+        check_attribution_row(attr, "ingest.attribution", errs);
+    }
+}
+
+fn check_table1(report: &serde_json::Value, errs: &mut Errors) {
+    let Some(rows) = section(report, "rows", "table1_processing", errs) else {
+        return;
+    };
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("table1_processing.rows[{i}]");
+        text(row, "workload", &ctx, errs);
+        text(row, "config", &ctx, errs);
+        fin(row, "throughput_rps", &ctx, errs);
+        check_latency(row, &ctx, errs);
+    }
+}
+
+/// Validate one parsed report against its bench name.
+pub fn validate_report(name: &str, report: &serde_json::Value) -> Result<(), Errors> {
+    let mut errs = Errors::new();
+    if !report.is_object() {
+        return Err(vec![format!("{name}: report is not a JSON object")]);
+    }
+    match report.get("bench").and_then(|b| b.as_str()) {
+        Some(tag) if tag == name => {}
+        Some(tag) => errs.push(format!("{name}: `bench` tag says {tag:?}")),
+        None => errs.push(format!("{name}: missing `bench` tag")),
+    }
+    match name {
+        "fig4_browse_clients" | "fig5_browse_nodes" => check_browse_rows(report, name, &mut errs),
+        "batch_bench" => check_batch_bench(report, &mut errs),
+        "ingest" => check_ingest(report, &mut errs),
+        "table1_processing" => check_table1(report, &mut errs),
+        other => errs.push(format!(
+            "unknown bench {other:?} — register its schema in hedc_bench::schema"
+        )),
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Validate one `BENCH_<name>.json` file; the name comes from the filename.
+pub fn validate_file(path: &Path) -> Result<String, Errors> {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    let Some(name) = stem.strip_prefix("BENCH_") else {
+        return Err(vec![format!(
+            "{}: not a BENCH_*.json report",
+            path.display()
+        )]);
+    };
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| vec![format!("{}: unreadable: {e}", path.display())])?;
+    let report: serde_json::Value = serde_json::from_str(&raw)
+        .map_err(|e| vec![format!("{}: bad JSON: {e}", path.display())])?;
+    validate_report(name, &report).map(|()| name.to_string())
+}
+
+/// Validate every `BENCH_*.json` under `dir`; `required` names must all be
+/// present. Returns a human-readable summary or the full error list.
+pub fn validate_dir(dir: &Path, required: &[&str]) -> Result<String, Errors> {
+    let mut errs = Errors::new();
+    let mut seen: Vec<String> = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| vec![format!("{}: unreadable: {e}", dir.display())])?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    for path in &paths {
+        match validate_file(path) {
+            Ok(name) => seen.push(name),
+            Err(mut e) => errs.append(&mut e),
+        }
+    }
+    for req in required {
+        if !seen.iter().any(|s| s == req) {
+            errs.push(format!(
+                "{}: required report BENCH_{req}.json is missing",
+                dir.display()
+            ));
+        }
+    }
+    if !errs.is_empty() {
+        return Err(errs);
+    }
+    let mut summary = format!("{} report(s) valid:", seen.len());
+    for name in &seen {
+        let _ = write!(summary, " {name}");
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig4_row(mode: &str) -> serde_json::Value {
+        serde_json::json!({
+            "mode": mode,
+            "clients": 16,
+            "throughput_rps": 12.5,
+            "latency_s": { "avg": 0.9, "p50": 0.8, "p95": 1.2, "p99": 1.6 },
+        })
+    }
+
+    #[test]
+    fn committed_reports_validate() {
+        // The repo's own committed results must satisfy their schema.
+        let dir = crate::results_dir();
+        for name in ["fig4_browse_clients", "batch_bench", "ingest"] {
+            let path = dir.join(format!("BENCH_{name}.json"));
+            if path.exists() {
+                validate_file(&path).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_rows_validate_and_misordered_percentiles_fail() {
+        let ok =
+            serde_json::json!({ "bench": "fig4_browse_clients", "rows": [fig4_row("standard")] });
+        validate_report("fig4_browse_clients", &ok).unwrap();
+
+        let mut bad = ok.clone();
+        bad["rows"][0]["latency_s"]["p95"] = serde_json::json!(9.0);
+        let errs = validate_report("fig4_browse_clients", &bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("percentiles out of order")));
+    }
+
+    #[test]
+    fn attribution_rows_must_sum() {
+        let mut row = fig4_row("attribution");
+        row["sampled_traces"] = serde_json::json!(40);
+        row["measured_root_us"] = serde_json::json!(1000);
+        row["attributed_us"] = serde_json::json!(1000);
+        row["coverage"] = serde_json::json!(1.0);
+        row["breakdown_us"] =
+            serde_json::json!({ "queue": 400, "pool": 100, "wire": 300, "execute": 200 });
+        let report = serde_json::json!({ "bench": "fig4_browse_clients", "rows": [row] });
+        validate_report("fig4_browse_clients", &report).unwrap();
+
+        let mut bad = report.clone();
+        bad["rows"][0]["breakdown_us"]["queue"] = serde_json::json!(1);
+        let errs = validate_report("fig4_browse_clients", &bad).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("categories sum")),
+            "{errs:?}"
+        );
+
+        let mut bad = report;
+        bad["rows"][0]["coverage"] = serde_json::json!(0.5);
+        let errs = validate_report("fig4_browse_clients", &bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("coverage")), "{errs:?}");
+    }
+
+    #[test]
+    fn unknown_bench_and_wrong_tag_fail() {
+        let v = serde_json::json!({ "bench": "mystery" });
+        assert!(validate_report("mystery", &v).is_err());
+        let v = serde_json::json!({ "bench": "ingest", "rows": [] });
+        let errs = validate_report("fig4_browse_clients", &v).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("`bench` tag")));
+    }
+
+    #[test]
+    fn ingest_unaccounted_units_fail() {
+        let report = serde_json::json!({
+            "bench": "ingest",
+            "workload": { "units": 6, "photons": 100, "smoke": true },
+            "scale": [{ "workers": 1, "secs": 1.0, "units_per_s": 6.0, "speedup": 1.0 }],
+            "wal": [{ "group_commit": 1, "secs": 1.0, "units_per_s": 6.0 }],
+            "crash_cycle": {
+                "units": 6, "crash_unit": 3, "recovery_secs": 0.1, "resume_secs": 0.2,
+                "skipped": 3, "resumed": 1, "ingested": 1,
+            },
+        });
+        let errs = validate_report("ingest", &report).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("unaccounted")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_required_report_fails_dir_validation() {
+        let dir = std::env::temp_dir().join(format!("hedc-schema-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_fig4_browse_clients.json"),
+            serde_json::json!({ "bench": "fig4_browse_clients", "rows": [fig4_row("standard")] })
+                .to_string(),
+        )
+        .unwrap();
+        validate_dir(&dir, &["fig4_browse_clients"]).unwrap();
+        let errs = validate_dir(&dir, &["fig4_browse_clients", "ingest"]).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("BENCH_ingest.json")),
+            "{errs:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -82,10 +82,19 @@ pub struct HedcConfig {
     /// configs written before this field existed still parse.
     #[serde(default = "default_parallel_scan_rows")]
     pub parallel_scan_rows: usize,
+    /// Traces whose root latency exceeds this are pinned in the flight
+    /// recorder until drained; defaults so configs written before this
+    /// field existed still parse.
+    #[serde(default = "default_slow_trace_ms")]
+    pub slow_trace_ms: u64,
 }
 
 fn default_slow_query_ms() -> u64 {
     100
+}
+
+fn default_slow_trace_ms() -> u64 {
+    1_000
 }
 
 fn default_parallel_scan_rows() -> usize {
@@ -128,6 +137,7 @@ impl Default for HedcConfig {
             start_ms: 0,
             slow_query_ms: default_slow_query_ms(),
             parallel_scan_rows: default_parallel_scan_rows(),
+            slow_trace_ms: default_slow_trace_ms(),
         }
     }
 }
@@ -159,6 +169,11 @@ impl HedcConfig {
     /// Slow-query threshold as a duration.
     pub fn slow_query(&self) -> Duration {
         Duration::from_millis(self.slow_query_ms)
+    }
+
+    /// Flight-recorder pin threshold as a duration.
+    pub fn slow_trace(&self) -> Duration {
+        Duration::from_millis(self.slow_trace_ms)
     }
 
     /// Serialize to pretty JSON.
@@ -202,6 +217,17 @@ mod tests {
         let c = HedcConfig::from_json(&json.to_string()).unwrap();
         assert_eq!(c.slow_query_ms, 100);
         assert_eq!(c.slow_query(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn slow_trace_defaults_when_absent() {
+        // Same compatibility rule as `slow_query_ms`: older configs parse.
+        let mut json: serde_json::Value =
+            serde_json::from_str(&HedcConfig::default().to_json()).unwrap();
+        json.as_object_mut().unwrap().remove("slow_trace_ms");
+        let c = HedcConfig::from_json(&json.to_string()).unwrap();
+        assert_eq!(c.slow_trace_ms, 1_000);
+        assert_eq!(c.slow_trace(), Duration::from_secs(1));
     }
 
     #[test]

@@ -74,6 +74,8 @@ pub struct Hedc {
     pl: Arc<ProcessingLogic>,
     web: WebServer,
     registry: Arc<AlgorithmRegistry>,
+    /// Background saturation sampler; stopped (and joined) at shutdown.
+    sampler: std::sync::Mutex<Option<hedc_obs::Sampler>>,
 }
 
 impl Hedc {
@@ -82,6 +84,11 @@ impl Hedc {
     /// analysis servers, and expose the web frontend.
     pub fn start(config: HedcConfig) -> DmResult<Arc<Hedc>> {
         hedc_metadb::tuning::set_parallel_scan_threshold(config.parallel_scan_rows);
+        // Tail-latency plumbing: slow traces pin in the flight recorder, and
+        // the saturation sampler snapshots every gauge (queue depths,
+        // in-flight counts, pool occupancy) into the ring.
+        hedc_obs::recorder().set_pin_threshold_us(config.slow_trace_ms.saturating_mul(1_000));
+        let sampler = hedc_obs::start_sampler(std::time::Duration::from_millis(200));
         let files = Arc::new(FileStore::new());
         for a in &config.archives {
             let archive = match &a.directory {
@@ -127,6 +134,7 @@ impl Hedc {
             pl,
             web,
             registry,
+            sampler: std::sync::Mutex::new(Some(sampler)),
         }))
     }
 
@@ -211,8 +219,12 @@ impl Hedc {
         Ok(report)
     }
 
-    /// Stop the processing logic (analysis servers and dispatchers).
+    /// Stop the processing logic (analysis servers and dispatchers) and the
+    /// saturation sampler.
     pub fn shutdown(&self) {
+        if let Some(sampler) = self.sampler.lock().unwrap().take() {
+            sampler.stop();
+        }
         self.pl.shutdown();
     }
 }

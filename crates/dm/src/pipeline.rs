@@ -397,6 +397,13 @@ struct Flight<'u> {
     next_idx: usize,
     resumed_from: Option<JournalStep>,
     compensations: usize,
+    /// Per-unit trace root, minted by the package stage and finished by
+    /// whichever stage terminates the unit (done or failed). Stages adopt
+    /// its context so their spans join one tree per unit.
+    trace: Option<hedc_obs::PendingRoot>,
+    /// When the unit was handed to the current stage's queue, for the
+    /// `ingest.queue_wait.<stage>` attribution spans.
+    handed_off: Option<Instant>,
 }
 
 impl<'u> Flight<'u> {
@@ -408,6 +415,8 @@ impl<'u> Flight<'u> {
             next_idx: 0,
             resumed_from: None,
             compensations: 0,
+            trace: None,
+            handed_off: None,
         }
     }
 
@@ -481,6 +490,8 @@ impl UnitRunner<'_> {
                     next_idx: last.index() + 1,
                     resumed_from: Some(last),
                     compensations: n,
+                    trace: None,
+                    handed_off: None,
                 }))
             }
         }
@@ -985,16 +996,20 @@ fn ingest_serial(
     };
     let mut results = Vec::with_capacity(units.len());
     for unit in units {
-        match runner.admit(unit) {
-            Ok(Admit::Skip(state)) => results.push(UnitResult::skipped(unit.seq, &state)),
+        // One trace per unit, same shape as the staged pipeline's.
+        let root = hedc_obs::Span::root("ingest.unit");
+        let outcome = match runner.admit(unit) {
+            Ok(Admit::Skip(state)) => Ok(UnitResult::skipped(unit.seq, &state)),
             Ok(Admit::Run(mut flight)) => match runner.advance(&mut flight, JournalStep::Done) {
-                Ok(()) => results.push(flight.into_result()),
-                Err(DmError::Crashed(site)) => return Err(DmError::Crashed(site)),
-                Err(e) => results.push(UnitResult::failed(unit.seq, e)),
+                Ok(()) => Ok(flight.into_result()),
+                Err(DmError::Crashed(site)) => Err(DmError::Crashed(site)),
+                Err(e) => Ok(UnitResult::failed(unit.seq, e)),
             },
-            Err(DmError::Crashed(site)) => return Err(DmError::Crashed(site)),
-            Err(e) => results.push(UnitResult::failed(unit.seq, e)),
-        }
+            Err(DmError::Crashed(site)) => Err(DmError::Crashed(site)),
+            Err(e) => Ok(UnitResult::failed(unit.seq, e)),
+        };
+        drop(root);
+        results.push(outcome?);
     }
     Ok(PipelineReport::from_units(units.len(), results))
 }
@@ -1109,8 +1124,17 @@ fn package_worker<'u>(
                 let _ = results.send(UnitResult::skipped(unit.seq, &state));
             }
             Ok(Admit::Run(mut flight)) => {
-                flight.art.precompute(unit, runner.cfg, flight.next_idx);
+                // Mint the unit's trace; the package work becomes its first
+                // stage span, and downstream stages adopt the same context.
+                let root = hedc_obs::PendingRoot::begin("ingest.unit");
+                {
+                    let _g = hedc_obs::adopt(Some(root.context()));
+                    let _span = hedc_obs::Span::child("ingest.stage.package");
+                    flight.art.precompute(unit, runner.cfg, flight.next_idx);
+                }
                 lat.record(started.elapsed());
+                flight.trace = Some(root);
+                flight.handed_off = Some(Instant::now());
                 if tx.send(flight).is_err() {
                     ctrl.abort.store(true, Ordering::Relaxed);
                 }
@@ -1142,23 +1166,41 @@ fn stage_worker<'u>(
         if ctrl.aborted() {
             continue;
         }
+        // Rejoin the unit's trace; the time spent in this stage's queue
+        // becomes an attribution span before the stage span opens.
+        let _g = hedc_obs::adopt(flight.trace.as_ref().map(|t| t.context()));
+        if let Some(handed) = flight.handed_off.take() {
+            hedc_obs::record_interval(&format!("ingest.queue_wait.{name}"), handed);
+        }
         let started = Instant::now();
-        match runner.advance(&mut flight, through) {
+        let outcome = {
+            let _span = hedc_obs::Span::child(&format!("ingest.stage.{name}"));
+            runner.advance(&mut flight, through)
+        };
+        match outcome {
             Ok(()) => {
                 lat.record(started.elapsed());
                 match &tx {
                     Some(tx) => {
+                        flight.handed_off = Some(Instant::now());
                         if tx.send(flight).is_err() {
                             ctrl.abort.store(true, Ordering::Relaxed);
                         }
                     }
                     None => {
+                        // Terminal stage: close the unit's trace.
+                        if let Some(root) = flight.trace.take() {
+                            root.finish();
+                        }
                         let _ = results.send(flight.into_result());
                     }
                 }
             }
             Err(e @ DmError::Crashed(_)) => ctrl.record_crash(e),
             Err(e) => {
+                if let Some(root) = flight.trace.take() {
+                    root.finish();
+                }
                 let _ = results.send(UnitResult::failed(flight.unit.seq, e));
             }
         }

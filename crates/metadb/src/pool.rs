@@ -55,6 +55,9 @@ pub struct ConnectionPool {
     reused: AtomicU64,
     created: AtomicU64,
     waited: AtomicU64,
+    /// Saturation gauge: checked-out connections across all pools in the
+    /// process (`db.pool.in_use`), sampled by the saturation ring.
+    in_use_gauge: Arc<hedc_obs::Gauge>,
 }
 
 impl ConnectionPool {
@@ -75,6 +78,7 @@ impl ConnectionPool {
             reused: AtomicU64::new(0),
             created: AtomicU64::new(0),
             waited: AtomicU64::new(0),
+            in_use_gauge: hedc_obs::global().gauge("db.pool.in_use"),
         })
     }
 
@@ -119,6 +123,9 @@ impl ConnectionPool {
         }
         let wait = started.elapsed();
         hedc_obs::global().histogram("db.pool.acquire").record(wait);
+        // Inside a traced request the wait also becomes a span, so the
+        // critical-path analyzer can attribute it (no-op outside traces).
+        hedc_obs::record_interval("db.pool.acquire", started);
         if waited {
             hedc_obs::emit(
                 hedc_obs::events::kind::POOL_STALL,
@@ -142,6 +149,7 @@ impl ConnectionPool {
         mut state: parking_lot::MutexGuard<'_, PoolState>,
     ) -> PooledConnection {
         state.outstanding += 1;
+        self.in_use_gauge.add(1);
         let conn = match state.idle.pop() {
             Some(c) => {
                 self.reused.fetch_add(1, Ordering::Relaxed);
@@ -171,6 +179,7 @@ impl ConnectionPool {
         }
         let mut state = self.state.lock();
         state.outstanding -= 1;
+        self.in_use_gauge.add(-1);
         state.idle.push(conn);
         drop(state);
         self.available.notify_one();

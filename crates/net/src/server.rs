@@ -24,6 +24,10 @@ pub struct ServerConfig {
     pub idle_poll: Duration,
     /// Hard deadline for writing a response frame.
     pub write_timeout: Duration,
+    /// Requests handled slower than this emit a structured `slow_request`
+    /// event carrying the trace ID and peer address — the net-tier analogue
+    /// of metadb's `slow_query_ms`.
+    pub slow_request: Duration,
 }
 
 impl Default for ServerConfig {
@@ -31,6 +35,7 @@ impl Default for ServerConfig {
         ServerConfig {
             idle_poll: Duration::from_millis(100),
             write_timeout: Duration::from_secs(2),
+            slow_request: Duration::from_millis(100),
         }
     }
 }
@@ -146,11 +151,19 @@ fn serve_connection(
     {
         return;
     }
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".into());
     let obs = hedc_obs::global();
     let rpc_hist = obs.histogram("net.rpc.server");
     let requests = obs.counter("net.server.requests");
     let bytes_in = obs.counter("net.server.bytes_in");
     let bytes_out = obs.counter("net.server.bytes_out");
+    // Saturation gauges: open connections, and how many are mid-request.
+    let connections = obs.gauge("net.server.connections");
+    let inflight = obs.gauge("net.server.inflight");
+    connections.add(1);
 
     while !stop.load(Ordering::SeqCst) {
         let frame = match read_frame_or_idle(&mut stream) {
@@ -173,8 +186,10 @@ fn serve_connection(
         let _g = hedc_obs::adopt(caller);
         let span = hedc_obs::Span::child("net.rpc.server");
         let start = Instant::now();
+        inflight.add(1);
 
         let request: Result<Request, _> = decode(&frame.payload);
+        let label = request.as_ref().map(request_label).unwrap_or("malformed");
         let response = match request {
             Ok(req) => respond(node.as_ref(), req, true),
             Err(e) => Response::Error(WireError {
@@ -182,6 +197,7 @@ fn serve_connection(
                 message: format!("malformed request: {e}"),
             }),
         };
+        inflight.add(-1);
 
         let payload = match encode(&response) {
             Ok(p) => p,
@@ -193,14 +209,38 @@ fn serve_connection(
             span_id: span.context().span_id,
             payload,
         };
-        rpc_hist.record_us(start.elapsed().as_micros() as u64);
+        let elapsed = start.elapsed();
+        rpc_hist.record_us(elapsed.as_micros() as u64);
+        if elapsed >= config.slow_request {
+            // The ambient context is still the caller's trace, so the event
+            // joins the request's span tree (satellite: net-tier analogue of
+            // metadb's slow_query_ms).
+            hedc_obs::emit(
+                hedc_obs::events::kind::SLOW_REQUEST,
+                format!(
+                    "request={label} peer={peer} elapsed_us={}",
+                    elapsed.as_micros()
+                ),
+            );
+        }
         drop(span);
         match write_frame(&mut stream, &reply) {
             Ok(n) => bytes_out.add(n as u64),
             Err(_) => break,
         }
     }
+    connections.add(-1);
     let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Stable label for a request shape, for slow-request events.
+fn request_label(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Query(_) => "query",
+        Request::Resolve { .. } => "resolve",
+        Request::Batch(_) => "batch",
+    }
 }
 
 /// Dispatch one request. `top_level` distinguishes the outer frame from
@@ -227,6 +267,7 @@ fn respond(node: &dyn DmNode, request: Request, top_level: bool) -> Response {
             // back to per-entry dispatch; either way the answers line up
             // positionally and errors stay isolated per entry.
             if let Some((ids, want)) = homogeneous_resolve(&entries) {
+                let _span = hedc_obs::Span::child("net.rpc.server.resolve_batch");
                 Response::Batch(
                     node.resolve_batch(&ids, want)
                         .into_iter()
@@ -240,7 +281,13 @@ fn respond(node: &dyn DmNode, request: Request, top_level: bool) -> Response {
                 Response::Batch(
                     entries
                         .into_iter()
-                        .map(|e| respond(node, e, false))
+                        .map(|e| {
+                            // One span per entry (error outcomes included),
+                            // so batch members attribute individually in the
+                            // caller's trace.
+                            let _span = hedc_obs::Span::child("net.rpc.server.entry");
+                            respond(node, e, false)
+                        })
                         .collect(),
                 )
             }

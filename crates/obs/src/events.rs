@@ -24,6 +24,8 @@ pub mod kind {
     pub const FAULT_INJECT: &str = "fault_inject";
     pub const INGEST_RESUME: &str = "ingest_resume";
     pub const INGEST_COMPENSATE: &str = "ingest_compensate";
+    pub const SLOW_TRACE: &str = "slow_trace";
+    pub const SLOW_REQUEST: &str = "slow_request";
 }
 
 /// One logged occurrence. `trace_id == 0` means "outside any request";

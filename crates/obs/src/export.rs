@@ -5,7 +5,8 @@
 //! escaping, and integers.
 
 use crate::events::Event;
-use crate::metrics::{HistogramSnapshot, RegistrySnapshot};
+use crate::metrics::{Exemplar, HistogramSnapshot, RegistrySnapshot};
+use crate::saturation::GaugeSample;
 
 /// Escape a string for inclusion in a JSON document (quotes included).
 pub fn json_string(s: &str) -> String {
@@ -33,12 +34,44 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
     )
 }
 
+fn exemplar_json(e: &Exemplar) -> String {
+    let bucket = if e.bucket_us == u64::MAX {
+        "\"+inf\"".to_string()
+    } else {
+        e.bucket_us.to_string()
+    };
+    format!(
+        "{{\"trace_id\":{},\"value_us\":{},\"at_us\":{},\"bucket_us\":{}}}",
+        e.trace_id, e.value_us, e.at_us, bucket
+    )
+}
+
+fn sample_json(s: &GaugeSample) -> String {
+    let gauges: Vec<String> = s
+        .gauges
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json_string(k), v))
+        .collect();
+    format!(
+        "{{\"at_us\":{},\"gauges\":{{{}}}}}",
+        s.at_us,
+        gauges.join(",")
+    )
+}
+
 /// Everything the process knows about itself at one instant: the global
-/// metrics registry plus the tail of the event log.
+/// metrics registry, the tail of the event log, the recent saturation
+/// samples, and the flight-recorder occupancy.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     pub metrics: RegistrySnapshot,
     pub events: Vec<Event>,
+    /// Recent gauge samples from the saturation ring, newest first.
+    pub saturation: Vec<GaugeSample>,
+    /// Flight-recorder occupancy: (recent traces, pinned traces).
+    pub flight_depths: (usize, usize),
+    /// Current flight-recorder pin threshold, microseconds.
+    pub pin_threshold_us: u64,
 }
 
 impl Snapshot {
@@ -66,6 +99,32 @@ impl Snapshot {
                 name, h.count, h.p50_us, h.p95_us, h.p99_us, h.max_us
             ));
         }
+        if !self.metrics.exemplars.is_empty() {
+            out.push_str("== exemplars (slowest traced samples) ==\n");
+            for (name, exemplars) in &self.metrics.exemplars {
+                for e in exemplars.iter().take(3) {
+                    out.push_str(&format!(
+                        "{:<32} trace={:<20} {:>10}us\n",
+                        name, e.trace_id, e.value_us
+                    ));
+                }
+            }
+        }
+        if let Some(latest) = self.saturation.first() {
+            out.push_str(&format!(
+                "== saturation (ring depth {}, latest @{}us) ==\n",
+                self.saturation.len(),
+                latest.at_us
+            ));
+            for (name, v) in &latest.gauges {
+                out.push_str(&format!("{name:<32} {v}\n"));
+            }
+        }
+        let (recent, pinned) = self.flight_depths;
+        out.push_str(&format!(
+            "== flight recorder == recent={recent} pinned={pinned} threshold_us={}\n",
+            self.pin_threshold_us
+        ));
         out.push_str(&format!("== events ({}) ==\n", self.events.len()));
         for e in &self.events {
             out.push_str(&format!(
@@ -110,21 +169,39 @@ impl Snapshot {
                 )
             })
             .collect();
+        let exemplars: Vec<String> = self
+            .metrics
+            .exemplars
+            .iter()
+            .map(|(k, list)| {
+                let items: Vec<String> = list.iter().map(exemplar_json).collect();
+                format!("{}:[{}]", json_string(k), items.join(","))
+            })
+            .collect();
+        let saturation: Vec<String> = self.saturation.iter().map(sample_json).collect();
+        let (recent, pinned) = self.flight_depths;
         format!(
-            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"events\":[{}]}}",
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"exemplars\":{{{}}},\"saturation\":[{}],\"flight\":{{\"recent\":{recent},\"pinned\":{pinned},\"pin_threshold_us\":{}}},\"events\":[{}]}}",
             counters.join(","),
             gauges.join(","),
             histograms.join(","),
+            exemplars.join(","),
+            saturation.join(","),
+            self.pin_threshold_us,
             events.join(",")
         )
     }
 }
 
-/// Snapshot the global registry and event log.
+/// Snapshot the global registry, event log, saturation ring, and flight
+/// recorder.
 pub fn snapshot() -> Snapshot {
     Snapshot {
         metrics: crate::metrics::global().snapshot(),
         events: crate::events::event_log().events(),
+        saturation: crate::saturation::ring().recent(8),
+        flight_depths: crate::flight::recorder().depths(),
+        pin_threshold_us: crate::flight::recorder().pin_threshold_us(),
     }
 }
 
@@ -155,14 +232,25 @@ mod tests {
                 kind: "slow_query".into(),
                 detail: "SELECT \"x\"".into(),
             }],
+            saturation: vec![GaugeSample {
+                at_us: 9,
+                gauges: vec![("pl.queue.depth".into(), 4)],
+            }],
+            flight_depths: (2, 1),
+            pin_threshold_us: 1_000_000,
         };
         let text = snap.to_text();
         assert!(text.contains("metadb.queries"));
         assert!(text.contains("slow_query"));
+        assert!(text.contains("pl.queue.depth"));
+        assert!(text.contains("pinned=1"));
         let json = snap.to_json();
         assert!(json.contains("\"metadb.queries\":7"));
         assert!(json.contains("\"p50_us\":120"));
         assert!(json.contains("\\\"x\\\""));
+        assert!(json.contains("\"exemplars\":{"));
+        assert!(json.contains("\"saturation\":[{\"at_us\":9"));
+        assert!(json.contains("\"flight\":{\"recent\":2,\"pinned\":1"));
         // Must be parseable by any JSON parser: balanced braces, no stray
         // trailing commas. Cheap structural check.
         assert_eq!(

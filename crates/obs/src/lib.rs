@@ -11,6 +11,14 @@
 //! (slow queries, pool stalls, analysis-server restarts, cross-node
 //! redirects).
 //!
+//! On top of that substrate sits the tail-latency toolkit: histogram
+//! **exemplars** (each bucket remembers the trace IDs of its slowest recent
+//! samples), a **saturation ring** of periodic gauge snapshots, a **flight
+//! recorder** (bounded ring of complete recent traces, with slow traces
+//! pinned past a configurable threshold), and a **critical-path analyzer**
+//! that partitions a root span's wall-clock time into per-tier queue /
+//! pool / wire / execute self time.
+//!
 //! Everything here is `std`-only by design: every tier links it, so it must
 //! not widen the dependency graph.
 //!
@@ -22,18 +30,26 @@
 //! `net.rpc.client`, `net.rpc.server`. Histogram values are microseconds
 //! unless the name says otherwise.
 
+pub mod critical;
 pub mod events;
 pub mod export;
+pub mod flight;
 pub mod metrics;
+pub mod saturation;
 pub mod trace;
 
-pub use events::{emit, emit_in_trace, event_log, Event, EventLog};
+pub use critical::{analyze, analyze_trace, category_of, tier_of, Breakdown, Category};
+pub use events::{emit, emit_in_trace, event_log, kind, Event, EventLog};
 pub use export::{snapshot, Snapshot};
+pub use flight::{recorder, FlightRecorder, TraceRecord};
 pub use metrics::{
-    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+    global, Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    RegistrySnapshot,
 };
+pub use saturation::{ring, sample_now, start_sampler, GaugeSample, Sampler, SaturationRing};
 pub use trace::{
-    adopt, current, span_store, ContextGuard, FinishedSpan, Span, SpanContext, SpanStore,
+    adopt, current, record_interval, span_store, ContextGuard, FinishedSpan, PendingRoot, Span,
+    SpanContext, SpanStore,
 };
 
 use std::sync::OnceLock;

@@ -73,11 +73,33 @@ pub const BUCKET_BOUNDS_US: [u64; 24] = [
 
 const NBUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
 
+/// Exemplar slots per bucket: slot 0 holds the most recent traced sample,
+/// slot 1 the slowest traced sample seen so far, so a p99 bucket always
+/// links to both a fresh trace and the worst one.
+const EXEMPLAR_SLOTS: usize = 2;
+
+/// One retained traced sample: links a histogram bucket back to the span
+/// tree that produced it. `bucket_us` is the bucket's upper bound
+/// (`u64::MAX` for the overflow bucket); `at_us` is microseconds since the
+/// process epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Exemplar {
+    pub trace_id: u64,
+    pub value_us: u64,
+    pub at_us: u64,
+    pub bucket_us: u64,
+}
+
 /// Fixed-bucket latency histogram. Recording is wait-free (one bucket
 /// increment plus count/sum/min/max updates); percentile extraction walks the
 /// bucket array at snapshot time. Estimates are the bucket's upper bound,
 /// clamped into the observed `[min, max]` range so a single-sample histogram
 /// reports that sample exactly.
+///
+/// When the recording thread carries an ambient trace, the sample is also
+/// retained as an [`Exemplar`] in its bucket (best effort: exemplar updates
+/// go through a `try_lock`, so a contended table drops the link rather than
+/// stalling the hot path).
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; NBUCKETS],
@@ -85,6 +107,7 @@ pub struct Histogram {
     sum_us: AtomicU64,
     min_us: AtomicU64,
     max_us: AtomicU64,
+    exemplars: Mutex<Box<[Exemplar]>>,
 }
 
 impl Default for Histogram {
@@ -101,7 +124,15 @@ impl Histogram {
             sum_us: AtomicU64::new(0),
             min_us: AtomicU64::new(u64::MAX),
             max_us: AtomicU64::new(0),
+            exemplars: Mutex::new(
+                vec![Exemplar::default(); NBUCKETS * EXEMPLAR_SLOTS].into_boxed_slice(),
+            ),
         }
+    }
+
+    /// Upper bound of bucket `i` (`u64::MAX` for the overflow bucket).
+    fn bucket_bound(i: usize) -> u64 {
+        BUCKET_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX)
     }
 
     fn bucket_for(us: u64) -> usize {
@@ -111,13 +142,53 @@ impl Histogram {
             .unwrap_or(NBUCKETS - 1)
     }
 
-    /// Record one observation, in microseconds.
+    /// Record one observation, in microseconds. Picks up the ambient trace
+    /// (if any) as the sample's exemplar link.
     pub fn record_us(&self, us: u64) {
-        self.buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+        let bucket = Self::bucket_for(us);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.min_us.fetch_min(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
+        if let Some(ctx) = crate::trace::current() {
+            self.note_exemplar(bucket, ctx.trace_id, us);
+        }
+    }
+
+    /// Best-effort exemplar retention: slot 0 of the bucket always takes the
+    /// newest traced sample; slot 1 keeps the slowest. Contention skips.
+    fn note_exemplar(&self, bucket: usize, trace_id: u64, us: u64) {
+        if let Ok(mut table) = self.exemplars.try_lock() {
+            let e = Exemplar {
+                trace_id,
+                value_us: us,
+                at_us: crate::now_us(),
+                bucket_us: Self::bucket_bound(bucket),
+            };
+            let base = bucket * EXEMPLAR_SLOTS;
+            table[base] = e;
+            if table[base + 1].trace_id == 0 || us >= table[base + 1].value_us {
+                table[base + 1] = e;
+            }
+        }
+    }
+
+    /// Retained exemplars, slowest first, at most one per trace.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let table = self.exemplars.lock().unwrap();
+        let mut out: Vec<Exemplar> = table.iter().filter(|e| e.trace_id != 0).copied().collect();
+        out.sort_by(|a, b| b.value_us.cmp(&a.value_us).then(b.at_us.cmp(&a.at_us)));
+        let mut seen = Vec::new();
+        out.retain(|e| {
+            if seen.contains(&e.trace_id) {
+                false
+            } else {
+                seen.push(e.trace_id);
+                true
+            }
+        });
+        out
     }
 
     /// Record a wall-clock duration, floored at 1µs so any real operation is
@@ -256,6 +327,16 @@ impl MetricsRegistry {
     }
 
     pub fn snapshot(&self) -> RegistrySnapshot {
+        let (histograms, exemplars) = {
+            let map = self.histograms.lock().unwrap();
+            let histograms: Vec<_> = map.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect();
+            let exemplars: Vec<_> = map
+                .iter()
+                .map(|(k, v)| (k.clone(), v.exemplars()))
+                .filter(|(_, e)| !e.is_empty())
+                .collect();
+            (histograms, exemplars)
+        };
         RegistrySnapshot {
             counters: self
                 .counters
@@ -271,23 +352,21 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .unwrap()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.snapshot()))
-                .collect(),
+            histograms,
+            exemplars,
         }
     }
 }
 
-/// Point-in-time view of a whole registry, name-sorted.
+/// Point-in-time view of a whole registry, name-sorted. `exemplars` carries,
+/// per histogram that saw traced samples, the retained trace links (slowest
+/// first) — the bridge from a p99 entry to its span tree.
 #[derive(Debug, Clone, Default)]
 pub struct RegistrySnapshot {
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, i64)>,
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    pub exemplars: Vec<(String, Vec<Exemplar>)>,
 }
 
 impl RegistrySnapshot {
@@ -402,6 +481,56 @@ mod tests {
         }
         bump(&c);
         assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn exemplars_link_buckets_to_traces() {
+        let h = Histogram::new();
+        // No ambient trace: no exemplar retained.
+        let _shield = crate::trace::adopt(None);
+        h.record_us(100);
+        assert!(h.exemplars().is_empty());
+
+        let root = crate::trace::Span::root("ex.root");
+        let t1 = root.context().trace_id;
+        h.record_us(120); // (100, 250] bucket
+        h.record_us(90_000_000); // overflow bucket
+        drop(root);
+        let slow = crate::trace::Span::root("ex.slow");
+        let t2 = slow.context().trace_id;
+        h.record_us(200); // same (100, 250] bucket, slower
+        drop(slow);
+
+        let ex = h.exemplars();
+        // Slowest first; one entry per trace.
+        assert_eq!(ex[0].value_us, 90_000_000);
+        assert_eq!(ex[0].trace_id, t1);
+        assert_eq!(ex[0].bucket_us, u64::MAX);
+        let in_bucket: Vec<_> = ex.iter().filter(|e| e.bucket_us == 250).collect();
+        // Slot 0 (recent) and slot 1 (slowest) both hold the 200us sample
+        // from t2, deduped to one entry.
+        assert_eq!(in_bucket.len(), 1);
+        assert_eq!(in_bucket[0].trace_id, t2);
+        assert_eq!(in_bucket[0].value_us, 200);
+    }
+
+    #[test]
+    fn exemplar_slots_keep_recent_and_slowest() {
+        let h = Histogram::new();
+        let _shield = crate::trace::adopt(None);
+        let a = crate::trace::Span::root("ex.a");
+        let ta = a.context().trace_id;
+        h.record_us(240);
+        drop(a);
+        let b = crate::trace::Span::root("ex.b");
+        let tb = b.context().trace_id;
+        h.record_us(110); // same bucket, faster, but more recent
+        drop(b);
+        let ex = h.exemplars();
+        let traces: Vec<u64> = ex.iter().map(|e| e.trace_id).collect();
+        // Slowest (a) survives in slot 1, most recent (b) in slot 0.
+        assert!(traces.contains(&ta) && traces.contains(&tb), "{ex:?}");
+        assert_eq!(ex[0].trace_id, ta, "slowest first");
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Saturation sampling: a ring of periodic gauge snapshots.
+//!
+//! Gauges (queue depth, in-flight count, pool occupancy) are instantaneous —
+//! a stats page shows only the value *now*, which for a bursty system is
+//! usually zero. The saturation ring samples every registered gauge on a
+//! fixed period into a bounded ring, so "was the PL queue deep during that
+//! slow window?" has an answer after the fact. The sampler is one named
+//! background thread, stoppable (and joined) on drop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One periodic snapshot of every registered gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Microseconds since the process epoch.
+    pub at_us: u64,
+    /// `(name, value)` for every gauge, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+}
+
+/// Bounded ring of [`GaugeSample`]s, oldest evicted first.
+pub struct SaturationRing {
+    inner: Mutex<VecDeque<GaugeSample>>,
+    capacity: usize,
+}
+
+impl SaturationRing {
+    pub fn with_capacity(capacity: usize) -> SaturationRing {
+        SaturationRing {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Append a sample, evicting the oldest at capacity.
+    pub fn push(&self, sample: GaugeSample) {
+        let mut buf = self.inner.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(sample);
+    }
+
+    /// The most recent `n` samples, newest first.
+    pub fn recent(&self, n: usize) -> Vec<GaugeSample> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .rev()
+            .take(n)
+            .cloned()
+            .collect()
+    }
+
+    /// The newest sample, if any.
+    pub fn latest(&self) -> Option<GaugeSample> {
+        self.inner.lock().unwrap().back().cloned()
+    }
+
+    /// Peak value of one gauge across the retained window.
+    pub fn peak(&self, gauge: &str) -> Option<i64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .flat_map(|s| s.gauges.iter())
+            .filter(|(name, _)| name == gauge)
+            .map(|(_, v)| *v)
+            .max()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+}
+
+/// The process-wide saturation ring (capacity 256 — at the default 200ms
+/// period that is ~51s of history).
+pub fn ring() -> &'static SaturationRing {
+    static RING: OnceLock<SaturationRing> = OnceLock::new();
+    RING.get_or_init(|| SaturationRing::with_capacity(256))
+}
+
+/// Snapshot every gauge in the global registry into the global ring.
+pub fn sample_now() {
+    let snap = crate::metrics::global().snapshot();
+    ring().push(GaugeSample {
+        at_us: crate::now_us(),
+        gauges: snap.gauges,
+    });
+}
+
+/// Handle on the background sampling thread; stops and joins on drop.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Ask the thread to stop and wait for it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start a background thread sampling the global registry into the global
+/// ring every `period`. Sleeps in small slices so stop latency stays low
+/// even with long periods.
+pub fn start_sampler(period: Duration) -> Sampler {
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("hedc-saturation".into())
+        .spawn(move || {
+            let slice = Duration::from_millis(10).min(period);
+            let mut elapsed = Duration::ZERO;
+            while !thread_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(slice);
+                elapsed += slice;
+                if elapsed >= period {
+                    elapsed = Duration::ZERO;
+                    sample_now();
+                }
+            }
+        })
+        .expect("spawn saturation sampler");
+    Sampler {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_newest_first() {
+        let ring = SaturationRing::with_capacity(3);
+        for i in 0..5i64 {
+            ring.push(GaugeSample {
+                at_us: i as u64,
+                gauges: vec![("q.depth".into(), i)],
+            });
+        }
+        assert_eq!(ring.len(), 3);
+        let recent = ring.recent(10);
+        assert_eq!(recent[0].at_us, 4);
+        assert_eq!(recent[2].at_us, 2);
+        assert_eq!(ring.latest().unwrap().at_us, 4);
+        assert_eq!(ring.peak("q.depth"), Some(4));
+        assert_eq!(ring.peak("absent"), None);
+    }
+
+    #[test]
+    fn sampler_collects_and_stops() {
+        crate::metrics::global().gauge("sat.test.depth").set(7);
+        let sampler = start_sampler(Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            if ring().peak("sat.test.depth") == Some(7) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "sampler never fired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sampler.stop();
+        // After stop, pushes cease: the ring length stabilizes.
+        let n = ring().len();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(ring().len(), n);
+    }
+}

@@ -10,7 +10,7 @@
 //! a tree keyed by its trace ID.
 
 use std::cell::Cell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -107,11 +107,87 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         CURRENT.with(|c| c.set(self.prev));
-        span_store().record(FinishedSpan {
+        let finished = FinishedSpan {
             trace_id: self.ctx.trace_id,
             span_id: self.ctx.span_id,
             parent_id: self.parent_id,
             name: std::mem::take(&mut self.name),
+            start_us: self.start_us,
+            duration_us: (self.start.elapsed().as_micros() as u64).max(1),
+        };
+        finish_into_store(finished);
+    }
+}
+
+/// Record a finished span into the global store; a root additionally lands
+/// the completed trace in the flight recorder.
+fn finish_into_store(finished: FinishedSpan) {
+    let is_root = finished.parent_id == 0;
+    if is_root {
+        span_store().record(finished.clone());
+        crate::flight::recorder().on_root_finished(&finished);
+    } else {
+        span_store().record(finished);
+    }
+}
+
+/// Record a span for an interval that already elapsed, as a child of the
+/// ambient context. No-op outside a trace: retroactive intervals (queue
+/// wait, pool acquire) only matter as part of a request's tree, and minting
+/// roots here would flood the store from untraced call sites.
+pub fn record_interval(name: &str, start: Instant) {
+    let Some(parent) = current() else { return };
+    let duration_us = (start.elapsed().as_micros() as u64).max(1);
+    span_store().record(FinishedSpan {
+        trace_id: parent.trace_id,
+        span_id: next_id(),
+        parent_id: parent.span_id,
+        name: name.to_string(),
+        start_us: crate::now_us().saturating_sub(duration_us),
+        duration_us,
+    });
+}
+
+/// A root span whose lifetime is not a lexical scope: minted where a unit of
+/// work enters a pipeline, carried (or just its [`SpanContext`]) alongside
+/// the work through stages and threads, and finished explicitly when the
+/// unit completes. Unlike [`Span`] it never touches the thread-local ambient
+/// context — stages adopt its context explicitly.
+#[derive(Debug)]
+pub struct PendingRoot {
+    ctx: SpanContext,
+    name: String,
+    start: Instant,
+    start_us: u64,
+}
+
+impl PendingRoot {
+    /// Mint a new trace for a unit of pipelined work.
+    pub fn begin(name: &str) -> PendingRoot {
+        PendingRoot {
+            ctx: SpanContext {
+                trace_id: next_id(),
+                span_id: next_id(),
+            },
+            name: name.to_string(),
+            start: Instant::now(),
+            start_us: crate::now_us(),
+        }
+    }
+
+    /// Coordinates for stages to [`adopt`].
+    pub fn context(&self) -> SpanContext {
+        self.ctx
+    }
+
+    /// Record the root span (and hand the completed trace to the flight
+    /// recorder). Dropping without calling this abandons the trace.
+    pub fn finish(self) {
+        finish_into_store(FinishedSpan {
+            trace_id: self.ctx.trace_id,
+            span_id: self.ctx.span_id,
+            parent_id: 0,
+            name: self.name,
             start_us: self.start_us,
             duration_us: (self.start.elapsed().as_micros() as u64).max(1),
         });
@@ -130,26 +206,44 @@ pub struct FinishedSpan {
     pub duration_us: u64,
 }
 
-/// Bounded ring buffer of finished spans; oldest entries fall off.
+/// Bounded ring buffer of finished spans; oldest entries fall off. A
+/// per-trace span count rides along so "does this trace have more than its
+/// root?" is O(1) — the flight recorder asks on every root finish.
 pub struct SpanStore {
-    inner: Mutex<VecDeque<FinishedSpan>>,
+    inner: Mutex<StoreInner>,
     capacity: usize,
+}
+
+struct StoreInner {
+    buf: VecDeque<FinishedSpan>,
+    counts: HashMap<u64, usize>,
 }
 
 impl SpanStore {
     pub fn with_capacity(capacity: usize) -> Self {
         SpanStore {
-            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            inner: Mutex::new(StoreInner {
+                buf: VecDeque::with_capacity(capacity),
+                counts: HashMap::new(),
+            }),
             capacity,
         }
     }
 
     pub fn record(&self, span: FinishedSpan) {
-        let mut buf = self.inner.lock().unwrap();
-        if buf.len() == self.capacity {
-            buf.pop_front();
+        let mut inner = self.inner.lock().unwrap();
+        if inner.buf.len() == self.capacity {
+            if let Some(old) = inner.buf.pop_front() {
+                if let Some(n) = inner.counts.get_mut(&old.trace_id) {
+                    *n -= 1;
+                    if *n == 0 {
+                        inner.counts.remove(&old.trace_id);
+                    }
+                }
+            }
         }
-        buf.push_back(span);
+        *inner.counts.entry(span.trace_id).or_insert(0) += 1;
+        inner.buf.push_back(span);
     }
 
     /// All retained spans of one trace, in completion order.
@@ -157,17 +251,31 @@ impl SpanStore {
         self.inner
             .lock()
             .unwrap()
+            .buf
             .iter()
             .filter(|s| s.trace_id == trace_id)
             .cloned()
             .collect()
     }
 
+    /// Retained span count of one trace (0 when fully evicted).
+    pub fn trace_span_count(&self, trace_id: u64) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .counts
+            .get(&trace_id)
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// The most recently completed `n` spans, newest last.
     pub fn recent(&self, n: usize) -> Vec<FinishedSpan> {
-        let buf = self.inner.lock().unwrap();
-        buf.iter()
-            .skip(buf.len().saturating_sub(n))
+        let inner = self.inner.lock().unwrap();
+        inner
+            .buf
+            .iter()
+            .skip(inner.buf.len().saturating_sub(n))
             .cloned()
             .collect()
     }
@@ -177,6 +285,7 @@ impl SpanStore {
         self.inner
             .lock()
             .unwrap()
+            .buf
             .iter()
             .rev()
             .find(|s| s.parent_id == 0)
@@ -184,7 +293,7 @@ impl SpanStore {
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.lock().unwrap().buf.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -192,10 +301,12 @@ impl SpanStore {
     }
 }
 
-/// The process-wide span ring buffer (capacity 4096).
+/// The process-wide span ring buffer. Sized so ~100 concurrent requests of
+/// a few dozen spans each stay fully reconstructable (the fig4 collapse
+/// runs 96 clients).
 pub fn span_store() -> &'static SpanStore {
     static STORE: OnceLock<SpanStore> = OnceLock::new();
-    STORE.get_or_init(|| SpanStore::with_capacity(4096))
+    STORE.get_or_init(|| SpanStore::with_capacity(8192))
 }
 
 #[cfg(test)]
@@ -268,5 +379,67 @@ mod tests {
         let spans = store.spans_for(1);
         assert_eq!(spans[0].span_id, 6);
         assert_eq!(store.last_root_trace(), Some(1));
+    }
+
+    #[test]
+    fn trace_span_counts_track_eviction() {
+        let store = SpanStore::with_capacity(3);
+        let span = |trace_id: u64, span_id: u64| FinishedSpan {
+            trace_id,
+            span_id,
+            parent_id: 0,
+            name: "x".into(),
+            start_us: 0,
+            duration_us: 1,
+        };
+        store.record(span(1, 1));
+        store.record(span(1, 2));
+        store.record(span(2, 3));
+        assert_eq!(store.trace_span_count(1), 2);
+        assert_eq!(store.trace_span_count(2), 1);
+        store.record(span(2, 4)); // evicts (1,1)
+        store.record(span(2, 5)); // evicts (1,2)
+        assert_eq!(store.trace_span_count(1), 0);
+        assert_eq!(store.trace_span_count(2), 3);
+    }
+
+    #[test]
+    fn record_interval_parents_to_ambient_and_noops_outside() {
+        let _shield = adopt(None);
+        record_interval("t.queue_wait", Instant::now());
+        // Nothing recorded: no ambient context.
+        let root = Span::root("t.iroot");
+        let ctx = root.context();
+        let t0 = Instant::now() - std::time::Duration::from_millis(2);
+        record_interval("t.queue_wait", t0);
+        drop(root);
+        let spans = span_store().spans_for(ctx.trace_id);
+        assert_eq!(spans.len(), 2);
+        let wait = spans.iter().find(|s| s.name == "t.queue_wait").unwrap();
+        assert_eq!(wait.parent_id, ctx.span_id);
+        assert!(wait.duration_us >= 2_000, "{}", wait.duration_us);
+        let r = spans.iter().find(|s| s.name == "t.iroot").unwrap();
+        // The retroactive interval sits inside the root's window.
+        assert!(wait.start_us + wait.duration_us <= r.start_us + r.duration_us + 1_000);
+    }
+
+    #[test]
+    fn pending_root_finishes_off_thread() {
+        let pending = PendingRoot::begin("t.unit");
+        let ctx = pending.context();
+        std::thread::spawn(move || {
+            let _g = adopt(Some(ctx));
+            let _child = Span::child("t.stage");
+        })
+        .join()
+        .unwrap();
+        pending.finish();
+        let spans = span_store().spans_for(ctx.trace_id);
+        assert_eq!(spans.len(), 2);
+        let root = spans.iter().find(|s| s.parent_id == 0).unwrap();
+        assert_eq!(root.name, "t.unit");
+        assert_eq!(root.span_id, ctx.span_id);
+        let stage = spans.iter().find(|s| s.name == "t.stage").unwrap();
+        assert_eq!(stage.parent_id, ctx.span_id);
     }
 }

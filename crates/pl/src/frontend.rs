@@ -216,7 +216,13 @@ impl ProcessingLogic {
             enqueued: Instant::now(),
         };
         let (lock, cvar) = &*self.queue;
-        lock.lock().heap.push(q);
+        {
+            let mut state = lock.lock();
+            state.heap.push(q);
+            hedc_obs::global()
+                .gauge("pl.queue.depth")
+                .set(state.heap.len() as i64);
+        }
         cvar.notify_one();
         (state, rx)
     }
@@ -245,6 +251,9 @@ impl ProcessingLogic {
                         return;
                     }
                     if let Some(job) = state.heap.pop() {
+                        hedc_obs::global()
+                            .gauge("pl.queue.depth")
+                            .set(state.heap.len() as i64);
                         break job;
                     }
                     cvar.wait(&mut state);
@@ -253,13 +262,20 @@ impl ProcessingLogic {
             hedc_obs::global()
                 .histogram("pl.queue_wait")
                 .record(job.enqueued.elapsed());
+            let inflight = hedc_obs::global().gauge("pl.inflight");
+            inflight.add(1);
             let result = {
                 // Continue the submitter's trace on this dispatcher thread;
                 // a request submitted outside any trace starts its own here.
                 let _trace = hedc_obs::adopt(job.trace);
+                // The queue wait becomes a span too, parented to the
+                // submitter's root (not pl.process, which starts only now —
+                // the wait lies entirely before its window).
+                hedc_obs::record_interval("pl.queue_wait", job.enqueued);
                 let _span = hedc_obs::Span::child("pl.process");
                 self.process(&job)
             };
+            inflight.add(-1);
             let _ = job.reply.send(result);
         }
     }

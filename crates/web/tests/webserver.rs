@@ -17,8 +17,18 @@ struct Stack {
 
 fn stack() -> Stack {
     let files = Arc::new(FileStore::new());
-    files.register(Archive::in_memory(1, "raw", ArchiveTier::OnlineDisk, 1 << 30));
-    files.register(Archive::in_memory(2, "derived", ArchiveTier::OnlineRaid, 1 << 30));
+    files.register(Archive::in_memory(
+        1,
+        "raw",
+        ArchiveTier::OnlineDisk,
+        1 << 30,
+    ));
+    files.register(Archive::in_memory(
+        2,
+        "derived",
+        ArchiveTier::OnlineRaid,
+        1 << 30,
+    ));
     let dm = Dm::bootstrap(files, DmConfig::default()).unwrap();
     let telemetry = generate(&GenConfig {
         duration_ms: 15 * 60 * 1000,
@@ -32,7 +42,8 @@ fn stack() -> Stack {
     let unit = package(&telemetry, usize::MAX, 1).remove(0);
     let report = dm.processes().ingest_unit(&import, &unit, &cfg).unwrap();
     assert!(!report.hle_ids.is_empty());
-    dm.create_user("ana", "pw", "sci", Rights::SCIENTIST).unwrap();
+    dm.create_user("ana", "pw", "sci", Rights::SCIENTIST)
+        .unwrap();
     let pl = ProcessingLogic::start(
         Arc::clone(&dm),
         Arc::new(AlgorithmRegistry::with_builtins()),
@@ -49,7 +60,9 @@ fn stack() -> Stack {
 #[test]
 fn anonymous_browse_catalogs_and_events() {
     let s = stack();
-    let resp = s.server.handle(&HttpRequest::get("/hedc/catalogs", "1.1.1.1"));
+    let resp = s
+        .server
+        .handle(&HttpRequest::get("/hedc/catalogs", "1.1.1.1"));
     assert_eq!(resp.status, 200);
     let html = resp.text();
     assert!(html.contains("extended"), "{html}");
@@ -62,9 +75,10 @@ fn anonymous_browse_catalogs_and_events() {
     assert_eq!(resp.status, 200);
     assert!(resp.text().contains(&format!("/hedc/hle/{}", s.hle_id)));
 
-    let resp = s
-        .server
-        .handle(&HttpRequest::get(&format!("/hedc/hle/{}", s.hle_id), "1.1.1.1"));
+    let resp = s.server.handle(&HttpRequest::get(
+        &format!("/hedc/hle/{}", s.hle_id),
+        "1.1.1.1",
+    ));
     assert_eq!(resp.status, 200);
     let html = resp.text();
     assert!(html.contains("Analyses"));
@@ -145,9 +159,9 @@ fn ana_page_lists_result_files() {
         .and_then(|rest| rest.split('"').next())
         .and_then(|s| s.parse().ok())
         .expect("analysis link in response");
-    let resp = s.server.handle(
-        &HttpRequest::get(&format!("/hedc/ana/{ana_id}"), "7.7.7.7").with_cookie(cookie),
-    );
+    let resp = s
+        .server
+        .handle(&HttpRequest::get(&format!("/hedc/ana/{ana_id}"), "7.7.7.7").with_cookie(cookie));
     assert_eq!(resp.status, 200);
     let html = resp.text();
     assert!(html.contains("lightcurve"));
@@ -175,7 +189,10 @@ fn user_sql_requires_rights_and_rejects_dml() {
     let resp = s.server.handle(
         &HttpRequest::get("/hedc/sql", "2.2.2.2")
             .with_cookie(cookie)
-            .with_param("q", "SELECT event_type, COUNT(*) FROM hle GROUP BY event_type"),
+            .with_param(
+                "q",
+                "SELECT event_type, COUNT(*) FROM hle GROUP BY event_type",
+            ),
     );
     assert_eq!(resp.status, 200, "{}", resp.text());
     assert!(resp.text().contains("COUNT(*)"));
@@ -193,7 +210,9 @@ fn user_sql_requires_rights_and_rejects_dml() {
 fn unknown_routes_and_ids_404() {
     let s = stack();
     assert_eq!(
-        s.server.handle(&HttpRequest::get("/nope", "1.1.1.1")).status,
+        s.server
+            .handle(&HttpRequest::get("/nope", "1.1.1.1"))
+            .status,
         404
     );
     assert_eq!(
@@ -230,9 +249,10 @@ fn hle_page_costs_about_seven_queries() {
             .with_param("kind", "histogram"),
     );
     let before = s.dm.io.databases()[0].stats();
-    let resp = s
-        .server
-        .handle(&HttpRequest::get(&format!("/hedc/hle/{}", s.hle_id), "3.3.3.3"));
+    let resp = s.server.handle(&HttpRequest::get(
+        &format!("/hedc/hle/{}", s.hle_id),
+        "3.3.3.3",
+    ));
     assert_eq!(resp.status, 200);
     let delta = s.dm.io.databases()[0].stats().since(&before);
     assert!(
@@ -273,7 +293,9 @@ fn summary_served_from_materialized_views() {
     // Refresh so the ingest's public events appear.
     s.dm.matviews.refresh_stale(0).unwrap();
     let before = s.dm.io.databases()[0].stats();
-    let resp = s.server.handle(&HttpRequest::get("/hedc/summary", "6.6.6.6"));
+    let resp = s
+        .server
+        .handle(&HttpRequest::get("/hedc/summary", "6.6.6.6"));
     assert_eq!(resp.status, 200);
     let html = resp.text();
     assert!(html.contains("events_by_type"), "{html}");
@@ -308,9 +330,9 @@ fn files_route_downloads_through_metadata() {
         .and_then(|rest| rest.split('"').next())
         .and_then(|v| v.parse().ok())
         .unwrap();
-    let page = s.server.handle(
-        &HttpRequest::get(&format!("/hedc/ana/{ana_id}"), "8.8.8.8").with_cookie(cookie),
-    );
+    let page = s
+        .server
+        .handle(&HttpRequest::get(&format!("/hedc/ana/{ana_id}"), "8.8.8.8").with_cookie(cookie));
     let html = page.text();
     let link = html
         .split("href=\"/files/")
@@ -323,16 +345,16 @@ fn files_route_downloads_through_metadata() {
         .handle(&HttpRequest::get(&format!("/files/{link}"), "8.8.8.8"));
     assert_eq!(resp.status, 403);
     // Authorized download succeeds and streams bytes.
-    let resp = s.server.handle(
-        &HttpRequest::get(&format!("/files/{link}"), "8.8.8.8").with_cookie(cookie),
-    );
+    let resp = s
+        .server
+        .handle(&HttpRequest::get(&format!("/files/{link}"), "8.8.8.8").with_cookie(cookie));
     assert_eq!(resp.status, 200, "{}", resp.text());
     assert_eq!(resp.content_type, "application/octet-stream");
     assert!(!resp.body.is_empty());
     // Unknown path 404s.
-    let resp = s.server.handle(
-        &HttpRequest::get("/files/nope/missing.fits", "8.8.8.8").with_cookie(cookie),
-    );
+    let resp = s
+        .server
+        .handle(&HttpRequest::get("/files/nope/missing.fits", "8.8.8.8").with_cookie(cookie));
     assert_eq!(resp.status, 404);
     s.pl.shutdown();
 }
@@ -425,13 +447,13 @@ fn files_route_enforces_tuple_visibility() {
         .and_then(|r| r.split('"').next().map(str::to_string))
         .unwrap();
     // Owner downloads fine; the rival is denied even with download rights.
-    let ok = s.server.handle(
-        &HttpRequest::get(&format!("/files/{link}"), "ip-ana").with_cookie(ana_cookie),
-    );
+    let ok = s
+        .server
+        .handle(&HttpRequest::get(&format!("/files/{link}"), "ip-ana").with_cookie(ana_cookie));
     assert_eq!(ok.status, 200);
-    let denied = s.server.handle(
-        &HttpRequest::get(&format!("/files/{link}"), "ip-rival").with_cookie(rival_cookie),
-    );
+    let denied = s
+        .server
+        .handle(&HttpRequest::get(&format!("/files/{link}"), "ip-rival").with_cookie(rival_cookie));
     assert_eq!(denied.status, 403, "{}", denied.text());
     s.pl.shutdown();
 }
@@ -460,9 +482,9 @@ fn files_route_serves_the_requested_file_not_the_primary() {
         .and_then(|r| r.split('"').next())
         .and_then(|v| v.parse().ok())
         .unwrap();
-    let page = s.server.handle(
-        &HttpRequest::get(&format!("/hedc/ana/{ana_id}"), "ip-x").with_cookie(cookie),
-    );
+    let page = s
+        .server
+        .handle(&HttpRequest::get(&format!("/hedc/ana/{ana_id}"), "ip-x").with_cookie(cookie));
     // The page links several files; the run.log must come back as the log's
     // bytes, not the primary JSON result.
     let html = page.text();
@@ -471,10 +493,66 @@ fn files_route_serves_the_requested_file_not_the_primary() {
         .filter_map(|r| r.split('"').next())
         .find(|l| l.ends_with("run.log"))
         .expect("log link present");
-    let resp = s.server.handle(
-        &HttpRequest::get(&format!("/files/{log_link}"), "ip-x").with_cookie(cookie),
-    );
+    let resp = s
+        .server
+        .handle(&HttpRequest::get(&format!("/files/{log_link}"), "ip-x").with_cookie(cookie));
     assert_eq!(resp.status, 200);
     let body = resp.text();
     assert!(body.starts_with("kind=histogram"), "{body}");
+}
+
+#[test]
+fn flight_recorder_trace_pages_serve_waterfalls() {
+    let s = stack();
+    // With a 1 us pin threshold this request is guaranteed to pin, so the
+    // recorder has at least one trace for the pages below to serve. The
+    // recorder is global: restore the threshold before asserting.
+    let recorder = hedc_obs::recorder();
+    let prev = recorder.pin_threshold_us();
+    recorder.set_pin_threshold_us(1);
+    let resp = s
+        .server
+        .handle(&HttpRequest::get("/hedc/catalogs", "1.1.1.1"));
+    recorder.set_pin_threshold_us(prev);
+    assert_eq!(resp.status, 200);
+
+    let pinned = recorder.pinned();
+    assert!(
+        !pinned.is_empty(),
+        "request did not pin at a 1 us threshold"
+    );
+    let trace_id = pinned[0].trace_id;
+
+    let resp = s
+        .server
+        .handle(&HttpRequest::get("/hedc/traces", "1.1.1.1"));
+    assert_eq!(resp.status, 200);
+    let html = resp.text();
+    assert!(html.contains("Flight recorder"), "{html}");
+    assert!(html.contains(&format!("/hedc/trace/{trace_id}")), "{html}");
+
+    let resp = s.server.handle(&HttpRequest::get(
+        &format!("/hedc/trace/{trace_id}"),
+        "1.1.1.1",
+    ));
+    assert_eq!(resp.status, 200);
+    let html = resp.text();
+    assert!(html.contains(&format!("Trace {trace_id}")), "{html}");
+
+    let resp = s.server.handle(&HttpRequest::get(
+        &format!("/hedc/trace/{trace_id}.json"),
+        "1.1.1.1",
+    ));
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.content_type, "application/json");
+    let body = resp.text();
+    assert!(body.contains("\"breakdown\""), "{body}");
+    assert!(body.contains("\"queue_us\""), "{body}");
+
+    // Unknown / malformed ids are 404s, not 500s.
+    let resp = s
+        .server
+        .handle(&HttpRequest::get("/hedc/trace/notanumber", "1.1.1.1"));
+    assert_eq!(resp.status, 404);
+    s.pl.shutdown();
 }

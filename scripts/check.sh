@@ -15,6 +15,12 @@
 #                              run only the ingest pipeline smoke: a tiny
 #                              downlink-day load (serial + parallel) plus a
 #                              WAL crash/resume cycle, then exit
+#   scripts/check.sh --obs-smoke
+#                              run only the observability smoke: boot a node,
+#                              force a slow trace, and assert it pins in the
+#                              flight recorder, serves /hedc/trace/<id>, and
+#                              surfaces exemplar/saturation/flight fields in
+#                              stats.json, then exit
 #
 # The full gate also fails if the test run minted new proptest-regressions
 # entries: a fresh regression file is a real counterexample that must be
@@ -26,15 +32,17 @@ fast=0
 seed=""
 smoke_only=0
 ingest_smoke_only=0
+obs_smoke_only=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) fast=1; shift ;;
     --bench-smoke) smoke_only=1; shift ;;
     --ingest-smoke) ingest_smoke_only=1; shift ;;
+    --obs-smoke) obs_smoke_only=1; shift ;;
     --seed)
-      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--seed N]" >&2; exit 2; }
+      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--obs-smoke] [--seed N]" >&2; exit 2; }
       seed="$2"; shift 2 ;;
-    *) echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--seed N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--obs-smoke] [--seed N]" >&2; exit 2 ;;
   esac
 done
 
@@ -53,7 +61,7 @@ bench_smoke() {
       cargo run --release -q -p hedc-bench --bin "$1" -- "${@:2}" >/dev/null
   }
   run_bin batch_bench --net
-  run_bin fig4_browse_clients --batch
+  run_bin fig4_browse_clients --batch --attribution
   run_bin fig5_browse_nodes
   run_bin table1_processing
   run_bin table23_characteristics
@@ -62,7 +70,19 @@ bench_smoke() {
     [[ -s "$out/$report.json" ]] || {
       echo "FAIL: bench smoke produced no $report.json" >&2; exit 1; }
   done
+  # The smoke reports must satisfy the documented row schema.
+  cargo run --release -q -p hedc-bench --bin bench_schema -- "$out" \
+    fig4_browse_clients batch_bench
   rm -rf "$out"
+}
+
+# Observability smoke: the tail-latency diagnosis loop must close end to
+# end — a forced-slow trace pins in the flight recorder, /hedc/trace/<id>
+# serves its critical-path waterfall, and stats.json exposes the exemplar,
+# saturation, and flight-recorder fields.
+obs_smoke() {
+  echo "==> obs smoke (flight recorder + trace page + stats fields)"
+  cargo run --release -q -p hedc-bench --bin hedc_doctor -- --obs-smoke
 }
 
 # Ingest pipeline smoke: a tiny downlink day through the serial and staged
@@ -91,6 +111,13 @@ if [[ "$ingest_smoke_only" -eq 1 ]]; then
   cargo build --release -q -p hedc-bench
   ingest_smoke
   echo "OK (ingest smoke)"
+  exit 0
+fi
+
+if [[ "$obs_smoke_only" -eq 1 ]]; then
+  cargo build --release -q -p hedc-bench
+  obs_smoke
+  echo "OK (obs smoke)"
   exit 0
 fi
 
@@ -130,6 +157,13 @@ cargo test -q --workspace
 
 bench_smoke
 ingest_smoke
+obs_smoke
+
+# The committed results/ reports must satisfy the schema, and the committed
+# tier (fig4, batch, ingest) must be present.
+echo "==> bench_schema (committed results/)"
+cargo run --release -q -p hedc-bench --bin bench_schema -- results \
+  fig4_browse_clients batch_bench ingest
 
 regressions_after="$(find . -path ./target -prune -o -name '*.txt' -path '*proptest-regressions*' -print 2>/dev/null | sort | xargs -r md5sum 2>/dev/null || true)"
 if [[ "$regressions_before" != "$regressions_after" ]]; then
