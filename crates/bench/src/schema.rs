@@ -26,6 +26,15 @@
 //!   `skipped + resumed + ingested == units` (every unit accounted).
 //! * **table1_processing** — `rows`: non-empty with `workload`, `config`,
 //!   finite `throughput_rps`, and an ordered `latency_s`.
+//! * **store** — `contention`: non-empty rows with `backend`
+//!   (`memory`/`paged`), `phase` (`idle`/`under_ingest`), `queries` ≥ 1,
+//!   finite `throughput_rps`, and an ordered `latency_s`;
+//!   `contention_summary`: finite positive `memory_p99_ratio` and
+//!   `paged_p99_ratio`, with the paged ratio ≤ 2 — the tentpole claim that
+//!   MVCC snapshot reads keep browse p99 under ingest within 2× of idle;
+//!   `larger_than_cache`: object whose `scan_rows == rows`, `evictions` >
+//!   `cache_pages` (the table really exceeded the cache), and
+//!   `scan_verified` is `true`.
 //!
 //! Unknown `BENCH_*` names are an error: a bench that invents a report must
 //! register its schema here, which is the point.
@@ -34,12 +43,13 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// Bench names this validator knows how to check.
-pub const KNOWN: [&str; 5] = [
+pub const KNOWN: [&str; 6] = [
     "fig4_browse_clients",
     "fig5_browse_nodes",
     "batch_bench",
     "ingest",
     "table1_processing",
+    "store",
 ];
 
 type Errors = Vec<String>;
@@ -286,6 +296,75 @@ fn check_table1(report: &serde_json::Value, errs: &mut Errors) {
     }
 }
 
+fn check_store(report: &serde_json::Value, errs: &mut Errors) {
+    if let Some(rows) = section(report, "contention", "store", errs) {
+        for (i, row) in rows.iter().enumerate() {
+            let ctx = format!("store.contention[{i}]");
+            if let Some(backend) = text(row, "backend", &ctx, errs) {
+                if !["memory", "paged"].contains(&backend) {
+                    errs.push(format!("{ctx}: unknown backend {backend:?}"));
+                }
+            }
+            if let Some(phase) = text(row, "phase", &ctx, errs) {
+                if !["idle", "under_ingest"].contains(&phase) {
+                    errs.push(format!("{ctx}: unknown phase {phase:?}"));
+                }
+            }
+            if uint(row, "queries", &ctx, errs) == Some(0) {
+                errs.push(format!("{ctx}: zero queries"));
+            }
+            fin(row, "throughput_rps", &ctx, errs);
+            check_latency(row, &ctx, errs);
+        }
+    }
+    match report.get("contention_summary").filter(|s| s.is_object()) {
+        Some(summary) => {
+            let ctx = "store.contention_summary";
+            fin(summary, "memory_p99_ratio", ctx, errs);
+            if let Some(r) = fin(summary, "paged_p99_ratio", ctx, errs) {
+                if r <= 0.0 {
+                    errs.push(format!("{ctx}: non-positive paged_p99_ratio {r}"));
+                } else if r > 2.0 {
+                    errs.push(format!(
+                        "{ctx}: paged_p99_ratio {r:.2} exceeds 2.0 — browse p99 under \
+                         ingest must stay within 2x of idle on the paged backend"
+                    ));
+                }
+            }
+        }
+        None => errs.push("store: missing `contention_summary` object".to_string()),
+    }
+    match report.get("larger_than_cache").filter(|l| l.is_object()) {
+        Some(ltc) => {
+            let ctx = "store.larger_than_cache";
+            let rows = uint(ltc, "rows", ctx, errs);
+            let scanned = uint(ltc, "scan_rows", ctx, errs);
+            if let (Some(rows), Some(scanned)) = (rows, scanned) {
+                if rows != scanned {
+                    errs.push(format!(
+                        "{ctx}: scan returned {scanned} of {rows} rows — a row went missing"
+                    ));
+                }
+            }
+            let cache = uint(ltc, "cache_pages", ctx, errs);
+            let evictions = uint(ltc, "evictions", ctx, errs);
+            if let (Some(cache), Some(evictions)) = (cache, evictions) {
+                if evictions <= cache {
+                    errs.push(format!(
+                        "{ctx}: only {evictions} evictions against a {cache}-page cache — \
+                         the table cannot have exceeded the cache budget"
+                    ));
+                }
+            }
+            fin(ltc, "scan_secs", ctx, errs);
+            if ltc.get("scan_verified").and_then(|v| v.as_bool()) != Some(true) {
+                errs.push(format!("{ctx}: `scan_verified` must be true"));
+            }
+        }
+        None => errs.push("store: missing `larger_than_cache` object".to_string()),
+    }
+}
+
 /// Validate one parsed report against its bench name.
 pub fn validate_report(name: &str, report: &serde_json::Value) -> Result<(), Errors> {
     let mut errs = Errors::new();
@@ -302,6 +381,7 @@ pub fn validate_report(name: &str, report: &serde_json::Value) -> Result<(), Err
         "batch_bench" => check_batch_bench(report, &mut errs),
         "ingest" => check_ingest(report, &mut errs),
         "table1_processing" => check_table1(report, &mut errs),
+        "store" => check_store(report, &mut errs),
         other => errs.push(format!(
             "unknown bench {other:?} — register its schema in hedc_bench::schema"
         )),
@@ -389,7 +469,7 @@ mod tests {
     fn committed_reports_validate() {
         // The repo's own committed results must satisfy their schema.
         let dir = crate::results_dir();
-        for name in ["fig4_browse_clients", "batch_bench", "ingest"] {
+        for name in ["fig4_browse_clients", "batch_bench", "ingest", "store"] {
             let path = dir.join(format!("BENCH_{name}.json"));
             if path.exists() {
                 validate_file(&path).unwrap_or_else(|e| panic!("{name}: {e:?}"));
@@ -458,6 +538,55 @@ mod tests {
         });
         let errs = validate_report("ingest", &report).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("unaccounted")), "{errs:?}");
+    }
+
+    fn store_report() -> serde_json::Value {
+        let phase = |backend: &str, phase: &str| {
+            serde_json::json!({
+                "backend": backend,
+                "phase": phase,
+                "queries": 400,
+                "throughput_rps": 5000.0,
+                "latency_s": { "avg": 0.0002, "p50": 0.0001, "p95": 0.0004, "p99": 0.0008 },
+            })
+        };
+        serde_json::json!({
+            "bench": "store",
+            "contention": [
+                phase("memory", "idle"), phase("memory", "under_ingest"),
+                phase("paged", "idle"), phase("paged", "under_ingest"),
+            ],
+            "contention_summary": { "memory_p99_ratio": 6.0, "paged_p99_ratio": 1.2 },
+            "larger_than_cache": {
+                "rows": 60_000, "page_size": 4096, "cache_pages": 64,
+                "scan_rows": 60_000, "scan_secs": 0.5, "evictions": 9_000,
+                "cache_misses": 9_100, "scan_verified": true,
+            },
+        })
+    }
+
+    #[test]
+    fn store_report_validates_and_gates_the_p99_ratio() {
+        validate_report("store", &store_report()).unwrap();
+
+        // The tentpole claim is enforced: paged p99 under ingest > 2x idle
+        // fails validation.
+        let mut bad = store_report();
+        bad["contention_summary"]["paged_p99_ratio"] = serde_json::json!(3.5);
+        let errs = validate_report("store", &bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("within 2x")), "{errs:?}");
+
+        // A lossy scan fails.
+        let mut bad = store_report();
+        bad["larger_than_cache"]["scan_rows"] = serde_json::json!(59_999);
+        let errs = validate_report("store", &bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("went missing")), "{errs:?}");
+
+        // A cache the table fit inside fails.
+        let mut bad = store_report();
+        bad["larger_than_cache"]["evictions"] = serde_json::json!(10);
+        let errs = validate_report("store", &bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("cache budget")), "{errs:?}");
     }
 
     #[test]

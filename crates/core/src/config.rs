@@ -87,6 +87,11 @@ pub struct HedcConfig {
     /// field existed still parse.
     #[serde(default = "default_slow_trace_ms")]
     pub slow_trace_ms: u64,
+    /// Metadata storage engine: in-process heap (the default) or the paged
+    /// B-tree store with MVCC snapshot reads. Defaults so configs written
+    /// before this field existed still parse.
+    #[serde(default)]
+    pub storage: hedc_metadb::StorageConfig,
 }
 
 fn default_slow_query_ms() -> u64 {
@@ -138,6 +143,7 @@ impl Default for HedcConfig {
             slow_query_ms: default_slow_query_ms(),
             parallel_scan_rows: default_parallel_scan_rows(),
             slow_trace_ms: default_slow_trace_ms(),
+            storage: hedc_metadb::StorageConfig::default(),
         }
     }
 }
@@ -241,6 +247,24 @@ mod tests {
             c.parallel_scan_rows,
             hedc_metadb::tuning::DEFAULT_PARALLEL_SCAN_ROWS
         );
+    }
+
+    #[test]
+    fn storage_defaults_when_absent() {
+        // Same compatibility rule as `slow_query_ms`: older configs parse
+        // and land on the memory backend.
+        let mut json: serde_json::Value =
+            serde_json::from_str(&HedcConfig::default().to_json()).unwrap();
+        json.as_object_mut().unwrap().remove("storage");
+        let c = HedcConfig::from_json(&json.to_string()).unwrap();
+        assert_eq!(c.storage.backend, hedc_metadb::StorageBackend::Memory);
+        // And the paged variant round-trips.
+        let c = HedcConfig {
+            storage: hedc_metadb::StorageConfig::paged(),
+            ..HedcConfig::default()
+        };
+        let back = HedcConfig::from_json(&c.to_json()).unwrap();
+        assert_eq!(back.storage.backend, hedc_metadb::StorageBackend::Paged);
     }
 
     #[test]

@@ -113,6 +113,7 @@ impl Hedc {
                     ..IoConfig::default()
                 },
                 start_ms: config.start_ms,
+                storage: config.storage.clone(),
             },
         )?;
         let registry = Arc::new(AlgorithmRegistry::with_builtins());

@@ -13,7 +13,7 @@
 //! be adapted and optimized without system downtime".
 
 use crate::error::{DmError, DmResult};
-use crate::names::ResolvedName;
+use crate::names::ResolvedSet;
 use hedc_cache::{CacheConfig, GenerationMap, QueryCache, ShardedCache};
 use hedc_filestore::FileStore;
 use hedc_metadb::{
@@ -146,7 +146,7 @@ pub struct DmCaches {
     pub queries: QueryCache,
     /// Cached dynamic-name resolutions, keyed `names:{type}:{item_id}`,
     /// depending on the three location tables.
-    pub names: ShardedCache<Vec<ResolvedName>>,
+    pub names: ShardedCache<ResolvedSet>,
 }
 
 impl DmCaches {

@@ -79,6 +79,8 @@ pub struct DmConfig {
     pub io: IoConfig,
     /// Mission clock start.
     pub start_ms: u64,
+    /// Storage engine for the metadata databases (memory or paged).
+    pub storage: hedc_metadb::StorageConfig,
 }
 
 impl Default for DmConfig {
@@ -88,6 +90,7 @@ impl Default for DmConfig {
             partitioning: Partitioning::single(),
             io: IoConfig::default(),
             start_ms: 0,
+            storage: hedc_metadb::StorageConfig::default(),
         }
     }
 }
@@ -116,7 +119,21 @@ impl Dm {
         assert!(config.databases >= 1);
         let mut dbs = Vec::with_capacity(config.databases);
         for i in 0..config.databases {
-            let db = Database::in_memory(format!("hedc-db-{i}"));
+            // Each instance gets its own store file when one is configured;
+            // `None` keeps anonymous per-store scratch files.
+            let mut storage = config.storage.clone();
+            if let Some(p) = &storage.store_path {
+                if config.databases > 1 {
+                    storage.store_path = Some(p.with_extension(format!("{i}.pages")));
+                }
+            }
+            let db = Database::open(
+                format!("hedc-db-{i}"),
+                hedc_metadb::DbOptions {
+                    storage,
+                    ..hedc_metadb::DbOptions::default()
+                },
+            )?;
             let mut conn = db.connect();
             schema::create_generic(&mut conn)?;
             schema::create_domain(&mut conn)?;

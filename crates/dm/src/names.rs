@@ -74,10 +74,18 @@ pub struct ResolvedName {
     pub transforms: Vec<String>,
 }
 
-impl hedc_cache::CacheValue for Vec<ResolvedName> {
+/// A cached resolution result. Newtype over the `Vec` because
+/// `CacheValue` and `Vec` are both foreign to this crate, so the
+/// orphan rule (E0117) forbids implementing the trait directly on
+/// `Vec<ResolvedName>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedSet(pub Vec<ResolvedName>);
+
+impl hedc_cache::CacheValue for ResolvedSet {
     fn weight_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self
+                .0
                 .iter()
                 .map(|n| {
                     std::mem::size_of::<ResolvedName>()
@@ -232,7 +240,7 @@ impl<'a> Names<'a> {
         };
         let key = format!("names:{}:{item_id}", want.as_str());
         if let Some(hit) = caches.names.get(&key) {
-            return Ok(hit);
+            return Ok(hit.0);
         }
         // Snapshot before the read so a racing relocation leaves the
         // entry born-stale rather than silently live.
@@ -241,7 +249,7 @@ impl<'a> Names<'a> {
             .snapshot(&["loc_entry", "loc_archive", "loc_transform"]);
         let out = self.resolve_inner(item_id, want);
         if let Ok(names) = &out {
-            caches.names.put(&key, names.clone(), deps);
+            caches.names.put(&key, ResolvedSet(names.clone()), deps);
         }
         out
     }
@@ -364,7 +372,7 @@ impl<'a> Names<'a> {
             .names
             .get_many(&keys)
             .into_iter()
-            .map(|hit| hit.map(Ok))
+            .map(|hit| hit.map(|set| Ok(set.0)))
             .collect();
         let miss_idx: Vec<usize> = (0..out.len()).filter(|&i| out[i].is_none()).collect();
         if !miss_idx.is_empty() {
@@ -375,13 +383,13 @@ impl<'a> Names<'a> {
                 .gens
                 .snapshot(&["loc_entry", "loc_archive", "loc_transform"]);
             let resolved = self.resolve_batch_inner(&miss_ids, want);
-            let fills: Vec<(String, Vec<ResolvedName>)> = miss_idx
+            let fills: Vec<(String, ResolvedSet)> = miss_idx
                 .iter()
                 .zip(&resolved)
                 .filter_map(|(&i, r)| {
                     r.as_ref()
                         .ok()
-                        .map(|names| (keys[i].clone(), names.clone()))
+                        .map(|names| (keys[i].clone(), ResolvedSet(names.clone())))
                 })
                 .collect();
             caches.names.put_many(fills, &deps);

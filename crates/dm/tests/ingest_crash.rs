@@ -24,7 +24,7 @@ use hedc_dm::{
 };
 use hedc_events::{generate, package, GenConfig, TelemetryUnit};
 use hedc_filestore::{Archive, ArchiveTier, DirBackend, FileStore};
-use hedc_metadb::{Database, Expr, Query, Value, WalOptions};
+use hedc_metadb::{Database, DbOptions, Expr, Query, StorageConfig, Value, WalOptions};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -65,7 +65,21 @@ struct Fix {
 /// A deterministic in-memory node: twin calls produce twin id/clock states,
 /// which is what the byte-identity assertions lean on.
 fn fixture() -> Fix {
-    let db = Database::in_memory("ingest-crash");
+    fixture_on(None)
+}
+
+fn fixture_on(storage: Option<StorageConfig>) -> Fix {
+    let db = match storage {
+        Some(storage) => Database::open(
+            "ingest-crash",
+            DbOptions {
+                storage,
+                ..DbOptions::default()
+            },
+        )
+        .unwrap(),
+        None => Database::in_memory("ingest-crash"),
+    };
     {
         let mut conn = db.connect();
         schema::create_generic(&mut conn).unwrap();
@@ -359,7 +373,19 @@ struct WalFix {
 }
 
 fn wal_fixture(dir: &Path, options: WalOptions) -> WalFix {
-    let db = Database::with_wal_opts("ingest-crash-wal", dir.join("wal.log"), options).unwrap();
+    wal_fixture_on(dir, options, None)
+}
+
+fn wal_fixture_on(dir: &Path, options: WalOptions, storage: Option<StorageConfig>) -> WalFix {
+    let db = Database::open(
+        "ingest-crash-wal",
+        DbOptions {
+            storage: storage.unwrap_or_default(),
+            wal_path: Some(dir.join("wal.log")),
+            wal: options,
+        },
+    )
+    .unwrap();
     let fresh = {
         let mut conn = db.connect();
         match schema::create_generic(&mut conn) {
@@ -466,6 +492,128 @@ fn wal_recovery_resumes_across_process_death() {
     assert_no_orphans(&fix.io);
 
     // Idempotence: a third pass over the same batch is all skips.
+    let again = pipeline::ingest(&fix.io, &fix.session, &units, &fix.cfg, &serial()).unwrap();
+    assert_eq!(again.skipped, units.len());
+    assert_eq!(again.ingested + again.resumed + again.failed, 0);
+
+    drop(fix);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Paged backend: same recovery contract as the memory backend
+// ---------------------------------------------------------------------------
+
+fn small_paged() -> StorageConfig {
+    StorageConfig {
+        page_size: 1024,
+        cache_pages: 128,
+        ..StorageConfig::paged()
+    }
+}
+
+/// A paged node crashed at every step boundary resumes to a state
+/// byte-identical to an uninterrupted *memory* twin: the storage engine is
+/// invisible to the recovery contract.
+#[test]
+fn paged_boundary_crash_resumes_byte_identical_to_memory_twin() {
+    let seed = effective_seed();
+    println!("ingest_crash seed={seed}");
+    let units = workload(seed);
+    let victim = units[units.len() / 2].seq;
+
+    let reference = fixture();
+    pipeline::ingest(
+        &reference.io,
+        &reference.session,
+        &units,
+        &reference.cfg,
+        &serial(),
+    )
+    .unwrap();
+    let ref_dump = dump(&reference.io);
+
+    for step in [
+        JournalStep::Admitted,
+        JournalStep::RawRow,
+        JournalStep::Done,
+    ] {
+        let fix = fixture_on(Some(small_paged()));
+        let crashed = pipeline::ingest(
+            &fix.io,
+            &fix.session,
+            &units,
+            &fix.cfg,
+            &crashing(victim, CrashSite::Boundary(step)),
+        );
+        assert!(matches!(crashed, Err(DmError::Crashed(_))));
+        let resumed = pipeline::ingest(&fix.io, &fix.session, &units, &fix.cfg, &serial()).unwrap();
+        assert!(resumed.fully_accounted(), "paged boundary {step:?}");
+        assert_eq!(resumed.failed, 0, "paged boundary {step:?}");
+        assert_eq!(
+            dump(&fix.io),
+            ref_dump,
+            "paged boundary {step:?}: state must match the memory twin byte-for-byte"
+        );
+        assert_no_orphans(&fix.io);
+    }
+}
+
+/// WAL-backed paged node killed for real: the store's scratch file dies
+/// with the process, and replaying the WAL into a fresh paged store
+/// reproduces the exact state — same contract as the memory backend.
+#[test]
+fn paged_wal_recovery_resumes_across_process_death() {
+    let seed = effective_seed();
+    println!("ingest_crash seed={seed}");
+    let units = workload(seed);
+    let victim = units[units.len() / 2].seq;
+    let dir = std::env::temp_dir().join(format!(
+        "hedc-ingest-crash-paged-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let options = WalOptions {
+        fsync: false,
+        group_commit: 4,
+    };
+
+    let fix = wal_fixture_on(&dir, options, Some(small_paged()));
+    let crashed = pipeline::ingest(
+        &fix.io,
+        &fix.session,
+        &units,
+        &fix.cfg,
+        &crashing(victim, CrashSite::MidStep(JournalStep::View)),
+    );
+    assert!(matches!(crashed, Err(DmError::Crashed(_))));
+    drop(fix);
+
+    let fix = wal_fixture_on(&dir, options, Some(small_paged()));
+    let resumed = pipeline::ingest(&fix.io, &fix.session, &units, &fix.cfg, &serial()).unwrap();
+    assert!(resumed.fully_accounted());
+    assert_eq!(resumed.failed, 0);
+    let v = resumed.units.iter().find(|u| u.seq == victim).unwrap();
+    assert!(
+        matches!(
+            v.status,
+            UnitStatus::Resumed {
+                from: JournalStep::Events,
+                ..
+            }
+        ),
+        "victim must resume after its last journaled step: {:?}",
+        v.status
+    );
+    let raws = fix.io.query(&Query::table("raw_unit")).unwrap();
+    let mut seqs: Vec<i64> = raws.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), units.len());
+    assert_no_orphans(&fix.io);
+
+    // Idempotence on the recovered paged node.
     let again = pipeline::ingest(&fix.io, &fix.session, &units, &fix.cfg, &serial()).unwrap();
     assert_eq!(again.skipped, units.len());
     assert_eq!(again.ingested + again.resumed + again.failed, 0);

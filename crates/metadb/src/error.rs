@@ -46,6 +46,8 @@ pub enum DbError {
     CorruptLog(String),
     /// A LOB with the given id does not exist.
     NoSuchLob(u64),
+    /// The paged storage engine reported an error.
+    Storage(String),
 }
 
 impl fmt::Display for DbError {
@@ -84,6 +86,7 @@ impl fmt::Display for DbError {
             DbError::Io(msg) => write!(f, "I/O error: {msg}"),
             DbError::CorruptLog(msg) => write!(f, "corrupt redo log: {msg}"),
             DbError::NoSuchLob(id) => write!(f, "no such LOB {id}"),
+            DbError::Storage(msg) => write!(f, "storage engine error: {msg}"),
         }
     }
 }

@@ -41,8 +41,10 @@ mod error;
 mod expr;
 mod fingerprint;
 mod index;
+mod keycode;
 mod lob;
 mod matview;
+mod paged;
 mod pool;
 mod query;
 mod schema;
@@ -53,17 +55,36 @@ pub mod tuning;
 mod value;
 mod wal;
 
-pub use db::{Connection, Database, SqlOutput};
+pub use db::{Connection, Database, DbOptions, SqlOutput, StorageBackend, StorageConfig};
 pub use error::{DbError, DbResult};
 pub use expr::{like_match, ArithOp, CmpOp, ColumnRange, Expr};
 pub use index::{Index, RowId};
 pub use lob::{LobStore, DEFAULT_CHUNK};
 pub use matview::MatViewManager;
+pub use paged::TableSnapshot;
 pub use pool::{ConnectionPool, PoolKind, PoolSet, PoolStats, PooledConnection};
 pub use query::{AccessPath, AggFunc, ExecStats, OrderDir, Projection, Query, QueryResult};
 pub use schema::{ColumnDef, Schema};
 pub use sql::{parse, query_to_sql, Statement};
 pub use stats::{DbStats, StatsSnapshot};
-pub use table::Table;
+pub use table::{IndexRef, Table};
 pub use value::{DataType, Value};
 pub use wal::{read_committed, LogRecord, Wal, WalOptions};
+
+/// Seed for randomized tests: honors `HEDC_TEST_SEED` (decimal or
+/// `0x`-prefixed hex) so a failing run can be replayed exactly, and
+/// falls back to a fixed constant so default runs are reproducible.
+#[doc(hidden)]
+pub fn test_seed() -> u64 {
+    match std::env::var("HEDC_TEST_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16).expect("HEDC_TEST_SEED hex")
+            } else {
+                s.parse().expect("HEDC_TEST_SEED decimal")
+            }
+        }
+        Err(_) => 0x0570_BEE7,
+    }
+}

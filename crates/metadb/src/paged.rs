@@ -1,0 +1,582 @@
+//! Paged table backing: rows and indexes stored in [`hedc_store`]
+//! B-trees instead of in-process `Vec`/`BTreeMap` structures.
+//!
+//! Layout per table:
+//!
+//! - a **row tree** mapping big-endian row id → [`keycode::encode_row`]
+//!   payload, and
+//! - one **index tree** per index mapping
+//!   [`keycode::encode_index_entry`] (order-preserving key bytes plus a
+//!   row-id suffix) → empty value.
+//!
+//! Every mutating table operation runs as one store write transaction
+//! spanning the row tree and all index trees, so a [`Snapshot`] taken
+//! between operations always sees rows and index entries in agreement.
+//! After each commit the backing refreshes its cached snapshot; reads
+//! from the table itself and from published [`TableSnapshot`]s never
+//! touch the writer.
+//!
+//! The store file is **scratch**: durability comes from the redo log
+//! above (`wal.rs`), whose replay at open rebuilds these trees through
+//! the very same code paths — which is also why the free-list state
+//! here is process-local and never persisted.
+
+use crate::error::{DbError, DbResult};
+use crate::index::RowId;
+use crate::keycode;
+use crate::schema::Schema;
+use crate::value::Value;
+use hedc_store::{Snapshot, Store, StoreError, TreeId, WriteTxn};
+use std::ops::Bound;
+use std::sync::Arc;
+
+fn storage_err(e: StoreError) -> DbError {
+    DbError::Storage(e.to_string())
+}
+
+fn row_key(id: RowId) -> [u8; 8] {
+    id.to_be_bytes()
+}
+
+/// An index whose entries live in a store B-tree.
+#[derive(Debug)]
+pub(crate) struct PagedIndex {
+    pub(crate) name: String,
+    pub(crate) columns: Vec<usize>,
+    pub(crate) unique: bool,
+    tree: TreeId,
+    entries: usize,
+}
+
+impl PagedIndex {
+    fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.columns.iter().map(|&c| row[c].clone()).collect()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Uniqueness probe inside an open write transaction (sees the
+    /// transaction's own uncommitted entries, matching the in-memory
+    /// backing's statement-order semantics). NULL keys are exempt.
+    fn check_unique(&self, txn: &WriteTxn<'_>, row: &[Value]) -> DbResult<()> {
+        if !self.unique {
+            return Ok(());
+        }
+        let key = self.key_of(row);
+        if key.iter().any(Value::is_null) {
+            return Ok(());
+        }
+        let prefix = keycode::encode_key(&key);
+        if let Some((found, _)) = txn.seek_ge(self.tree, &prefix).map_err(storage_err)? {
+            if found.starts_with(&prefix) {
+                return Err(DbError::UniqueViolation {
+                    index: self.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paged counterpart of the in-memory row heap.
+#[derive(Debug)]
+pub(crate) struct PagedTable {
+    store: Arc<Store>,
+    rows_tree: TreeId,
+    pub(crate) indexes: Vec<PagedIndex>,
+    /// Recycled slots, LIFO — byte-for-byte the same slot-assignment
+    /// policy as the in-memory backing, so redo-log replay produces
+    /// identical row ids on either backend.
+    free: Vec<RowId>,
+    /// Next never-used slot (the `rows.len()` analogue).
+    next: RowId,
+    /// Last committed state; refreshed after every commit.
+    snap: Snapshot,
+}
+
+impl PagedTable {
+    /// Create the row tree (and the implicit primary-key index when the
+    /// schema declares one).
+    pub(crate) fn new(store: Arc<Store>, schema: &Schema) -> DbResult<Self> {
+        let mut txn = store.begin();
+        let rows_tree = txn.create_tree();
+        let mut indexes = Vec::new();
+        if !schema.primary_key.is_empty() {
+            indexes.push(PagedIndex {
+                name: format!("{}_pk", schema.table),
+                columns: schema.primary_key.clone(),
+                unique: true,
+                tree: txn.create_tree(),
+                entries: 0,
+            });
+        }
+        txn.commit().map_err(storage_err)?;
+        let snap = store.snapshot();
+        Ok(PagedTable {
+            store,
+            rows_tree,
+            indexes,
+            free: Vec::new(),
+            next: 0,
+            snap,
+        })
+    }
+
+    fn refresh(&mut self) {
+        self.snap = self.store.snapshot();
+    }
+
+    fn write_row(&self, txn: &mut WriteTxn<'_>, id: RowId, row: &[Value]) -> DbResult<()> {
+        txn.insert(self.rows_tree, &row_key(id), &keycode::encode_row(row))
+            .map_err(storage_err)?;
+        for ix in &self.indexes {
+            txn.insert(
+                ix.tree,
+                &keycode::encode_index_entry(&ix.key_of(row), id),
+                &[],
+            )
+            .map_err(storage_err)?;
+        }
+        Ok(())
+    }
+
+    fn check_all_unique(&self, txn: &WriteTxn<'_>, row: &[Value]) -> DbResult<()> {
+        for ix in &self.indexes {
+            ix.check_unique(txn, row)?;
+        }
+        Ok(())
+    }
+
+    /// Insert into the next free slot (LIFO) or a fresh one.
+    pub(crate) fn insert(&mut self, row: &[Value]) -> DbResult<RowId> {
+        let mut txn = self.store.begin();
+        self.check_all_unique(&txn, row)?;
+        let id = self.free.last().copied().unwrap_or(self.next);
+        self.write_row(&mut txn, id, row)?;
+        txn.commit().map_err(storage_err)?;
+        if self.free.pop().is_none() {
+            self.next += 1;
+        }
+        for ix in &mut self.indexes {
+            ix.entries += 1;
+        }
+        self.refresh();
+        Ok(id)
+    }
+
+    /// Insert into a specific slot (recovery replay, delete rollback).
+    pub(crate) fn insert_at(&mut self, id: RowId, row: &[Value]) -> DbResult<()> {
+        let mut txn = self.store.begin();
+        self.check_all_unique(&txn, row)?;
+        if id < self.next
+            && txn
+                .get(self.rows_tree, &row_key(id))
+                .map_err(storage_err)?
+                .is_some()
+        {
+            return Err(DbError::Txn(format!("slot {id} already occupied")));
+        }
+        self.write_row(&mut txn, id, row)?;
+        txn.commit().map_err(storage_err)?;
+        if id >= self.next {
+            // Extending the heap: intermediate slots become free, in
+            // ascending order, exactly as the in-memory backing does.
+            for i in self.next..id {
+                self.free.push(i);
+            }
+            self.next = id + 1;
+        } else if let Some(pos) = self.free.iter().position(|&f| f == id) {
+            self.free.swap_remove(pos);
+        }
+        for ix in &mut self.indexes {
+            ix.entries += 1;
+        }
+        self.refresh();
+        Ok(())
+    }
+
+    /// Fetch a row by id from the last committed snapshot.
+    pub(crate) fn get(&self, id: RowId) -> DbResult<Vec<Value>> {
+        match self
+            .snap
+            .get(self.rows_tree, &row_key(id))
+            .map_err(storage_err)?
+        {
+            Some(buf) => Ok(keycode::decode_row(&buf)),
+            None => Err(DbError::NoSuchRow(id)),
+        }
+    }
+
+    /// Replace a row, maintaining index entries; returns the old values.
+    pub(crate) fn update(&mut self, id: RowId, new_row: &[Value]) -> DbResult<Vec<Value>> {
+        let old = self.get(id)?;
+        let mut txn = self.store.begin();
+        for ix in &self.indexes {
+            if ix.unique {
+                let old_key = keycode::encode_key(&ix.key_of(&old));
+                let new_key = keycode::encode_key(&ix.key_of(new_row));
+                if old_key != new_key {
+                    ix.check_unique(&txn, new_row)?;
+                }
+            }
+        }
+        txn.insert(self.rows_tree, &row_key(id), &keycode::encode_row(new_row))
+            .map_err(storage_err)?;
+        for ix in &self.indexes {
+            txn.delete(ix.tree, &keycode::encode_index_entry(&ix.key_of(&old), id))
+                .map_err(storage_err)?;
+            txn.insert(
+                ix.tree,
+                &keycode::encode_index_entry(&ix.key_of(new_row), id),
+                &[],
+            )
+            .map_err(storage_err)?;
+        }
+        txn.commit().map_err(storage_err)?;
+        self.refresh();
+        Ok(old)
+    }
+
+    /// Replace many rows in ONE store transaction: one commit, one
+    /// snapshot refresh, and no partial effects on failure (the
+    /// uncommitted transaction is simply dropped). This is the bulk
+    /// `UPDATE .. WHERE` fast path — committing per row would pwrite
+    /// the dirty page set and rewrite the B-tree root path once per
+    /// row instead of once per statement. Returns prior values in
+    /// batch order.
+    pub(crate) fn update_many(
+        &mut self,
+        updates: &[(RowId, Vec<Value>)],
+    ) -> DbResult<Vec<Vec<Value>>> {
+        let mut txn = self.store.begin();
+        let mut olds = Vec::with_capacity(updates.len());
+        for (id, new_row) in updates {
+            // Read the old row through the transaction so earlier rows
+            // in this batch are visible (sequential-statement
+            // semantics, even though ids are distinct in practice).
+            let old = match txn
+                .get(self.rows_tree, &row_key(*id))
+                .map_err(storage_err)?
+            {
+                Some(buf) => keycode::decode_row(&buf),
+                None => return Err(DbError::NoSuchRow(*id)),
+            };
+            for ix in &self.indexes {
+                if ix.unique {
+                    let old_key = keycode::encode_key(&ix.key_of(&old));
+                    let new_key = keycode::encode_key(&ix.key_of(new_row));
+                    if old_key != new_key {
+                        ix.check_unique(&txn, new_row)?;
+                    }
+                }
+            }
+            txn.insert(self.rows_tree, &row_key(*id), &keycode::encode_row(new_row))
+                .map_err(storage_err)?;
+            for ix in &self.indexes {
+                txn.delete(ix.tree, &keycode::encode_index_entry(&ix.key_of(&old), *id))
+                    .map_err(storage_err)?;
+                txn.insert(
+                    ix.tree,
+                    &keycode::encode_index_entry(&ix.key_of(new_row), *id),
+                    &[],
+                )
+                .map_err(storage_err)?;
+            }
+            olds.push(old);
+        }
+        txn.commit().map_err(storage_err)?;
+        self.refresh();
+        Ok(olds)
+    }
+
+    /// Delete a row; returns its former values and recycles the slot.
+    pub(crate) fn delete(&mut self, id: RowId) -> DbResult<Vec<Value>> {
+        let old = self.get(id)?;
+        let mut txn = self.store.begin();
+        txn.delete(self.rows_tree, &row_key(id))
+            .map_err(storage_err)?;
+        for ix in &self.indexes {
+            txn.delete(ix.tree, &keycode::encode_index_entry(&ix.key_of(&old), id))
+                .map_err(storage_err)?;
+        }
+        txn.commit().map_err(storage_err)?;
+        for ix in &mut self.indexes {
+            ix.entries -= 1;
+        }
+        self.free.push(id);
+        self.refresh();
+        Ok(old)
+    }
+
+    /// Build a new index, backfilled from existing rows in one store
+    /// transaction (a failed unique backfill leaves no residue).
+    pub(crate) fn create_index(
+        &mut self,
+        name: String,
+        columns: Vec<usize>,
+        unique: bool,
+    ) -> DbResult<()> {
+        let rows = self.scan_rows()?;
+        let mut txn = self.store.begin();
+        let ix = PagedIndex {
+            name,
+            columns,
+            unique,
+            tree: txn.create_tree(),
+            entries: rows.len(),
+        };
+        for (id, row) in &rows {
+            ix.check_unique(&txn, row)?;
+            txn.insert(
+                ix.tree,
+                &keycode::encode_index_entry(&ix.key_of(row), *id),
+                &[],
+            )
+            .map_err(storage_err)?;
+        }
+        txn.commit().map_err(storage_err)?;
+        self.indexes.push(ix);
+        self.refresh();
+        Ok(())
+    }
+
+    /// Drop an index by position. The tree is abandoned in place; its
+    /// pages come back only when the store is rebuilt at the next open
+    /// (the store file is scratch, so this leaks at most one run's
+    /// worth of dropped-index pages).
+    pub(crate) fn drop_index(&mut self, pos: usize) {
+        self.indexes.remove(pos);
+    }
+
+    /// All live rows in slot order.
+    pub(crate) fn scan_rows(&self) -> DbResult<Vec<(RowId, Vec<Value>)>> {
+        let mut out = Vec::new();
+        for (k, v) in self
+            .snap
+            .range(self.rows_tree, Bound::Unbounded, Bound::Unbounded)
+        {
+            let id = RowId::from_be_bytes(k[..8].try_into().expect("row key width"));
+            out.push((id, keycode::decode_row(&v)));
+        }
+        Ok(out)
+    }
+
+    /// All live row ids in slot order (no row decoding).
+    pub(crate) fn scan_ids(&self) -> Vec<RowId> {
+        self.snap
+            .range(self.rows_tree, Bound::Unbounded, Bound::Unbounded)
+            .map(|(k, _)| RowId::from_be_bytes(k[..8].try_into().expect("row key width")))
+            .collect()
+    }
+
+    /// Row ids matching an exact composite key on index `pos`.
+    pub(crate) fn index_get(&self, pos: usize, key: &[Value]) -> Vec<RowId> {
+        let ix = &self.indexes[pos];
+        let prefix = keycode::encode_key(key);
+        scan_ids_with_prefix(&self.snap, ix.tree, &prefix)
+    }
+
+    /// Range scan on index `pos`: equality prefix plus bounds on the
+    /// next key column (the shape the planner and tests use).
+    pub(crate) fn index_range(
+        &self,
+        pos: usize,
+        eq_prefix: &[Value],
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Vec<RowId> {
+        index_range_scan(&self.snap, self.indexes[pos].tree, eq_prefix, low, high)
+    }
+
+    /// Freeze the current committed state for lock-free readers.
+    pub(crate) fn freeze(&self, schema: &Schema, live: usize, data_bytes: usize) -> TableSnapshot {
+        TableSnapshot {
+            schema: schema.clone(),
+            snap: self.store.snapshot(),
+            rows_tree: self.rows_tree,
+            indexes: self
+                .indexes
+                .iter()
+                .map(|ix| SnapIndex {
+                    name: ix.name.clone(),
+                    columns: ix.columns.clone(),
+                    unique: ix.unique,
+                    tree: ix.tree,
+                })
+                .collect(),
+            live,
+            data_bytes,
+        }
+    }
+}
+
+/// Collect the row ids of every index entry starting with `prefix`.
+fn scan_ids_with_prefix(snap: &Snapshot, tree: TreeId, prefix: &[u8]) -> Vec<RowId> {
+    let high = match keycode::prefix_successor(prefix) {
+        Some(succ) => Bound::Excluded(succ),
+        None => Bound::Unbounded,
+    };
+    snap.range(tree, Bound::Included(prefix), high)
+        .map(|(k, _)| keycode::decode_index_entry_id(&k))
+        .collect()
+}
+
+/// Shared range-scan logic for live tables and frozen snapshots.
+fn index_range_scan(
+    snap: &Snapshot,
+    tree: TreeId,
+    eq_prefix: &[Value],
+    low: Bound<&Value>,
+    high: Bound<&Value>,
+) -> Vec<RowId> {
+    let prefix = keycode::encode_key(eq_prefix);
+    let lo_bytes;
+    let start: Bound<&[u8]> = match low {
+        Bound::Unbounded => {
+            if eq_prefix.is_empty() {
+                Bound::Unbounded
+            } else {
+                lo_bytes = prefix.clone();
+                Bound::Included(&lo_bytes)
+            }
+        }
+        Bound::Included(v) => {
+            let mut k = prefix.clone();
+            keycode::encode_value(&mut k, v);
+            lo_bytes = k;
+            Bound::Included(&lo_bytes)
+        }
+        Bound::Excluded(v) => {
+            let mut k = prefix.clone();
+            keycode::encode_value(&mut k, v);
+            // Skip every entry whose bounded column equals `v`.
+            match keycode::prefix_successor(&k) {
+                Some(succ) => {
+                    lo_bytes = succ;
+                    Bound::Included(&lo_bytes)
+                }
+                None => return Vec::new(),
+            }
+        }
+    };
+    let end: Bound<Vec<u8>> = match high {
+        Bound::Unbounded => {
+            if eq_prefix.is_empty() {
+                Bound::Unbounded
+            } else {
+                match keycode::prefix_successor(&prefix) {
+                    Some(succ) => Bound::Excluded(succ),
+                    None => Bound::Unbounded,
+                }
+            }
+        }
+        Bound::Included(v) => {
+            let mut k = prefix.clone();
+            keycode::encode_value(&mut k, v);
+            match keycode::prefix_successor(&k) {
+                Some(succ) => Bound::Excluded(succ),
+                None => Bound::Unbounded,
+            }
+        }
+        Bound::Excluded(v) => {
+            let mut k = prefix.clone();
+            keycode::encode_value(&mut k, v);
+            Bound::Excluded(k)
+        }
+    };
+    snap.range(tree, start, end)
+        .map(|(k, _)| keycode::decode_index_entry_id(&k))
+        .collect()
+}
+
+/// Metadata of one index inside a [`TableSnapshot`].
+#[derive(Debug)]
+struct SnapIndex {
+    name: String,
+    columns: Vec<usize>,
+    unique: bool,
+    tree: TreeId,
+}
+
+/// An immutable, point-in-time view of a paged table.
+///
+/// Holds a store [`Snapshot`], so reads served from it never take the
+/// database catalog lock and never block (or are blocked by) the
+/// writer — this is what the `/hedc` browse path queries while ingest
+/// is running.
+#[derive(Debug)]
+pub struct TableSnapshot {
+    schema: Schema,
+    snap: Snapshot,
+    rows_tree: TreeId,
+    indexes: Vec<SnapIndex>,
+    live: usize,
+    data_bytes: usize,
+}
+
+impl TableSnapshot {
+    /// The frozen table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows at freeze time.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table was empty at freeze time.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Approximate live row bytes at freeze time.
+    pub fn data_bytes(&self) -> usize {
+        self.data_bytes
+    }
+
+    /// Fetch one row by id.
+    pub fn get(&self, id: RowId) -> Option<Vec<Value>> {
+        self.snap
+            .get(self.rows_tree, &row_key(id))
+            .ok()
+            .flatten()
+            .map(|buf| keycode::decode_row(&buf))
+    }
+
+    /// All live row ids in slot order.
+    pub fn scan_ids(&self) -> Vec<RowId> {
+        self.snap
+            .range(self.rows_tree, Bound::Unbounded, Bound::Unbounded)
+            .map(|(k, _)| RowId::from_be_bytes(k[..8].try_into().expect("row key width")))
+            .collect()
+    }
+
+    pub(crate) fn best_index(&self, col: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, ix) in self.indexes.iter().enumerate() {
+            if ix.columns.first() == Some(&col) {
+                match best {
+                    Some(b) if self.indexes[b].unique && !ix.unique => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        best
+    }
+
+    pub(crate) fn index_name(&self, pos: usize) -> &str {
+        &self.indexes[pos].name
+    }
+
+    pub(crate) fn index_range(
+        &self,
+        pos: usize,
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Vec<RowId> {
+        index_range_scan(&self.snap, self.indexes[pos].tree, &[], low, high)
+    }
+}

@@ -10,11 +10,78 @@ use crate::error::DbError;
 use crate::error::DbResult;
 use crate::expr::Expr;
 use crate::index::RowId;
+use crate::paged::TableSnapshot;
+use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::Value;
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::Bound;
+
+/// What the executor needs from a row container. Implemented by live
+/// [`Table`]s (both backings, under the catalog lock) and by frozen
+/// [`TableSnapshot`]s (paged tables, no lock at all) — one pipeline,
+/// three access modes.
+///
+/// `Sync` is required so the parallel scan stage can share the source
+/// across scoped worker threads.
+pub(crate) trait RowSource: Sync {
+    /// Schema of the underlying table.
+    fn schema(&self) -> &Schema;
+    /// Fetch one row; `None` when the id is stale or deleted.
+    fn fetch(&self, id: RowId) -> Option<Cow<'_, [Value]>>;
+    /// All live row ids in slot order (the full-scan candidate list).
+    fn all_ids(&self) -> Vec<RowId>;
+    /// Position of the best index whose first key column is `col`.
+    fn best_index(&self, col: usize) -> Option<usize>;
+    /// Name of the index at `pos` (for access-path reporting).
+    fn index_name(&self, pos: usize) -> String;
+    /// First-column range scan on the index at `pos`.
+    fn index_range(&self, pos: usize, low: Bound<&Value>, high: Bound<&Value>) -> Vec<RowId>;
+}
+
+impl RowSource for Table {
+    fn schema(&self) -> &Schema {
+        Table::schema(self)
+    }
+    fn fetch(&self, id: RowId) -> Option<Cow<'_, [Value]>> {
+        self.get(id).ok()
+    }
+    fn all_ids(&self) -> Vec<RowId> {
+        self.scan_ids()
+    }
+    fn best_index(&self, col: usize) -> Option<usize> {
+        self.index_pos_on(col)
+    }
+    fn index_name(&self, pos: usize) -> String {
+        self.indexes()[pos].name().to_string()
+    }
+    fn index_range(&self, pos: usize, low: Bound<&Value>, high: Bound<&Value>) -> Vec<RowId> {
+        self.indexes()[pos].range(&[], low, high)
+    }
+}
+
+impl RowSource for TableSnapshot {
+    fn schema(&self) -> &Schema {
+        TableSnapshot::schema(self)
+    }
+    fn fetch(&self, id: RowId) -> Option<Cow<'_, [Value]>> {
+        self.get(id).map(Cow::Owned)
+    }
+    fn all_ids(&self) -> Vec<RowId> {
+        self.scan_ids()
+    }
+    fn best_index(&self, col: usize) -> Option<usize> {
+        TableSnapshot::best_index(self, col)
+    }
+    fn index_name(&self, pos: usize) -> String {
+        TableSnapshot::index_name(self, pos).to_string()
+    }
+    fn index_range(&self, pos: usize, low: Bound<&Value>, high: Bound<&Value>) -> Vec<RowId> {
+        TableSnapshot::index_range(self, pos, low, high)
+    }
+}
 
 /// Sort direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -248,11 +315,11 @@ impl QueryResult {
     }
 }
 
-/// Execute a query against a table. This is the single scan/filter/sort/
-/// aggregate pipeline used by SQL `SELECT`, DM query objects, and internal
-/// maintenance scans.
-pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
-    let schema = table.schema();
+/// Execute a query against a row source. This is the single scan/filter/
+/// sort/aggregate pipeline used by SQL `SELECT`, DM query objects, internal
+/// maintenance scans, and lock-free snapshot reads.
+pub fn execute<S: RowSource + ?Sized>(source: &S, q: &Query) -> DbResult<QueryResult> {
+    let schema = source.schema();
     let filter = match &q.filter {
         Some(f) => Some(f.clone().bind(schema)?),
         None => None,
@@ -260,15 +327,12 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
 
     // --- plan: choose an access path --------------------------------------
     let (candidates, access): (Vec<RowId>, AccessPath) = match &filter {
-        Some(f) => plan_candidates(table, f),
-        None => (
-            table.scan().map(|(id, _)| id).collect(),
-            AccessPath::FullScan,
-        ),
+        Some(f) => plan_candidates(source, f),
+        None => (source.all_ids(), AccessPath::FullScan),
     };
 
     // --- scan + filter ------------------------------------------------------
-    let (rows_scanned, mut matched) = scan_filter(table, &filter, candidates)?;
+    let (rows_scanned, mut matched) = scan_filter(source, &filter, candidates)?;
 
     // --- aggregate mode -----------------------------------------------------
     if !q.aggregates.is_empty() {
@@ -305,10 +369,12 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
             .map(|l| q.offset.unwrap_or(0).saturating_add(l))
             .unwrap_or(usize::MAX);
         if keep < matched.len() && crate::tuning::topk_enabled() {
-            matched = top_k_by(matched, keep, &|(_, a), (_, b)| by_keys(a, b));
+            matched = top_k_by(matched, keep, &|(_, a), (_, b)| {
+                by_keys(a.as_ref(), b.as_ref())
+            });
             rows_sorted = matched.len();
         } else {
-            matched.sort_by(|(_, a), (_, b)| by_keys(a, b));
+            matched.sort_by(|(_, a), (_, b)| by_keys(a.as_ref(), b.as_ref()));
             rows_sorted = matched.len();
         }
     }
@@ -334,7 +400,7 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
     };
     let rows: Vec<Vec<Value>> = window
         .map(|(_, row)| match &cols {
-            None => row.to_vec(),
+            None => row.into_owned(),
             Some(idx) => idx.iter().map(|&i| row[i].clone()).collect(),
         })
         .collect();
@@ -357,11 +423,11 @@ pub fn execute(table: &Table, q: &Query) -> DbResult<QueryResult> {
 /// partitioned into contiguous chunks evaluated by scoped worker threads;
 /// chunk results are re-joined in order, so the output is identical to the
 /// sequential walk.
-fn scan_filter<'t>(
-    table: &'t Table,
+fn scan_filter<'t, S: RowSource + ?Sized>(
+    source: &'t S,
     filter: &Option<Expr>,
     candidates: Vec<RowId>,
-) -> DbResult<(usize, Vec<(RowId, &'t [Value])>)> {
+) -> DbResult<(usize, Vec<(RowId, Cow<'t, [Value]>)>)> {
     let threshold = crate::tuning::parallel_scan_threshold();
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -369,13 +435,14 @@ fn scan_filter<'t>(
         .min(8);
     if filter.is_some() && threshold > 0 && candidates.len() >= threshold && workers > 1 {
         let chunk = candidates.len().div_ceil(workers);
-        let results: Vec<DbResult<(usize, Vec<(RowId, &[Value])>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk)
-                .map(|ids| scope.spawn(move || scan_filter_chunk(table, filter, ids)))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+        let results: Vec<DbResult<(usize, Vec<(RowId, Cow<'t, [Value]>)>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|ids| scope.spawn(move || scan_filter_chunk(source, filter, ids)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
         let mut rows_scanned = 0usize;
         let mut matched = Vec::new();
         for r in results {
@@ -385,25 +452,25 @@ fn scan_filter<'t>(
         }
         Ok((rows_scanned, matched))
     } else {
-        scan_filter_chunk(table, filter, &candidates)
+        scan_filter_chunk(source, filter, &candidates)
     }
 }
 
-fn scan_filter_chunk<'t>(
-    table: &'t Table,
+fn scan_filter_chunk<'t, S: RowSource + ?Sized>(
+    source: &'t S,
     filter: &Option<Expr>,
     ids: &[RowId],
-) -> DbResult<(usize, Vec<(RowId, &'t [Value])>)> {
+) -> DbResult<(usize, Vec<(RowId, Cow<'t, [Value]>)>)> {
     let mut rows_scanned = 0usize;
-    let mut matched: Vec<(RowId, &[Value])> = Vec::new();
+    let mut matched: Vec<(RowId, Cow<'t, [Value]>)> = Vec::new();
     for &id in ids {
-        let row = match table.get(id) {
-            Ok(r) => r,
-            Err(_) => continue, // deleted concurrently within this txn view
+        let row = match source.fetch(id) {
+            Some(r) => r,
+            None => continue, // deleted concurrently within this txn view
         };
         rows_scanned += 1;
         if let Some(f) = filter {
-            if !f.eval_bool(row)? {
+            if !f.eval_bool(&row)? {
                 continue;
             }
         }
@@ -460,9 +527,12 @@ fn top_k_by<T>(items: Vec<T>, k: usize, cmp: &dyn Fn(&T, &T) -> Ordering) -> Vec
 /// Choose candidate row ids for a bound filter: the most selective sargable
 /// conjunct (single-column range or `IN`-list of literals) that has an index
 /// on its column wins; otherwise full scan.
-pub(crate) fn plan_candidates(table: &Table, filter: &Expr) -> (Vec<RowId>, AccessPath) {
+pub(crate) fn plan_candidates<S: RowSource + ?Sized>(
+    source: &S,
+    filter: &Expr,
+) -> (Vec<RowId>, AccessPath) {
     let mut best: Option<(Vec<RowId>, AccessPath)> = None;
-    let mut consider =
+    let consider =
         |ids: Vec<RowId>, access: AccessPath, best: &mut Option<(Vec<RowId>, AccessPath)>| {
             let better = match best {
                 None => true,
@@ -474,21 +544,21 @@ pub(crate) fn plan_candidates(table: &Table, filter: &Expr) -> (Vec<RowId>, Acce
         };
     for conj in filter.conjuncts() {
         if let Some(range) = conj.column_range() {
-            let Some(ix) = table.index_on(range.col) else {
+            let Some(pos) = source.best_index(range.col) else {
                 continue;
             };
             let point = matches!(
                 (&range.low, &range.high),
                 (Bound::Included(a), Bound::Included(b)) if a == b
             );
-            let ids = ix.range(&[], as_ref_bound(&range.low), as_ref_bound(&range.high));
+            let ids = source.index_range(pos, as_ref_bound(&range.low), as_ref_bound(&range.high));
             let access = AccessPath::Index {
-                name: ix.name.clone(),
+                name: source.index_name(pos),
                 point,
             };
             consider(ids, access, &mut best);
         } else if let Some((col, points)) = conj.column_in_points() {
-            let Some(ix) = table.index_on(col) else {
+            let Some(pos) = source.best_index(col) else {
                 continue;
             };
             // One point probe per distinct list item. Points are distinct
@@ -496,10 +566,10 @@ pub(crate) fn plan_candidates(table: &Table, filter: &Expr) -> (Vec<RowId>, Acce
             // concatenation, no dedup pass needed.
             let ids: Vec<RowId> = points
                 .iter()
-                .flat_map(|v| ix.range(&[], Bound::Included(v), Bound::Included(v)))
+                .flat_map(|v| source.index_range(pos, Bound::Included(v), Bound::Included(v)))
                 .collect();
             let access = AccessPath::IndexMultiPoint {
-                name: ix.name.clone(),
+                name: source.index_name(pos),
                 probes: points.len(),
             };
             consider(ids, access, &mut best);
@@ -507,10 +577,7 @@ pub(crate) fn plan_candidates(table: &Table, filter: &Expr) -> (Vec<RowId>, Acce
     }
     match best {
         Some((ids, access)) => (ids, access),
-        None => (
-            table.scan().map(|(id, _)| id).collect(),
-            AccessPath::FullScan,
-        ),
+        None => (source.all_ids(), AccessPath::FullScan),
     }
 }
 
@@ -567,9 +634,9 @@ impl Acc {
 }
 
 fn aggregate(
-    schema: &crate::schema::Schema,
+    schema: &Schema,
     q: &Query,
-    matched: Vec<(RowId, &[Value])>,
+    matched: Vec<(RowId, Cow<'_, [Value]>)>,
     rows_scanned: usize,
     access: AccessPath,
 ) -> DbResult<QueryResult> {
@@ -1050,6 +1117,115 @@ mod tests {
             execute(&t, &q).unwrap_err(),
             DbError::NoSuchColumn { .. }
         ));
+    }
+
+    /// The same 30 rows as [`table`], but on the paged backing with tiny
+    /// pages (real splits) and a small cache (real evictions).
+    fn paged_table() -> Table {
+        let store = std::sync::Arc::new(
+            hedc_store::Store::open(hedc_store::StoreOptions {
+                path: None,
+                page_size: 512,
+                cache_pages: 16,
+            })
+            .unwrap(),
+        );
+        let mut t = Table::new_paged(
+            Schema::new(
+                "ana",
+                vec![
+                    ColumnDef::new("id", DataType::Int).not_null(),
+                    ColumnDef::new("hle_id", DataType::Int).not_null(),
+                    ColumnDef::new("kind", DataType::Text).not_null(),
+                    ColumnDef::new("dur", DataType::Float),
+                ],
+            )
+            .primary_key(&["id"]),
+            store,
+        )
+        .unwrap();
+        t.create_index("ana_hle", &["hle_id"], false).unwrap();
+        let kinds = ["image", "lightcurve", "spectrum"];
+        for i in 0..30i64 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::Int(i / 3),
+                Value::Text(kinds[(i % 3) as usize].into()),
+                Value::Float(i as f64 * 0.5),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    /// Every access path — point, range, multi-point, full scan, sort,
+    /// aggregate — must return identical rows, stats, and access paths on
+    /// the memory backing, the paged backing, and a frozen paged snapshot.
+    #[test]
+    fn paged_and_snapshot_execution_match_memory() {
+        let mem = table();
+        let paged = paged_table();
+        let snap = paged.freeze().expect("paged tables freeze");
+        let queries = vec![
+            Query::table("ana").filter(Expr::eq("id", 7)),
+            Query::table("ana").filter(Expr::between("hle_id", 2, 4)),
+            Query::table("ana").filter(Expr::eq("kind", "image")),
+            Query::table("ana").filter(Expr::eq("hle_id", 2).and(Expr::eq("kind", "image"))),
+            Query::table("ana")
+                .select(&["kind", "id"])
+                .order_by("id", OrderDir::Desc)
+                .limit(3)
+                .offset(1),
+            Query::table("ana").filter(Expr::in_list("id", [3i64, 7, 11, 7])),
+            Query::table("ana")
+                .group_by("kind")
+                .aggregate(AggFunc::CountStar),
+            Query::table("ana")
+                .aggregate(AggFunc::Sum("id".into()))
+                .aggregate(AggFunc::Avg("dur".into()))
+                .aggregate(AggFunc::Min("dur".into()))
+                .aggregate(AggFunc::Max("dur".into())),
+            Query::table("ana").order_by("dur", OrderDir::Desc).limit(5),
+        ];
+        for q in &queries {
+            let m = execute(&mem, q).unwrap();
+            let p = execute(&paged, q).unwrap();
+            let s = execute(&snap, q).unwrap();
+            assert_eq!(m.rows, p.rows, "paged rows diverge for {q:?}");
+            assert_eq!(m.rows, s.rows, "snapshot rows diverge for {q:?}");
+            assert_eq!(
+                m.stats.access, p.stats.access,
+                "access path diverges for {q:?}"
+            );
+            assert_eq!(
+                m.stats.access, s.stats.access,
+                "snapshot access diverges for {q:?}"
+            );
+            assert_eq!(m.stats.rows_scanned, p.stats.rows_scanned);
+            assert_eq!(m.columns, p.columns);
+        }
+    }
+
+    /// A frozen snapshot keeps answering the old state while the live
+    /// table moves on — the reader/writer decoupling the paged backend
+    /// exists to provide.
+    #[test]
+    fn snapshot_reads_are_stable_under_writes() {
+        let mut paged = paged_table();
+        let snap = paged.freeze().unwrap();
+        for i in 30..60i64 {
+            paged
+                .insert(vec![
+                    Value::Int(i),
+                    Value::Int(i / 3),
+                    Value::Text("late".into()),
+                    Value::Null,
+                ])
+                .unwrap();
+        }
+        let count = Query::table("ana").aggregate(AggFunc::CountStar);
+        assert_eq!(execute(&snap, &count).unwrap().scalar_int(), Some(30));
+        assert_eq!(execute(&paged, &count).unwrap().scalar_int(), Some(60));
     }
 
     /// Pin the cache-accounting arithmetic: `size_bytes` charges the

@@ -13,8 +13,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 /// across worker threads.
 pub const DEFAULT_PARALLEL_SCAN_ROWS: usize = 65_536;
 
+/// Default page-cache budget, in pages, for the paged storage backend when
+/// the caller leaves [`crate::StorageConfig::cache_pages`] at `0`.
+pub const DEFAULT_PAGE_CACHE_PAGES: usize = 4096;
+
 static PARALLEL_SCAN_ROWS: AtomicUsize = AtomicUsize::new(DEFAULT_PARALLEL_SCAN_ROWS);
 static TOPK_ENABLED: AtomicBool = AtomicBool::new(true);
+static PAGE_CACHE_PAGES: AtomicUsize = AtomicUsize::new(DEFAULT_PAGE_CACHE_PAGES);
 
 /// Candidate-row count at which filtered scans go parallel. `0` disables
 /// parallel scans entirely.
@@ -36,4 +41,16 @@ pub fn topk_enabled() -> bool {
 /// sorts, e.g. for benchmark baselines).
 pub fn set_topk_enabled(enabled: bool) {
     TOPK_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Page-cache budget (pages) used when a paged database is opened with
+/// `cache_pages == 0` in its [`crate::StorageConfig`].
+pub fn page_cache_pages() -> usize {
+    PAGE_CACHE_PAGES.load(Ordering::Relaxed)
+}
+
+/// Set the default page-cache budget for subsequently opened paged
+/// databases. Stores already open keep their cache size.
+pub fn set_page_cache_pages(pages: usize) {
+    PAGE_CACHE_PAGES.store(pages.max(8), Ordering::Relaxed);
 }

@@ -1,0 +1,319 @@
+//! Seeded model test: the paged B-tree backend must be observationally
+//! identical to the memory backend.
+//!
+//! Two databases — one per backend — receive the same randomized statement
+//! stream: inserts, expression updates, predicate deletes, transactions
+//! that roll back, point/range/aggregate queries. After every statement the
+//! results must agree exactly (affected counts, result rows, error kind),
+//! and periodically the full table contents are compared row-for-row.
+//!
+//! The paged database runs with deliberately tiny pages (256 bytes) and a
+//! page cache far smaller than the working set, so the workload crosses
+//! leaf/branch split boundaries within the first few dozen inserts and the
+//! delete phase drives merges and frees. Replayable: the seed prints on
+//! entry and `scripts/check.sh --seed <seed>` (env `HEDC_TEST_SEED`)
+//! reruns the identical stream.
+
+use hedc_metadb::{
+    ColumnDef, Connection, DataType, Database, DbOptions, Expr, OrderDir, Query, Schema,
+    StorageBackend, StorageConfig, Value,
+};
+use std::sync::Arc;
+
+fn split_mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        "events",
+        vec![
+            ColumnDef::new("id", DataType::Int).not_null(),
+            ColumnDef::new("t0", DataType::Timestamp),
+            ColumnDef::new("score", DataType::Float),
+            ColumnDef::new("label", DataType::Text),
+        ],
+    )
+    .primary_key(&["id"])
+}
+
+fn open_pair() -> (Arc<Database>, Arc<Database>) {
+    let mem = Database::in_memory("model-mem");
+    let paged = Database::open(
+        "model-paged",
+        DbOptions {
+            storage: StorageConfig {
+                backend: StorageBackend::Paged,
+                page_size: 256,
+                cache_pages: 16,
+                store_path: None,
+            },
+            ..DbOptions::default()
+        },
+    )
+    .unwrap();
+    for db in [&mem, &paged] {
+        let mut conn = db.connect();
+        conn.create_table(schema()).unwrap();
+        conn.create_index("events", "events_t0", &["t0"], false)
+            .unwrap();
+        conn.create_index("events", "events_score", &["score"], false)
+            .unwrap();
+    }
+    (mem, paged)
+}
+
+/// Full contents ordered by primary key — the canonical comparison form.
+fn dump(conn: &Connection) -> Vec<Vec<Value>> {
+    conn.query(&Query::table("events").order_by("id", OrderDir::Asc))
+        .unwrap()
+        .rows
+}
+
+fn random_value(rng: &mut u64, id: i64) -> Vec<Value> {
+    let t0 = (split_mix(rng) % 10_000) as i64;
+    let score = match split_mix(rng) % 4 {
+        0 => Value::Null,
+        // Integral floats exercise the cross-type keycode equality path.
+        1 => Value::Float((split_mix(rng) % 100) as f64),
+        _ => Value::Float((split_mix(rng) % 10_000) as f64 / 7.0),
+    };
+    let label = match split_mix(rng) % 3 {
+        0 => Value::Null,
+        _ => Value::Text(format!("l{}", split_mix(rng) % 50)),
+    };
+    vec![Value::Int(id), Value::Int(t0), score, label]
+}
+
+#[test]
+fn randomized_statements_agree_across_backends() {
+    let seed = hedc_metadb::test_seed();
+    println!("paged_model seed={seed:#x}");
+    let mut rng = seed;
+    let (mem_db, paged_db) = open_pair();
+    let mut mem = mem_db.connect();
+    let mut paged = paged_db.connect();
+    let mut next_id: i64 = 0;
+
+    for step in 0..600u32 {
+        match split_mix(&mut rng) % 100 {
+            // Insert a fresh row (sometimes a duplicate pk, which must fail
+            // identically on both backends).
+            0..=49 => {
+                let dup = next_id > 0 && split_mix(&mut rng) % 10 == 0;
+                let id = if dup {
+                    (split_mix(&mut rng) % next_id as u64) as i64
+                } else {
+                    next_id += 1;
+                    next_id - 1
+                };
+                let row = random_value(&mut rng, id);
+                let a = mem.insert("events", row.clone());
+                let b = paged.insert("events", row);
+                match (a, b) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y, "step {step}: row ids diverge"),
+                    (Err(x), Err(y)) => assert_eq!(
+                        std::mem::discriminant(&x),
+                        std::mem::discriminant(&y),
+                        "step {step}: error kinds diverge: {x:?} vs {y:?}"
+                    ),
+                    (a, b) => panic!("step {step}: outcome diverges: {a:?} vs {b:?}"),
+                }
+            }
+            // Update a band of rows through an expression.
+            50..=64 => {
+                let lo = (split_mix(&mut rng) % 10_000) as i64;
+                let filter = Expr::between("t0", lo, lo + 1_500);
+                let sets = [(
+                    "score".to_string(),
+                    Expr::Literal(Value::Float(step as f64 + 0.5)),
+                )];
+                let a = mem.update_where("events", &sets, Some(filter.clone()));
+                let b = paged.update_where("events", &sets, Some(filter));
+                assert_eq!(a.unwrap(), b.unwrap(), "step {step}: update count");
+            }
+            // Delete a band of rows (drives page merges at 256-byte pages).
+            65..=79 => {
+                let lo = (split_mix(&mut rng) % 10_000) as i64;
+                let filter = Expr::between("t0", lo, lo + 900);
+                let a = mem.delete_where("events", Some(filter.clone()));
+                let b = paged.delete_where("events", Some(filter));
+                assert_eq!(a.unwrap(), b.unwrap(), "step {step}: delete count");
+            }
+            // A transaction that rolls back must leave both unchanged.
+            80..=84 => {
+                for conn in [&mut mem, &mut paged] {
+                    conn.begin().unwrap();
+                    let _ = conn.insert(
+                        "events",
+                        vec![
+                            Value::Int(1_000_000 + step as i64),
+                            Value::Int(1),
+                            Value::Null,
+                            Value::Null,
+                        ],
+                    );
+                    conn.rollback().unwrap();
+                }
+            }
+            // Indexed range query over the float column.
+            85..=92 => {
+                let lo = (split_mix(&mut rng) % 1_000) as i64;
+                let q = Query::table("events")
+                    .filter(Expr::between("score", lo, lo + 200))
+                    .order_by("id", OrderDir::Asc);
+                let a = mem.query(&q).unwrap();
+                let b = paged.query(&q).unwrap();
+                assert_eq!(a.rows, b.rows, "step {step}: range rows");
+                assert_eq!(
+                    format!("{:?}", a.stats.access),
+                    format!("{:?}", b.stats.access),
+                    "step {step}: access paths diverge"
+                );
+            }
+            // Aggregate with grouping.
+            _ => {
+                let q = Query::table("events")
+                    .group_by("label")
+                    .aggregate(hedc_metadb::AggFunc::CountStar)
+                    .aggregate(hedc_metadb::AggFunc::Max("t0".into()));
+                let sorted = |r: hedc_metadb::QueryResult| {
+                    let mut rows: Vec<String> =
+                        r.rows.iter().map(|row| format!("{row:?}")).collect();
+                    rows.sort();
+                    rows
+                };
+                let a = sorted(mem.query(&q).unwrap());
+                let b = sorted(paged.query(&q).unwrap());
+                assert_eq!(a, b, "step {step}: group-by rows");
+            }
+        }
+        if step % 50 == 49 {
+            assert_eq!(dump(&mem), dump(&paged), "step {step}: full dump diverges");
+            assert_eq!(
+                mem_db.row_count("events").unwrap(),
+                paged_db.row_count("events").unwrap()
+            );
+        }
+    }
+    assert_eq!(dump(&mem), dump(&paged), "final dump diverges");
+    assert!(
+        mem_db.row_count("events").unwrap() > 50,
+        "workload too small to exercise splits"
+    );
+}
+
+/// Fill far past one leaf, then empty the table back down: split and merge
+/// boundaries on 256-byte pages, with the memory backend as the oracle at
+/// every quarter of both phases.
+#[test]
+fn split_and_merge_boundaries_stay_consistent() {
+    let seed = hedc_metadb::test_seed() ^ 0x5EED;
+    println!("paged_model split/merge seed={seed:#x}");
+    let mut rng = seed;
+    let (mem_db, paged_db) = open_pair();
+    let mut mem = mem_db.connect();
+    let mut paged = paged_db.connect();
+
+    // Shuffled insertion order so splits happen at interior positions, not
+    // just the rightmost leaf.
+    let n = 400i64;
+    let mut ids: Vec<i64> = (0..n).collect();
+    for i in (1..ids.len()).rev() {
+        ids.swap(i, (split_mix(&mut rng) % (i as u64 + 1)) as usize);
+    }
+    for (k, id) in ids.iter().enumerate() {
+        let row = random_value(&mut rng, *id);
+        mem.insert("events", row.clone()).unwrap();
+        paged.insert("events", row).unwrap();
+        if k % 100 == 99 {
+            assert_eq!(dump(&mem), dump(&paged), "insert phase at {k}");
+        }
+    }
+    assert_eq!(mem_db.row_count("events").unwrap(), n as usize);
+
+    // Drain in a different shuffled order.
+    for i in (1..ids.len()).rev() {
+        ids.swap(i, (split_mix(&mut rng) % (i as u64 + 1)) as usize);
+    }
+    for (k, id) in ids.iter().enumerate() {
+        let f = Expr::eq("id", *id);
+        assert_eq!(
+            mem.delete_where("events", Some(f.clone())).unwrap(),
+            paged.delete_where("events", Some(f)).unwrap(),
+            "delete {id}"
+        );
+        if k % 100 == 99 {
+            assert_eq!(dump(&mem), dump(&paged), "delete phase at {k}");
+        }
+    }
+    assert_eq!(paged_db.row_count("events").unwrap(), 0);
+    assert!(dump(&paged).is_empty());
+}
+
+/// A table far larger than the page-cache budget scans correctly: the
+/// cache evicts under pressure (visible in the `store.page_cache.*`
+/// counters) while full scans, point reads, and indexed ranges stay exact.
+#[test]
+fn table_larger_than_page_cache_scans_correctly() {
+    let db = Database::open(
+        "model-big",
+        DbOptions {
+            storage: StorageConfig {
+                backend: StorageBackend::Paged,
+                page_size: 512,
+                cache_pages: 8, // the store's minimum: a 4 KiB budget
+                store_path: None,
+            },
+            ..DbOptions::default()
+        },
+    )
+    .unwrap();
+    let mut conn = db.connect();
+    conn.create_table(schema()).unwrap();
+    conn.create_index("events", "events_t0", &["t0"], false)
+        .unwrap();
+
+    // ~250-byte rows × 1500 ≫ the 4 KiB cache: residency is a tiny
+    // fraction of the table and every scan cycles the cache.
+    let n = 1_500i64;
+    let payload = "x".repeat(200);
+    let evicted_before = hedc_obs::global().counter_value("store.page_cache.evict");
+    for i in 0..n {
+        conn.insert(
+            "events",
+            vec![
+                Value::Int(i),
+                Value::Int(i * 3),
+                Value::Float(i as f64),
+                Value::Text(format!("{payload}-{i}")),
+            ],
+        )
+        .unwrap();
+    }
+
+    let all = conn.query(&Query::table("events")).unwrap();
+    assert_eq!(all.rows.len(), n as usize);
+    let mut seen: Vec<i64> = all.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..n).collect::<Vec<_>>(), "full scan must be exact");
+
+    let r = conn
+        .query(&Query::table("events").filter(Expr::between("t0", 3_000, 3_030)))
+        .unwrap();
+    assert_eq!(r.rows.len(), 11); // t0 = 3000, 3003, ..., 3030
+    for row in &r.rows {
+        let id = row[0].as_int().unwrap();
+        assert_eq!(row[3], Value::Text(format!("{payload}-{id}")));
+    }
+
+    let evicted = hedc_obs::global().counter_value("store.page_cache.evict") - evicted_before;
+    assert!(
+        evicted > 100,
+        "a scan over a table ≫ cache must evict (saw {evicted})"
+    );
+}

@@ -524,7 +524,13 @@ impl ProcessingLogic {
         let params_json = serde_json::json!({
             "kind": spec.kind,
             "fingerprint": fingerprint,
-            "params": spec.params,
+            "params": {
+                "t_start_ms": spec.params.t_start_ms,
+                "t_end_ms": spec.params.t_end_ms,
+                "energy_lo_kev": spec.params.energy_lo_kev,
+                "energy_hi_kev": spec.params.energy_hi_kev,
+                "extra": spec.params.extra.clone(),
+            },
         });
         files.push(FilePayload {
             archive_id: self.config.derived_archive,

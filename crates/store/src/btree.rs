@@ -1,0 +1,631 @@
+//! Copy-on-write B-tree over slotted pages.
+//!
+//! Every mutation allocates fresh page ids for the pages it touches
+//! (root-to-leaf path, plus split/merge siblings); committed pages are
+//! never modified in place. That single rule is what makes MVCC
+//! snapshots free: a snapshot is just a root page id, and every page
+//! reachable from it is immutable for as long as the snapshot is alive.
+//!
+//! Interior pages use the high-key convention (see [`crate::page`]):
+//! the separator stored with a child is a `>=` bound for the child's
+//! subtree and may go stale-high after deletes, which routing tolerates.
+//!
+//! Values larger than a quarter of the page payload spill to an
+//! overflow chain; the leaf cell keeps the chain head and total length.
+
+use std::io;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use crate::page::{LeafValue, OwnedLeafValue, Page, PageId, HEADER, NULL_PAGE};
+use crate::{StoreError, StoreResult};
+
+/// Read access to pages, either committed-only (snapshots) or
+/// dirty-first (write transactions).
+pub(crate) trait Pages {
+    fn load(&self, id: PageId) -> io::Result<Arc<Page>>;
+    fn page_size(&self) -> usize;
+}
+
+/// Mutation access for write transactions: allocate, free, and stage
+/// dirty pages. `cow` hands out an owned copy under a fresh id; the
+/// caller must `put` it back once edited.
+pub(crate) trait PagesMut: Pages {
+    fn alloc(&mut self) -> PageId;
+    fn free(&mut self, id: PageId);
+    fn put(&mut self, id: PageId, page: Page);
+    /// Copy-on-write: detach `id` into an owned page the transaction may
+    /// edit. Returns the id the edited page must be stored under (a
+    /// fresh id when `id` was committed, `id` itself when it is already
+    /// private to this transaction).
+    fn cow(&mut self, id: PageId) -> io::Result<(PageId, Page)>;
+}
+
+/// Max bytes a cell may occupy: a quarter of the payload area, so a
+/// page always holds at least a few cells and splits stay meaningful.
+fn max_cell(page_size: usize) -> usize {
+    (page_size - HEADER) / 4
+}
+
+/// Hard cap on key length for a given page size.
+pub(crate) fn max_key(page_size: usize) -> usize {
+    max_cell(page_size).saturating_sub(16)
+}
+
+/// Merge threshold: a page whose used payload drops below a quarter of
+/// the payload area tries to merge with a sibling.
+fn underfull(p: &Page) -> bool {
+    p.used() < (p.size() - HEADER) / 4
+}
+
+fn check_key(page_size: usize, key: &[u8]) -> StoreResult<()> {
+    if key.len() > max_key(page_size) {
+        return Err(StoreError::KeyTooLarge {
+            len: key.len(),
+            max: max_key(page_size),
+        });
+    }
+    Ok(())
+}
+
+/// Route a key through an interior page: index of the child to descend
+/// into (`ncells` means the rightmost child).
+fn route(page: &Page, key: &[u8]) -> usize {
+    match page.search(key) {
+        Ok(i) => i,
+        Err(i) => i,
+    }
+}
+
+fn child_at(page: &Page, idx: usize) -> PageId {
+    if idx < page.ncells() {
+        page.cell_child(idx)
+    } else {
+        page.rightmost()
+    }
+}
+
+fn set_child_at(page: &mut Page, idx: usize, child: PageId) {
+    if idx < page.ncells() {
+        page.set_cell_child(idx, child);
+    } else {
+        page.set_rightmost(child);
+    }
+}
+
+// ---- value (overflow) handling ----
+
+/// Materialize a leaf cell's value, following the overflow chain.
+pub(crate) fn read_value<P: Pages>(pages: &P, page: &Page, cell: usize) -> io::Result<Vec<u8>> {
+    match page.cell_value(cell) {
+        LeafValue::Inline(v) => Ok(v.to_vec()),
+        LeafValue::Overflow { total, head } => {
+            let mut out = Vec::with_capacity(total as usize);
+            let mut next = head;
+            while next != NULL_PAGE {
+                let p = pages.load(next)?;
+                out.extend_from_slice(p.overflow_chunk());
+                next = p.overflow_next();
+            }
+            debug_assert_eq!(out.len(), total as usize);
+            Ok(out)
+        }
+    }
+}
+
+/// Build the stored form of a value, spilling to an overflow chain when
+/// the inline cell would exceed the per-cell budget.
+fn make_value<M: PagesMut>(pages: &mut M, key: &[u8], val: &[u8]) -> OwnedLeafValue {
+    let size = pages.page_size();
+    if Page::leaf_cell_size(key, &OwnedLeafValue::Inline(Vec::new())) + val.len() <= max_cell(size)
+    {
+        return OwnedLeafValue::Inline(val.to_vec());
+    }
+    let cap = Page::overflow_capacity(size);
+    let mut head = NULL_PAGE;
+    for chunk in val.rchunks(cap) {
+        let id = pages.alloc();
+        pages.put(id, Page::new_overflow(size, chunk, head));
+        head = id;
+    }
+    OwnedLeafValue::Overflow {
+        total: val.len() as u32,
+        head,
+    }
+}
+
+/// Free the overflow chain (if any) behind a leaf cell.
+fn free_value<M: PagesMut>(pages: &mut M, page: &Page, cell: usize) -> io::Result<()> {
+    if let LeafValue::Overflow { head, .. } = page.cell_value(cell) {
+        let mut next = head;
+        while next != NULL_PAGE {
+            let p = pages.load(next)?;
+            let after = p.overflow_next();
+            pages.free(next);
+            next = after;
+        }
+    }
+    Ok(())
+}
+
+/// Owned leaf cell used while rebuilding pages during splits/merges.
+struct LeafCell {
+    key: Vec<u8>,
+    val: OwnedLeafValue,
+}
+
+fn leaf_cells(page: &Page) -> Vec<LeafCell> {
+    (0..page.ncells())
+        .map(|i| LeafCell {
+            key: page.cell_key(i).to_vec(),
+            val: match page.cell_value(i) {
+                LeafValue::Inline(v) => OwnedLeafValue::Inline(v.to_vec()),
+                LeafValue::Overflow { total, head } => OwnedLeafValue::Overflow { total, head },
+            },
+        })
+        .collect()
+}
+
+fn build_leaf(size: usize, cells: &[LeafCell]) -> Page {
+    let mut p = Page::new_leaf(size);
+    for (i, c) in cells.iter().enumerate() {
+        let ok = p.insert_leaf_cell(i, &c.key, &c.val);
+        debug_assert!(ok, "split arithmetic must leave room");
+    }
+    p
+}
+
+/// Split `cells` (sorted) into two halves balanced by payload size.
+fn split_point<T, F: Fn(&T) -> usize>(cells: &[T], size_of: F) -> usize {
+    let total: usize = cells.iter().map(&size_of).sum();
+    let mut acc = 0usize;
+    for (i, c) in cells.iter().enumerate() {
+        acc += size_of(c);
+        if acc * 2 >= total {
+            // Left gets [0..=i]; guarantee both sides non-empty.
+            return (i + 1).clamp(1, cells.len() - 1);
+        }
+    }
+    cells.len() / 2
+}
+
+/// Outcome of inserting into a subtree: either the subtree was rewritten
+/// under a single new root id, or it split into two.
+enum SubInsert {
+    One(PageId),
+    Split {
+        sep: Vec<u8>,
+        left: PageId,
+        right: PageId,
+    },
+}
+
+/// Insert `key = val` into the tree rooted at `root`. Returns the new
+/// root id and whether an existing value was replaced.
+pub(crate) fn insert<M: PagesMut>(
+    pages: &mut M,
+    root: PageId,
+    key: &[u8],
+    val: &[u8],
+) -> StoreResult<(PageId, bool)> {
+    let size = pages.page_size();
+    check_key(size, key)?;
+    if root == NULL_PAGE {
+        let stored = make_value(pages, key, val);
+        let mut leaf = Page::new_leaf(size);
+        let ok = leaf.insert_leaf_cell(0, key, &stored);
+        debug_assert!(ok);
+        let id = pages.alloc();
+        pages.put(id, leaf);
+        return Ok((id, false));
+    }
+
+    // Descend to the leaf, recording interior path (page id, child idx).
+    let mut path: Vec<(PageId, usize)> = Vec::new();
+    let mut cur = root;
+    loop {
+        let page = pages.load(cur).map_err(StoreError::Io)?;
+        match page.kind() {
+            crate::page::PageKind::Leaf => break,
+            crate::page::PageKind::Interior => {
+                let idx = route(&page, key);
+                let child = child_at(&page, idx);
+                path.push((cur, idx));
+                cur = child;
+            }
+            crate::page::PageKind::Overflow => unreachable!("overflow page in tree path"),
+        }
+    }
+
+    // Mutate the leaf.
+    let (leaf_id, mut leaf) = pages.cow(cur).map_err(StoreError::Io)?;
+    let mut replaced = false;
+    let pos = match leaf.search(key) {
+        Ok(i) => {
+            free_value(pages, &leaf, i).map_err(StoreError::Io)?;
+            leaf.remove_cell(i);
+            replaced = true;
+            i
+        }
+        Err(i) => i,
+    };
+    let stored = make_value(pages, key, val);
+    let mut result = if leaf.insert_leaf_cell(pos, key, &stored) {
+        pages.put(leaf_id, leaf);
+        SubInsert::One(leaf_id)
+    } else {
+        // Split: rebuild as two leaves around the size midpoint.
+        let mut cells = leaf_cells(&leaf);
+        cells.insert(
+            pos,
+            LeafCell {
+                key: key.to_vec(),
+                val: stored,
+            },
+        );
+        let mid = split_point(&cells, |c| Page::leaf_cell_size(&c.key, &c.val) + 2);
+        let left = build_leaf(size, &cells[..mid]);
+        let right = build_leaf(size, &cells[mid..]);
+        let sep = cells[mid - 1].key.clone();
+        let right_id = pages.alloc();
+        pages.put(leaf_id, left);
+        pages.put(right_id, right);
+        SubInsert::Split {
+            sep,
+            left: leaf_id,
+            right: right_id,
+        }
+    };
+
+    // Propagate up the path.
+    for (pid, idx) in path.into_iter().rev() {
+        let (new_pid, mut parent) = pages.cow(pid).map_err(StoreError::Io)?;
+        result = match result {
+            SubInsert::One(child) => {
+                set_child_at(&mut parent, idx, child);
+                pages.put(new_pid, parent);
+                SubInsert::One(new_pid)
+            }
+            SubInsert::Split { sep, left, right } => {
+                set_child_at(&mut parent, idx, right);
+                if parent.insert_interior_cell(idx, &sep, left) {
+                    pages.put(new_pid, parent);
+                    SubInsert::One(new_pid)
+                } else {
+                    // Interior split. Gather (key, child) cells with the
+                    // pending cell included, then rebuild two pages. The
+                    // midpoint cell's child becomes the left page's
+                    // rightmost and its key the parent separator.
+                    let mut cells: Vec<(Vec<u8>, PageId)> = (0..parent.ncells())
+                        .map(|i| (parent.cell_key(i).to_vec(), parent.cell_child(i)))
+                        .collect();
+                    cells.insert(idx, (sep, left));
+                    let rm = parent.rightmost();
+                    let mid = split_point(&cells, |(k, _)| Page::interior_cell_size(k) + 2);
+                    // Left takes cells[..mid-1] + rightmost = child(mid-1).
+                    let (psep, pleft_rm) = (cells[mid - 1].0.clone(), cells[mid - 1].1);
+                    let mut lp = Page::new_interior(size);
+                    for (i, (k, c)) in cells[..mid - 1].iter().enumerate() {
+                        let ok = lp.insert_interior_cell(i, k, *c);
+                        debug_assert!(ok);
+                    }
+                    lp.set_rightmost(pleft_rm);
+                    let mut rp = Page::new_interior(size);
+                    for (i, (k, c)) in cells[mid..].iter().enumerate() {
+                        let ok = rp.insert_interior_cell(i, k, *c);
+                        debug_assert!(ok);
+                    }
+                    rp.set_rightmost(rm);
+                    let right_id = pages.alloc();
+                    pages.put(new_pid, lp);
+                    pages.put(right_id, rp);
+                    SubInsert::Split {
+                        sep: psep,
+                        left: new_pid,
+                        right: right_id,
+                    }
+                }
+            }
+        };
+    }
+
+    match result {
+        SubInsert::One(id) => Ok((id, replaced)),
+        SubInsert::Split { sep, left, right } => {
+            let mut rootp = Page::new_interior(size);
+            let ok = rootp.insert_interior_cell(0, &sep, left);
+            debug_assert!(ok);
+            rootp.set_rightmost(right);
+            let id = pages.alloc();
+            pages.put(id, rootp);
+            Ok((id, replaced))
+        }
+    }
+}
+
+/// Delete `key` from the tree rooted at `root`. Returns the new root id
+/// and whether the key was present.
+pub(crate) fn delete<M: PagesMut>(
+    pages: &mut M,
+    root: PageId,
+    key: &[u8],
+) -> StoreResult<(PageId, bool)> {
+    if root == NULL_PAGE {
+        return Ok((root, false));
+    }
+    let size = pages.page_size();
+    let mut path: Vec<(PageId, usize)> = Vec::new();
+    let mut cur = root;
+    loop {
+        let page = pages.load(cur).map_err(StoreError::Io)?;
+        match page.kind() {
+            crate::page::PageKind::Leaf => break,
+            crate::page::PageKind::Interior => {
+                let idx = route(&page, key);
+                let child = child_at(&page, idx);
+                path.push((cur, idx));
+                cur = child;
+            }
+            crate::page::PageKind::Overflow => unreachable!("overflow page in tree path"),
+        }
+    }
+    {
+        let leaf = pages.load(cur).map_err(StoreError::Io)?;
+        if leaf.search(key).is_err() {
+            return Ok((root, false));
+        }
+    }
+
+    // Remove from the leaf; carry the edited child up, merging with a
+    // sibling at each level when it underflows and the merge fits.
+    let (mut child_id, mut child) = pages.cow(cur).map_err(StoreError::Io)?;
+    if let Ok(i) = child.search(key) {
+        free_value(pages, &child, i).map_err(StoreError::Io)?;
+        child.remove_cell(i);
+    }
+
+    for (pid, idx) in path.into_iter().rev() {
+        let (new_pid, mut parent) = pages.cow(pid).map_err(StoreError::Io)?;
+        set_child_at(&mut parent, idx, child_id);
+
+        let mut merged = false;
+        if underfull(&child) && parent.ncells() > 0 {
+            // Prefer the left sibling; fall back to the right one.
+            let (lpos, rpos) = if idx > 0 {
+                (idx - 1, idx)
+            } else {
+                (idx, idx + 1)
+            };
+            let (lid, rid) = (child_at(&parent, lpos), child_at(&parent, rpos));
+            let (lpage, rpage) = if lid == child_id {
+                (None, Some(pages.load(rid).map_err(StoreError::Io)?))
+            } else {
+                (Some(pages.load(lid).map_err(StoreError::Io)?), None)
+            };
+            let lref: &Page = lpage.as_deref().unwrap_or(&child);
+            let rref: &Page = rpage.as_deref().unwrap_or(&child);
+            let demoted = if child.kind() == crate::page::PageKind::Interior {
+                // Interior merge demotes the left child's separator into
+                // the merged page as a cell over its old rightmost.
+                Page::interior_cell_size(parent.cell_key(lpos)) + 2
+            } else {
+                0
+            };
+            if lref.used() + rref.used() + demoted <= size - HEADER {
+                let merged_page = match child.kind() {
+                    crate::page::PageKind::Leaf => {
+                        let mut cells = leaf_cells(lref);
+                        cells.extend(leaf_cells(rref));
+                        build_leaf(size, &cells)
+                    }
+                    _ => {
+                        let mut p = Page::new_interior(size);
+                        let mut n = 0;
+                        for i in 0..lref.ncells() {
+                            let ok =
+                                p.insert_interior_cell(n, lref.cell_key(i), lref.cell_child(i));
+                            debug_assert!(ok);
+                            n += 1;
+                        }
+                        let ok = p.insert_interior_cell(n, parent.cell_key(lpos), lref.rightmost());
+                        debug_assert!(ok);
+                        n += 1;
+                        for i in 0..rref.ncells() {
+                            let ok =
+                                p.insert_interior_cell(n, rref.cell_key(i), rref.cell_child(i));
+                            debug_assert!(ok);
+                            n += 1;
+                        }
+                        p.set_rightmost(rref.rightmost());
+                        p
+                    }
+                };
+                let merged_id = pages.alloc();
+                pages.free(lid);
+                pages.free(rid);
+                pages.put(merged_id, merged_page);
+                // Collapse the two parent entries into one under the
+                // right entry's bound.
+                if rpos < parent.ncells() {
+                    parent.set_cell_child(rpos, merged_id);
+                } else {
+                    parent.set_rightmost(merged_id);
+                }
+                parent.remove_cell(lpos);
+                merged = true;
+            }
+        }
+        if !merged {
+            pages.put(child_id, child);
+        }
+        child_id = new_pid;
+        child = parent;
+    }
+
+    // Root adjustments: an empty leaf root vanishes; an interior root
+    // with no separators collapses into its rightmost child.
+    match child.kind() {
+        crate::page::PageKind::Leaf if child.ncells() == 0 => {
+            pages.free(child_id);
+            Ok((NULL_PAGE, true))
+        }
+        crate::page::PageKind::Interior if child.ncells() == 0 => {
+            let only = child.rightmost();
+            pages.free(child_id);
+            Ok((only, true))
+        }
+        _ => {
+            pages.put(child_id, child);
+            Ok((child_id, true))
+        }
+    }
+}
+
+/// Point lookup.
+pub(crate) fn get<P: Pages>(pages: &P, root: PageId, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+    let mut cur = root;
+    while cur != NULL_PAGE {
+        let page = pages.load(cur)?;
+        match page.kind() {
+            crate::page::PageKind::Leaf => {
+                return match page.search(key) {
+                    Ok(i) => Ok(Some(read_value(pages, &page, i)?)),
+                    Err(_) => Ok(None),
+                };
+            }
+            crate::page::PageKind::Interior => {
+                cur = child_at(&page, route(&page, key));
+            }
+            crate::page::PageKind::Overflow => unreachable!("overflow page in tree path"),
+        }
+    }
+    Ok(None)
+}
+
+/// First entry with key `>= key`, or `None`. Used for prefix-existence
+/// probes (unique index checks) inside a write transaction.
+pub(crate) fn seek_ge<P: Pages>(
+    pages: &P,
+    root: PageId,
+    key: &[u8],
+) -> io::Result<Option<(Vec<u8>, Vec<u8>)>> {
+    if root == NULL_PAGE {
+        return Ok(None);
+    }
+    let page = pages.load(root)?;
+    match page.kind() {
+        crate::page::PageKind::Leaf => {
+            let i = match page.search(key) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            if i < page.ncells() {
+                Ok(Some((
+                    page.cell_key(i).to_vec(),
+                    read_value(pages, &page, i)?,
+                )))
+            } else {
+                Ok(None)
+            }
+        }
+        crate::page::PageKind::Interior => {
+            for idx in route(&page, key)..=page.ncells() {
+                if let Some(found) = seek_ge(pages, child_at(&page, idx), key)? {
+                    return Ok(Some(found));
+                }
+            }
+            Ok(None)
+        }
+        crate::page::PageKind::Overflow => unreachable!("overflow page in tree path"),
+    }
+}
+
+/// Forward-only cursor over a tree's entries in key order. The caller
+/// supplies the page accessor on every call so the cursor itself stays
+/// free of lifetimes/ownership of the store.
+pub(crate) struct RawCursor {
+    // (page, next position): for leaves the next cell to yield, for
+    // interior pages the next child to descend into (ncells = rightmost).
+    stack: Vec<(Arc<Page>, usize)>,
+}
+
+impl RawCursor {
+    /// Position the cursor at the first entry `>=`/`>` the lower bound.
+    pub(crate) fn seek<P: Pages>(
+        pages: &P,
+        root: PageId,
+        low: Bound<&[u8]>,
+    ) -> io::Result<RawCursor> {
+        let mut stack = Vec::new();
+        let mut cur = root;
+        while cur != NULL_PAGE {
+            let page = pages.load(cur)?;
+            match page.kind() {
+                crate::page::PageKind::Leaf => {
+                    let start = match low {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) => match page.search(k) {
+                            Ok(i) | Err(i) => i,
+                        },
+                        Bound::Excluded(k) => match page.search(k) {
+                            Ok(i) => i + 1,
+                            Err(i) => i,
+                        },
+                    };
+                    stack.push((page, start));
+                    break;
+                }
+                crate::page::PageKind::Interior => {
+                    let idx = match low {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) | Bound::Excluded(k) => route(&page, k),
+                    };
+                    cur = child_at(&page, idx);
+                    stack.push((page, idx + 1));
+                }
+                crate::page::PageKind::Overflow => unreachable!("overflow page in tree path"),
+            }
+        }
+        Ok(RawCursor { stack })
+    }
+
+    /// Next entry in key order, or `None` at the end of the tree.
+    pub(crate) fn next<P: Pages>(&mut self, pages: &P) -> io::Result<Option<(Vec<u8>, Vec<u8>)>> {
+        loop {
+            let Some((page, pos)) = self.stack.last_mut() else {
+                return Ok(None);
+            };
+            match page.kind() {
+                crate::page::PageKind::Leaf => {
+                    if *pos < page.ncells() {
+                        let i = *pos;
+                        *pos += 1;
+                        let page = page.clone();
+                        let key = page.cell_key(i).to_vec();
+                        let val = read_value(pages, &page, i)?;
+                        return Ok(Some((key, val)));
+                    }
+                    self.stack.pop();
+                }
+                crate::page::PageKind::Interior => {
+                    if *pos <= page.ncells() {
+                        let child = child_at(page, *pos);
+                        *pos += 1;
+                        let mut cur = child;
+                        // Descend to the leftmost leaf of this subtree.
+                        while cur != NULL_PAGE {
+                            let p = pages.load(cur)?;
+                            let interior = p.kind() == crate::page::PageKind::Interior;
+                            let first = if interior { child_at(&p, 0) } else { NULL_PAGE };
+                            self.stack.push((p, if interior { 1 } else { 0 }));
+                            cur = first;
+                        }
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+                crate::page::PageKind::Overflow => unreachable!("overflow page on cursor stack"),
+            }
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Slotted-page layout.
+//!
+//! Every page is a fixed-size byte array with a 16-byte header, a slot
+//! array growing forward from the header, and cell content growing
+//! backward from the end of the page. Cells are addressed through the
+//! slot array so they can be kept sorted by key without moving payload
+//! bytes; deleting a cell leaves a fragment that `compact` reclaims when
+//! contiguous free space runs out.
+//!
+//! Header layout (little-endian):
+//!
+//! | offset | size | field                                          |
+//! |--------|------|------------------------------------------------|
+//! | 0      | 1    | page kind (1 = leaf, 2 = interior, 3 = overflow) |
+//! | 1      | 1    | reserved                                       |
+//! | 2      | 2    | cell count (overflow: chunk length in bytes)   |
+//! | 4      | 4    | next page (overflow chain only)                |
+//! | 8      | 4    | rightmost child (interior only)                |
+//! | 12     | 2    | cell content start offset                      |
+//! | 14     | 2    | fragmented free bytes                          |
+//!
+//! Cell formats:
+//!
+//! - leaf, inline value:   `[klen u16][0u8][vlen u16][key][value]`
+//! - leaf, overflow value: `[klen u16][1u8][total u32][head u32][key]`
+//! - interior:             `[klen u16][child u32][key]`
+//!
+//! Interior pages use the *high-key* convention: the separator stored
+//! with a child is an upper bound (>=) for every key in that child's
+//! subtree, and the `rightmost` child covers everything greater than the
+//! last separator. Separators are allowed to go stale-high after
+//! deletes; lookups and inserts route identically, so this is safe.
+
+use std::cmp::Ordering;
+
+/// Identifier of a page within the store file. Page 0 is reserved as the
+/// null sentinel and never allocated.
+pub type PageId = u32;
+
+/// Sentinel meaning "no page" (empty tree root, end of overflow chain).
+pub const NULL_PAGE: PageId = 0;
+
+/// Size of the fixed page header in bytes.
+pub const HEADER: usize = 16;
+
+const KIND_LEAF: u8 = 1;
+const KIND_INTERIOR: u8 = 2;
+const KIND_OVERFLOW: u8 = 3;
+
+/// Kind of a page, stored in the first header byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// B-tree leaf holding key/value cells.
+    Leaf,
+    /// B-tree interior node holding key/child cells.
+    Interior,
+    /// Overflow-chain page holding a chunk of a large value.
+    Overflow,
+}
+
+/// A leaf cell's value, which is either inline or spilled to an
+/// overflow chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeafValue<'a> {
+    /// Value stored inline in the leaf cell.
+    Inline(&'a [u8]),
+    /// Value spilled to an overflow chain.
+    Overflow {
+        /// Total value length in bytes across the chain.
+        total: u32,
+        /// First page of the overflow chain.
+        head: PageId,
+    },
+}
+
+/// Owned form of [`LeafValue`] used when building cells.
+#[derive(Debug, Clone)]
+pub enum OwnedLeafValue {
+    /// Value stored inline.
+    Inline(Vec<u8>),
+    /// Value spilled to an overflow chain.
+    Overflow {
+        /// Total value length in bytes across the chain.
+        total: u32,
+        /// First page of the overflow chain.
+        head: PageId,
+    },
+}
+
+impl OwnedLeafValue {
+    fn encoded_len(&self) -> usize {
+        match self {
+            OwnedLeafValue::Inline(v) => 2 + v.len(),
+            OwnedLeafValue::Overflow { .. } => 8,
+        }
+    }
+}
+
+/// A single fixed-size page. Committed pages are immutable; mutation
+/// happens only on private copies owned by a write transaction.
+#[derive(Clone)]
+pub struct Page {
+    data: Vec<u8>,
+}
+
+fn u16_at(d: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([d[off], d[off + 1]])
+}
+
+fn u32_at(d: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([d[off], d[off + 1], d[off + 2], d[off + 3]])
+}
+
+impl Page {
+    fn blank(size: usize, kind: u8) -> Page {
+        debug_assert!((64..=32768).contains(&size));
+        let mut data = vec![0u8; size];
+        data[0] = kind;
+        data[12..14].copy_from_slice(&(size as u16).to_le_bytes());
+        Page { data }
+    }
+
+    /// Create an empty leaf page.
+    pub fn new_leaf(size: usize) -> Page {
+        Page::blank(size, KIND_LEAF)
+    }
+
+    /// Create an empty interior page.
+    pub fn new_interior(size: usize) -> Page {
+        Page::blank(size, KIND_INTERIOR)
+    }
+
+    /// Create an overflow page holding `chunk`, linked to `next`.
+    pub fn new_overflow(size: usize, chunk: &[u8], next: PageId) -> Page {
+        debug_assert!(chunk.len() <= size - HEADER);
+        let mut p = Page::blank(size, KIND_OVERFLOW);
+        p.data[2..4].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+        p.data[4..8].copy_from_slice(&next.to_le_bytes());
+        p.data[HEADER..HEADER + chunk.len()].copy_from_slice(chunk);
+        p
+    }
+
+    /// Reconstruct a page from raw file bytes.
+    pub fn from_bytes(data: Vec<u8>) -> Page {
+        Page { data }
+    }
+
+    /// Raw page bytes (exactly page-size long).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Page size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Kind tag of this page.
+    pub fn kind(&self) -> PageKind {
+        match self.data[0] {
+            KIND_LEAF => PageKind::Leaf,
+            KIND_INTERIOR => PageKind::Interior,
+            KIND_OVERFLOW => PageKind::Overflow,
+            k => panic!("corrupt page kind {k}"),
+        }
+    }
+
+    /// Number of cells on a leaf/interior page.
+    pub fn ncells(&self) -> usize {
+        u16_at(&self.data, 2) as usize
+    }
+
+    fn set_ncells(&mut self, n: usize) {
+        self.data[2..4].copy_from_slice(&(n as u16).to_le_bytes());
+    }
+
+    fn content_start(&self) -> usize {
+        u16_at(&self.data, 12) as usize
+    }
+
+    fn set_content_start(&mut self, v: usize) {
+        self.data[12..14].copy_from_slice(&(v as u16).to_le_bytes());
+    }
+
+    fn frag(&self) -> usize {
+        u16_at(&self.data, 14) as usize
+    }
+
+    fn set_frag(&mut self, v: usize) {
+        self.data[14..16].copy_from_slice(&(v.min(u16::MAX as usize) as u16).to_le_bytes());
+    }
+
+    fn slot(&self, i: usize) -> usize {
+        u16_at(&self.data, HEADER + 2 * i) as usize
+    }
+
+    fn set_slot(&mut self, i: usize, off: usize) {
+        self.data[HEADER + 2 * i..HEADER + 2 * i + 2].copy_from_slice(&(off as u16).to_le_bytes());
+    }
+
+    // ---- overflow pages ----
+
+    /// Next page in an overflow chain ([`NULL_PAGE`] at the end).
+    pub fn overflow_next(&self) -> PageId {
+        u32_at(&self.data, 4)
+    }
+
+    /// Payload chunk of an overflow page.
+    pub fn overflow_chunk(&self) -> &[u8] {
+        let len = u16_at(&self.data, 2) as usize;
+        &self.data[HEADER..HEADER + len]
+    }
+
+    /// Largest chunk an overflow page of `size` bytes can hold.
+    pub fn overflow_capacity(size: usize) -> usize {
+        size - HEADER
+    }
+
+    // ---- interior pages ----
+
+    /// Rightmost child of an interior page (keys greater than every
+    /// separator).
+    pub fn rightmost(&self) -> PageId {
+        u32_at(&self.data, 8)
+    }
+
+    /// Set the rightmost child pointer.
+    pub fn set_rightmost(&mut self, child: PageId) {
+        self.data[8..12].copy_from_slice(&child.to_le_bytes());
+    }
+
+    /// Child pointer of interior cell `i`.
+    pub fn cell_child(&self, i: usize) -> PageId {
+        let off = self.slot(i);
+        u32_at(&self.data, off + 2)
+    }
+
+    /// Overwrite the child pointer of interior cell `i` in place (the
+    /// cell does not change size, so no reallocation is needed).
+    pub fn set_cell_child(&mut self, i: usize, child: PageId) {
+        let off = self.slot(i);
+        self.data[off + 2..off + 6].copy_from_slice(&child.to_le_bytes());
+    }
+
+    // ---- common cell accessors ----
+
+    /// Key bytes of cell `i` (leaf or interior).
+    pub fn cell_key(&self, i: usize) -> &[u8] {
+        let off = self.slot(i);
+        let klen = u16_at(&self.data, off) as usize;
+        match self.kind() {
+            PageKind::Leaf => {
+                let vtag = self.data[off + 2];
+                if vtag == 0 {
+                    &self.data[off + 5..off + 5 + klen]
+                } else {
+                    &self.data[off + 11..off + 11 + klen]
+                }
+            }
+            PageKind::Interior => &self.data[off + 6..off + 6 + klen],
+            PageKind::Overflow => panic!("cell_key on overflow page"),
+        }
+    }
+
+    /// Value of leaf cell `i`.
+    pub fn cell_value(&self, i: usize) -> LeafValue<'_> {
+        debug_assert_eq!(self.kind(), PageKind::Leaf);
+        let off = self.slot(i);
+        let klen = u16_at(&self.data, off) as usize;
+        if self.data[off + 2] == 0 {
+            let vlen = u16_at(&self.data, off + 3) as usize;
+            let vstart = off + 5 + klen;
+            LeafValue::Inline(&self.data[vstart..vstart + vlen])
+        } else {
+            LeafValue::Overflow {
+                total: u32_at(&self.data, off + 3),
+                head: u32_at(&self.data, off + 7),
+            }
+        }
+    }
+
+    /// Binary-search the page's cells for `key`. `Ok(i)` = exact match at
+    /// cell `i`; `Err(i)` = `key` sorts before cell `i`.
+    pub fn search(&self, key: &[u8]) -> Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = self.ncells();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.cell_key(mid).cmp(key) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    // ---- free-space bookkeeping ----
+
+    fn slots_end(&self) -> usize {
+        HEADER + 2 * self.ncells()
+    }
+
+    /// Contiguous free bytes between the slot array and cell content.
+    fn gap(&self) -> usize {
+        self.content_start() - self.slots_end()
+    }
+
+    /// Total free bytes (contiguous gap plus fragments).
+    pub fn free_space(&self) -> usize {
+        self.gap() + self.frag()
+    }
+
+    /// Bytes used by live cell payloads plus slots (excludes header).
+    pub fn used(&self) -> usize {
+        self.size() - HEADER - self.free_space()
+    }
+
+    /// Rewrite the page so all free space is contiguous.
+    pub fn compact(&mut self) {
+        let n = self.ncells();
+        let mut cells: Vec<Vec<u8>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = self.slot(i);
+            let len = self.cell_len_at(off);
+            cells.push(self.data[off..off + len].to_vec());
+        }
+        let size = self.size();
+        let mut end = size;
+        for (i, c) in cells.iter().enumerate() {
+            end -= c.len();
+            self.data[end..end + c.len()].copy_from_slice(c);
+            self.set_slot(i, end);
+        }
+        self.set_content_start(end);
+        self.set_frag(0);
+    }
+
+    fn cell_len_at(&self, off: usize) -> usize {
+        let klen = u16_at(&self.data, off) as usize;
+        match self.kind() {
+            PageKind::Leaf => {
+                if self.data[off + 2] == 0 {
+                    let vlen = u16_at(&self.data, off + 3) as usize;
+                    5 + klen + vlen
+                } else {
+                    11 + klen
+                }
+            }
+            PageKind::Interior => 6 + klen,
+            PageKind::Overflow => panic!("cell_len_at on overflow page"),
+        }
+    }
+
+    /// Size a leaf cell for `key` and `val` would occupy (payload only,
+    /// not counting its slot).
+    pub fn leaf_cell_size(key: &[u8], val: &OwnedLeafValue) -> usize {
+        3 + val.encoded_len() + key.len()
+    }
+
+    /// Size an interior cell for `key` would occupy.
+    pub fn interior_cell_size(key: &[u8]) -> usize {
+        6 + key.len()
+    }
+
+    fn insert_cell(&mut self, i: usize, cell: &[u8]) -> bool {
+        let need = cell.len() + 2;
+        if self.free_space() < need {
+            return false;
+        }
+        if self.gap() < need {
+            self.compact();
+        }
+        let n = self.ncells();
+        debug_assert!(i <= n);
+        // Shift slots [i..n) right by one.
+        for j in (i..n).rev() {
+            let s = self.slot(j);
+            self.set_slot(j + 1, s);
+        }
+        let off = self.content_start() - cell.len();
+        self.data[off..off + cell.len()].copy_from_slice(cell);
+        self.set_content_start(off);
+        self.set_slot(i, off);
+        self.set_ncells(n + 1);
+        true
+    }
+
+    /// Insert a leaf cell at position `i`. Returns `false` (page
+    /// unchanged) when there is not enough free space.
+    pub fn insert_leaf_cell(&mut self, i: usize, key: &[u8], val: &OwnedLeafValue) -> bool {
+        debug_assert_eq!(self.kind(), PageKind::Leaf);
+        let mut cell = Vec::with_capacity(Page::leaf_cell_size(key, val));
+        cell.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        match val {
+            OwnedLeafValue::Inline(v) => {
+                cell.push(0);
+                cell.extend_from_slice(&(v.len() as u16).to_le_bytes());
+                cell.extend_from_slice(key);
+                cell.extend_from_slice(v);
+            }
+            OwnedLeafValue::Overflow { total, head } => {
+                cell.push(1);
+                cell.extend_from_slice(&total.to_le_bytes());
+                cell.extend_from_slice(&head.to_le_bytes());
+                cell.extend_from_slice(key);
+            }
+        }
+        self.insert_cell(i, &cell)
+    }
+
+    /// Insert an interior cell at position `i`. Returns `false` when the
+    /// page is full.
+    pub fn insert_interior_cell(&mut self, i: usize, key: &[u8], child: PageId) -> bool {
+        debug_assert_eq!(self.kind(), PageKind::Interior);
+        let mut cell = Vec::with_capacity(Page::interior_cell_size(key));
+        cell.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        cell.extend_from_slice(&child.to_le_bytes());
+        cell.extend_from_slice(key);
+        self.insert_cell(i, &cell)
+    }
+
+    /// Remove cell `i`, leaving its payload bytes as a fragment.
+    pub fn remove_cell(&mut self, i: usize) {
+        let n = self.ncells();
+        debug_assert!(i < n);
+        let off = self.slot(i);
+        let len = self.cell_len_at(off);
+        if off == self.content_start() {
+            self.set_content_start(off + len);
+        } else {
+            self.set_frag(self.frag() + len);
+        }
+        for j in i + 1..n {
+            let s = self.slot(j);
+            self.set_slot(j - 1, s);
+        }
+        self.set_ncells(n - 1);
+        // The vacated slot word becomes part of the gap automatically.
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("kind", &self.kind())
+            .field("ncells", &self.ncells())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_insert_search_remove() {
+        let mut p = Page::new_leaf(256);
+        for (i, k) in [b"bb", b"dd", b"ff"].iter().enumerate() {
+            assert!(p.insert_leaf_cell(i, *k, &OwnedLeafValue::Inline(vec![i as u8])));
+        }
+        assert_eq!(p.ncells(), 3);
+        assert_eq!(p.search(b"dd"), Ok(1));
+        assert_eq!(p.search(b"cc"), Err(1));
+        assert_eq!(p.search(b"zz"), Err(3));
+        assert_eq!(p.cell_value(1), LeafValue::Inline(&[1u8][..]));
+        p.remove_cell(1);
+        assert_eq!(p.ncells(), 2);
+        assert_eq!(p.search(b"dd"), Err(1));
+        assert_eq!(p.cell_key(1), b"ff");
+    }
+
+    #[test]
+    fn compaction_reclaims_fragments() {
+        let mut p = Page::new_leaf(128);
+        let mut i = 0;
+        while p.insert_leaf_cell(
+            p.ncells(),
+            format!("k{i:03}").as_bytes(),
+            &OwnedLeafValue::Inline(vec![0; 4]),
+        ) {
+            i += 1;
+        }
+        assert!(i >= 3);
+        // Free a middle cell, then insert something that only fits after
+        // compaction.
+        p.remove_cell(1);
+        p.remove_cell(1);
+        let before = p.free_space();
+        assert!(p.insert_leaf_cell(1, b"k001", &OwnedLeafValue::Inline(vec![9; 8])));
+        assert!(p.free_space() < before);
+        assert_eq!(p.cell_key(1), b"k001");
+    }
+
+    #[test]
+    fn interior_cells_and_rightmost() {
+        let mut p = Page::new_interior(256);
+        assert!(p.insert_interior_cell(0, b"m", 7));
+        assert!(p.insert_interior_cell(1, b"t", 9));
+        p.set_rightmost(11);
+        assert_eq!(p.cell_child(0), 7);
+        p.set_cell_child(0, 8);
+        assert_eq!(p.cell_child(0), 8);
+        assert_eq!(p.cell_key(1), b"t");
+        assert_eq!(p.rightmost(), 11);
+    }
+
+    #[test]
+    fn overflow_roundtrip() {
+        let chunk = vec![7u8; 100];
+        let p = Page::new_overflow(128, &chunk, 42);
+        assert_eq!(p.kind(), PageKind::Overflow);
+        assert_eq!(p.overflow_next(), 42);
+        assert_eq!(p.overflow_chunk(), &chunk[..]);
+    }
+}

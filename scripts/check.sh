@@ -65,14 +65,15 @@ bench_smoke() {
   run_bin fig5_browse_nodes
   run_bin table1_processing
   run_bin table23_characteristics
+  run_bin store_bench
   # Every binary must have written its report.
-  for report in BENCH_batch_bench BENCH_fig4_browse_clients; do
+  for report in BENCH_batch_bench BENCH_fig4_browse_clients BENCH_store; do
     [[ -s "$out/$report.json" ]] || {
       echo "FAIL: bench smoke produced no $report.json" >&2; exit 1; }
   done
   # The smoke reports must satisfy the documented row schema.
   cargo run --release -q -p hedc-bench --bin bench_schema -- "$out" \
-    fig4_browse_clients batch_bench
+    fig4_browse_clients batch_bench store
   rm -rf "$out"
 }
 
@@ -128,6 +129,7 @@ if [[ -n "$seed" ]]; then
   export HEDC_TEST_SEED="$seed"
   cargo test -q -p hedc-dm --test failover --test cache --test ingest_crash \
     --test ingest_browse -- --nocapture
+  cargo test -q -p hedc-metadb --test paged_model -- --nocapture
   cargo test -q -p hedc-net --test cluster -- --nocapture
   echo "OK (seed $seed)"
   exit 0
@@ -160,10 +162,10 @@ ingest_smoke
 obs_smoke
 
 # The committed results/ reports must satisfy the schema, and the committed
-# tier (fig4, batch, ingest) must be present.
+# tier (fig4, batch, ingest, store) must be present.
 echo "==> bench_schema (committed results/)"
 cargo run --release -q -p hedc-bench --bin bench_schema -- results \
-  fig4_browse_clients batch_bench ingest
+  fig4_browse_clients batch_bench ingest store
 
 regressions_after="$(find . -path ./target -prune -o -name '*.txt' -path '*proptest-regressions*' -print 2>/dev/null | sort | xargs -r md5sum 2>/dev/null || true)"
 if [[ "$regressions_before" != "$regressions_after" ]]; then
