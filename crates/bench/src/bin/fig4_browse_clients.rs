@@ -7,6 +7,8 @@
 //! database.
 
 use hedc_bench::attribution::{run_browse_attribution, AttributionConfig};
+use hedc_bench::cluster::run_fig4_net;
+use hedc_core::HedcConfig;
 use hedc_sim::browse::{figure4, figure4_batched};
 use std::time::Duration;
 
@@ -151,6 +153,59 @@ fn main() {
     let mut bench_rows = summarize(&results, "standard");
     if let Some(batched) = &batched {
         bench_rows.extend(summarize(batched, "batched"));
+    }
+
+    // The measured net-tier sweep: the same "clients vs throughput" axis as
+    // the paper's figure, but against the event-driven, admission-controlled
+    // `DmServer` over real loopback sockets. Where Figure 4 collapses
+    // (16 req/s at 16 clients down to 3 at 96), this curve must hold flat:
+    // offered load beyond capacity is shed with a typed `Overloaded`, not
+    // queued into multi-second p99s. `check_fig4` in `hedc_bench::schema`
+    // gates exactly that shape.
+    let net_clients: &[usize] = if hedc_bench::smoke() {
+        &[8, 16]
+    } else {
+        &[16, 32, 64, 128, 256, 512]
+    };
+    let net_secs: f64 = std::env::var("HEDC_NET_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let hedc = HedcConfig::default();
+    println!();
+    println!("net — measured clients sweep, 1 admission-controlled DmServer");
+    println!("{:-<74}", "");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "clients", "req/s", "p50 ms", "p99 ms", "requests", "sheds", "shed %"
+    );
+    for &clients in net_clients {
+        let r = run_fig4_net(clients, Duration::from_secs_f64(net_secs), &hedc);
+        println!(
+            "{:>8} {:>12.1} {:>10.2} {:>10.2} {:>10} {:>10} {:>8.1}%",
+            r.clients,
+            r.requests_per_second,
+            r.p50_response_s * 1e3,
+            r.p99_response_s * 1e3,
+            r.requests,
+            r.sheds,
+            r.shed_rate * 100.0
+        );
+        bench_rows.push(serde_json::json!({
+            "mode": "net",
+            "clients": r.clients,
+            "requests": r.requests,
+            "throughput_rps": r.requests_per_second,
+            "sheds": r.sheds,
+            "shed_rate": r.shed_rate,
+            "overload_retries": r.overload_retries,
+            "latency_s": {
+                "avg": r.avg_response_s,
+                "p50": r.p50_response_s,
+                "p95": r.p95_response_s,
+                "p99": r.p99_response_s,
+            },
+        }));
     }
 
     // `--attribution`: the measured tail-latency decomposition. A one-node

@@ -7,12 +7,31 @@
 //! alongside the simulated Figure 5 so `results/BENCH_*.json` carries both
 //! a modeled and a measured throughput row per node count.
 
+use hedc_core::HedcConfig;
 use hedc_dm::{Dm, DmConfig, DmNode, DmRouter};
 use hedc_filestore::{Archive, ArchiveTier, FileStore};
 use hedc_metadb::{AggFunc, Expr, Query};
-use hedc_net::{DmServer, NetConfig, NetDm, ServerConfig};
+use hedc_net::{AdmissionConfig, DmServer, NetConfig, NetDm, ServerConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Map the deployment-level `HedcConfig` admission knobs onto the net
+/// tier's [`ServerConfig`]. This is the one place the two meet: `hedc-core`
+/// must not depend on `hedc-net`, so harnesses (and a real deployment
+/// binary) do the translation here.
+pub fn server_config_from(config: &HedcConfig) -> ServerConfig {
+    ServerConfig {
+        admission: AdmissionConfig {
+            max_connections: config.net_max_connections,
+            workers: config.net_workers,
+            queue_depth: config.net_queue_depth,
+            queue_deadline: config.net_queue_deadline(),
+            read_deadline: config.net_read_deadline(),
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
 
 /// One real-network cluster run.
 #[derive(Debug, Clone, Copy)]
@@ -205,6 +224,116 @@ pub fn run_cluster(config: &ClusterConfig) -> ClusterRunResult {
     }
 }
 
+/// One point of the net-tier Figure-4 sweep: N closed-loop clients against
+/// a *single* admission-controlled server.
+#[derive(Debug, Clone)]
+pub struct NetClientsResult {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Browse requests completed successfully.
+    pub requests: u64,
+    /// Completed requests per second.
+    pub requests_per_second: f64,
+    /// Mean request latency, seconds.
+    pub avg_response_s: f64,
+    /// Median request latency, seconds.
+    pub p50_response_s: f64,
+    /// 95th-percentile request latency, seconds.
+    pub p95_response_s: f64,
+    /// 99th-percentile request latency, seconds.
+    pub p99_response_s: f64,
+    /// Server-side admission sheds during the window (queue full +
+    /// queue deadline + per-connection in-flight cap).
+    pub sheds: u64,
+    /// `sheds / (requests + sheds)` — the fraction of offered work the
+    /// server refused instead of queueing into collapse.
+    pub shed_rate: f64,
+    /// Client-side retries that absorbed a shed before it surfaced.
+    pub overload_retries: u64,
+}
+
+fn shed_total() -> u64 {
+    let obs = hedc_obs::global();
+    obs.counter("net.server.shed.queue_full").get()
+        + obs.counter("net.server.shed.deadline").get()
+        + obs.counter("net.server.shed.inflight").get()
+}
+
+/// The measured Figure-4 counterpart: instead of the paper's collapsing
+/// middle tier (16 req/s at 16 clients down to 3 at 96), the event-driven
+/// server holds throughput flat past saturation by shedding excess load.
+/// One point per call; the harness sweeps the client counts.
+pub fn run_fig4_net(clients: usize, measure: Duration, hedc: &HedcConfig) -> NetClientsResult {
+    assert!(clients > 0);
+    let mut server = DmServer::bind("127.0.0.1:0", dm_node(0), server_config_from(hedc))
+        .expect("bind loopback DM server");
+    // Scale the connection pool with the client count so the sweep
+    // exercises multiplexing (many threads per socket) at every point.
+    let net_config = NetConfig {
+        pool_size: (clients / 8).clamp(4, 64),
+        ..NetConfig::default()
+    };
+    let client = Arc::new(NetDm::connect(server.local_addr(), "fig4-net", net_config));
+
+    let obs = hedc_obs::global();
+    let sheds_before = shed_total();
+    let retries_before = obs.counter("net.client.overload_retries").get();
+
+    let queries = Arc::new(browse_queries(2));
+    let deadline = Instant::now() + measure;
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let client = Arc::clone(&client);
+            let queries = Arc::clone(&queries);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                while Instant::now() < deadline {
+                    let t0 = Instant::now();
+                    // A shed that survives the client's retries surfaces
+                    // as an error here; the request simply doesn't count.
+                    if queries.iter().all(|q| client.execute_query(q).is_ok()) {
+                        latencies.push(t0.elapsed().as_secs_f64());
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread"))
+        .collect();
+    let elapsed = started.elapsed().as_secs_f64();
+    drop(client);
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let requests = latencies.len() as u64;
+    let sheds = shed_total().saturating_sub(sheds_before);
+    let avg = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    NetClientsResult {
+        clients,
+        requests,
+        requests_per_second: requests as f64 / elapsed.max(f64::EPSILON),
+        avg_response_s: avg,
+        p50_response_s: percentile(&latencies, 0.50),
+        p95_response_s: percentile(&latencies, 0.95),
+        p99_response_s: percentile(&latencies, 0.99),
+        sheds,
+        shed_rate: sheds as f64 / (requests + sheds).max(1) as f64,
+        overload_retries: obs
+            .counter("net.client.overload_retries")
+            .get()
+            .saturating_sub(retries_before),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +351,34 @@ mod tests {
         assert!(result.requests_per_second > 0.0);
         assert!(result.bytes_out > 0 && result.bytes_in > 0);
         assert!(result.p50_response_s <= result.p99_response_s);
+    }
+
+    /// The deployment config's admission knobs land on the server config.
+    #[test]
+    fn server_config_translates_admission_knobs() {
+        let hedc = HedcConfig {
+            net_max_connections: 7,
+            net_workers: 3,
+            net_queue_depth: 9,
+            net_queue_deadline_ms: 111,
+            net_read_deadline_ms: 222,
+            ..HedcConfig::default()
+        };
+        let sc = server_config_from(&hedc);
+        assert_eq!(sc.admission.max_connections, 7);
+        assert_eq!(sc.admission.workers, 3);
+        assert_eq!(sc.admission.queue_depth, 9);
+        assert_eq!(sc.admission.queue_deadline, Duration::from_millis(111));
+        assert_eq!(sc.admission.read_deadline, Duration::from_millis(222));
+    }
+
+    /// Smoke: one net-tier Figure-4 point produces a coherent row.
+    #[test]
+    fn fig4_net_point_reports_admission_outcome() {
+        let r = run_fig4_net(4, Duration::from_millis(300), &HedcConfig::default());
+        assert!(r.requests > 0, "{r:?}");
+        assert!(r.requests_per_second > 0.0);
+        assert!((0.0..=1.0).contains(&r.shed_rate), "{r:?}");
+        assert!(r.p50_response_s <= r.p99_response_s);
     }
 }

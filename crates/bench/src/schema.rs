@@ -6,7 +6,7 @@
 //! bench:
 //!
 //! * **fig4_browse_clients / fig5_browse_nodes** — `rows`: non-empty; each
-//!   row has `mode` (fig4: `standard`/`batched`/`attribution`; fig5:
+//!   row has `mode` (fig4: `standard`/`batched`/`attribution`/`net`; fig5:
 //!   `sim`/`net`/`cache`), and — except fig5 `cache` rows, which carry
 //!   `phase`/`avg_us_per_query` instead — `clients` ≥ 1, a finite
 //!   `throughput_rps` ≥ 0, and a `latency_s` object with finite
@@ -15,7 +15,13 @@
 //!   `attributed_us`, a `coverage` within 10% of exact (0.9 ..= 1.1), and a
 //!   `breakdown_us` object whose `queue`/`pool`/`wire`/`execute` sum to
 //!   `attributed_us` — the partition property, enforced at the report
-//!   boundary.
+//!   boundary. fig4 `net` rows (the measured clients sweep against the
+//!   admission-controlled server) carry `requests`, `sheds`, and a
+//!   `shed_rate` in `0..=1`, and the sweep as a whole must satisfy
+//!   [`check_fig4`]: at least two rows on strictly increasing client
+//!   counts, throughput never collapsing below 65% of the best preceding
+//!   point, p99 ≤ 3 s, and shed rate ≤ 0.5 — the anti-Figure-4 claim that
+//!   overload sheds instead of queueing into collapse.
 //! * **batch_bench** — `resolve`: non-empty rows with `mode`
 //!   (`local`/`net`), `batch_size` ≥ 1, `reps` ≥ 1, finite
 //!   `sequential_avg_us`/`batched_avg_us`/`speedup`; `topk`: object with
@@ -161,7 +167,7 @@ fn check_attribution_row(row: &serde_json::Value, ctx: &str, errs: &mut Errors) 
 
 fn check_browse_rows(report: &serde_json::Value, name: &str, errs: &mut Errors) {
     let modes: &[&str] = if name == "fig4_browse_clients" {
-        &["standard", "batched", "attribution"]
+        &["standard", "batched", "attribution", "net"]
     } else {
         &["sim", "net", "cache"]
     };
@@ -195,6 +201,96 @@ fn check_browse_rows(report: &serde_json::Value, name: &str, errs: &mut Errors) 
         check_latency(row, &ctx, errs);
         if mode == "attribution" {
             check_attribution_row(row, &ctx, errs);
+        }
+        if name == "fig4_browse_clients" && mode == "net" {
+            uint(row, "requests", &ctx, errs);
+            uint(row, "sheds", &ctx, errs);
+            if let Some(rate) = fin(row, "shed_rate", &ctx, errs) {
+                if !(0.0..=1.0).contains(&rate) {
+                    errs.push(format!("{ctx}: shed_rate {rate} outside 0..=1"));
+                }
+            }
+        }
+    }
+    if name == "fig4_browse_clients" {
+        check_fig4(report, errs);
+    }
+}
+
+/// The net-tier scaling gate — the measured refutation of Figure 4's
+/// collapse, enforced at the report boundary.
+///
+/// The paper's middle tier peaks at 16 req/s around 16 clients and degrades
+/// to ≈3 req/s at 96 because excess load queues instead of being refused
+/// (§7.3). The admission-controlled server must do the opposite: as offered
+/// load grows past capacity, throughput holds and the surplus is *shed*.
+/// Over the report's `mode == "net"` rows this requires:
+///
+/// * at least two rows, on strictly increasing `clients` counts;
+/// * `throughput_rps` never dropping below 65% of the best preceding
+///   point — flat-or-rising within noise, never collapsing;
+/// * `latency_s.p99` ≤ 3 s at every point — accepted requests stay fast
+///   even at 512 clients;
+/// * `shed_rate` ≤ 0.5 — shedding is a safety valve, not the common case.
+pub fn check_fig4(report: &serde_json::Value, errs: &mut Errors) {
+    let net_rows: Vec<&serde_json::Value> = report
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .map(|rows| {
+            rows.iter()
+                .filter(|r| r.get("mode").and_then(|m| m.as_str()) == Some("net"))
+                .collect()
+        })
+        .unwrap_or_default();
+    if net_rows.len() < 2 {
+        errs.push(format!(
+            "fig4_browse_clients: {} net row(s) — the clients sweep needs at \
+             least two points to witness the scaling claim",
+            net_rows.len()
+        ));
+        return;
+    }
+    let mut prev_clients = 0u64;
+    let mut best_rps = 0.0f64;
+    for (i, row) in net_rows.iter().enumerate() {
+        let ctx = format!("fig4_browse_clients.net[{i}]");
+        if let Some(clients) = row.get("clients").and_then(|c| c.as_u64()) {
+            if clients <= prev_clients {
+                errs.push(format!(
+                    "{ctx}: clients {clients} not strictly increasing (previous {prev_clients})"
+                ));
+            }
+            prev_clients = clients;
+        }
+        if let Some(rps) = row.get("throughput_rps").and_then(|t| t.as_f64()) {
+            if rps < 0.65 * best_rps {
+                errs.push(format!(
+                    "{ctx}: throughput {rps:.1} req/s collapsed below 65% of the \
+                     best preceding point ({best_rps:.1}) — the Figure-4 cliff \
+                     the admission control exists to prevent"
+                ));
+            }
+            best_rps = best_rps.max(rps);
+        }
+        if let Some(p99) = row
+            .get("latency_s")
+            .and_then(|l| l.get("p99"))
+            .and_then(|p| p.as_f64())
+        {
+            if p99 > 3.0 {
+                errs.push(format!(
+                    "{ctx}: p99 {p99:.2}s exceeds 3s — accepted requests must \
+                     stay fast; excess load should have been shed"
+                ));
+            }
+        }
+        if let Some(rate) = row.get("shed_rate").and_then(|r| r.as_f64()) {
+            if rate > 0.5 {
+                errs.push(format!(
+                    "{ctx}: shed_rate {rate:.2} exceeds 0.5 — refusing most of \
+                     the offered load is an outage, not admission control"
+                ));
+            }
         }
     }
 }
@@ -465,6 +561,29 @@ mod tests {
         })
     }
 
+    fn fig4_net_row(clients: u64, rps: f64, p99: f64, shed_rate: f64) -> serde_json::Value {
+        serde_json::json!({
+            "mode": "net",
+            "clients": clients,
+            "requests": (rps * 2.0) as u64,
+            "throughput_rps": rps,
+            "sheds": 10,
+            "shed_rate": shed_rate,
+            "latency_s": { "avg": p99 / 4.0, "p50": p99 / 8.0, "p95": p99 / 2.0, "p99": p99 },
+        })
+    }
+
+    /// A fig4 report whose net sweep satisfies `check_fig4`.
+    fn fig4_report(extra_rows: Vec<serde_json::Value>) -> serde_json::Value {
+        let mut rows = vec![
+            fig4_net_row(16, 1400.0, 0.030, 0.0),
+            fig4_net_row(64, 2700.0, 0.150, 0.01),
+            fig4_net_row(256, 2900.0, 0.500, 0.05),
+        ];
+        rows.extend(extra_rows);
+        serde_json::json!({ "bench": "fig4_browse_clients", "rows": rows })
+    }
+
     #[test]
     fn committed_reports_validate() {
         // The repo's own committed results must satisfy their schema.
@@ -479,14 +598,53 @@ mod tests {
 
     #[test]
     fn fig4_rows_validate_and_misordered_percentiles_fail() {
-        let ok =
-            serde_json::json!({ "bench": "fig4_browse_clients", "rows": [fig4_row("standard")] });
+        let ok = fig4_report(vec![fig4_row("standard")]);
         validate_report("fig4_browse_clients", &ok).unwrap();
 
         let mut bad = ok.clone();
-        bad["rows"][0]["latency_s"]["p95"] = serde_json::json!(9.0);
+        bad["rows"][3]["latency_s"]["p95"] = serde_json::json!(9.0);
         let errs = validate_report("fig4_browse_clients", &bad).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("percentiles out of order")));
+    }
+
+    #[test]
+    fn fig4_net_gate_catches_collapse_sheds_and_tails() {
+        validate_report("fig4_browse_clients", &fig4_report(vec![])).unwrap();
+
+        // Fewer than two net points cannot witness the scaling claim.
+        let report =
+            serde_json::json!({ "bench": "fig4_browse_clients", "rows": [fig4_row("standard")] });
+        let errs = validate_report("fig4_browse_clients", &report).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("at least two points")),
+            "{errs:?}"
+        );
+
+        // The Figure-4 cliff: throughput collapsing at high client counts.
+        let report = fig4_report(vec![fig4_net_row(512, 700.0, 0.5, 0.05)]);
+        let errs = validate_report("fig4_browse_clients", &report).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("collapsed below 65%")),
+            "{errs:?}"
+        );
+
+        // Client counts must strictly increase.
+        let report = fig4_report(vec![fig4_net_row(256, 2900.0, 0.5, 0.05)]);
+        let errs = validate_report("fig4_browse_clients", &report).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("strictly increasing")),
+            "{errs:?}"
+        );
+
+        // Accepted requests queueing into multi-second tails.
+        let report = fig4_report(vec![fig4_net_row(512, 2900.0, 4.5, 0.05)]);
+        let errs = validate_report("fig4_browse_clients", &report).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("exceeds 3s")), "{errs:?}");
+
+        // Shedding most of the offered load is an outage.
+        let report = fig4_report(vec![fig4_net_row(512, 2900.0, 0.5, 0.8)]);
+        let errs = validate_report("fig4_browse_clients", &report).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("outage")), "{errs:?}");
     }
 
     #[test]
@@ -498,11 +656,11 @@ mod tests {
         row["coverage"] = serde_json::json!(1.0);
         row["breakdown_us"] =
             serde_json::json!({ "queue": 400, "pool": 100, "wire": 300, "execute": 200 });
-        let report = serde_json::json!({ "bench": "fig4_browse_clients", "rows": [row] });
+        let report = fig4_report(vec![row]);
         validate_report("fig4_browse_clients", &report).unwrap();
 
         let mut bad = report.clone();
-        bad["rows"][0]["breakdown_us"]["queue"] = serde_json::json!(1);
+        bad["rows"][3]["breakdown_us"]["queue"] = serde_json::json!(1);
         let errs = validate_report("fig4_browse_clients", &bad).unwrap_err();
         assert!(
             errs.iter().any(|e| e.contains("categories sum")),
@@ -510,7 +668,7 @@ mod tests {
         );
 
         let mut bad = report;
-        bad["rows"][0]["coverage"] = serde_json::json!(0.5);
+        bad["rows"][3]["coverage"] = serde_json::json!(0.5);
         let errs = validate_report("fig4_browse_clients", &bad).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("coverage")), "{errs:?}");
     }
@@ -595,8 +753,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(
             dir.join("BENCH_fig4_browse_clients.json"),
-            serde_json::json!({ "bench": "fig4_browse_clients", "rows": [fig4_row("standard")] })
-                .to_string(),
+            fig4_report(vec![fig4_row("standard")]).to_string(),
         )
         .unwrap();
         validate_dir(&dir, &["fig4_browse_clients"]).unwrap();

@@ -92,6 +92,29 @@ pub struct HedcConfig {
     /// before this field existed still parse.
     #[serde(default)]
     pub storage: hedc_metadb::StorageConfig,
+    /// Network-tier admission control: open-connection cap for a `DmServer`
+    /// exposing this deployment. Defaults so configs written before this
+    /// field existed still parse.
+    #[serde(default = "default_net_max_connections")]
+    pub net_max_connections: usize,
+    /// Network-tier worker threads executing requests (`0` = one per
+    /// available core). Defaults so older configs still parse.
+    #[serde(default)]
+    pub net_workers: usize,
+    /// Network-tier per-worker run-queue depth; frames beyond it are shed
+    /// with a typed `Overloaded` response. Defaults so older configs still
+    /// parse.
+    #[serde(default = "default_net_queue_depth")]
+    pub net_queue_depth: usize,
+    /// Network-tier queue deadline, ms: a request that waited longer is
+    /// shed without execution. Defaults so older configs still parse.
+    #[serde(default = "default_net_queue_deadline_ms")]
+    pub net_queue_deadline_ms: u64,
+    /// Network-tier read deadline, ms: a peer that starts a frame and
+    /// stalls longer than this is disconnected (slow-loris guard).
+    /// Defaults so older configs still parse.
+    #[serde(default = "default_net_read_deadline_ms")]
+    pub net_read_deadline_ms: u64,
 }
 
 fn default_slow_query_ms() -> u64 {
@@ -104,6 +127,22 @@ fn default_slow_trace_ms() -> u64 {
 
 fn default_parallel_scan_rows() -> usize {
     hedc_metadb::tuning::DEFAULT_PARALLEL_SCAN_ROWS
+}
+
+fn default_net_max_connections() -> usize {
+    1024
+}
+
+fn default_net_queue_depth() -> usize {
+    256
+}
+
+fn default_net_queue_deadline_ms() -> u64 {
+    1_000
+}
+
+fn default_net_read_deadline_ms() -> u64 {
+    2_000
 }
 
 impl Default for HedcConfig {
@@ -144,6 +183,11 @@ impl Default for HedcConfig {
             parallel_scan_rows: default_parallel_scan_rows(),
             slow_trace_ms: default_slow_trace_ms(),
             storage: hedc_metadb::StorageConfig::default(),
+            net_max_connections: default_net_max_connections(),
+            net_workers: 0,
+            net_queue_depth: default_net_queue_depth(),
+            net_queue_deadline_ms: default_net_queue_deadline_ms(),
+            net_read_deadline_ms: default_net_read_deadline_ms(),
         }
     }
 }
@@ -180,6 +224,16 @@ impl HedcConfig {
     /// Flight-recorder pin threshold as a duration.
     pub fn slow_trace(&self) -> Duration {
         Duration::from_millis(self.slow_trace_ms)
+    }
+
+    /// Network-tier queue deadline as a duration.
+    pub fn net_queue_deadline(&self) -> Duration {
+        Duration::from_millis(self.net_queue_deadline_ms)
+    }
+
+    /// Network-tier read deadline (slow-loris guard) as a duration.
+    pub fn net_read_deadline(&self) -> Duration {
+        Duration::from_millis(self.net_read_deadline_ms)
     }
 
     /// Serialize to pretty JSON.
@@ -265,6 +319,29 @@ mod tests {
         };
         let back = HedcConfig::from_json(&c.to_json()).unwrap();
         assert_eq!(back.storage.backend, hedc_metadb::StorageBackend::Paged);
+    }
+
+    #[test]
+    fn net_admission_fields_default_when_absent() {
+        // Same compatibility rule as `slow_query_ms`: configs written
+        // before the network-tier admission fields existed still parse.
+        let mut json: serde_json::Value =
+            serde_json::from_str(&HedcConfig::default().to_json()).unwrap();
+        for key in [
+            "net_max_connections",
+            "net_workers",
+            "net_queue_depth",
+            "net_queue_deadline_ms",
+            "net_read_deadline_ms",
+        ] {
+            json.as_object_mut().unwrap().remove(key);
+        }
+        let c = HedcConfig::from_json(&json.to_string()).unwrap();
+        assert_eq!(c.net_max_connections, 1024);
+        assert_eq!(c.net_workers, 0);
+        assert_eq!(c.net_queue_depth, 256);
+        assert_eq!(c.net_queue_deadline(), Duration::from_millis(1_000));
+        assert_eq!(c.net_read_deadline(), Duration::from_millis(2_000));
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub enum DmError {
     /// query rejection nor unavailability (wire protocol mismatch, remote
     /// internal error). Not retried and not failed over: the node is up.
     RemoteFailed(String),
+    /// The node shed the request under load (admission control: queue full,
+    /// queue deadline passed, or in-flight cap hit). The node is up and
+    /// healthy — callers back off and retry, or fail over to a less-loaded
+    /// replica, without marking the node down.
+    Overloaded(String),
     /// A test-injected process crash (ingest crash-point matrix). Carries the
     /// crash site so a surviving harness can report where it died. Never
     /// produced outside tests/benches.
@@ -52,6 +57,7 @@ impl fmt::Display for DmError {
             DmError::BadQuery(m) => write!(f, "query rejected: {m}"),
             DmError::RemoteUnavailable(m) => write!(f, "remote DM unavailable: {m}"),
             DmError::RemoteFailed(m) => write!(f, "remote DM failed: {m}"),
+            DmError::Overloaded(m) => write!(f, "node overloaded: {m}"),
             DmError::Crashed(site) => write!(f, "simulated crash at {site}"),
         }
     }

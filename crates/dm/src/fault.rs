@@ -30,7 +30,9 @@ use std::time::Duration;
 /// Advance a SplitMix64 state and return the next draw. Passes BigCrush,
 /// needs one u64 of state, and — unlike hashing a counter — is identical
 /// across platforms and std versions, which is what replayability needs.
-fn splitmix64(state: &mut u64) -> u64 {
+/// Public so seeded concurrency tests outside this crate (the net-tier
+/// churn and multiplexing suites) replay from the same stream family.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

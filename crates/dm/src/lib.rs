@@ -52,7 +52,7 @@ mod session;
 mod version;
 
 pub use error::{DmError, DmResult};
-pub use fault::{FaultCounts, FaultPlan, FaultyDmNode};
+pub use fault::{splitmix64, FaultCounts, FaultPlan, FaultyDmNode};
 pub use io::{Clock, DmCaches, DmIo, IoConfig, Partitioning};
 pub use names::{NameType, Names, ResolvedName};
 pub use pipeline::{

@@ -238,7 +238,9 @@ impl DmRouter {
                 }
                 Ok(r)
             }
-            Err(e @ DmError::RemoteUnavailable(_)) => {
+            Err(e @ (DmError::RemoteUnavailable(_) | DmError::Overloaded(_))) => {
+                // A cluster-wide outage *or* cluster-wide overload degrades
+                // the same way: a stale answer beats no answer.
                 if let Some(cache) = &self.cache {
                     if let Some(stale) = cache.get_stale(ROUTER_SCOPE, q) {
                         hedc_obs::emit(
@@ -300,8 +302,9 @@ impl DmRouter {
 
     /// Resolve one contiguous chunk, starting at node `at` and failing
     /// over past unavailable nodes. Entries that come back
-    /// [`DmError::RemoteUnavailable`] are retried on the next node;
-    /// every other outcome (success or a real per-item error) is final.
+    /// [`DmError::RemoteUnavailable`] or [`DmError::Overloaded`] are
+    /// retried on the next node; every other outcome (success or a real
+    /// per-item error) is final.
     fn resolve_chunk(
         &self,
         at: usize,
@@ -325,14 +328,26 @@ impl DmRouter {
             let results = node.resolve_batch(&ids, want);
             let mut still = Vec::new();
             let mut settled = 0usize;
+            let mut shed = 0usize;
             for (&p, r) in pending.iter().zip(results) {
                 match r {
                     Err(DmError::RemoteUnavailable(_)) => still.push(p),
+                    Err(DmError::Overloaded(_)) => {
+                        // The node is up but shedding: retry the entry on
+                        // the next replica without marking this one down.
+                        shed += 1;
+                        still.push(p);
+                    }
                     other => {
                         settled += 1;
                         out[p] = Some(other);
                     }
                 }
+            }
+            if shed > 0 {
+                hedc_obs::global()
+                    .counter("dm.router.overload_redirects")
+                    .add(shed as u64);
             }
             if settled > 0 && self.seen_down[i].swap(false, Ordering::Relaxed) {
                 hedc_obs::emit(
@@ -340,7 +355,7 @@ impl DmRouter {
                     format!("node {} recovered, back in rotation", node.node_id()),
                 );
             }
-            if settled == 0 && !still.is_empty() {
+            if settled == 0 && !still.is_empty() && shed < still.len() {
                 // Nothing got through: a node-level outage, not per-item
                 // faults. Redirect the remainder of the chunk.
                 self.note_down(i, format!("redirected past failed node {}", node.node_id()));
@@ -385,6 +400,16 @@ impl DmRouter {
                 Err(DmError::RemoteUnavailable(id)) => {
                     self.note_down(i, format!("redirected past failed node {id}"));
                     last_err = Some(DmError::RemoteUnavailable(id));
+                    continue;
+                }
+                Err(DmError::Overloaded(m)) => {
+                    // The node answered — it is *up*, just shedding — so
+                    // its health stays green and no down edge is logged;
+                    // the request simply redirects to the next replica.
+                    hedc_obs::global()
+                        .counter("dm.router.overload_redirects")
+                        .inc();
+                    last_err = Some(DmError::Overloaded(m));
                     continue;
                 }
                 Err(other) => return Err(other),

@@ -3,17 +3,25 @@
 //! This is the client half of §5.4 call redirection made real: a
 //! [`hedc_dm::DmRouter`] holds a mix of local nodes and `NetDm` handles and
 //! the calling code cannot tell which is which. The client keeps a small
-//! pool of warm connections, retries transient transport failures with
-//! exponential backoff plus jitter, and caches a health verdict (refreshed
-//! by a wire-level ping) that feeds the router's failover decision.
+//! pool of warm **multiplexed** connections ([`MuxClient`]): many threads
+//! share each socket, every request carries its own frame id, and replies
+//! complete out of order without head-of-line blocking. Transient
+//! transport failures retry with exponential backoff plus jitter; a typed
+//! `Overloaded` shed from the server's admission control also retries with
+//! backoff (the node is *up* — health is not flipped) before surfacing as
+//! [`DmError::Overloaded`] for the router to fail over. A health verdict
+//! (refreshed by a wire-level ping) feeds the router's failover decision.
+//!
+//! [`MuxClient`]: crate::MuxClient
 
-use crate::frame::{read_frame, write_frame, Frame, FrameKind};
-use crate::proto::{decode, encode, Request, Response};
+use crate::mux::MuxClient;
+use crate::proto::{Request, Response, WireErrorKind};
 use hedc_cache::{CacheConfig, GenerationMap, QueryCache};
 use hedc_dm::{DmError, DmNode, DmResult, NameType, ResolvedName};
 use hedc_metadb::{Query, QueryResult};
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -31,7 +39,8 @@ pub struct NetConfig {
     pub request_timeout: Duration,
     /// Transport-failure retries after the first attempt (total attempts =
     /// `retries + 1`). Wire-level errors are never retried — the node
-    /// answered.
+    /// answered — with one exception: a typed `Overloaded` shed retries
+    /// with the same backoff, since the server asked for exactly that.
     pub retries: u32,
     /// First backoff step; doubles per retry.
     pub backoff_base: Duration,
@@ -69,7 +78,8 @@ pub struct NetDm {
     addr: SocketAddr,
     label: String,
     config: NetConfig,
-    pool: Mutex<Vec<TcpStream>>,
+    pool: Mutex<Vec<Arc<MuxClient>>>,
+    rr: AtomicUsize,
     health: Mutex<Health>,
     cache: Option<QueryCache>,
 }
@@ -83,6 +93,7 @@ impl NetDm {
             label: label.into(),
             config,
             pool: Mutex::new(Vec::new()),
+            rr: AtomicUsize::new(0),
             health: Mutex::new(Health {
                 available: true,
                 checked: None,
@@ -112,21 +123,26 @@ impl NetDm {
         self.addr
     }
 
-    fn checkout(&self) -> io::Result<TcpStream> {
-        if let Some(stream) = self.pool.lock().unwrap().pop() {
-            return Ok(stream);
+    /// Pick a live multiplexed connection round-robin, dialing a fresh one
+    /// when the pool is empty (dead connections are pruned on the way).
+    /// Connections are *shared*, not checked out exclusively: any number of
+    /// in-flight requests ride each socket.
+    fn checkout(&self) -> io::Result<Arc<MuxClient>> {
+        {
+            let mut pool = self.pool.lock().unwrap();
+            pool.retain(|c| !c.is_dead());
+            if !pool.is_empty() {
+                let idx = self.rr.fetch_add(1, Ordering::Relaxed) % pool.len();
+                return Ok(Arc::clone(&pool[idx]));
+            }
         }
-        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
-        stream.set_nodelay(true)?;
-        Ok(stream)
-    }
-
-    fn checkin(&self, stream: TcpStream) {
+        // Dial outside the lock so a slow connect does not serialize peers.
+        let conn = Arc::new(MuxClient::connect(self.addr, self.config.connect_timeout)?);
         let mut pool = self.pool.lock().unwrap();
         if pool.len() < self.config.pool_size {
-            pool.push(stream);
+            pool.push(Arc::clone(&conn));
         }
-        // else: drop, closing the socket
+        Ok(conn)
     }
 
     fn set_health(&self, available: bool) {
@@ -135,53 +151,53 @@ impl NetDm {
         h.checked = Some(Instant::now());
     }
 
-    /// One request/response exchange on one connection. Any error here is a
-    /// transport failure (the response, if one was decoded, is returned
-    /// even when it carries a wire-level error).
-    fn roundtrip(&self, request_payload: &[u8]) -> io::Result<(Response, usize, usize)> {
-        let mut stream = self.checkout()?;
-        stream.set_read_timeout(Some(self.config.request_timeout))?;
-        stream.set_write_timeout(Some(self.config.request_timeout))?;
-
+    /// One request/response exchange over a shared multiplexed connection.
+    /// Any error here is a transport failure (the response, if one was
+    /// decoded, is returned even when it carries a wire-level error). A
+    /// timeout does **not** retire the connection — the straggling
+    /// response, if it ever lands, is discarded by request id — but a hard
+    /// transport error marks it dead and the pool prunes it.
+    fn roundtrip(&self, request: &Request) -> io::Result<(Response, usize, usize)> {
+        let conn = self.checkout()?;
         let ctx = hedc_obs::current();
-        let frame = Frame {
-            kind: FrameKind::Request,
-            trace_id: ctx.map(|c| c.trace_id).unwrap_or(0),
-            span_id: ctx.map(|c| c.span_id).unwrap_or(0),
-            payload: request_payload.to_vec(),
-        };
-        let sent = write_frame(&mut stream, &frame)?;
-        let reply = read_frame(&mut stream)?;
-        if reply.kind != FrameKind::Response {
-            let _ = stream.shutdown(Shutdown::Both);
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "peer sent a request frame in response position",
-            ));
-        }
-        let received = reply.wire_len();
-        let response: Response = decode(&reply.payload)?;
-        self.checkin(stream);
+        let pending = conn.submit(
+            request,
+            ctx.map(|c| c.trace_id).unwrap_or(0),
+            ctx.map(|c| c.span_id).unwrap_or(0),
+        )?;
+        let sent = pending.bytes_sent();
+        let (response, received) = pending.wait(self.config.request_timeout)?;
         Ok((response, sent, received))
     }
 
-    /// Issue `request`, retrying transport failures per the config. Returns
-    /// the decoded response or `None` after exhausting retries.
+    /// Issue `request`, retrying transport failures — and server-side
+    /// `Overloaded` sheds — per the config. Returns the decoded response,
+    /// the last `Overloaded` rejection when every attempt was shed, or
+    /// `None` after exhausting retries against a dead transport.
     fn exchange(&self, request: &Request) -> Option<Response> {
-        let payload = encode(request).ok()?;
         let obs = hedc_obs::global();
+        let mut last_shed: Option<Response> = None;
         for attempt in 0..=self.config.retries {
             if attempt > 0 {
                 obs.counter("net.client.retries").inc();
                 std::thread::sleep(backoff(&self.config, attempt));
             }
-            match self.roundtrip(&payload) {
+            match self.roundtrip(request) {
                 Ok((response, sent, received)) => {
                     obs.counter("net.client.bytes_out").add(sent as u64);
                     obs.counter("net.client.bytes_in").add(received as u64);
+                    if matches!(&response, Response::Error(e) if e.kind == WireErrorKind::Overloaded)
+                    {
+                        // The server shed the request: back off and retry.
+                        // The node is up, so this is not a health event.
+                        obs.counter("net.client.overload_retries").inc();
+                        last_shed = Some(response);
+                        continue;
+                    }
                     return Some(response);
                 }
                 Err(e) => {
+                    last_shed = None;
                     let timed_out = matches!(
                         e.kind(),
                         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
@@ -200,22 +216,24 @@ impl NetDm {
                             self.config.retries + 1
                         ),
                     );
-                    // A dead connection may have come from the pool; purge
-                    // siblings so the next attempt dials fresh.
-                    self.pool.lock().unwrap().clear();
+                    // Dead connections prune on the next checkout; a
+                    // timed-out one stays — its other in-flight requests
+                    // are unaffected.
                 }
             }
         }
-        None
+        // Every attempt was shed: surface the Overloaded error so the
+        // router can redirect to a less-loaded replica.
+        last_shed
     }
 
     /// Wire-level liveness probe: a ping round trip (single attempt, no
     /// retries — the router will simply skip the node and try again later).
     pub fn probe(&self) -> bool {
-        let up = match encode(&Request::Ping) {
-            Ok(payload) => matches!(self.roundtrip(&payload), Ok((Response::Pong { .. }, _, _))),
-            Err(_) => false,
-        };
+        let up = matches!(
+            self.roundtrip(&Request::Ping),
+            Ok((Response::Pong { .. }, _, _))
+        );
         self.set_health(up);
         up
     }
@@ -347,7 +365,10 @@ impl DmNode for NetDm {
             .iter()
             .map(|&i| self.cache.as_ref().map(|c| c.snapshot(&qs[i])))
             .collect();
-        let entries: Vec<Request> = miss.iter().map(|&i| Request::Query(qs[i].clone())).collect();
+        let entries: Vec<Request> = miss
+            .iter()
+            .map(|&i| Request::Query(qs[i].clone()))
+            .collect();
         let span = hedc_obs::Span::child("net.rpc.client");
         let start = Instant::now();
         let outcome = self.exchange(&Request::Batch(entries));
@@ -404,16 +425,22 @@ impl DmNode for NetDm {
                 hedc_obs::global().counter("net.client.unavailable").inc();
                 let mut served_stale = false;
                 for &i in &miss {
-                    out[i] = Some(match self.cache.as_ref().and_then(|c| c.get_stale(CLIENT_SCOPE, &qs[i])) {
-                        Some(stale) => {
-                            served_stale = true;
-                            Ok(stale)
-                        }
-                        None => Err(DmError::RemoteUnavailable(format!(
-                            "{} ({})",
-                            self.label, self.addr
-                        ))),
-                    });
+                    out[i] = Some(
+                        match self
+                            .cache
+                            .as_ref()
+                            .and_then(|c| c.get_stale(CLIENT_SCOPE, &qs[i]))
+                        {
+                            Some(stale) => {
+                                served_stale = true;
+                                Ok(stale)
+                            }
+                            None => Err(DmError::RemoteUnavailable(format!(
+                                "{} ({})",
+                                self.label, self.addr
+                            ))),
+                        },
+                    );
                 }
                 if served_stale {
                     hedc_obs::emit(

@@ -6,28 +6,37 @@
 //! offset  size  field
 //! ------  ----  ------------------------------------------
 //!      0     4  magic  b"HEDC"
-//!      4     1  protocol version (currently 1)
+//!      4     1  protocol version (currently 2)
 //!      5     1  frame kind (1 = request, 2 = response)
-//!      6     8  trace id,  big-endian u64 (0 = untraced)
-//!     14     8  span id,   big-endian u64 (0 = untraced)
-//!     22     4  payload length, big-endian u32
-//!     26     n  payload: serde_json-encoded proto message
+//!      6     8  trace id,    big-endian u64 (0 = untraced)
+//!     14     8  span id,     big-endian u64 (0 = untraced)
+//!     22     8  request id,  big-endian u64
+//!     30     4  payload length, big-endian u32
+//!     34     n  payload: serde_json-encoded proto message
 //! ```
 //!
 //! The trace/span ids ride in the *header*, outside the serialized payload,
 //! so `hedc-obs` propagation does not depend on the payload schema: a
 //! server can adopt the caller's span context before it even parses the
 //! request, and protocol-error replies still join the right trace.
+//!
+//! The request id (new in v2) correlates responses with requests on a
+//! *multiplexed* connection: many requests may be in flight on one socket
+//! at once, responses complete out of order, and each response frame
+//! carries back the id of the request it answers. Clients pick ids; the
+//! server echoes them verbatim and attaches no meaning beyond equality.
 
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"HEDC";
 /// Current protocol version. Bumped on any incompatible payload change;
-/// peers reject mismatches rather than guessing.
-pub const VERSION: u8 = 1;
+/// peers reject mismatches rather than guessing. v2 added the request-id
+/// header field for connection multiplexing.
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
-pub const HEADER_LEN: usize = 26;
+pub const HEADER_LEN: usize = 34;
 /// Upper bound on payload size; guards against allocating from a corrupt
 /// or hostile length prefix.
 pub const MAX_PAYLOAD_BYTES: usize = 32 << 20;
@@ -67,6 +76,9 @@ pub struct Frame {
     pub trace_id: u64,
     /// Parent span id on the sending side (0 when untraced).
     pub span_id: u64,
+    /// Multiplexing correlation id: chosen by the client per request,
+    /// echoed verbatim on the matching response.
+    pub req_id: u64,
     /// Serialized proto message.
     pub payload: Vec<u8>,
 }
@@ -82,8 +94,8 @@ fn bad(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Encode and write one frame. Returns the number of bytes written.
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<usize> {
+/// Serialize one frame's header into a fixed buffer.
+fn encode_header(frame: &Frame) -> io::Result<[u8; HEADER_LEN]> {
     if frame.payload.len() > MAX_PAYLOAD_BYTES {
         return Err(bad(format!(
             "payload {} bytes exceeds cap {MAX_PAYLOAD_BYTES}",
@@ -96,7 +108,24 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<usize> {
     header[5] = frame.kind.to_wire();
     header[6..14].copy_from_slice(&frame.trace_id.to_be_bytes());
     header[14..22].copy_from_slice(&frame.span_id.to_be_bytes());
-    header[22..26].copy_from_slice(&(frame.payload.len() as u32).to_be_bytes());
+    header[22..30].copy_from_slice(&frame.req_id.to_be_bytes());
+    header[30..34].copy_from_slice(&(frame.payload.len() as u32).to_be_bytes());
+    Ok(header)
+}
+
+/// Encode one frame into a contiguous byte vector (header + payload),
+/// ready to hand to a nonblocking writer that flushes in pieces.
+pub fn encode_frame(frame: &Frame) -> io::Result<Vec<u8>> {
+    let header = encode_header(frame)?;
+    let mut buf = Vec::with_capacity(frame.wire_len());
+    buf.extend_from_slice(&header);
+    buf.extend_from_slice(&frame.payload);
+    Ok(buf)
+}
+
+/// Encode and write one frame. Returns the number of bytes written.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<usize> {
+    let header = encode_header(frame)?;
     w.write_all(&header)?;
     w.write_all(&frame.payload)?;
     w.flush()?;
@@ -114,7 +143,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
 /// Read one frame, tolerating an *idle* timeout: returns `Ok(None)` when the
 /// read deadline fires before any byte arrives (the connection is simply
 /// quiet), and an error when it fires mid-frame (the peer stalled and the
-/// connection is no longer in sync). Servers poll with this so a blocking
+/// connection is no longer in sync). Blocking callers poll with this so a
 /// read never outlives a shutdown request.
 pub fn read_frame_or_idle(r: &mut impl Read) -> io::Result<Option<Frame>> {
     let mut first = [0u8; 1];
@@ -138,6 +167,21 @@ pub fn read_frame_or_idle(r: &mut impl Read) -> io::Result<Option<Frame>> {
 }
 
 fn decode_after_header(r: &mut impl Read, header: [u8; HEADER_LEN]) -> io::Result<Frame> {
+    let (kind, trace_id, span_id, req_id, len) = decode_header(&header)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Frame {
+        kind,
+        trace_id,
+        span_id,
+        req_id,
+        payload,
+    })
+}
+
+/// Validate a raw header and pull out its fields.
+#[allow(clippy::type_complexity)]
+fn decode_header(header: &[u8; HEADER_LEN]) -> io::Result<(FrameKind, u64, u64, u64, usize)> {
     if header[0..4] != MAGIC {
         return Err(bad("bad frame magic".into()));
     }
@@ -150,20 +194,89 @@ fn decode_after_header(r: &mut impl Read, header: [u8; HEADER_LEN]) -> io::Resul
     let kind = FrameKind::from_wire(header[5])?;
     let trace_id = u64::from_be_bytes(header[6..14].try_into().unwrap());
     let span_id = u64::from_be_bytes(header[14..22].try_into().unwrap());
-    let len = u32::from_be_bytes(header[22..26].try_into().unwrap()) as usize;
+    let req_id = u64::from_be_bytes(header[22..30].try_into().unwrap());
+    let len = u32::from_be_bytes(header[30..34].try_into().unwrap()) as usize;
     if len > MAX_PAYLOAD_BYTES {
         return Err(bad(format!(
             "payload {len} bytes exceeds cap {MAX_PAYLOAD_BYTES}"
         )));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Frame {
-        kind,
-        trace_id,
-        span_id,
-        payload,
-    })
+    Ok((kind, trace_id, span_id, req_id, len))
+}
+
+/// Incremental frame assembler for nonblocking sockets.
+///
+/// A reader feeds whatever bytes `read()` produced — possibly a single
+/// byte, possibly several frames at once — and drains complete frames as
+/// they materialize. The buffer validates each header as soon as its 34
+/// bytes are present, so corrupt magic, a bad version, or a hostile length
+/// prefix is rejected before any payload allocation.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: VecDeque<u8>,
+    /// Set when the buffer holds the start of a frame that is not yet
+    /// complete; cleared when the frame drains. Drives read-deadline
+    /// enforcement: a peer that starts a frame and stalls is killable.
+    partial: bool,
+}
+
+impl FrameBuffer {
+    /// An empty assembler.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Append freshly-read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes.iter().copied());
+        self.partial = !self.buf.is_empty();
+    }
+
+    /// True when the buffer holds the beginning of an unfinished frame —
+    /// i.e. the peer owes us bytes to stay in sync.
+    pub fn has_partial(&self) -> bool {
+        self.partial
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drain the next complete frame, if one has fully arrived.
+    ///
+    /// `Ok(None)` means "keep reading"; an error means the stream is
+    /// corrupt and the connection must be dropped.
+    pub fn next_frame(&mut self) -> io::Result<Option<Frame>> {
+        if self.buf.len() < HEADER_LEN {
+            self.partial = !self.buf.is_empty();
+            return Ok(None);
+        }
+        let mut header = [0u8; HEADER_LEN];
+        for (i, b) in self.buf.iter().take(HEADER_LEN).enumerate() {
+            header[i] = *b;
+        }
+        let (kind, trace_id, span_id, req_id, len) = decode_header(&header)?;
+        if self.buf.len() < HEADER_LEN + len {
+            self.partial = true;
+            return Ok(None);
+        }
+        self.buf.drain(..HEADER_LEN);
+        let payload: Vec<u8> = self.buf.drain(..len).collect();
+        self.partial = !self.buf.is_empty();
+        Ok(Some(Frame {
+            kind,
+            trace_id,
+            span_id,
+            req_id,
+            payload,
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +289,7 @@ mod tests {
             kind: FrameKind::Request,
             trace_id: 0xDEAD_BEEF,
             span_id: 42,
+            req_id: 7,
             payload: br#"{"Ping":null}"#.to_vec(),
         }
     }
@@ -194,11 +308,16 @@ mod tests {
         let mut buf = Vec::new();
         let mut b = sample();
         b.kind = FrameKind::Response;
+        b.req_id = 8;
         write_frame(&mut buf, &sample()).unwrap();
         write_frame(&mut buf, &b).unwrap();
         let mut cur = Cursor::new(&buf);
-        assert_eq!(read_frame(&mut cur).unwrap().kind, FrameKind::Request);
-        assert_eq!(read_frame(&mut cur).unwrap().kind, FrameKind::Response);
+        let first = read_frame(&mut cur).unwrap();
+        assert_eq!(first.kind, FrameKind::Request);
+        assert_eq!(first.req_id, 7);
+        let second = read_frame(&mut cur).unwrap();
+        assert_eq!(second.kind, FrameKind::Response);
+        assert_eq!(second.req_id, 8);
     }
 
     #[test]
@@ -218,7 +337,7 @@ mod tests {
     fn rejects_oversized_length_prefix() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &sample()).unwrap();
-        buf[22..26].copy_from_slice(&u32::MAX.to_be_bytes());
+        buf[30..34].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(read_frame(&mut Cursor::new(&buf)).is_err());
     }
 
@@ -229,5 +348,66 @@ mod tests {
         buf.truncate(buf.len() - 3);
         let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn buffer_assembles_frames_from_single_bytes() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &sample()).unwrap();
+        let mut fb = FrameBuffer::new();
+        for (i, b) in wire.iter().enumerate() {
+            assert!(
+                fb.next_frame().unwrap().is_none(),
+                "frame early at byte {i}"
+            );
+            fb.extend(&[*b]);
+        }
+        let got = fb.next_frame().unwrap().expect("complete frame");
+        assert_eq!(got, sample());
+        assert!(!fb.has_partial());
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn buffer_drains_multiple_frames_from_one_read() {
+        let mut wire = Vec::new();
+        let mut b = sample();
+        b.req_id = 99;
+        write_frame(&mut wire, &sample()).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        assert_eq!(fb.next_frame().unwrap().unwrap().req_id, 7);
+        assert!(fb.has_partial());
+        assert_eq!(fb.next_frame().unwrap().unwrap().req_id, 99);
+        assert!(fb.next_frame().unwrap().is_none());
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn buffer_flags_partial_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &sample()).unwrap();
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire[..10]);
+        assert!(fb.next_frame().unwrap().is_none());
+        assert!(fb.has_partial(), "header fragment counts as partial");
+        fb.extend(&wire[10..HEADER_LEN + 3]);
+        assert!(fb.next_frame().unwrap().is_none());
+        assert!(fb.has_partial(), "payload fragment counts as partial");
+        fb.extend(&wire[HEADER_LEN + 3..]);
+        assert!(fb.next_frame().unwrap().is_some());
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn buffer_rejects_corrupt_header_before_payload() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &sample()).unwrap();
+        wire[0] = b'X';
+        let mut fb = FrameBuffer::new();
+        // Only the header has arrived; the corrupt magic must already fail.
+        fb.extend(&wire[..HEADER_LEN]);
+        assert!(fb.next_frame().is_err());
     }
 }

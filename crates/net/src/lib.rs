@@ -6,16 +6,23 @@
 //! redirection on real sockets — a dependency-light TCP RPC subsystem that
 //! puts [`hedc_dm::DmNode`]s on the network:
 //!
-//! * [`frame`] — length-prefixed, versioned frames with trace-ID
-//!   propagation in the header, so `hedc-obs` span trees stay connected
-//!   across the wire.
+//! * [`frame`] — length-prefixed, versioned frames with trace-ID and
+//!   request-ID propagation in the header, so `hedc-obs` span trees stay
+//!   connected across the wire and many requests multiplex per socket.
 //! * [`proto`] — serde-encoded `Query`/`QueryResult`/error payloads
-//!   mirroring the `DmNode` trait, plus a liveness ping.
-//! * [`DmServer`] — a threaded acceptor exposing any `DmNode` on a
-//!   listener, with per-connection deadlines and graceful shutdown.
+//!   mirroring the `DmNode` trait, plus a liveness ping and a typed
+//!   `Overloaded` shed response.
+//! * [`DmServer`] — an event-driven server: a blocking acceptor with a
+//!   connection cap, reader shards sweeping nonblocking sockets, and a
+//!   bounded worker pool with deadline-aware load shedding
+//!   ([`AdmissionConfig`]). Concurrency is fixed by configuration, not by
+//!   client count.
+//! * [`MuxClient`] — one multiplexed connection: concurrent requests
+//!   correlated by frame id, out-of-order completion, per-request waits.
 //! * [`NetDm`] — a pooled, retrying client that *is* a `DmNode`, so a
 //!   [`hedc_dm::DmRouter`] mixes local and remote nodes transparently and
-//!   its failover works off the client's cached health probe.
+//!   its failover works off the client's cached health probe. `Overloaded`
+//!   sheds retry with backoff before surfacing for router failover.
 //!
 //! ```no_run
 //! use hedc_dm::{DmNode, DmRouter};
@@ -32,8 +39,10 @@
 //! ```
 //!
 //! Everything here is std + serde: no async runtime, no networking crates.
-//! Blocking I/O with deadlines matches the thread-per-session middle tier
-//! the paper describes (§5.1), and keeps the subsystem auditable.
+//! Readiness is polled with nonblocking sockets and short condvar parks —
+//! no epoll dependency — which keeps the subsystem auditable while the
+//! serving thread count stays fixed as client count grows (the §5
+//! lesson: bound concurrency and reject work you cannot finish).
 
 #![warn(missing_docs)]
 
@@ -41,7 +50,9 @@ pub mod frame;
 pub mod proto;
 
 mod client;
+mod mux;
 mod server;
 
 pub use client::{NetConfig, NetDm};
-pub use server::{DmServer, ServerConfig};
+pub use mux::{MuxClient, Pending};
+pub use server::{AdmissionConfig, DmServer, ServerConfig};

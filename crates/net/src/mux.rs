@@ -1,0 +1,276 @@
+//! `MuxClient`: one multiplexed connection to a DM server.
+//!
+//! Many requests ride one socket concurrently: each submission picks a
+//! fresh request id, writes its frame under a short write lock, and parks
+//! on a per-request slot. A single reader thread demultiplexes response
+//! frames by the echoed request id and wakes the matching waiter —
+//! out-of-order completion on the wire never reorders any caller's view,
+//! because every caller only ever sees its own slot.
+//!
+//! The handle is cheap to share (`Arc` internally via [`NetDm`]'s pool);
+//! a hard transport error fails *all* in-flight requests at once and marks
+//! the connection dead so the pool retires it, while a per-request timeout
+//! leaves the connection healthy — the response, if it ever lands, is
+//! discarded by id.
+
+use crate::frame::{write_frame, Frame, FrameBuffer, FrameKind};
+use crate::proto::{decode, encode, Request, Response};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a pending slot holds.
+enum SlotState {
+    /// Submitted; the reader has not delivered an answer yet.
+    Waiting,
+    /// The reader delivered the response frame.
+    Ready(Frame),
+    /// The transport died before an answer arrived.
+    Failed(io::ErrorKind),
+}
+
+/// Reader-to-waiter rendezvous, keyed by request id.
+struct Slots {
+    pending: Mutex<HashMap<u64, SlotState>>,
+    cv: Condvar,
+}
+
+/// One multiplexed connection.
+pub struct MuxClient {
+    addr: SocketAddr,
+    writer: Mutex<TcpStream>,
+    slots: Arc<Slots>,
+    next_id: AtomicU64,
+    dead: Arc<AtomicBool>,
+    reader: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl MuxClient {
+    /// Connect and start the demultiplexing reader thread.
+    pub fn connect(addr: SocketAddr, connect_timeout: Duration) -> io::Result<MuxClient> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        stream.set_nodelay(true)?;
+        // The reader blocks in read(); a generous read timeout lets it
+        // notice `dead` (set on drop/teardown) without busy-polling.
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let reader_stream = stream.try_clone()?;
+        let slots = Arc::new(Slots {
+            pending: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        });
+        let dead = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let slots = Arc::clone(&slots);
+            let dead = Arc::clone(&dead);
+            std::thread::Builder::new()
+                .name(format!("dm-net-mux-{}", addr.port()))
+                .spawn(move || reader_loop(reader_stream, slots, dead))
+                .map_err(|e| io::Error::other(e.to_string()))?
+        };
+        Ok(MuxClient {
+            addr,
+            writer: Mutex::new(stream),
+            slots,
+            next_id: AtomicU64::new(1),
+            dead,
+            reader: Mutex::new(Some(reader)),
+        })
+    }
+
+    /// The server address this connection points at.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a hard transport error (or teardown) retired this
+    /// connection; submissions fail fast and the pool should drop it.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Submit one request; returns a handle to wait on. `trace`/`span` ride
+    /// the frame header for cross-node trace propagation.
+    pub fn submit(&self, request: &Request, trace_id: u64, span_id: u64) -> io::Result<Pending> {
+        if self.is_dead() {
+            return Err(io::ErrorKind::NotConnected.into());
+        }
+        let payload = encode(request)?;
+        let req_id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let frame = Frame {
+            kind: FrameKind::Request,
+            trace_id,
+            span_id,
+            req_id,
+            payload,
+        };
+        let sent = frame.wire_len();
+        // Register the slot *before* writing: the response can land before
+        // the submitting thread runs again.
+        self.slots
+            .pending
+            .lock()
+            .unwrap()
+            .insert(req_id, SlotState::Waiting);
+        let write = {
+            let mut stream = self.writer.lock().unwrap();
+            write_frame(&mut *stream, &frame)
+        };
+        if let Err(e) = write {
+            self.slots.pending.lock().unwrap().remove(&req_id);
+            self.fail_all(e.kind());
+            return Err(e);
+        }
+        Ok(Pending {
+            slots: Arc::clone(&self.slots),
+            req_id,
+            sent,
+        })
+    }
+
+    /// Fail every in-flight request and mark the connection dead.
+    fn fail_all(&self, kind: io::ErrorKind) {
+        self.dead.store(true, Ordering::SeqCst);
+        let mut pending = self.slots.pending.lock().unwrap();
+        for state in pending.values_mut() {
+            if matches!(state, SlotState::Waiting) {
+                *state = SlotState::Failed(kind);
+            }
+        }
+        drop(pending);
+        self.slots.cv.notify_all();
+    }
+}
+
+impl Drop for MuxClient {
+    fn drop(&mut self) {
+        self.dead.store(true, Ordering::SeqCst);
+        // Severing the socket pops the reader out of its blocking read.
+        if let Ok(stream) = self.writer.lock() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.reader.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A submitted request awaiting its response.
+pub struct Pending {
+    slots: Arc<Slots>,
+    req_id: u64,
+    sent: usize,
+}
+
+impl Pending {
+    /// Bytes written for the request frame (header + payload).
+    pub fn bytes_sent(&self) -> usize {
+        self.sent
+    }
+
+    /// Block until the response lands, the transport dies, or `timeout`
+    /// passes. The slot is always cleaned up: a timed-out response arriving
+    /// later is discarded by the reader.
+    pub fn wait(self, timeout: Duration) -> io::Result<(Response, usize)> {
+        let deadline = Instant::now() + timeout;
+        let mut pending = self.slots.pending.lock().unwrap();
+        loop {
+            match pending.get(&self.req_id) {
+                Some(SlotState::Waiting) => {}
+                Some(SlotState::Ready(_)) => {
+                    let Some(SlotState::Ready(frame)) = pending.remove(&self.req_id) else {
+                        unreachable!("slot state checked above");
+                    };
+                    drop(pending);
+                    let received = frame.wire_len();
+                    let response: Response = decode(&frame.payload)?;
+                    return Ok((response, received));
+                }
+                Some(SlotState::Failed(kind)) => {
+                    let kind = *kind;
+                    pending.remove(&self.req_id);
+                    return Err(kind.into());
+                }
+                None => return Err(io::ErrorKind::NotConnected.into()),
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                pending.remove(&self.req_id);
+                return Err(io::ErrorKind::TimedOut.into());
+            }
+            let (guard, _t) = self.slots.cv.wait_timeout(pending, deadline - now).unwrap();
+            pending = guard;
+        }
+    }
+}
+
+/// Demultiplexing reader: route each response frame to its slot by request
+/// id; unknown ids (timed-out waiters) are dropped on the floor. Frames are
+/// assembled incrementally through a [`FrameBuffer`], so a read timeout
+/// landing mid-frame never loses bytes or breaks stream sync.
+fn reader_loop(mut stream: TcpStream, slots: Arc<Slots>, dead: Arc<AtomicBool>) {
+    use std::io::Read;
+    let mut fb = FrameBuffer::new();
+    let mut tmp = vec![0u8; 64 * 1024];
+    'read: loop {
+        if dead.load(Ordering::SeqCst) {
+            break;
+        }
+        let kind = match stream.read(&mut tmp) {
+            Ok(0) => Some(io::ErrorKind::ConnectionReset), // peer hung up
+            Ok(n) => {
+                fb.extend(&tmp[..n]);
+                None
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // idle tick; re-check teardown
+            }
+            Err(e) => Some(e.kind()),
+        };
+        if let Some(kind) = kind {
+            // Hard transport error: fail everything in flight.
+            fail_pending(&slots, &dead, kind);
+            break;
+        }
+        loop {
+            let frame = match fb.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt stream: framing is unrecoverable.
+                    fail_pending(&slots, &dead, io::ErrorKind::InvalidData);
+                    break 'read;
+                }
+            };
+            if frame.kind != FrameKind::Response {
+                fail_pending(&slots, &dead, io::ErrorKind::InvalidData);
+                break 'read;
+            }
+            let mut pending = slots.pending.lock().unwrap();
+            if let Some(state @ SlotState::Waiting) = pending.get_mut(&frame.req_id) {
+                *state = SlotState::Ready(frame);
+                drop(pending);
+                slots.cv.notify_all();
+            }
+            // else: the waiter gave up (timeout) — discard.
+        }
+    }
+}
+
+/// Mark the connection dead and fail every waiting slot with `kind`.
+fn fail_pending(slots: &Slots, dead: &AtomicBool, kind: io::ErrorKind) {
+    dead.store(true, Ordering::SeqCst);
+    let mut pending = slots.pending.lock().unwrap();
+    for state in pending.values_mut() {
+        if matches!(state, SlotState::Waiting) {
+            *state = SlotState::Failed(kind);
+        }
+    }
+    drop(pending);
+    slots.cv.notify_all();
+}

@@ -64,6 +64,11 @@ pub enum WireErrorKind {
     /// Any other server-side failure; the node is up, the request is not
     /// retried.
     Failed,
+    /// The node shed the request under load (queue full, deadline passed,
+    /// or per-connection in-flight cap hit). The node is *up* — health
+    /// probes must not mark it down — but the caller should back off and
+    /// retry, or fail over to a less-loaded replica.
+    Overloaded,
 }
 
 /// A serializable server-side error.
@@ -80,6 +85,7 @@ impl WireError {
     pub fn from_dm(e: &DmError) -> WireError {
         let kind = match e {
             DmError::RemoteUnavailable(_) => WireErrorKind::Unavailable,
+            DmError::Overloaded(_) => WireErrorKind::Overloaded,
             DmError::BadQuery(_) | DmError::Db(_) => WireErrorKind::Rejected,
             _ => WireErrorKind::Failed,
         };
@@ -98,6 +104,7 @@ impl WireError {
             }
             WireErrorKind::Rejected => DmError::BadQuery(self.message),
             WireErrorKind::Failed => DmError::RemoteFailed(self.message),
+            WireErrorKind::Overloaded => DmError::Overloaded(format!("{node}: {}", self.message)),
         }
     }
 }
@@ -219,5 +226,15 @@ mod tests {
         let other = WireError::from_dm(&DmError::NoSession);
         assert_eq!(other.kind, WireErrorKind::Failed);
         assert!(matches!(other.into_dm("peer"), DmError::RemoteFailed(_)));
+
+        // Overload is its own class: the node is up, so it must not map to
+        // Unavailable (which would flip health probes), and not to Failed
+        // (which would surface to the caller without failover).
+        let shed = WireError::from_dm(&DmError::Overloaded("queue full".into()));
+        assert_eq!(shed.kind, WireErrorKind::Overloaded);
+        match shed.into_dm("peer") {
+            DmError::Overloaded(m) => assert!(m.contains("peer"), "{m}"),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

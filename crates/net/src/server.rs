@@ -1,42 +1,238 @@
-//! `DmServer`: expose a [`DmNode`] on a TCP listener.
+//! `DmServer`: expose a [`DmNode`] on a TCP listener — event-driven.
 //!
-//! One acceptor thread plus one thread per connection — the same
-//! thread-per-session shape the paper's middle tier runs (§5.1). Connections
-//! are long-lived and carry many request/response frame pairs. Reads poll on
-//! a short deadline so every thread notices shutdown promptly; writes carry
-//! a hard deadline so one stuck client cannot wedge a handler forever.
+//! The serving tier is a small, fixed set of threads regardless of how many
+//! clients connect (the paper's §5 lesson: bound concurrency up front and
+//! reject work you cannot finish, instead of queueing into 30-second p99s):
+//!
+//! ```text
+//!   acceptor ──► reader shards ──► bounded run queues ──► worker pool
+//!   (1 thread)   (own N conns     (per-worker, shed      (≈ CPU count,
+//!    blocking     each, non-       when full or stale)    executes the
+//!    accept)      blocking I/O)                           DmNode calls)
+//! ```
+//!
+//! * The **acceptor** blocks in `accept()` — no sleep-poll, so an idle
+//!   server admits a new connection in microseconds — and refuses
+//!   connections beyond `max_connections` outright.
+//! * **Reader shards** own the sockets. Each shard sweeps its connections
+//!   with nonblocking reads into an incremental [`FrameBuffer`], drains
+//!   complete frames to the run queues, and flushes response bytes back
+//!   out. A peer that starts a frame and stalls (slow loris) trips the
+//!   read deadline and is disconnected without ever pinning a worker.
+//! * **Workers** execute requests. Admission control sheds instead of
+//!   queueing without bound: a full run queue, a request that sat queued
+//!   past its deadline, or a connection over its in-flight cap gets an
+//!   immediate typed `Overloaded` response the client can retry or fail
+//!   over (`DmError::Overloaded` → `DmRouter` redirect).
+//!
+//! Connections are multiplexed: many requests may be in flight per socket,
+//! correlated by the frame header's request id, and responses complete out
+//! of order. Queue wait is recorded as a `net.server.queue_wait` span in
+//! the caller's trace, so a shed or queued request is attributable on
+//! `/hedc/traces`.
 
-use crate::frame::{read_frame_or_idle, write_frame, Frame, FrameKind};
-use crate::proto::{decode, encode, Request, Response, WireError};
+use crate::frame::{encode_frame, Frame, FrameBuffer, FrameKind};
+use crate::proto::{decode, encode, Request, Response, WireError, WireErrorKind};
 use hedc_dm::{DmNode, NameType};
-use std::io;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Server-side deadlines.
+/// Admission-control limits. Every bound has a shed behaviour: exceeding it
+/// produces a fast typed `Overloaded` rejection (or a refused connection),
+/// never an unbounded queue.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Open-connection cap; connections beyond it are accepted and
+    /// immediately closed (counted as `net.server.accept_rejected`).
+    pub max_connections: usize,
+    /// Worker threads executing requests. `0` = one per available core
+    /// (clamped to 2..=16).
+    pub workers: usize,
+    /// Reader shards sweeping connection sockets. `0` = 2.
+    pub reader_shards: usize,
+    /// Per-worker run-queue depth; a frame arriving at a full queue is shed
+    /// (`net.server.shed.queue_full`).
+    pub queue_depth: usize,
+    /// A request that waited in the run queue longer than this is shed
+    /// without execution (`net.server.shed.deadline`) — by the time a
+    /// worker reaches it the client has usually given up anyway.
+    pub queue_deadline: Duration,
+    /// A peer that starts a frame and leaves it unfinished this long is
+    /// disconnected (`net.server.read_deadline_kills`): the slow-loris
+    /// guard.
+    pub read_deadline: Duration,
+    /// Per-connection in-flight request cap; excess pipelined frames are
+    /// shed (`net.server.shed.inflight`) so one greedy multiplexer cannot
+    /// monopolize the worker pool.
+    pub max_inflight_per_conn: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_connections: 1024,
+            workers: 0,
+            reader_shards: 0,
+            queue_depth: 256,
+            queue_deadline: Duration::from_millis(1000),
+            read_deadline: Duration::from_millis(2000),
+            max_inflight_per_conn: 64,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 16)
+    }
+
+    fn effective_shards(&self) -> usize {
+        if self.reader_shards > 0 {
+            return self.reader_shards;
+        }
+        2
+    }
+}
+
+/// Server-side deadlines and limits.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Poll interval for idle connection reads; bounds how long shutdown
-    /// waits on a quiet handler.
+    /// Shard sweep park interval while a shard owns no connections; new
+    /// registrations and responses wake shards early, so this only bounds
+    /// how fast a completely idle shard notices shutdown.
     pub idle_poll: Duration,
-    /// Hard deadline for writing a response frame.
+    /// Hard deadline for draining a response to a non-reading client
+    /// before the connection is severed.
     pub write_timeout: Duration,
     /// Requests handled slower than this emit a structured `slow_request`
     /// event carrying the trace ID and peer address — the net-tier analogue
     /// of metadb's `slow_query_ms`.
     pub slow_request: Duration,
+    /// Admission-control limits (connection cap, worker pool, run queues,
+    /// shed deadlines).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            idle_poll: Duration::from_millis(100),
+            idle_poll: Duration::from_millis(25),
             write_timeout: Duration::from_secs(2),
             slow_request: Duration::from_millis(100),
+            admission: AdmissionConfig::default(),
         }
+    }
+}
+
+/// Park interval for a shard that owns live connections. Readiness is
+/// polled (pure std, no epoll dependency): responses and registrations
+/// wake the shard immediately; fresh request bytes are noticed within one
+/// park interval.
+const BUSY_PARK: Duration = Duration::from_micros(200);
+/// How long a worker sleeps between run-queue checks when idle (pops are
+/// condvar-notified; this only bounds shutdown latency).
+const WORKER_PARK: Duration = Duration::from_millis(25);
+
+/// Response bytes and liveness shared between the owning reader shard and
+/// the workers completing requests for the connection.
+struct ConnShared {
+    /// Encoded response frames waiting for the shard to flush.
+    outbox: Mutex<VecDeque<Vec<u8>>>,
+    /// Set by a worker that hit an unrecoverable encode error; the shard
+    /// severs the connection on its next sweep.
+    dead: AtomicBool,
+    /// Requests dispatched but not yet answered, for the per-connection
+    /// in-flight cap.
+    inflight: AtomicI64,
+}
+
+/// One unit of admitted work: a decoded-enough request frame plus the
+/// plumbing to answer it.
+struct WorkItem {
+    frame: Frame,
+    enqueued: Instant,
+    conn: Arc<ConnShared>,
+    shard: Arc<Shard>,
+    peer: Arc<str>,
+}
+
+/// A bounded per-worker run queue.
+struct WorkQueue {
+    items: Mutex<VecDeque<WorkItem>>,
+    cv: Condvar,
+    depth: usize,
+}
+
+impl WorkQueue {
+    fn new(depth: usize) -> WorkQueue {
+        WorkQueue {
+            items: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Enqueue unless full; hands the item back on overflow so the caller
+    /// can try a sibling queue or shed.
+    fn try_push(&self, item: WorkItem) -> Result<(), WorkItem> {
+        let mut items = self.items.lock().unwrap();
+        if items.len() >= self.depth {
+            return Err(item);
+        }
+        items.push_back(item);
+        drop(items);
+        self.cv.notify_one();
+        Ok(())
+    }
+}
+
+/// Reader-shard wakeup state: pending connection registrations plus a wake
+/// flag set by workers when they enqueue a response.
+struct ShardState {
+    incoming: Vec<(TcpStream, Arc<str>)>,
+    wake: bool,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            state: Mutex::new(ShardState {
+                incoming: Vec::new(),
+                wake: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wake(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.wake = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn register(&self, stream: TcpStream, peer: Arc<str>) {
+        let mut st = self.state.lock().unwrap();
+        st.incoming.push((stream, peer));
+        st.wake = true;
+        drop(st);
+        self.cv.notify_all();
     }
 }
 
@@ -46,9 +242,12 @@ impl Default for ServerConfig {
 pub struct DmServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    listener: Option<TcpListener>,
     acceptor: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shards: Vec<Arc<Shard>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    queues: Arc<Vec<Arc<WorkQueue>>>,
+    worker_handles: Vec<JoinHandle<()>>,
 }
 
 impl DmServer {
@@ -60,42 +259,58 @@ impl DmServer {
         config: ServerConfig,
     ) -> io::Result<DmServer> {
         let listener = TcpListener::bind(addr)?;
-        // Non-blocking accept + sleep keeps the acceptor responsive to
-        // shutdown without platform-specific accept timeouts.
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_count = Arc::new(AtomicI64::new(0));
+
+        let n_workers = config.admission.effective_workers();
+        let n_shards = config.admission.effective_shards();
+        let queues: Arc<Vec<Arc<WorkQueue>>> = Arc::new(
+            (0..n_workers)
+                .map(|_| Arc::new(WorkQueue::new(config.admission.queue_depth)))
+                .collect(),
+        );
+        let shards: Vec<Arc<Shard>> = (0..n_shards).map(|_| Arc::new(Shard::new())).collect();
+
+        let worker_handles: Vec<JoinHandle<()>> = queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let q = Arc::clone(q);
+                let node = Arc::clone(&node);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("dm-net-worker-{}-{i}", addr.port()))
+                    .spawn(move || worker_loop(q, node, stop, config))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let shard_handles: Vec<JoinHandle<()>> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let shard = Arc::clone(shard);
+                let queues = Arc::clone(&queues);
+                let stop = Arc::clone(&stop);
+                let conn_count = Arc::clone(&conn_count);
+                std::thread::Builder::new()
+                    .name(format!("dm-net-shard-{}-{i}", addr.port()))
+                    .spawn(move || shard_loop(shard, queues, stop, conn_count, config))
+                    .expect("spawn reader shard")
+            })
+            .collect();
 
         let acceptor = {
+            let listener = listener.try_clone()?;
             let stop = Arc::clone(&stop);
-            let conns = Arc::clone(&conns);
-            let handlers = Arc::clone(&handlers);
+            let shards = shards.clone();
+            let conn_count = Arc::clone(&conn_count);
+            let max_conns = config.admission.max_connections;
             std::thread::Builder::new()
                 .name(format!("dm-net-accept-{}", addr.port()))
                 .spawn(move || {
-                    while !stop.load(Ordering::SeqCst) {
-                        match listener.accept() {
-                            Ok((stream, _)) => {
-                                if let Ok(clone) = stream.try_clone() {
-                                    conns.lock().unwrap().push(clone);
-                                }
-                                let node = Arc::clone(&node);
-                                let stop = Arc::clone(&stop);
-                                let handle = std::thread::Builder::new()
-                                    .name(format!("dm-net-conn-{}", addr.port()))
-                                    .spawn(move || serve_connection(stream, node, stop, config))
-                                    .expect("spawn connection handler");
-                                handlers.lock().unwrap().push(handle);
-                            }
-                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(5));
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                    // Listener drops here: further connects are refused.
+                    accept_loop(listener, stop, shards, conn_count, max_conns);
                 })
                 .expect("spawn acceptor")
         };
@@ -103,9 +318,12 @@ impl DmServer {
         Ok(DmServer {
             addr,
             stop,
+            listener: Some(listener),
             acceptor: Some(acceptor),
-            conns,
-            handlers,
+            shards,
+            shard_handles,
+            queues,
+            worker_handles,
         })
     }
 
@@ -118,14 +336,27 @@ impl DmServer {
     /// Idempotent; also run on drop.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        for conn in self.conns.lock().unwrap().drain(..) {
-            let _ = conn.shutdown(Shutdown::Both);
+        // Pop the acceptor out of its blocking accept: flip the shared fd
+        // to nonblocking (the acceptor holds a clone of the same socket)
+        // and nudge it with a throwaway connect in case it was already
+        // parked inside the syscall.
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.set_nonblocking(true);
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(100));
+        }
+        for shard in &self.shards {
+            shard.wake();
+        }
+        for q in self.queues.iter() {
+            q.cv.notify_all();
         }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        let handlers: Vec<_> = self.handlers.lock().unwrap().drain(..).collect();
-        for h in handlers {
+        for h in self.shard_handles.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -137,100 +368,509 @@ impl Drop for DmServer {
     }
 }
 
-/// Per-connection request loop.
-fn serve_connection(
-    mut stream: TcpStream,
+/// Blocking accept loop with a hard connection cap. No sleep-poll: an idle
+/// server sits in `accept()` and admits a fresh connection the instant the
+/// kernel hands it over.
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    shards: Vec<Arc<Shard>>,
+    conn_count: Arc<AtomicI64>,
+    max_connections: usize,
+) {
+    let obs = hedc_obs::global();
+    let rejected = obs.counter("net.server.accept_rejected");
+    let mut next_shard = 0usize;
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if stop.load(Ordering::SeqCst) {
+                    break; // the shutdown nudge connect lands here
+                }
+                if conn_count.load(Ordering::SeqCst) >= max_connections as i64 {
+                    rejected.inc();
+                    hedc_obs::emit(
+                        hedc_obs::events::kind::OVERLOAD_SHED,
+                        format!("reason=accept peer={peer} cap={max_connections}"),
+                    );
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
+                conn_count.fetch_add(1, Ordering::SeqCst);
+                let peer: Arc<str> = Arc::from(peer.to_string());
+                shards[next_shard % shards.len()].register(stream, peer);
+                next_shard = next_shard.wrapping_add(1);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Only reachable once shutdown flipped the fd nonblocking.
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+    // Listener clone drops here; shutdown() dropped the other handle, so
+    // further connects are refused.
+}
+
+/// One connection owned by a reader shard.
+struct Conn {
+    stream: TcpStream,
+    peer: Arc<str>,
+    buf: FrameBuffer,
+    shared: Arc<ConnShared>,
+    write_pending: Vec<u8>,
+    write_since: Option<Instant>,
+    partial_since: Option<Instant>,
+}
+
+/// Reader-shard sweep loop: drain registrations, flush outboxes, read and
+/// parse request bytes, dispatch admitted frames to the run queues.
+fn shard_loop(
+    shard: Arc<Shard>,
+    queues: Arc<Vec<Arc<WorkQueue>>>,
+    stop: Arc<AtomicBool>,
+    conn_count: Arc<AtomicI64>,
+    config: ServerConfig,
+) {
+    let obs = hedc_obs::global();
+    let connections = obs.gauge("net.server.connections");
+    let inflight = obs.gauge("net.server.inflight");
+    let queue_depth = obs.gauge("net.server.queue_depth");
+    let conn_max_inflight = obs.gauge("net.server.conn_max_inflight");
+    let requests = obs.counter("net.server.requests");
+    let bytes_in = obs.counter("net.server.bytes_in");
+    let bytes_out = obs.counter("net.server.bytes_out");
+    let overloaded = obs.counter("net.server.overloaded");
+    let shed_queue_full = obs.counter("net.server.shed.queue_full");
+    let shed_inflight = obs.counter("net.server.shed.inflight");
+    let read_kills = obs.counter("net.server.read_deadline_kills");
+
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut rr = 0usize;
+
+    while !stop.load(Ordering::SeqCst) {
+        // Admit newly-registered connections.
+        let incoming: Vec<(TcpStream, Arc<str>)> = {
+            let mut st = shard.state.lock().unwrap();
+            st.wake = false;
+            std::mem::take(&mut st.incoming)
+        };
+        for (stream, peer) in incoming {
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                conn_count.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            connections.add(1);
+            conns.push(Conn {
+                stream,
+                peer,
+                buf: FrameBuffer::new(),
+                shared: Arc::new(ConnShared {
+                    outbox: Mutex::new(VecDeque::new()),
+                    dead: AtomicBool::new(false),
+                    inflight: AtomicI64::new(0),
+                }),
+                write_pending: Vec::new(),
+                write_since: None,
+                partial_since: None,
+            });
+        }
+
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let alive = sweep_conn(
+                &mut conns[i],
+                &shard,
+                &queues,
+                &mut rr,
+                &mut scratch,
+                &mut progressed,
+                &config,
+                SweepCounters {
+                    requests: &requests,
+                    bytes_in: &bytes_in,
+                    bytes_out: &bytes_out,
+                    overloaded: &overloaded,
+                    shed_queue_full: &shed_queue_full,
+                    shed_inflight: &shed_inflight,
+                    read_kills: &read_kills,
+                    inflight: &inflight,
+                    queue_depth: &queue_depth,
+                    conn_max_inflight: &conn_max_inflight,
+                },
+            );
+            if alive {
+                i += 1;
+            } else {
+                let conn = conns.swap_remove(i);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                conn.shared.dead.store(true, Ordering::SeqCst);
+                connections.add(-1);
+                conn_count.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        if progressed {
+            continue; // keep sweeping while there is work
+        }
+        let park = if conns.is_empty() {
+            config.idle_poll
+        } else {
+            BUSY_PARK
+        };
+        let st = shard.state.lock().unwrap();
+        if !st.wake && st.incoming.is_empty() {
+            let _ = shard.cv.wait_timeout(st, park).unwrap();
+        }
+    }
+
+    // Shutdown: sever everything this shard owns.
+    for conn in conns {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        conn.shared.dead.store(true, Ordering::SeqCst);
+        connections.add(-1);
+        conn_count.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Obs handles threaded through one shard sweep.
+struct SweepCounters<'a> {
+    requests: &'a hedc_obs::Counter,
+    bytes_in: &'a hedc_obs::Counter,
+    bytes_out: &'a hedc_obs::Counter,
+    overloaded: &'a hedc_obs::Counter,
+    shed_queue_full: &'a hedc_obs::Counter,
+    shed_inflight: &'a hedc_obs::Counter,
+    read_kills: &'a hedc_obs::Counter,
+    inflight: &'a hedc_obs::Gauge,
+    queue_depth: &'a hedc_obs::Gauge,
+    conn_max_inflight: &'a hedc_obs::Gauge,
+}
+
+/// One sweep over one connection: flush, read, parse, dispatch. Returns
+/// `false` when the connection must be severed.
+#[allow(clippy::too_many_arguments)]
+fn sweep_conn(
+    conn: &mut Conn,
+    shard: &Arc<Shard>,
+    queues: &Arc<Vec<Arc<WorkQueue>>>,
+    rr: &mut usize,
+    scratch: &mut [u8],
+    progressed: &mut bool,
+    config: &ServerConfig,
+    c: SweepCounters<'_>,
+) -> bool {
+    if conn.shared.dead.load(Ordering::SeqCst) {
+        return false;
+    }
+    let now = Instant::now();
+
+    // Flush: move queued response frames into the pending buffer, then
+    // write as much as the socket accepts.
+    {
+        let mut outbox = conn.shared.outbox.lock().unwrap();
+        while let Some(bytes) = outbox.pop_front() {
+            conn.write_pending.extend_from_slice(&bytes);
+        }
+    }
+    while !conn.write_pending.is_empty() {
+        match conn.stream.write(&conn.write_pending) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.write_pending.drain(..n);
+                c.bytes_out.add(n as u64);
+                *progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                let since = *conn.write_since.get_or_insert(now);
+                if now.duration_since(since) > config.write_timeout {
+                    return false; // client stopped reading; cut it loose
+                }
+                break;
+            }
+            Err(_) => return false,
+        }
+    }
+    if conn.write_pending.is_empty() {
+        conn.write_since = None;
+    }
+
+    // Read whatever the socket has, with a per-sweep cap so one firehose
+    // connection cannot starve its shard siblings.
+    for _ in 0..4 {
+        match conn.stream.read(scratch) {
+            Ok(0) => return false, // orderly EOF
+            Ok(n) => {
+                conn.buf.extend(&scratch[..n]);
+                *progressed = true;
+                if n < scratch.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(_) => return false,
+        }
+    }
+
+    // Parse and dispatch every complete frame.
+    loop {
+        let frame = match conn.buf.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(_) => return false, // corrupt stream
+        };
+        if frame.kind != FrameKind::Request {
+            return false; // protocol violation
+        }
+        c.requests.inc();
+        c.bytes_in.add(frame.wire_len() as u64);
+        *progressed = true;
+        if !dispatch(frame, conn, shard, queues, rr, config, &c) {
+            // Shed, not fatal: the rejection is already in the outbox.
+            continue;
+        }
+    }
+
+    // Slow-loris guard: a frame left unfinished past the read deadline
+    // kills the connection (a worker never saw it, so none was pinned).
+    if conn.buf.has_partial() {
+        let since = *conn.partial_since.get_or_insert(now);
+        if now.duration_since(since) > config.admission.read_deadline {
+            c.read_kills.inc();
+            hedc_obs::emit(
+                hedc_obs::events::kind::OVERLOAD_SHED,
+                format!(
+                    "reason=read_deadline peer={} stalled_ms={}",
+                    conn.peer,
+                    now.duration_since(since).as_millis()
+                ),
+            );
+            return false;
+        }
+    } else {
+        conn.partial_since = None;
+    }
+    true
+}
+
+/// Admission decision for one parsed request frame. Returns `true` when the
+/// frame was enqueued, `false` when it was shed (a typed `Overloaded`
+/// response is already queued for the client either way the connection
+/// stays up).
+fn dispatch(
+    frame: Frame,
+    conn: &mut Conn,
+    shard: &Arc<Shard>,
+    queues: &Arc<Vec<Arc<WorkQueue>>>,
+    rr: &mut usize,
+    config: &ServerConfig,
+    c: &SweepCounters<'_>,
+) -> bool {
+    // Per-connection in-flight cap.
+    let cur = conn.shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+    if cur > config.admission.max_inflight_per_conn as i64 {
+        conn.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        c.shed_inflight.inc();
+        c.overloaded.inc();
+        shed_to_outbox(conn, &frame, "inflight_cap");
+        return false;
+    }
+    if cur > c.conn_max_inflight.get() {
+        c.conn_max_inflight.set(cur);
+    }
+
+    // Round-robin over the run queues, spilling to siblings before
+    // shedding: only a pool-wide backlog rejects.
+    let mut item = WorkItem {
+        frame,
+        enqueued: Instant::now(),
+        conn: Arc::clone(&conn.shared),
+        shard: Arc::clone(shard),
+        peer: Arc::clone(&conn.peer),
+    };
+    let start = *rr;
+    *rr = rr.wrapping_add(1);
+    for i in 0..queues.len() {
+        let q = &queues[(start + i) % queues.len()];
+        match q.try_push(item) {
+            Ok(()) => {
+                c.inflight.add(1);
+                c.queue_depth.add(1);
+                return true;
+            }
+            Err(back) => item = back,
+        }
+    }
+    conn.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    c.shed_queue_full.inc();
+    c.overloaded.inc();
+    shed_to_outbox(conn, &item.frame, "queue_full");
+    false
+}
+
+/// Queue a typed `Overloaded` rejection for `frame` directly on the
+/// connection's outbox (shard-side shed: the request never reaches a
+/// worker).
+fn shed_to_outbox(conn: &mut Conn, frame: &Frame, reason: &str) {
+    if let Some(bytes) = shed_response(frame, reason, &conn.peer) {
+        conn.shared.outbox.lock().unwrap().push_back(bytes);
+    }
+}
+
+/// Build the encoded `Overloaded` response frame for a shed request and
+/// emit the structured shed event into the caller's trace.
+fn shed_response(frame: &Frame, reason: &str, peer: &str) -> Option<Vec<u8>> {
+    // Join the caller's trace so the shed is attributable on /hedc/traces.
+    let caller = (frame.trace_id != 0).then_some(hedc_obs::SpanContext {
+        trace_id: frame.trace_id,
+        span_id: frame.span_id,
+    });
+    let _g = hedc_obs::adopt(caller);
+    hedc_obs::emit(
+        hedc_obs::events::kind::OVERLOAD_SHED,
+        format!("reason={reason} peer={peer} req_id={}", frame.req_id),
+    );
+    let payload = encode(&Response::Error(WireError {
+        kind: WireErrorKind::Overloaded,
+        message: format!("shed: {reason}"),
+    }))
+    .ok()?;
+    encode_frame(&Frame {
+        kind: FrameKind::Response,
+        trace_id: frame.trace_id,
+        span_id: 0,
+        req_id: frame.req_id,
+        payload,
+    })
+    .ok()
+}
+
+/// Worker loop: pop admitted requests, enforce the queue deadline, execute
+/// against the node, and hand the encoded response back to the owning
+/// shard.
+fn worker_loop(
+    queue: Arc<WorkQueue>,
     node: Arc<dyn DmNode>,
     stop: Arc<AtomicBool>,
     config: ServerConfig,
 ) {
-    if stream.set_read_timeout(Some(config.idle_poll)).is_err()
-        || stream
-            .set_write_timeout(Some(config.write_timeout))
-            .is_err()
-    {
-        return;
-    }
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "unknown".into());
     let obs = hedc_obs::global();
     let rpc_hist = obs.histogram("net.rpc.server");
-    let requests = obs.counter("net.server.requests");
-    let bytes_in = obs.counter("net.server.bytes_in");
-    let bytes_out = obs.counter("net.server.bytes_out");
-    // Saturation gauges: open connections, and how many are mid-request.
-    let connections = obs.gauge("net.server.connections");
     let inflight = obs.gauge("net.server.inflight");
-    connections.add(1);
+    let queue_depth = obs.gauge("net.server.queue_depth");
+    let overloaded = obs.counter("net.server.overloaded");
+    let shed_deadline = obs.counter("net.server.shed.deadline");
 
-    while !stop.load(Ordering::SeqCst) {
-        let frame = match read_frame_or_idle(&mut stream) {
-            Ok(Some(f)) => f,
-            Ok(None) => continue, // idle poll tick; re-check shutdown
-            Err(_) => break,      // EOF, mid-frame stall, or severed socket
+    loop {
+        let item = {
+            let mut items = queue.items.lock().unwrap();
+            loop {
+                if let Some(it) = items.pop_front() {
+                    break Some(it);
+                }
+                if stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _timeout) = queue.cv.wait_timeout(items, WORKER_PARK).unwrap();
+                items = guard;
+            }
         };
-        if frame.kind != FrameKind::Request {
-            break; // protocol violation; drop the connection
-        }
-        bytes_in.add(frame.wire_len() as u64);
-        requests.inc();
+        let Some(item) = item else { break };
+        queue_depth.add(-1);
 
-        // Join the caller's trace: adopt its (trace, span) as ambient, so
-        // the server-side span becomes a child of the client-side RPC span.
+        let frame = &item.frame;
+        let waited = item.enqueued.elapsed();
+        if waited > config.admission.queue_deadline {
+            // Deadline-aware shed: the client's own deadline has likely
+            // passed; answering now only wastes an execution slot.
+            shed_deadline.inc();
+            overloaded.inc();
+            if let Some(bytes) = shed_response(frame, "queue_deadline", &item.peer) {
+                item.conn.outbox.lock().unwrap().push_back(bytes);
+            }
+            finish_item(&item, &inflight);
+            continue;
+        }
+
+        // Join the caller's trace; the backdated queue-wait span makes
+        // time-spent-queued attributable in the critical-path analyzer.
         let caller = (frame.trace_id != 0).then_some(hedc_obs::SpanContext {
             trace_id: frame.trace_id,
             span_id: frame.span_id,
         });
         let _g = hedc_obs::adopt(caller);
+        hedc_obs::record_interval("net.server.queue_wait", item.enqueued);
         let span = hedc_obs::Span::child("net.rpc.server");
         let start = Instant::now();
-        inflight.add(1);
 
         let request: Result<Request, _> = decode(&frame.payload);
         let label = request.as_ref().map(request_label).unwrap_or("malformed");
         let response = match request {
             Ok(req) => respond(node.as_ref(), req, true),
             Err(e) => Response::Error(WireError {
-                kind: crate::proto::WireErrorKind::Failed,
+                kind: WireErrorKind::Failed,
                 message: format!("malformed request: {e}"),
             }),
         };
-        inflight.add(-1);
 
-        let payload = match encode(&response) {
-            Ok(p) => p,
-            Err(_) => break,
-        };
-        let reply = Frame {
-            kind: FrameKind::Response,
-            trace_id: frame.trace_id,
-            span_id: span.context().span_id,
-            payload,
-        };
+        let reply = encode(&response).ok().and_then(|payload| {
+            encode_frame(&Frame {
+                kind: FrameKind::Response,
+                trace_id: frame.trace_id,
+                span_id: span.context().span_id,
+                req_id: frame.req_id,
+                payload,
+            })
+            .ok()
+        });
+
         let elapsed = start.elapsed();
         rpc_hist.record_us(elapsed.as_micros() as u64);
         if elapsed >= config.slow_request {
             // The ambient context is still the caller's trace, so the event
-            // joins the request's span tree (satellite: net-tier analogue of
-            // metadb's slow_query_ms).
+            // joins the request's span tree (net-tier analogue of metadb's
+            // slow_query_ms).
             hedc_obs::emit(
                 hedc_obs::events::kind::SLOW_REQUEST,
                 format!(
-                    "request={label} peer={peer} elapsed_us={}",
+                    "request={label} peer={} elapsed_us={}",
+                    item.peer,
                     elapsed.as_micros()
                 ),
             );
         }
         drop(span);
-        match write_frame(&mut stream, &reply) {
-            Ok(n) => bytes_out.add(n as u64),
-            Err(_) => break,
+
+        match reply {
+            Some(bytes) => item.conn.outbox.lock().unwrap().push_back(bytes),
+            None => item.conn.dead.store(true, Ordering::SeqCst),
         }
+        finish_item(&item, &inflight);
     }
-    connections.add(-1);
-    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Book-keeping after a work item is answered (or shed by the worker): the
+/// connection's in-flight slot frees and the owning shard wakes to flush.
+fn finish_item(item: &WorkItem, inflight: &hedc_obs::Gauge) {
+    item.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+    inflight.add(-1);
+    item.shard.wake();
 }
 
 /// Stable label for a request shape, for slow-request events.
@@ -293,7 +933,7 @@ fn respond(node: &dyn DmNode, request: Request, top_level: bool) -> Response {
             }
         }
         Request::Batch(_) => Response::Error(WireError {
-            kind: crate::proto::WireErrorKind::Failed,
+            kind: WireErrorKind::Failed,
             message: "nested batch rejected".into(),
         }),
     }

@@ -1,0 +1,71 @@
+//! Accept-path latency regression guard.
+//!
+//! The first server iteration polled `accept()` with a 5 ms sleep, adding
+//! up to 5 ms before a fresh connection was even seen — invisible in
+//! throughput benchmarks, dominant in connect-then-one-query workloads.
+//! The acceptor now blocks in `accept()` and reader shards are woken on
+//! registration, so a fresh connection's first request answers in
+//! microseconds. This test pins that down: the *median* fresh-connect
+//! ping RTT on an idle loopback server must beat 1 ms. (The median is the
+//! right statistic — a sleep-poll acceptor centres it near half the poll
+//! interval, where a min would occasionally sneak under the bar and a max
+//! is hostage to scheduler noise.)
+
+use hedc_net::frame::{read_frame, write_frame, Frame, FrameKind};
+use hedc_net::proto::{decode, encode, Request, Response};
+use hedc_net::{DmServer, ServerConfig};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn dm_node() -> Arc<hedc_dm::Dm> {
+    let fs = hedc_filestore::FileStore::new();
+    fs.register(hedc_filestore::Archive::in_memory(
+        1,
+        "raw",
+        hedc_filestore::ArchiveTier::OnlineDisk,
+        1 << 30,
+    ));
+    hedc_dm::Dm::bootstrap(Arc::new(fs), hedc_dm::DmConfig::default()).unwrap()
+}
+
+#[test]
+fn idle_accept_to_first_response_median_is_under_a_millisecond() {
+    let server =
+        DmServer::bind("127.0.0.1:0", dm_node(), ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let trials = 100;
+    let mut rtts: Vec<Duration> = (0..trials)
+        .map(|i| {
+            let start = Instant::now();
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            let frame = Frame {
+                kind: FrameKind::Request,
+                trace_id: 0,
+                span_id: 0,
+                req_id: i + 1,
+                payload: encode(&Request::Ping).unwrap(),
+            };
+            write_frame(&mut stream, &frame).expect("write ping");
+            let reply = read_frame(&mut stream).expect("read pong");
+            let elapsed = start.elapsed();
+            let response: Response = decode(&reply.payload).expect("decode pong");
+            assert!(matches!(response, Response::Pong { .. }), "{response:?}");
+            elapsed
+        })
+        .collect();
+
+    rtts.sort();
+    let median = rtts[trials as usize / 2];
+    assert!(
+        median < Duration::from_millis(1),
+        "idle accept→first-response median regressed to {median:?} \
+         (p90 {:?}, max {:?}) — did a sleep-poll sneak back into the accept \
+         or registration path?",
+        rtts[trials as usize * 9 / 10],
+        rtts[trials as usize - 1],
+    );
+    drop(server);
+}

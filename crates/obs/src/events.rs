@@ -26,6 +26,7 @@ pub mod kind {
     pub const INGEST_COMPENSATE: &str = "ingest_compensate";
     pub const SLOW_TRACE: &str = "slow_trace";
     pub const SLOW_REQUEST: &str = "slow_request";
+    pub const OVERLOAD_SHED: &str = "overload_shed";
 }
 
 /// One logged occurrence. `trace_id == 0` means "outside any request";

@@ -75,6 +75,12 @@ bench_smoke() {
   cargo run --release -q -p hedc-bench --bin bench_schema -- "$out" \
     fig4_browse_clients batch_bench store
   rm -rf "$out"
+  # The *committed* Figure-4 report must also hold: its net-tier rows carry
+  # the scaling claim (check_fig4: throughput flat-or-rising 16 -> 512
+  # clients, bounded p99 and shed rate), so a regression committed alongside
+  # stale results cannot slip past the smoke gate.
+  cargo run --release -q -p hedc-bench --bin bench_schema -- results \
+    fig4_browse_clients
 }
 
 # Observability smoke: the tail-latency diagnosis loop must close end to
@@ -130,7 +136,8 @@ if [[ -n "$seed" ]]; then
   cargo test -q -p hedc-dm --test failover --test cache --test ingest_crash \
     --test ingest_browse -- --nocapture
   cargo test -q -p hedc-metadb --test paged_model -- --nocapture
-  cargo test -q -p hedc-net --test cluster -- --nocapture
+  cargo test -q -p hedc-net --test cluster --test churn --test mux_prop \
+    --test slow_client -- --nocapture
   echo "OK (seed $seed)"
   exit 0
 fi
