@@ -14,9 +14,7 @@
 //! reconstructions. What the evaluation depends on — CPU cost scaling with
 //! photons × grid size, output volume, determinism — is faithful.
 
-use crate::types::{
-    select_photons, AnalysisError, AnalysisKind, AnalysisParams, AnalysisProduct,
-};
+use crate::types::{select_photons, AnalysisError, AnalysisKind, AnalysisParams, AnalysisProduct};
 use hedc_filestore::{ImageData, PhotonList};
 
 /// An analysis algorithm: the strategy interface the PL dispatches on.
@@ -25,8 +23,11 @@ pub trait Algorithm: Send + Sync {
     fn name(&self) -> &str;
 
     /// Validate parameters and run, producing a typed product.
-    fn run(&self, photons: &PhotonList, params: &AnalysisParams)
-        -> Result<AnalysisProduct, AnalysisError>;
+    fn run(
+        &self,
+        photons: &PhotonList,
+        params: &AnalysisParams,
+    ) -> Result<AnalysisProduct, AnalysisError>;
 
     /// Rough floating-point-operation count for the run, used by the PL's
     /// estimation phase (§5.1) to predict duration before executing.
@@ -72,7 +73,9 @@ impl Algorithm for Imaging {
         validate(params)?;
         let grid = params.get_or("grid", 64.0) as usize;
         if grid == 0 || grid > 4096 {
-            return Err(AnalysisError::BadParams(format!("grid {grid} out of range")));
+            return Err(AnalysisError::BadParams(format!(
+                "grid {grid} out of range"
+            )));
         }
         let fov = params.get_or("fov", 1024.0);
         let sel = select_photons(photons, params);
@@ -407,7 +410,9 @@ mod tests {
             .with("time_bins", 32.0)
             .with("energy_bins", 16.0);
         let out = Spectrogram.run(&p, &params).unwrap();
-        let AnalysisProduct::Grid(g) = out else { panic!() };
+        let AnalysisProduct::Grid(g) = out else {
+            panic!()
+        };
         assert_eq!((g.width, g.height), (32, 16));
         assert_eq!(g.total() as u64, 800);
     }
@@ -455,8 +460,6 @@ mod tests {
         }
         // Imaging is far more expensive per photon than histogram (the §8
         // CPU-bound vs I/O-bound contrast).
-        assert!(
-            Imaging.cost_flops(1000, &params) > Histogram.cost_flops(1000, &params) * 100.0
-        );
+        assert!(Imaging.cost_flops(1000, &params) > Histogram.cost_flops(1000, &params) * 100.0);
     }
 }

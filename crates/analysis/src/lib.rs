@@ -36,9 +36,9 @@ mod registry;
 mod server;
 mod types;
 
-pub use algorithms::{builtin, Algorithm, Histogram, Imaging, Lightcurve, Spectrogram, Spectrum, BANDS};
+pub use algorithms::{
+    builtin, Algorithm, Histogram, Imaging, Lightcurve, Spectrogram, Spectrum, BANDS,
+};
 pub use registry::AlgorithmRegistry;
 pub use server::{AnalysisServer, FaultPlan, Job, ServerState};
-pub use types::{
-    select_photons, AnalysisError, AnalysisKind, AnalysisParams, AnalysisProduct,
-};
+pub use types::{select_photons, AnalysisError, AnalysisKind, AnalysisParams, AnalysisProduct};

@@ -44,9 +44,7 @@ impl AlgorithmRegistry {
             AnalysisKind::Histogram,
         ] {
             let alg: Arc<dyn Algorithm> = Arc::from(builtin(kind));
-            reg.algorithms
-                .write()
-                .insert(alg.name().to_string(), alg);
+            reg.algorithms.write().insert(alg.name().to_string(), alg);
         }
         reg
     }
@@ -55,9 +53,7 @@ impl AlgorithmRegistry {
     /// deliberate: "designers optimize existing routines" (§3.1) and the new
     /// version takes over without a restart.
     pub fn register(&self, alg: Arc<dyn Algorithm>) {
-        self.algorithms
-            .write()
-            .insert(alg.name().to_string(), alg);
+        self.algorithms.write().insert(alg.name().to_string(), alg);
     }
 
     /// Look up by name.
@@ -116,7 +112,13 @@ mod tests {
         let reg = AlgorithmRegistry::with_builtins();
         assert_eq!(
             reg.names(),
-            vec!["histogram", "imaging", "lightcurve", "spectrogram", "spectrum"]
+            vec![
+                "histogram",
+                "imaging",
+                "lightcurve",
+                "spectrogram",
+                "spectrum"
+            ]
         );
         assert!(reg.get("imaging").is_ok());
         assert!(matches!(

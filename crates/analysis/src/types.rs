@@ -129,11 +129,7 @@ impl AnalysisParams {
     pub fn fingerprint_with(&self, kind_name: &str) -> String {
         let mut s = format!(
             "{}|t{}..{}|e{:.3}..{:.3}",
-            kind_name,
-            self.t_start_ms,
-            self.t_end_ms,
-            self.energy_lo_kev,
-            self.energy_hi_kev
+            kind_name, self.t_start_ms, self.t_end_ms, self.energy_lo_kev, self.energy_hi_kev
         );
         for (k, v) in &self.extra {
             s.push_str(&format!("|{k}={v:.6}"));

@@ -1,9 +1,7 @@
 //! Property-based tests for the analysis algorithms: count-conservation
 //! and selection invariants that must hold for any photon stream.
 
-use hedc_analysis::{
-    builtin, select_photons, AnalysisKind, AnalysisParams, AnalysisProduct,
-};
+use hedc_analysis::{builtin, select_photons, AnalysisKind, AnalysisParams, AnalysisProduct};
 use hedc_filestore::PhotonList;
 use proptest::prelude::*;
 

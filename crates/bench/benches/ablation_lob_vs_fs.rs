@@ -28,7 +28,12 @@ fn bench_lob_vs_fs(c: &mut Criterion) {
 
         // File path: same payload through the archive layer.
         let fs = FileStore::new();
-        fs.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 30));
+        fs.register(Archive::in_memory(
+            1,
+            "disk",
+            ArchiveTier::OnlineDisk,
+            1 << 30,
+        ));
         fs.store(1, "product.fits", &data).unwrap();
         group.bench_with_input(BenchmarkId::new("file_read", size), &size, |b, _| {
             b.iter(|| black_box(fs.fetch(1, "product.fits").unwrap()))

@@ -16,7 +16,12 @@ fn setup() -> (DmIo, Vec<i64>) {
     hedc_dm::schema::create_generic(&mut conn).unwrap();
     hedc_dm::schema::create_domain(&mut conn).unwrap();
     let files = FileStore::new();
-    files.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 30));
+    files.register(Archive::in_memory(
+        1,
+        "disk",
+        ArchiveTier::OnlineDisk,
+        1 << 30,
+    ));
     let io = DmIo::new(
         vec![db],
         Partitioning::single(),
@@ -25,7 +30,9 @@ fn setup() -> (DmIo, Vec<i64>) {
         &IoConfig::default(),
     );
     let names = Names::new(&io);
-    names.register_archive(1, "disk", "online/v1", None).unwrap();
+    names
+        .register_archive(1, "disk", "online/v1", None)
+        .unwrap();
     let mut items = Vec::new();
     for i in 0..10_000 {
         let item = names.new_item().unwrap();
@@ -68,10 +75,8 @@ fn bench_name_mapping(c: &mut Criterion) {
             let item = items[j % items.len()];
             j += 1;
             black_box(
-                io.query(
-                    &Query::table("loc_entry").filter(Expr::eq("item_id", item)),
-                )
-                .unwrap(),
+                io.query(&Query::table("loc_entry").filter(Expr::eq("item_id", item)))
+                    .unwrap(),
             )
         })
     });

@@ -5,7 +5,7 @@
 //! milliseconds) and the browse query mix runs both ways.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hedc_metadb::{ColumnDef, ConnectionPool, Database, DataType, Expr, Query, Schema, Value};
+use hedc_metadb::{ColumnDef, ConnectionPool, DataType, Database, Expr, Query, Schema, Value};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -29,7 +29,11 @@ fn seeded_db() -> Arc<Database> {
     for i in 0..20_000i64 {
         conn.insert(
             "hle",
-            vec![Value::Int(i), Value::Int(i * 40), Value::Text(format!("e{i}"))],
+            vec![
+                Value::Int(i),
+                Value::Int(i * 40),
+                Value::Text(format!("e{i}")),
+            ],
         )
         .unwrap();
     }

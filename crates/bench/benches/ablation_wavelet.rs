@@ -24,9 +24,7 @@ fn bench_wavelet_ablation(c: &mut Criterion) {
     let signal: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
     let view = PartitionedView::build(&signal, 1024, 0.5);
 
-    let full_bytes = view
-        .bytes_for_range(0, signal.len(), usize::MAX)
-        .unwrap();
+    let full_bytes = view.bytes_for_range(0, signal.len(), usize::MAX).unwrap();
     let coarse_bytes = view.bytes_for_range(0, signal.len(), 5).unwrap();
     println!(
         "A3 transfer: full view {} B, 5-level prefix {} B ({}x saving); raw photons {} B",

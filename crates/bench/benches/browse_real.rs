@@ -43,7 +43,10 @@ fn bench_browse_real(c: &mut Criterion) {
     let mut group = c.benchmark_group("A8_browse_real_stack");
 
     group.bench_function("catalog_page", |b| {
-        let req = HttpRequest::get(&format!("/hedc/catalog/{}", hedc.dm().extended_catalog), "b");
+        let req = HttpRequest::get(
+            &format!("/hedc/catalog/{}", hedc.dm().extended_catalog),
+            "b",
+        );
         b.iter(|| {
             let resp = hedc.web().handle(&req);
             assert_eq!(resp.status, 200);
@@ -78,8 +81,7 @@ fn bench_browse_real(c: &mut Criterion) {
             for t in 0..8 {
                 let hedc = Arc::clone(&hedc);
                 handles.push(std::thread::spawn(move || {
-                    let req =
-                        HttpRequest::get(&format!("/hedc/hle/{hle_id}"), &format!("c{t}"));
+                    let req = HttpRequest::get(&format!("/hedc/hle/{hle_id}"), &format!("c{t}"));
                     for _ in 0..50 {
                         let resp = hedc.web().handle(&req);
                         assert_eq!(resp.status, 200);

@@ -5,9 +5,7 @@
 //! full-scan penalty indexed access avoids.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hedc_metadb::{
-    AggFunc, ColumnDef, Database, DataType, Expr, Query, Schema, Value,
-};
+use hedc_metadb::{AggFunc, ColumnDef, DataType, Database, Expr, Query, Schema, Value};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -67,7 +65,10 @@ fn bench_metadb(c: &mut Criterion) {
         .unwrap();
         b.iter(|| {
             i += 1;
-            black_box(c2.insert("t", vec![Value::Int(i), Value::Int(i * 3)]).unwrap())
+            black_box(
+                c2.insert("t", vec![Value::Int(i), Value::Int(i * 3)])
+                    .unwrap(),
+            )
         })
     });
 
@@ -113,8 +114,10 @@ fn bench_metadb(c: &mut Criterion) {
         let mut x = 0i64;
         b.iter(|| {
             x = (x + 6151) % (ROWS * 37 - 3700);
-            let sql =
-                format!("SELECT id, etype FROM hle WHERE t0 BETWEEN {x} AND {} LIMIT 20", x + 3699);
+            let sql = format!(
+                "SELECT id, etype FROM hle WHERE t0 BETWEEN {x} AND {} LIMIT 20",
+                x + 3699
+            );
             black_box(conn2.execute_sql(&sql).unwrap())
         })
     });

@@ -11,7 +11,9 @@ fn signal(n: usize) -> Vec<f64> {
     (0..n)
         .map(|i| {
             let t = i as f64;
-            (t / 300.0).sin() * 50.0 + (t / 17.0).cos() * 4.0 + if i % 1009 == 0 { 800.0 } else { 0.0 }
+            (t / 300.0).sin() * 50.0
+                + (t / 17.0).cos() * 4.0
+                + if i % 1009 == 0 { 800.0 } else { 0.0 }
         })
         .collect()
 }

@@ -22,7 +22,7 @@
 
 use hedc_dm::{Dm, DmConfig, DmNode, NameType};
 use hedc_filestore::{Archive, ArchiveTier, FileStore};
-use hedc_metadb::{tuning, ColumnDef, Database, DataType, OrderDir, Query, Schema, Value};
+use hedc_metadb::{tuning, ColumnDef, DataType, Database, OrderDir, Query, Schema, Value};
 use hedc_net::{DmServer, NetConfig, NetDm, ServerConfig};
 use std::sync::Arc;
 use std::time::Instant;

@@ -15,10 +15,10 @@
 //! dynamic name construction each cost indexed queries — so the *measured*
 //! counts are reported beside the paper's, with the per-analysis breakdown.
 
+use hedc_analysis::AnalysisParams;
 use hedc_core::{Hedc, HedcConfig};
 use hedc_events::GenConfig;
 use hedc_pl::{Outcome, RequestSpec};
-use hedc_analysis::AnalysisParams;
 
 struct SeriesResult {
     requests: usize,
@@ -81,9 +81,16 @@ fn run_series(
     }
 }
 
-fn print_series(name: &str, r: &SeriesResult, paper: &(u64, f64, f64, u64, u64)) -> serde_json::Value {
+fn print_series(
+    name: &str,
+    r: &SeriesResult,
+    paper: &(u64, f64, f64, u64, u64),
+) -> serde_json::Value {
     let (p_req, p_in_mb, p_out_mb, p_q, p_e) = *paper;
-    println!("\nTable {} — {name} test characteristics", if name == "imaging" { "2" } else { "3" });
+    println!(
+        "\nTable {} — {name} test characteristics",
+        if name == "imaging" { "2" } else { "3" }
+    );
     println!("{:-<66}", "");
     println!("{:<22} {:>14} {:>14}", "", "measured", "paper");
     println!("{:<22} {:>14} {:>14}", "requests", r.requests, p_req);

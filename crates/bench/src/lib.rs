@@ -9,6 +9,7 @@
 //! | `fig5_browse_nodes` | Figure 5: browse throughput vs middle-tier nodes |
 //! | `table1_processing` | Table 1: imaging & histogram test series |
 //! | `table23_characteristics` | Tables 2–3: workload characteristics, measured on the real stack |
+//! | `pl_bench` | §3.5 redundant-work elimination: zipf duplicate-heavy load, coalesce on/off |
 //!
 //! Criterion benches (`cargo bench -p hedc-bench`) cover the ablations
 //! A1–A7 from DESIGN.md. Reports are also written as JSON under

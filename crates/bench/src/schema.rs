@@ -41,6 +41,15 @@
 //!   `larger_than_cache`: object whose `scan_rows == rows`, `evictions` >
 //!   `cache_pages` (the table really exceeded the cache), and
 //!   `scan_verified` is `true`.
+//! * **pl** — `rows`: non-empty rows with `mode` (`coalesce_on`/
+//!   `coalesce_off`), `threads` ≥ 1, `rounds` ≥ 1, `requests` ≥ 1,
+//!   `computes` ≥ 1, finite `wall_ms` and `effective_rps` ≥ 0; both modes
+//!   present. `summary`: `computes_on` < `computes_off` (coalescing really
+//!   eliminated executions) and `throughput_ratio` ≥ 5 — the redundant-work
+//!   claim enforced by [`check_pl`]: under a zipf-skewed duplicate-heavy
+//!   load, single-flight coalescing plus the versioned result store must
+//!   deliver at least 5x the effective throughput of the
+//!   execute-every-submit configuration.
 //!
 //! Unknown `BENCH_*` names are an error: a bench that invents a report must
 //! register its schema here, which is the point.
@@ -49,13 +58,14 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// Bench names this validator knows how to check.
-pub const KNOWN: [&str; 6] = [
+pub const KNOWN: [&str; 7] = [
     "fig4_browse_clients",
     "fig5_browse_nodes",
     "batch_bench",
     "ingest",
     "table1_processing",
     "store",
+    "pl",
 ];
 
 type Errors = Vec<String>;
@@ -461,6 +471,83 @@ fn check_store(report: &serde_json::Value, errs: &mut Errors) {
     }
 }
 
+/// The redundant-work gate — the measured claim that eliminating duplicate
+/// analyses is worth an order of magnitude, enforced at the report boundary.
+///
+/// The workload is zipf-skewed: a few hot (fingerprint, user) keys dominate,
+/// as repeat "show me the flare again" requests do in practice (§3.5 "avoid
+/// redundant computation"). With coalescing and the versioned result store
+/// off, every submit executes; with them on, duplicates attach to the
+/// in-flight leader or hit the store. Over the report this requires:
+///
+/// * rows for both `coalesce_on` and `coalesce_off` under the same
+///   `threads`/`rounds` shape;
+/// * `summary.computes_on` < `summary.computes_off` — executions were
+///   actually eliminated, not just moved;
+/// * `summary.throughput_ratio` ≥ 5 — effective requests-per-second with
+///   elimination on is at least 5x the execute-everything baseline.
+pub fn check_pl(report: &serde_json::Value, errs: &mut Errors) {
+    let mut saw_on = false;
+    let mut saw_off = false;
+    if let Some(rows) = section(report, "rows", "pl", errs) {
+        for (i, row) in rows.iter().enumerate() {
+            let ctx = format!("pl.rows[{i}]");
+            match text(row, "mode", &ctx, errs) {
+                Some("coalesce_on") => saw_on = true,
+                Some("coalesce_off") => saw_off = true,
+                Some(mode) => {
+                    errs.push(format!("{ctx}: unknown mode {mode:?}"));
+                    continue;
+                }
+                None => continue,
+            }
+            for key in ["threads", "rounds", "requests", "computes"] {
+                if uint(row, key, &ctx, errs) == Some(0) {
+                    errs.push(format!("{ctx}: zero `{key}`"));
+                }
+            }
+            fin(row, "wall_ms", &ctx, errs);
+            if let Some(rps) = fin(row, "effective_rps", &ctx, errs) {
+                if rps < 0.0 {
+                    errs.push(format!("{ctx}: negative effective_rps"));
+                }
+            }
+        }
+        if !(saw_on && saw_off) {
+            errs.push(
+                "pl: need rows for both coalesce_on and coalesce_off — the ratio \
+                 is meaningless without its baseline"
+                    .to_string(),
+            );
+        }
+    }
+    match report.get("summary").filter(|s| s.is_object()) {
+        Some(summary) => {
+            let ctx = "pl.summary";
+            let on = uint(summary, "computes_on", ctx, errs);
+            let off = uint(summary, "computes_off", ctx, errs);
+            if let (Some(on), Some(off)) = (on, off) {
+                if on >= off {
+                    errs.push(format!(
+                        "{ctx}: computes_on {on} not below computes_off {off} — \
+                         no redundant executions were eliminated"
+                    ));
+                }
+            }
+            if let Some(ratio) = fin(summary, "throughput_ratio", ctx, errs) {
+                if ratio < 5.0 {
+                    errs.push(format!(
+                        "{ctx}: throughput_ratio {ratio:.2} below 5 — single-flight \
+                         plus the versioned store must beat execute-every-submit by \
+                         at least 5x on a duplicate-heavy load"
+                    ));
+                }
+            }
+        }
+        None => errs.push("pl: missing `summary` object".to_string()),
+    }
+}
+
 /// Validate one parsed report against its bench name.
 pub fn validate_report(name: &str, report: &serde_json::Value) -> Result<(), Errors> {
     let mut errs = Errors::new();
@@ -478,6 +565,7 @@ pub fn validate_report(name: &str, report: &serde_json::Value) -> Result<(), Err
         "ingest" => check_ingest(report, &mut errs),
         "table1_processing" => check_table1(report, &mut errs),
         "store" => check_store(report, &mut errs),
+        "pl" => check_pl(report, &mut errs),
         other => errs.push(format!(
             "unknown bench {other:?} — register its schema in hedc_bench::schema"
         )),
@@ -588,7 +676,13 @@ mod tests {
     fn committed_reports_validate() {
         // The repo's own committed results must satisfy their schema.
         let dir = crate::results_dir();
-        for name in ["fig4_browse_clients", "batch_bench", "ingest", "store"] {
+        for name in [
+            "fig4_browse_clients",
+            "batch_bench",
+            "ingest",
+            "store",
+            "pl",
+        ] {
             let path = dir.join(format!("BENCH_{name}.json"));
             if path.exists() {
                 validate_file(&path).unwrap_or_else(|e| panic!("{name}: {e:?}"));
@@ -745,6 +839,59 @@ mod tests {
         bad["larger_than_cache"]["evictions"] = serde_json::json!(10);
         let errs = validate_report("store", &bad).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("cache budget")), "{errs:?}");
+    }
+
+    fn pl_report() -> serde_json::Value {
+        let row = |mode: &str, computes: u64, wall_ms: f64, rps: f64| {
+            serde_json::json!({
+                "mode": mode,
+                "threads": 32,
+                "rounds": 8,
+                "requests": 256,
+                "computes": computes,
+                "wall_ms": wall_ms,
+                "effective_rps": rps,
+            })
+        };
+        serde_json::json!({
+            "bench": "pl",
+            "rows": [
+                row("coalesce_off", 256, 4000.0, 64.0),
+                row("coalesce_on", 24, 480.0, 533.0),
+            ],
+            "summary": {
+                "computes_on": 24,
+                "computes_off": 256,
+                "throughput_ratio": 8.3,
+            },
+        })
+    }
+
+    #[test]
+    fn pl_report_validates_and_gates_the_ratio() {
+        validate_report("pl", &pl_report()).unwrap();
+
+        // The tentpole claim is enforced: a sub-5x ratio fails validation.
+        let mut bad = pl_report();
+        bad["summary"]["throughput_ratio"] = serde_json::json!(2.0);
+        let errs = validate_report("pl", &bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("below 5")), "{errs:?}");
+
+        // Coalescing that eliminated nothing fails.
+        let mut bad = pl_report();
+        bad["summary"]["computes_on"] = serde_json::json!(256);
+        let errs = validate_report("pl", &bad).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("no redundant executions")),
+            "{errs:?}"
+        );
+
+        // A baseline-less report cannot witness the ratio.
+        let mut bad = pl_report();
+        let on_only = bad["rows"][1].clone();
+        bad["rows"] = serde_json::json!([on_only]);
+        let errs = validate_report("pl", &bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("baseline")), "{errs:?}");
     }
 
     #[test]

@@ -126,6 +126,7 @@ impl Hedc {
                 job_timeout: config.job_timeout(),
                 max_retries: 2,
                 derived_archive: config.derived_archive(),
+                ..PlConfig::default()
             },
         );
         let web = WebServer::new(Arc::clone(&dm), Some(Arc::clone(&pl)));

@@ -20,7 +20,7 @@ use hedc_metadb::{
     query_to_sql, Database, PoolKind, PoolSet, Query, QueryResult, SqlOutput, Statement, Value,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -170,6 +170,10 @@ pub struct DmIo {
     /// The logical clock.
     pub clock: Arc<Clock>,
     next_id: AtomicI64,
+    /// Highest calibration version applied to this node's raw data. Result
+    /// reuse (PL §3.5) is only sound for analyses computed at this lineage
+    /// or later; recalibration bumps it, invalidating older cached results.
+    calib_lineage: AtomicU32,
     name_root: String,
     slow_query: Duration,
     caches: Option<Arc<DmCaches>>,
@@ -205,6 +209,7 @@ impl DmIo {
             files,
             clock,
             next_id: AtomicI64::new(1),
+            calib_lineage: AtomicU32::new(1),
             name_root: config.name_root.clone(),
             slow_query: config.slow_query,
             caches: config.cache.as_ref().map(DmCaches::new),
@@ -214,6 +219,18 @@ impl DmIo {
     /// Allocate a fresh tuple/item id.
     pub fn next_id(&self) -> i64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current calibration lineage: the highest calibration version applied
+    /// to raw data on this node. Analyses committed at an older
+    /// `calib_version` are stale and must not be served from result caches.
+    pub fn calib_lineage(&self) -> u32 {
+        self.calib_lineage.load(Ordering::Acquire)
+    }
+
+    /// Advance the calibration lineage (monotonic; called by recalibration).
+    pub fn bump_calib_lineage(&self, version: u32) {
+        self.calib_lineage.fetch_max(version, Ordering::AcqRel);
     }
 
     /// Re-seed the id allocator and clock after a WAL rebuild. A recovered

@@ -12,7 +12,7 @@ use crate::error::{DmError, DmResult};
 use crate::io::DmIo;
 use crate::names::NameType;
 use crate::session::{Rights, Session};
-use hedc_metadb::{Expr, Query, QueryResult, Statement, Value};
+use hedc_metadb::{CmpOp, Expr, Query, QueryResult, Statement, Value};
 
 /// Specification of a new high-level event.
 #[derive(Debug, Clone)]
@@ -349,6 +349,40 @@ impl<'a> Services<'a> {
                 .limit(1),
         )?;
         Ok(r.rows.first().map(|row| row[0].as_int().expect("ana id")))
+    }
+
+    /// Like [`find_existing_analysis`](Self::find_existing_analysis), but
+    /// only accepts analyses computed at calibration lineage `min_calib` or
+    /// later, and reports the match's `calib_version`. The PL result store
+    /// uses this so a post-recalibration submit recomputes instead of
+    /// serving a stale product (§3.1 invalidation feeding §3.5 reuse).
+    pub fn find_existing_analysis_versioned(
+        &self,
+        session: &Session,
+        fingerprint: &str,
+        min_calib: u32,
+    ) -> DmResult<Option<(i64, u32)>> {
+        let r = self.query(
+            session,
+            Query::table("ana")
+                .filter(
+                    Expr::eq("fingerprint", fingerprint)
+                        .and(Expr::eq("obsolete", false))
+                        .and(Expr::cmp("calib_version", CmpOp::Ge, i64::from(min_calib))),
+                )
+                .limit(1),
+        )?;
+        let calib_col = r
+            .columns
+            .iter()
+            .position(|c| c == "calib_version")
+            .expect("ana has calib_version");
+        Ok(r.rows.first().map(|row| {
+            (
+                row[0].as_int().expect("ana id"),
+                row[calib_col].as_int().expect("calib") as u32,
+            )
+        }))
     }
 
     /// Publish an entity (owner only; §5.5 "for data to be visible to other

@@ -207,6 +207,12 @@ impl<'a> Versioning<'a> {
             invalidated += 1;
         }
 
+        // Advance the node's calibration lineage so in-memory result stores
+        // (PL reuse/coalescing) drop entries computed under the old
+        // calibration — the DB rows above are already marked obsolete, this
+        // covers caches that never re-read them.
+        self.io.bump_calib_lineage(new.version);
+
         self.io.log(
             "info",
             "recalibration",

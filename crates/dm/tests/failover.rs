@@ -11,8 +11,8 @@
 //! `scripts/check.sh --seed <seed>`.
 
 use hedc_dm::{
-    schema, Clock, Dm, DmConfig, DmError, DmIo, DmNode, DmResult, DmRouter, FaultCounts,
-    FaultPlan, FaultyDmNode, IoConfig, NameType, Partitioning, RemoteDm,
+    schema, Clock, Dm, DmConfig, DmError, DmIo, DmNode, DmResult, DmRouter, FaultCounts, FaultPlan,
+    FaultyDmNode, IoConfig, NameType, Partitioning, RemoteDm,
 };
 use hedc_filestore::{Archive, ArchiveTier, FileStore};
 use hedc_metadb::{Database, Query, QueryResult, Value};

@@ -199,6 +199,9 @@ mod tests {
     fn zero_gain_rejected() {
         let mut cal = Calibration::launch();
         cal.detectors[2].gain = 0.0;
-        assert_eq!(cal.channel(2, 5.0).unwrap_err(), CalError::DegenerateGain(2));
+        assert_eq!(
+            cal.channel(2, 5.0).unwrap_err(),
+            CalError::DegenerateGain(2)
+        );
     }
 }

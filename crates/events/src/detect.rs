@@ -254,7 +254,12 @@ mod tests {
     fn binning_counts_everything_in_range() {
         let t = active_day();
         let cfg = &t.config;
-        let counts = bin_counts(&t.photons, cfg.start_ms, cfg.start_ms + cfg.duration_ms, 1000);
+        let counts = bin_counts(
+            &t.photons,
+            cfg.start_ms,
+            cfg.start_ms + cfg.duration_ms,
+            1000,
+        );
         let binned: u64 = counts.iter().sum();
         let in_range = t
             .photons
@@ -288,7 +293,11 @@ mod tests {
             &DetectConfig::default(),
         );
         let r = recall(&t.truth, &detected, &["flare"]);
-        assert!(r >= 0.7, "flare recall {r} with {} detections", detected.len());
+        assert!(
+            r >= 0.7,
+            "flare recall {r} with {} detections",
+            detected.len()
+        );
     }
 
     #[test]

@@ -170,7 +170,10 @@ pub fn generate(config: &GenConfig) -> Telemetry {
         .filter(|e| {
             matches!(
                 e.kind,
-                EventKind::Flare(_) | EventKind::GammaRayBurst | EventKind::SaaTransit | EventKind::NightTime
+                EventKind::Flare(_)
+                    | EventKind::GammaRayBurst
+                    | EventKind::SaaTransit
+                    | EventKind::NightTime
             )
         })
         .collect();
@@ -384,7 +387,10 @@ mod tests {
             .count() as f64
             / (night.duration_ms() as f64 / 1000.0);
         let day_rate = cfg.background_rate * DETECTORS as f64;
-        assert!(night_count < day_rate * 0.4, "night {night_count}/s vs day {day_rate}/s");
+        assert!(
+            night_count < day_rate * 0.4,
+            "night {night_count}/s vs day {day_rate}/s"
+        );
     }
 
     #[test]

@@ -42,5 +42,7 @@ pub use detect::{
 };
 pub use gen::{generate, GenConfig, Telemetry};
 pub use model::{EventKind, FlareClass, TruthEvent, DETECTORS, ENERGY_MAX_KEV, ENERGY_MIN_KEV};
-pub use phoenix::{detect_radio_bursts, generate_phoenix, PhoenixConfig, PhoenixScan, RadioBurstType};
+pub use phoenix::{
+    detect_radio_bursts, generate_phoenix, PhoenixConfig, PhoenixScan, RadioBurstType,
+};
 pub use telemetry::{package, TelemetryUnit};

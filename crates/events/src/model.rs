@@ -18,7 +18,9 @@ pub const ENERGY_MIN_KEV: f64 = 3.0;
 pub const ENERGY_MAX_KEV: f64 = 20_000.0;
 
 /// GOES-like flare magnitude class, ordered by peak flux.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum FlareClass {
     /// Smallest detectable events.
     A,

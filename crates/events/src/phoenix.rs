@@ -153,8 +153,7 @@ pub fn generate_phoenix(config: &PhoenixConfig) -> Vec<PhoenixScan> {
         }
         // Inject bursts.
         let expected = config.bursts_per_hour * (scan_end - t) as f64 / 3_600_000.0;
-        let n_bursts = expected.floor() as u64
-            + u64::from(rng.gen::<f64>() < expected.fract());
+        let n_bursts = expected.floor() as u64 + u64::from(rng.gen::<f64>() < expected.fract());
         let mut bursts = Vec::new();
         for _ in 0..n_bursts {
             let kind = match rng.gen_range(0..10) {
@@ -213,7 +212,11 @@ pub fn generate_phoenix(config: &PhoenixConfig) -> Vec<PhoenixScan> {
 
 /// Detect radio bursts in a spectrogram: columns whose total flux exceeds
 /// the scan's median by `threshold`×, merged into intervals.
-pub fn detect_radio_bursts(scan: &PhoenixScan, threshold: f64, time_res_ms: u64) -> Vec<(u64, u64)> {
+pub fn detect_radio_bursts(
+    scan: &PhoenixScan,
+    threshold: f64,
+    time_res_ms: u64,
+) -> Vec<(u64, u64)> {
     let cols = scan.spectrogram.width as usize;
     let mut flux: Vec<f64> = Vec::with_capacity(cols);
     for x in 0..cols {
@@ -306,10 +309,7 @@ mod tests {
         for scan in &scans {
             let detected = detect_radio_bursts(scan, 1.5, cfg.time_res_ms);
             for (_, b_start, b_end) in &scan.bursts {
-                if detected
-                    .iter()
-                    .any(|(d0, d1)| d0 < b_end && b_start < d1)
-                {
+                if detected.iter().any(|(d0, d1)| d0 < b_end && b_start < d1) {
                     hits += 1;
                 }
             }

@@ -56,7 +56,11 @@ impl TelemetryUnit {
 /// Segment telemetry into units of at most `photons_per_unit` photons,
 /// cutting on whole-second boundaries (a unit must not split a second,
 /// because downstream binning assumes second-aligned edges).
-pub fn package(telemetry: &Telemetry, photons_per_unit: usize, calib_version: u32) -> Vec<TelemetryUnit> {
+pub fn package(
+    telemetry: &Telemetry,
+    photons_per_unit: usize,
+    calib_version: u32,
+) -> Vec<TelemetryUnit> {
     assert!(photons_per_unit > 0);
     let p = &telemetry.photons;
     let t_end = telemetry.config.start_ms + telemetry.config.duration_ms;
@@ -150,7 +154,12 @@ mod tests {
         let t = telemetry();
         let units = package(&t, 10_000, 1);
         for u in &units[..units.len() - 1] {
-            assert_eq!(u.end_ms % 1000, 0, "unit end {} not second-aligned", u.end_ms);
+            assert_eq!(
+                u.end_ms % 1000,
+                0,
+                "unit end {} not second-aligned",
+                u.end_ms
+            );
         }
     }
 

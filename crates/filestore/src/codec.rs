@@ -135,9 +135,7 @@ pub fn decompress(data: &[u8]) -> FsResult<Vec<u8>> {
     let codec = match data[1] {
         0 => Codec::Store,
         1 => Codec::Lzss,
-        other => {
-            return Err(FsError::BadCompression(format!("unknown codec {other}")))
-        }
+        other => return Err(FsError::BadCompression(format!("unknown codec {other}"))),
     };
     let mut pos = 2usize;
     let orig_len = get_varint(data, &mut pos)? as usize;
@@ -222,8 +220,7 @@ fn lzss_encode(data: &[u8]) -> Vec<u8> {
 
         if best_len >= MIN_MATCH && best_off <= WINDOW {
             // Match item (flag bit stays 0).
-            let token =
-                (((best_off - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16 & 0x0f);
+            let token = (((best_off - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16 & 0x0f);
             out.extend_from_slice(&token.to_le_bytes());
             // Insert hash entries for every covered position.
             let end = i + best_len;
@@ -377,7 +374,10 @@ mod tests {
             .take(10_000)
             .collect();
         let c = compress(&data);
-        assert!(c.len() < data.len() / 3, "repetitive text should shrink well");
+        assert!(
+            c.len() < data.len() / 3,
+            "repetitive text should shrink well"
+        );
         assert_eq!(codec_of(&c).unwrap(), Codec::Lzss);
         assert_eq!(decompress(&c).unwrap(), data);
     }

@@ -103,8 +103,18 @@ mod tests {
 
     fn store() -> FileStore {
         let fs = FileStore::new();
-        fs.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 20));
-        fs.register(Archive::in_memory(2, "tape", ArchiveTier::TapeVault, 1 << 20));
+        fs.register(Archive::in_memory(
+            1,
+            "disk",
+            ArchiveTier::OnlineDisk,
+            1 << 20,
+        ));
+        fs.register(Archive::in_memory(
+            2,
+            "tape",
+            ArchiveTier::TapeVault,
+            1 << 20,
+        ));
         fs
     }
 
@@ -159,15 +169,15 @@ mod tests {
         fs.store(1, "z-orphan", b"x").unwrap();
         fs.store(1, "a-orphan", b"x").unwrap();
         fs.store(1, "ok", b"x").unwrap();
-        let report = check(&fs, &[exp(1, "ok"), exp(1, "b-missing"), exp(1, "a-missing")]);
+        let report = check(
+            &fs,
+            &[exp(1, "ok"), exp(1, "b-missing"), exp(1, "a-missing")],
+        );
         assert_eq!(report.consistent, 1);
         assert_eq!(
             report.missing,
             vec![exp(1, "a-missing"), exp(1, "b-missing")]
         );
-        assert_eq!(
-            report.orphans,
-            vec![exp(1, "a-orphan"), exp(1, "z-orphan")]
-        );
+        assert_eq!(report.orphans, vec![exp(1, "a-orphan"), exp(1, "z-orphan")]);
     }
 }

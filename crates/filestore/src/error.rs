@@ -15,7 +15,11 @@ pub enum FsError {
     /// The archive is offline (e.g. unmounted tape) and cannot serve reads.
     Offline(u32),
     /// The archive has insufficient capacity for the write.
-    CapacityExceeded { archive: u32, needed: u64, free: u64 },
+    CapacityExceeded {
+        archive: u32,
+        needed: u64,
+        free: u64,
+    },
     /// A FITS container failed validation.
     BadFormat(String),
     /// Stored checksum does not match recomputed content checksum.

@@ -109,7 +109,10 @@ impl Header {
     pub fn set(&mut self, key: &str, value: CardValue) -> &mut Self {
         let key = key.to_ascii_uppercase();
         assert!(
-            key.len() <= 8 && key.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-'),
+            key.len() <= 8
+                && key
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-'),
             "invalid FITS keyword `{key}`"
         );
         if let Some(slot) = self.cards.iter_mut().find(|(k, _)| *k == key) {

@@ -111,8 +111,18 @@ mod tests {
 
     fn store_with_two() -> FileStore {
         let fs = FileStore::new();
-        fs.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 20));
-        fs.register(Archive::in_memory(2, "tape", ArchiveTier::TapeVault, 1 << 20));
+        fs.register(Archive::in_memory(
+            1,
+            "disk",
+            ArchiveTier::OnlineDisk,
+            1 << 20,
+        ));
+        fs.register(Archive::in_memory(
+            2,
+            "tape",
+            ArchiveTier::TapeVault,
+            1 << 20,
+        ));
         fs
     }
 
@@ -139,7 +149,12 @@ mod tests {
     #[test]
     fn destination_full_is_compensated() {
         let fs = FileStore::new();
-        fs.register(Archive::in_memory(1, "disk", ArchiveTier::OnlineDisk, 1 << 20));
+        fs.register(Archive::in_memory(
+            1,
+            "disk",
+            ArchiveTier::OnlineDisk,
+            1 << 20,
+        ));
         fs.register(Archive::in_memory(2, "tiny", ArchiveTier::TapeVault, 4));
         fs.store(1, "f", b"too-large-for-dest").unwrap();
         let err = migrate_file(&fs, 1, 2, "f").unwrap_err();

@@ -3,9 +3,7 @@
 //! (the paper stores its redo logs on the backed-up RAID for precisely
 //! this, §2.3).
 
-use hedc_metadb::{
-    ColumnDef, Database, DataType, Expr, OrderDir, Query, Schema, Value,
-};
+use hedc_metadb::{ColumnDef, DataType, Database, Expr, OrderDir, Query, Schema, Value};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,7 +162,8 @@ fn recovery_is_idempotent() {
         let mut conn = db.connect();
         conn.create_table(schema()).unwrap();
         for i in 0..10 {
-            conn.insert("t", vec![Value::Int(i), Value::Int(i * 2)]).unwrap();
+            conn.insert("t", vec![Value::Int(i), Value::Int(i * 2)])
+                .unwrap();
         }
     }
     // Open/close repeatedly without writing: state must be stable.
@@ -183,12 +182,14 @@ fn writes_after_recovery_continue_the_log() {
         let db = Database::with_wal("d", &path).unwrap();
         let mut conn = db.connect();
         conn.create_table(schema()).unwrap();
-        conn.insert("t", vec![Value::Int(1), Value::Int(10)]).unwrap();
+        conn.insert("t", vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
     }
     {
         let db = Database::with_wal("d", &path).unwrap();
         let mut conn = db.connect();
-        conn.insert("t", vec![Value::Int(2), Value::Int(20)]).unwrap();
+        conn.insert("t", vec![Value::Int(2), Value::Int(20)])
+            .unwrap();
         conn.update_where(
             "t",
             &[("v".to_string(), hedc_metadb::Expr::Literal(Value::Int(11)))],

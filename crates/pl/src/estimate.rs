@@ -40,6 +40,13 @@ pub struct ExecutionPlan {
     /// Estimated input bytes to stage (13 bytes per photon on the wire:
     /// 8 time + 4 energy + 1 detector).
     pub input_bytes: u64,
+    /// Predicted queueing delay before execution starts, ms — backlog
+    /// (queued + executing jobs) times the frontend's recent per-job
+    /// execution EWMA, spread across its dispatchers. Zero from the bare
+    /// [`estimate`] predictor; filled in by
+    /// `ProcessingLogic::estimate_only`, which sees the live queue.
+    #[serde(default)]
+    pub predicted_wait_ms: u64,
 }
 
 /// Predict the execution time of `alg` over `photon_count` photons.
@@ -60,6 +67,7 @@ pub fn estimate(
         photon_count,
         target,
         input_bytes: photon_count * 13,
+        predicted_wait_ms: 0,
     }
 }
 

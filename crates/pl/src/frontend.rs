@@ -3,24 +3,43 @@
 //! "Primary controller of sessions and requests, dispatch and scheduling of
 //! requests to processing subsystems. There is one instance of this
 //! service." The frontend accepts requests through any interface, runs the
-//! 4-phase workflow (estimation → execution → delivery → commit), applies
-//! priority scheduling, performs the §3.5 redundancy check before spending
-//! CPU, stages input data through the DM, and writes results back through
-//! the DM's semantic layer.
+//! 4-phase workflow (estimation → execution → delivery → commit), schedules
+//! across sessions with weighted fair queueing, eliminates redundant work
+//! (§3.5) through single-flight coalescing and a calibration-versioned
+//! result store, stages input data through the DM, and writes results back
+//! through the DM's semantic layer.
+//!
+//! Redundancy elimination happens at three horizons, checked in order of
+//! cost:
+//!
+//! 1. **In-flight** — a submit whose fingerprint matches a queued or
+//!    executing request attaches to that group ([`crate::singleflight`])
+//!    and never enqueues; O(1) on the submit path.
+//! 2. **Result store** — an in-memory fingerprint → `(ana_id,
+//!    calib_version)` map serves repeat requests without a metadata query,
+//!    but only when the entry's calibration version is current: a
+//!    recalibration (§3.1) bumps the DM's lineage and stale entries are
+//!    dropped instead of served.
+//! 3. **Committed results** — the session-scoped `ana` lookup, now also
+//!    filtered by calibration lineage, so a post-recalibration submit
+//!    recomputes instead of silently returning a product derived from
+//!    superseded calibrations.
 
 use crate::error::{PlError, PlResult};
 use crate::estimate::{estimate, ExecTarget, ExecutionPlan};
 use crate::request::{Phase, Priority, RequestSpec, RequestState};
+use crate::sched::{FairQueue, Weighted};
 use crate::server_mgr::ServerManager;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::singleflight::{Admission, Group, Inflight, Member, Prune};
+use crossbeam::channel::{bounded, Receiver};
 use hedc_analysis::{select_photons, AlgorithmRegistry, AnalysisKind, AnalysisProduct};
 use hedc_dm::{AnaSpec, Dm, FilePayload, NameType, Session};
 use hedc_events::TelemetryUnit;
 use hedc_filestore::{FitsFile, Header, PhotonList};
 use hedc_metadb::{Expr, Query};
 use parking_lot::{Condvar, Mutex};
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,6 +56,12 @@ pub struct PlConfig {
     pub max_retries: u32,
     /// Archive receiving result files.
     pub derived_archive: u32,
+    /// Coalesce identical in-flight requests onto one execution (§3.5).
+    pub coalesce: bool,
+    /// Max concurrently-executing jobs per session (0 = one per
+    /// dispatcher); bounds how much of the dispatcher pool one session can
+    /// occupy.
+    pub session_quota: usize,
 }
 
 impl Default for PlConfig {
@@ -47,6 +72,8 @@ impl Default for PlConfig {
             job_timeout: Duration::from_secs(120),
             max_retries: 2,
             derived_archive: 2,
+            coalesce: true,
+            session_quota: 0,
         }
     }
 }
@@ -54,7 +81,9 @@ impl Default for PlConfig {
 /// The result of a completed request.
 #[derive(Debug)]
 pub enum Outcome {
-    /// §3.5: an identical analysis already existed; no computation done.
+    /// §3.5: an identical analysis already existed (committed, or computed
+    /// by an in-flight request this one coalesced onto); no computation
+    /// spent on this request.
     Reused {
         /// The existing ANA tuple.
         ana_id: i64,
@@ -91,10 +120,16 @@ impl Outcome {
 struct Queued {
     priority: Priority,
     seq: u64,
+    user: i64,
     session: Arc<Session>,
     spec: RequestSpec,
-    state: Arc<RequestState>,
-    reply: Sender<PlResult<Outcome>>,
+    /// Canonical parameter fingerprint (computed once at submit).
+    fingerprint: String,
+    /// User-scoped reuse key: `user_id/fingerprint`.
+    key: String,
+    /// The single-flight group this execution serves (leader + any waiters
+    /// that attached while it was queued or executing).
+    group: Arc<Group>,
     /// Trace context captured at submit time, re-adopted by the dispatcher
     /// thread so the request keeps one trace ID across the thread hop.
     trace: Option<hedc_obs::SpanContext>,
@@ -115,16 +150,28 @@ impl PartialOrd for Queued {
 }
 impl Ord for Queued {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: higher priority first, then FIFO by sequence.
+        // Within one session's lane: higher priority first, then FIFO.
         self.priority
             .cmp(&other.priority)
             .then(other.seq.cmp(&self.seq))
     }
 }
 
-#[derive(Default)]
+impl Weighted for Queued {
+    fn fairness_key(&self) -> i64 {
+        self.user
+    }
+    fn weight(&self) -> u64 {
+        match self.priority {
+            Priority::Interactive => 4,
+            Priority::Normal => 2,
+            Priority::Batch => 1,
+        }
+    }
+}
+
 struct QueueState {
-    heap: BinaryHeap<Queued>,
+    queue: FairQueue<Queued>,
 }
 
 /// The Processing Logic component: one frontend instance.
@@ -135,6 +182,16 @@ pub struct ProcessingLogic {
     registry: Arc<AlgorithmRegistry>,
     config: PlConfig,
     queue: Arc<(Mutex<QueueState>, Condvar)>,
+    /// In-flight single-flight groups, keyed by user-scoped fingerprint.
+    inflight: Inflight,
+    /// Versioned result store: key → (ana_id, calib_version). Entries are
+    /// only served while their calibration version matches the DM lineage.
+    results: Mutex<HashMap<String, (i64, u32)>>,
+    /// EWMA of recent execution wall time, µs (0 = no sample yet); feeds
+    /// the queue-depth-aware wait prediction in [`Self::estimate_only`].
+    ewma_exec_us: AtomicU64,
+    /// Jobs currently being processed by dispatchers.
+    executing: AtomicUsize,
     shutdown: Arc<AtomicBool>,
     seq: AtomicU64,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -143,6 +200,22 @@ pub struct ProcessingLogic {
 impl ProcessingLogic {
     /// Start the frontend, its dispatchers, and its analysis servers.
     pub fn start(dm: Arc<Dm>, registry: Arc<AlgorithmRegistry>, config: PlConfig) -> Arc<Self> {
+        // Register the processing metrics up front so they surface on
+        // /hedc/stats as zeros rather than appearing on first use.
+        let g = hedc_obs::global();
+        for c in [
+            "pl.reuse.hit",
+            "pl.reuse.miss",
+            "pl.reuse.stale",
+            "pl.reuse.coalesced",
+            "pl.coalesce.attached",
+            "pl.coalesce.promotions",
+        ] {
+            g.counter(c);
+        }
+        for ga in ["pl.inflight_groups", "pl.queue.depth", "pl.queue.sessions"] {
+            g.gauge(ga);
+        }
         let manager = Arc::new(ServerManager::start(
             config.servers,
             config.job_timeout,
@@ -153,7 +226,16 @@ impl ProcessingLogic {
             manager,
             registry,
             config: config.clone(),
-            queue: Arc::new((Mutex::new(QueueState::default()), Condvar::new())),
+            queue: Arc::new((
+                Mutex::new(QueueState {
+                    queue: FairQueue::new(),
+                }),
+                Condvar::new(),
+            )),
+            inflight: Inflight::default(),
+            results: Mutex::new(HashMap::new()),
+            ewma_exec_us: AtomicU64::new(0),
+            executing: AtomicUsize::new(0),
             shutdown: Arc::new(AtomicBool::new(false)),
             seq: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
@@ -169,16 +251,24 @@ impl ProcessingLogic {
         pl
     }
 
+    fn session_quota(&self) -> usize {
+        if self.config.session_quota > 0 {
+            self.config.session_quota
+        } else {
+            self.config.dispatchers.max(1)
+        }
+    }
+
     /// Stop the dispatchers (in-queue requests are failed with
     /// [`PlError::ShuttingDown`]).
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         let (lock, cvar) = &*self.queue;
-        let mut state = lock.lock();
-        for q in state.heap.drain() {
-            let _ = q.reply.send(Err(PlError::ShuttingDown));
+        let drained = lock.lock().queue.drain();
+        for q in drained {
+            self.inflight.deregister(&q.key, &q.group);
+            q.group.complete(Err(PlError::ShuttingDown));
         }
-        drop(state);
         cvar.notify_all();
         let mut workers = self.workers.lock();
         for h in workers.drain(..) {
@@ -186,14 +276,24 @@ impl ProcessingLogic {
         }
         // A submit racing the drain above may have queued after it; fail
         // those too so no caller blocks on a reply that will never come.
-        let mut state = lock.lock();
-        for q in state.heap.drain() {
-            let _ = q.reply.send(Err(PlError::ShuttingDown));
+        let drained = lock.lock().queue.drain();
+        for q in drained {
+            self.inflight.deregister(&q.key, &q.group);
+            q.group.complete(Err(PlError::ShuttingDown));
+        }
+        // And any group a racing submit registered but never enqueued.
+        for group in self.inflight.drain() {
+            group.complete(Err(PlError::ShuttingDown));
         }
     }
 
     /// Submit asynchronously. Returns the observable request state and the
     /// channel delivering the outcome.
+    ///
+    /// Admission is O(1): one map probe either attaches this request to an
+    /// identical in-flight execution (no queue entry at all) or registers
+    /// it as the leader of a new group and enqueues it on its session's
+    /// lane.
     pub fn submit_async(
         &self,
         session: Arc<Session>,
@@ -205,23 +305,45 @@ impl ProcessingLogic {
             let _ = tx.send(Err(PlError::ShuttingDown));
             return (state, rx);
         }
+        let fingerprint = spec.params.fingerprint_with(&spec.kind);
+        let key = format!("{}/{}", session.user_id, fingerprint);
+        let member = Member {
+            state: Arc::clone(&state),
+            reply: tx,
+        };
+        // `force` requests must execute, and must not absorb followers that
+        // would then silently share the forced recomputation's identity.
+        // Attach also requires the analyze right up front: waiters never
+        // pass through the leader's rights check.
+        let register = self.config.coalesce
+            && !spec.force
+            && session.require(hedc_dm::Rights::ANALYZE, "analyze").is_ok();
+        let group = match self.inflight.admit(&key, member, register) {
+            Admission::Attached => {
+                hedc_obs::global().counter("pl.coalesce.attached").inc();
+                return (state, rx);
+            }
+            Admission::Leader(group) => group,
+        };
         let q = Queued {
             priority: spec.priority,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            user: session.user_id,
             session,
             spec,
-            state: Arc::clone(&state),
-            reply: tx,
+            fingerprint,
+            key,
+            group,
             trace: hedc_obs::current(),
             enqueued: Instant::now(),
         };
         let (lock, cvar) = &*self.queue;
         {
-            let mut state = lock.lock();
-            state.heap.push(q);
-            hedc_obs::global()
-                .gauge("pl.queue.depth")
-                .set(state.heap.len() as i64);
+            let mut qs = lock.lock();
+            qs.queue.push(q);
+            let g = hedc_obs::global();
+            g.gauge("pl.queue.depth").set(qs.queue.len() as i64);
+            g.gauge("pl.queue.sessions").set(qs.queue.sessions() as i64);
         }
         cvar.notify_one();
         (state, rx)
@@ -234,29 +356,38 @@ impl ProcessingLogic {
     }
 
     /// Estimation only (the "returns immediately" phase): metadata-based
-    /// photon-count estimate, no data staged.
+    /// photon-count estimate, no data staged. The plan's
+    /// `predicted_wait_ms` reflects the actual backlog — queued plus
+    /// executing jobs times the recent per-job execution EWMA, divided
+    /// across the dispatcher pool — so overload degrades predictably
+    /// instead of promising idle-system latencies.
     pub fn estimate_only(&self, spec: &RequestSpec, target: ExecTarget) -> PlResult<ExecutionPlan> {
         let alg = self.registry.get(&spec.kind)?;
         let count = self.estimate_photon_count(spec)?;
-        Ok(estimate(alg.as_ref(), count, &spec.params, target))
+        let mut plan = estimate(alg.as_ref(), count, &spec.params, target);
+        let backlog = self.queue.0.lock().queue.len() + self.executing.load(Ordering::Relaxed);
+        let ewma_ms = self.ewma_exec_us.load(Ordering::Relaxed) / 1000;
+        plan.predicted_wait_ms = backlog as u64 * ewma_ms / self.config.dispatchers.max(1) as u64;
+        Ok(plan)
     }
 
     fn dispatch_loop(&self) {
         let (lock, cvar) = &*self.queue;
+        let quota = self.session_quota();
         loop {
             let job = {
-                let mut state = lock.lock();
+                let mut qs = lock.lock();
                 loop {
                     if self.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
-                    if let Some(job) = state.heap.pop() {
-                        hedc_obs::global()
-                            .gauge("pl.queue.depth")
-                            .set(state.heap.len() as i64);
+                    if let Some(job) = qs.queue.pop(quota) {
+                        let g = hedc_obs::global();
+                        g.gauge("pl.queue.depth").set(qs.queue.len() as i64);
+                        g.gauge("pl.queue.sessions").set(qs.queue.sessions() as i64);
                         break job;
                     }
-                    cvar.wait(&mut state);
+                    cvar.wait(&mut qs);
                 }
             };
             hedc_obs::global()
@@ -264,6 +395,7 @@ impl ProcessingLogic {
                 .record(job.enqueued.elapsed());
             let inflight = hedc_obs::global().gauge("pl.inflight");
             inflight.add(1);
+            self.executing.fetch_add(1, Ordering::Relaxed);
             let result = {
                 // Continue the submitter's trace on this dispatcher thread;
                 // a request submitted outside any trace starts its own here.
@@ -276,21 +408,45 @@ impl ProcessingLogic {
                 self.process(&job)
             };
             inflight.add(-1);
-            let _ = job.reply.send(result);
+            self.executing.fetch_sub(1, Ordering::Relaxed);
+            self.finish(&job, result);
+            {
+                let mut qs = lock.lock();
+                qs.queue.job_done(job.user);
+                if qs.queue.len() > 0 {
+                    // A lane held back by its quota may be eligible now.
+                    cvar.notify_one();
+                }
+            }
         }
     }
 
-    /// The 4-phase workflow.
+    /// Deregister the job's group (atomically closing it to new waiters)
+    /// and deliver the result to every member ([`Group::complete`] accounts
+    /// coalesced waiters before it replies).
+    fn finish(&self, job: &Queued, result: PlResult<Outcome>) {
+        self.inflight.deregister(&job.key, &job.group);
+        job.group.complete(result);
+    }
+
+    /// The 4-phase workflow, executed once on behalf of the whole group.
     fn process(&self, job: &Queued) -> PlResult<Outcome> {
         let session = &job.session;
         let spec = &job.spec;
-        let state = &job.state;
+        let obs = hedc_obs::global();
+        // Cancellation points: prune cancelled members (each answered with
+        // `Cancelled`); the execution survives as long as any member does —
+        // cancelling the leader promotes a waiter instead of killing the
+        // group.
         let check_cancel = || -> PlResult<()> {
-            if state.is_cancelled() {
-                state.advance(Phase::Cancelled);
-                Err(PlError::Cancelled)
-            } else {
-                Ok(())
+            match job.group.prune_cancelled() {
+                Prune::Abandoned => Err(PlError::Cancelled),
+                Prune::Continue { promoted } => {
+                    if promoted {
+                        hedc_obs::global().counter("pl.coalesce.promotions").inc();
+                    }
+                    Ok(())
+                }
             }
         };
 
@@ -313,34 +469,47 @@ impl ProcessingLogic {
         );
         if let Some(limit) = spec.cost_limit_ms {
             if plan.estimated_ms > limit {
-                state.advance(Phase::Failed);
                 return Err(PlError::TooExpensive {
                     estimated_ms: plan.estimated_ms,
                     limit_ms: limit,
                 });
             }
         }
-        state.advance(Phase::Estimated);
+        job.group.advance(Phase::Estimated);
 
         // ---- Redundancy check (§3.5), before any expensive work ----------
-        // (Check-then-compute: two *concurrent* identical requests may both
-        // compute and commit; the duplicate wastes CPU but is harmless —
-        // every later request reuses whichever committed first.)
-        let fingerprint = spec.params.fingerprint_with(&spec.kind);
+        // Served from the in-memory result store when its entry is at the
+        // current calibration lineage, falling back to the session-scoped
+        // committed-result lookup (also lineage-filtered). Concurrent
+        // identical requests never reach here twice: the second submit
+        // attaches to the first's in-flight group instead of enqueueing.
+        let lineage = self.dm.io.calib_lineage();
         if !spec.force {
-            if let Some(ana_id) = self
-                .dm
-                .services()
-                .find_existing_analysis(session, &fingerprint)?
-            {
-                state.advance(Phase::Committed);
+            let cached = self.results.lock().get(&job.key).copied();
+            if let Some((ana_id, calib)) = cached {
+                if calib >= lineage {
+                    obs.counter("pl.reuse.hit").inc();
+                    return Ok(Outcome::Reused { ana_id });
+                }
+                // Recalibration outran this entry: drop it and recompute.
+                self.results.lock().remove(&job.key);
+                obs.counter("pl.reuse.stale").inc();
+            }
+            if let Some((ana_id, calib)) = self.dm.services().find_existing_analysis_versioned(
+                session,
+                &job.fingerprint,
+                lineage,
+            )? {
+                self.results.lock().insert(job.key.clone(), (ana_id, calib));
+                obs.counter("pl.reuse.hit").inc();
                 return Ok(Outcome::Reused { ana_id });
             }
+            obs.counter("pl.reuse.miss").inc();
         }
 
         // ---- Phase 2: execution -------------------------------------------
         check_cancel()?;
-        state.advance(Phase::Executing);
+        job.group.advance(Phase::Executing);
         let started = Instant::now();
         let (staged, calib_version) = self.stage_photons(spec)?;
         let photons = Arc::new(staged);
@@ -358,12 +527,20 @@ impl ProcessingLogic {
         hedc_obs::global()
             .histogram("pl.analysis")
             .record(started.elapsed());
+        let us = started.elapsed().as_micros() as u64;
+        let prev = self.ewma_exec_us.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            us
+        } else {
+            prev - prev / 8 + us / 8
+        };
+        self.ewma_exec_us.store(next, Ordering::Relaxed);
         self.dm.io.clock.advance(plan.estimated_ms.max(1));
 
         // ---- Phase 3: delivery ---------------------------------------------
         check_cancel()?;
-        state.advance(Phase::Delivered);
-        let files = self.deliver(&fingerprint, job.seq, spec, &product)?;
+        job.group.advance(Phase::Delivered);
+        let files = self.deliver(&job.fingerprint, job.seq, spec, &product)?;
 
         // ---- Phase 4: commit ------------------------------------------------
         check_cancel()?;
@@ -371,7 +548,7 @@ impl ProcessingLogic {
         let ana_spec = AnaSpec {
             hle_id: spec.hle_id,
             kind: spec.kind.clone(),
-            fingerprint,
+            fingerprint: job.fingerprint.clone(),
             t_start: spec.params.t_start_ms,
             t_end: spec.params.t_end_ms,
             energy_lo: spec.params.energy_lo_kev,
@@ -389,7 +566,10 @@ impl ProcessingLogic {
             .dm
             .services()
             .import_analysis(session, &ana_spec, &files)?;
-        state.advance(Phase::Committed);
+        // Feed the result store so the next identical request is O(1).
+        self.results
+            .lock()
+            .insert(job.key.clone(), (ana_id, calib_version));
         self.dm.io.audit(
             session.user_id,
             &format!("analysis:{}", spec.kind),

@@ -8,12 +8,17 @@
 //! Services, exactly as the paper lists them:
 //!
 //! * **Frontend** ([`ProcessingLogic`]) — session/request controller,
-//!   priority scheduling, and the 4-phase request workflow: *estimation*
-//!   ([`estimate`], returns immediately with an [`ExecutionPlan`]),
-//!   *execution* (on the managed interpreter pool, sync or async),
-//!   *delivery* (product → result files), *commit* (write-back through the
-//!   DM). Requests are cancellable at any phase. The §3.5 redundancy check
-//!   runs before any CPU is spent.
+//!   weighted-fair scheduling across sessions (per-session lanes with
+//!   in-flight quotas; priority classes weight each lane's share), and the
+//!   4-phase request workflow: *estimation* ([`estimate`], returns
+//!   immediately with an [`ExecutionPlan`] whose `predicted_wait_ms`
+//!   reflects the live backlog), *execution* (on the managed interpreter
+//!   pool, sync or async), *delivery* (product → result files), *commit*
+//!   (write-back through the DM). Requests are cancellable at any phase.
+//!   The §3.5 redundancy check runs before any CPU is spent: duplicate
+//!   in-flight requests coalesce onto one execution (single-flight), and
+//!   committed results are reused through a result store invalidated by
+//!   calibration lineage (§3.1) — never served stale after recalibration.
 //! * **IDL server manager** ([`ServerManager`]) — starts/stops/restarts the
 //!   deliberately rudimentary interpreter servers from `hedc-analysis`,
 //!   with timeout-kill-restart recovery and dynamic add/remove.
@@ -49,7 +54,9 @@ mod error;
 mod estimate;
 mod frontend;
 mod request;
+mod sched;
 mod server_mgr;
+mod singleflight;
 
 pub use directory::{GlobalDirectory, ServiceEntry};
 pub use error::{PlError, PlResult};
@@ -76,8 +83,18 @@ mod tests {
 
     fn fixture() -> Fx {
         let files = Arc::new(FileStore::new());
-        files.register(Archive::in_memory(1, "raw", ArchiveTier::OnlineDisk, 1 << 30));
-        files.register(Archive::in_memory(2, "derived", ArchiveTier::OnlineRaid, 1 << 30));
+        files.register(Archive::in_memory(
+            1,
+            "raw",
+            ArchiveTier::OnlineDisk,
+            1 << 30,
+        ));
+        files.register(Archive::in_memory(
+            2,
+            "derived",
+            ArchiveTier::OnlineRaid,
+            1 << 30,
+        ));
         let dm = Dm::bootstrap(files, DmConfig::default()).unwrap();
         // Load 20 minutes of telemetry.
         let t = generate(&GenConfig {
@@ -136,10 +153,7 @@ mod tests {
         assert_eq!(product.type_label(), "series");
         assert!(plan.photon_count > 0);
         // Result files resolvable by name.
-        let files = fx
-            .pl
-            .result_files(&fx.session, outcome.ana_id())
-            .unwrap();
+        let files = fx.pl.result_files(&fx.session, outcome.ana_id()).unwrap();
         assert_eq!(files.len(), 3, "{files:?}"); // result + params + log
         fx.pl.shutdown();
     }
@@ -188,10 +202,7 @@ mod tests {
         // A tight cost limit rejects in the estimation phase.
         let err = fx
             .pl
-            .submit_sync(
-                Arc::clone(&fx.session),
-                spec.cost_limit_ms(1),
-            )
+            .submit_sync(Arc::clone(&fx.session), spec.cost_limit_ms(1))
             .unwrap_err();
         assert!(matches!(err, PlError::TooExpensive { .. }));
         fx.pl.shutdown();

@@ -1,0 +1,223 @@
+//! Single-flight coalescing of identical in-flight analyses (§3.5).
+//!
+//! "Avoid redundant computation": when an analysis identical to one already
+//! queued or executing is submitted, it must not enqueue a second execution.
+//! Instead the duplicate *attaches* to the in-flight group as a waiter and
+//! receives the leader's result when it commits. Groups are keyed by the
+//! canonical parameter fingerprint, scoped per user so reuse never crosses a
+//! visibility boundary the committed-result path (a session-scoped query)
+//! would enforce.
+//!
+//! Cancellation semantics: cancelling one member never kills the group.
+//! Cancelled members are pruned (each answered with [`PlError::Cancelled`])
+//! at every cancellation point; if the *leader* (member 0) is pruned while
+//! waiters remain, the next waiter is promoted to leader and the execution
+//! simply continues on its behalf. Only when every member has cancelled is
+//! the execution abandoned.
+
+use crate::error::{PlError, PlResult};
+use crate::frontend::Outcome;
+use crate::request::{Phase, RequestState};
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One submitted request's observable half: its phase/cancel state and the
+/// channel its outcome is delivered on.
+pub(crate) struct Member {
+    pub state: Arc<RequestState>,
+    pub reply: Sender<PlResult<Outcome>>,
+}
+
+struct GroupInner {
+    /// All live members; index 0 is the current leader.
+    members: Vec<Member>,
+    /// Set once the group completed (or was deregistered); attach fails.
+    closed: bool,
+}
+
+/// An in-flight execution shared by one leader and any number of waiters.
+pub(crate) struct Group {
+    inner: Mutex<GroupInner>,
+}
+
+/// Result of pruning cancelled members.
+pub(crate) enum Prune {
+    /// Execution continues; `promoted` is true when the leader was pruned
+    /// and a waiter took over.
+    Continue { promoted: bool },
+    /// Every member cancelled — abandon the execution.
+    Abandoned,
+}
+
+impl Group {
+    pub fn new(leader: Member) -> Arc<Group> {
+        Arc::new(Group {
+            inner: Mutex::new(GroupInner {
+                members: vec![leader],
+                closed: false,
+            }),
+        })
+    }
+
+    /// Attach a duplicate request as a waiter. Fails (returning the member)
+    /// when the group already completed; the caller then enqueues normally
+    /// and the committed-result path serves it.
+    fn attach(&self, member: Member) -> Result<(), Member> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(member);
+        }
+        inner.members.push(member);
+        Ok(())
+    }
+
+    /// Advance every live member's phase (waiters observe the leader's
+    /// progress through their own `RequestState`).
+    pub fn advance(&self, to: Phase) {
+        for m in self.inner.lock().members.iter() {
+            m.state.advance(to);
+        }
+    }
+
+    /// Drop cancelled members, answering each with `Cancelled`.
+    pub fn prune_cancelled(&self) -> Prune {
+        let mut inner = self.inner.lock();
+        let mut promoted = false;
+        let mut i = 0;
+        while i < inner.members.len() {
+            if inner.members[i].state.is_cancelled() {
+                let m = inner.members.remove(i);
+                m.state.advance(Phase::Cancelled);
+                let _ = m.reply.send(Err(PlError::Cancelled));
+                if i == 0 && !inner.members.is_empty() {
+                    promoted = true;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if inner.members.is_empty() {
+            inner.closed = true;
+            Prune::Abandoned
+        } else {
+            Prune::Continue { promoted }
+        }
+    }
+
+    /// Deliver the result: the leader gets it verbatim, every waiter gets
+    /// the coalesced [`Outcome::Reused`] view of the same `ana_id` (errors
+    /// are broadcast). Returns the number of waiters served. Idempotent —
+    /// an abandoned or already-completed group has no members left.
+    ///
+    /// `pl.reuse.coalesced` is bumped *before* any reply is sent: a caller
+    /// unblocked by its waiter's result must already see the counter, so
+    /// the increment cannot happen after delivery.
+    pub fn complete(&self, result: PlResult<Outcome>) -> usize {
+        let members = {
+            let mut inner = self.inner.lock();
+            inner.closed = true;
+            std::mem::take(&mut inner.members)
+        };
+        if members.is_empty() {
+            return 0;
+        }
+        let mut waiters = 0;
+        match result {
+            Ok(outcome) => {
+                let coalesced = members.len() - 1;
+                if coalesced > 0 {
+                    hedc_obs::global()
+                        .counter("pl.reuse.coalesced")
+                        .add(coalesced as u64);
+                }
+                let ana_id = outcome.ana_id();
+                let mut it = members.into_iter();
+                let leader = it.next().expect("non-empty");
+                leader.state.advance(Phase::Committed);
+                let _ = leader.reply.send(Ok(outcome));
+                for m in it {
+                    m.state.advance(Phase::Committed);
+                    let _ = m.reply.send(Ok(Outcome::Reused { ana_id }));
+                    waiters += 1;
+                }
+            }
+            Err(e) => {
+                for m in members {
+                    let to = if matches!(e, PlError::Cancelled) {
+                        Phase::Cancelled
+                    } else {
+                        Phase::Failed
+                    };
+                    m.state.advance(to);
+                    let _ = m.reply.send(Err(e.clone()));
+                }
+            }
+        }
+        waiters
+    }
+}
+
+/// What happened to a submit under coalescing.
+pub(crate) enum Admission {
+    /// Joined an existing in-flight group; nothing to enqueue.
+    Attached,
+    /// First of its fingerprint: the caller enqueues this group's execution.
+    Leader(Arc<Group>),
+}
+
+/// The in-flight table: fingerprint key → live group.
+#[derive(Default)]
+pub(crate) struct Inflight {
+    groups: Mutex<HashMap<String, Arc<Group>>>,
+}
+
+impl Inflight {
+    /// Attach to the live group for `key`, or register a new one led by
+    /// `member`. When `register` is false (coalescing disabled, or a
+    /// `force` request that must not absorb followers) a detached group is
+    /// returned and the table is left untouched.
+    pub fn admit(&self, key: &str, member: Member, register: bool) -> Admission {
+        if !register {
+            return Admission::Leader(Group::new(member));
+        }
+        let mut map = self.groups.lock();
+        let member = match map.get(key) {
+            Some(g) => match g.attach(member) {
+                Ok(()) => return Admission::Attached,
+                // Completed but not yet deregistered: replace it below.
+                Err(m) => m,
+            },
+            None => member,
+        };
+        let g = Group::new(member);
+        map.insert(key.to_string(), Arc::clone(&g));
+        hedc_obs::global()
+            .gauge("pl.inflight_groups")
+            .set(map.len() as i64);
+        Admission::Leader(g)
+    }
+
+    /// Deregister `group` (if it is still the one registered under `key`)
+    /// and close it to further attaches. Runs under the table lock so no
+    /// attach can slip between the close and the removal.
+    pub fn deregister(&self, key: &str, group: &Arc<Group>) {
+        let mut map = self.groups.lock();
+        if map.get(key).is_some_and(|g| Arc::ptr_eq(g, group)) {
+            map.remove(key);
+            hedc_obs::global()
+                .gauge("pl.inflight_groups")
+                .set(map.len() as i64);
+        }
+        group.inner.lock().closed = true;
+    }
+
+    /// Drain every registered group (shutdown).
+    pub fn drain(&self) -> Vec<Arc<Group>> {
+        let mut map = self.groups.lock();
+        let out = map.drain().map(|(_, g)| g).collect();
+        hedc_obs::global().gauge("pl.inflight_groups").set(0);
+        out
+    }
+}

@@ -12,6 +12,7 @@
 //! SplitMix64 scramble the fault harness uses, so a downlink day is fully
 //! reproducible from its config.
 
+use crate::rng::{splitmix64, unit};
 /// Configuration of a simulated downlink day.
 #[derive(Debug, Clone)]
 pub struct DownlinkConfig {
@@ -58,19 +59,6 @@ pub struct OrbitSegment {
     pub flares_per_hour: f64,
     /// Background photon rate during this orbit, photons/s.
     pub background_rate: f64,
-}
-
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Unit-interval sample from a SplitMix64 draw.
-fn unit(state: &mut u64) -> f64 {
-    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Generate the orbit segments of one downlink day. Deterministic in the

@@ -17,6 +17,9 @@
 //! * [`calib`] — every constant, each traceable to a number in §7–§8.
 //! * [`downlink`] — the "downlink day" ingest workload: one orbit segment
 //!   per ground-station contact, with seeded per-orbit activity (§2.2, §6).
+//! * [`redundancy`] — the duplicate-heavy analysis mix: a seeded
+//!   zipf-skewed stream over a catalog of distinct requests, the workload
+//!   shape under which redundant-computation elimination pays (§3.5).
 //!
 //! ```
 //! use hedc_sim::browse::{run_browse, BrowseConfig};
@@ -32,8 +35,11 @@ pub mod calib;
 pub mod downlink;
 pub mod engine;
 pub mod processing;
+pub mod redundancy;
+mod rng;
 
 pub use browse::{figure4, figure5, run_browse, BrowseConfig, BrowseResult};
 pub use downlink::{downlink_day, DownlinkConfig, OrbitSegment};
 pub use engine::{ClosedLoopPs, PsReport, Resource, StageSpec};
 pub use processing::{run_processing, table1, ProcConfig, ProcessingResult, Workload};
+pub use redundancy::{duplication_factor, Zipf, ZipfConfig};

@@ -136,9 +136,7 @@ fn devarint(data: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let b = *data
-            .get(*pos)
-            .ok_or(CodecError::Truncated("varint"))?;
+        let b = *data.get(*pos).ok_or(CodecError::Truncated("varint"))?;
         *pos += 1;
         if shift >= 64 {
             return Err(CodecError::Truncated("varint overflow"));
@@ -307,7 +305,11 @@ mod tests {
         let stream = encode(&signal, step);
         let back = decode_prefix(&stream, usize::MAX).unwrap();
         assert_eq!(back.len(), 1000);
-        assert!(rmse(&signal, &back) <= step, "rmse {}", rmse(&signal, &back));
+        assert!(
+            rmse(&signal, &back) <= step,
+            "rmse {}",
+            rmse(&signal, &back)
+        );
     }
 
     #[test]
@@ -351,7 +353,10 @@ mod tests {
     #[test]
     fn empty_and_singleton_signals() {
         let stream = encode(&[], 1.0);
-        assert_eq!(decode_prefix(&stream, usize::MAX).unwrap(), Vec::<f64>::new());
+        assert_eq!(
+            decode_prefix(&stream, usize::MAX).unwrap(),
+            Vec::<f64>::new()
+        );
         let stream = encode(&[5.0], 1.0);
         assert_eq!(decode_prefix(&stream, usize::MAX).unwrap(), vec![5.0]);
     }

@@ -36,7 +36,11 @@ pub fn analyze_step(input: &[f64]) -> (Vec<f64>, Vec<f64>) {
 pub fn synthesize_step(approx: &[f64], detail: &[f64], out_len: usize) -> Vec<f64> {
     let pairs = out_len / 2;
     assert_eq!(detail.len(), pairs, "detail band length mismatch");
-    assert_eq!(approx.len(), out_len.div_ceil(2), "approx band length mismatch");
+    assert_eq!(
+        approx.len(),
+        out_len.div_ceil(2),
+        "approx band length mismatch"
+    );
     let mut out = Vec::with_capacity(out_len);
     for i in 0..pairs {
         let a = approx[i];

@@ -1,8 +1,8 @@
 //! Property-based tests: the invariants the rest of HEDC relies on.
 
 use hedc_wavelet::{
-    analyze, analyze_2d, decode_prefix, encode_signal, prefixes, rmse, synthesize,
-    synthesize_2d, PartitionedView,
+    analyze, analyze_2d, decode_prefix, encode_signal, prefixes, rmse, synthesize, synthesize_2d,
+    PartitionedView,
 };
 use proptest::prelude::*;
 

@@ -18,14 +18,12 @@
 
 #![warn(missing_docs)]
 
-pub mod templates;
-mod thin;
 mod streamcorder;
 mod synoptic;
+pub mod templates;
+mod thin;
 pub mod viz;
 
 pub use streamcorder::{CacheStrategy, PeerServer, StreamCorder, TransferMeter};
-pub use synoptic::{
-    MockArchive, RemoteArchive, SynopticRecord, SynopticResults, SynopticSearch,
-};
+pub use synoptic::{MockArchive, RemoteArchive, SynopticRecord, SynopticResults, SynopticSearch};
 pub use thin::{HttpRequest, HttpResponse, WebServer};

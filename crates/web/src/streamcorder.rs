@@ -138,10 +138,10 @@ impl StreamCorder {
                 let local = self.local.as_ref().expect("v2 has a local clone");
                 // Local DM lookup: is the object already placed locally?
                 let names = local.names();
-                let local_entry = local.io.query(
-                    &Query::table("loc_entry")
-                        .filter(Expr::eq("path", Self::static_cache_path(object_type, item_id))),
-                )?;
+                let local_entry = local.io.query(&Query::table("loc_entry").filter(Expr::eq(
+                    "path",
+                    Self::static_cache_path(object_type, item_id),
+                )))?;
                 if let Some(row) = local_entry.rows.first() {
                     let local_item = row[1].as_int().expect("item");
                     let data = names.fetch_data(local_item)?;
@@ -326,8 +326,18 @@ mod tests {
 
     fn fixture() -> Fx {
         let files = Arc::new(FileStore::new());
-        files.register(Archive::in_memory(1, "raw", ArchiveTier::OnlineDisk, 1 << 30));
-        files.register(Archive::in_memory(2, "derived", ArchiveTier::OnlineRaid, 1 << 30));
+        files.register(Archive::in_memory(
+            1,
+            "raw",
+            ArchiveTier::OnlineDisk,
+            1 << 30,
+        ));
+        files.register(Archive::in_memory(
+            2,
+            "derived",
+            ArchiveTier::OnlineRaid,
+            1 << 30,
+        ));
         let server = Dm::bootstrap(files, DmConfig::default()).unwrap();
         let t = generate(&GenConfig {
             duration_ms: 15 * 60 * 1000,
@@ -339,10 +349,17 @@ mod tests {
         let import = server.import_session();
         let cfg = IngestConfig::new(1, 2, server.extended_catalog);
         let unit = package(&t, usize::MAX, 1).remove(0);
-        server.processes().ingest_unit(&import, &unit, &cfg).unwrap();
-        server.create_user("scientist", "pw", "sci", Rights::SCIENTIST).unwrap();
+        server
+            .processes()
+            .ingest_unit(&import, &unit, &cfg)
+            .unwrap();
+        server
+            .create_user("scientist", "pw", "sci", Rights::SCIENTIST)
+            .unwrap();
         let cookie = server.login("scientist", "pw", "client-1").unwrap();
-        let session = server.session("client-1", cookie, SessionKind::Analysis).unwrap();
+        let session = server
+            .session("client-1", cookie, SessionKind::Analysis)
+            .unwrap();
         let vm = server.io.query(&Query::table("view_meta")).unwrap();
         let view_item = vm.rows[0][6].as_int().unwrap();
         let view_t0 = vm.rows[0][1].as_int().unwrap() as u64;
@@ -391,9 +408,7 @@ mod tests {
         let (_, _, hits, misses) = sc.meter.snapshot();
         assert_eq!((hits, misses), (1, 1));
         // The local clone has real location metadata for the cached object.
-        let entries = sc
-            .local_query(&Query::table("loc_entry"))
-            .unwrap();
+        let entries = sc.local_query(&Query::table("loc_entry")).unwrap();
         assert_eq!(entries.rows.len(), 1);
     }
 

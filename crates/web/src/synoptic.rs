@@ -190,8 +190,18 @@ mod tests {
 
     fn archives() -> Vec<Arc<MockArchive>> {
         vec![
-            MockArchive::new("soho.nascom.nasa.gov", "EIT", 60_000, Duration::from_millis(5)),
-            MockArchive::new("phoenix.ethz.ch", "Phoenix-2", 30_000, Duration::from_millis(10)),
+            MockArchive::new(
+                "soho.nascom.nasa.gov",
+                "EIT",
+                60_000,
+                Duration::from_millis(5),
+            ),
+            MockArchive::new(
+                "phoenix.ethz.ch",
+                "Phoenix-2",
+                30_000,
+                Duration::from_millis(10),
+            ),
             MockArchive::new("goes.noaa.gov", "GOES-8", 120_000, Duration::from_millis(2)),
         ]
     }

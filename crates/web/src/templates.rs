@@ -30,8 +30,7 @@ impl Context {
 
     /// Set a pre-escaped/raw scalar (for nested rendered fragments).
     pub fn set_raw(mut self, key: &str, value: impl ToString) -> Self {
-        self.values
-            .insert(format!("raw:{key}"), value.to_string());
+        self.values.insert(format!("raw:{key}"), value.to_string());
         self
     }
 
@@ -235,10 +234,7 @@ mod tests {
     fn each_iterates_rows() {
         let ctx = Context::new().set_list(
             "rows",
-            vec![
-                Context::new().set("v", "a"),
-                Context::new().set("v", "b"),
-            ],
+            vec![Context::new().set("v", "a"), Context::new().set("v", "b")],
         );
         assert_eq!(render("{{#each rows}}[{{v}}]{{/each}}", &ctx), "[a][b]");
     }

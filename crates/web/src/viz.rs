@@ -25,9 +25,7 @@ pub struct VizRanges {
 
 /// Build the density plot of visible HLEs over (time, energy).
 pub fn catalog_density(dm: &Dm, session: &Session, r: VizRanges) -> DmResult<DensityPlot> {
-    let q = Query::table("hle").filter(
-        Expr::between("time_start", r.t.0 as i64, r.t.1 as i64),
-    );
+    let q = Query::table("hle").filter(Expr::between("time_start", r.t.0 as i64, r.t.1 as i64));
     let result = dm.services().query(session, q)?;
     let points: Vec<(f64, f64)> = result
         .rows
@@ -49,9 +47,7 @@ pub fn catalog_density(dm: &Dm, session: &Session, r: VizRanges) -> DmResult<Den
 /// Build the extent plot of visible HLEs: per time bin, the min/max peak
 /// rate (the "location and extent" rendering).
 pub fn catalog_extent(dm: &Dm, session: &Session, r: VizRanges) -> DmResult<ExtentPlot> {
-    let q = Query::table("hle").filter(
-        Expr::between("time_start", r.t.0 as i64, r.t.1 as i64),
-    );
+    let q = Query::table("hle").filter(Expr::between("time_start", r.t.0 as i64, r.t.1 as i64));
     let result = dm.services().query(session, q)?;
     let points: Vec<(f64, f64)> = result
         .rows

@@ -556,3 +556,19 @@ fn flight_recorder_trace_pages_serve_waterfalls() {
     assert_eq!(resp.status, 404);
     s.pl.shutdown();
 }
+
+#[test]
+fn stats_page_renders_the_processing_section() {
+    let s = stack();
+    // The PL registers its reuse/coalescing metrics at start, so the
+    // section renders (zero-valued) before any request flows.
+    let resp = s.server.handle(&HttpRequest::get("/hedc/stats", "9.9.9.9"));
+    assert_eq!(resp.status, 200);
+    let html = resp.text();
+    assert!(html.contains("== processing =="), "{html}");
+    assert!(html.contains("reuse"), "{html}");
+    assert!(html.contains("coalesce"), "{html}");
+    assert!(html.contains("inflight_groups"), "{html}");
+    assert!(html.contains("queue_sessions"), "{html}");
+    s.pl.shutdown();
+}

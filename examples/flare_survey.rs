@@ -120,7 +120,9 @@ fn main() {
     let counts = hedc
         .dm()
         .io
-        .user_sql("SELECT flare_class, COUNT(*) FROM hle WHERE event_type = 'flare' GROUP BY flare_class")
+        .user_sql(
+            "SELECT flare_class, COUNT(*) FROM hle WHERE event_type = 'flare' GROUP BY flare_class",
+        )
         .expect("sql");
     println!("\nflare classes:");
     for row in &counts.rows {

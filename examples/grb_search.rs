@@ -62,26 +62,46 @@ fn main() {
 
         // High-resolution spectrogram over the burst (hard band).
         let session = hedc.dm().import_session();
-        let params = hedc_analysis::AnalysisParams::window(
-            t0.saturating_sub(10_000),
-            t1 + 10_000,
-        )
-        .energy(25.0, 8000.0)
-        .with("time_bins", 64.0)
-        .with("energy_bins", 32.0);
+        let params = hedc_analysis::AnalysisParams::window(t0.saturating_sub(10_000), t1 + 10_000)
+            .energy(25.0, 8000.0)
+            .with("time_bins", 64.0)
+            .with("energy_bins", 32.0);
         let outcome = hedc
             .pl()
             .submit_sync(session, RequestSpec::new("spectrogram", params, hle))
             .expect("spectrogram");
-        println!("\nspectrogram for hle #{hle} -> analysis #{}", outcome.ana_id());
+        println!(
+            "\nspectrogram for hle #{hle} -> analysis #{}",
+            outcome.ana_id()
+        );
 
         // §6.4: best-effort parallel search of remote synoptic archives
         // around the burst time (one archive is down — best effort).
         let archives: Vec<Arc<MockArchive>> = vec![
-            MockArchive::new("soho.nascom.nasa.gov", "EIT-195", 600_000, Duration::from_millis(10)),
-            MockArchive::new("phoenix.ethz.ch", "Phoenix-2", 120_000, Duration::from_millis(15)),
-            MockArchive::new("batse.msfc.nasa.gov", "BATSE", 300_000, Duration::from_millis(5)),
-            MockArchive::new("konus.ioffe.ru", "Konus-Wind", 300_000, Duration::from_millis(8)),
+            MockArchive::new(
+                "soho.nascom.nasa.gov",
+                "EIT-195",
+                600_000,
+                Duration::from_millis(10),
+            ),
+            MockArchive::new(
+                "phoenix.ethz.ch",
+                "Phoenix-2",
+                120_000,
+                Duration::from_millis(15),
+            ),
+            MockArchive::new(
+                "batse.msfc.nasa.gov",
+                "BATSE",
+                300_000,
+                Duration::from_millis(5),
+            ),
+            MockArchive::new(
+                "konus.ioffe.ru",
+                "Konus-Wind",
+                300_000,
+                Duration::from_millis(8),
+            ),
         ];
         archives[3].set_down(true); // an unreachable host must not stall us
         let search = SynopticSearch::new(
@@ -114,7 +134,10 @@ fn main() {
         .iter()
         .filter(|r| r[7].as_text() == Some("grb"))
         .count();
-    println!("\n{} GRB candidates preserved in the open event model", night);
+    println!(
+        "\n{} GRB candidates preserved in the open event model",
+        night
+    );
 
     hedc.shutdown();
 }

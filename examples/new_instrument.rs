@@ -66,7 +66,10 @@ fn main() {
     for scan in &scans {
         let bytes = scan.to_fits().to_bytes();
         let path = scan.archive_path();
-        dm.io.files.store(derived, &path, &bytes).expect("store scan");
+        dm.io
+            .files
+            .store(derived, &path, &bytes)
+            .expect("store scan");
         let item = names.new_item().expect("item");
         names
             .attach(
@@ -92,7 +95,9 @@ fn main() {
                     Value::Int(scan.t_end as i64),
                     Value::Float(scan.freq_lo),
                     Value::Float(scan.freq_hi),
-                    burst_label.map(|l| Value::Text(l.into())).unwrap_or(Value::Null),
+                    burst_label
+                        .map(|l| Value::Text(l.into()))
+                        .unwrap_or(Value::Null),
                     Value::Int(item),
                 ],
             )

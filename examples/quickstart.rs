@@ -13,7 +13,10 @@ use hedc_web::HttpRequest;
 fn main() {
     // 1. Boot a repository: archives, metadata DB, DM, PL, web frontend.
     let hedc = Hedc::start(HedcConfig::default()).expect("boot");
-    println!("HEDC is up: archives={:?}", hedc.dm().io.files.archive_ids());
+    println!(
+        "HEDC is up: archives={:?}",
+        hedc.dm().io.files.archive_ids()
+    );
 
     // 2. Load an hour of (synthetic) RHESSI telemetry. Ingest stores the
     //    FITS units, detects events into the extended catalog, and builds
@@ -40,13 +43,20 @@ fn main() {
     let page = hedc
         .web()
         .handle(&HttpRequest::get("/hedc/catalogs", "10.0.0.1"));
-    println!("GET /hedc/catalogs -> {} ({} bytes)", page.status, page.body.len());
+    println!(
+        "GET /hedc/catalogs -> {} ({} bytes)",
+        page.status,
+        page.body.len()
+    );
 
     // 4. Create an account, log in, run an analysis on the first event.
     hedc.dm()
         .create_user("demo", "demo-pw", "science", Rights::SCIENTIST)
         .expect("create user");
-    let cookie = hedc.dm().login("demo", "demo-pw", "10.0.0.1").expect("login");
+    let cookie = hedc
+        .dm()
+        .login("demo", "demo-pw", "10.0.0.1")
+        .expect("login");
     let session = hedc
         .dm()
         .session("10.0.0.1", cookie, SessionKind::Analysis)
@@ -63,7 +73,10 @@ fn main() {
     let params = hedc_analysis::AnalysisParams::window(0, 3_600_000).with("bin_ms", 4000.0);
     let outcome = hedc
         .pl()
-        .submit_sync(session.clone(), RequestSpec::new("lightcurve", params.clone(), hle))
+        .submit_sync(
+            session.clone(),
+            RequestSpec::new("lightcurve", params.clone(), hle),
+        )
         .expect("analysis");
     println!("lightcurve committed as analysis #{}", outcome.ana_id());
 

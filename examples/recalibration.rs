@@ -55,7 +55,10 @@ fn main() {
     // The detector team delivers a refined calibration: +3% gain, +0.2 keV.
     let v1 = Calibration::launch();
     let v2 = v1.recalibrated(0.03, 0.2);
-    println!("\napplying calibration v{} -> v{}...", v1.version, v2.version);
+    println!(
+        "\napplying calibration v{} -> v{}...",
+        v1.version, v2.version
+    );
     let report = hedc
         .dm()
         .versioning()
@@ -94,17 +97,16 @@ fn main() {
             .pl()
             .submit_sync(
                 session.clone(),
-                RequestSpec::new(
-                    &kind,
-                    hedc_analysis::AnalysisParams::window(t0, t1),
-                    hle,
-                )
-                .priority(Priority::Batch)
-                .force(), // the old result is obsolete, never reuse it
+                RequestSpec::new(&kind, hedc_analysis::AnalysisParams::window(t0, t1), hle)
+                    .priority(Priority::Batch)
+                    .force(), // the old result is obsolete, never reuse it
             )
             .expect("recompute");
         recomputed += 1;
-        println!("  {kind} for hle #{hle} -> new analysis #{}", outcome.ana_id());
+        println!(
+            "  {kind} for hle #{hle} -> new analysis #{}",
+            outcome.ana_id()
+        );
     }
     println!("\n{recomputed} analyses now current under calibration v2");
 

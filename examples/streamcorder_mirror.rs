@@ -30,7 +30,10 @@ fn main() {
     hedc.dm()
         .create_user("remote-sci", "pw", "science", Rights::SCIENTIST)
         .expect("user");
-    let cookie = hedc.dm().login("remote-sci", "pw", "dialup-41").expect("login");
+    let cookie = hedc
+        .dm()
+        .login("remote-sci", "pw", "dialup-41")
+        .expect("login");
     let session = hedc
         .dm()
         .session("dialup-41", cookie, SessionKind::Analysis)
@@ -59,7 +62,14 @@ fn main() {
     println!("\nprogressive view download (1 h of 1 s count bins):");
     for levels in [2usize, 4, 6, usize::MAX] {
         let (series, bytes) = sc
-            .progressive_counts(view_item, 1000, view_t0, view_t0 + 3_600_000, view_t0, levels)
+            .progressive_counts(
+                view_item,
+                1000,
+                view_t0,
+                view_t0 + 3_600_000,
+                view_t0,
+                levels,
+            )
             .expect("view");
         let peak = series.iter().cloned().fold(0.0f64, f64::max);
         let label = if levels == usize::MAX {
@@ -78,7 +88,10 @@ fn main() {
     let local = sc
         .local_query(&Query::table("hle").aggregate(hedc_metadb::AggFunc::CountStar))
         .expect("local query");
-    println!("\nlocal clone holds {} events (offline queryable)", local.scalar_int().unwrap());
+    println!(
+        "\nlocal clone holds {} events (offline queryable)",
+        local.scalar_int().unwrap()
+    );
 
     // 4. Produce a result locally and upload it (§3.3: results "may be
     //    uploaded and imported into the system").

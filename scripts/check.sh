@@ -21,6 +21,11 @@
 #                              flight recorder, serves /hedc/trace/<id>, and
 #                              surfaces exemplar/saturation/flight fields in
 #                              stats.json, then exit
+#   scripts/check.sh --pl-smoke
+#                              run only the PL redundancy smoke: the
+#                              zipf duplicate-heavy pl_bench on a tiny
+#                              config plus the seeded coalescing/fairness/
+#                              staleness suites, then exit
 #
 # The full gate also fails if the test run minted new proptest-regressions
 # entries: a fresh regression file is a real counterexample that must be
@@ -33,16 +38,18 @@ seed=""
 smoke_only=0
 ingest_smoke_only=0
 obs_smoke_only=0
+pl_smoke_only=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) fast=1; shift ;;
     --bench-smoke) smoke_only=1; shift ;;
     --ingest-smoke) ingest_smoke_only=1; shift ;;
     --obs-smoke) obs_smoke_only=1; shift ;;
+    --pl-smoke) pl_smoke_only=1; shift ;;
     --seed)
-      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--obs-smoke] [--seed N]" >&2; exit 2; }
+      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--obs-smoke] [--pl-smoke] [--seed N]" >&2; exit 2; }
       seed="$2"; shift 2 ;;
-    *) echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--obs-smoke] [--seed N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--obs-smoke] [--pl-smoke] [--seed N]" >&2; exit 2 ;;
   esac
 done
 
@@ -66,14 +73,17 @@ bench_smoke() {
   run_bin table1_processing
   run_bin table23_characteristics
   run_bin store_bench
+  run_bin pl_bench
   # Every binary must have written its report.
-  for report in BENCH_batch_bench BENCH_fig4_browse_clients BENCH_store; do
+  for report in BENCH_batch_bench BENCH_fig4_browse_clients BENCH_store BENCH_pl; do
     [[ -s "$out/$report.json" ]] || {
       echo "FAIL: bench smoke produced no $report.json" >&2; exit 1; }
   done
-  # The smoke reports must satisfy the documented row schema.
+  # The smoke reports must satisfy the documented row schema. The pl report
+  # is gated by check_pl even in smoke: the >=5x redundancy-elimination
+  # ratio must hold on a measured run, tiny config or not.
   cargo run --release -q -p hedc-bench --bin bench_schema -- "$out" \
-    fig4_browse_clients batch_bench store
+    fig4_browse_clients batch_bench store pl
   rm -rf "$out"
   # The *committed* Figure-4 report must also hold: its net-tier rows carry
   # the scaling claim (check_fig4: throughput flat-or-rising 16 -> 512
@@ -90,6 +100,22 @@ bench_smoke() {
 obs_smoke() {
   echo "==> obs smoke (flight recorder + trace page + stats fields)"
   cargo run --release -q -p hedc-bench --bin hedc_doctor -- --obs-smoke
+}
+
+# PL redundancy smoke: the §3.5 redundant-work claim end to end — the
+# zipf duplicate-heavy pl_bench (coalesce on vs off, gated by check_pl's
+# >=5x ratio) plus the seeded single-flight, fairness, and recalibration-
+# staleness integration suites.
+pl_smoke() {
+  echo "==> pl smoke (single-flight coalescing + versioned reuse + fairness)"
+  local out
+  out="$(mktemp -d)"
+  HEDC_BENCH_SMOKE=1 HEDC_RESULTS_DIR="$out" \
+    cargo run --release -q -p hedc-bench --bin pl_bench >/dev/null
+  cargo run --release -q -p hedc-bench --bin bench_schema -- "$out" pl
+  rm -rf "$out"
+  cargo test --release -q -p hedc-pl --test coalesce --test fairness \
+    --test staleness --test obs_metrics
 }
 
 # Ingest pipeline smoke: a tiny downlink day through the serial and staged
@@ -128,6 +154,13 @@ if [[ "$obs_smoke_only" -eq 1 ]]; then
   exit 0
 fi
 
+if [[ "$pl_smoke_only" -eq 1 ]]; then
+  cargo build --release -q -p hedc-bench
+  pl_smoke
+  echo "OK (pl smoke)"
+  exit 0
+fi
+
 if [[ -n "$seed" ]]; then
   # Deterministic replay: pin every FaultPlan and cache/fault suite to the
   # printed seed and run just the suites that consume it.
@@ -138,6 +171,8 @@ if [[ -n "$seed" ]]; then
   cargo test -q -p hedc-metadb --test paged_model -- --nocapture
   cargo test -q -p hedc-net --test cluster --test churn --test mux_prop \
     --test slow_client -- --nocapture
+  cargo test -q -p hedc-pl --test coalesce --test fairness \
+    --test staleness -- --nocapture
   echo "OK (seed $seed)"
   exit 0
 fi
@@ -167,12 +202,13 @@ cargo test -q --workspace
 bench_smoke
 ingest_smoke
 obs_smoke
+pl_smoke
 
 # The committed results/ reports must satisfy the schema, and the committed
-# tier (fig4, batch, ingest, store) must be present.
+# tier (fig4, batch, ingest, store, pl) must be present.
 echo "==> bench_schema (committed results/)"
 cargo run --release -q -p hedc-bench --bin bench_schema -- results \
-  fig4_browse_clients batch_bench ingest store
+  fig4_browse_clients batch_bench ingest store pl
 
 regressions_after="$(find . -path ./target -prune -o -name '*.txt' -path '*proptest-regressions*' -print 2>/dev/null | sort | xargs -r md5sum 2>/dev/null || true)"
 if [[ "$regressions_before" != "$regressions_after" ]]; then

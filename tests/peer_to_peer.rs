@@ -31,15 +31,13 @@ fn peers_serve_browse_load_without_the_server() {
     let mut peers = Vec::new();
     let mut corders = Vec::new();
     for (name, ip) in [("peer-a", "ip-a"), ("peer-b", "ip-b")] {
-        hedc.dm().create_user(name, "pw", "sci", Rights::SCIENTIST).unwrap();
+        hedc.dm()
+            .create_user(name, "pw", "sci", Rights::SCIENTIST)
+            .unwrap();
         let cookie = hedc.dm().login(name, "pw", ip).unwrap();
         let session = hedc.dm().session(ip, cookie, SessionKind::Hle).unwrap();
-        let sc = StreamCorder::connect(
-            Arc::clone(hedc.dm()),
-            session,
-            CacheStrategy::V2LocalClone,
-        )
-        .unwrap();
+        let sc = StreamCorder::connect(Arc::clone(hedc.dm()), session, CacheStrategy::V2LocalClone)
+            .unwrap();
         let (hles, _) = sc.mirror_metadata().unwrap();
         assert!(hles > 0);
         peers.push(sc.share_as_peer(name).unwrap());
@@ -70,7 +68,10 @@ fn peers_serve_browse_load_without_the_server() {
     let delta = hedc.dm().io.databases()[0].stats().since(&server_db_before);
     assert_eq!(delta.queries, 0, "peer network offloaded the server");
     assert_eq!(peers[0].served() + peers[1].served(), 20);
-    assert!(peers[0].served() >= 9 && peers[1].served() >= 9, "round robin");
+    assert!(
+        peers[0].served() >= 9 && peers[1].served() >= 9,
+        "round robin"
+    );
 
     hedc.shutdown();
 }
@@ -78,15 +79,13 @@ fn peers_serve_browse_load_without_the_server() {
 #[test]
 fn v1_clients_cannot_peer_serve() {
     let hedc = Hedc::start(HedcConfig::default()).unwrap();
-    hedc.dm().create_user("thin", "pw", "sci", Rights::SCIENTIST).unwrap();
+    hedc.dm()
+        .create_user("thin", "pw", "sci", Rights::SCIENTIST)
+        .unwrap();
     let cookie = hedc.dm().login("thin", "pw", "ip").unwrap();
     let session = hedc.dm().session("ip", cookie, SessionKind::Hle).unwrap();
-    let sc = StreamCorder::connect(
-        Arc::clone(hedc.dm()),
-        session,
-        CacheStrategy::V1StaticPath,
-    )
-    .unwrap();
+    let sc =
+        StreamCorder::connect(Arc::clone(hedc.dm()), session, CacheStrategy::V1StaticPath).unwrap();
     assert!(sc.share_as_peer("nope").is_err());
     hedc.shutdown();
 }

@@ -9,8 +9,18 @@ use std::sync::Arc;
 
 fn files() -> Arc<FileStore> {
     let fs = FileStore::new();
-    fs.register(Archive::in_memory(1, "raw", ArchiveTier::OnlineDisk, 1 << 30));
-    fs.register(Archive::in_memory(2, "derived", ArchiveTier::OnlineRaid, 1 << 30));
+    fs.register(Archive::in_memory(
+        1,
+        "raw",
+        ArchiveTier::OnlineDisk,
+        1 << 30,
+    ));
+    fs.register(Archive::in_memory(
+        2,
+        "derived",
+        ArchiveTier::OnlineRaid,
+        1 << 30,
+    ));
     Arc::new(fs)
 }
 
@@ -46,7 +56,11 @@ fn router_spreads_browse_load_and_survives_failures() {
     // Browse mix round-robins over all nodes.
     for _ in 0..30 {
         let r = router
-            .execute_query(&Query::table("hle").filter(Expr::eq("public", true)).limit(10))
+            .execute_query(
+                &Query::table("hle")
+                    .filter(Expr::eq("public", true))
+                    .limit(10),
+            )
             .unwrap();
         assert_eq!(r.rows.len(), 10);
     }
