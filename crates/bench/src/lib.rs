@@ -21,6 +21,7 @@ pub mod attribution;
 pub mod cache_bench;
 pub mod cluster;
 pub mod schema;
+pub mod shard_bench;
 
 use std::path::{Path, PathBuf};
 

@@ -124,6 +124,42 @@ impl GenerationMap {
             })
             .collect()
     }
+
+    /// Key under which shard `shard`'s copy of `table` is tracked. Shard
+    /// scoping lets a sharded router invalidate exactly the shards a
+    /// rebalance moved, instead of every cached result for the table.
+    fn shard_key(shard: u32, table: &str) -> String {
+        format!("shard{shard}\u{1}{}", table.to_ascii_lowercase())
+    }
+
+    /// The live counter for shard `shard`'s copy of `table`.
+    pub fn handle_shard(&self, shard: u32, table: &str) -> Arc<AtomicU64> {
+        self.handle(&Self::shard_key(shard, table))
+    }
+
+    /// Record a write to `table` on one shard: only cached results
+    /// assembled from that shard go stale.
+    pub fn bump_shard(&self, shard: u32, table: &str) {
+        self.handle_shard(shard, table).fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Current generation of shard `shard`'s copy of `table`.
+    pub fn current_shard(&self, shard: u32, table: &str) -> u64 {
+        self.handle_shard(shard, table).load(Ordering::SeqCst)
+    }
+
+    /// Snapshot the shard-scoped generations of `table` across `shards` —
+    /// the dependency set of a scatter-gather result about to be cached.
+    pub fn snapshot_shards(&self, shards: &[u32], table: &str) -> DepSnapshot {
+        shards
+            .iter()
+            .map(|&s| {
+                let h = self.handle_shard(s, table);
+                let v = h.load(Ordering::SeqCst);
+                (h, v)
+            })
+            .collect()
+    }
 }
 
 /// Something storable in the cache: cheap to clone out, and able to state
@@ -615,6 +651,31 @@ mod tests {
         // One bump invalidates every fill of the batch at once.
         gens.bump("loc_entry");
         assert!(cache.get_many(&keys).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn shard_scoped_generations_invalidate_independently() {
+        let gens = Arc::new(GenerationMap::new());
+        let cache = QueryCache::new(&CacheConfig::default(), Arc::clone(&gens));
+        let q = Query::table("hle");
+        let r = result(vec![vec![Value::Int(1)]], &["id"]);
+
+        // A merged result depends on shards 0 and 2 only.
+        let deps = gens.snapshot_shards(&[0, 2], "hle");
+        cache.fill("shard", &q, &r, deps);
+        assert!(cache.get("shard", &q).is_some());
+
+        // A write on an uninvolved shard leaves the entry fresh...
+        gens.bump_shard(1, "hle");
+        assert!(cache.get("shard", &q).is_some());
+        // ...the table-level counter is a different namespace entirely...
+        gens.bump("hle");
+        assert!(cache.get("shard", &q).is_some());
+        // ...but a write on a depended-on shard invalidates.
+        gens.bump_shard(2, "hle");
+        assert!(cache.get("shard", &q).is_none());
+        assert_eq!(gens.current_shard(2, "hle"), 1);
+        assert_eq!(gens.current_shard(0, "HLE"), 0, "shard keys fold case");
     }
 
     #[test]

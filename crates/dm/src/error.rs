@@ -36,6 +36,11 @@ pub enum DmError {
     /// healthy — callers back off and retry, or fail over to a less-loaded
     /// replica, without marking the node down.
     Overloaded(String),
+    /// A whole shard (every replica in its set) is unreachable during a
+    /// sharded read. Typed so scatter-gather callers can distinguish "the
+    /// answer is missing shard N's rows" from a total failure — partial
+    /// results are never silently returned as complete ones.
+    ShardUnavailable { shard: u32, detail: String },
     /// A test-injected process crash (ingest crash-point matrix). Carries the
     /// crash site so a surviving harness can report where it died. Never
     /// produced outside tests/benches.
@@ -58,6 +63,9 @@ impl fmt::Display for DmError {
             DmError::RemoteUnavailable(m) => write!(f, "remote DM unavailable: {m}"),
             DmError::RemoteFailed(m) => write!(f, "remote DM failed: {m}"),
             DmError::Overloaded(m) => write!(f, "node overloaded: {m}"),
+            DmError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable (all replicas): {detail}")
+            }
             DmError::Crashed(site) => write!(f, "simulated crash at {site}"),
         }
     }

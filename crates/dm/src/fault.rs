@@ -128,6 +128,10 @@ pub struct FaultyDmNode<N: DmNode> {
     seed: u64,
     rng: Mutex<u64>,
     down: AtomicBool,
+    /// Remaining calls before the node goes hard-down (`i64::MAX` = never).
+    /// The shard-failover suite uses this to kill one replica *mid-scatter*
+    /// at a deterministic call count rather than at a wall-clock instant.
+    down_after: AtomicU64,
     unavailable: AtomicU64,
     failed: AtomicU64,
     slow: AtomicU64,
@@ -146,6 +150,7 @@ impl<N: DmNode> FaultyDmNode<N> {
             seed,
             rng: Mutex::new(seed),
             down: AtomicBool::new(false),
+            down_after: AtomicU64::new(u64::MAX),
             unavailable: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             slow: AtomicU64::new(0),
@@ -163,6 +168,14 @@ impl<N: DmNode> FaultyDmNode<N> {
     /// every call is refused regardless of the plan.
     pub fn set_down(&self, down: bool) {
         self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// Die after `n` more calls: the first `n` gate entries proceed
+    /// normally, then the node flips hard-down (refusing that call and
+    /// every later one until [`FaultyDmNode::set_down`]`(false)`).
+    /// Deterministic replica death for mid-scatter failover tests.
+    pub fn down_after(&self, n: u64) {
+        self.down_after.store(n, Ordering::SeqCst);
     }
 
     /// Injected-fault counters so far.
@@ -188,6 +201,24 @@ impl<N: DmNode> FaultyDmNode<N> {
     /// a batched call) passes through. `Err` is the injected fault;
     /// `Ok(())` means the call proceeds (possibly after a slow-delay).
     fn fault_gate(&self) -> DmResult<()> {
+        // Countdown death: decrement-and-check so exactly `n` calls pass.
+        loop {
+            let left = self.down_after.load(Ordering::SeqCst);
+            if left == u64::MAX {
+                break;
+            }
+            if left == 0 {
+                self.down.store(true, Ordering::SeqCst);
+                break;
+            }
+            if self
+                .down_after
+                .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break;
+            }
+        }
         if self.down.load(Ordering::SeqCst) {
             return Err(DmError::RemoteUnavailable(self.label.clone()));
         }
@@ -355,6 +386,25 @@ mod tests {
             n.execute_query(&Query::table("catalog")),
             Err(DmError::RemoteUnavailable(_))
         ));
+        n.set_down(false);
+        assert!(n.execute_query(&Query::table("catalog")).is_ok());
+    }
+
+    #[test]
+    fn down_after_kills_at_an_exact_call_count() {
+        let n = FaultyDmNode::new(node(), "countdown", FaultPlan::seeded(5));
+        n.down_after(3);
+        for i in 0..3 {
+            assert!(
+                n.execute_query(&Query::table("catalog")).is_ok(),
+                "call {i} should still pass"
+            );
+        }
+        assert!(matches!(
+            n.execute_query(&Query::table("catalog")),
+            Err(DmError::RemoteUnavailable(_))
+        ));
+        assert!(!n.is_available(), "countdown death is a hard-down");
         n.set_down(false);
         assert!(n.execute_query(&Query::table("catalog")).is_ok());
     }

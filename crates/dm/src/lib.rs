@@ -49,6 +49,7 @@ mod redirect;
 pub mod schema;
 mod semantic;
 mod session;
+pub mod shard;
 mod version;
 
 pub use error::{DmError, DmResult};
@@ -62,6 +63,10 @@ pub use process::{IngestConfig, IngestReport, Processes};
 pub use redirect::{DmNode, DmRouter, RemoteDm};
 pub use semantic::{scope_query, AnaSpec, FilePayload, HleSpec, Services};
 pub use session::{create_user, password_hash, Rights, Session, SessionKind, SessionManager};
+pub use shard::{
+    FanoutPlan, MoveCrash, MoveOutcome, MoveSpec, MoveStep, Route, ShardMap, ShardMapHandle,
+    ShardMover, ShardScheme, ShardedDm, TableSharding,
+};
 pub use version::{RecalReport, Versioning};
 
 use hedc_filestore::FileStore;

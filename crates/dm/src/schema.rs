@@ -145,6 +145,29 @@ pub fn op_ingest_journal() -> Schema {
     .primary_key(&["id"])
 }
 
+/// `op_shard_journal`: the shard-rebalance workflow journal. Same
+/// discipline as [`op_ingest_journal`]: one row per completed move step,
+/// appended *after* the step's effects, riding the WAL. `move_key`
+/// identifies the move (`table:partN->sM`, stable across resumes), `part`
+/// the hash slot or range interval being moved, `payload` the JSON
+/// [`crate::shard::MoveSpec`] state (source shard, target epoch) the
+/// resume path needs so it never re-derives placement from an
+/// already-cut-over map.
+pub fn op_shard_journal() -> Schema {
+    Schema::new(
+        "op_shard_journal",
+        vec![
+            ColumnDef::new("id", DataType::Int).not_null(),
+            ColumnDef::new("move_key", DataType::Text).not_null(),
+            ColumnDef::new("part", DataType::Int).not_null(),
+            ColumnDef::new("step", DataType::Text).not_null(),
+            ColumnDef::new("payload", DataType::Text),
+            ColumnDef::new("ts_ms", DataType::Timestamp).not_null(),
+        ],
+    )
+    .primary_key(&["id"])
+}
+
 /// `op_usage`: usage statistics and audit trail.
 pub fn op_usage() -> Schema {
     Schema::new(
@@ -434,7 +457,7 @@ pub fn version_log() -> Schema {
 }
 
 /// Names of the generic tables (administrative + operational + location).
-pub const GENERIC_TABLES: [&str; 12] = [
+pub const GENERIC_TABLES: [&str; 13] = [
     "admin_config",
     "admin_services",
     "admin_users",
@@ -442,6 +465,7 @@ pub const GENERIC_TABLES: [&str; 12] = [
     "op_lineage",
     "op_archives",
     "op_ingest_journal",
+    "op_shard_journal",
     "op_usage",
     "loc_item",
     "loc_entry",
@@ -469,6 +493,7 @@ pub fn create_generic(conn: &mut Connection) -> DbResult<()> {
     conn.create_table(op_lineage())?;
     conn.create_table(op_archives())?;
     conn.create_table(op_ingest_journal())?;
+    conn.create_table(op_shard_journal())?;
     conn.create_table(op_usage())?;
     conn.create_table(loc_item())?;
     conn.create_table(loc_entry())?;
@@ -479,6 +504,7 @@ pub fn create_generic(conn: &mut Connection) -> DbResult<()> {
     conn.create_index("loc_transform", "transform_entry", &["entry_id"], false)?;
     conn.create_index("op_lineage", "lineage_entity", &["entity_id"], false)?;
     conn.create_index("op_ingest_journal", "ingest_unit_key", &["unit_key"], false)?;
+    conn.create_index("op_shard_journal", "shard_move_key", &["move_key"], false)?;
     conn.create_index("op_usage", "usage_user", &["user_id"], false)?;
     Ok(())
 }

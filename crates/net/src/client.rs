@@ -246,6 +246,8 @@ fn variant_name(r: &Response) -> &'static str {
         Response::Result(_) => "query result",
         Response::Names(_) => "name list",
         Response::Batch(_) => "batch",
+        Response::Redirect { .. } => "shard redirect",
+        Response::ShardMap(_) => "shard map",
         Response::Error(_) => "error",
     }
 }

@@ -55,4 +55,4 @@ mod server;
 
 pub use client::{NetConfig, NetDm};
 pub use mux::{MuxClient, Pending};
-pub use server::{AdmissionConfig, DmServer, ServerConfig};
+pub use server::{AdmissionConfig, DmServer, ServerConfig, ShardIdentity};

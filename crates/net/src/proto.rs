@@ -5,7 +5,7 @@
 //! point of §5.4 call redirection is that the remote surface *is* the local
 //! surface — plus a liveness ping for health probing.
 
-use hedc_dm::{DmError, NameType, ResolvedName};
+use hedc_dm::{DmError, NameType, ResolvedName, ShardMap};
 use hedc_metadb::{Query, QueryResult};
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +29,24 @@ pub enum Request {
     /// response per entry **in order**, errors isolated per entry (a bad
     /// entry never poisons its neighbours). Batches do not nest.
     Batch(Vec<Request>),
+    /// `inner`, routed under the sharded-cluster protocol: the client
+    /// states which shard it believes the serving node owns and the
+    /// [`ShardMap`] epoch that belief came from. A server with shard
+    /// identity answers [`Response::Redirect`] when either is wrong —
+    /// never a miss or an empty result — so a stale client re-fetches the
+    /// map and re-routes instead of silently reading the wrong shard.
+    /// Sharded envelopes do not nest.
+    Sharded {
+        /// The shard the client routed this request to.
+        shard: u32,
+        /// The map epoch the client routed with.
+        epoch: u64,
+        /// The request to execute once identity checks pass.
+        inner: Box<Request>,
+    },
+    /// Fetch the server's current [`ShardMap`] (answer:
+    /// [`Response::ShardMap`]) — the redirect-recovery path.
+    FetchShardMap,
 }
 
 /// Server → client message.
@@ -38,6 +56,11 @@ pub enum Response {
     Pong {
         /// The serving node's id, for logs and router status.
         node_id: String,
+        /// The node's current [`ShardMap`] epoch (0 when the node has no
+        /// shard identity). Piggybacked on the liveness probe so clients
+        /// learn of cutovers from the handshake they already make.
+        #[serde(default)]
+        epoch: u64,
     },
     /// Successful query execution.
     Result(QueryResult),
@@ -46,6 +69,17 @@ pub enum Response {
     /// Answers to a [`Request::Batch`], positionally matched to its
     /// entries.
     Batch(Vec<Response>),
+    /// The [`Request::Sharded`] envelope named the wrong shard or a stale
+    /// epoch. Carries the serving node's actual shard id and current
+    /// epoch; the client re-fetches the map and re-routes.
+    Redirect {
+        /// The shard this server actually serves.
+        shard: u32,
+        /// The server's current map epoch.
+        epoch: u64,
+    },
+    /// Answer to [`Request::FetchShardMap`].
+    ShardMap(ShardMap),
     /// The request failed on the server.
     Error(WireError),
 }
@@ -69,6 +103,12 @@ pub enum WireErrorKind {
     /// probes must not mark it down — but the caller should back off and
     /// retry, or fail over to a less-loaded replica.
     Overloaded,
+    /// A whole shard (every replica of its set) was unreachable behind the
+    /// serving node during a scatter-gather. The serving node itself is
+    /// *up*: callers must not mark it down, and must not retry the same
+    /// cluster — the typed shard id says which partition's rows are
+    /// missing.
+    ShardUnavailable(u32),
 }
 
 /// A serializable server-side error.
@@ -86,6 +126,7 @@ impl WireError {
         let kind = match e {
             DmError::RemoteUnavailable(_) => WireErrorKind::Unavailable,
             DmError::Overloaded(_) => WireErrorKind::Overloaded,
+            DmError::ShardUnavailable { shard, .. } => WireErrorKind::ShardUnavailable(*shard),
             DmError::BadQuery(_) | DmError::Db(_) => WireErrorKind::Rejected,
             _ => WireErrorKind::Failed,
         };
@@ -105,6 +146,10 @@ impl WireError {
             WireErrorKind::Rejected => DmError::BadQuery(self.message),
             WireErrorKind::Failed => DmError::RemoteFailed(self.message),
             WireErrorKind::Overloaded => DmError::Overloaded(format!("{node}: {}", self.message)),
+            WireErrorKind::ShardUnavailable(shard) => DmError::ShardUnavailable {
+                shard,
+                detail: format!("{node}: {}", self.message),
+            },
         }
     }
 }

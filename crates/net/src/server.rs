@@ -33,7 +33,7 @@
 
 use crate::frame::{encode_frame, Frame, FrameBuffer, FrameKind};
 use crate::proto::{decode, encode, Request, Response, WireError, WireErrorKind};
-use hedc_dm::{DmNode, NameType};
+use hedc_dm::{DmNode, NameType, ShardMapHandle};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -133,6 +133,19 @@ impl Default for ServerConfig {
             admission: AdmissionConfig::default(),
         }
     }
+}
+
+/// The serving node's place in a sharded cluster: which shard it answers
+/// for, and the live [`ShardMapHandle`] its epoch checks read. Shared with
+/// the cluster's rebalance workflow — a cutover `install` is immediately
+/// visible to every server holding the handle, so stale-epoch redirects
+/// start on the very next request.
+#[derive(Clone)]
+pub struct ShardIdentity {
+    /// The shard this server's backing node stores.
+    pub shard: u32,
+    /// The cluster map the epoch handshake validates against.
+    pub map: Arc<ShardMapHandle>,
 }
 
 /// Park interval for a shard that owns live connections. Readiness is
@@ -258,6 +271,29 @@ impl DmServer {
         node: Arc<dyn DmNode>,
         config: ServerConfig,
     ) -> io::Result<DmServer> {
+        Self::bind_with_identity(addr, node, config, None)
+    }
+
+    /// [`DmServer::bind`] with a shard identity: the server additionally
+    /// answers the sharded-cluster protocol — [`Request::Sharded`]
+    /// envelopes are epoch- and ownership-checked (wrong ⇒
+    /// [`Response::Redirect`], never a miss), [`Request::FetchShardMap`]
+    /// serves the current map, and pongs carry the epoch.
+    pub fn bind_sharded(
+        addr: impl ToSocketAddrs,
+        node: Arc<dyn DmNode>,
+        config: ServerConfig,
+        identity: ShardIdentity,
+    ) -> io::Result<DmServer> {
+        Self::bind_with_identity(addr, node, config, Some(Arc::new(identity)))
+    }
+
+    fn bind_with_identity(
+        addr: impl ToSocketAddrs,
+        node: Arc<dyn DmNode>,
+        config: ServerConfig,
+        identity: Option<Arc<ShardIdentity>>,
+    ) -> io::Result<DmServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -279,9 +315,10 @@ impl DmServer {
                 let q = Arc::clone(q);
                 let node = Arc::clone(&node);
                 let stop = Arc::clone(&stop);
+                let identity = identity.clone();
                 std::thread::Builder::new()
                     .name(format!("dm-net-worker-{}-{i}", addr.port()))
-                    .spawn(move || worker_loop(q, node, stop, config))
+                    .spawn(move || worker_loop(q, node, stop, config, identity))
                     .expect("spawn worker")
             })
             .collect();
@@ -769,6 +806,7 @@ fn worker_loop(
     node: Arc<dyn DmNode>,
     stop: Arc<AtomicBool>,
     config: ServerConfig,
+    identity: Option<Arc<ShardIdentity>>,
 ) {
     let obs = hedc_obs::global();
     let rpc_hist = obs.histogram("net.rpc.server");
@@ -822,7 +860,7 @@ fn worker_loop(
         let request: Result<Request, _> = decode(&frame.payload);
         let label = request.as_ref().map(request_label).unwrap_or("malformed");
         let response = match request {
-            Ok(req) => respond(node.as_ref(), req, true),
+            Ok(req) => respond(node.as_ref(), identity.as_deref(), req, true),
             Err(e) => Response::Error(WireError {
                 kind: WireErrorKind::Failed,
                 message: format!("malformed request: {e}"),
@@ -880,6 +918,8 @@ fn request_label(request: &Request) -> &'static str {
         Request::Query(_) => "query",
         Request::Resolve { .. } => "resolve",
         Request::Batch(_) => "batch",
+        Request::Sharded { .. } => "sharded",
+        Request::FetchShardMap => "fetch_shard_map",
     }
 }
 
@@ -887,10 +927,67 @@ fn request_label(request: &Request) -> &'static str {
 /// batch entries: a `Batch` nested inside a `Batch` is rejected per entry
 /// instead of recursing (the protocol forbids nesting, and a flat cap keeps
 /// a hostile frame from driving unbounded recursion).
-fn respond(node: &dyn DmNode, request: Request, top_level: bool) -> Response {
+fn respond(
+    node: &dyn DmNode,
+    identity: Option<&ShardIdentity>,
+    request: Request,
+    top_level: bool,
+) -> Response {
     match request {
         Request::Ping => Response::Pong {
             node_id: node.node_id(),
+            epoch: identity.map_or(0, |i| i.map.epoch()),
+        },
+        Request::Sharded { shard, epoch, inner } if top_level => {
+            if matches!(*inner, Request::Sharded { .. }) {
+                return Response::Error(WireError {
+                    kind: WireErrorKind::Failed,
+                    message: "nested sharded envelope rejected".into(),
+                });
+            }
+            let Some(id) = identity else {
+                // An unsharded node ignores the envelope — single-node
+                // deployments accept cluster-aware clients unchanged.
+                return respond(node, identity, *inner, true);
+            };
+            let current = id.map.epoch();
+            if epoch != current || shard != id.shard {
+                let reason = if epoch != current {
+                    hedc_obs::global()
+                        .counter("dm.shard.redirect.stale_epoch")
+                        .inc();
+                    "stale epoch"
+                } else {
+                    hedc_obs::global()
+                        .counter("dm.shard.redirect.wrong_shard")
+                        .inc();
+                    "wrong shard"
+                };
+                hedc_obs::emit(
+                    hedc_obs::events::kind::DM_REDIRECT,
+                    format!(
+                        "{reason}: client routed shard {shard}@e{epoch}, \
+                         serving shard {}@e{current}",
+                        id.shard
+                    ),
+                );
+                return Response::Redirect {
+                    shard: id.shard,
+                    epoch: current,
+                };
+            }
+            respond(node, identity, *inner, true)
+        }
+        Request::Sharded { .. } => Response::Error(WireError {
+            kind: WireErrorKind::Failed,
+            message: "sharded envelope must be the outer frame".into(),
+        }),
+        Request::FetchShardMap => match identity {
+            Some(id) => Response::ShardMap((*id.map.current()).clone()),
+            None => Response::Error(WireError {
+                kind: WireErrorKind::Failed,
+                message: "node has no shard map".into(),
+            }),
         },
         Request::Query(q) => match node.execute_query(&q) {
             Ok(r) => Response::Result(r),
@@ -926,7 +1023,7 @@ fn respond(node: &dyn DmNode, request: Request, top_level: bool) -> Response {
                             // so batch members attribute individually in the
                             // caller's trace.
                             let _span = hedc_obs::Span::child("net.rpc.server.entry");
-                            respond(node, e, false)
+                            respond(node, identity, e, false)
                         })
                         .collect(),
                 )

@@ -1,0 +1,413 @@
+//! Epoch-handshake churn: 64 clients browse a 2-shard cluster while the
+//! shard map is repeatedly republished under them.
+//!
+//! The protocol contract under test: a client holding a stale map never
+//! gets a wrong or empty answer — it gets [`Response::Redirect`], refetches
+//! the map with [`Request::FetchShardMap`], and retries; the retried
+//! request returns exactly the row it asked for. The churn reassigns a
+//! partition no client queries, so every redirect in this test is purely
+//! an epoch-staleness signal — data placement for the probed keys never
+//! changes, which is what makes "retry must succeed with the same answer"
+//! assertable.
+//!
+//! Seeded: the per-client schedules derive from a printed seed
+//! (`HEDC_TEST_SEED` overrides; replay with `scripts/check.sh --seed`).
+
+use hedc_dm::{
+    schema, splitmix64, Clock, DmIo, DmNode, DmResult, IoConfig, Partitioning, ShardMap,
+    ShardMapHandle,
+};
+use hedc_metadb::{Database, Expr, Query, QueryResult, Value};
+use hedc_net::proto::{Request, Response, WireErrorKind};
+use hedc_net::{DmServer, MuxClient, ServerConfig, ShardIdentity};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const CLIENTS: usize = 64;
+const ROUNDS: usize = 8;
+/// The range partition the churn thread flips between shards; its key
+/// interval (`id >= 2000`) holds no rows and is never queried.
+const CHURN_PART: u32 = 2;
+const BASE_SEED: u64 = 0x5AAD_E70C;
+
+fn effective_seed() -> u64 {
+    std::env::var("HEDC_TEST_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(BASE_SEED)
+}
+
+/// `id < 1000` → shard 0, `1000 ≤ id < 2000` → shard 1, `id ≥ 2000` →
+/// the churn partition (initially shard 0, flipped throughout the test).
+fn cluster_map() -> ShardMap {
+    ShardMap::new(2).with_range("hle", "id", vec![1000, 2000], vec![0, 1, 0])
+}
+
+fn store(label: &str) -> Arc<DmIo> {
+    let db = Database::in_memory(label);
+    {
+        let mut conn = db.connect();
+        schema::create_generic(&mut conn).unwrap();
+        schema::create_domain(&mut conn).unwrap();
+    }
+    Arc::new(DmIo::new(
+        vec![db],
+        Partitioning::single(),
+        Arc::new(hedc_filestore::FileStore::new()),
+        Clock::starting_at(0),
+        &IoConfig::default(),
+    ))
+}
+
+struct LocalNode {
+    io: Arc<DmIo>,
+    label: String,
+}
+
+impl DmNode for LocalNode {
+    fn node_id(&self) -> String {
+        self.label.clone()
+    }
+    fn execute_query(&self, q: &Query) -> DmResult<QueryResult> {
+        self.io.query(q)
+    }
+}
+
+/// The payload a probe for `id` must come back with.
+fn photons_for(id: i64) -> i64 {
+    (id * 13) % 997
+}
+
+fn hle_row(id: i64) -> Vec<Value> {
+    vec![
+        Value::Int(id),
+        Value::Int(1),
+        Value::Int(id % 16),
+        Value::Timestamp(id),
+        Value::Timestamp(id + 5),
+        Value::Float(3.0),
+        Value::Float(20_000.0),
+        Value::Text("flare".into()),
+        Value::Null,
+        Value::Float((id % 11) as f64),
+        Value::Null,
+        Value::Int(photons_for(id)),
+        Value::Int(1),
+        Value::Int(1),
+        Value::Bool(true),
+        Value::Null,
+        Value::Null,
+        Value::Timestamp(id),
+        Value::Text("user".into()),
+        Value::Null,
+        Value::Null,
+        Value::Null,
+        Value::Null,
+        Value::Int(0),
+        Value::Bool(false),
+    ]
+}
+
+struct Cluster {
+    servers: Vec<DmServer>,
+    addrs: Vec<SocketAddr>,
+    handle: Arc<ShardMapHandle>,
+    /// Ids with rows, spread over both stable partitions.
+    ids: Vec<i64>,
+}
+
+fn cluster() -> Cluster {
+    let map = cluster_map();
+    let handle = ShardMapHandle::new(map.clone());
+    let mut ids = Vec::new();
+    let stores = [store("epoch-0"), store("epoch-1")];
+    for base in [0i64, 1000] {
+        for off in 0..60 {
+            let id = base + off * 7;
+            let owner = map.shard_for("hle", id).unwrap() as usize;
+            stores[owner].insert("hle", hle_row(id)).unwrap();
+            ids.push(id);
+        }
+    }
+    let mut servers = Vec::new();
+    let mut addrs = Vec::new();
+    for (s, io) in stores.into_iter().enumerate() {
+        let node: Arc<dyn DmNode> = Arc::new(LocalNode {
+            io,
+            label: format!("epoch-{s}"),
+        });
+        let server = DmServer::bind_sharded(
+            "127.0.0.1:0",
+            node,
+            ServerConfig::default(),
+            ShardIdentity {
+                shard: s as u32,
+                map: Arc::clone(&handle),
+            },
+        )
+        .expect("bind loopback");
+        addrs.push(server.local_addr());
+        servers.push(server);
+    }
+    Cluster {
+        servers,
+        addrs,
+        handle,
+        ids,
+    }
+}
+
+fn probe(id: i64) -> Query {
+    Query::table("hle")
+        .select(&["id", "n_photons"])
+        .filter(Expr::eq("id", id))
+}
+
+fn rpc(client: &MuxClient, request: &Request) -> Response {
+    let pending = client.submit(request, 0, 0).expect("submit");
+    let (response, _) = pending.wait(Duration::from_secs(5)).expect("response");
+    response
+}
+
+/// Fetch the live map from any server.
+fn fetch_map(client: &MuxClient) -> ShardMap {
+    match rpc(client, &Request::FetchShardMap) {
+        Response::ShardMap(m) => m,
+        other => panic!("FetchShardMap answered {other:?}"),
+    }
+}
+
+/// One cluster-aware client: routes by its local map snapshot, and on
+/// [`Response::Redirect`] refetches the map and retries. Returns the
+/// number of redirects absorbed.
+fn query_with_retry(
+    clients: &[MuxClient],
+    map: &mut ShardMap,
+    id: i64,
+    seed: u64,
+) -> (QueryResult, u64) {
+    let mut redirects = 0;
+    for _attempt in 0..40 {
+        let shard = map.shard_for("hle", id).expect("hle is sharded") as usize;
+        let request = Request::Sharded {
+            shard: shard as u32,
+            epoch: map.epoch,
+            inner: Box::new(Request::Query(probe(id))),
+        };
+        match rpc(&clients[shard], &request) {
+            Response::Result(r) => return (r, redirects),
+            Response::Redirect { .. } => {
+                redirects += 1;
+                *map = fetch_map(&clients[shard]);
+            }
+            other => panic!("probe for id {id} answered {other:?} (seed {seed})"),
+        }
+    }
+    panic!("id {id}: still redirected after 40 map refetches (seed {seed})");
+}
+
+#[test]
+fn pong_carries_the_live_epoch() {
+    let c = cluster();
+    let client = MuxClient::connect(c.addrs[0], Duration::from_millis(500)).unwrap();
+    match rpc(&client, &Request::Ping) {
+        Response::Pong { node_id, epoch } => {
+            assert_eq!(node_id, "epoch-0");
+            assert_eq!(epoch, c.handle.epoch());
+        }
+        other => panic!("{other:?}"),
+    }
+    let next = c.handle.current().reassign("hle", CHURN_PART, 1);
+    assert!(c.handle.install(next));
+    match rpc(&client, &Request::Ping) {
+        Response::Pong { epoch, .. } => assert_eq!(
+            epoch,
+            c.handle.epoch(),
+            "a republished map must show up in the very next pong"
+        ),
+        other => panic!("{other:?}"),
+    }
+    drop(c.servers);
+}
+
+#[test]
+fn stale_epoch_redirects_and_a_refetched_map_succeeds() {
+    let c = cluster();
+    let client = MuxClient::connect(c.addrs[0], Duration::from_millis(500)).unwrap();
+    // Bump the epoch behind the client's back.
+    assert!(c
+        .handle
+        .install(c.handle.current().reassign("hle", CHURN_PART, 1)));
+    let live = c.handle.epoch();
+
+    let stale = Request::Sharded {
+        shard: 0,
+        epoch: live - 1,
+        inner: Box::new(Request::Query(probe(c.ids[0]))),
+    };
+    match rpc(&client, &stale) {
+        Response::Redirect { shard, epoch } => {
+            assert_eq!(shard, 0, "the redirect names the serving shard");
+            assert_eq!(epoch, live, "the redirect carries the live epoch");
+        }
+        other => panic!("stale envelope answered {other:?}"),
+    }
+
+    // Refetch → retry: the exact row, not a miss.
+    let mut map = fetch_map(&client);
+    assert_eq!(map.epoch, live);
+    let clients = vec![
+        client,
+        MuxClient::connect(c.addrs[1], Duration::from_millis(500)).unwrap(),
+    ];
+    let (result, redirects) = query_with_retry(&clients, &mut map, c.ids[0], 0);
+    assert_eq!(redirects, 0, "a fresh map needs no retry");
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(result.rows[0][0], Value::Int(c.ids[0]));
+    drop(c.servers);
+}
+
+#[test]
+fn wrong_shard_envelope_is_redirected_not_answered() {
+    let c = cluster();
+    let client = MuxClient::connect(c.addrs[0], Duration::from_millis(500)).unwrap();
+    // Right epoch, wrong shard: shard 0's server must not answer a query
+    // addressed to shard 1, even though it could produce *some* rows.
+    let wrong = Request::Sharded {
+        shard: 1,
+        epoch: c.handle.epoch(),
+        inner: Box::new(Request::Query(probe(c.ids[0]))),
+    };
+    match rpc(&client, &wrong) {
+        Response::Redirect { shard, epoch } => {
+            assert_eq!(shard, 0);
+            assert_eq!(epoch, c.handle.epoch());
+        }
+        other => panic!("wrong-shard envelope answered {other:?}"),
+    }
+    drop(c.servers);
+}
+
+#[test]
+fn nested_envelopes_are_rejected_as_malformed() {
+    let c = cluster();
+    let client = MuxClient::connect(c.addrs[0], Duration::from_millis(500)).unwrap();
+    let nested = Request::Sharded {
+        shard: 0,
+        epoch: c.handle.epoch(),
+        inner: Box::new(Request::Sharded {
+            shard: 0,
+            epoch: c.handle.epoch(),
+            inner: Box::new(Request::Ping),
+        }),
+    };
+    match rpc(&client, &nested) {
+        Response::Error(e) => assert_eq!(e.kind, WireErrorKind::Failed, "{e:?}"),
+        other => panic!("nested envelope answered {other:?}"),
+    }
+    drop(c.servers);
+}
+
+#[test]
+fn churning_epochs_under_64_clients_never_lose_a_row() {
+    let seed = effective_seed();
+    println!("shard_epoch seed={seed} (replay: scripts/check.sh --seed {seed})");
+    let c = cluster();
+    let addrs = c.addrs.clone();
+    let ids = Arc::new(c.ids.clone());
+    let total_redirects = Arc::new(AtomicU64::new(0));
+
+    // Two-phase start: every client snapshots the initial map, then the
+    // churn thread republishes before any of them issue a query — so each
+    // client's first probe is *guaranteed* stale and must take the
+    // redirect → refetch → retry path.
+    let fetched = Arc::new(Barrier::new(CLIENTS + 1));
+    let churned = Arc::new(Barrier::new(CLIENTS + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut root = seed;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let mut state = splitmix64(&mut root);
+            let addrs = addrs.clone();
+            let ids = Arc::clone(&ids);
+            let fetched = Arc::clone(&fetched);
+            let churned = Arc::clone(&churned);
+            let total_redirects = Arc::clone(&total_redirects);
+            std::thread::spawn(move || {
+                let clients: Vec<MuxClient> = addrs
+                    .iter()
+                    .map(|a| MuxClient::connect(*a, Duration::from_secs(2)).expect("connect"))
+                    .collect();
+                let mut map = fetch_map(&clients[0]);
+                fetched.wait();
+                churned.wait();
+                let mut got = 0u64;
+                for _ in 0..ROUNDS {
+                    let id = ids[(splitmix64(&mut state) % ids.len() as u64) as usize];
+                    let (result, redirects) = query_with_retry(&clients, &mut map, id, seed);
+                    total_redirects.fetch_add(redirects, Ordering::Relaxed);
+                    assert_eq!(result.rows.len(), 1, "id {id} (seed {seed})");
+                    assert_eq!(result.rows[0][0], Value::Int(id), "seed {seed}");
+                    assert_eq!(
+                        result.rows[0][1],
+                        Value::Int(photons_for(id)),
+                        "id {id} came back with the wrong payload (seed {seed})"
+                    );
+                    got += 1;
+                }
+                got
+            })
+        })
+        .collect();
+
+    fetched.wait();
+    // Republish once while every client still holds the epoch-1 snapshot.
+    assert!(c
+        .handle
+        .install(c.handle.current().reassign("hle", CHURN_PART, 1)));
+    churned.wait();
+
+    // Keep republishing while the clients run: flip the unqueried
+    // partition back and forth, bumping the epoch each time.
+    let handle = Arc::clone(&c.handle);
+    let stop_flag = Arc::clone(&stop);
+    let churner = std::thread::spawn(move || {
+        let mut flips = 0u64;
+        while !stop_flag.load(Ordering::Relaxed) {
+            let cur = handle.current();
+            let to = 1 - cur.assignment("hle", CHURN_PART).unwrap();
+            assert!(handle.install(cur.reassign("hle", CHURN_PART, to)));
+            flips += 1;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        flips
+    });
+
+    let mut answered = 0u64;
+    for h in handles {
+        answered += h.join().expect("client thread panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let flips = churner.join().unwrap();
+
+    assert_eq!(
+        answered,
+        (CLIENTS * ROUNDS) as u64,
+        "every probe must land despite the churn (seed {seed})"
+    );
+    let redirects = total_redirects.load(Ordering::Relaxed);
+    assert!(
+        redirects >= CLIENTS as u64,
+        "each client's first probe was provably stale, yet only {redirects} \
+         redirects were absorbed (seed {seed})"
+    );
+    assert!(flips >= 1, "the churner must have republished");
+    println!(
+        "shard_epoch: {answered} probes, {redirects} redirects absorbed, \
+         {flips} republishes (seed {seed})"
+    );
+    drop(c.servers);
+}

@@ -26,6 +26,12 @@
 #                              zipf duplicate-heavy pl_bench on a tiny
 #                              config plus the seeded coalescing/fairness/
 #                              staleness suites, then exit
+#   scripts/check.sh --shard-smoke
+#                              run only the sharding smoke: the seeded
+#                              scatter-gather oracle, shard-failover,
+#                              rebalance crash-matrix, and epoch-churn
+#                              suites plus the fig5_shards scale-out sweep
+#                              on a tiny config, then exit
 #
 # The full gate also fails if the test run minted new proptest-regressions
 # entries: a fresh regression file is a real counterexample that must be
@@ -39,6 +45,7 @@ smoke_only=0
 ingest_smoke_only=0
 obs_smoke_only=0
 pl_smoke_only=0
+shard_smoke_only=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) fast=1; shift ;;
@@ -46,10 +53,11 @@ while [[ $# -gt 0 ]]; do
     --ingest-smoke) ingest_smoke_only=1; shift ;;
     --obs-smoke) obs_smoke_only=1; shift ;;
     --pl-smoke) pl_smoke_only=1; shift ;;
+    --shard-smoke) shard_smoke_only=1; shift ;;
     --seed)
-      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--obs-smoke] [--pl-smoke] [--seed N]" >&2; exit 2; }
+      [[ $# -ge 2 ]] || { echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--obs-smoke] [--pl-smoke] [--shard-smoke] [--seed N]" >&2; exit 2; }
       seed="$2"; shift 2 ;;
-    *) echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--obs-smoke] [--pl-smoke] [--seed N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--fast] [--bench-smoke] [--ingest-smoke] [--obs-smoke] [--pl-smoke] [--shard-smoke] [--seed N]" >&2; exit 2 ;;
   esac
 done
 
@@ -69,21 +77,24 @@ bench_smoke() {
   }
   run_bin batch_bench --net
   run_bin fig4_browse_clients --batch --attribution
-  run_bin fig5_browse_nodes
+  run_bin fig5_browse_nodes --shards
   run_bin table1_processing
   run_bin table23_characteristics
   run_bin store_bench
   run_bin pl_bench
   # Every binary must have written its report.
-  for report in BENCH_batch_bench BENCH_fig4_browse_clients BENCH_store BENCH_pl; do
+  for report in BENCH_batch_bench BENCH_fig4_browse_clients BENCH_fig5_shards BENCH_store BENCH_pl; do
     [[ -s "$out/$report.json" ]] || {
       echo "FAIL: bench smoke produced no $report.json" >&2; exit 1; }
   done
-  # The smoke reports must satisfy the documented row schema. The pl report
-  # is gated by check_pl even in smoke: the >=5x redundancy-elimination
-  # ratio must hold on a measured run, tiny config or not.
+  # The smoke reports must satisfy the documented row schema. The pl and
+  # fig5_shards reports are gated even in smoke: the >=5x
+  # redundancy-elimination ratio must hold on a measured run, tiny config
+  # or not, and the shard sweep must still show a real (>=1.2x smoke-bar)
+  # speedup; the committed full-size fig5_shards report carries the 1.6x
+  # claim.
   cargo run --release -q -p hedc-bench --bin bench_schema -- "$out" \
-    fig4_browse_clients batch_bench store pl
+    fig4_browse_clients fig5_shards batch_bench store pl
   rm -rf "$out"
   # The *committed* Figure-4 report must also hold: its net-tier rows carry
   # the scaling claim (check_fig4: throughput flat-or-rising 16 -> 512
@@ -116,6 +127,25 @@ pl_smoke() {
   rm -rf "$out"
   cargo test --release -q -p hedc-pl --test coalesce --test fairness \
     --test staleness --test obs_metrics
+}
+
+# Sharding smoke: the partitioned-DM correctness tier end to end — the
+# seeded scatter-gather oracle, the shard-failover fault suite, the
+# rebalance crash matrix, the epoch-churn protocol suite, and the
+# fig5_shards scale-out sweep (gated by check_fig5's noise-tolerant
+# >=1.2x smoke bar; the committed report carries the 1.6x claim) on a
+# tiny config.
+shard_smoke() {
+  echo "==> shard smoke (oracle + failover + rebalance + epoch churn + scale-out)"
+  local out
+  out="$(mktemp -d)"
+  HEDC_BENCH_SMOKE=1 HEDC_RESULTS_DIR="$out" \
+    cargo run --release -q -p hedc-bench --bin fig5_browse_nodes -- --shards >/dev/null
+  cargo run --release -q -p hedc-bench --bin bench_schema -- "$out" fig5_shards
+  rm -rf "$out"
+  cargo test --release -q -p hedc-dm --test shard_prop --test shard_fault \
+    --test shard_rebalance
+  cargo test --release -q -p hedc-net --test shard_epoch
 }
 
 # Ingest pipeline smoke: a tiny downlink day through the serial and staged
@@ -161,16 +191,24 @@ if [[ "$pl_smoke_only" -eq 1 ]]; then
   exit 0
 fi
 
+if [[ "$shard_smoke_only" -eq 1 ]]; then
+  cargo build --release -q -p hedc-bench
+  shard_smoke
+  echo "OK (shard smoke)"
+  exit 0
+fi
+
 if [[ -n "$seed" ]]; then
   # Deterministic replay: pin every FaultPlan and cache/fault suite to the
   # printed seed and run just the suites that consume it.
   echo "==> replaying fault-injection suites with HEDC_TEST_SEED=$seed"
   export HEDC_TEST_SEED="$seed"
   cargo test -q -p hedc-dm --test failover --test cache --test ingest_crash \
-    --test ingest_browse -- --nocapture
+    --test ingest_browse --test shard_prop --test shard_fault \
+    --test shard_rebalance -- --nocapture
   cargo test -q -p hedc-metadb --test paged_model -- --nocapture
   cargo test -q -p hedc-net --test cluster --test churn --test mux_prop \
-    --test slow_client -- --nocapture
+    --test slow_client --test shard_epoch -- --nocapture
   cargo test -q -p hedc-pl --test coalesce --test fairness \
     --test staleness -- --nocapture
   echo "OK (seed $seed)"
@@ -203,12 +241,13 @@ bench_smoke
 ingest_smoke
 obs_smoke
 pl_smoke
+shard_smoke
 
 # The committed results/ reports must satisfy the schema, and the committed
-# tier (fig4, batch, ingest, store, pl) must be present.
+# tier (fig4, fig5_shards, batch, ingest, store, pl) must be present.
 echo "==> bench_schema (committed results/)"
 cargo run --release -q -p hedc-bench --bin bench_schema -- results \
-  fig4_browse_clients batch_bench ingest store pl
+  fig4_browse_clients fig5_shards batch_bench ingest store pl
 
 regressions_after="$(find . -path ./target -prune -o -name '*.txt' -path '*proptest-regressions*' -print 2>/dev/null | sort | xargs -r md5sum 2>/dev/null || true)"
 if [[ "$regressions_before" != "$regressions_after" ]]; then
